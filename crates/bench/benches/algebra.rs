@@ -1,0 +1,176 @@
+//! Microbench: TOSS vs TAX operator throughput — the ablation the
+//! DESIGN.md calls out (what the SEO expansion costs per operator) plus
+//! the hash-join vs naive-join comparison.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::sync::Arc;
+use toss_core::algebra::{
+    similarity_hash_join, toss_join, toss_select, JoinKey, TossPattern,
+};
+use toss_core::convert::Conversions;
+use toss_core::typesys::TypeHierarchy;
+use toss_core::{SeoInstance, TossCond, TossTerm};
+use toss_datagen::{corpus::generate, CorpusConfig};
+use toss_ontology::hierarchy::Hierarchy;
+use toss_ontology::sea::enhance;
+use toss_similarity::Levenshtein;
+use toss_tax::{EdgeKind, PatternTree};
+
+fn instance(papers: usize) -> SeoInstance {
+    let corpus = generate(CorpusConfig::scalability(5, papers));
+    // a title ontology so ~ has something to chew on
+    let mut h = Hierarchy::new();
+    for p in &corpus.papers {
+        let _ = h.add_leq(&p.dblp_title, "title");
+    }
+    let seo = Arc::new(
+        enhance(
+            &h,
+            &toss_similarity::combinators::MultiWordGate::new(Levenshtein),
+            2.0,
+        )
+        .expect("consistent"),
+    );
+    SeoInstance::new(corpus.dblp, seo)
+}
+
+fn sigmod_side(papers: usize, seo: &SeoInstance) -> SeoInstance {
+    let corpus = generate(CorpusConfig::scalability(5, papers));
+    SeoInstance::new(corpus.sigmod, seo.seo.clone())
+}
+
+fn select_pattern(similar: bool) -> TossPattern {
+    let mut conds = vec![
+        TossCond::eq(TossTerm::tag(1), TossTerm::str("inproceedings")),
+        TossCond::eq(TossTerm::tag(2), TossTerm::str("title")),
+    ];
+    if similar {
+        conds.push(TossCond::similar(
+            TossTerm::content(2),
+            TossTerm::str("Efficient Query Processing for XML Databases"),
+        ));
+    } else {
+        conds.push(TossCond::eq(
+            TossTerm::content(2),
+            TossTerm::str("Efficient Query Processing for XML Databases"),
+        ));
+    }
+    TossPattern::spine(&[EdgeKind::ParentChild], TossCond::all(conds)).expect("valid")
+}
+
+fn benches(c: &mut Criterion) {
+    let th = TypeHierarchy::new();
+    let cv = Conversions::new();
+    let mut g = c.benchmark_group("algebra");
+    g.sample_size(15);
+
+    for papers in [500usize, 2000] {
+        let inst = instance(papers);
+        let eq = select_pattern(false);
+        let sim = select_pattern(true);
+        g.bench_with_input(
+            BenchmarkId::new("select-exact", papers),
+            &inst,
+            |b, inst| b.iter(|| toss_select(inst, &eq, &[1], &th, &cv).expect("ok").len()),
+        );
+        g.bench_with_input(
+            BenchmarkId::new("select-similar", papers),
+            &inst,
+            |b, inst| b.iter(|| toss_select(inst, &sim, &[1], &th, &cv).expect("ok").len()),
+        );
+    }
+
+    // join ablation: naive product+select vs similarity hash-join
+    let left = instance(150);
+    let right = sigmod_side(150, &left);
+    let mut structure = PatternTree::new(1);
+    let root = structure.root();
+    structure
+        .add_child(root, 2, EdgeKind::AncestorDescendant)
+        .expect("fresh");
+    structure
+        .add_child(root, 3, EdgeKind::AncestorDescendant)
+        .expect("fresh");
+    let cross = TossPattern {
+        structure,
+        condition: TossCond::all(vec![
+            TossCond::eq(TossTerm::tag(1), TossTerm::str(toss_tax::ops::PROD_ROOT_TAG)),
+            TossCond::eq(TossTerm::tag(2), TossTerm::str("title")),
+            TossCond::eq(TossTerm::tag(3), TossTerm::str("title")),
+            TossCond::similar(TossTerm::content(2), TossTerm::content(3)),
+        ]),
+    };
+    g.bench_function("join-naive-150x75", |b| {
+        b.iter(|| {
+            toss_join(&left, &right, &cross, &[1], &th, &cv)
+                .expect("ok")
+                .len()
+        })
+    });
+    // ablation (paper, Definition 8 discussion): precomputed SEO lookup
+    // vs comparing the probe against every stored value at query time
+    let inst = instance(2000);
+    let probe = "Efficient Query Processing for XML Databases";
+    let sim = select_pattern(true);
+    g.bench_function("similar-via-precomputed-seo", |b| {
+        b.iter(|| toss_select(&inst, &sim, &[1], &th, &cv).expect("ok").len())
+    });
+    g.bench_function("similar-on-the-fly", |b| {
+        let metric = toss_similarity::combinators::MultiWordGate::new(Levenshtein);
+        use toss_similarity::StringMetric as _;
+        b.iter(|| {
+            // option (i) of the paper's Definition-8 discussion: scan all
+            // stored titles and compare against the probe per query
+            let mut matching: Vec<String> = Vec::new();
+            for t in inst.forest.iter() {
+                let root = t.root().expect("root");
+                for c in t.children(root) {
+                    let d = t.data(c).expect("valid");
+                    if d.tag == "title" {
+                        let s = d.content_str();
+                        if metric.within(probe, &s, 2.0) {
+                            matching.push(s);
+                        }
+                    }
+                }
+            }
+            matching.push(probe.to_string());
+            let cond = TossCond::all(vec![
+                TossCond::eq(TossTerm::tag(1), TossTerm::str("inproceedings")),
+                TossCond::eq(TossTerm::tag(2), TossTerm::str("title")),
+            ]);
+            let p = TossPattern::spine(&[EdgeKind::ParentChild], cond).expect("valid");
+            let mut compiled = p.structure.clone();
+            compiled
+                .set_condition(
+                    toss_tax::Cond::all(vec![
+                        toss_tax::Cond::eq(
+                            toss_tax::Term::tag(1),
+                            toss_tax::Term::str("inproceedings"),
+                        ),
+                        toss_tax::Cond::eq(toss_tax::Term::tag(2), toss_tax::Term::str("title")),
+                        toss_tax::Cond::in_set(toss_tax::Term::content(2), matching),
+                    ]),
+                )
+                .expect("labels exist");
+            toss_tax::select(&inst.forest, &compiled, &[1]).expect("ok").len()
+        })
+    });
+
+    g.bench_function("join-hash-150x75", |b| {
+        b.iter(|| {
+            similarity_hash_join(
+                &left,
+                &right,
+                &JoinKey::child("title"),
+                &JoinKey::child("title"),
+            )
+            .expect("ok")
+            .len()
+        })
+    });
+    g.finish();
+}
+
+criterion_group!(algebra, benches);
+criterion_main!(algebra);

@@ -1,0 +1,67 @@
+//! Microbench: TAX pattern-tree embedding enumeration and witness
+//! construction — the inner loop of every selection.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use toss_datagen::{corpus::generate, CorpusConfig};
+use toss_tax::{embeddings, select, Cond, EdgeKind, PatternTree, Term};
+use toss_tree::Forest;
+
+fn forest(papers: usize) -> Forest {
+    generate(CorpusConfig::scalability(5, papers)).dblp
+}
+
+fn spine_pattern() -> PatternTree {
+    let mut p = PatternTree::new(1);
+    let r = p.root();
+    p.add_child(r, 2, EdgeKind::ParentChild).expect("fresh");
+    p.add_child(r, 3, EdgeKind::ParentChild).expect("fresh");
+    p.set_condition(Cond::all(vec![
+        Cond::eq(Term::tag(1), Term::str("inproceedings")),
+        Cond::eq(Term::tag(2), Term::str("author")),
+        Cond::eq(Term::tag(3), Term::str("booktitle")),
+        Cond::eq(Term::content(3), Term::str("VLDB")),
+    ]))
+    .expect("labels exist");
+    p
+}
+
+fn ad_pattern() -> PatternTree {
+    let mut p = PatternTree::new(1);
+    let r = p.root();
+    p.add_child(r, 2, EdgeKind::AncestorDescendant).expect("fresh");
+    p.set_condition(Cond::all(vec![
+        Cond::eq(Term::tag(1), Term::str("inproceedings")),
+        Cond::contains(Term::content(2), Term::str("Query")),
+    ]))
+    .expect("labels exist");
+    p
+}
+
+fn benches(c: &mut Criterion) {
+    let mut g = c.benchmark_group("embedding");
+    g.sample_size(20);
+    for papers in [500usize, 2000] {
+        let f = forest(papers);
+        let spine = spine_pattern();
+        let ad = ad_pattern();
+        g.bench_with_input(BenchmarkId::new("enumerate-pc", papers), &f, |b, f| {
+            b.iter(|| {
+                f.iter()
+                    .map(|t| embeddings(&spine, t).len())
+                    .sum::<usize>()
+            })
+        });
+        g.bench_with_input(BenchmarkId::new("enumerate-ad", papers), &f, |b, f| {
+            b.iter(|| f.iter().map(|t| embeddings(&ad, t).len()).sum::<usize>())
+        });
+        g.bench_with_input(
+            BenchmarkId::new("select-with-witnesses", papers),
+            &f,
+            |b, f| b.iter(|| select(f, &spine, &[1]).expect("select succeeds").len()),
+        );
+    }
+    g.finish();
+}
+
+criterion_group!(embedding, benches);
+criterion_main!(embedding);

@@ -1,0 +1,57 @@
+//! Microbench: canonical fusion against hierarchy count and size.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use toss_ontology::hierarchy::Hierarchy;
+use toss_ontology::{fuse, Constraint};
+
+/// A schema-like hierarchy of `n` terms under a per-source root tag.
+fn schema_hierarchy(source: usize, n: usize) -> Hierarchy {
+    let mut h = Hierarchy::new();
+    let root = format!("root{source}");
+    for i in 0..n {
+        let _ = h.add_leq(&format!("s{source}t{i}"), &root);
+        if i % 5 == 0 && i > 0 {
+            let _ = h.add_leq(&format!("s{source}t{i}"), &format!("s{source}t{}", i - 1));
+        }
+    }
+    h
+}
+
+fn benches(c: &mut Criterion) {
+    let mut g = c.benchmark_group("fusion");
+    g.sample_size(20);
+    for n in [50usize, 200, 800] {
+        let h1 = schema_hierarchy(0, n);
+        let h2 = schema_hierarchy(1, n);
+        // constraints equating every 10th pair across the sources
+        let mut cs = Vec::new();
+        for i in (0..n).step_by(10) {
+            cs.extend(Constraint::eq(
+                format!("s0t{i}"),
+                0,
+                format!("s1t{i}"),
+                1,
+            ));
+        }
+        g.bench_with_input(
+            BenchmarkId::new("two-sources-terms", n),
+            &(h1, h2, cs),
+            |b, (h1, h2, cs)| {
+                b.iter(|| fuse(&[h1.clone(), h2.clone()], cs).expect("fusion succeeds"))
+            },
+        );
+    }
+    // many small sources
+    for k in [2usize, 4, 8] {
+        let sources: Vec<Hierarchy> = (0..k).map(|i| schema_hierarchy(i, 100)).collect();
+        g.bench_with_input(
+            BenchmarkId::new("sources", k),
+            &sources,
+            |b, sources| b.iter(|| fuse(sources, &[]).expect("fusion succeeds")),
+        );
+    }
+    g.finish();
+}
+
+criterion_group!(fusion, benches);
+criterion_main!(fusion);

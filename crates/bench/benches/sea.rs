@@ -1,0 +1,47 @@
+//! Microbench: the SEA algorithm against hierarchy size and ε — the
+//! precomputation cost the paper amortizes across queries.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use toss_ontology::hierarchy::Hierarchy;
+use toss_ontology::sea::enhance;
+use toss_similarity::Levenshtein;
+
+/// A hierarchy of `n` synthetic author-name terms under one class, with
+/// clusters of near-identical variants (the realistic SEA input shape).
+fn name_hierarchy(n: usize) -> Hierarchy {
+    let mut rng = StdRng::seed_from_u64(4);
+    let mut h = Hierarchy::new();
+    let surnames = ["Abadi", "Ferrari", "Ullman", "Weikum", "Tanaka", "Petrov"];
+    for i in 0..n {
+        let s = surnames[i % surnames.len()];
+        let given: String = (0..rng.gen_range(3..8))
+            .map(|_| (b'a' + rng.gen_range(0..26u8)) as char)
+            .collect();
+        let name = format!("{given} {s}{}", i / surnames.len());
+        let _ = h.add_leq(&name, "author");
+    }
+    h
+}
+
+fn benches(c: &mut Criterion) {
+    let mut g = c.benchmark_group("sea");
+    g.sample_size(10);
+    for n in [50usize, 200, 800] {
+        let h = name_hierarchy(n);
+        g.bench_with_input(BenchmarkId::new("terms", n), &h, |b, h| {
+            b.iter(|| enhance(h, &Levenshtein, 3.0).expect("consistent"))
+        });
+    }
+    let h = name_hierarchy(200);
+    for eps in [1.0f64, 3.0, 5.0] {
+        g.bench_with_input(BenchmarkId::new("epsilon", eps as u64), &eps, |b, &eps| {
+            b.iter(|| enhance(&h, &Levenshtein, eps).expect("consistent"))
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(sea, benches);
+criterion_main!(sea);

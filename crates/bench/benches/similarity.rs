@@ -1,0 +1,74 @@
+//! Microbench: string-metric throughput on bibliographic name pairs —
+//! what the SEA all-pairs phase and probe expansion actually pay per
+//! comparison.
+
+use criterion::{black_box, criterion_group, criterion_main, Criterion};
+use toss_similarity::combinators::{MinOf, MultiWordGate};
+use toss_similarity::{
+    Cosine, DamerauOsa, JaccardTokens, Jaro, Levenshtein, MongeElkan, NGram, NameRules,
+    SmithWaterman, SoftTfIdf, StringMetric,
+};
+
+const PAIRS: &[(&str, &str)] = &[
+    ("Jeffrey D. Ullman", "J. D. Ullman"),
+    ("Gianluigi Ferrari", "Gian Luigi Ferrari"),
+    ("Marco Ferrari", "Mauro Ferrari"),
+    ("SIGMOD Conference", "ACM SIGMOD International Conference on Management of Data"),
+    ("Efficient Query Processing for XML Databases", "Efficient Query Processing for XML Database"),
+    ("aaaaaaaaaaaaaaaa", "bbbbbbbbbbbbbbbb"),
+];
+
+fn bench_metric<M: StringMetric>(c: &mut Criterion, m: &M) {
+    c.bench_function(&format!("distance/{}", m.name()), |b| {
+        b.iter(|| {
+            let mut acc = 0.0;
+            for (x, y) in PAIRS {
+                acc += m.distance(black_box(x), black_box(y));
+            }
+            acc
+        })
+    });
+}
+
+fn benches(c: &mut Criterion) {
+    bench_metric(c, &Levenshtein);
+    bench_metric(c, &DamerauOsa);
+    bench_metric(c, &Jaro);
+    bench_metric(c, &JaccardTokens);
+    bench_metric(c, &Cosine);
+    bench_metric(c, &MongeElkan::default());
+    bench_metric(c, &NGram::default());
+    bench_metric(c, &NameRules::default());
+    bench_metric(c, &SmithWaterman::default());
+    bench_metric(c, &SoftTfIdf::train(&PAIRS.iter().map(|(a, _)| *a).collect::<Vec<_>>()));
+    bench_metric(
+        c,
+        &MinOf::new(
+            NameRules::with_costs(3.0, 2.0, 1000.0),
+            MultiWordGate::new(Levenshtein),
+        ),
+    );
+
+    // the thresholded check the SEA inner loop uses
+    c.bench_function("within/levenshtein-banded-eps3", |b| {
+        b.iter(|| {
+            let mut acc = 0;
+            for (x, y) in PAIRS {
+                acc += usize::from(Levenshtein.within(black_box(x), black_box(y), 3.0));
+            }
+            acc
+        })
+    });
+    c.bench_function("within/levenshtein-full-eps3", |b| {
+        b.iter(|| {
+            let mut acc = 0;
+            for (x, y) in PAIRS {
+                acc += usize::from(Levenshtein.distance(black_box(x), black_box(y)) <= 3.0);
+            }
+            acc
+        })
+    });
+}
+
+criterion_group!(similarity, benches);
+criterion_main!(similarity);

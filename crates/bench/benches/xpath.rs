@@ -1,0 +1,56 @@
+//! Microbench: the XPath engine on generated bibliographic corpora —
+//! parse, index fast path, scan path, predicate evaluation.
+
+use criterion::{black_box, criterion_group, criterion_main, BenchmarkId, Criterion};
+use toss_datagen::{corpus::generate, CorpusConfig};
+use toss_xmldb::{Collection, XPath};
+
+fn collection(papers: usize) -> Collection {
+    let corpus = generate(CorpusConfig::scalability(5, papers));
+    let mut c = Collection::new("dblp", None);
+    for t in corpus.dblp.iter() {
+        c.insert(t.clone()).expect("unlimited");
+    }
+    c
+}
+
+fn benches(c: &mut Criterion) {
+    let mut g = c.benchmark_group("xpath");
+    g.sample_size(20);
+
+    // query parsing
+    g.bench_function("parse", |b| {
+        b.iter(|| {
+            XPath::parse(black_box(
+                "//inproceedings[author[(text()='A B' or text()='C D')]][booktitle='VLDB'][year]",
+            ))
+            .expect("valid")
+        })
+    });
+
+    for papers in [500usize, 2000] {
+        let coll = collection(papers);
+        let indexed = XPath::parse("//booktitle[text()='VLDB']").expect("valid");
+        let scan = XPath::parse("/*/booktitle[text()='VLDB']").expect("valid");
+        let pred =
+            XPath::parse("//inproceedings[booktitle='VLDB' and contains(title,'Query')]")
+                .expect("valid");
+        g.bench_with_input(
+            BenchmarkId::new("indexed-descendant", papers),
+            &coll,
+            |b, coll| b.iter(|| indexed.eval_collection(coll).len()),
+        );
+        g.bench_with_input(BenchmarkId::new("root-scan", papers), &coll, |b, coll| {
+            b.iter(|| scan.eval_collection(coll).len())
+        });
+        g.bench_with_input(
+            BenchmarkId::new("conjunctive-predicates", papers),
+            &coll,
+            |b, coll| b.iter(|| pred.eval_collection(coll).len()),
+        );
+    }
+    g.finish();
+}
+
+criterion_group!(xpath, benches);
+criterion_main!(xpath);

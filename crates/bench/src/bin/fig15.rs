@@ -1,0 +1,190 @@
+//! Figure 15 — answer quality: TAX vs TOSS(ε=2) vs TOSS(ε=3).
+//!
+//! Protocol (paper Section 6, "Recall and precision"): 12 selection
+//! queries on 3 datasets of 100 random papers each; every query has
+//! 1 isa + 1 similarTo + 3 tag-matching conditions; TAX runs the same
+//! query with `contains` for isa and exact match for similarTo. Answers
+//! are scored against the generator's entity-level ground truth.
+//!
+//! Emits: per-query precision/recall (15a), quality √(P·R) against
+//! √(TAX recall) (15b), and precision-normalized recall improvement
+//! (15c). Results also land in `results/fig15.json`.
+
+use serde::Serialize;
+use toss_bench::{answered_paper_ids, build_executor, query_to_tax, query_to_toss, write_json, Table};
+use toss_core::executor::Mode;
+use toss_core::quality::{averages, QualityRow};
+use toss_datagen::{corpus::generate, ground_truth, queries::workload, CorpusConfig};
+
+#[derive(Serialize, Clone)]
+struct QueryResult {
+    dataset: usize,
+    query: usize,
+    correct: usize,
+    tax_precision: f64,
+    tax_recall: f64,
+    tax_quality: f64,
+    toss2_precision: f64,
+    toss2_recall: f64,
+    toss2_quality: f64,
+    toss3_precision: f64,
+    toss3_recall: f64,
+    toss3_quality: f64,
+}
+
+#[derive(Serialize)]
+struct Fig15 {
+    rows: Vec<QueryResult>,
+    averages: AveragesOut,
+}
+
+#[derive(Serialize)]
+struct AveragesOut {
+    tax: (f64, f64, f64),
+    toss_eps2: (f64, f64, f64),
+    toss_eps3: (f64, f64, f64),
+}
+
+fn main() {
+    const DATASETS: usize = 3;
+    const QUERIES: usize = 12;
+
+    let mut rows: Vec<QueryResult> = Vec::new();
+    let (mut tax_rows, mut t2_rows, mut t3_rows) = (Vec::new(), Vec::new(), Vec::new());
+
+    for ds in 0..DATASETS {
+        let corpus = generate(CorpusConfig::figure15(100 + ds as u64));
+        let sys2 = build_executor(&corpus, 2.0, 0);
+        let sys3 = build_executor(&corpus, 3.0, 0);
+        eprintln!(
+            "dataset {ds}: {} papers, ontology {} terms, precompute {:?}",
+            corpus.papers.len(),
+            sys3.ontology_terms,
+            sys3.precompute_time
+        );
+        for q in workload(&corpus, 500 + ds as u64, QUERIES) {
+            let truth = ground_truth(&corpus, &q);
+            let tq = query_to_toss(&q);
+            let tax = answered_paper_ids(
+                &sys3
+                    .executor
+                    .select(&query_to_tax(&q), Mode::TaxBaseline)
+                    .expect("tax select")
+                    .forest,
+            );
+            let t2 = answered_paper_ids(
+                &sys2.executor.select(&tq, Mode::Toss).expect("toss2 select").forest,
+            );
+            let t3 = answered_paper_ids(
+                &sys3.executor.select(&tq, Mode::Toss).expect("toss3 select").forest,
+            );
+            let rx = QualityRow::score(q.id, &tax, &truth);
+            let r2 = QualityRow::score(q.id, &t2, &truth);
+            let r3 = QualityRow::score(q.id, &t3, &truth);
+            rows.push(QueryResult {
+                dataset: ds,
+                query: q.id,
+                correct: truth.len(),
+                tax_precision: rx.precision,
+                tax_recall: rx.recall,
+                tax_quality: rx.quality,
+                toss2_precision: r2.precision,
+                toss2_recall: r2.recall,
+                toss2_quality: r2.quality,
+                toss3_precision: r3.precision,
+                toss3_recall: r3.recall,
+                toss3_quality: r3.quality,
+            });
+            tax_rows.push(rx);
+            t2_rows.push(r2);
+            t3_rows.push(r3);
+        }
+    }
+
+    // ---- Figure 15(a): precision & recall per query --------------------
+    println!("\nFigure 15(a) — precision / recall per query");
+    let mut t = Table::new(&[
+        "ds", "q", "|correct|", "TAX P", "TAX R", "TOSS(2) P", "TOSS(2) R", "TOSS(3) P",
+        "TOSS(3) R",
+    ]);
+    for r in &rows {
+        t.row(vec![
+            r.dataset.to_string(),
+            r.query.to_string(),
+            r.correct.to_string(),
+            format!("{:.3}", r.tax_precision),
+            format!("{:.3}", r.tax_recall),
+            format!("{:.3}", r.toss2_precision),
+            format!("{:.3}", r.toss2_recall),
+            format!("{:.3}", r.toss3_precision),
+            format!("{:.3}", r.toss3_recall),
+        ]);
+    }
+    t.print();
+
+    let a_tax = averages(&tax_rows);
+    let a_t2 = averages(&t2_rows);
+    let a_t3 = averages(&t3_rows);
+    println!("\naverages (precision, recall, quality):");
+    println!("  TAX        {:.3} {:.3} {:.3}", a_tax.0, a_tax.1, a_tax.2);
+    println!("  TOSS(ε=2)  {:.3} {:.3} {:.3}", a_t2.0, a_t2.1, a_t2.2);
+    println!("  TOSS(ε=3)  {:.3} {:.3} {:.3}", a_t3.0, a_t3.1, a_t3.2);
+    println!(
+        "  paper:     TAX P=1.0 R<0.5 for 75% of queries; TOSS(3) 0.942/0.843; TOSS(2) 0.987/0.596"
+    );
+
+    // ---- Figure 15(b): quality vs sqrt(TAX recall) ----------------------
+    println!("\nFigure 15(b) — quality √(P·R) vs √(TAX recall)");
+    let mut t = Table::new(&["√(TAX recall)", "TAX q", "TOSS(2) q", "TOSS(3) q"]);
+    let mut b_rows: Vec<&QueryResult> = rows.iter().collect();
+    b_rows.sort_by(|a, b| {
+        a.tax_recall
+            .partial_cmp(&b.tax_recall)
+            .expect("recalls are finite")
+    });
+    for r in b_rows {
+        t.row(vec![
+            format!("{:.3}", r.tax_recall.sqrt()),
+            format!("{:.3}", r.tax_quality),
+            format!("{:.3}", r.toss2_quality),
+            format!("{:.3}", r.toss3_quality),
+        ]);
+    }
+    t.print();
+
+    // ---- Figure 15(c): precision-normalized recall improvement ----------
+    // improvement = (R · P)_system / (R · P)_TAX; queries where TAX found
+    // nothing (R_tax = 0) are reported as "∞" lines separately.
+    println!("\nFigure 15(c) — recall improvement over TAX, normalized by precision");
+    let mut t = Table::new(&["ds", "q", "TOSS(2) ×", "TOSS(3) ×"]);
+    for r in &rows {
+        let base = r.tax_recall * r.tax_precision;
+        let fmt = |x: f64| {
+            if base == 0.0 {
+                if x > 0.0 { "∞".to_string() } else { "1.0".to_string() }
+            } else {
+                format!("{:.2}", x / base)
+            }
+        };
+        t.row(vec![
+            r.dataset.to_string(),
+            r.query.to_string(),
+            fmt(r.toss2_recall * r.toss2_precision),
+            fmt(r.toss3_recall * r.toss3_precision),
+        ]);
+    }
+    t.print();
+
+    let out = Fig15 {
+        rows,
+        averages: AveragesOut {
+            tax: a_tax,
+            toss_eps2: a_t2,
+            toss_eps3: a_t3,
+        },
+    };
+    match write_json("fig15", &out) {
+        Ok(p) => println!("\nresults written to {}", p.display()),
+        Err(e) => eprintln!("could not write results: {e}"),
+    }
+}

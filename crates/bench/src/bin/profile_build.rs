@@ -1,0 +1,16 @@
+//! Developer profiling helper: times each pipeline phase at larger scales.
+fn main() {
+    use std::time::Instant;
+    for (papers, cap) in [(4000usize, 1000usize), (16000, 1000), (16000, 300)] {
+        let t0 = Instant::now();
+        let corpus = toss_datagen::corpus::generate(toss_datagen::CorpusConfig::scalability(42, papers));
+        let t_gen = t0.elapsed();
+        let t1 = Instant::now();
+        let sys = toss_bench::build_executor(&corpus, 3.0, cap);
+        let t_build = t1.elapsed();
+        eprintln!("papers={papers} cap={cap}: gen={t_gen:?} build={t_build:?} terms={} bytes={}", sys.ontology_terms, sys.dblp_bytes);
+        let q_t = Instant::now();
+        let out = sys.executor.select(&toss_bench::query_to_toss(&toss_datagen::queries::workload(&corpus, 1, 1)[0]), toss_core::executor::Mode::Toss).unwrap();
+        eprintln!("  sample query: {:?} ({} results)", q_t.elapsed(), out.forest.len());
+    }
+}

@@ -1,0 +1,350 @@
+//! Subcommand implementations.
+
+use crate::args::{tag_value, Args};
+use std::path::Path;
+use std::sync::Arc;
+use toss_core::algebra::TossPattern;
+use toss_core::executor::Mode;
+use toss_core::{
+    enhance_sdb_full, make_ontology, suggest_constraints, Executor, MakerConfig, OesInstance,
+    TossCond, TossOp, TossQuery, TossTerm,
+};
+use toss_lexicon::LexiconBuilder;
+use toss_ontology::persist::{seo_from_json, seo_to_json};
+use toss_similarity::combinators::{MinOf, MultiWordGate};
+use toss_similarity::{Levenshtein, NameRules, StringMetric};
+use toss_tax::EdgeKind;
+use toss_tree::serialize::{tree_to_xml, Style};
+use toss_tree::Forest;
+use toss_xmldb::{storage, Database, DatabaseConfig, XPath};
+
+/// Usage text shown on errors.
+pub const USAGE: &str = "\
+usage:
+  toss-cli load      --db <store.json> --collection <name> <file.xml>…
+  toss-cli xpath     --db <store.json> --collection <name> <query>
+  toss-cli build-seo --db <store.json> --epsilon <e> --out <seo.json>
+                     [--rules <rules.txt>] [--max-terms <n>]
+  toss-cli query     --db <store.json> --seo <seo.json> --collection <name>
+                     --root <tag> [--eq tag=value]… [--contains tag=value]…
+                     [--similar tag=value]… [--below tag=term]… [--tax] [--pretty]
+  toss-cli dot       --seo <seo.json>";
+
+/// The default metric: bibliographic name rules + gated Levenshtein.
+fn default_metric() -> impl StringMetric + Clone {
+    MinOf::new(
+        NameRules::with_costs(3.0, 2.0, 1000.0),
+        MultiWordGate::new(Levenshtein),
+    )
+}
+
+/// Dispatch a full argv (first element = subcommand).
+pub fn run(argv: &[String]) -> Result<(), String> {
+    let (cmd, rest) = argv
+        .split_first()
+        .ok_or_else(|| "no subcommand given".to_string())?;
+    let args = Args::parse(rest)?;
+    match cmd.as_str() {
+        "load" => cmd_load(&args),
+        "xpath" => cmd_xpath(&args),
+        "build-seo" => cmd_build_seo(&args),
+        "query" => cmd_query(&args),
+        "dot" => cmd_dot(&args),
+        other => Err(format!("unknown subcommand `{other}`")),
+    }
+}
+
+fn load_db(path: &str) -> Result<Database, String> {
+    if Path::new(path).exists() {
+        storage::load(Path::new(path)).map_err(|e| e.to_string())
+    } else {
+        Ok(Database::with_config(DatabaseConfig::unlimited()))
+    }
+}
+
+fn cmd_load(args: &Args) -> Result<(), String> {
+    let db_path = args.required("db")?.to_string();
+    let coll_name = args.required("collection")?.to_string();
+    if args.positionals().is_empty() {
+        return Err("no XML files given".into());
+    }
+    let mut db = load_db(&db_path)?;
+    if db.collection(&coll_name).is_err() {
+        db.create_collection(&coll_name).map_err(|e| e.to_string())?;
+    }
+    let mut docs = 0usize;
+    for file in args.positionals() {
+        let xml = std::fs::read_to_string(file).map_err(|e| format!("{file}: {e}"))?;
+        let forest = toss_xmldb::parse_forest(&xml).map_err(|e| format!("{file}: {e}"))?;
+        let coll = db.collection_mut(&coll_name).map_err(|e| e.to_string())?;
+        for t in forest {
+            coll.insert(t).map_err(|e| e.to_string())?;
+            docs += 1;
+        }
+    }
+    storage::save(&db, Path::new(&db_path)).map_err(|e| e.to_string())?;
+    println!(
+        "loaded {docs} document(s) into `{coll_name}`; store now {} bytes across {} collection(s)",
+        db.total_size_bytes(),
+        db.collection_names().len()
+    );
+    Ok(())
+}
+
+fn cmd_xpath(args: &Args) -> Result<(), String> {
+    let db = load_db(args.required("db")?)?;
+    let coll = db
+        .collection(args.required("collection")?)
+        .map_err(|e| e.to_string())?;
+    let [query] = args.positionals() else {
+        return Err("exactly one XPath query expected".into());
+    };
+    let xpath = XPath::parse(query).map_err(|e| e.to_string())?;
+    let matches = xpath.eval_collection(coll);
+    println!("{} match(es)", matches.len());
+    for m in matches.iter().take(50) {
+        let doc = coll.get(m.doc).map_err(|e| e.to_string())?;
+        let sub = doc.tree.extract(m.node).map_err(|e| e.to_string())?;
+        println!("{} {}", m.doc, tree_to_xml(&sub, Style::Compact));
+    }
+    if matches.len() > 50 {
+        println!("… ({} more)", matches.len() - 50);
+    }
+    Ok(())
+}
+
+fn cmd_build_seo(args: &Args) -> Result<(), String> {
+    let db = load_db(args.required("db")?)?;
+    let epsilon: f64 = args
+        .required("epsilon")?
+        .parse()
+        .map_err(|_| "epsilon must be a number".to_string())?;
+    let out_path = args.required("out")?.to_string();
+    let max_terms: usize = match args.one("max-terms")? {
+        Some(v) => v.parse().map_err(|_| "max-terms must be an integer".to_string())?,
+        None => 0,
+    };
+
+    let mut lex_builder = LexiconBuilder::from_base(toss_lexicon::data::bibliographic_lexicon());
+    if let Some(rules_path) = args.one("rules")? {
+        let text = std::fs::read_to_string(rules_path).map_err(|e| e.to_string())?;
+        lex_builder.add_text(&text)?;
+    }
+    let lexicon = lex_builder.build();
+    let cfg = MakerConfig {
+        max_terms_per_tag: max_terms,
+        ..MakerConfig::default()
+    };
+
+    let mut instances = Vec::new();
+    for coll in db.collections() {
+        let forest: Forest = coll.documents().iter().map(|d| d.tree.clone()).collect();
+        let ontology = make_ontology(&forest, &lexicon, &cfg).map_err(|e| e.to_string())?;
+        instances.push(OesInstance::new(coll.name(), forest, ontology));
+    }
+    if instances.is_empty() {
+        return Err("the store has no collections".into());
+    }
+    let mut constraints = Vec::new();
+    for i in 0..instances.len() {
+        for j in i + 1..instances.len() {
+            constraints.extend(suggest_constraints(
+                &instances[i].ontology,
+                i,
+                &instances[j].ontology,
+                j,
+                &lexicon,
+            ));
+        }
+    }
+    let sdb = enhance_sdb_full(&instances, &constraints, &default_metric(), epsilon)
+        .map_err(|e| e.to_string())?;
+    std::fs::write(&out_path, seo_to_json(&sdb.seo)).map_err(|e| e.to_string())?;
+    if let Some(part_of) = &sdb.part_of_seo {
+        let part_path = format!("{out_path}.part-of");
+        std::fs::write(&part_path, seo_to_json(part_of)).map_err(|e| e.to_string())?;
+        println!("part-of SEO written to {part_path}");
+    }
+    println!(
+        "SEO written to {out_path}: {} fused terms, {} enhanced nodes, ε = {epsilon}",
+        sdb.fusion.hierarchy.term_count(),
+        sdb.seo.len()
+    );
+    Ok(())
+}
+
+fn cmd_query(args: &Args) -> Result<(), String> {
+    let db = load_db(args.required("db")?)?;
+    let seo_json = std::fs::read_to_string(args.required("seo")?).map_err(|e| e.to_string())?;
+    let seo = Arc::new(seo_from_json(&seo_json).map_err(|e| e.to_string())?);
+    let collection = args.required("collection")?.to_string();
+    let root = args.required("root")?.to_string();
+
+    // build the condition: root tag + one child per tag=value flag
+    let mut conds = vec![TossCond::eq(TossTerm::tag(1), TossTerm::str(&root))];
+    let mut edges = Vec::new();
+    let mut next_label = 2u32;
+    let add = |flag_values: &[String],
+                   op: TossOp,
+                   conds: &mut Vec<TossCond>,
+                   edges: &mut Vec<EdgeKind>,
+                   next_label: &mut u32|
+     -> Result<(), String> {
+        for tv in flag_values {
+            let (tag, value) = tag_value(tv)?;
+            let l = *next_label;
+            *next_label += 1;
+            edges.push(EdgeKind::ParentChild);
+            conds.push(TossCond::eq(TossTerm::tag(l), TossTerm::str(tag)));
+            let rhs = if matches!(op, TossOp::Below | TossOp::PartOf) {
+                TossTerm::ty(value)
+            } else {
+                TossTerm::str(value)
+            };
+            conds.push(TossCond::cmp(TossTerm::content(l), op, rhs));
+        }
+        Ok(())
+    };
+    add(args.many("eq"), TossOp::Eq, &mut conds, &mut edges, &mut next_label)?;
+    add(args.many("contains"), TossOp::Contains, &mut conds, &mut edges, &mut next_label)?;
+    add(args.many("similar"), TossOp::Similar, &mut conds, &mut edges, &mut next_label)?;
+    add(args.many("below"), TossOp::Below, &mut conds, &mut edges, &mut next_label)?;
+    if edges.is_empty() {
+        return Err("give at least one of --eq/--contains/--similar/--below".into());
+    }
+
+    let pattern = TossPattern::spine(&edges, TossCond::all(conds)).map_err(|e| e.to_string())?;
+    let query = TossQuery {
+        collection,
+        pattern,
+        expand_labels: vec![1],
+    };
+    let executor =
+        Executor::new(db, seo).with_probe_metric(Arc::new(default_metric()));
+    let mode = if args.switch("tax") {
+        Mode::TaxBaseline
+    } else {
+        Mode::Toss
+    };
+    let out = executor.select(&query, mode).map_err(|e| e.to_string())?;
+    println!(
+        "{} answer(s) in {:?} (rewrite {:?}, execute {:?}, convert {:?})",
+        out.forest.len(),
+        out.total_time(),
+        out.rewrite_time,
+        out.execute_time,
+        out.convert_time
+    );
+    println!("xpath: {}", out.xpath);
+    let style = if args.switch("pretty") {
+        Style::Pretty
+    } else {
+        Style::Compact
+    };
+    for t in &out.forest {
+        println!("{}", tree_to_xml(t, style));
+    }
+    Ok(())
+}
+
+fn cmd_dot(args: &Args) -> Result<(), String> {
+    let seo_json = std::fs::read_to_string(args.required("seo")?).map_err(|e| e.to_string())?;
+    let seo = seo_from_json(&seo_json).map_err(|e| e.to_string())?;
+    print!("{}", toss_ontology::dot::seo_to_dot(&seo, "seo"));
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn argv(s: &str) -> Vec<String> {
+        s.split_whitespace().map(str::to_string).collect()
+    }
+
+    fn tmp(name: &str) -> std::path::PathBuf {
+        let dir = std::env::temp_dir().join("toss-cli-tests");
+        std::fs::create_dir_all(&dir).expect("tmp dir");
+        dir.join(name)
+    }
+
+    #[test]
+    fn unknown_subcommand_errors() {
+        assert!(run(&argv("frobnicate")).is_err());
+        assert!(run(&[]).is_err());
+    }
+
+    #[test]
+    fn end_to_end_load_build_query() {
+        let xml_path = tmp("papers.xml");
+        std::fs::write(
+            &xml_path,
+            "<inproceedings><author>Jeff Ullman</author>\
+             <booktitle>SIGMOD Conference</booktitle></inproceedings>\
+             <inproceedings><author>Jeff Ullmann</author>\
+             <booktitle>VLDB</booktitle></inproceedings>",
+        )
+        .expect("write xml");
+        let db_path = tmp("store.json");
+        let seo_path = tmp("seo.json");
+        std::fs::remove_file(&db_path).ok();
+
+        run(&argv(&format!(
+            "load --db {} --collection dblp {}",
+            db_path.display(),
+            xml_path.display()
+        )))
+        .expect("load");
+        run(&argv(&format!(
+            "xpath --db {} --collection dblp //author",
+            db_path.display()
+        )))
+        .expect("xpath");
+        run(&argv(&format!(
+            "build-seo --db {} --epsilon 3 --out {}",
+            db_path.display(),
+            seo_path.display()
+        )))
+        .expect("build-seo");
+        run(&argv(&format!(
+            "query --db {} --seo {} --collection dblp --root inproceedings --similar author=Jeff~Ullman",
+            db_path.display(),
+            seo_path.display()
+        ))
+        .iter()
+        .map(|s| s.replace('~', " "))
+        .collect::<Vec<_>>())
+        .expect("query");
+        run(&argv(&format!("dot --seo {}", seo_path.display()))).expect("dot");
+    }
+
+    #[test]
+    fn query_requires_a_condition() {
+        // missing condition flags must be a clean error (store/seo not read
+        // before validation because required() runs first — so create them)
+        let db_path = tmp("store2.json");
+        let seo_path = tmp("seo2.json");
+        std::fs::remove_file(&db_path).ok();
+        let xml_path = tmp("one.xml");
+        std::fs::write(&xml_path, "<a><b>1</b></a>").expect("write");
+        run(&argv(&format!(
+            "load --db {} --collection c {}",
+            db_path.display(),
+            xml_path.display()
+        )))
+        .expect("load");
+        run(&argv(&format!(
+            "build-seo --db {} --epsilon 1 --out {}",
+            db_path.display(),
+            seo_path.display()
+        )))
+        .expect("build-seo");
+        let e = run(&argv(&format!(
+            "query --db {} --seo {} --collection c --root a",
+            db_path.display(),
+            seo_path.display()
+        )))
+        .unwrap_err();
+        assert!(e.contains("at least one"));
+    }
+}

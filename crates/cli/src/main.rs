@@ -1,0 +1,29 @@
+//! `toss-cli` — a command-line front end for the TOSS system.
+//!
+//! ```text
+//! toss-cli load  --db store.json --collection dblp file1.xml [file2.xml …]
+//! toss-cli xpath --db store.json --collection dblp "<xpath>"
+//! toss-cli build-seo --db store.json --epsilon 3 --out seo.json [--rules rules.txt]
+//! toss-cli query --db store.json --seo seo.json --collection dblp \
+//!       --root inproceedings [--eq tag=value] [--contains tag=value] \
+//!       [--similar tag=value] [--below tag=term] [--tax]
+//! toss-cli dot --seo seo.json
+//! ```
+
+mod args;
+mod commands;
+
+use std::process::ExitCode;
+
+fn main() -> ExitCode {
+    let argv: Vec<String> = std::env::args().skip(1).collect();
+    match commands::run(&argv) {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(e) => {
+            eprintln!("error: {e}");
+            eprintln!();
+            eprintln!("{}", commands::USAGE);
+            ExitCode::FAILURE
+        }
+    }
+}

@@ -1,0 +1,177 @@
+//! The Similarity Enhancer (Section 3, component 2).
+//!
+//! Fuses the per-instance ontologies under interoperation constraints
+//! into one hierarchy (Section 4.2), then runs the SEA algorithm
+//! (Section 4.3) with a pluggable similarity measure and threshold ε,
+//! producing the single similarity enhanced (fused) ontology the Query
+//! Executor precomputes and every algebra operator consults.
+
+use crate::error::TossResult;
+use crate::oes::OesInstance;
+use std::sync::Arc;
+use toss_ontology::{fuse, Constraint, Fusion, Seo};
+use toss_similarity::StringMetric;
+
+/// The SDB-level similarity enhanced ontology: the fusion of the isa
+/// hierarchies and its SEA enhancement.
+#[derive(Debug, Clone)]
+pub struct SdbSeo {
+    /// The canonical fusion (with witnesses ψᵢ) of the isa hierarchies.
+    pub fusion: Fusion,
+    /// The similarity enhancement of the fused isa hierarchy.
+    pub seo: Arc<Seo>,
+    /// The similarity enhancement of the fused *part-of* hierarchy, when
+    /// built via [`enhance_sdb_full`] (the Section-5 multi-hierarchy
+    /// extension).
+    pub part_of_seo: Option<Arc<Seo>>,
+}
+
+/// Fuse the instances' isa ontologies and enhance with similarity.
+///
+/// `constraints` are interoperation constraints between the instances'
+/// isa hierarchies, indexed in instance order (use
+/// [`crate::maker::suggest_constraints`] to derive them).
+pub fn enhance_sdb<M: StringMetric>(
+    instances: &[OesInstance],
+    constraints: &[Constraint],
+    metric: &M,
+    epsilon: f64,
+) -> TossResult<SdbSeo> {
+    let hierarchies: Vec<_> = instances
+        .iter()
+        .map(|i| i.ontology.isa().clone())
+        .collect();
+    // constraints may mention terms from other hierarchies (e.g. part-of
+    // tags like confYear); only those whose endpoints exist in the isa
+    // hierarchies participate in the isa fusion
+    let constraints: Vec<Constraint> = constraints
+        .iter()
+        .filter(|c| {
+            let (a, b) = c.endpoints();
+            let has = |tr: &toss_ontology::TermRef| {
+                hierarchies
+                    .get(tr.source)
+                    .is_some_and(|h| h.node_of(&tr.term).is_some())
+            };
+            has(a) && has(b)
+        })
+        .cloned()
+        .collect();
+    let fusion = fuse(&hierarchies, &constraints)?;
+    let seo = toss_ontology::enhance(&fusion.hierarchy, metric, epsilon)?;
+    Ok(SdbSeo {
+        fusion,
+        seo: Arc::new(seo),
+        part_of_seo: None,
+    })
+}
+
+/// Like [`enhance_sdb`] but also fuses and enhances the instances'
+/// *part-of* hierarchies, enabling `part_of` conditions in the algebra.
+/// Part-of constraints are filtered from the same constraint list by
+/// endpoint membership, exactly like isa constraints.
+pub fn enhance_sdb_full<M: StringMetric>(
+    instances: &[OesInstance],
+    constraints: &[Constraint],
+    metric: &M,
+    epsilon: f64,
+) -> TossResult<SdbSeo> {
+    let mut out = enhance_sdb(instances, constraints, metric, epsilon)?;
+    let hierarchies: Vec<_> = instances
+        .iter()
+        .map(|i| i.ontology.part_of().clone())
+        .collect();
+    let constraints: Vec<Constraint> = constraints
+        .iter()
+        .filter(|c| {
+            let (a, b) = c.endpoints();
+            let has = |tr: &toss_ontology::TermRef| {
+                hierarchies
+                    .get(tr.source)
+                    .is_some_and(|h| h.node_of(&tr.term).is_some())
+            };
+            has(a) && has(b)
+        })
+        .cloned()
+        .collect();
+    let fusion = fuse(&hierarchies, &constraints)?;
+    let seo = toss_ontology::enhance(&fusion.hierarchy, metric, epsilon)?;
+    out.part_of_seo = Some(Arc::new(seo));
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::maker::{make_ontology, suggest_constraints, MakerConfig};
+    use toss_lexicon::data::bibliographic_lexicon;
+    use toss_similarity::Levenshtein;
+    use toss_tree::{Forest, TreeBuilder};
+
+    fn instances() -> Vec<OesInstance> {
+        let lex = bibliographic_lexicon();
+        let cfg = MakerConfig::default();
+        let dblp = Forest::from_trees(vec![TreeBuilder::new("inproceedings")
+            .leaf("author", "Jeff Ullmann")
+            .leaf("booktitle", "SIGMOD Conference")
+            .build()]);
+        let sigmod = Forest::from_trees(vec![TreeBuilder::new("article")
+            .leaf("author", "Jeff Ullman")
+            .leaf("conference", "SIGMOD Conference")
+            .build()]);
+        let o1 = make_ontology(&dblp, &lex, &cfg).unwrap();
+        let o2 = make_ontology(&sigmod, &lex, &cfg).unwrap();
+        vec![
+            OesInstance::new("dblp", dblp, o1),
+            OesInstance::new("sigmod", sigmod, o2),
+        ]
+    }
+
+    #[test]
+    fn end_to_end_enhancement() {
+        let insts = instances();
+        let lex = bibliographic_lexicon();
+        let cs = suggest_constraints(&insts[0].ontology, 0, &insts[1].ontology, 1, &lex);
+        let sdb = enhance_sdb(&insts, &cs, &Levenshtein, 2.0).unwrap();
+        // the two author spellings (1 edit apart) are similar in the SEO
+        assert!(sdb.seo.similar("Jeff Ullmann", "Jeff Ullman"));
+        // the fused ontology knows both instances' venue paths
+        assert!(sdb.seo.leq_terms("SIGMOD Conference", "conference"));
+        // ordering survives enhancement
+        assert!(sdb.seo.leq_terms("SIGMOD Conference", "venue"));
+    }
+
+    #[test]
+    fn epsilon_zero_keeps_variants_apart() {
+        let insts = instances();
+        let sdb = enhance_sdb(&insts, &[], &Levenshtein, 0.0).unwrap();
+        assert!(!sdb.seo.similar("Jeff Ullmann", "Jeff Ullman"));
+    }
+
+    #[test]
+    fn full_enhancement_includes_part_of() {
+        let insts = instances();
+        let lex = bibliographic_lexicon();
+        let cs = suggest_constraints(&insts[0].ontology, 0, &insts[1].ontology, 1, &lex);
+        let sdb = enhance_sdb_full(&insts, &cs, &Levenshtein, 1.0).unwrap();
+        let part_of = sdb.part_of_seo.expect("full variant builds part-of");
+        // structural part-of: author under both roots
+        assert!(part_of.leq_terms("author", "inproceedings"));
+        assert!(part_of.leq_terms("author", "article"));
+        // tag-synonym constraints hold in the part-of fusion too:
+        // booktitle:0 = conference:1 puts conference below inproceedings
+        assert!(part_of.leq_terms("conference", "inproceedings"));
+    }
+
+    #[test]
+    fn fusion_witnesses_cover_both_instances() {
+        let insts = instances();
+        let sdb = enhance_sdb(&insts, &[], &Levenshtein, 1.0).unwrap();
+        assert_eq!(sdb.fusion.witness.len(), 2);
+        for (i, inst) in insts.iter().enumerate() {
+            for n in inst.ontology.isa().nodes() {
+                assert!(sdb.fusion.image(i, n).is_some());
+            }
+        }
+    }
+}

@@ -1,0 +1,82 @@
+//! Errors for the TOSS layer.
+
+use std::fmt;
+
+/// Errors raised by TOSS components.
+#[derive(Debug, Clone, PartialEq)]
+pub enum TossError {
+    /// A condition is not well-typed (no least common supertype or
+    /// missing conversion functions).
+    IllTyped(String),
+    /// A conversion-function registration violated the Section-5 closure
+    /// constraints.
+    BadConversion(String),
+    /// An ontology operation failed.
+    Ontology(toss_ontology::OntologyError),
+    /// A TAX operation failed.
+    Tax(toss_tax::TaxError),
+    /// A database operation failed.
+    Db(toss_xmldb::DbError),
+    /// The executor was asked to compile a query shape it does not
+    /// support (the paper's rewriter likewise targets the experiment's
+    /// query shapes).
+    Unsupported(String),
+}
+
+impl fmt::Display for TossError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            TossError::IllTyped(m) => write!(f, "ill-typed condition: {m}"),
+            TossError::BadConversion(m) => write!(f, "bad conversion function: {m}"),
+            TossError::Ontology(e) => write!(f, "ontology error: {e}"),
+            TossError::Tax(e) => write!(f, "tax error: {e}"),
+            TossError::Db(e) => write!(f, "database error: {e}"),
+            TossError::Unsupported(m) => write!(f, "unsupported query shape: {m}"),
+        }
+    }
+}
+
+impl std::error::Error for TossError {}
+
+impl From<toss_ontology::OntologyError> for TossError {
+    fn from(e: toss_ontology::OntologyError) -> Self {
+        TossError::Ontology(e)
+    }
+}
+
+impl From<toss_tax::TaxError> for TossError {
+    fn from(e: toss_tax::TaxError) -> Self {
+        TossError::Tax(e)
+    }
+}
+
+impl From<toss_xmldb::DbError> for TossError {
+    fn from(e: toss_xmldb::DbError) -> Self {
+        TossError::Db(e)
+    }
+}
+
+impl From<toss_tree::TreeError> for TossError {
+    fn from(e: toss_tree::TreeError) -> Self {
+        TossError::Tax(toss_tax::TaxError::Tree(e))
+    }
+}
+
+/// Result alias for TOSS operations.
+pub type TossResult<T> = Result<T, TossError>;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn conversions_from_substrate_errors() {
+        let e: TossError = toss_tax::TaxError::DuplicateLabel(1).into();
+        assert!(e.to_string().contains("tax error"));
+        let e: TossError = toss_xmldb::DbError::NoSuchCollection("x".into()).into();
+        assert!(e.to_string().contains("database error"));
+        let e: TossError =
+            toss_ontology::OntologyError::UnknownTerm("t".into()).into();
+        assert!(e.to_string().contains("ontology error"));
+    }
+}

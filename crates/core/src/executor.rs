@@ -1,0 +1,585 @@
+//! The Query Executor (Section 3, component 3; timed in Section 6).
+//!
+//! The executor owns the document store (`toss-xmldb`, standing in for
+//! Xindice), the precomputed SEO, the type hierarchy and conversions. A
+//! selection runs in the paper's three timed phases:
+//!
+//! 1. **rewrite** — expand the TOSS condition through the SEO and compile
+//!    the pattern tree into an XPath query;
+//! 2. **execute** — evaluate the XPath against the collection;
+//! 3. **convert** — parse the matched subtrees back into TAX witness
+//!    trees (a local selection pass that also applies any conjuncts the
+//!    XPath fragment could not express, so results are exact).
+//!
+//! Joins retrieve each side by XPath, then run the product + selection
+//! locally — mirroring the paper's observation that Xindice returns
+//! intermediate results which "our code" then combines.
+
+use crate::algebra::TossPattern;
+use crate::convert::Conversions;
+use crate::error::{TossError, TossResult};
+use crate::expand::ExpandCtx;
+use crate::rewrite::compile_xpath;
+use crate::typesys::TypeHierarchy;
+use std::collections::BTreeSet;
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+use toss_ontology::Seo;
+use toss_tax::PatternTree;
+use toss_tree::Forest;
+use toss_xmldb::{Database, NodeRef, XPath};
+
+/// Which semantics to execute a query under.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Mode {
+    /// Full TOSS semantics through the SEO.
+    Toss,
+    /// The paper's TAX baseline: exact match for `~`, `contains` for isa.
+    TaxBaseline,
+}
+
+/// A TOSS selection query against one collection.
+#[derive(Debug, Clone)]
+pub struct TossQuery {
+    /// Collection to query.
+    pub collection: String,
+    /// The pattern (structure + TOSS condition).
+    pub pattern: TossPattern,
+    /// Labels whose images contribute their descendant cones (`SL`).
+    pub expand_labels: Vec<u32>,
+}
+
+/// A query result with the paper's phase timings.
+#[derive(Debug, Clone)]
+pub struct QueryOutcome {
+    /// The witness trees.
+    pub forest: Forest,
+    /// The XPath the rewriter produced.
+    pub xpath: String,
+    /// Phase 1: pattern parse + rewrite time.
+    pub rewrite_time: Duration,
+    /// Phase 2: XPath execution time in the store.
+    pub execute_time: Duration,
+    /// Phase 3: result parse-back / witness construction time.
+    pub convert_time: Duration,
+}
+
+impl QueryOutcome {
+    /// Total wall time across the three phases.
+    pub fn total_time(&self) -> Duration {
+        self.rewrite_time + self.execute_time + self.convert_time
+    }
+}
+
+/// The TOSS Query Executor.
+pub struct Executor {
+    /// The document store.
+    pub db: Database,
+    /// The precomputed similarity enhanced (fused) ontology.
+    pub seo: Arc<Seo>,
+    /// Type hierarchy for typed-value comparisons.
+    pub hierarchy: TypeHierarchy,
+    /// Conversion functions.
+    pub conversions: Conversions,
+    /// Metric for on-the-fly probe expansion of `~` constants that are
+    /// not ontology terms (None = known terms only).
+    pub probe_metric: Option<Arc<dyn toss_similarity::StringMetric>>,
+    /// Optional part-of SEO enabling `part_of` conditions.
+    pub part_of_seo: Option<Arc<Seo>>,
+}
+
+impl Executor {
+    /// Build an executor over a store and a precomputed SEO.
+    pub fn new(db: Database, seo: Arc<Seo>) -> Self {
+        Executor {
+            db,
+            seo,
+            hierarchy: TypeHierarchy::new(),
+            conversions: Conversions::new(),
+            probe_metric: None,
+            part_of_seo: None,
+        }
+    }
+
+    /// Set the part-of SEO (builder style).
+    pub fn with_part_of(mut self, seo: Arc<Seo>) -> Self {
+        self.part_of_seo = Some(seo);
+        self
+    }
+
+    /// Set the probe metric (builder style).
+    pub fn with_probe_metric(
+        mut self,
+        metric: Arc<dyn toss_similarity::StringMetric>,
+    ) -> Self {
+        self.probe_metric = Some(metric);
+        self
+    }
+
+    fn ctx(&self) -> ExpandCtx<'_> {
+        ExpandCtx {
+            seo: &self.seo,
+            hierarchy: &self.hierarchy,
+            conversions: &self.conversions,
+            probe_metric: self.probe_metric.as_deref(),
+            part_of: self.part_of_seo.as_deref(),
+        }
+    }
+
+    fn compile(&self, pattern: &TossPattern, mode: Mode) -> TossResult<PatternTree> {
+        match mode {
+            Mode::Toss => pattern.compile(self.ctx()),
+            Mode::TaxBaseline => pattern.compile_baseline(),
+        }
+    }
+
+    /// Execute a selection query.
+    pub fn select(&self, query: &TossQuery, mode: Mode) -> TossResult<QueryOutcome> {
+        // phase 1: rewrite
+        let t0 = Instant::now();
+        let compiled = self.compile(&query.pattern, mode)?;
+        let xpath_src = compile_xpath(&compiled)?;
+        let xpath = XPath::parse(&xpath_src)?;
+        let rewrite_time = t0.elapsed();
+
+        // phase 2: execute against the store
+        let t1 = Instant::now();
+        let coll = self.db.collection(&query.collection)?;
+        let matches: Vec<NodeRef> = xpath.eval_collection(coll);
+        let execute_time = t1.elapsed();
+
+        // phase 3: convert matched documents back to witness trees
+        let t2 = Instant::now();
+        let docs: BTreeSet<_> = matches.iter().map(|m| m.doc).collect();
+        let mut candidate = Forest::new();
+        for doc in docs {
+            candidate.push(coll.get(doc)?.tree.clone());
+        }
+        let forest = toss_tax::select(&candidate, &compiled, &query.expand_labels)?;
+        let convert_time = t2.elapsed();
+
+        Ok(QueryOutcome {
+            forest,
+            xpath: xpath_src,
+            rewrite_time,
+            execute_time,
+            convert_time,
+        })
+    }
+
+    /// Execute a projection π_{P, PL}: XPath retrieval as in
+    /// [`Executor::select`], then the local TAX projection keeps the
+    /// matched nodes of the projection list (with subtrees where
+    /// requested) and their hierarchical relationships.
+    pub fn project(
+        &self,
+        query: &TossQuery,
+        list: &[toss_tax::ProjectEntry],
+        mode: Mode,
+    ) -> TossResult<QueryOutcome> {
+        let t0 = Instant::now();
+        let compiled = self.compile(&query.pattern, mode)?;
+        let xpath_src = compile_xpath(&compiled)?;
+        let xpath = XPath::parse(&xpath_src)?;
+        let rewrite_time = t0.elapsed();
+
+        let t1 = Instant::now();
+        let coll = self.db.collection(&query.collection)?;
+        let matches: Vec<NodeRef> = xpath.eval_collection(coll);
+        let execute_time = t1.elapsed();
+
+        let t2 = Instant::now();
+        let docs: BTreeSet<_> = matches.iter().map(|m| m.doc).collect();
+        let mut candidate = Forest::new();
+        for doc in docs {
+            candidate.push(coll.get(doc)?.tree.clone());
+        }
+        let forest = toss_tax::project(&candidate, &compiled, list)?;
+        let convert_time = t2.elapsed();
+
+        Ok(QueryOutcome {
+            forest,
+            xpath: xpath_src,
+            rewrite_time,
+            execute_time,
+            convert_time,
+        })
+    }
+
+    /// Execute a join: retrieve each side by its own XPath, then product
+    /// + select locally with the cross condition.
+    ///
+    /// `left`/`right` select the sides; `cross` is a pattern over the
+    /// product (root = `tax_prod_root`) whose condition may reference
+    /// labels bound on both sides.
+    pub fn join(
+        &self,
+        left: &TossQuery,
+        right: &TossQuery,
+        cross: &TossPattern,
+        expand_labels: &[u32],
+        mode: Mode,
+    ) -> TossResult<QueryOutcome> {
+        let l = self.select(left, mode)?;
+        let r = self.select(right, mode)?;
+
+        let t0 = Instant::now();
+        let compiled_cross = self.compile(cross, mode)?;
+        let rewrite_time = l.rewrite_time + r.rewrite_time + t0.elapsed();
+
+        let t1 = Instant::now();
+        let joined =
+            toss_tax::join(&l.forest, &r.forest, &compiled_cross, expand_labels)?;
+        let convert_time = l.convert_time + r.convert_time + t1.elapsed();
+
+        Ok(QueryOutcome {
+            forest: joined,
+            xpath: format!("{} ⋈ {}", l.xpath, r.xpath),
+            rewrite_time,
+            execute_time: l.execute_time + r.execute_time,
+            convert_time,
+        })
+    }
+
+    /// Execute a keyed similarity join (the Figure-16(b) shape: tag
+    /// conditions select each side, one `~` condition relates one keyed
+    /// leaf per side). Retrieval runs through the store; the join itself
+    /// is a similarity hash-join over the SEO ([`crate::algebra::similarity_hash_join`]).
+    /// Under [`Mode::TaxBaseline`] keys must match exactly (the SEO
+    /// classes are ignored), per the paper's baseline protocol.
+    pub fn join_similarity(
+        &self,
+        left: &TossQuery,
+        right: &TossQuery,
+        left_key: &crate::algebra::JoinKey,
+        right_key: &crate::algebra::JoinKey,
+        mode: Mode,
+    ) -> TossResult<QueryOutcome> {
+        use crate::oes::SeoInstance;
+        let l = self.select(left, mode)?;
+        let r = self.select(right, mode)?;
+        let t0 = Instant::now();
+        let joined = match mode {
+            Mode::Toss => crate::algebra::similarity_hash_join(
+                &SeoInstance::new(l.forest, self.seo.clone()),
+                &SeoInstance::new(r.forest, self.seo.clone()),
+                left_key,
+                right_key,
+            )?,
+            Mode::TaxBaseline => {
+                // exact-match hash join: an empty SEO leaves only the
+                // identical-string buckets
+                let empty = Arc::new(toss_ontology::enhance(
+                    &toss_ontology::Hierarchy::new(),
+                    &toss_similarity::Levenshtein,
+                    0.0,
+                )?);
+                crate::algebra::similarity_hash_join(
+                    &SeoInstance::new(l.forest, empty.clone()),
+                    &SeoInstance::new(r.forest, empty),
+                    left_key,
+                    right_key,
+                )?
+            }
+        };
+        let convert_time = l.convert_time + r.convert_time + t0.elapsed();
+        Ok(QueryOutcome {
+            forest: joined.forest,
+            xpath: format!("{} ⋈~ {}", l.xpath, r.xpath),
+            rewrite_time: l.rewrite_time + r.rewrite_time,
+            execute_time: l.execute_time + r.execute_time,
+            convert_time,
+        })
+    }
+
+    /// Convenience: run a selection purely in memory over a forest
+    /// (bypassing the store) — used by tests to cross-check the executor
+    /// against the direct algebra path.
+    pub fn select_in_memory(
+        &self,
+        forest: &Forest,
+        pattern: &TossPattern,
+        expand_labels: &[u32],
+        mode: Mode,
+    ) -> TossResult<Forest> {
+        let compiled = self.compile(pattern, mode)?;
+        toss_tax::select(forest, &compiled, expand_labels).map_err(TossError::from)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::condition::{TossCond, TossTerm};
+    use toss_ontology::hierarchy::from_pairs;
+    use toss_ontology::sea::enhance;
+    use toss_similarity::Levenshtein;
+    use toss_tax::EdgeKind;
+    use toss_xmldb::DatabaseConfig;
+
+    fn setup() -> Executor {
+        let mut db = Database::with_config(DatabaseConfig::unlimited());
+        let c = db.create_collection("dblp").unwrap();
+        c.insert_xml(
+            "<inproceedings key=\"p0\"><author>Jeff Ullmann</author>\
+             <booktitle>SIGMOD Conference</booktitle><year>1999</year></inproceedings>",
+        )
+        .unwrap();
+        c.insert_xml(
+            "<inproceedings key=\"p1\"><author>Jeff Ullman</author>\
+             <booktitle>VLDB</booktitle><year>2000</year></inproceedings>",
+        )
+        .unwrap();
+        c.insert_xml(
+            "<inproceedings key=\"p2\"><author>E. Codd</author>\
+             <booktitle>TODS</booktitle><year>1980</year></inproceedings>",
+        )
+        .unwrap();
+        let h = from_pairs(&[
+            ("SIGMOD Conference", "conference"),
+            ("VLDB", "conference"),
+            ("TODS", "periodical"),
+            ("conference", "venue"),
+            ("periodical", "venue"),
+            ("Jeff Ullmann", "author"),
+            ("Jeff Ullman", "author"),
+            ("E. Codd", "author"),
+        ])
+        .unwrap();
+        let seo = Arc::new(enhance(&h, &Levenshtein, 1.0).unwrap());
+        Executor::new(db, seo)
+    }
+
+    fn author_query(probe: &str) -> TossQuery {
+        TossQuery {
+            collection: "dblp".into(),
+            pattern: TossPattern::spine(
+                &[EdgeKind::ParentChild],
+                TossCond::all(vec![
+                    TossCond::eq(TossTerm::tag(1), TossTerm::str("inproceedings")),
+                    TossCond::eq(TossTerm::tag(2), TossTerm::str("author")),
+                    TossCond::similar(TossTerm::content(2), TossTerm::str(probe)),
+                ]),
+            )
+            .unwrap(),
+            expand_labels: vec![1],
+        }
+    }
+
+    fn venue_query(target: &str) -> TossQuery {
+        TossQuery {
+            collection: "dblp".into(),
+            pattern: TossPattern::spine(
+                &[EdgeKind::ParentChild],
+                TossCond::all(vec![
+                    TossCond::eq(TossTerm::tag(1), TossTerm::str("inproceedings")),
+                    TossCond::eq(TossTerm::tag(2), TossTerm::str("booktitle")),
+                    TossCond::below(TossTerm::content(2), TossTerm::ty(target)),
+                ]),
+            )
+            .unwrap(),
+            expand_labels: vec![1],
+        }
+    }
+
+    #[test]
+    fn toss_similarity_select_beats_baseline() {
+        let ex = setup();
+        let toss = ex.select(&author_query("Jeff Ullmann"), Mode::Toss).unwrap();
+        assert_eq!(toss.forest.len(), 2); // both Ullmann spellings
+        let tax = ex
+            .select(&author_query("Jeff Ullmann"), Mode::TaxBaseline)
+            .unwrap();
+        assert_eq!(tax.forest.len(), 1);
+    }
+
+    #[test]
+    fn isa_select_through_store() {
+        let ex = setup();
+        let conf = ex.select(&venue_query("conference"), Mode::Toss).unwrap();
+        assert_eq!(conf.forest.len(), 2);
+        let venue = ex.select(&venue_query("venue"), Mode::Toss).unwrap();
+        assert_eq!(venue.forest.len(), 3);
+        // baseline: contains("conference") matches only the SIGMOD record
+        let base = ex
+            .select(&venue_query("conference"), Mode::TaxBaseline)
+            .unwrap();
+        assert_eq!(base.forest.len(), 0); // "SIGMOD Conference" ≠ contains "conference" (case)
+    }
+
+    #[test]
+    fn phases_are_timed_and_xpath_recorded() {
+        let ex = setup();
+        let out = ex.select(&venue_query("conference"), Mode::Toss).unwrap();
+        assert!(out.xpath.starts_with("//inproceedings[booktitle["));
+        assert!(out.total_time() >= out.execute_time);
+    }
+
+    #[test]
+    fn executor_matches_in_memory_path() {
+        let ex = setup();
+        let q = author_query("Jeff Ullmann");
+        let via_store = ex.select(&q, Mode::Toss).unwrap().forest;
+        // collect the same docs as a forest
+        let coll = ex.db.collection("dblp").unwrap();
+        let forest: Forest = coll.documents().iter().map(|d| d.tree.clone()).collect();
+        let in_mem = ex
+            .select_in_memory(&forest, &q.pattern, &q.expand_labels, Mode::Toss)
+            .unwrap();
+        assert_eq!(via_store.len(), in_mem.len());
+        for t in &via_store {
+            assert!(in_mem.contains_tree(t));
+        }
+    }
+
+    #[test]
+    fn join_with_similarity_on_authors() {
+        let mut ex = setup();
+        // second collection with one author variant
+        {
+            let c = ex.db.create_collection("sigmod").unwrap();
+            c.insert_xml(
+                "<article><author>Jeff Ullman</author>\
+                 <conference>ACM SIGMOD</conference></article>",
+            )
+            .unwrap();
+        }
+        let left = TossQuery {
+            collection: "dblp".into(),
+            pattern: TossPattern::spine(
+                &[EdgeKind::ParentChild],
+                TossCond::all(vec![
+                    TossCond::eq(TossTerm::tag(1), TossTerm::str("inproceedings")),
+                    TossCond::eq(TossTerm::tag(2), TossTerm::str("author")),
+                ]),
+            )
+            .unwrap(),
+            expand_labels: vec![1],
+        };
+        let right = TossQuery {
+            collection: "sigmod".into(),
+            pattern: TossPattern::spine(
+                &[EdgeKind::ParentChild],
+                TossCond::all(vec![
+                    TossCond::eq(TossTerm::tag(1), TossTerm::str("article")),
+                    TossCond::eq(TossTerm::tag(2), TossTerm::str("author")),
+                ]),
+            )
+            .unwrap(),
+            expand_labels: vec![1],
+        };
+        let mut cross_structure = PatternTree::new(1);
+        let root = cross_structure.root();
+        cross_structure
+            .add_child(root, 2, EdgeKind::AncestorDescendant)
+            .unwrap();
+        cross_structure
+            .add_child(root, 3, EdgeKind::AncestorDescendant)
+            .unwrap();
+        let cross = TossPattern {
+            structure: cross_structure,
+            condition: TossCond::all(vec![
+                TossCond::eq(TossTerm::tag(1), TossTerm::str(toss_tax::ops::PROD_ROOT_TAG)),
+                TossCond::eq(TossTerm::tag(2), TossTerm::str("author")),
+                TossCond::eq(TossTerm::tag(3), TossTerm::str("author")),
+                TossCond::similar(TossTerm::content(2), TossTerm::content(3)),
+            ]),
+        };
+        let toss = ex.join(&left, &right, &cross, &[], Mode::Toss).unwrap();
+        // both dblp Ullmann papers join the single sigmod record
+        assert!(toss.forest.len() >= 2, "got {}", toss.forest.len());
+        let tax = ex.join(&left, &right, &cross, &[], Mode::TaxBaseline).unwrap();
+        assert!(tax.forest.len() < toss.forest.len());
+    }
+
+    #[test]
+    fn missing_collection_errors() {
+        let ex = setup();
+        let mut q = venue_query("venue");
+        q.collection = "nope".into();
+        assert!(matches!(
+            ex.select(&q, Mode::Toss),
+            Err(TossError::Db(_))
+        ));
+    }
+
+    #[test]
+    fn projection_through_executor() {
+        // authors of conference papers — Example 5's shape with an isa
+        // condition
+        let ex = setup();
+        let q = TossQuery {
+            collection: "dblp".into(),
+            pattern: TossPattern::spine(
+                &[EdgeKind::ParentChild, EdgeKind::ParentChild],
+                TossCond::all(vec![
+                    TossCond::eq(TossTerm::tag(1), TossTerm::str("inproceedings")),
+                    TossCond::eq(TossTerm::tag(2), TossTerm::str("author")),
+                    TossCond::eq(TossTerm::tag(3), TossTerm::str("booktitle")),
+                    TossCond::below(TossTerm::content(3), TossTerm::ty("conference")),
+                ]),
+            )
+            .unwrap(),
+            expand_labels: vec![],
+        };
+        let out = ex
+            .project(&q, &[toss_tax::ProjectEntry::subtree(2)], Mode::Toss)
+            .unwrap();
+        let authors: Vec<String> = out
+            .forest
+            .iter()
+            .map(|t| t.data(t.root().unwrap()).unwrap().content_str())
+            .collect();
+        assert_eq!(authors.len(), 2); // the two Ullmann conference papers
+        assert!(authors.iter().all(|a| a.contains("Ullman")));
+    }
+
+    #[test]
+    fn part_of_condition_through_executor() {
+        // Example 12's shape: a wildcard node whose *tag* is part of
+        // inproceedings and whose content mentions Microsoft
+        let mut ex = setup();
+        {
+            let c = ex.db.collection_mut("dblp").unwrap();
+            c.insert_xml(
+                "<inproceedings key=\"p3\"><author>Surajit Chaudhuri</author>\
+                 <title>Index Tool for Microsoft SQL Server</title>\
+                 <booktitle>SIGMOD Conference</booktitle></inproceedings>",
+            )
+            .unwrap();
+        }
+        let part_of = from_pairs(&[
+            ("author", "inproceedings"),
+            ("title", "inproceedings"),
+            ("booktitle", "inproceedings"),
+            ("year", "inproceedings"),
+        ])
+        .unwrap();
+        ex = ex.with_part_of(Arc::new(enhance(&part_of, &Levenshtein, 0.0).unwrap()));
+        let q = TossQuery {
+            collection: "dblp".into(),
+            pattern: TossPattern::spine(
+                &[EdgeKind::AncestorDescendant],
+                TossCond::all(vec![
+                    TossCond::eq(TossTerm::tag(1), TossTerm::str("inproceedings")),
+                    TossCond::part_of(TossTerm::tag(2), TossTerm::ty("inproceedings")),
+                    TossCond::cmp(
+                        TossTerm::content(2),
+                        crate::TossOp::Contains,
+                        TossTerm::str("Microsoft"),
+                    ),
+                ]),
+            )
+            .unwrap(),
+            expand_labels: vec![1],
+        };
+        let out = ex.select(&q, Mode::Toss).unwrap();
+        assert_eq!(out.forest.len(), 1);
+        // without the part-of SEO the condition is unsupported
+        let bare = setup();
+        assert!(matches!(
+            bare.select(&q, Mode::Toss),
+            Err(TossError::Unsupported(_))
+        ));
+    }
+}

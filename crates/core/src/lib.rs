@@ -1,0 +1,54 @@
+//! # toss-core — the TOSS system
+//!
+//! The paper's primary contribution (Sections 3, 5 and 6), assembled from
+//! the substrate crates:
+//!
+//! * [`typesys`] / [`convert`] — type hierarchies and conversion functions
+//!   with the Section-5 closure constraints (identity, composition
+//!   consistency, `τ₁ ≤_H τ₂ ⇒` a conversion exists).
+//! * [`oes`] — ontology-extended and SEO semistructured instances.
+//! * [`condition`] — TOSS selection conditions: TAX's comparisons plus
+//!   `~` (similarTo), `instance_of`, `subtype_of`, `above` and `below`,
+//!   with well-typedness checking.
+//! * [`expand`] — the semantic-rewrite core: a TOSS condition plus an SEO
+//!   becomes a plain TAX condition whose `~`/`isa` atoms are expanded into
+//!   disjunctions over the SEO's term sets. This is exactly the paper's
+//!   strategy ("transforms a user query into a query that takes the
+//!   single similarity enhanced ontology into account").
+//! * [`algebra`] — the TOSS operators σ, π, ×, join, ∪, ∩, −, delegating
+//!   to TAX after expansion (Proposition 1's closure holds by
+//!   construction).
+//! * [`maker`] — the Ontology Maker: mines tag structure and content
+//!   terms from XML instances, consults the lexicon, and emits
+//!   interoperation constraints between instances.
+//! * [`enhancer`] — the Similarity Enhancer: fuses the per-instance
+//!   ontologies and runs the SEA algorithm to produce the single SEO.
+//! * [`executor`] / [`rewrite`] — the Query Executor: compiles TOSS
+//!   selections into XPath against the `toss-xmldb` store, executes them,
+//!   and converts results back into TAX witness trees, reporting the
+//!   paper's three timed phases.
+//! * [`mod@quality`] — precision, recall and quality = √(precision · recall).
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod algebra;
+pub mod condition;
+pub mod convert;
+pub mod enhancer;
+pub mod error;
+pub mod executor;
+pub mod expand;
+pub mod maker;
+pub mod oes;
+pub mod quality;
+pub mod rewrite;
+pub mod typesys;
+
+pub use condition::{TossCond, TossOp, TossTerm};
+pub use enhancer::{enhance_sdb, enhance_sdb_full, SdbSeo};
+pub use error::{TossError, TossResult};
+pub use executor::{Executor, QueryOutcome, TossQuery};
+pub use maker::{make_ontology, suggest_constraints, MakerConfig};
+pub use oes::{OesInstance, SeoInstance};
+pub use quality::{precision, quality, recall};

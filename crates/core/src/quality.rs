@@ -1,0 +1,133 @@
+//! Answer quality metrics (Section 1, footnotes 1–2, and the paper's
+//! reference \[14\]):
+//! precision, recall and quality = √(precision · recall).
+
+use std::collections::BTreeSet;
+
+/// Precision: correct returned / returned. An empty answer set has
+/// precision 1.0 by the usual convention (no wrong answers were given).
+pub fn precision<T: Ord>(returned: &BTreeSet<T>, correct: &BTreeSet<T>) -> f64 {
+    if returned.is_empty() {
+        return 1.0;
+    }
+    returned.intersection(correct).count() as f64 / returned.len() as f64
+}
+
+/// Recall: correct returned / total correct. When nothing is correct,
+/// recall is 1.0 (there was nothing to find).
+pub fn recall<T: Ord>(returned: &BTreeSet<T>, correct: &BTreeSet<T>) -> f64 {
+    if correct.is_empty() {
+        return 1.0;
+    }
+    returned.intersection(correct).count() as f64 / correct.len() as f64
+}
+
+/// Quality = √(precision · recall) — the paper's answer-quality measure.
+pub fn quality<T: Ord>(returned: &BTreeSet<T>, correct: &BTreeSet<T>) -> f64 {
+    (precision(returned, correct) * recall(returned, correct)).sqrt()
+}
+
+/// Per-query report row used by the Figure-15 harness.
+#[derive(Debug, Clone, PartialEq)]
+pub struct QualityRow {
+    /// Query id.
+    pub query: usize,
+    /// Precision of the answer set.
+    pub precision: f64,
+    /// Recall of the answer set.
+    pub recall: f64,
+    /// √(precision · recall).
+    pub quality: f64,
+    /// Number of answers returned.
+    pub returned: usize,
+    /// Number of semantically correct answers.
+    pub correct: usize,
+}
+
+impl QualityRow {
+    /// Score a query's answers.
+    pub fn score<T: Ord>(query: usize, returned: &BTreeSet<T>, correct: &BTreeSet<T>) -> Self {
+        QualityRow {
+            query,
+            precision: precision(returned, correct),
+            recall: recall(returned, correct),
+            quality: quality(returned, correct),
+            returned: returned.len(),
+            correct: correct.len(),
+        }
+    }
+}
+
+/// Averages over a set of rows — the summary numbers the paper reports
+/// (e.g. "the average precision and recall of TOSS (ε = 3) results are
+/// 0.942 and 0.843").
+pub fn averages(rows: &[QualityRow]) -> (f64, f64, f64) {
+    if rows.is_empty() {
+        return (1.0, 1.0, 1.0);
+    }
+    let n = rows.len() as f64;
+    (
+        rows.iter().map(|r| r.precision).sum::<f64>() / n,
+        rows.iter().map(|r| r.recall).sum::<f64>() / n,
+        rows.iter().map(|r| r.quality).sum::<f64>() / n,
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn set(items: &[usize]) -> BTreeSet<usize> {
+        items.iter().copied().collect()
+    }
+
+    #[test]
+    fn exact_match_scores_one() {
+        let s = set(&[1, 2, 3]);
+        assert_eq!(precision(&s, &s), 1.0);
+        assert_eq!(recall(&s, &s), 1.0);
+        assert_eq!(quality(&s, &s), 1.0);
+    }
+
+    #[test]
+    fn tax_like_profile_high_precision_low_recall() {
+        let returned = set(&[1]);
+        let correct = set(&[1, 2, 3, 4]);
+        assert_eq!(precision(&returned, &correct), 1.0);
+        assert_eq!(recall(&returned, &correct), 0.25);
+        assert_eq!(quality(&returned, &correct), 0.5);
+    }
+
+    #[test]
+    fn toss_like_profile_tradeoff() {
+        let returned = set(&[1, 2, 3, 9]);
+        let correct = set(&[1, 2, 3, 4]);
+        assert_eq!(precision(&returned, &correct), 0.75);
+        assert_eq!(recall(&returned, &correct), 0.75);
+        assert!((quality(&returned, &correct) - 0.75).abs() < 1e-12);
+    }
+
+    #[test]
+    fn empty_edge_cases() {
+        let empty = set(&[]);
+        let some = set(&[1]);
+        assert_eq!(precision(&empty, &some), 1.0);
+        assert_eq!(recall(&empty, &some), 0.0);
+        assert_eq!(quality(&empty, &some), 0.0);
+        assert_eq!(recall(&some, &empty), 1.0);
+        assert_eq!(precision(&some, &empty), 0.0);
+    }
+
+    #[test]
+    fn rows_and_averages() {
+        let r1 = QualityRow::score(0, &set(&[1]), &set(&[1, 2]));
+        let r2 = QualityRow::score(1, &set(&[1, 2]), &set(&[1, 2]));
+        assert_eq!(r1.recall, 0.5);
+        assert_eq!(r2.quality, 1.0);
+        let (p, r, q) = averages(&[r1, r2]);
+        assert_eq!(p, 1.0);
+        assert_eq!(r, 0.75);
+        assert!((q - (0.5f64.sqrt() + 1.0) / 2.0).abs() < 1e-12);
+        assert_eq!(averages(&[]), (1.0, 1.0, 1.0));
+    }
+}

@@ -1,0 +1,83 @@
+//! Corpus generation configuration.
+
+/// Knobs for [`crate::corpus::generate`].
+#[derive(Debug, Clone)]
+pub struct CorpusConfig {
+    /// RNG seed — everything downstream is deterministic in it.
+    pub seed: u64,
+    /// Number of papers.
+    pub papers: usize,
+    /// Size of the author-entity pool papers draw from.
+    pub author_pool: usize,
+    /// Size of the title-entity pool (>= papers; each paper gets its own
+    /// title entity when possible).
+    pub title_pool: usize,
+    /// Probability that a rendered author name uses a non-canonical
+    /// variant (initials, dropped middle, typo, …).
+    pub author_variant_rate: f64,
+    /// Probability that a paper's SIGMOD rendering uses the title variant
+    /// instead of the canonical title.
+    pub title_variant_rate: f64,
+    /// Fraction of papers that also appear in the SIGMOD-style corpus
+    /// (the overlap the Figure-16(b) join exploits).
+    pub sigmod_overlap: f64,
+    /// Year range (inclusive).
+    pub year_range: (i64, i64),
+    /// Maximum authors per paper (1..=max, uniform).
+    pub max_authors: usize,
+}
+
+impl Default for CorpusConfig {
+    fn default() -> Self {
+        CorpusConfig {
+            seed: 0x7055,
+            papers: 100,
+            author_pool: 60,
+            title_pool: 120,
+            author_variant_rate: 0.45,
+            title_variant_rate: 0.35,
+            sigmod_overlap: 0.5,
+            year_range: (1994, 2003),
+            max_authors: 3,
+        }
+    }
+}
+
+impl CorpusConfig {
+    /// The paper's Figure-15 dataset shape: 100 random papers, an author
+    /// pool small enough that answer sets reach the paper's 1–38 range.
+    pub fn figure15(seed: u64) -> Self {
+        CorpusConfig {
+            seed,
+            author_pool: 30,
+            ..Self::default()
+        }
+    }
+
+    /// A scalability corpus of `papers` papers (Figure 16).
+    pub fn scalability(seed: u64, papers: usize) -> Self {
+        CorpusConfig {
+            seed,
+            papers,
+            author_pool: (papers / 2).max(30),
+            title_pool: papers + papers / 4 + 10,
+            ..Self::default()
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn presets_scale_pools() {
+        let c = CorpusConfig::scalability(1, 1000);
+        assert_eq!(c.papers, 1000);
+        assert!(c.author_pool >= 30);
+        assert!(c.title_pool > c.papers);
+        let f = CorpusConfig::figure15(3);
+        assert_eq!(f.papers, 100);
+        assert_eq!(f.seed, 3);
+    }
+}

@@ -1,0 +1,318 @@
+//! Corpus generation: ground-truth paper records rendered into DBLP-style
+//! and SIGMOD-style XML forests.
+
+use crate::config::CorpusConfig;
+use crate::names::{self, AuthorEntity, NameVariant};
+use crate::titles::{self, TitleEntity};
+use crate::venues::{self, VenueEntity};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use toss_tree::{Forest, Tree, TreeBuilder};
+
+/// Ground truth for one paper.
+#[derive(Debug, Clone)]
+pub struct PaperRecord {
+    /// Dense paper id (also used as the `key` attribute).
+    pub id: usize,
+    /// Author entity ids, in author order.
+    pub authors: Vec<usize>,
+    /// Rendered author strings used in the DBLP tree.
+    pub dblp_authors: Vec<String>,
+    /// Rendered author strings used in the SIGMOD tree (if present there).
+    pub sigmod_authors: Vec<String>,
+    /// Title entity id.
+    pub title: usize,
+    /// Title string used in the DBLP tree (always the canonical form).
+    pub dblp_title: String,
+    /// Title string used in the SIGMOD tree.
+    pub sigmod_title: String,
+    /// Venue entity id.
+    pub venue: usize,
+    /// Publication year.
+    pub year: i64,
+    /// Whether the paper also appears in the SIGMOD-style corpus.
+    pub in_sigmod: bool,
+}
+
+/// A generated corpus: ground truth plus both renderings.
+#[derive(Debug, Clone)]
+pub struct Corpus {
+    /// Configuration it was generated with.
+    pub config: CorpusConfig,
+    /// Ground-truth records, indexed by paper id.
+    pub papers: Vec<PaperRecord>,
+    /// Author entities, indexed by entity id.
+    pub authors: Vec<AuthorEntity>,
+    /// Title entities, indexed by entity id.
+    pub titles: Vec<TitleEntity>,
+    /// Venue entities, indexed by entity id.
+    pub venues: Vec<VenueEntity>,
+    /// DBLP rendering: one `inproceedings` tree per paper.
+    pub dblp: Forest,
+    /// SIGMOD rendering: one `article` tree per overlapping paper.
+    pub sigmod: Forest,
+}
+
+/// Generate a corpus from a configuration.
+pub fn generate(config: CorpusConfig) -> Corpus {
+    let mut rng = StdRng::seed_from_u64(config.seed);
+    let authors = names::generate_authors(&mut rng, config.author_pool);
+    let titles = titles::generate_titles(&mut rng, config.title_pool.max(config.papers));
+    let venues = venues::venue_pool();
+
+    let mut papers = Vec::with_capacity(config.papers);
+    let mut dblp = Forest::new();
+    let mut sigmod = Forest::new();
+
+    for id in 0..config.papers {
+        let n_authors = rng.gen_range(1..=config.max_authors.max(1));
+        let mut author_ids: Vec<usize> = Vec::with_capacity(n_authors);
+        while author_ids.len() < n_authors {
+            let a = rng.gen_range(0..authors.len());
+            if !author_ids.contains(&a) {
+                author_ids.push(a);
+            }
+        }
+        let title_id = id % titles.len();
+        let venue_id = rng.gen_range(0..venues.len());
+        let year = rng.gen_range(config.year_range.0..=config.year_range.1);
+        let in_sigmod = rng.gen_bool(config.sigmod_overlap);
+
+        let render_author = |rng: &mut StdRng, e: &AuthorEntity| -> String {
+            if rng.gen_bool(config.author_variant_rate) {
+                let v = names::VARIANTS[rng.gen_range(1..names::VARIANTS.len())];
+                names::render(e, v)
+            } else {
+                names::render(e, NameVariant::Canonical)
+            }
+        };
+
+        let dblp_authors: Vec<String> = author_ids
+            .iter()
+            .map(|&a| render_author(&mut rng, &authors[a]))
+            .collect();
+        let sigmod_authors: Vec<String> = author_ids
+            .iter()
+            .map(|&a| render_author(&mut rng, &authors[a]))
+            .collect();
+        let dblp_title = titles[title_id].canonical.clone();
+        let sigmod_title = if rng.gen_bool(config.title_variant_rate) {
+            titles[title_id].variant.clone()
+        } else {
+            titles[title_id].canonical.clone()
+        };
+
+        dblp.push(render_dblp(
+            id,
+            &dblp_authors,
+            &dblp_title,
+            &venues[venue_id],
+            year,
+        ));
+        if in_sigmod {
+            sigmod.push(render_sigmod(
+                id,
+                &sigmod_authors,
+                &sigmod_title,
+                &venues[venue_id],
+                year,
+            ));
+        }
+
+        papers.push(PaperRecord {
+            id,
+            authors: author_ids,
+            dblp_authors,
+            sigmod_authors,
+            title: title_id,
+            dblp_title,
+            sigmod_title,
+            venue: venue_id,
+            year,
+            in_sigmod,
+        });
+    }
+
+    Corpus {
+        config,
+        papers,
+        authors,
+        titles,
+        venues,
+        dblp,
+        sigmod,
+    }
+}
+
+/// DBLP rendering (paper Figure 1 shape): `inproceedings` with `author`*,
+/// `title`, `year`, `booktitle` (short venue name) and `pages`.
+fn render_dblp(
+    id: usize,
+    authors: &[String],
+    title: &str,
+    venue: &VenueEntity,
+    year: i64,
+) -> Tree {
+    let mut b = TreeBuilder::new("inproceedings").attr("key", format!("conf/gen/{id}"));
+    for a in authors {
+        b = b.leaf("author", a.as_str());
+    }
+    let start = 1 + (id % 40) * 12;
+    b.leaf("title", title)
+        .leaf("year", year)
+        .leaf("booktitle", venue.short.as_str())
+        .leaf("pages", format!("{start}-{}", start + 11))
+        .build()
+}
+
+/// SIGMOD rendering (paper Figure 2 shape): `article` with `author`*,
+/// `title`, `conference` (long venue name), `confYear`, `initPage`,
+/// `endPage`.
+fn render_sigmod(
+    id: usize,
+    authors: &[String],
+    title: &str,
+    venue: &VenueEntity,
+    year: i64,
+) -> Tree {
+    let mut b = TreeBuilder::new("article").attr("articleCode", format!("{id}"));
+    for a in authors {
+        b = b.leaf("author", a.as_str());
+    }
+    let start = 1 + (id % 40) * 12;
+    b.leaf("title", title)
+        .leaf("conference", venue.long.as_str())
+        .leaf("confYear", year)
+        .leaf("initPage", start as i64)
+        .leaf("endPage", (start + 11) as i64)
+        .build()
+}
+
+impl Corpus {
+    /// All rendered strings of one author entity across both corpora —
+    /// the variant class ground truth groups together.
+    pub fn author_renderings(&self, entity: usize) -> Vec<String> {
+        let mut out = Vec::new();
+        for p in &self.papers {
+            for (i, &a) in p.authors.iter().enumerate() {
+                if a == entity {
+                    out.push(p.dblp_authors[i].clone());
+                    if p.in_sigmod {
+                        out.push(p.sigmod_authors[i].clone());
+                    }
+                }
+            }
+        }
+        out.sort();
+        out.dedup();
+        out
+    }
+
+    /// Papers written by an author entity.
+    pub fn papers_by_author(&self, entity: usize) -> Vec<usize> {
+        self.papers
+            .iter()
+            .filter(|p| p.authors.contains(&entity))
+            .map(|p| p.id)
+            .collect()
+    }
+
+    /// Total serialized size of the DBLP rendering in bytes.
+    pub fn dblp_size_bytes(&self) -> usize {
+        toss_tree::serialize::xml_size_bytes(&self.dblp)
+    }
+
+    /// Total serialized size of the SIGMOD rendering in bytes.
+    pub fn sigmod_size_bytes(&self) -> usize {
+        toss_tree::serialize::xml_size_bytes(&self.sigmod)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn small() -> Corpus {
+        generate(CorpusConfig {
+            seed: 11,
+            papers: 50,
+            ..CorpusConfig::default()
+        })
+    }
+
+    #[test]
+    fn corpus_shape() {
+        let c = small();
+        assert_eq!(c.papers.len(), 50);
+        assert_eq!(c.dblp.len(), 50);
+        let overlap = c.papers.iter().filter(|p| p.in_sigmod).count();
+        assert_eq!(c.sigmod.len(), overlap);
+        assert!(overlap > 5, "expected some overlap, got {overlap}");
+    }
+
+    #[test]
+    fn generation_is_deterministic() {
+        let a = small();
+        let b = small();
+        for (x, y) in a.papers.iter().zip(b.papers.iter()) {
+            assert_eq!(x.dblp_authors, y.dblp_authors);
+            assert_eq!(x.year, y.year);
+        }
+        assert_eq!(a.dblp_size_bytes(), b.dblp_size_bytes());
+    }
+
+    #[test]
+    fn dblp_trees_have_figure1_shape() {
+        let c = small();
+        let t = &c.dblp.trees()[0];
+        let r = t.root().unwrap();
+        assert_eq!(t.data(r).unwrap().tag, "inproceedings");
+        assert!(t.child_by_tag(r, "author").is_some());
+        assert!(t.child_by_tag(r, "title").is_some());
+        assert!(t.child_by_tag(r, "year").is_some());
+        assert!(t.child_by_tag(r, "booktitle").is_some());
+        assert!(t.data(r).unwrap().attr_value("key").is_some());
+    }
+
+    #[test]
+    fn sigmod_trees_have_figure2_shape() {
+        let c = small();
+        let t = &c.sigmod.trees()[0];
+        let r = t.root().unwrap();
+        assert_eq!(t.data(r).unwrap().tag, "article");
+        assert!(t.child_by_tag(r, "conference").is_some());
+        assert!(t.child_by_tag(r, "confYear").is_some());
+        assert!(t.child_by_tag(r, "booktitle").is_none());
+    }
+
+    #[test]
+    fn variants_actually_occur() {
+        let c = generate(CorpusConfig {
+            seed: 5,
+            papers: 200,
+            author_variant_rate: 0.5,
+            ..CorpusConfig::default()
+        });
+        // some entity must have >1 distinct rendering
+        let varied = (0..c.authors.len())
+            .any(|e| c.author_renderings(e).len() > 1);
+        assert!(varied);
+    }
+
+    #[test]
+    fn ground_truth_links_back() {
+        let c = small();
+        let p = &c.papers[0];
+        assert!(c.papers_by_author(p.authors[0]).contains(&p.id));
+        // rendered strings trace to the entity's renderings
+        let rs = c.author_renderings(p.authors[0]);
+        assert!(rs.contains(&p.dblp_authors[0]));
+    }
+
+    #[test]
+    fn sizes_grow_with_papers() {
+        let small = generate(CorpusConfig::scalability(1, 50));
+        let big = generate(CorpusConfig::scalability(1, 500));
+        assert!(big.dblp_size_bytes() > 5 * small.dblp_size_bytes());
+    }
+}

@@ -1,0 +1,35 @@
+//! # toss-datagen — synthetic DBLP/SIGMOD corpora with ground truth
+//!
+//! The paper evaluates on real DBLP and SIGMOD XML. Those dumps are not
+//! shipped here; instead this crate generates corpora with the properties
+//! the experiments measure:
+//!
+//! * **entity variation** — author names rendered with initials, dropped
+//!   middle names, spacing differences and typos; venue names rendered
+//!   short ("SIGMOD Conference") or long (the full ACM title); the tag
+//!   vocabulary differs between the DBLP rendering (`booktitle`, `year`)
+//!   and the SIGMOD rendering (`conference`, `confYear`) exactly as in
+//!   the paper's Figures 1–2;
+//! * **ground truth** — every rendered string is tracked back to its
+//!   entity, so precision/recall can be scored mechanically instead of by
+//!   hand as the authors did;
+//! * **determinism** — everything is seeded, so every experiment is
+//!   reproducible bit-for-bit.
+//!
+//! The [`queries`] module generates the Figure-15 workload: selection
+//! queries of the paper's stated shape (1 `isa` + 1 `similarTo` + 3 tag
+//! conditions) together with their ground-truth answer sets.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod config;
+pub mod corpus;
+pub mod names;
+pub mod queries;
+pub mod titles;
+pub mod venues;
+
+pub use config::CorpusConfig;
+pub use corpus::{Corpus, PaperRecord};
+pub use queries::{ground_truth, QuerySpec};

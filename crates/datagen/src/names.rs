@@ -1,0 +1,228 @@
+//! Author-name entities and their rendered variants.
+//!
+//! An author *entity* has a canonical full name drawn from given-name /
+//! surname pools (optionally with a middle initial). Renderings vary the
+//! way bibliographic data actually varies: first initial, dropped middle
+//! name, collapsed spacing, or a one-character typo — the Section-2.2
+//! phenomena ("J. Ullman" / "Jeffrey D. Ullman", "GianLuigi" /
+//! "Gian Luigi", "Ferarri" / "Ferrari").
+
+use rand::rngs::StdRng;
+use rand::Rng;
+
+/// Given-name pool (synthetic, alphabet-spread for distance diversity).
+pub const GIVEN: &[&str] = &[
+    "Alan", "Alice", "Andrea", "Boris", "Carla", "Chen", "Daniela", "David",
+    "Elena", "Emil", "Fatima", "Felix", "Georg", "Grace", "Hanna", "Hiro",
+    "Ines", "Ivan", "Jorge", "Julia", "Karim", "Laura", "Liang", "Marco",
+    "Marta", "Mauro", "Nadia", "Nikhil", "Olga", "Pablo", "Priya", "Qing",
+    "Rafael", "Rosa", "Samuel", "Sofia", "Tomas", "Uma", "Viktor", "Wei",
+    "Xenia", "Yusuf", "Zofia", "Gianluigi",
+];
+
+/// Middle initials used for a fraction of entities.
+pub const MIDDLE: &[&str] = &["A", "B", "C", "D", "E", "F", "G", "H", "J", "K", "L", "M"];
+
+/// Surname pool.
+pub const SURNAME: &[&str] = &[
+    "Abadi", "Bergmann", "Castano", "Dias", "Eriksson", "Ferrari", "Gupta",
+    "Haas", "Ivanov", "Jensen", "Kimura", "Lorenz", "Marchetti", "Novak",
+    "Okafor", "Petrov", "Quint", "Rastogi", "Schmidt", "Tanaka", "Ullmann",
+    "Vieira", "Weikum", "Xu", "Yamada", "Zhou", "Keller", "Moreno", "Silva",
+    "Romero", "Fischer", "Nagy", "Kovacs", "Olsen", "Barbosa", "Costa",
+];
+
+/// One author entity.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct AuthorEntity {
+    /// Dense entity id.
+    pub id: usize,
+    /// Given name.
+    pub given: String,
+    /// Optional middle initial (no dot).
+    pub middle: Option<String>,
+    /// Surname.
+    pub surname: String,
+}
+
+impl AuthorEntity {
+    /// Canonical rendering: `Given M. Surname`.
+    pub fn canonical(&self) -> String {
+        match &self.middle {
+            Some(m) => format!("{} {}. {}", self.given, m, self.surname),
+            None => format!("{} {}", self.given, self.surname),
+        }
+    }
+}
+
+/// How a name can be rendered.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum NameVariant {
+    /// The canonical full form.
+    Canonical,
+    /// First name reduced to an initial: `G. Surname` (middle kept as
+    /// initial when present).
+    Initial,
+    /// Middle name dropped: `Given Surname`.
+    DropMiddle,
+    /// First+middle both reduced: `G. M. Surname`.
+    AllInitials,
+    /// One-character typo in the surname (duplicate a letter).
+    Typo,
+}
+
+/// All variants, in the order the generator cycles through them.
+pub const VARIANTS: &[NameVariant] = &[
+    NameVariant::Canonical,
+    NameVariant::Initial,
+    NameVariant::DropMiddle,
+    NameVariant::AllInitials,
+    NameVariant::Typo,
+];
+
+/// Render an entity under a variant.
+pub fn render(e: &AuthorEntity, v: NameVariant) -> String {
+    let initial = |s: &str| {
+        s.chars()
+            .next()
+            .map(|c| format!("{c}."))
+            .unwrap_or_default()
+    };
+    match v {
+        NameVariant::Canonical => e.canonical(),
+        NameVariant::Initial => match &e.middle {
+            Some(m) => format!("{} {}. {}", initial(&e.given), m, e.surname),
+            None => format!("{} {}", initial(&e.given), e.surname),
+        },
+        NameVariant::DropMiddle => format!("{} {}", e.given, e.surname),
+        NameVariant::AllInitials => match &e.middle {
+            Some(m) => format!("{} {}. {}", initial(&e.given), m, e.surname),
+            None => format!("{} {}", initial(&e.given), e.surname),
+        },
+        NameVariant::Typo => {
+            let mut s: Vec<char> = e.surname.chars().collect();
+            // duplicate the middle character — a stable, reversible typo
+            let mid = s.len() / 2;
+            let c = s[mid];
+            s.insert(mid, c);
+            match &e.middle {
+                Some(m) => format!("{} {}. {}", e.given, m, s.iter().collect::<String>()),
+                None => format!("{} {}", e.given, s.iter().collect::<String>()),
+            }
+        }
+    }
+}
+
+/// Generate `n` distinct author entities.
+pub fn generate_authors(rng: &mut StdRng, n: usize) -> Vec<AuthorEntity> {
+    let mut out = Vec::with_capacity(n);
+    let mut used: std::collections::HashSet<(usize, usize, Option<usize>)> =
+        std::collections::HashSet::new();
+    while out.len() < n {
+        let g = rng.gen_range(0..GIVEN.len());
+        let s = rng.gen_range(0..SURNAME.len());
+        let m = if rng.gen_bool(0.4) {
+            Some(rng.gen_range(0..MIDDLE.len()))
+        } else {
+            None
+        };
+        if !used.insert((g, s, m)) {
+            continue;
+        }
+        out.push(AuthorEntity {
+            id: out.len(),
+            given: GIVEN[g].to_string(),
+            middle: m.map(|i| MIDDLE[i].to_string()),
+            surname: SURNAME[s].to_string(),
+        });
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng;
+
+    fn sample_entity() -> AuthorEntity {
+        AuthorEntity {
+            id: 0,
+            given: "Gianluigi".into(),
+            middle: Some("D".into()),
+            surname: "Ferrari".into(),
+        }
+    }
+
+    #[test]
+    fn canonical_rendering() {
+        assert_eq!(sample_entity().canonical(), "Gianluigi D. Ferrari");
+        let no_middle = AuthorEntity {
+            middle: None,
+            ..sample_entity()
+        };
+        assert_eq!(no_middle.canonical(), "Gianluigi Ferrari");
+    }
+
+    #[test]
+    fn variant_renderings() {
+        let e = sample_entity();
+        assert_eq!(render(&e, NameVariant::Initial), "G. D. Ferrari");
+        assert_eq!(render(&e, NameVariant::DropMiddle), "Gianluigi Ferrari");
+        assert_eq!(render(&e, NameVariant::Typo), "Gianluigi D. Ferrrari");
+    }
+
+    #[test]
+    fn typo_is_one_edit_from_canonical_surname() {
+        let e = sample_entity();
+        let typo = render(&e, NameVariant::Typo);
+        let canon = e.canonical();
+        assert_eq!(
+            toss_similarity_levenshtein(&typo, &canon),
+            1,
+            "{typo} vs {canon}"
+        );
+    }
+
+    // minimal local levenshtein so the crate need not depend on
+    // toss-similarity just for a test
+    fn toss_similarity_levenshtein(a: &str, b: &str) -> usize {
+        let a: Vec<char> = a.chars().collect();
+        let b: Vec<char> = b.chars().collect();
+        let mut prev: Vec<usize> = (0..=b.len()).collect();
+        for (i, &ca) in a.iter().enumerate() {
+            let mut cur = vec![i + 1];
+            for (j, &cb) in b.iter().enumerate() {
+                let cost = usize::from(ca != cb);
+                cur.push((prev[j] + cost).min(prev[j + 1] + 1).min(cur[j] + 1));
+            }
+            prev = cur;
+        }
+        prev[b.len()]
+    }
+
+    #[test]
+    fn generation_is_deterministic_and_distinct() {
+        let mut r1 = StdRng::seed_from_u64(42);
+        let mut r2 = StdRng::seed_from_u64(42);
+        let a1 = generate_authors(&mut r1, 50);
+        let a2 = generate_authors(&mut r2, 50);
+        assert_eq!(a1, a2);
+        let canon: std::collections::HashSet<String> =
+            a1.iter().map(AuthorEntity::canonical).collect();
+        assert_eq!(canon.len(), 50);
+    }
+
+    #[test]
+    fn variants_of_one_entity_share_surname_root() {
+        let mut rng = StdRng::seed_from_u64(7);
+        for e in generate_authors(&mut rng, 10) {
+            for &v in VARIANTS {
+                let r = render(&e, v);
+                // the typo duplicates a mid-surname character, so the
+                // suffix after the midpoint always survives every variant
+                let suffix = &e.surname[e.surname.len() / 2 + 1..];
+                assert!(r.ends_with(suffix), "{r} lost surname {}", e.surname);
+            }
+        }
+    }
+}

@@ -1,0 +1,182 @@
+//! The Figure-15 query workload.
+//!
+//! Section 6: "12 selection queries on 3 data sets (each containing 100
+//! random papers from DBLP). Each query contains 1 isa, 1 similarTo and 3
+//! tag matching conditions." A [`QuerySpec`] captures exactly that shape
+//! as plain data; `toss-core`'s executor compiles it for TOSS, and a
+//! TAX baseline interprets `isa` as `contains` and `similarTo` as exact
+//! match, as the paper describes. [`ground_truth`] scores answers against
+//! the corpus's entity-level truth.
+
+use crate::corpus::Corpus;
+use crate::names::{render, NameVariant};
+use crate::venues::class_below;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use std::collections::BTreeSet;
+
+/// One Figure-15 selection query: find papers whose venue *isa* a target
+/// class and whose author is *similarTo* a probe rendering; the three tag
+/// conditions (`inproceedings`, `author`, `booktitle` structure) are
+/// implied by the pattern shape.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct QuerySpec {
+    /// Query index within the workload.
+    pub id: usize,
+    /// Target of the isa condition — a venue class (`conference`,
+    /// `symposium`, `workshop`, `periodical`) or `venue` itself.
+    pub venue_isa: String,
+    /// Probe string for the similarTo condition on authors: one
+    /// rendering of the target author entity (often *not* the rendering
+    /// stored in any document).
+    pub author_probe: String,
+    /// The author entity the probe denotes (ground truth only; the
+    /// executor never sees this).
+    pub author_entity: usize,
+}
+
+/// Generate the paper's 12-query workload against a corpus. Probes are
+/// chosen from author entities that actually have papers, rendered in a
+/// variant chosen independently of the documents, so exact match
+/// genuinely misses.
+pub fn workload(corpus: &Corpus, seed: u64, count: usize) -> Vec<QuerySpec> {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let classes = ["conference", "venue", "symposium", "conference"];
+    let mut out = Vec::with_capacity(count);
+    let mut used_entities = BTreeSet::new();
+    let mut attempts = 0usize;
+    while out.len() < count {
+        attempts += 1;
+        let entity = rng.gen_range(0..corpus.authors.len());
+        if corpus.papers_by_author(entity).is_empty() {
+            continue;
+        }
+        // avoid repeating entities while fresh ones remain (give up on
+        // freshness after many attempts so small corpora still fill the
+        // workload)
+        if !used_entities.insert(entity)
+            && used_entities.len() < corpus.authors.len()
+            && attempts < 50 * count
+        {
+            continue;
+        }
+        // Half the probes are copied verbatim from a stored rendering
+        // (a user quoting a name they saw — exact match CAN succeed);
+        // the other half are independent variants (exact match cannot).
+        let probe = if rng.gen_bool(0.5) {
+            let papers = corpus.papers_by_author(entity);
+            let p = &corpus.papers[papers[rng.gen_range(0..papers.len())]];
+            let idx = p
+                .authors
+                .iter()
+                .position(|&a| a == entity)
+                .expect("entity authored this paper");
+            p.dblp_authors[idx].clone()
+        } else {
+            let variant = [
+                NameVariant::Canonical,
+                NameVariant::Initial,
+                NameVariant::DropMiddle,
+                NameVariant::AllInitials,
+            ][rng.gen_range(0..4)];
+            render(&corpus.authors[entity], variant)
+        };
+        // Small corpora can lack a satisfiable (entity, class) pair for a
+        // narrow class entirely (e.g. zero symposium papers); after enough
+        // failed draws, widen this slot's class to `venue` — always
+        // satisfiable for an entity with papers — so generation terminates.
+        let class = if attempts > 100 * count.max(1) {
+            "venue"
+        } else {
+            classes[out.len() % classes.len()]
+        };
+        let candidate = QuerySpec {
+            id: out.len(),
+            venue_isa: class.to_string(),
+            author_probe: probe,
+            author_entity: entity,
+        };
+        // the paper's queries all have answers ("a query result contains
+        // 1 to 38 papers"); reject empty ground truth
+        if ground_truth(corpus, &candidate).is_empty() {
+            continue;
+        }
+        out.push(candidate);
+        attempts = 0;
+    }
+    out
+}
+
+/// Entity-level ground truth for a query against the corpus's DBLP
+/// rendering: paper ids whose venue class lies below the isa target and
+/// one of whose authors *is* the probe's entity.
+pub fn ground_truth(corpus: &Corpus, q: &QuerySpec) -> BTreeSet<usize> {
+    corpus
+        .papers
+        .iter()
+        .filter(|p| {
+            p.authors.contains(&q.author_entity)
+                && class_below(corpus.venues[p.venue].class, &q.venue_isa)
+        })
+        .map(|p| p.id)
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::CorpusConfig;
+    use crate::corpus::generate;
+
+    fn corpus() -> Corpus {
+        generate(CorpusConfig::figure15(21))
+    }
+
+    #[test]
+    fn workload_has_requested_size_and_valid_probes() {
+        let c = corpus();
+        let w = workload(&c, 99, 12);
+        assert_eq!(w.len(), 12);
+        for q in &w {
+            assert!(!q.author_probe.is_empty());
+            assert!(!corpus().papers_by_author(q.author_entity).is_empty());
+        }
+    }
+
+    #[test]
+    fn workload_is_deterministic() {
+        let c = corpus();
+        assert_eq!(workload(&c, 99, 12), workload(&c, 99, 12));
+        assert_ne!(workload(&c, 99, 12), workload(&c, 100, 12));
+    }
+
+    #[test]
+    fn ground_truth_respects_both_conditions() {
+        let c = corpus();
+        for q in workload(&c, 99, 12) {
+            let truth = ground_truth(&c, &q);
+            for &pid in &truth {
+                let p = &c.papers[pid];
+                assert!(p.authors.contains(&q.author_entity));
+                assert!(class_below(c.venues[p.venue].class, &q.venue_isa));
+            }
+            // and nothing outside is missed: complement check
+            for p in &c.papers {
+                let qualifies = p.authors.contains(&q.author_entity)
+                    && class_below(c.venues[p.venue].class, &q.venue_isa);
+                assert_eq!(qualifies, truth.contains(&p.id));
+            }
+        }
+    }
+
+    #[test]
+    fn venue_class_narrows_truth() {
+        let c = corpus();
+        let mut q = workload(&c, 99, 1).remove(0);
+        q.venue_isa = "venue".into();
+        let broad = ground_truth(&c, &q);
+        q.venue_isa = "symposium".into();
+        let narrow = ground_truth(&c, &q);
+        assert!(narrow.is_subset(&broad));
+    }
+}

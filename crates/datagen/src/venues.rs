@@ -1,0 +1,152 @@
+//! Venue entities: each has a short form (as DBLP stores it), a long form
+//! (as the SIGMOD proceedings pages store it) and an isa class used by the
+//! Figure-15 `isa` conditions.
+
+/// A venue entity.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct VenueEntity {
+    /// Dense entity id.
+    pub id: usize,
+    /// Short DBLP-style name, e.g. `SIGMOD Conference`.
+    pub short: String,
+    /// Long proceedings-style name.
+    pub long: String,
+    /// Direct isa parent in the venue taxonomy (`conference`,
+    /// `symposium`, `workshop`, `periodical`).
+    pub class: &'static str,
+}
+
+/// The fixed venue pool: enough variety to make isa classes selective.
+pub fn venue_pool() -> Vec<VenueEntity> {
+    let raw: &[(&str, &str, &str)] = &[
+        (
+            "SIGMOD Conference",
+            "ACM SIGMOD International Conference on Management of Data",
+            "conference",
+        ),
+        (
+            "VLDB",
+            "International Conference on Very Large Data Bases",
+            "conference",
+        ),
+        (
+            "ICDE",
+            "IEEE International Conference on Data Engineering",
+            "conference",
+        ),
+        (
+            "PODS",
+            "ACM Symposium on Principles of Database Systems",
+            "symposium",
+        ),
+        (
+            "ICDT",
+            "International Conference on Database Theory",
+            "conference",
+        ),
+        (
+            "EDBT",
+            "International Conference on Extending Database Technology",
+            "conference",
+        ),
+        (
+            "CIKM",
+            "International Conference on Information and Knowledge Management",
+            "conference",
+        ),
+        (
+            "KDD",
+            "International Conference on Knowledge Discovery and Data Mining",
+            "conference",
+        ),
+        (
+            "WebDB",
+            "International Workshop on the Web and Databases",
+            "workshop",
+        ),
+        (
+            "DMKD",
+            "Workshop on Research Issues in Data Mining and Knowledge Discovery",
+            "workshop",
+        ),
+        (
+            "DEXA Conference",
+            "International Conference on Database and Expert Systems Applications",
+            "conference",
+        ),
+        (
+            "SSDBM Conference",
+            "International Conference on Scientific and Statistical Database Management",
+            "conference",
+        ),
+        (
+            "RIDE Workshop",
+            "International Workshop on Research Issues in Data Engineering",
+            "workshop",
+        ),
+        ("TODS", "ACM Transactions on Database Systems", "periodical"),
+        ("VLDB Journal", "The VLDB Journal", "periodical"),
+    ];
+    raw.iter()
+        .enumerate()
+        .map(|(id, (s, l, c))| VenueEntity {
+            id,
+            short: s.to_string(),
+            long: l.to_string(),
+            class: c,
+        })
+        .collect()
+}
+
+/// The venue-class taxonomy as `(below, above)` isa pairs — matching the
+/// embedded lexicon so the Ontology Maker and the generator agree.
+pub const VENUE_TAXONOMY: &[(&str, &str)] = &[
+    ("conference", "venue"),
+    ("workshop", "venue"),
+    ("symposium", "conference"),
+    ("periodical", "venue"),
+];
+
+/// Whether `class` is (transitively) below `target` in the taxonomy,
+/// reflexively.
+pub fn class_below(class: &str, target: &str) -> bool {
+    if class == target {
+        return true;
+    }
+    VENUE_TAXONOMY
+        .iter()
+        .any(|(b, a)| *b == class && class_below(a, target))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn pool_is_distinct_and_classed() {
+        let pool = venue_pool();
+        assert_eq!(pool.len(), 15);
+        let shorts: std::collections::HashSet<&str> =
+            pool.iter().map(|v| v.short.as_str()).collect();
+        assert_eq!(shorts.len(), 15);
+        assert!(pool.iter().all(|v| !v.long.is_empty()));
+    }
+
+    #[test]
+    fn taxonomy_reachability() {
+        assert!(class_below("symposium", "conference"));
+        assert!(class_below("symposium", "venue"));
+        assert!(class_below("conference", "venue"));
+        assert!(!class_below("conference", "symposium"));
+        assert!(!class_below("periodical", "conference"));
+        assert!(class_below("workshop", "workshop"));
+    }
+
+    #[test]
+    fn sigmod_entry_matches_paper() {
+        let pool = venue_pool();
+        let sig = &pool[0];
+        assert_eq!(sig.short, "SIGMOD Conference");
+        assert!(sig.long.contains("ACM SIGMOD"));
+    }
+}

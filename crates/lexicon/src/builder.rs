@@ -1,0 +1,130 @@
+//! Administrator extension: load extra lexical facts from a simple text
+//! format (the paper's "user-specified rules" refining the automatic
+//! ontology).
+//!
+//! Format, one fact per line:
+//!
+//! ```text
+//! syn: booktitle = conference
+//! isa: PODS < symposium
+//! part: author < article
+//! # comments and blank lines are ignored
+//! ```
+
+use crate::net::{Lexicon, Relation};
+
+/// Builder that layers administrator facts over a base lexicon.
+#[derive(Debug, Default)]
+pub struct LexiconBuilder {
+    lexicon: Lexicon,
+}
+
+impl LexiconBuilder {
+    /// Start from an empty lexicon.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Start from an existing (e.g. embedded) lexicon.
+    pub fn from_base(lexicon: Lexicon) -> Self {
+        LexiconBuilder { lexicon }
+    }
+
+    /// Add one fact line. Returns an error message for malformed lines.
+    pub fn add_line(&mut self, line: &str) -> Result<(), String> {
+        let line = line.trim();
+        if line.is_empty() || line.starts_with('#') {
+            return Ok(());
+        }
+        let (kind, rest) = line
+            .split_once(':')
+            .ok_or_else(|| format!("missing `:` in fact line: {line}"))?;
+        match kind.trim() {
+            "syn" => {
+                let (a, b) = rest
+                    .split_once('=')
+                    .ok_or_else(|| format!("syn fact needs `a = b`: {line}"))?;
+                self.lexicon.add_synonym(a.trim(), b.trim());
+            }
+            "isa" => {
+                let (a, b) = rest
+                    .split_once('<')
+                    .ok_or_else(|| format!("isa fact needs `a < b`: {line}"))?;
+                self.lexicon
+                    .add_relation(Relation::Isa, a.trim(), b.trim());
+            }
+            "part" => {
+                let (a, b) = rest
+                    .split_once('<')
+                    .ok_or_else(|| format!("part fact needs `a < b`: {line}"))?;
+                self.lexicon
+                    .add_relation(Relation::PartOf, a.trim(), b.trim());
+            }
+            other => return Err(format!("unknown fact kind `{other}`")),
+        }
+        Ok(())
+    }
+
+    /// Add many fact lines; stops at the first malformed line.
+    pub fn add_text(&mut self, text: &str) -> Result<(), String> {
+        for line in text.lines() {
+            self.add_line(line)?;
+        }
+        Ok(())
+    }
+
+    /// Finish.
+    pub fn build(self) -> Lexicon {
+        self.lexicon
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::data::bibliographic_lexicon;
+
+    #[test]
+    fn parses_all_fact_kinds() {
+        let mut b = LexiconBuilder::new();
+        b.add_text(
+            "# domain rules\n\
+             syn: db = database\n\
+             isa: postgres < database\n\
+             part: index < database\n\
+             \n",
+        )
+        .unwrap();
+        let l = b.build();
+        assert!(l.synonyms("db").contains(&"database".to_string()));
+        assert_eq!(l.hypernyms("postgres"), vec!["database"]);
+        assert_eq!(l.holonyms("index"), vec!["database"]);
+    }
+
+    #[test]
+    fn layering_over_embedded_base() {
+        let mut b = LexiconBuilder::from_base(bibliographic_lexicon());
+        b.add_line("isa: DARPA < US government").unwrap();
+        let l = b.build();
+        assert!(l
+            .hypernym_closure("DARPA")
+            .contains(&"government agency".to_string()));
+    }
+
+    #[test]
+    fn malformed_lines_are_reported() {
+        let mut b = LexiconBuilder::new();
+        assert!(b.add_line("nonsense").is_err());
+        assert!(b.add_line("syn: a b").is_err());
+        assert!(b.add_line("isa: a = b").is_err());
+        assert!(b.add_line("frob: a < b").is_err());
+    }
+
+    #[test]
+    fn comments_and_blanks_ignored() {
+        let mut b = LexiconBuilder::new();
+        b.add_line("").unwrap();
+        b.add_line("   # comment").unwrap();
+        assert_eq!(b.build().term_count(), 0);
+    }
+}

@@ -1,0 +1,181 @@
+//! The embedded bibliographic / CS-domain vocabulary.
+//!
+//! This is the "WordNet slice" TOSS actually exercises: schema terms of
+//! the DBLP and SIGMOD XML formats, publication-domain concepts, the
+//! organization hierarchy behind the paper's "US government" motivating
+//! query, and the CS-company chain of the introduction.
+
+use crate::net::{Lexicon, Relation};
+
+/// Synonym pairs: tag-level and concept-level equivalences between the
+/// DBLP and SIGMOD vocabularies.
+pub const SYNONYMS: &[(&str, &str)] = &[
+    ("booktitle", "conference"),
+    ("confYear", "year"),
+    ("inproceedings", "article"),
+    ("journal", "periodical"),
+    ("pages", "pagination"),
+    ("proceedings", "proceedings volume"),
+];
+
+/// `x isa y` pairs.
+pub const ISA: &[(&str, &str)] = &[
+    // document kinds
+    ("article", "publication"),
+    ("book", "publication"),
+    ("thesis", "publication"),
+    ("technical report", "publication"),
+    ("conference paper", "article"),
+    ("journal paper", "article"),
+    ("demo paper", "conference paper"),
+    ("survey", "article"),
+    // venues
+    ("conference", "venue"),
+    ("workshop", "venue"),
+    ("symposium", "conference"),
+    ("periodical", "venue"),
+    ("SIGMOD Conference", "conference"),
+    ("VLDB", "conference"),
+    ("ICDE", "conference"),
+    ("PODS", "symposium"),
+    ("ICDT", "conference"),
+    ("EDBT", "conference"),
+    ("CIKM", "conference"),
+    ("KDD", "conference"),
+    ("WWW", "conference"),
+    ("TODS", "periodical"),
+    ("VLDB Journal", "periodical"),
+    ("SIGMOD Record", "periodical"),
+    ("CACM", "periodical"),
+    // people
+    ("author", "person"),
+    ("editor", "person"),
+    ("researcher", "person"),
+    ("professor", "researcher"),
+    ("student", "person"),
+    // the introduction's company chain
+    ("web search company", "computer company"),
+    ("computer company", "company"),
+    ("database company", "computer company"),
+    ("Google", "web search company"),
+    ("Microsoft", "computer company"),
+    ("IBM", "computer company"),
+    ("Oracle", "database company"),
+    ("AT&T Labs", "industrial lab"),
+    ("Bell Labs", "industrial lab"),
+    ("industrial lab", "research lab"),
+    ("research lab", "organization"),
+    ("company", "organization"),
+    ("university", "organization"),
+    ("Stanford University", "university"),
+    ("University of Maryland", "university"),
+    ("UC Berkeley", "university"),
+    // the "US government" motivating query
+    ("government agency", "organization"),
+    ("US Census Bureau", "US government"),
+    ("US Army", "US government"),
+    ("US Navy", "US government"),
+    ("NIST", "US government"),
+    ("NASA", "US government"),
+    ("National Science Foundation", "US government"),
+    ("Army Research Lab", "US Army"),
+    ("US government", "government agency"),
+    // data-model concepts (Example 11 flavour)
+    ("relational model", "data model"),
+    ("semistructured model", "data model"),
+    ("XML", "semistructured model"),
+    ("data model", "model"),
+];
+
+/// `x part-of y` pairs — the schema structure both corpora share.
+pub const PART_OF: &[(&str, &str)] = &[
+    ("author", "article"),
+    ("title", "article"),
+    ("year", "article"),
+    ("month", "article"),
+    ("booktitle", "article"),
+    ("journal", "article"),
+    ("pages", "article"),
+    ("volume", "article"),
+    ("number", "article"),
+    ("ee", "article"),
+    ("url", "article"),
+    ("article", "articles"),
+    ("articles", "proceedings volume"),
+    ("conference", "proceedings volume"),
+    ("date", "proceedings volume"),
+    ("location", "proceedings volume"),
+    ("section", "proceedings volume"),
+    ("initPage", "article"),
+    ("endPage", "article"),
+];
+
+/// Build the embedded lexicon.
+pub fn bibliographic_lexicon() -> Lexicon {
+    let mut l = Lexicon::new();
+    for (a, b) in SYNONYMS {
+        l.add_synonym(a, b);
+    }
+    for (x, y) in ISA {
+        l.add_relation(Relation::Isa, x, y);
+    }
+    for (x, y) in PART_OF {
+        l.add_relation(Relation::PartOf, x, y);
+    }
+    l
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn government_query_chain_resolves() {
+        let l = bibliographic_lexicon();
+        let up = l.hypernym_closure("US Census Bureau");
+        assert!(up.contains(&"US government".to_string()));
+        assert!(up.contains(&"government agency".to_string()));
+        assert!(up.contains(&"organization".to_string()));
+    }
+
+    #[test]
+    fn intro_company_chain_resolves() {
+        let l = bibliographic_lexicon();
+        let up = l.hypernym_closure("Google");
+        for t in ["web search company", "computer company", "company", "organization"] {
+            assert!(up.contains(&t.to_string()), "missing {t}");
+        }
+    }
+
+    #[test]
+    fn dblp_sigmod_tag_synonyms() {
+        let l = bibliographic_lexicon();
+        assert!(l.synonyms("booktitle").contains(&"conference".to_string()));
+        assert!(l.synonyms("confYear").contains(&"year".to_string()));
+        assert!(l.synonyms("inproceedings").contains(&"article".to_string()));
+    }
+
+    #[test]
+    fn part_of_schema_edges() {
+        let l = bibliographic_lexicon();
+        assert_eq!(l.holonyms("author"), vec!["article"]);
+        // synonym class: booktitle/conference both part-of article (via
+        // booktitle edge) and part-of proceedings volume (via conference)
+        let h = l.holonyms("conference");
+        assert!(h.contains(&"article".to_string()));
+    }
+
+    #[test]
+    fn venue_taxonomy() {
+        let l = bibliographic_lexicon();
+        let up = l.hypernym_closure("PODS");
+        assert!(up.contains(&"venue".to_string()));
+        assert!(up.contains(&"symposium".to_string()));
+    }
+
+    #[test]
+    fn lexicon_is_reasonably_populated() {
+        let l = bibliographic_lexicon();
+        assert!(l.term_count() > 60, "got {}", l.term_count());
+    }
+}

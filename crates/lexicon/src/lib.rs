@@ -1,0 +1,21 @@
+//! # toss-lexicon — an embedded lexical network (WordNet substitute)
+//!
+//! The TOSS Ontology Maker "uses WordNet to automatically identify isa,
+//! equivalent, and part-of relationships between terms in an SDB"
+//! (Section 3). WordNet itself is a large external resource; this crate
+//! supplies a compact, purpose-built lexical network with the same query
+//! surface — synonym sets, hypernym (*isa*) edges and holonym (*part-of*)
+//! edges — populated with a curated vocabulary for the bibliographic /
+//! computer-science domain the paper's experiments live in, plus an API
+//! for administrators to extend it with domain rules (the paper's
+//! "user-specified rules").
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod builder;
+pub mod data;
+pub mod net;
+
+pub use builder::LexiconBuilder;
+pub use net::{Lexicon, Relation};

@@ -1,0 +1,290 @@
+//! The lexical network: terms, synonym classes, and directed semantic
+//! relations (hypernymy for *isa*, holonymy for *part-of*).
+
+use std::collections::{BTreeSet, HashMap};
+
+/// Semantic relation kinds the network stores.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub enum Relation {
+    /// `x isa y` — hypernymy ("web search company" isa "company").
+    Isa,
+    /// `x part-of y` — holonymy ("author" part-of "article").
+    PartOf,
+}
+
+/// A lexical network with the WordNet-shaped query surface the Ontology
+/// Maker needs. Lookups are case-insensitive.
+#[derive(Debug, Clone, Default)]
+pub struct Lexicon {
+    /// canonical form of each known term (lowercased key → display form).
+    canonical: HashMap<String, String>,
+    /// synonym class id per term key.
+    syn_class: HashMap<String, usize>,
+    /// members of each synonym class (term keys).
+    classes: Vec<BTreeSet<String>>,
+    /// directed edges per relation, between synonym class ids.
+    edges: HashMap<Relation, Vec<(usize, usize)>>,
+}
+
+impl Lexicon {
+    /// An empty network.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    fn key(term: &str) -> String {
+        term.trim().to_lowercase()
+    }
+
+    /// Register a term (idempotent); returns its synonym-class id.
+    pub fn add_term(&mut self, term: &str) -> usize {
+        let k = Self::key(term);
+        if let Some(&c) = self.syn_class.get(&k) {
+            return c;
+        }
+        let c = self.classes.len();
+        let mut set = BTreeSet::new();
+        set.insert(k.clone());
+        self.classes.push(set);
+        self.syn_class.insert(k.clone(), c);
+        self.canonical.entry(k).or_insert_with(|| term.trim().to_string());
+        c
+    }
+
+    /// Declare two terms synonymous, merging their classes.
+    pub fn add_synonym(&mut self, a: &str, b: &str) {
+        let ca = self.add_term(a);
+        let cb = self.add_term(b);
+        if ca == cb {
+            return;
+        }
+        let (keep, drain) = if ca < cb { (ca, cb) } else { (cb, ca) };
+        let moved: Vec<String> = self.classes[drain].iter().cloned().collect();
+        for k in moved {
+            self.syn_class.insert(k.clone(), keep);
+            self.classes[keep].insert(k);
+        }
+        self.classes[drain].clear();
+        // rewrite edges referencing the drained class
+        for es in self.edges.values_mut() {
+            for (u, v) in es.iter_mut() {
+                if *u == drain {
+                    *u = keep;
+                }
+                if *v == drain {
+                    *v = keep;
+                }
+            }
+            es.retain(|(u, v)| u != v);
+            es.sort_unstable();
+            es.dedup();
+        }
+    }
+
+    /// Declare `x rel y` (e.g. `add_relation(Isa, "google", "company")`).
+    pub fn add_relation(&mut self, rel: Relation, x: &str, y: &str) {
+        let cx = self.add_term(x);
+        let cy = self.add_term(y);
+        if cx == cy {
+            return;
+        }
+        let es = self.edges.entry(rel).or_default();
+        if !es.contains(&(cx, cy)) {
+            es.push((cx, cy));
+        }
+    }
+
+    /// Whether the term is known.
+    pub fn contains(&self, term: &str) -> bool {
+        self.syn_class.contains_key(&Self::key(term))
+    }
+
+    /// Synonyms of a term (canonical display forms, including the term's
+    /// own canonical form); empty for unknown terms.
+    pub fn synonyms(&self, term: &str) -> Vec<String> {
+        let Some(&c) = self.syn_class.get(&Self::key(term)) else {
+            return Vec::new();
+        };
+        self.classes[c]
+            .iter()
+            .map(|k| self.canonical[k].clone())
+            .collect()
+    }
+
+    /// Direct targets of `rel` from the term's class — e.g. `hypernyms`
+    /// when `rel` is [`Relation::Isa`]. One representative (canonical
+    /// form) per target class.
+    pub fn related(&self, rel: Relation, term: &str) -> Vec<String> {
+        let Some(&c) = self.syn_class.get(&Self::key(term)) else {
+            return Vec::new();
+        };
+        let Some(es) = self.edges.get(&rel) else {
+            return Vec::new();
+        };
+        let mut out: Vec<String> = es
+            .iter()
+            .filter(|(u, _)| *u == c)
+            .filter_map(|(_, v)| self.class_representative(*v))
+            .collect();
+        out.sort();
+        out.dedup();
+        out
+    }
+
+    /// Direct hypernyms: `term isa ?`.
+    pub fn hypernyms(&self, term: &str) -> Vec<String> {
+        self.related(Relation::Isa, term)
+    }
+
+    /// Direct holonyms: `term part-of ?`.
+    pub fn holonyms(&self, term: &str) -> Vec<String> {
+        self.related(Relation::PartOf, term)
+    }
+
+    /// Transitive hypernym closure (the full *isa* chain upward).
+    pub fn hypernym_closure(&self, term: &str) -> Vec<String> {
+        self.closure(Relation::Isa, term)
+    }
+
+    fn closure(&self, rel: Relation, term: &str) -> Vec<String> {
+        let mut out: Vec<String> = Vec::new();
+        let mut frontier = vec![term.to_string()];
+        let mut seen = BTreeSet::new();
+        while let Some(t) = frontier.pop() {
+            for h in self.related(rel, &t) {
+                if seen.insert(h.clone()) {
+                    out.push(h.clone());
+                    frontier.push(h);
+                }
+            }
+        }
+        out.sort();
+        out
+    }
+
+    /// All `(x, y)` pairs of a relation as canonical forms — the raw
+    /// material the Ontology Maker filters against a document's terms.
+    pub fn relation_pairs(&self, rel: Relation) -> Vec<(String, String)> {
+        let Some(es) = self.edges.get(&rel) else {
+            return Vec::new();
+        };
+        let mut out: Vec<(String, String)> = es
+            .iter()
+            .filter_map(|(u, v)| {
+                Some((
+                    self.class_representative(*u)?,
+                    self.class_representative(*v)?,
+                ))
+            })
+            .collect();
+        out.sort();
+        out.dedup();
+        out
+    }
+
+    /// Number of known terms.
+    pub fn term_count(&self) -> usize {
+        self.syn_class.len()
+    }
+
+    fn class_representative(&self, c: usize) -> Option<String> {
+        self.classes
+            .get(c)?
+            .iter()
+            .next()
+            .map(|k| self.canonical[k].clone())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> Lexicon {
+        let mut l = Lexicon::new();
+        l.add_relation(Relation::Isa, "google", "web search company");
+        l.add_relation(Relation::Isa, "web search company", "computer company");
+        l.add_relation(Relation::Isa, "computer company", "company");
+        l.add_relation(Relation::PartOf, "author", "article");
+        l.add_synonym("booktitle", "conference");
+        l
+    }
+
+    #[test]
+    fn hypernym_chain_from_the_papers_intro() {
+        let l = sample();
+        assert_eq!(l.hypernyms("google"), vec!["web search company"]);
+        let closure = l.hypernym_closure("google");
+        assert!(closure.contains(&"company".to_string()));
+        assert!(closure.contains(&"computer company".to_string()));
+        assert_eq!(closure.len(), 3);
+    }
+
+    #[test]
+    fn lookups_are_case_insensitive() {
+        let l = sample();
+        assert!(l.contains("Google"));
+        assert_eq!(l.hypernyms("GOOGLE"), vec!["web search company"]);
+    }
+
+    #[test]
+    fn synonyms_merge_classes_and_edges() {
+        let mut l = sample();
+        l.add_relation(Relation::PartOf, "conference", "article");
+        // booktitle inherits the conference → article edge via the class
+        assert_eq!(l.holonyms("booktitle"), vec!["article"]);
+        let syns = l.synonyms("conference");
+        assert!(syns.contains(&"booktitle".to_string()));
+        assert!(syns.contains(&"conference".to_string()));
+    }
+
+    #[test]
+    fn unknown_terms_yield_empty_results() {
+        let l = sample();
+        assert!(!l.contains("xyzzy"));
+        assert!(l.synonyms("xyzzy").is_empty());
+        assert!(l.hypernyms("xyzzy").is_empty());
+        assert!(l.hypernym_closure("xyzzy").is_empty());
+    }
+
+    #[test]
+    fn synonym_merge_is_idempotent_and_self_safe() {
+        let mut l = sample();
+        let before = l.term_count();
+        l.add_synonym("booktitle", "conference");
+        l.add_synonym("booktitle", "booktitle");
+        assert_eq!(l.term_count(), before);
+    }
+
+    #[test]
+    fn relation_between_synonyms_is_dropped() {
+        let mut l = Lexicon::new();
+        l.add_synonym("a", "b");
+        l.add_relation(Relation::Isa, "a", "b");
+        assert!(l.hypernyms("a").is_empty());
+        // and merging after the fact removes self loops
+        let mut l2 = Lexicon::new();
+        l2.add_relation(Relation::Isa, "a", "b");
+        l2.add_synonym("a", "b");
+        assert!(l2.hypernyms("a").is_empty());
+    }
+
+    #[test]
+    fn relation_pairs_enumerates() {
+        let l = sample();
+        let pairs = l.relation_pairs(Relation::Isa);
+        assert_eq!(pairs.len(), 3);
+        assert!(pairs.contains(&("google".to_string(), "web search company".to_string())));
+        assert!(l.relation_pairs(Relation::PartOf).len() == 1);
+    }
+
+    #[test]
+    fn cycle_of_synonyms_keeps_classes_consistent() {
+        let mut l = Lexicon::new();
+        l.add_synonym("a", "b");
+        l.add_synonym("b", "c");
+        l.add_synonym("c", "a");
+        let syns = l.synonyms("a");
+        assert_eq!(syns.len(), 3);
+    }
+}

@@ -1,0 +1,415 @@
+//! Hierarchies — Hasse diagrams of partial orders (Definition 3).
+//!
+//! A hierarchy's nodes are *sets of strings* (after fusion or similarity
+//! enhancement a node may carry several synonymous/similar terms; before,
+//! nodes usually carry one term each). An edge `(u, v)` means `u ≤ v`
+//! directly — e.g. for *part-of*, `author → article`; for *isa*,
+//! `web search company → computer company`. The Hasse property (no
+//! redundant edges) is restored on demand by [`Hierarchy::reduce`].
+
+use crate::error::{OntologyError, OntologyResult};
+use crate::graph::DiGraph;
+use std::collections::HashMap;
+
+/// Identifier of a node within one [`Hierarchy`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct HNodeId(pub usize);
+
+impl std::fmt::Display for HNodeId {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "h{}", self.0)
+    }
+}
+
+/// A Hasse diagram whose nodes carry term sets.
+#[derive(Debug, Clone, Default)]
+pub struct Hierarchy {
+    /// Term sets per node, kept sorted and deduplicated.
+    terms: Vec<Vec<String>>,
+    /// Edge `(u, v)` means `u ≤ v` directly.
+    graph: DiGraph,
+    /// term → node containing it (terms are unique across nodes).
+    by_term: HashMap<String, HNodeId>,
+}
+
+impl Hierarchy {
+    /// An empty hierarchy.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Add a node containing a single term; returns the existing node if
+    /// the term is already present.
+    pub fn add_term(&mut self, term: &str) -> HNodeId {
+        if let Some(&id) = self.by_term.get(term) {
+            return id;
+        }
+        self.add_node(vec![term.to_string()])
+            .expect("fresh term cannot collide")
+    }
+
+    /// Add a node containing a set of terms. Errors with
+    /// [`OntologyError::UnknownTerm`]'s sibling semantics if any term is
+    /// already in another node (terms are unique across nodes).
+    pub fn add_node(&mut self, mut terms: Vec<String>) -> OntologyResult<HNodeId> {
+        terms.sort();
+        terms.dedup();
+        for t in &terms {
+            if self.by_term.contains_key(t) {
+                return Err(OntologyError::UnknownTerm(format!(
+                    "term `{t}` already belongs to a node"
+                )));
+            }
+        }
+        let id = HNodeId(self.graph.add_vertex());
+        for t in &terms {
+            self.by_term.insert(t.clone(), id);
+        }
+        self.terms.push(terms);
+        Ok(id)
+    }
+
+    /// Assert `below ≤ above`. Rejects edges that would create a cycle
+    /// (hierarchies are acyclic by definition).
+    pub fn add_edge(&mut self, below: HNodeId, above: HNodeId) -> OntologyResult<()> {
+        if below == above || self.graph.has_path(above.0, below.0) {
+            return Err(OntologyError::CycleDetected {
+                below: self.render_node(below),
+                above: self.render_node(above),
+            });
+        }
+        self.graph.add_edge(below.0, above.0);
+        Ok(())
+    }
+
+    /// Convenience: assert `below_term ≤ above_term`, creating the nodes
+    /// as needed.
+    pub fn add_leq(&mut self, below_term: &str, above_term: &str) -> OntologyResult<()> {
+        let b = self.add_term(below_term);
+        let a = self.add_term(above_term);
+        self.add_edge(b, a)
+    }
+
+    /// Node containing a term.
+    pub fn node_of(&self, term: &str) -> Option<HNodeId> {
+        self.by_term.get(term).copied()
+    }
+
+    /// Terms of a node.
+    pub fn terms_of(&self, id: HNodeId) -> OntologyResult<&[String]> {
+        self.terms
+            .get(id.0)
+            .map(Vec::as_slice)
+            .ok_or(OntologyError::InvalidNode(id.0))
+    }
+
+    /// `a ≤ b` in the reflexive-transitive order.
+    pub fn leq(&self, a: HNodeId, b: HNodeId) -> bool {
+        a == b || self.graph.has_path(a.0, b.0)
+    }
+
+    /// `x ≤ y` on terms; false when either term is absent.
+    pub fn leq_terms(&self, x: &str, y: &str) -> bool {
+        match (self.node_of(x), self.node_of(y)) {
+            (Some(a), Some(b)) => self.leq(a, b),
+            _ => false,
+        }
+    }
+
+    /// All nodes ≤ `id` (the *below cone*, including `id`). For a type
+    /// hierarchy this is the paper's `below_H(τ)` restricted to types —
+    /// domain values are appended by the caller that owns the type system.
+    pub fn below(&self, id: HNodeId) -> Vec<HNodeId> {
+        self.below_many(&[id])
+    }
+
+    /// All nodes ≤ *some* target (union of below cones, including the
+    /// targets themselves). One reverse BFS over the edge set — `O(V+E)`
+    /// regardless of how many targets.
+    pub fn below_many(&self, targets: &[HNodeId]) -> Vec<HNodeId> {
+        // reverse adjacency built on the fly (cheap relative to queries
+        // that need it; hierarchies are small and this stays O(E))
+        let mut preds: Vec<Vec<usize>> = vec![Vec::new(); self.len()];
+        for (u, v) in self.graph.edges() {
+            preds[v].push(u);
+        }
+        let mut seen = vec![false; self.len()];
+        let mut stack: Vec<usize> = targets
+            .iter()
+            .filter(|t| t.0 < self.len())
+            .map(|t| t.0)
+            .collect();
+        for &s in &stack {
+            seen[s] = true;
+        }
+        while let Some(u) = stack.pop() {
+            for &p in &preds[u] {
+                if !seen[p] {
+                    seen[p] = true;
+                    stack.push(p);
+                }
+            }
+        }
+        (0..self.len())
+            .filter(|&i| seen[i])
+            .map(HNodeId)
+            .collect()
+    }
+
+    /// All nodes ≥ `id` (the *above cone*, including `id`).
+    pub fn above(&self, id: HNodeId) -> Vec<HNodeId> {
+        let mut out: Vec<HNodeId> = self
+            .graph
+            .reachable_from(id.0)
+            .into_iter()
+            .map(HNodeId)
+            .collect();
+        out.push(id);
+        out.sort();
+        out.dedup();
+        out
+    }
+
+    /// All terms of all nodes ≤ the node containing `term` (including the
+    /// node's own terms); empty if the term is absent.
+    pub fn below_terms(&self, term: &str) -> Vec<String> {
+        let Some(id) = self.node_of(term) else {
+            return Vec::new();
+        };
+        let mut out: Vec<String> = self
+            .below(id)
+            .into_iter()
+            .flat_map(|n| self.terms[n.0].iter().cloned())
+            .collect();
+        out.sort();
+        out.dedup();
+        out
+    }
+
+    /// Number of nodes.
+    pub fn len(&self) -> usize {
+        self.terms.len()
+    }
+
+    /// Whether the hierarchy has no nodes.
+    pub fn is_empty(&self) -> bool {
+        self.terms.is_empty()
+    }
+
+    /// Total number of terms across nodes.
+    pub fn term_count(&self) -> usize {
+        self.by_term.len()
+    }
+
+    /// Direct Hasse edges as `(below, above)` pairs.
+    pub fn edges(&self) -> Vec<(HNodeId, HNodeId)> {
+        self.graph
+            .edges()
+            .into_iter()
+            .map(|(u, v)| (HNodeId(u), HNodeId(v)))
+            .collect()
+    }
+
+    /// Direct parents (covers) of a node.
+    pub fn parents(&self, id: HNodeId) -> Vec<HNodeId> {
+        self.graph
+            .successors(id.0)
+            .iter()
+            .map(|&v| HNodeId(v))
+            .collect()
+    }
+
+    /// All node ids.
+    pub fn nodes(&self) -> impl Iterator<Item = HNodeId> {
+        (0..self.len()).map(HNodeId)
+    }
+
+    /// All terms in the hierarchy (sorted).
+    pub fn all_terms(&self) -> Vec<String> {
+        let mut v: Vec<String> = self.by_term.keys().cloned().collect();
+        v.sort();
+        v
+    }
+
+    /// Restore the Hasse property: remove edges implied by transitivity.
+    /// Returns the number of edges removed.
+    pub fn reduce(&mut self) -> usize {
+        let before = self.graph.edge_count();
+        self.graph = self.graph.transitive_reduction();
+        before - self.graph.edge_count()
+    }
+
+    /// Render a node as `{t1, t2}` for error messages.
+    pub fn render_node(&self, id: HNodeId) -> String {
+        match self.terms.get(id.0) {
+            Some(ts) => format!("{{{}}}", ts.join(", ")),
+            None => format!("<invalid {id}>"),
+        }
+    }
+
+    /// The underlying digraph (read-only), for algorithms that need raw
+    /// access (fusion, SEA).
+    pub fn digraph(&self) -> &DiGraph {
+        &self.graph
+    }
+
+    /// Check the Definition-5 axiom-1 property against another hierarchy:
+    /// every ordered pair of this hierarchy must be ordered in `other`
+    /// under the mapping `f` from our node ids to theirs.
+    pub fn order_preserved_into(
+        &self,
+        other: &Hierarchy,
+        f: impl Fn(HNodeId) -> Option<HNodeId>,
+    ) -> bool {
+        for a in self.nodes() {
+            for b in self.nodes() {
+                if self.leq(a, b) {
+                    match (f(a), f(b)) {
+                        (Some(fa), Some(fb)) if other.leq(fa, fb) => {}
+                        _ => return false,
+                    }
+                }
+            }
+        }
+        true
+    }
+}
+
+/// Build a hierarchy from `(below, above)` term pairs — the natural way to
+/// write the paper's examples.
+pub fn from_pairs(pairs: &[(&str, &str)]) -> OntologyResult<Hierarchy> {
+    let mut h = Hierarchy::new();
+    for (b, a) in pairs {
+        h.add_leq(b, a)?;
+    }
+    Ok(h)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// The paper's Example 7: author ≤ article, title ≤ article (part-of).
+    fn example7() -> Hierarchy {
+        from_pairs(&[("author", "article"), ("title", "article")]).unwrap()
+    }
+
+    #[test]
+    fn example7_structure() {
+        let h = example7();
+        assert_eq!(h.len(), 3);
+        assert!(h.leq_terms("author", "article"));
+        assert!(h.leq_terms("title", "article"));
+        assert!(!h.leq_terms("article", "author"));
+        assert!(!h.leq_terms("author", "title"));
+        // reflexivity
+        assert!(h.leq_terms("author", "author"));
+    }
+
+    #[test]
+    fn add_term_is_idempotent() {
+        let mut h = Hierarchy::new();
+        let a = h.add_term("x");
+        let b = h.add_term("x");
+        assert_eq!(a, b);
+        assert_eq!(h.len(), 1);
+    }
+
+    #[test]
+    fn duplicate_term_across_nodes_rejected() {
+        let mut h = Hierarchy::new();
+        h.add_term("x");
+        assert!(h.add_node(vec!["x".into(), "y".into()]).is_err());
+    }
+
+    #[test]
+    fn cycles_are_rejected() {
+        let mut h = Hierarchy::new();
+        h.add_leq("a", "b").unwrap();
+        h.add_leq("b", "c").unwrap();
+        let e = h.add_leq("c", "a").unwrap_err();
+        assert!(matches!(e, OntologyError::CycleDetected { .. }));
+        // self edge
+        let a = h.node_of("a").unwrap();
+        assert!(h.add_edge(a, a).is_err());
+    }
+
+    #[test]
+    fn cones() {
+        // diamond: d ≤ b ≤ a, d ≤ c ≤ a
+        let h = from_pairs(&[("b", "a"), ("c", "a"), ("d", "b"), ("d", "c")]).unwrap();
+        let a = h.node_of("a").unwrap();
+        let d = h.node_of("d").unwrap();
+        assert_eq!(h.below(a).len(), 4);
+        assert_eq!(h.above(d).len(), 4);
+        assert_eq!(h.below(d).len(), 1);
+        let below_a = h.below_terms("a");
+        assert_eq!(below_a, vec!["a", "b", "c", "d"]);
+    }
+
+    #[test]
+    fn below_terms_of_missing_term_is_empty() {
+        let h = example7();
+        assert!(h.below_terms("nope").is_empty());
+    }
+
+    #[test]
+    fn reduce_restores_hasse_property() {
+        let mut h = from_pairs(&[("a", "b"), ("b", "c"), ("a", "c")]).unwrap();
+        assert_eq!(h.edges().len(), 3);
+        let removed = h.reduce();
+        assert_eq!(removed, 1);
+        assert!(h.leq_terms("a", "c")); // reachability preserved
+        assert_eq!(h.edges().len(), 2);
+    }
+
+    #[test]
+    fn multi_term_nodes() {
+        let mut h = Hierarchy::new();
+        let fused = h
+            .add_node(vec!["booktitle".into(), "conference".into()])
+            .unwrap();
+        let art = h.add_term("article");
+        h.add_edge(fused, art).unwrap();
+        assert_eq!(h.node_of("booktitle"), Some(fused));
+        assert_eq!(h.node_of("conference"), Some(fused));
+        assert!(h.leq_terms("booktitle", "article"));
+        assert!(h.leq_terms("conference", "article"));
+        assert_eq!(h.terms_of(fused).unwrap().len(), 2);
+    }
+
+    #[test]
+    fn order_preservation_check() {
+        let h = example7();
+        let mut bigger = example7();
+        bigger.add_leq("article", "document").unwrap();
+        // identity-by-term mapping
+        let ok = h.order_preserved_into(&bigger, |id| {
+            let t = &h.terms_of(id).unwrap()[0];
+            bigger.node_of(t)
+        });
+        assert!(ok);
+        // map everything to one node in a flat hierarchy: orders collapse, still preserved reflexively
+        let mut flat = Hierarchy::new();
+        let only = flat.add_term("x");
+        assert!(h.order_preserved_into(&flat, |_| Some(only)));
+        // dropping a node breaks preservation
+        assert!(!h.order_preserved_into(&bigger, |id| {
+            let t = &h.terms_of(id).unwrap()[0];
+            if t == "article" {
+                None
+            } else {
+                bigger.node_of(t)
+            }
+        }));
+    }
+
+    #[test]
+    fn parents_are_direct_covers_only() {
+        let mut h = from_pairs(&[("a", "b"), ("b", "c"), ("a", "c")]).unwrap();
+        h.reduce();
+        let a = h.node_of("a").unwrap();
+        let b = h.node_of("b").unwrap();
+        assert_eq!(h.parents(a), vec![b]);
+    }
+}

@@ -1,0 +1,41 @@
+//! # toss-ontology — hierarchies, fusion and similarity enhancement
+//!
+//! Implements Section 4 of the TOSS paper:
+//!
+//! * [`hierarchy`] — Hasse diagrams of partial orders (Definition 3's
+//!   hierarchies), with reachability, cones and transitive reduction.
+//! * [`constraints`] — interoperation constraints between hierarchies
+//!   (Definition 4): `x:i ≤ y:j` and `x:i ≠ y:j` (equality desugars to two
+//!   `≤` constraints).
+//! * [`fusion`] — the hierarchy graph (Definition 6) and the *canonical
+//!   fusion* of several hierarchies under constraints (Definition 5),
+//!   built by collapsing the strongly connected components of the
+//!   hierarchy graph and transitively reducing the quotient.
+//! * [`sea`] — the SEA algorithm (Figure 12): similarity enhancement of a
+//!   hierarchy w.r.t. a node similarity measure and threshold ε, yielding
+//!   a [`seo::Seo`] (Definitions 8–9, Theorems 1–2).
+//! * [`graph`] — the supporting digraph toolkit (Tarjan SCC, reachability,
+//!   transitive closure/reduction, Bron-Kerbosch maximal cliques).
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod constraints;
+pub mod dot;
+pub mod error;
+pub mod fusion;
+pub mod graph;
+pub mod hierarchy;
+pub mod ontology;
+pub mod persist;
+pub mod poset;
+pub mod sea;
+pub mod seo;
+
+pub use constraints::{Constraint, TermRef};
+pub use error::{OntologyError, OntologyResult};
+pub use fusion::{fuse, Fusion};
+pub use hierarchy::{HNodeId, Hierarchy};
+pub use ontology::Ontology;
+pub use sea::enhance;
+pub use seo::Seo;

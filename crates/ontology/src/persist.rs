@@ -1,0 +1,193 @@
+//! Persistence for hierarchies and SEOs.
+//!
+//! The paper's architecture *precomputes* the similarity enhanced (fused)
+//! ontology during integration and reuses it across queries; a deployment
+//! therefore needs to save it. Serialization goes through plain data
+//! transfer structs (term lists + edge lists + clique index lists) so the
+//! on-disk format is independent of in-memory layout, and loading
+//! re-validates structure (acyclicity via the hierarchy builder).
+
+use crate::error::{OntologyError, OntologyResult};
+use crate::hierarchy::{HNodeId, Hierarchy};
+use crate::seo::Seo;
+use serde::{Deserialize, Serialize};
+
+/// Serializable form of a [`Hierarchy`].
+#[derive(Debug, Clone, Serialize, Deserialize, PartialEq)]
+pub struct HierarchyDto {
+    /// Term sets per node, in node-id order.
+    pub nodes: Vec<Vec<String>>,
+    /// Hasse edges as `(below, above)` node indices.
+    pub edges: Vec<(usize, usize)>,
+}
+
+impl HierarchyDto {
+    /// Capture a hierarchy.
+    pub fn from_hierarchy(h: &Hierarchy) -> Self {
+        HierarchyDto {
+            nodes: h
+                .nodes()
+                .map(|n| h.terms_of(n).expect("dense ids").to_vec())
+                .collect(),
+            edges: h.edges().into_iter().map(|(a, b)| (a.0, b.0)).collect(),
+        }
+    }
+
+    /// Rebuild the hierarchy, re-checking term uniqueness and acyclicity.
+    pub fn into_hierarchy(self) -> OntologyResult<Hierarchy> {
+        let mut h = Hierarchy::new();
+        for terms in self.nodes {
+            h.add_node(terms)?;
+        }
+        for (a, b) in self.edges {
+            if a >= h.len() || b >= h.len() {
+                return Err(OntologyError::InvalidNode(a.max(b)));
+            }
+            h.add_edge(HNodeId(a), HNodeId(b))?;
+        }
+        Ok(h)
+    }
+}
+
+/// Serializable form of an [`Seo`].
+#[derive(Debug, Clone, Serialize, Deserialize, PartialEq)]
+pub struct SeoDto {
+    /// The original hierarchy `H`.
+    pub original: HierarchyDto,
+    /// Edges of the enhanced hierarchy `H'` as `(below, above)` pairs of
+    /// enhanced-node indices.
+    pub enhanced_edges: Vec<(usize, usize)>,
+    /// Per enhanced node: the original node indices it merged (μ⁻¹).
+    pub cliques: Vec<Vec<usize>>,
+    /// The ε the enhancement was built with.
+    pub epsilon: f64,
+}
+
+impl SeoDto {
+    /// Capture an SEO.
+    pub fn from_seo(seo: &Seo) -> Self {
+        SeoDto {
+            original: HierarchyDto::from_hierarchy(seo.original()),
+            enhanced_edges: seo
+                .enhanced()
+                .edges()
+                .into_iter()
+                .map(|(a, b)| (a.0, b.0))
+                .collect(),
+            cliques: (0..seo.len())
+                .map(|e| {
+                    seo.members_of(HNodeId(e))
+                        .iter()
+                        .map(|m| m.0)
+                        .collect()
+                })
+                .collect(),
+            epsilon: seo.epsilon(),
+        }
+    }
+
+    /// Rebuild the SEO. Structure (acyclicity, id ranges) is re-checked;
+    /// semantic validity against a metric can be re-checked with
+    /// [`Seo::validate`].
+    pub fn into_seo(self) -> OntologyResult<Seo> {
+        let original = self.original.into_hierarchy()?;
+        let mut enhanced = Hierarchy::new();
+        for i in 0..self.cliques.len() {
+            enhanced.add_node(vec![format!("\u{1}clique{i}")])?;
+        }
+        for (a, b) in self.enhanced_edges {
+            if a >= enhanced.len() || b >= enhanced.len() {
+                return Err(OntologyError::InvalidNode(a.max(b)));
+            }
+            enhanced.add_edge(HNodeId(a), HNodeId(b))?;
+        }
+        for clique in &self.cliques {
+            for &m in clique {
+                if m >= original.len() {
+                    return Err(OntologyError::InvalidNode(m));
+                }
+            }
+        }
+        Ok(Seo::from_parts(original, enhanced, self.cliques, self.epsilon))
+    }
+}
+
+/// Serialize an SEO to JSON.
+pub fn seo_to_json(seo: &Seo) -> String {
+    serde_json::to_string(&SeoDto::from_seo(seo)).expect("DTO is always serializable")
+}
+
+/// Load an SEO from JSON produced by [`seo_to_json`].
+pub fn seo_from_json(json: &str) -> OntologyResult<Seo> {
+    let dto: SeoDto = serde_json::from_str(json)
+        .map_err(|e| OntologyError::UnknownTerm(format!("malformed SEO JSON: {e}")))?;
+    dto.into_seo()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::hierarchy::from_pairs;
+    use crate::sea::enhance;
+    use toss_similarity::Levenshtein;
+
+    fn sample_seo() -> Seo {
+        let h = from_pairs(&[
+            ("relation", "concept"),
+            ("relational", "concept"),
+            ("model", "concept"),
+            ("models", "concept"),
+        ])
+        .unwrap();
+        enhance(&h, &Levenshtein, 2.0).unwrap()
+    }
+
+    #[test]
+    fn hierarchy_round_trip() {
+        let h = from_pairs(&[("a", "b"), ("b", "c"), ("x", "c")]).unwrap();
+        let dto = HierarchyDto::from_hierarchy(&h);
+        let h2 = dto.clone().into_hierarchy().unwrap();
+        assert_eq!(dto, HierarchyDto::from_hierarchy(&h2));
+        assert!(h2.leq_terms("a", "c"));
+        assert!(!h2.leq_terms("c", "a"));
+    }
+
+    #[test]
+    fn seo_round_trip_preserves_semantics() {
+        let seo = sample_seo();
+        let json = seo_to_json(&seo);
+        let back = seo_from_json(&json).unwrap();
+        assert_eq!(back.epsilon(), 2.0);
+        // similarity relation identical on every term pair
+        for a in seo.original().all_terms() {
+            for b in seo.original().all_terms() {
+                assert_eq!(seo.similar(&a, &b), back.similar(&a, &b), "{a} ~ {b}");
+                assert_eq!(seo.leq_terms(&a, &b), back.leq_terms(&a, &b), "{a} ≤ {b}");
+            }
+        }
+        // and it still validates against the metric
+        back.validate(&Levenshtein).unwrap();
+    }
+
+    #[test]
+    fn corrupt_json_is_rejected() {
+        assert!(seo_from_json("{").is_err());
+        // out-of-range clique member
+        let mut dto = SeoDto::from_seo(&sample_seo());
+        dto.cliques[0].push(999);
+        assert!(dto.into_seo().is_err());
+    }
+
+    #[test]
+    fn cyclic_edges_rejected_on_load() {
+        let mut dto = SeoDto::from_seo(&sample_seo());
+        // add a back edge among enhanced nodes to force a cycle
+        if let Some(&(a, b)) = dto.enhanced_edges.first() {
+            dto.enhanced_edges.push((b, a));
+            assert!(matches!(
+                dto.into_seo(),
+                Err(OntologyError::CycleDetected { .. })
+            ));
+        }
+    }
+}

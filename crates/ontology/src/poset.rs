@@ -1,0 +1,263 @@
+//! Partial orders and Hasse diagrams (Section 4.1).
+//!
+//! "A *hierarchy* for `(S, ≤)` is the Hasse diagram for `(S, ≤)` … a
+//! directed acyclic graph whose set of nodes is `S` \[with\] a minimal set
+//! of edges such that there is a path from `u` to `v` iff `u ≤ v`."
+//!
+//! This module provides the explicit poset side: validating that a
+//! relation given as pairs really is a partial order, deriving the Hasse
+//! diagram from a full order (Example 7 turns five `≤` pairs into two
+//! Hasse edges), and recovering the full order back from a hierarchy.
+
+use crate::error::{OntologyError, OntologyResult};
+use crate::hierarchy::Hierarchy;
+use std::collections::{BTreeMap, BTreeSet};
+
+/// A finite binary relation on strings, as explicit pairs `(a, b)`
+/// meaning `a ≤ b`.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct Relation {
+    pairs: BTreeSet<(String, String)>,
+    elements: BTreeSet<String>,
+}
+
+impl Relation {
+    /// Build from pairs; elements are everything mentioned.
+    pub fn from_pairs<'a>(pairs: impl IntoIterator<Item = (&'a str, &'a str)>) -> Self {
+        let mut r = Relation::default();
+        for (a, b) in pairs {
+            r.elements.insert(a.to_string());
+            r.elements.insert(b.to_string());
+            r.pairs.insert((a.to_string(), b.to_string()));
+        }
+        r
+    }
+
+    /// Whether `a ≤ b` is in the relation (as given, no closure).
+    pub fn contains(&self, a: &str, b: &str) -> bool {
+        self.pairs.contains(&(a.to_string(), b.to_string()))
+    }
+
+    /// The elements.
+    pub fn elements(&self) -> impl Iterator<Item = &str> {
+        self.elements.iter().map(String::as_str)
+    }
+
+    /// Number of pairs.
+    pub fn len(&self) -> usize {
+        self.pairs.len()
+    }
+
+    /// Whether the relation is empty.
+    pub fn is_empty(&self) -> bool {
+        self.pairs.is_empty()
+    }
+
+    /// Check the partial-order axioms. Returns the first violation found:
+    /// a missing reflexive pair, an antisymmetry violation `a ≤ b ≤ a`
+    /// with `a ≠ b`, or a missing transitive pair.
+    pub fn check_partial_order(&self) -> Result<(), String> {
+        for e in &self.elements {
+            if !self.contains(e, e) {
+                return Err(format!("not reflexive: missing {e} ≤ {e}"));
+            }
+        }
+        for (a, b) in &self.pairs {
+            if a != b && self.contains(b, a) {
+                return Err(format!("not antisymmetric: {a} ≤ {b} and {b} ≤ {a}"));
+            }
+        }
+        for (a, b) in &self.pairs {
+            for (b2, c) in &self.pairs {
+                if b == b2 && !self.contains(a, c) {
+                    return Err(format!(
+                        "not transitive: {a} ≤ {b} and {b} ≤ {c} but {a} ≤ {c} missing"
+                    ));
+                }
+            }
+        }
+        Ok(())
+    }
+
+    /// Reflexive-transitive closure of the relation (always a preorder;
+    /// a partial order iff antisymmetry holds afterwards).
+    pub fn closure(&self) -> Relation {
+        let mut pairs = self.pairs.clone();
+        // reflexive
+        for e in &self.elements {
+            pairs.insert((e.clone(), e.clone()));
+        }
+        // transitive (Warshall on the pair set)
+        let elems: Vec<&String> = self.elements.iter().collect();
+        let mut changed = true;
+        while changed {
+            changed = false;
+            let snapshot: Vec<(String, String)> = pairs.iter().cloned().collect();
+            let by_lhs: BTreeMap<&str, Vec<&str>> = {
+                let mut m: BTreeMap<&str, Vec<&str>> = BTreeMap::new();
+                for (a, b) in &snapshot {
+                    m.entry(a.as_str()).or_default().push(b.as_str());
+                }
+                m
+            };
+            for (a, b) in &snapshot {
+                for c in by_lhs.get(b.as_str()).into_iter().flatten() {
+                    if pairs.insert((a.clone(), c.to_string())) {
+                        changed = true;
+                    }
+                }
+            }
+        }
+        let _ = elems;
+        Relation {
+            pairs,
+            elements: self.elements.clone(),
+        }
+    }
+
+    /// Build the hierarchy (Hasse diagram) of this partial order: strict
+    /// pairs minus those implied by transitivity. Errors if the closure
+    /// violates antisymmetry (the relation has a cycle).
+    pub fn hasse(&self) -> OntologyResult<Hierarchy> {
+        let closed = self.closure();
+        // antisymmetry on the closure
+        for (a, b) in &closed.pairs {
+            if a != b && closed.contains(b, a) {
+                return Err(OntologyError::CycleDetected {
+                    below: a.clone(),
+                    above: b.clone(),
+                });
+            }
+        }
+        let mut h = Hierarchy::new();
+        for e in &self.elements {
+            h.add_term(e);
+        }
+        for (a, b) in &closed.pairs {
+            if a == b {
+                continue;
+            }
+            // covering pair: no strictly-between element
+            let between = closed.pairs.iter().any(|(x, y)| {
+                x == a && y != a && y != b && closed.contains(y, b)
+            });
+            if !between {
+                h.add_leq(a, b)?;
+            }
+        }
+        Ok(h)
+    }
+}
+
+/// Recover the full partial order (as explicit pairs, reflexive included)
+/// from a hierarchy — the inverse direction of [`Relation::hasse`].
+pub fn order_of(h: &Hierarchy) -> Relation {
+    let mut r = Relation::default();
+    let terms = h.all_terms();
+    for a in &terms {
+        r.elements.insert(a.clone());
+        for b in &terms {
+            if h.leq_terms(a, b) {
+                r.pairs.insert((a.clone(), b.clone()));
+            }
+        }
+    }
+    r
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// The paper's Example 7: the natural part-of order on
+    /// {article, author, title} and its unique hierarchy.
+    #[test]
+    fn example7_order_to_hasse() {
+        let r = Relation::from_pairs([
+            ("author", "article"),
+            ("title", "article"),
+            ("article", "article"),
+            ("author", "author"),
+            ("title", "title"),
+        ]);
+        r.check_partial_order().unwrap();
+        let h = r.hasse().unwrap();
+        // "There is only one hierarchy associated with this partial
+        // ordering, viz. {(author, article), (title, article)}."
+        assert_eq!(h.edges().len(), 2);
+        assert!(h.leq_terms("author", "article"));
+        assert!(h.leq_terms("title", "article"));
+        assert!(!h.leq_terms("author", "title"));
+    }
+
+    #[test]
+    fn axiom_violations_are_reported() {
+        // missing reflexivity
+        let r = Relation::from_pairs([("a", "b")]);
+        assert!(r.check_partial_order().unwrap_err().contains("reflexive"));
+        // antisymmetry
+        let r = Relation::from_pairs([("a", "b"), ("b", "a"), ("a", "a"), ("b", "b")]);
+        assert!(r
+            .check_partial_order()
+            .unwrap_err()
+            .contains("antisymmetric"));
+        // transitivity
+        let r = Relation::from_pairs([
+            ("a", "b"),
+            ("b", "c"),
+            ("a", "a"),
+            ("b", "b"),
+            ("c", "c"),
+        ]);
+        assert!(r.check_partial_order().unwrap_err().contains("transitive"));
+    }
+
+    #[test]
+    fn closure_completes_the_axioms() {
+        let r = Relation::from_pairs([("a", "b"), ("b", "c")]);
+        let c = r.closure();
+        c.check_partial_order().unwrap();
+        assert!(c.contains("a", "c"));
+        assert!(c.contains("a", "a"));
+    }
+
+    #[test]
+    fn hasse_drops_transitive_edges() {
+        let r = Relation::from_pairs([("a", "b"), ("b", "c"), ("a", "c")]);
+        let h = r.hasse().unwrap();
+        assert_eq!(h.edges().len(), 2);
+        assert!(h.leq_terms("a", "c"));
+    }
+
+    #[test]
+    fn cyclic_relation_has_no_hasse() {
+        let r = Relation::from_pairs([("a", "b"), ("b", "a")]);
+        assert!(matches!(
+            r.hasse(),
+            Err(OntologyError::CycleDetected { .. })
+        ));
+    }
+
+    #[test]
+    fn hasse_and_order_are_inverse() {
+        let r = Relation::from_pairs([
+            ("d", "b"),
+            ("d", "c"),
+            ("b", "a"),
+            ("c", "a"),
+        ]);
+        let h = r.hasse().unwrap();
+        let back = order_of(&h);
+        // the closure of the input equals the recovered order
+        assert_eq!(back, r.closure());
+    }
+
+    #[test]
+    fn isolated_elements_survive() {
+        let mut r = Relation::from_pairs([("a", "b")]);
+        r.elements.insert("lonely".to_string());
+        let h = r.hasse().unwrap();
+        assert!(h.node_of("lonely").is_some());
+        assert_eq!(order_of(&h).elements().count(), 3);
+    }
+}

@@ -1,0 +1,389 @@
+//! Similarity Enhanced Ontologies — the `(H', μ)` pair of Definition 8.
+//!
+//! Because similarity cliques can overlap (the paper's `{A,B}` / `{A,C}`
+//! discussion), one term may appear in several `H'` nodes; the enhanced
+//! [`Hierarchy`] therefore carries synthetic node labels while [`Seo`]
+//! itself owns the real term sets and the μ mapping.
+
+use crate::hierarchy::{HNodeId, Hierarchy};
+use std::collections::HashMap;
+
+/// A similarity enhancement of a hierarchy: the enhanced Hasse diagram
+/// `H'`, the mapping `μ : H → 2^{H'}` and the member term sets of each
+/// enhanced node.
+#[derive(Debug, Clone)]
+pub struct Seo {
+    original: Hierarchy,
+    enhanced: Hierarchy,
+    /// For each enhanced node (by id order): which original nodes it
+    /// contains (`μ⁻¹`).
+    members: Vec<Vec<HNodeId>>,
+    /// `μ`: original node → enhanced nodes containing it.
+    mu: Vec<Vec<HNodeId>>,
+    /// term → enhanced nodes whose member sets contain the term.
+    term_to_enhanced: HashMap<String, Vec<HNodeId>>,
+    /// term sets per enhanced node.
+    terms: Vec<Vec<String>>,
+    epsilon: f64,
+}
+
+impl Seo {
+    /// Assemble an SEO from the SEA algorithm's outputs. `cliques` holds,
+    /// per enhanced node, the *original* node indices it merged; `mu`
+    /// maps each original node to its enhanced nodes.
+    pub(crate) fn new(
+        original: Hierarchy,
+        enhanced: Hierarchy,
+        cliques: Vec<Vec<usize>>,
+        mu: Vec<Vec<HNodeId>>,
+        epsilon: f64,
+    ) -> Self {
+        let members: Vec<Vec<HNodeId>> = cliques
+            .iter()
+            .map(|c| c.iter().map(|&i| HNodeId(i)).collect())
+            .collect();
+        let mut terms: Vec<Vec<String>> = Vec::with_capacity(members.len());
+        let mut term_to_enhanced: HashMap<String, Vec<HNodeId>> = HashMap::new();
+        for (ei, mems) in members.iter().enumerate() {
+            let mut ts: Vec<String> = Vec::new();
+            for &m in mems {
+                for t in original.terms_of(m).expect("member ids are valid") {
+                    if !ts.contains(t) {
+                        ts.push(t.clone());
+                    }
+                }
+            }
+            ts.sort();
+            for t in &ts {
+                term_to_enhanced
+                    .entry(t.clone())
+                    .or_default()
+                    .push(HNodeId(ei));
+            }
+            terms.push(ts);
+        }
+        Seo {
+            original,
+            enhanced,
+            members,
+            mu,
+            term_to_enhanced,
+            terms,
+            epsilon,
+        }
+    }
+
+    /// Rebuild an SEO from its parts — used by persistence. `cliques`
+    /// holds, per enhanced node in id order, the original node indices it
+    /// merged; μ is derived. The caller is responsible for the parts
+    /// actually satisfying Definition 8 (use [`Seo::validate`] after
+    /// loading untrusted data).
+    pub fn from_parts(
+        original: Hierarchy,
+        enhanced: Hierarchy,
+        cliques: Vec<Vec<usize>>,
+        epsilon: f64,
+    ) -> Self {
+        let mut mu: Vec<Vec<HNodeId>> = vec![Vec::new(); original.len()];
+        for (ci, clique) in cliques.iter().enumerate() {
+            for &a in clique {
+                if a < mu.len() {
+                    mu[a].push(HNodeId(ci));
+                }
+            }
+        }
+        Seo::new(original, enhanced, cliques, mu, epsilon)
+    }
+
+    /// The original hierarchy `H`.
+    pub fn original(&self) -> &Hierarchy {
+        &self.original
+    }
+
+    /// The enhanced hierarchy `H'` (node labels are synthetic; use
+    /// [`Seo::terms_of_enhanced`] for the real term sets).
+    pub fn enhanced(&self) -> &Hierarchy {
+        &self.enhanced
+    }
+
+    /// The threshold ε the enhancement was built with.
+    pub fn epsilon(&self) -> f64 {
+        self.epsilon
+    }
+
+    /// `μ(a)`: enhanced nodes containing original node `a`.
+    pub fn mu(&self, a: HNodeId) -> &[HNodeId] {
+        self.mu.get(a.0).map(Vec::as_slice).unwrap_or(&[])
+    }
+
+    /// `μ⁻¹(e)`: original nodes merged into enhanced node `e`.
+    pub fn members_of(&self, e: HNodeId) -> &[HNodeId] {
+        self.members.get(e.0).map(Vec::as_slice).unwrap_or(&[])
+    }
+
+    /// Term set of an enhanced node.
+    pub fn terms_of_enhanced(&self, e: HNodeId) -> &[String] {
+        self.terms.get(e.0).map(Vec::as_slice).unwrap_or(&[])
+    }
+
+    /// Enhanced nodes whose term set contains `term`.
+    pub fn enhanced_nodes_of_term(&self, term: &str) -> &[HNodeId] {
+        self.term_to_enhanced
+            .get(term)
+            .map(Vec::as_slice)
+            .unwrap_or(&[])
+    }
+
+    /// The paper's `~` operator: true iff some enhanced node contains
+    /// both terms.
+    pub fn similar(&self, a: &str, b: &str) -> bool {
+        let ea = self.enhanced_nodes_of_term(a);
+        if ea.is_empty() {
+            return a == b;
+        }
+        self.enhanced_nodes_of_term(b).iter().any(|e| ea.contains(e))
+    }
+
+    /// All terms similar to `term`: the union of term sets of every
+    /// enhanced node containing it (always includes `term` itself when
+    /// the term is known; returns just `term` for unknown terms).
+    pub fn similar_terms(&self, term: &str) -> Vec<String> {
+        let nodes = self.enhanced_nodes_of_term(term);
+        if nodes.is_empty() {
+            return vec![term.to_string()];
+        }
+        let mut out: Vec<String> = nodes
+            .iter()
+            .flat_map(|&e| self.terms_of_enhanced(e).iter().cloned())
+            .collect();
+        out.sort();
+        out.dedup();
+        out
+    }
+
+    /// Terms similar to a *probe* string that may be absent from the
+    /// ontology: for a known probe this is [`Seo::similar_terms`]; for an
+    /// unknown probe, the terms `t` with `d_s(probe, t) ≤ ε` under the
+    /// supplied metric (plus the probe itself) — the node set SEA would
+    /// have produced had the probe been a term. This is how a query for
+    /// "J. Ullman" reaches documents that only ever wrote
+    /// "Jeffrey D. Ullman".
+    pub fn similar_terms_probe<M: toss_similarity::StringMetric>(
+        &self,
+        probe: &str,
+        metric: &M,
+    ) -> Vec<String> {
+        if !self.enhanced_nodes_of_term(probe).is_empty() {
+            return self.similar_terms(probe);
+        }
+        let mut out = vec![probe.to_string()];
+        for t in self.original.all_terms() {
+            if metric.within(probe, &t, self.epsilon) {
+                out.push(t);
+            }
+        }
+        out.sort();
+        out.dedup();
+        out
+    }
+
+    /// Ordering on terms through the enhancement: `x ≤ y` iff some
+    /// enhanced node containing `x` has a path (length ≥ 0) to some
+    /// enhanced node containing `y`.
+    pub fn leq_terms(&self, x: &str, y: &str) -> bool {
+        let ex = self.enhanced_nodes_of_term(x);
+        let ey = self.enhanced_nodes_of_term(y);
+        ex.iter()
+            .any(|&a| ey.iter().any(|&b| self.enhanced.leq(a, b)))
+    }
+
+    /// All terms at or below `term` in the enhanced order — the term
+    /// expansion the Query Executor uses for `isa`/`below` conditions.
+    pub fn below_terms(&self, term: &str) -> Vec<String> {
+        let targets = self.enhanced_nodes_of_term(term);
+        if targets.is_empty() {
+            return vec![term.to_string()];
+        }
+        let mut out: Vec<String> = self
+            .enhanced
+            .below_many(targets)
+            .into_iter()
+            .flat_map(|e| self.terms_of_enhanced(e).iter().cloned())
+            .collect();
+        out.sort();
+        out.dedup();
+        out
+    }
+
+    /// Number of enhanced nodes.
+    pub fn len(&self) -> usize {
+        self.terms.len()
+    }
+
+    /// Whether the enhancement has no nodes.
+    pub fn is_empty(&self) -> bool {
+        self.terms.is_empty()
+    }
+
+    /// Validate the Definition-8 conditions against a metric — used by
+    /// property tests (Theorem 2) and available to callers who construct
+    /// enhancements through other routes.
+    pub fn validate<M: toss_similarity::StringMetric>(
+        &self,
+        metric: &M,
+    ) -> Result<(), String> {
+        use toss_similarity::node::node_within;
+        let h = &self.original;
+        let n = h.len();
+        // condition 2: members of one enhanced node pairwise within ε
+        for (ei, mems) in self.members.iter().enumerate() {
+            for &a in mems {
+                for &b in mems {
+                    if a != b
+                        && !node_within(
+                            metric,
+                            h.terms_of(a).map_err(|e| e.to_string())?,
+                            h.terms_of(b).map_err(|e| e.to_string())?,
+                            self.epsilon,
+                        )
+                    {
+                        return Err(format!(
+                            "condition 2: node {ei} holds dissimilar {a} and {b}"
+                        ));
+                    }
+                }
+            }
+        }
+        // condition 3: similar pairs co-resident somewhere
+        for a in 0..n {
+            for b in 0..n {
+                let (na, nb) = (HNodeId(a), HNodeId(b));
+                if node_within(
+                    metric,
+                    h.terms_of(na).map_err(|e| e.to_string())?,
+                    h.terms_of(nb).map_err(|e| e.to_string())?,
+                    self.epsilon,
+                ) {
+                    let shared = self.mu(na).iter().any(|e| self.mu(nb).contains(e));
+                    if !shared {
+                        return Err(format!(
+                            "condition 3: similar {na} and {nb} share no enhanced node"
+                        ));
+                    }
+                }
+            }
+        }
+        // condition 4: no member set subsumed by another
+        for (i, mi) in self.members.iter().enumerate() {
+            for (j, mj) in self.members.iter().enumerate() {
+                if i != j && mi.iter().all(|m| mj.contains(m)) {
+                    return Err(format!("condition 4: node {i} ⊆ node {j}"));
+                }
+            }
+        }
+        // condition 1, both directions
+        for a in 0..n {
+            for b in 0..n {
+                let (na, nb) = (HNodeId(a), HNodeId(b));
+                if h.leq(na, nb) {
+                    for &ea in self.mu(na) {
+                        for &eb in self.mu(nb) {
+                            if !self.enhanced.leq(ea, eb) {
+                                return Err(format!(
+                                    "condition 1 fwd: {na}≤{nb} but {ea}̸≤{eb}"
+                                ));
+                            }
+                        }
+                    }
+                }
+            }
+        }
+        for ea in self.enhanced.nodes() {
+            for eb in self.enhanced.nodes() {
+                if ea != eb && self.enhanced.leq(ea, eb) {
+                    for &a in self.members_of(ea) {
+                        for &b in self.members_of(eb) {
+                            if a != b && !h.leq(a, b) {
+                                return Err(format!(
+                                    "condition 1 rev: {ea}≤{eb} but {a}̸≤{b}"
+                                ));
+                            }
+                        }
+                    }
+                }
+            }
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::hierarchy::from_pairs;
+    use crate::sea::enhance;
+    use toss_similarity::Levenshtein;
+
+    fn example11_seo() -> Seo {
+        let h = from_pairs(&[
+            ("relation", "concept"),
+            ("relational", "concept"),
+            ("model", "concept"),
+            ("models", "concept"),
+        ])
+        .unwrap();
+        enhance(&h, &Levenshtein, 2.0).unwrap()
+    }
+
+    #[test]
+    fn validate_passes_for_sea_output() {
+        let seo = example11_seo();
+        seo.validate(&Levenshtein).unwrap();
+    }
+
+    #[test]
+    fn unknown_terms_behave_identically() {
+        let seo = example11_seo();
+        assert!(seo.similar("ghost", "ghost"));
+        assert!(!seo.similar("ghost", "relation"));
+        assert_eq!(seo.similar_terms("ghost"), vec!["ghost".to_string()]);
+        assert_eq!(seo.below_terms("ghost"), vec!["ghost".to_string()]);
+        assert!(!seo.leq_terms("ghost", "concept"));
+    }
+
+    #[test]
+    fn below_terms_expands_through_merged_nodes() {
+        let seo = example11_seo();
+        let below = seo.below_terms("concept");
+        for t in ["relation", "relational", "model", "models", "concept"] {
+            assert!(below.contains(&t.to_string()), "missing {t}");
+        }
+    }
+
+    #[test]
+    fn probe_expansion_for_unknown_terms() {
+        let seo = example11_seo();
+        // "relatio" is not a term; within ε=2 of both relation (1) and
+        // relational (3 — too far)
+        let got = seo.similar_terms_probe("relatio", &Levenshtein);
+        assert!(got.contains(&"relatio".to_string()));
+        assert!(got.contains(&"relation".to_string()));
+        assert!(!got.contains(&"relational".to_string())); // d = 3 > ε
+        // known probes defer to similar_terms
+        let known = seo.similar_terms_probe("relation", &Levenshtein);
+        assert_eq!(known, seo.similar_terms("relation"));
+    }
+
+    #[test]
+    fn epsilon_is_recorded() {
+        assert_eq!(example11_seo().epsilon(), 2.0);
+    }
+
+    #[test]
+    fn similar_is_reflexive_for_known_terms() {
+        let seo = example11_seo();
+        for t in seo.original().all_terms() {
+            assert!(seo.similar(&t, &t));
+        }
+    }
+}

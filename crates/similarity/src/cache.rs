@@ -1,0 +1,118 @@
+//! A memoizing metric wrapper.
+//!
+//! The SEA algorithm evaluates `d` on all pairs of hierarchy terms and the
+//! Query Executor re-evaluates `~` conditions against the same term pool;
+//! [`CachedMetric`] memoizes distances under a canonicalized (sorted) key
+//! so symmetric lookups share one entry. Thread-safe via `parking_lot`.
+
+use crate::traits::StringMetric;
+use parking_lot::RwLock;
+use std::collections::HashMap;
+
+/// A wrapper that memoizes an inner metric's distances.
+pub struct CachedMetric<M> {
+    inner: M,
+    cache: RwLock<HashMap<(String, String), f64>>,
+}
+
+impl<M: StringMetric> CachedMetric<M> {
+    /// Wrap a metric with an empty cache.
+    pub fn new(inner: M) -> Self {
+        CachedMetric {
+            inner,
+            cache: RwLock::new(HashMap::new()),
+        }
+    }
+
+    /// Number of memoized pairs.
+    pub fn cached_pairs(&self) -> usize {
+        self.cache.read().len()
+    }
+
+    /// Drop all memoized entries.
+    pub fn clear(&self) {
+        self.cache.write().clear();
+    }
+
+    fn key(a: &str, b: &str) -> (String, String) {
+        if a <= b {
+            (a.to_string(), b.to_string())
+        } else {
+            (b.to_string(), a.to_string())
+        }
+    }
+}
+
+impl<M: StringMetric> StringMetric for CachedMetric<M> {
+    fn distance(&self, a: &str, b: &str) -> f64 {
+        let key = Self::key(a, b);
+        if let Some(&d) = self.cache.read().get(&key) {
+            return d;
+        }
+        let d = self.inner.distance(a, b);
+        self.cache.write().insert(key, d);
+        d
+    }
+
+    fn is_strong(&self) -> bool {
+        self.inner.is_strong()
+    }
+
+    fn name(&self) -> &str {
+        self.inner.name()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::levenshtein::Levenshtein;
+    use crate::traits::axioms;
+    use std::sync::atomic::{AtomicUsize, Ordering};
+
+    struct Counting<'a> {
+        calls: &'a AtomicUsize,
+    }
+
+    impl StringMetric for Counting<'_> {
+        fn distance(&self, a: &str, b: &str) -> f64 {
+            self.calls.fetch_add(1, Ordering::SeqCst);
+            Levenshtein.distance(a, b)
+        }
+        fn is_strong(&self) -> bool {
+            true
+        }
+        fn name(&self) -> &str {
+            "counting"
+        }
+    }
+
+    #[test]
+    fn caches_symmetric_pairs_once() {
+        let calls = AtomicUsize::new(0);
+        let m = CachedMetric::new(Counting { calls: &calls });
+        assert_eq!(m.distance("abc", "abd"), 1.0);
+        assert_eq!(m.distance("abd", "abc"), 1.0);
+        assert_eq!(m.distance("abc", "abd"), 1.0);
+        assert_eq!(calls.load(Ordering::SeqCst), 1);
+        assert_eq!(m.cached_pairs(), 1);
+    }
+
+    #[test]
+    fn clear_resets() {
+        let calls = AtomicUsize::new(0);
+        let m = CachedMetric::new(Counting { calls: &calls });
+        m.distance("a", "b");
+        m.clear();
+        m.distance("a", "b");
+        assert_eq!(calls.load(Ordering::SeqCst), 2);
+    }
+
+    #[test]
+    fn preserves_inner_semantics() {
+        let m = CachedMetric::new(Levenshtein);
+        axioms::assert_axioms(&m);
+        assert!(m.is_strong());
+        assert_eq!(m.name(), "levenshtein");
+    }
+}

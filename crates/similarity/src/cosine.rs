@@ -1,0 +1,96 @@
+//! Cosine token distance — `1 − cos θ` over term-frequency vectors of word
+//! tokens. One of the token-based measures Definition 7's discussion lists
+//! alongside Jaccard. Plain cosine distance is not strong (the angular
+//! distance would be), so `is_strong()` is `false`.
+
+use crate::tokenize::words;
+use crate::traits::StringMetric;
+use std::collections::HashMap;
+
+/// Cosine distance over lowercase word-token frequency vectors.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct Cosine;
+
+impl Cosine {
+    /// Cosine similarity in `[0, 1]`; `1.0` when both strings tokenize to
+    /// nothing, `0.0` when exactly one does.
+    pub fn similarity(a: &str, b: &str) -> f64 {
+        let ta = counts(a);
+        let tb = counts(b);
+        if ta.is_empty() && tb.is_empty() {
+            return 1.0;
+        }
+        if ta.is_empty() || tb.is_empty() {
+            return 0.0;
+        }
+        let dot: f64 = ta
+            .iter()
+            .filter_map(|(w, &ca)| tb.get(w).map(|&cb| ca * cb))
+            .sum();
+        let na: f64 = ta.values().map(|c| c * c).sum::<f64>().sqrt();
+        let nb: f64 = tb.values().map(|c| c * c).sum::<f64>().sqrt();
+        dot / (na * nb)
+    }
+}
+
+fn counts(s: &str) -> HashMap<String, f64> {
+    let mut m = HashMap::new();
+    for w in words(s) {
+        *m.entry(w).or_insert(0.0) += 1.0;
+    }
+    m
+}
+
+impl StringMetric for Cosine {
+    fn distance(&self, a: &str, b: &str) -> f64 {
+        // clamp for floating point safety so distances are never negative
+        (1.0 - Self::similarity(a, b)).max(0.0)
+    }
+
+    fn name(&self) -> &str {
+        "cosine-tokens"
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::traits::axioms;
+
+    #[test]
+    fn identical_multisets_have_distance_zero() {
+        assert!(Cosine.distance("a b a", "a a b") < 1e-12);
+    }
+
+    #[test]
+    fn disjoint_have_distance_one() {
+        assert_eq!(Cosine.distance("a b", "c d"), 1.0);
+    }
+
+    #[test]
+    fn frequency_matters_unlike_jaccard() {
+        // "a a b" vs "a b b": same token sets, different frequencies
+        let d = Cosine.distance("a a b", "a b b");
+        assert!(d > 0.0 && d < 0.5);
+        assert_eq!(crate::JaccardTokens.distance("a a b", "a b b"), 0.0);
+    }
+
+    #[test]
+    fn known_value() {
+        // "a b" vs "a": dot = 1, norms = sqrt(2), 1 → sim = 1/sqrt(2)
+        let s = Cosine::similarity("a b", "a");
+        assert!((s - 1.0 / 2f64.sqrt()).abs() < 1e-12);
+    }
+
+    #[test]
+    fn empty_cases() {
+        assert_eq!(Cosine.distance("", ""), 0.0);
+        assert_eq!(Cosine.distance("", "x"), 1.0);
+    }
+
+    #[test]
+    fn axioms_hold() {
+        axioms::assert_axioms(&Cosine);
+        axioms::assert_within_consistent(&Cosine);
+    }
+}

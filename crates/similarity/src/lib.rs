@@ -1,0 +1,47 @@
+//! # toss-similarity — string and node similarity measures
+//!
+//! Definition 7 of the TOSS paper: a *string similarity measure* `d_s`
+//! maps two strings to a non-negative real with `d_s(X, X) = 0` and
+//! symmetry; it is **strong** when it also satisfies the triangle
+//! inequality. A *node similarity measure* `d` between ontology nodes
+//! (sets of strings) is `d(A, B) = min over X∈A, Y∈B of d_s(X, Y)`.
+//!
+//! The paper names Levenshtein, Monge-Elkan, the Jaro metric, Jaccard and
+//! cosine token distance, and rule-based measures for proper nouns; TOSS is
+//! explicitly agnostic — any such implementation can be plugged in. This
+//! crate supplies all the named measures behind one trait,
+//! [`StringMetric`], plus combinators, a memoizing cache and the node-level
+//! measure with the Lemma-1 fast path for strong metrics.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod cache;
+pub mod combinators;
+pub mod cosine;
+pub mod damerau;
+pub mod jaccard;
+pub mod jaro;
+pub mod levenshtein;
+pub mod monge_elkan;
+pub mod ngram;
+pub mod node;
+pub mod rules;
+pub mod smith_waterman;
+pub mod soft_tfidf;
+pub mod tokenize;
+pub mod traits;
+
+pub use cache::CachedMetric;
+pub use cosine::Cosine;
+pub use damerau::DamerauOsa;
+pub use jaccard::JaccardTokens;
+pub use jaro::{Jaro, JaroWinkler};
+pub use levenshtein::Levenshtein;
+pub use monge_elkan::MongeElkan;
+pub use ngram::NGram;
+pub use node::node_distance;
+pub use rules::NameRules;
+pub use smith_waterman::SmithWaterman;
+pub use soft_tfidf::SoftTfIdf;
+pub use traits::StringMetric;

@@ -1,0 +1,119 @@
+//! Monge-Elkan distance \[12\]: a token-level hybrid that scores each token
+//! of one string against its best-matching token of the other under an
+//! inner character-level measure, then averages.
+//!
+//! The classical formulation is asymmetric; Definition 7 requires
+//! symmetry, so we symmetrize by averaging both directions. Not strong.
+
+use crate::traits::StringMetric;
+use crate::tokenize::words;
+
+/// Symmetrized Monge-Elkan distance with a pluggable inner metric.
+///
+/// The inner metric's distances are converted to similarities via
+/// `1 / (1 + d)` so unbounded inner metrics (e.g. Levenshtein) compose
+/// safely; the result is `1 − avg-best-similarity`, in `[0, 1]`.
+#[derive(Debug, Clone)]
+pub struct MongeElkan<M> {
+    inner: M,
+}
+
+impl<M: StringMetric> MongeElkan<M> {
+    /// Build with an inner character-level metric.
+    pub fn new(inner: M) -> Self {
+        MongeElkan { inner }
+    }
+
+    fn directed_similarity(&self, from: &[String], to: &[String]) -> f64 {
+        if from.is_empty() {
+            return if to.is_empty() { 1.0 } else { 0.0 };
+        }
+        if to.is_empty() {
+            return 0.0;
+        }
+        let total: f64 = from
+            .iter()
+            .map(|t| {
+                to.iter()
+                    .map(|u| 1.0 / (1.0 + self.inner.distance(t, u)))
+                    .fold(0.0f64, f64::max)
+            })
+            .sum();
+        total / from.len() as f64
+    }
+
+    /// Symmetrized Monge-Elkan similarity in `[0, 1]`.
+    pub fn similarity(&self, a: &str, b: &str) -> f64 {
+        let ta = words(a);
+        let tb = words(b);
+        0.5 * (self.directed_similarity(&ta, &tb) + self.directed_similarity(&tb, &ta))
+    }
+}
+
+impl Default for MongeElkan<crate::levenshtein::Levenshtein> {
+    fn default() -> Self {
+        MongeElkan::new(crate::levenshtein::Levenshtein)
+    }
+}
+
+impl<M: StringMetric> StringMetric for MongeElkan<M> {
+    fn distance(&self, a: &str, b: &str) -> f64 {
+        (1.0 - self.similarity(a, b)).max(0.0)
+    }
+
+    fn name(&self) -> &str {
+        "monge-elkan"
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::traits::axioms;
+
+    fn me() -> MongeElkan<crate::levenshtein::Levenshtein> {
+        MongeElkan::default()
+    }
+
+    #[test]
+    fn identical_strings_zero() {
+        assert!(me().distance("Jeff Ullman", "Jeff Ullman") < 1e-12);
+    }
+
+    #[test]
+    fn token_reordering_is_free() {
+        assert!(me().distance("Ullman Jeff", "Jeff Ullman") < 1e-12);
+    }
+
+    #[test]
+    fn shared_surname_dominates() {
+        let close = me().distance("J Ullman", "Jeff Ullman");
+        let far = me().distance("J Ullman", "E Codd");
+        assert!(close < far, "{close} !< {far}");
+        // sim = ((1/(1+3)) + 1) / 2 = 0.625 → distance 0.375
+        assert!((close - 0.375).abs() < 1e-9, "got {close}");
+    }
+
+    #[test]
+    fn empty_cases() {
+        assert_eq!(me().distance("", ""), 0.0);
+        assert_eq!(me().distance("", "abc"), 1.0);
+    }
+
+    #[test]
+    fn axioms_hold_after_symmetrization() {
+        let m = me();
+        axioms::assert_axioms(&m);
+        axioms::assert_within_consistent(&m);
+    }
+
+    #[test]
+    fn bounded_in_unit_interval() {
+        for &a in axioms::SAMPLES {
+            for &b in axioms::SAMPLES {
+                let d = me().distance(a, b);
+                assert!((0.0..=1.0).contains(&d), "{a:?},{b:?} -> {d}");
+            }
+        }
+    }
+}

@@ -1,0 +1,98 @@
+//! Character n-gram distance: Jaccard distance over the sets of character
+//! n-grams. Inherits the metric property of Jaccard distance on sets, so
+//! it is strong. Useful for catching intra-word typos that word-token
+//! measures miss entirely.
+
+use crate::tokenize::char_ngrams;
+use crate::traits::StringMetric;
+use std::collections::HashSet;
+
+/// Jaccard distance over character n-gram sets (default: bigrams).
+#[derive(Debug, Clone, Copy)]
+pub struct NGram {
+    /// n-gram width; must be positive.
+    pub n: usize,
+}
+
+impl Default for NGram {
+    fn default() -> Self {
+        NGram { n: 2 }
+    }
+}
+
+impl NGram {
+    /// Build with an explicit n-gram width.
+    pub fn new(n: usize) -> Self {
+        assert!(n > 0, "n-gram size must be positive");
+        NGram { n }
+    }
+
+    /// Jaccard similarity of the n-gram sets.
+    pub fn similarity(&self, a: &str, b: &str) -> f64 {
+        let sa: HashSet<String> = char_ngrams(a, self.n).into_iter().collect();
+        let sb: HashSet<String> = char_ngrams(b, self.n).into_iter().collect();
+        if sa.is_empty() && sb.is_empty() {
+            return 1.0;
+        }
+        let inter = sa.intersection(&sb).count() as f64;
+        let union = sa.union(&sb).count() as f64;
+        inter / union
+    }
+}
+
+impl StringMetric for NGram {
+    fn distance(&self, a: &str, b: &str) -> f64 {
+        1.0 - self.similarity(a, b)
+    }
+
+    fn is_strong(&self) -> bool {
+        true
+    }
+
+    fn name(&self) -> &str {
+        "ngram-jaccard"
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::traits::axioms;
+
+    #[test]
+    fn identical_and_disjoint() {
+        let m = NGram::default();
+        assert_eq!(m.distance("ferrari", "ferrari"), 0.0);
+        assert_eq!(m.distance("ab", "cd"), 1.0);
+    }
+
+    #[test]
+    fn typos_stay_close() {
+        let m = NGram::default();
+        assert!(m.distance("ferrari", "ferarri") < 0.5);
+        assert!(m.distance("ferrari", "ciancarini") > 0.5);
+    }
+
+    #[test]
+    fn case_is_normalized() {
+        let m = NGram::default();
+        assert_eq!(m.distance("SIGMOD", "sigmod"), 0.0);
+    }
+
+    #[test]
+    fn axioms_and_triangle() {
+        let m = NGram::default();
+        axioms::assert_axioms(&m);
+        axioms::assert_triangle(&m);
+        axioms::assert_within_consistent(&m);
+        let tri = NGram::new(3);
+        axioms::assert_axioms(&tri);
+        axioms::assert_triangle(&tri);
+    }
+
+    #[test]
+    #[should_panic(expected = "n-gram size must be positive")]
+    fn zero_width_panics() {
+        NGram::new(0);
+    }
+}

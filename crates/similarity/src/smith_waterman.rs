@@ -1,0 +1,131 @@
+//! Smith-Waterman local-alignment similarity — part of the toolkit the
+//! paper cites for string distances \[5\]. Local alignment finds the
+//! best-matching *substring* pair, which tolerates prefixes/suffixes that
+//! edit distance punishes ("Prof. Jeff Ullman" vs "Jeff Ullman").
+
+use crate::traits::StringMetric;
+
+/// Smith-Waterman distance: `1 − score / (match · min(|a|, |b|))`,
+/// with affine-free unit scoring (configurable match/mismatch/gap).
+#[derive(Debug, Clone, Copy)]
+pub struct SmithWaterman {
+    /// Score for a matching character (> 0).
+    pub match_score: f64,
+    /// Penalty for a mismatch (≤ 0).
+    pub mismatch: f64,
+    /// Penalty for a gap (≤ 0).
+    pub gap: f64,
+}
+
+impl Default for SmithWaterman {
+    fn default() -> Self {
+        SmithWaterman {
+            match_score: 2.0,
+            mismatch: -1.0,
+            gap: -1.0,
+        }
+    }
+}
+
+impl SmithWaterman {
+    /// The raw best local-alignment score.
+    pub fn score(&self, a: &str, b: &str) -> f64 {
+        let a: Vec<char> = a.chars().collect();
+        let b: Vec<char> = b.chars().collect();
+        if a.is_empty() || b.is_empty() {
+            return 0.0;
+        }
+        let mut prev = vec![0.0f64; b.len() + 1];
+        let mut cur = vec![0.0f64; b.len() + 1];
+        let mut best = 0.0f64;
+        for &ca in &a {
+            for (j, &cb) in b.iter().enumerate() {
+                let diag = prev[j]
+                    + if ca == cb {
+                        self.match_score
+                    } else {
+                        self.mismatch
+                    };
+                let v = diag.max(prev[j + 1] + self.gap).max(cur[j] + self.gap).max(0.0);
+                cur[j + 1] = v;
+                best = best.max(v);
+            }
+            std::mem::swap(&mut prev, &mut cur);
+            cur[0] = 0.0;
+        }
+        best
+    }
+
+    /// Similarity in `[0, 1]`: score normalized by the best possible
+    /// score of the shorter string.
+    pub fn similarity(&self, a: &str, b: &str) -> f64 {
+        let la = a.chars().count();
+        let lb = b.chars().count();
+        if la == 0 && lb == 0 {
+            return 1.0;
+        }
+        let denom = self.match_score * la.min(lb).max(1) as f64;
+        (self.score(a, b) / denom).clamp(0.0, 1.0)
+    }
+}
+
+impl StringMetric for SmithWaterman {
+    fn distance(&self, a: &str, b: &str) -> f64 {
+        1.0 - self.similarity(a, b)
+    }
+
+    fn name(&self) -> &str {
+        "smith-waterman"
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::traits::axioms;
+
+    #[test]
+    fn identical_strings_align_perfectly() {
+        let m = SmithWaterman::default();
+        assert_eq!(m.distance("ullman", "ullman"), 0.0);
+        assert_eq!(m.score("abc", "abc"), 6.0);
+    }
+
+    #[test]
+    fn substring_containment_is_free() {
+        let m = SmithWaterman::default();
+        // the shorter string aligns fully inside the longer
+        assert_eq!(m.distance("Jeff Ullman", "Prof. Jeff Ullman"), 0.0);
+        // edit distance would charge 6 for the prefix
+        assert!(crate::Levenshtein.distance("Jeff Ullman", "Prof. Jeff Ullman") >= 6.0);
+    }
+
+    #[test]
+    fn disjoint_alphabets_are_far() {
+        let m = SmithWaterman::default();
+        assert_eq!(m.distance("aaaa", "bbbb"), 1.0);
+        assert_eq!(m.score("aaaa", "bbbb"), 0.0);
+    }
+
+    #[test]
+    fn empty_cases() {
+        let m = SmithWaterman::default();
+        assert_eq!(m.distance("", ""), 0.0);
+        assert_eq!(m.distance("", "x"), 1.0);
+    }
+
+    #[test]
+    fn gaps_cost_less_than_mismatch_runs() {
+        let m = SmithWaterman::default();
+        // one gap in the middle
+        let with_gap = m.similarity("abcdef", "abcxdef");
+        assert!(with_gap > 0.7, "{with_gap}");
+    }
+
+    #[test]
+    fn axioms_hold() {
+        let m = SmithWaterman::default();
+        axioms::assert_axioms(&m);
+        axioms::assert_within_consistent(&m);
+    }
+}

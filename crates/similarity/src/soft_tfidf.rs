@@ -1,0 +1,192 @@
+//! SoftTFIDF — the corpus-weighted hybrid measure of Cohen, Ravikumar &
+//! Fienberg's toolkit (the paper's \[5\]). Tokens are weighted by TF-IDF
+//! against a training corpus, and tokens *close* under an inner
+//! character-level similarity (Jaro-Winkler above a threshold) count as
+//! shared — so "Jeff Ullmann" scores high against "Jeff Ullman" even
+//! though the surname tokens differ.
+
+use crate::jaro::JaroWinkler;
+use crate::tokenize::words;
+use crate::traits::StringMetric;
+use std::collections::HashMap;
+
+/// SoftTFIDF distance (`1 − similarity`), trained on a corpus of strings.
+#[derive(Debug, Clone)]
+pub struct SoftTfIdf {
+    idf: HashMap<String, f64>,
+    docs: f64,
+    inner: JaroWinkler,
+    /// Inner-similarity threshold above which two tokens "match"
+    /// (conventionally 0.9).
+    pub theta: f64,
+}
+
+impl SoftTfIdf {
+    /// Train IDF weights on a corpus of strings (each string = one
+    /// document of word tokens).
+    pub fn train<S: AsRef<str>>(corpus: &[S]) -> Self {
+        let mut df: HashMap<String, f64> = HashMap::new();
+        for s in corpus {
+            let mut seen: Vec<String> = words(s.as_ref());
+            seen.sort();
+            seen.dedup();
+            for w in seen {
+                *df.entry(w).or_insert(0.0) += 1.0;
+            }
+        }
+        let docs = corpus.len().max(1) as f64;
+        let idf = df
+            .into_iter()
+            .map(|(w, d)| (w, (docs / d).ln() + 1.0))
+            .collect();
+        SoftTfIdf {
+            idf,
+            docs,
+            inner: JaroWinkler::default(),
+            theta: 0.9,
+        }
+    }
+
+    /// IDF weight of a token — unseen tokens get the maximum weight
+    /// (`ln(N) + 1`), as rare as possible.
+    fn idf(&self, w: &str) -> f64 {
+        self.idf
+            .get(w)
+            .copied()
+            .unwrap_or_else(|| self.docs.ln() + 1.0)
+    }
+
+    /// Normalized TF-IDF weight vector of a string.
+    fn weights(&self, s: &str) -> Vec<(String, f64)> {
+        let toks = words(s);
+        let mut tf: HashMap<String, f64> = HashMap::new();
+        for t in &toks {
+            *tf.entry(t.clone()).or_insert(0.0) += 1.0;
+        }
+        let mut v: Vec<(String, f64)> = tf
+            .into_iter()
+            .map(|(w, f)| {
+                let weight = (f.ln() + 1.0) * self.idf(&w);
+                (w, weight)
+            })
+            .collect();
+        let norm: f64 = v.iter().map(|(_, w)| w * w).sum::<f64>().sqrt();
+        if norm > 0.0 {
+            for (_, w) in &mut v {
+                *w /= norm;
+            }
+        }
+        v
+    }
+
+    /// SoftTFIDF similarity in `[0, 1]`.
+    pub fn similarity(&self, a: &str, b: &str) -> f64 {
+        let wa = self.weights(a);
+        let wb = self.weights(b);
+        if wa.is_empty() && wb.is_empty() {
+            return 1.0;
+        }
+        if wa.is_empty() || wb.is_empty() {
+            return 0.0;
+        }
+        let mut sim = 0.0;
+        for (ta, va) in &wa {
+            // closest token of b above the threshold
+            let mut best: Option<(f64, f64)> = None; // (inner sim, weight_b)
+            for (tb, vb) in &wb {
+                let s = self.inner.similarity(ta, tb);
+                if s >= self.theta && best.map(|(bs, _)| s > bs).unwrap_or(true) {
+                    best = Some((s, *vb));
+                }
+            }
+            if let Some((s, vb)) = best {
+                sim += va * vb * s;
+            }
+        }
+        sim.clamp(0.0, 1.0)
+    }
+}
+
+impl StringMetric for SoftTfIdf {
+    fn distance(&self, a: &str, b: &str) -> f64 {
+        if a == b {
+            return 0.0; // exact identity, free of float residue
+        }
+        // symmetrize: the close-token matching is asymmetric in general
+        let s = 0.5 * (self.similarity(a, b) + self.similarity(b, a));
+        (1.0 - s).max(0.0)
+    }
+
+    fn name(&self) -> &str {
+        "soft-tfidf"
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::traits::axioms;
+
+    fn trained() -> SoftTfIdf {
+        SoftTfIdf::train(&[
+            "Jeff Ullman",
+            "Jeffrey D Ullman",
+            "Edgar Codd",
+            "Jim Gray",
+            "Serge Abiteboul",
+            "data integration for web data",
+            "query processing for web data",
+        ])
+    }
+
+    #[test]
+    fn identical_strings_have_distance_zero() {
+        let m = trained();
+        assert!(m.distance("Jeff Ullman", "Jeff Ullman") < 1e-9);
+    }
+
+    #[test]
+    fn near_token_variants_score_high() {
+        let m = trained();
+        // "ullmann" vs "ullman": Jaro-Winkler ≈ 0.99 > θ
+        let d = m.distance("Jeff Ullmann", "Jeff Ullman");
+        assert!(d < 0.1, "{d}");
+    }
+
+    #[test]
+    fn rare_tokens_dominate_common_ones() {
+        let m = trained();
+        // "data" is common in the corpus, surnames are rare: sharing a
+        // surname matters more than sharing "data"
+        let share_rare = m.distance("Ullman data", "Ullman web");
+        let share_common = m.distance("Codd data", "Ullman data");
+        assert!(share_rare < share_common, "{share_rare} vs {share_common}");
+    }
+
+    #[test]
+    fn disjoint_strings_distance_one() {
+        let m = trained();
+        assert!((m.distance("aaa bbb", "ccc ddd") - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn empty_cases() {
+        let m = trained();
+        assert_eq!(m.distance("", ""), 0.0);
+        assert_eq!(m.distance("", "x"), 1.0);
+    }
+
+    #[test]
+    fn axioms_hold_after_symmetrization() {
+        let m = trained();
+        axioms::assert_axioms(&m);
+        axioms::assert_within_consistent(&m);
+    }
+
+    #[test]
+    fn training_on_empty_corpus_is_safe() {
+        let m = SoftTfIdf::train::<&str>(&[]);
+        assert_eq!(m.distance("a b", "a b"), 0.0);
+        assert!(m.distance("a b", "c d") > 0.9);
+    }
+}

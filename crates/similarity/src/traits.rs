@@ -1,0 +1,154 @@
+//! The [`StringMetric`] trait — the paper's `d_s`.
+
+/// A string similarity measure per Definition 7: non-negative, zero on
+/// identical strings, symmetric. Implementations report whether they are
+/// **strong** (satisfy the triangle inequality), which unlocks the
+/// Lemma-1 fast path for node distances and is what makes a similarity
+/// enhancement's transitive merging sound.
+pub trait StringMetric: Send + Sync {
+    /// The distance `d_s(a, b)`: `0.0` means identical, larger means less
+    /// similar. Must be symmetric and non-negative.
+    fn distance(&self, a: &str, b: &str) -> f64;
+
+    /// Whether this measure satisfies the triangle inequality.
+    fn is_strong(&self) -> bool {
+        false
+    }
+
+    /// A short stable name for reports and benchmarks.
+    fn name(&self) -> &str;
+
+    /// Whether `a` and `b` are within `epsilon` of each other.
+    ///
+    /// Implementations may override this with an early-exit algorithm
+    /// (e.g. banded Levenshtein) — the SEA algorithm only ever needs the
+    /// thresholded answer.
+    fn within(&self, a: &str, b: &str, epsilon: f64) -> bool {
+        self.distance(a, b) <= epsilon
+    }
+}
+
+impl<M: StringMetric + ?Sized> StringMetric for &M {
+    fn distance(&self, a: &str, b: &str) -> f64 {
+        (**self).distance(a, b)
+    }
+    fn is_strong(&self) -> bool {
+        (**self).is_strong()
+    }
+    fn name(&self) -> &str {
+        (**self).name()
+    }
+    fn within(&self, a: &str, b: &str, epsilon: f64) -> bool {
+        (**self).within(a, b, epsilon)
+    }
+}
+
+impl<M: StringMetric + ?Sized> StringMetric for Box<M> {
+    fn distance(&self, a: &str, b: &str) -> f64 {
+        (**self).distance(a, b)
+    }
+    fn is_strong(&self) -> bool {
+        (**self).is_strong()
+    }
+    fn name(&self) -> &str {
+        (**self).name()
+    }
+    fn within(&self, a: &str, b: &str, epsilon: f64) -> bool {
+        (**self).within(a, b, epsilon)
+    }
+}
+
+impl<M: StringMetric> StringMetric for std::sync::Arc<M> {
+    fn distance(&self, a: &str, b: &str) -> f64 {
+        (**self).distance(a, b)
+    }
+    fn is_strong(&self) -> bool {
+        (**self).is_strong()
+    }
+    fn name(&self) -> &str {
+        (**self).name()
+    }
+    fn within(&self, a: &str, b: &str, epsilon: f64) -> bool {
+        (**self).within(a, b, epsilon)
+    }
+}
+
+#[cfg(test)]
+pub(crate) mod axioms {
+    //! Shared test helpers asserting the Definition-7 axioms on sample
+    //! corpora; metric modules call these from their unit tests.
+    use super::StringMetric;
+
+    pub const SAMPLES: &[&str] = &[
+        "",
+        "a",
+        "J. Ullman",
+        "Jeffrey D. Ullman",
+        "Jeff Ullman",
+        "Marco Ferrari",
+        "Mauro Ferrari",
+        "GianLuigi Ferrari",
+        "Gian Luigi Ferrari",
+        "SIGMOD Conference",
+        "ACM SIGMOD International Conference on Management of Data",
+        "relational model",
+        "relation models",
+    ];
+
+    /// `d(x,x) = 0` and symmetry and non-negativity on the sample corpus.
+    pub fn assert_axioms<M: StringMetric>(m: &M) {
+        for &x in SAMPLES {
+            assert!(
+                m.distance(x, x).abs() < 1e-12,
+                "{}: d({x:?},{x:?}) != 0",
+                m.name()
+            );
+            for &y in SAMPLES {
+                let d1 = m.distance(x, y);
+                let d2 = m.distance(y, x);
+                assert!(d1 >= 0.0, "{}: negative distance", m.name());
+                assert!(
+                    (d1 - d2).abs() < 1e-12,
+                    "{}: asymmetric on {x:?},{y:?}: {d1} vs {d2}",
+                    m.name()
+                );
+            }
+        }
+    }
+
+    /// Triangle inequality on the sample corpus — call only for metrics
+    /// that claim `is_strong()`.
+    pub fn assert_triangle<M: StringMetric>(m: &M) {
+        assert!(m.is_strong(), "{} does not claim strength", m.name());
+        for &x in SAMPLES {
+            for &y in SAMPLES {
+                for &z in SAMPLES {
+                    let lhs = m.distance(x, z);
+                    let rhs = m.distance(x, y) + m.distance(y, z);
+                    assert!(
+                        lhs <= rhs + 1e-9,
+                        "{}: triangle violated: d({x:?},{z:?})={lhs} > {rhs}",
+                        m.name()
+                    );
+                }
+            }
+        }
+    }
+
+    /// `within` agrees with `distance` against a sweep of thresholds.
+    pub fn assert_within_consistent<M: StringMetric>(m: &M) {
+        for &x in SAMPLES {
+            for &y in SAMPLES {
+                let d = m.distance(x, y);
+                for eps in [0.0, 0.5, 1.0, 2.0, 3.0, 10.0] {
+                    assert_eq!(
+                        m.within(x, y, eps),
+                        d <= eps,
+                        "{}: within({x:?},{y:?},{eps}) disagrees with distance {d}",
+                        m.name()
+                    );
+                }
+            }
+        }
+    }
+}

@@ -1,0 +1,440 @@
+//! Embedding enumeration.
+//!
+//! An embedding of pattern tree `P` into a data tree is a total mapping
+//! from pattern nodes to data nodes that preserves pc/ad edges and whose
+//! image satisfies the selection condition. Enumeration is backtracking in
+//! pattern preorder; single-label conjuncts of the condition are pushed
+//! down to the binding step so most candidates are rejected before the
+//! search branches (the tag-equality conjuncts of a typical bibliographic
+//! query prune almost everything).
+
+use crate::condition::{compare, Attr, Cond, Term};
+use crate::pattern::{EdgeKind, PatternNodeId, PatternTree};
+use std::collections::HashMap;
+use toss_tree::{NodeId, Tree, Value};
+
+/// One embedding: pattern node → data node.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Embedding {
+    map: Vec<NodeId>, // indexed by PatternNodeId
+}
+
+impl Embedding {
+    /// Image of a pattern node.
+    pub fn image(&self, p: PatternNodeId) -> NodeId {
+        self.map[p.0]
+    }
+
+    /// Image of the pattern node carrying `label`.
+    pub fn image_of_label(&self, pattern: &PatternTree, label: u32) -> Option<NodeId> {
+        pattern.node_by_label(label).map(|p| self.image(p))
+    }
+
+    /// All images in pattern-node order.
+    pub fn images(&self) -> &[NodeId] {
+        &self.map
+    }
+}
+
+/// Read an attribute of a data node as a value (`None` when content is
+/// absent).
+fn attr_value(tree: &Tree, node: NodeId, attr: Attr) -> Option<Value> {
+    let data = tree.data(node).ok()?;
+    match attr {
+        Attr::Tag => Some(Value::Str(data.tag.clone())),
+        Attr::Content => data.content.clone(),
+    }
+}
+
+/// Evaluate a term under a (possibly partial) assignment.
+fn term_value(
+    tree: &Tree,
+    assignment: &HashMap<u32, NodeId>,
+    term: &Term,
+) -> Option<Value> {
+    match term {
+        Term::Const(v) => Some(v.clone()),
+        Term::Attr { label, attr } => {
+            let node = assignment.get(label)?;
+            attr_value(tree, *node, *attr)
+        }
+    }
+}
+
+/// Evaluate a condition under a *total* assignment (all labels bound).
+/// Atoms whose attributes are absent (missing content) are false.
+pub fn eval_condition(
+    tree: &Tree,
+    assignment: &HashMap<u32, NodeId>,
+    cond: &Cond,
+) -> bool {
+    match cond {
+        Cond::True => true,
+        Cond::Cmp { lhs, op, rhs } => {
+            match (
+                term_value(tree, assignment, lhs),
+                term_value(tree, assignment, rhs),
+            ) {
+                (Some(a), Some(b)) => compare(&a, *op, &b),
+                _ => false,
+            }
+        }
+        Cond::And(a, b) => {
+            eval_condition(tree, assignment, a) && eval_condition(tree, assignment, b)
+        }
+        Cond::Or(a, b) => {
+            eval_condition(tree, assignment, a) || eval_condition(tree, assignment, b)
+        }
+        Cond::Not(c) => !eval_condition(tree, assignment, c),
+        Cond::InSet { term, set } => match term_value(tree, assignment, term) {
+            Some(v) => set.contains(&v.render()),
+            None => false,
+        },
+        Cond::SharedClass { lhs, rhs, classes } => {
+            let (Some(a), Some(b)) = (
+                term_value(tree, assignment, lhs),
+                term_value(tree, assignment, rhs),
+            ) else {
+                return false;
+            };
+            let (ra, rb) = (a.render(), b.render());
+            if ra == rb {
+                return true; // identical strings are trivially similar
+            }
+            match (classes.get(&ra), classes.get(&rb)) {
+                (Some(ca), Some(cb)) => ca.iter().any(|c| cb.contains(c)),
+                _ => false,
+            }
+        }
+    }
+}
+
+/// Enumerate all embeddings of `pattern` into `tree`.
+pub fn embeddings(pattern: &PatternTree, tree: &Tree) -> Vec<Embedding> {
+    let Some(_root) = tree.root() else {
+        return Vec::new();
+    };
+    // Split the condition: conjuncts referencing exactly one label are
+    // checked at binding time; the rest once the assignment is total.
+    let conjuncts = pattern.condition().conjuncts();
+    let mut local: HashMap<u32, Vec<&Cond>> = HashMap::new();
+    let mut global: Vec<&Cond> = Vec::new();
+    for c in conjuncts {
+        let labels = c.labels();
+        if labels.len() == 1 && is_positive(c) {
+            local.entry(*labels.iter().next().expect("len 1")).or_default().push(c);
+        } else {
+            global.push(c);
+        }
+    }
+
+    let order: Vec<PatternNodeId> = pattern.preorder().collect();
+    let mut out = Vec::new();
+    let mut assignment: HashMap<u32, NodeId> = HashMap::new();
+    let mut images: Vec<NodeId> = Vec::with_capacity(order.len());
+
+    fn check_local(
+        tree: &Tree,
+        assignment: &HashMap<u32, NodeId>,
+        local: &HashMap<u32, Vec<&Cond>>,
+        label: u32,
+    ) -> bool {
+        local
+            .get(&label)
+            .map(|cs| cs.iter().all(|c| eval_condition(tree, assignment, c)))
+            .unwrap_or(true)
+    }
+
+    #[allow(clippy::too_many_arguments)]
+    fn recurse(
+        pattern: &PatternTree,
+        tree: &Tree,
+        order: &[PatternNodeId],
+        depth: usize,
+        local: &HashMap<u32, Vec<&Cond>>,
+        global: &[&Cond],
+        assignment: &mut HashMap<u32, NodeId>,
+        images: &mut Vec<NodeId>,
+        out: &mut Vec<Embedding>,
+    ) {
+        if depth == order.len() {
+            if global
+                .iter()
+                .all(|c| eval_condition(tree, assignment, c))
+            {
+                out.push(Embedding {
+                    map: images.clone(),
+                });
+            }
+            return;
+        }
+        let pnode = order[depth];
+        let label = pattern.label(pnode);
+        let candidates: Vec<NodeId> = match pattern.parent_edge(pnode) {
+            None => tree.preorder().collect(),
+            Some((parent, kind)) => {
+                // parent appears earlier in preorder, so it is bound
+                let pimg = images[parent.0];
+                match kind {
+                    EdgeKind::ParentChild => tree.children(pimg).collect(),
+                    EdgeKind::AncestorDescendant => tree.descendants(pimg).collect(),
+                }
+            }
+        };
+        for cand in candidates {
+            assignment.insert(label, cand);
+            images.push(cand);
+            if check_local(tree, assignment, local, label) {
+                recurse(
+                    pattern, tree, order, depth + 1, local, global, assignment, images, out,
+                );
+            }
+            images.pop();
+            assignment.remove(&label);
+        }
+    }
+
+    recurse(
+        pattern,
+        tree,
+        &order,
+        0,
+        &local,
+        &global,
+        &mut assignment,
+        &mut images,
+        &mut out,
+    );
+    out
+}
+
+/// Whether a condition can safely be evaluated early (it contains no
+/// negation whose inner labels might not yet be bound — with one label and
+/// total binding of that label this reduces to: evaluation at binding time
+/// equals evaluation at the end, true for any condition over one bound
+/// label). `Not` over a single fully-bound label is still safe; only
+/// conditions mixing bound and unbound labels are unsafe, which the
+/// single-label filter already excludes.
+fn is_positive(_c: &Cond) -> bool {
+    true
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::pattern::{EdgeKind, PatternTree};
+    use toss_tree::TreeBuilder;
+
+    fn dblp_tree() -> Tree {
+        // inproceedings(author, title, year(1999))
+        TreeBuilder::new("inproceedings")
+            .leaf("author", "AnHai Doan")
+            .leaf("title", "Reconciling Schemas")
+            .leaf("year", 2001i64)
+            .build()
+    }
+
+    /// Figure 3's pattern: $1 with pc children $2, $3;
+    /// F: $1.tag = inproceedings ∧ $2.tag = title ∧ $3.tag = year ∧ $3.content = <year>
+    fn figure3_pattern(year: i64) -> PatternTree {
+        let mut p = PatternTree::new(1);
+        let r = p.root();
+        p.add_child(r, 2, EdgeKind::ParentChild).unwrap();
+        p.add_child(r, 3, EdgeKind::ParentChild).unwrap();
+        p.set_condition(Cond::all(vec![
+            Cond::eq(Term::tag(1), Term::str("inproceedings")),
+            Cond::eq(Term::tag(2), Term::str("title")),
+            Cond::eq(Term::tag(3), Term::str("year")),
+            Cond::eq(Term::content(3), Term::int(year)),
+        ]))
+        .unwrap();
+        p
+    }
+
+    #[test]
+    fn figure3_pattern_matches() {
+        let t = dblp_tree();
+        let es = embeddings(&figure3_pattern(2001), &t);
+        assert_eq!(es.len(), 1);
+        let e = &es[0];
+        assert_eq!(e.image_of_label(&figure3_pattern(2001), 1), Some(t.root().unwrap()));
+    }
+
+    #[test]
+    fn figure3_pattern_rejects_wrong_year() {
+        let t = dblp_tree();
+        assert!(embeddings(&figure3_pattern(1999), &t).is_empty());
+    }
+
+    #[test]
+    fn unconstrained_single_node_matches_everywhere() {
+        let t = dblp_tree();
+        let p = PatternTree::new(1);
+        assert_eq!(embeddings(&p, &t).len(), t.node_count());
+    }
+
+    #[test]
+    fn pc_vs_ad_edges() {
+        // r -> a -> b (nested)
+        let t = TreeBuilder::new("r").open("a").leaf("b", "x").close().build();
+        // pattern $1=r, $2=b via pc: no match (b is a grandchild)
+        let mut pc = PatternTree::new(1);
+        let root = pc.root();
+        pc.add_child(root, 2, EdgeKind::ParentChild).unwrap();
+        pc.set_condition(Cond::all(vec![
+            Cond::eq(Term::tag(1), Term::str("r")),
+            Cond::eq(Term::tag(2), Term::str("b")),
+        ]))
+        .unwrap();
+        assert!(embeddings(&pc, &t).is_empty());
+        // same but ad: matches
+        let mut ad = PatternTree::new(1);
+        let root = ad.root();
+        ad.add_child(root, 2, EdgeKind::AncestorDescendant).unwrap();
+        ad.set_condition(Cond::all(vec![
+            Cond::eq(Term::tag(1), Term::str("r")),
+            Cond::eq(Term::tag(2), Term::str("b")),
+        ]))
+        .unwrap();
+        assert_eq!(embeddings(&ad, &t).len(), 1);
+    }
+
+    #[test]
+    fn multiple_embeddings_for_repeated_children() {
+        let t = TreeBuilder::new("paper")
+            .leaf("author", "A")
+            .leaf("author", "B")
+            .build();
+        let mut p = PatternTree::new(1);
+        let r = p.root();
+        p.add_child(r, 2, EdgeKind::ParentChild).unwrap();
+        p.set_condition(Cond::eq(Term::tag(2), Term::str("author")))
+            .unwrap();
+        let es = embeddings(&p, &t);
+        assert_eq!(es.len(), 2);
+    }
+
+    #[test]
+    fn cross_label_condition_join_on_content() {
+        // find pairs of children with equal content
+        let t = TreeBuilder::new("r")
+            .leaf("x", "same")
+            .leaf("y", "same")
+            .leaf("z", "diff")
+            .build();
+        let mut p = PatternTree::new(1);
+        let r = p.root();
+        p.add_child(r, 2, EdgeKind::ParentChild).unwrap();
+        p.add_child(r, 3, EdgeKind::ParentChild).unwrap();
+        p.set_condition(Cond::all(vec![
+            Cond::eq(Term::tag(2), Term::str("x")),
+            Cond::eq(Term::content(2), Term::content(3)),
+            Cond::ne(Term::tag(3), Term::str("x")),
+        ]))
+        .unwrap();
+        let es = embeddings(&p, &t);
+        assert_eq!(es.len(), 1); // (x, y) only
+    }
+
+    #[test]
+    fn missing_content_fails_atoms() {
+        let t = TreeBuilder::new("r").empty("a").build();
+        let mut p = PatternTree::new(1);
+        let r = p.root();
+        p.add_child(r, 2, EdgeKind::ParentChild).unwrap();
+        p.set_condition(Cond::eq(Term::content(2), Term::str("")))
+            .unwrap();
+        assert!(embeddings(&p, &t).is_empty());
+        // but Not(content = "") succeeds vacuously? No: atoms with missing
+        // values are false, so Not(false) = true.
+        let mut p2 = PatternTree::new(1);
+        let r2 = p2.root();
+        p2.add_child(r2, 2, EdgeKind::ParentChild).unwrap();
+        p2.set_condition(Cond::eq(Term::content(2), Term::str("")).not())
+            .unwrap();
+        assert_eq!(embeddings(&p2, &t).len(), 1);
+    }
+
+    #[test]
+    fn empty_tree_has_no_embeddings() {
+        let p = PatternTree::new(1);
+        assert!(embeddings(&p, &Tree::new()).is_empty());
+    }
+
+    #[test]
+    fn in_set_condition() {
+        let t = TreeBuilder::new("paper")
+            .leaf("author", "J. Ullman")
+            .leaf("author", "E. Codd")
+            .build();
+        let mut p = PatternTree::new(1);
+        let r = p.root();
+        p.add_child(r, 2, EdgeKind::ParentChild).unwrap();
+        p.set_condition(Cond::all(vec![
+            Cond::eq(Term::tag(2), Term::str("author")),
+            Cond::in_set(
+                Term::content(2),
+                ["J. Ullman".to_string(), "Jeff Ullman".to_string()],
+            ),
+        ]))
+        .unwrap();
+        assert_eq!(embeddings(&p, &t).len(), 1);
+    }
+
+    #[test]
+    fn shared_class_condition() {
+        use std::collections::HashMap;
+        let t = TreeBuilder::new("r")
+            .leaf("a", "model")
+            .leaf("b", "models")
+            .leaf("c", "relation")
+            .build();
+        let mut classes: HashMap<String, Vec<u32>> = HashMap::new();
+        classes.insert("model".into(), vec![0]);
+        classes.insert("models".into(), vec![0]);
+        classes.insert("relation".into(), vec![1]);
+        let mut p = PatternTree::new(1);
+        let r = p.root();
+        p.add_child(r, 2, EdgeKind::ParentChild).unwrap();
+        p.add_child(r, 3, EdgeKind::ParentChild).unwrap();
+        p.set_condition(Cond::all(vec![
+            Cond::eq(Term::tag(2), Term::str("a")),
+            Cond::shared_class(Term::content(2), Term::content(3), classes),
+            Cond::ne(Term::tag(3), Term::str("a")),
+        ]))
+        .unwrap();
+        // only ("model", "models") share class 0
+        assert_eq!(embeddings(&p, &t).len(), 1);
+    }
+
+    #[test]
+    fn shared_class_identical_strings_always_match() {
+        use std::collections::HashMap;
+        let t = TreeBuilder::new("r").leaf("a", "zzz").leaf("b", "zzz").build();
+        let mut p = PatternTree::new(1);
+        let r = p.root();
+        p.add_child(r, 2, EdgeKind::ParentChild).unwrap();
+        p.add_child(r, 3, EdgeKind::ParentChild).unwrap();
+        p.set_condition(Cond::all(vec![
+            Cond::eq(Term::tag(2), Term::str("a")),
+            Cond::eq(Term::tag(3), Term::str("b")),
+            Cond::shared_class(Term::content(2), Term::content(3), HashMap::new()),
+        ]))
+        .unwrap();
+        assert_eq!(embeddings(&p, &t).len(), 1);
+    }
+
+    #[test]
+    fn contains_condition() {
+        let t = dblp_tree();
+        let mut p = PatternTree::new(1);
+        let r = p.root();
+        p.add_child(r, 2, EdgeKind::ParentChild).unwrap();
+        p.set_condition(Cond::all(vec![
+            Cond::eq(Term::tag(2), Term::str("title")),
+            Cond::contains(Term::content(2), Term::str("Schemas")),
+        ]))
+        .unwrap();
+        assert_eq!(embeddings(&p, &t).len(), 1);
+    }
+}

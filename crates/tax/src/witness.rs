@@ -1,0 +1,188 @@
+//! Witness-tree construction.
+//!
+//! Each embedding induces a witness tree (Section 2.1.1): the images of
+//! the pattern nodes, connected so that `m → n` is an edge whenever `m` is
+//! the closest included ancestor of `n` in the source tree, with sibling
+//! order following the source preorder. Selection additionally pulls in
+//! the full descendant cones of designated nodes.
+
+use crate::embedding::Embedding;
+use crate::error::TaxResult;
+use crate::pattern::{PatternNodeId, PatternTree};
+use std::collections::{BTreeMap, HashSet};
+use toss_tree::{NodeId, Tree};
+
+/// Build the witness tree for `embedding`, including the descendant cones
+/// of the images of the pattern nodes in `expand` (the `SL` of selection).
+pub fn witness_tree(
+    tree: &Tree,
+    _pattern: &PatternTree,
+    embedding: &Embedding,
+    expand: &[PatternNodeId],
+) -> TaxResult<Tree> {
+    let mut included: HashSet<NodeId> = embedding.images().iter().copied().collect();
+    for &p in expand {
+        let img = embedding.image(p);
+        for d in tree.descendants(img) {
+            included.insert(d);
+        }
+    }
+    build_from_nodes(tree, &included)
+}
+
+/// Build a tree (or the first tree of a forest — witness trees always have
+/// a single root because the pattern root's image is an ancestor of every
+/// other image) from an arbitrary included-node set, connecting each node
+/// to its closest included ancestor and keeping source preorder.
+pub fn build_from_nodes(tree: &Tree, included: &HashSet<NodeId>) -> TaxResult<Tree> {
+    let forest = build_forest_from_nodes(tree, included)?;
+    Ok(forest.into_iter().next().unwrap_or_default())
+}
+
+/// Like [`build_from_nodes`] but returns every resulting root as its own
+/// tree — projection needs this because projected nodes can be
+/// disconnected.
+pub fn build_forest_from_nodes(
+    tree: &Tree,
+    included: &HashSet<NodeId>,
+) -> TaxResult<Vec<Tree>> {
+    // preorder rank of every node, to sort included nodes in document order
+    let rank: BTreeMap<NodeId, usize> = tree
+        .preorder()
+        .enumerate()
+        .map(|(i, n)| (n, i))
+        .collect();
+    let mut nodes: Vec<NodeId> = included
+        .iter()
+        .copied()
+        .filter(|n| rank.contains_key(n))
+        .collect();
+    nodes.sort_by_key(|n| rank[n]);
+
+    let mut out: Vec<Tree> = Vec::new();
+    // stack of (source node, (tree index, new node)) along the current
+    // root-to-leaf path of included nodes
+    let mut stack: Vec<(NodeId, usize, toss_tree::NodeId)> = Vec::new();
+    for n in nodes {
+        // pop until the top is an ancestor of n
+        while let Some(&(top, _, _)) = stack.last() {
+            if tree.is_ancestor(top, n) {
+                break;
+            }
+            stack.pop();
+        }
+        let data = tree.data(n)?.clone();
+        match stack.last() {
+            Some(&(_, ti, parent_new)) => {
+                let new_id = out[ti].add_child(parent_new, data)?;
+                stack.push((n, ti, new_id));
+            }
+            None => {
+                let t = Tree::with_root(data);
+                let new_root = t.root().expect("with_root sets root");
+                out.push(t);
+                stack.push((n, out.len() - 1, new_root));
+            }
+        }
+    }
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::condition::{Cond, Term};
+    use crate::embedding::embeddings;
+    use crate::pattern::{EdgeKind, PatternTree};
+    use toss_tree::serialize::{tree_to_xml, Style};
+    use toss_tree::TreeBuilder;
+
+    fn data_tree() -> Tree {
+        TreeBuilder::new("inproceedings")
+            .leaf("author", "A")
+            .open("venue")
+            .leaf("booktitle", "SIGMOD Conference")
+            .close()
+            .leaf("year", 1999i64)
+            .build()
+    }
+
+    fn pattern() -> PatternTree {
+        let mut p = PatternTree::new(1);
+        let r = p.root();
+        p.add_child(r, 2, EdgeKind::AncestorDescendant).unwrap();
+        p.set_condition(Cond::all(vec![
+            Cond::eq(Term::tag(1), Term::str("inproceedings")),
+            Cond::eq(Term::tag(2), Term::str("booktitle")),
+        ]))
+        .unwrap();
+        p
+    }
+
+    #[test]
+    fn witness_connects_via_closest_ancestor() {
+        let t = data_tree();
+        let p = pattern();
+        let es = embeddings(&p, &t);
+        assert_eq!(es.len(), 1);
+        let w = witness_tree(&t, &p, &es[0], &[]).unwrap();
+        // witness: inproceedings -> booktitle directly (venue not included)
+        assert_eq!(
+            tree_to_xml(&w, Style::Compact),
+            "<inproceedings><booktitle>SIGMOD Conference</booktitle></inproceedings>"
+        );
+    }
+
+    #[test]
+    fn expand_pulls_in_descendants() {
+        let t = data_tree();
+        let p = pattern();
+        let es = embeddings(&p, &t);
+        // expand the root pattern node: whole subtree appears
+        let w = witness_tree(&t, &p, &es[0], &[p.root()]).unwrap();
+        assert_eq!(w.node_count(), t.node_count());
+        assert!(toss_tree::eq::trees_equal(&w, &t));
+    }
+
+    #[test]
+    fn forest_from_disconnected_nodes() {
+        let t = data_tree();
+        let r = t.root().unwrap();
+        let author = t.child_by_tag(r, "author").unwrap();
+        let year = t.child_by_tag(r, "year").unwrap();
+        let included: HashSet<NodeId> = [author, year].into_iter().collect();
+        let forest = build_forest_from_nodes(&t, &included).unwrap();
+        assert_eq!(forest.len(), 2);
+        assert_eq!(forest[0].data(forest[0].root().unwrap()).unwrap().tag, "author");
+        assert_eq!(forest[1].data(forest[1].root().unwrap()).unwrap().tag, "year");
+    }
+
+    #[test]
+    fn preorder_is_preserved() {
+        let t = data_tree();
+        let r = t.root().unwrap();
+        let all: HashSet<NodeId> = t.preorder().collect();
+        let rebuilt = build_from_nodes(&t, &all).unwrap();
+        assert!(toss_tree::eq::trees_equal(&rebuilt, &t));
+        drop(r);
+    }
+
+    #[test]
+    fn empty_included_set_gives_empty_tree() {
+        let t = data_tree();
+        let w = build_from_nodes(&t, &HashSet::new()).unwrap();
+        assert!(w.is_empty());
+    }
+
+    #[test]
+    fn stale_node_ids_are_ignored() {
+        let t = data_tree();
+        let other = TreeBuilder::new("x").build();
+        // ids from `other` may exceed t's arena; they are filtered out
+        let mut included: HashSet<NodeId> = HashSet::new();
+        included.insert(other.root().unwrap());
+        included.insert(t.root().unwrap());
+        let w = build_from_nodes(&t, &included).unwrap();
+        assert_eq!(w.node_count(), 1);
+    }
+}

@@ -1,0 +1,168 @@
+//! Allocation-light traversal iterators over the arena representation.
+
+use crate::arena::{Arena, NodeId};
+
+/// Iterator over the children of a node, in document order.
+pub struct Children<'a> {
+    arena: &'a Arena,
+    next: Option<NodeId>,
+}
+
+impl<'a> Children<'a> {
+    pub(crate) fn new(arena: &'a Arena, parent: NodeId) -> Self {
+        let next = arena.slot(parent).ok().and_then(|s| s.first_child);
+        Children { arena, next }
+    }
+}
+
+impl Iterator for Children<'_> {
+    type Item = NodeId;
+
+    fn next(&mut self) -> Option<NodeId> {
+        let cur = self.next?;
+        self.next = self.arena.slot(cur).ok().and_then(|s| s.next_sibling);
+        Some(cur)
+    }
+}
+
+/// Preorder iterator over `start` and its subtree.
+pub struct Preorder<'a> {
+    arena: &'a Arena,
+    /// Explicit stack of nodes still to visit; children are pushed in
+    /// reverse so the leftmost pops first.
+    stack: Vec<NodeId>,
+}
+
+impl<'a> Preorder<'a> {
+    pub(crate) fn new(arena: &'a Arena, start: Option<NodeId>) -> Self {
+        let stack = match start {
+            Some(s) => vec![s],
+            None => Vec::new(),
+        };
+        Preorder { arena, stack }
+    }
+}
+
+impl Iterator for Preorder<'_> {
+    type Item = NodeId;
+
+    fn next(&mut self) -> Option<NodeId> {
+        let cur = self.stack.pop()?;
+        // push children reversed
+        let mut children = Vec::new();
+        if let Ok(slot) = self.arena.slot(cur) {
+            let mut c = slot.first_child;
+            while let Some(id) = c {
+                children.push(id);
+                c = self.arena.slot(id).ok().and_then(|s| s.next_sibling);
+            }
+        }
+        for &c in children.iter().rev() {
+            self.stack.push(c);
+        }
+        Some(cur)
+    }
+}
+
+/// Preorder minus the starting node itself.
+pub struct Descendants<'a> {
+    inner: Preorder<'a>,
+}
+
+impl<'a> Descendants<'a> {
+    pub(crate) fn new(arena: &'a Arena, start: NodeId) -> Self {
+        let mut inner = Preorder::new(arena, Some(start));
+        inner.next(); // skip `start`
+        Descendants { inner }
+    }
+}
+
+impl Iterator for Descendants<'_> {
+    type Item = NodeId;
+
+    fn next(&mut self) -> Option<NodeId> {
+        self.inner.next()
+    }
+}
+
+/// Strict ancestors of a node, nearest first.
+pub struct Ancestors<'a> {
+    arena: &'a Arena,
+    cur: Option<NodeId>,
+}
+
+impl<'a> Ancestors<'a> {
+    pub(crate) fn new(arena: &'a Arena, start: NodeId) -> Self {
+        let cur = arena.slot(start).ok().and_then(|s| s.parent);
+        Ancestors { arena, cur }
+    }
+}
+
+impl Iterator for Ancestors<'_> {
+    type Item = NodeId;
+
+    fn next(&mut self) -> Option<NodeId> {
+        let cur = self.cur?;
+        self.cur = self.arena.slot(cur).ok().and_then(|s| s.parent);
+        Some(cur)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::node::NodeData;
+    use crate::tree::Tree;
+
+    #[test]
+    fn empty_iterators() {
+        let t = Tree::new();
+        assert_eq!(t.preorder().count(), 0);
+    }
+
+    #[test]
+    fn wide_tree_preorder() {
+        let mut t = Tree::with_root(NodeData::element("r"));
+        let r = t.root().unwrap();
+        let mut expected = vec![r];
+        for i in 0..10 {
+            let c = t.add_child(r, NodeData::element(format!("c{i}"))).unwrap();
+            expected.push(c);
+        }
+        let got: Vec<_> = t.preorder().collect();
+        assert_eq!(got, expected);
+    }
+
+    #[test]
+    fn deep_tree_preorder_and_ancestors() {
+        let mut t = Tree::with_root(NodeData::element("d0"));
+        let mut cur = t.root().unwrap();
+        let mut chain = vec![cur];
+        for i in 1..100 {
+            cur = t.add_child(cur, NodeData::element(format!("d{i}"))).unwrap();
+            chain.push(cur);
+        }
+        let got: Vec<_> = t.preorder().collect();
+        assert_eq!(got, chain);
+        let anc: Vec<_> = t.ancestors(cur).collect();
+        let mut rev = chain.clone();
+        rev.pop();
+        rev.reverse();
+        assert_eq!(anc, rev);
+    }
+
+    #[test]
+    fn mixed_shape_preorder_matches_document_order() {
+        // r -> (a -> (b, c), d -> (e))
+        let mut t = Tree::with_root(NodeData::element("r"));
+        let r = t.root().unwrap();
+        let a = t.add_child(r, NodeData::element("a")).unwrap();
+        let b = t.add_child(a, NodeData::element("b")).unwrap();
+        let c = t.add_child(a, NodeData::element("c")).unwrap();
+        let d = t.add_child(r, NodeData::element("d")).unwrap();
+        let e = t.add_child(d, NodeData::element("e")).unwrap();
+        let got: Vec<_> = t.preorder().collect();
+        assert_eq!(got, vec![r, a, b, c, d, e]);
+        let ch: Vec<_> = t.children(r).collect();
+        assert_eq!(ch, vec![a, d]);
+    }
+}

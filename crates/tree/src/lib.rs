@@ -1,0 +1,46 @@
+//! # toss-tree — the semistructured data model
+//!
+//! This crate implements the data model of Definition 1 in the TOSS paper
+//! (Hung, Deng, Subrahmanian, SIGMOD 2004): a *semistructured instance* is a
+//! set of rooted, ordered, directed trees whose objects carry two attributes
+//! — a **tag** (the label of the edge to the parent) and a **content** — each
+//! of which has a *type* drawn from a type system `T` with domains
+//! `dom(τ)`.
+//!
+//! The central abstractions:
+//!
+//! * [`Tree`] — one rooted ordered tree, stored in an arena ([`arena`]).
+//! * [`Forest`] — an ordered collection of trees; a semistructured database
+//!   (SDB) is a [`Forest`] (the paper's finite set of instances).
+//! * [`Value`] / [`TypeId`] / [`TypeSystem`] — typed attribute values and the
+//!   type registry used by the TOSS type hierarchy and conversion functions.
+//! * [`TreeBuilder`] — ergonomic construction of trees.
+//! * ordered-isomorphism equality ([`eq`]) used by TAX's set-theoretic
+//!   operators (union, intersection, difference).
+//!
+//! The XML serialization in [`serialize`] round-trips with the parser in the
+//! `toss-xmldb` crate.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod arena;
+pub mod builder;
+pub mod eq;
+pub mod error;
+pub mod forest;
+pub mod iter;
+pub mod node;
+pub mod serialize;
+pub mod tree;
+pub mod types;
+pub mod value;
+
+pub use arena::NodeId;
+pub use builder::TreeBuilder;
+pub use error::{TreeError, TreeResult};
+pub use forest::Forest;
+pub use node::NodeData;
+pub use tree::Tree;
+pub use types::{TypeId, TypeSystem};
+pub use value::Value;

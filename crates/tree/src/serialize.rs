@@ -1,0 +1,180 @@
+//! XML serialization of trees.
+//!
+//! Produces XML that the `toss-xmldb` parser round-trips: element tags,
+//! attributes, text content with the five standard entity escapes, and
+//! optional pretty-printing. Content and children can coexist (mixed
+//! content is emitted with text first, matching how the model stores it).
+
+use crate::arena::NodeId;
+use crate::forest::Forest;
+use crate::tree::Tree;
+use std::fmt::Write as _;
+
+/// Escape text content for XML.
+pub fn escape_text(s: &str) -> String {
+    let mut out = String::with_capacity(s.len());
+    for ch in s.chars() {
+        match ch {
+            '&' => out.push_str("&amp;"),
+            '<' => out.push_str("&lt;"),
+            '>' => out.push_str("&gt;"),
+            _ => out.push(ch),
+        }
+    }
+    out
+}
+
+/// Escape an attribute value for XML (double-quote delimited).
+pub fn escape_attr(s: &str) -> String {
+    let mut out = String::with_capacity(s.len());
+    for ch in s.chars() {
+        match ch {
+            '&' => out.push_str("&amp;"),
+            '<' => out.push_str("&lt;"),
+            '>' => out.push_str("&gt;"),
+            '"' => out.push_str("&quot;"),
+            '\'' => out.push_str("&apos;"),
+            _ => out.push(ch),
+        }
+    }
+    out
+}
+
+/// Serialization style.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Style {
+    /// No insignificant whitespace — the form used for storage and hashing.
+    Compact,
+    /// Two-space indentation per depth level.
+    Pretty,
+}
+
+fn write_node(t: &Tree, n: NodeId, style: Style, depth: usize, out: &mut String) {
+    let Ok(d) = t.data(n) else { return };
+    if style == Style::Pretty {
+        for _ in 0..depth {
+            out.push_str("  ");
+        }
+    }
+    out.push('<');
+    out.push_str(&d.tag);
+    for (k, v) in &d.attrs {
+        let _ = write!(out, " {}=\"{}\"", k, escape_attr(v));
+    }
+    let kids: Vec<NodeId> = t.children(n).collect();
+    let text = d.content.as_ref().map(|c| c.render());
+    if kids.is_empty() && text.is_none() {
+        out.push_str("/>");
+        if style == Style::Pretty {
+            out.push('\n');
+        }
+        return;
+    }
+    out.push('>');
+    if let Some(txt) = &text {
+        out.push_str(&escape_text(txt));
+    }
+    if !kids.is_empty() {
+        if style == Style::Pretty {
+            out.push('\n');
+        }
+        for k in kids {
+            write_node(t, k, style, depth + 1, out);
+        }
+        if style == Style::Pretty {
+            for _ in 0..depth {
+                out.push_str("  ");
+            }
+        }
+    }
+    out.push_str("</");
+    out.push_str(&d.tag);
+    out.push('>');
+    if style == Style::Pretty {
+        out.push('\n');
+    }
+}
+
+/// Serialize one tree.
+pub fn tree_to_xml(t: &Tree, style: Style) -> String {
+    let mut out = String::new();
+    if let Some(r) = t.root() {
+        write_node(t, r, style, 0, &mut out);
+    }
+    out
+}
+
+/// Serialize a forest as a sequence of documents separated by newlines
+/// (compact) or directly concatenated pretty blocks.
+pub fn forest_to_xml(f: &Forest, style: Style) -> String {
+    let mut out = String::new();
+    for (i, t) in f.iter().enumerate() {
+        if i > 0 && style == Style::Compact {
+            out.push('\n');
+        }
+        out.push_str(&tree_to_xml(t, style));
+    }
+    out
+}
+
+/// Approximate on-disk size of the forest in bytes (compact XML length).
+/// Used by the scalability harness to report data sizes the way the paper
+/// does (bytes of XML).
+pub fn xml_size_bytes(f: &Forest) -> usize {
+    f.iter().map(|t| tree_to_xml(t, Style::Compact).len()).sum()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::builder::TreeBuilder;
+
+    #[test]
+    fn compact_leaf() {
+        let t = TreeBuilder::new("a").leaf("b", "x").build();
+        assert_eq!(tree_to_xml(&t, Style::Compact), "<a><b>x</b></a>");
+    }
+
+    #[test]
+    fn empty_element_self_closes() {
+        let t = TreeBuilder::new("a").empty("b").build();
+        assert_eq!(tree_to_xml(&t, Style::Compact), "<a><b/></a>");
+    }
+
+    #[test]
+    fn attributes_and_escaping() {
+        let t = TreeBuilder::new("a")
+            .attr("k", "x\"<&")
+            .leaf("b", "1 < 2 & 3")
+            .build();
+        let xml = tree_to_xml(&t, Style::Compact);
+        assert_eq!(
+            xml,
+            "<a k=\"x&quot;&lt;&amp;\"><b>1 &lt; 2 &amp; 3</b></a>"
+        );
+    }
+
+    #[test]
+    fn pretty_is_indented() {
+        let t = TreeBuilder::new("a").open("b").leaf("c", "x").close().build();
+        let xml = tree_to_xml(&t, Style::Pretty);
+        assert!(xml.contains("\n  <b>"));
+        assert!(xml.contains("\n    <c>"));
+    }
+
+    #[test]
+    fn mixed_content_emits_text_then_children() {
+        let t = TreeBuilder::new("a").content("hello").leaf("b", "x").build();
+        assert_eq!(tree_to_xml(&t, Style::Compact), "<a>hello<b>x</b></a>");
+    }
+
+    #[test]
+    fn forest_serialization_and_size() {
+        let f = Forest::from_trees(vec![
+            TreeBuilder::new("a").build(),
+            TreeBuilder::new("b").build(),
+        ]);
+        assert_eq!(forest_to_xml(&f, Style::Compact), "<a/>\n<b/>");
+        assert_eq!(xml_size_bytes(&f), 8);
+    }
+}

@@ -1,0 +1,244 @@
+//! The type system `T` with domains `dom(τ)`.
+//!
+//! The paper assumes a set `T` of named types, each with a domain. Besides
+//! the builtin `string`, `int` and `real`, applications register *unit*
+//! types such as `mm` or `USD` (whose domains are subsets of the numeric
+//! values) and *singleton* types: "each value of a type may also be viewed
+//! as a type" (Section 5), which is how instance values participate in the
+//! `below_H` cone of a type hierarchy.
+
+use crate::value::Value;
+use std::collections::HashMap;
+use std::fmt;
+
+/// Identifier of a registered type — a dense index into the [`TypeSystem`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct TypeId(pub(crate) u32);
+
+impl TypeId {
+    /// Raw index of this type within its [`TypeSystem`].
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+impl fmt::Display for TypeId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "τ{}", self.0)
+    }
+}
+
+/// Which values belong to `dom(τ)`.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Domain {
+    /// All strings.
+    AnyString,
+    /// All 64-bit integers.
+    AnyInt,
+    /// All finite reals.
+    AnyReal,
+    /// Non-negative numeric values — the paper's `mm` example.
+    NonNegative,
+    /// Exactly one value — singleton types "each value of a type may also
+    /// be viewed as a type".
+    Singleton(Value),
+    /// A finite enumeration of values.
+    Enumeration(Vec<Value>),
+}
+
+impl Domain {
+    /// Membership test `v ∈ dom(τ)`.
+    pub fn contains(&self, v: &Value) -> bool {
+        match self {
+            Domain::AnyString => matches!(v, Value::Str(_)),
+            Domain::AnyInt => matches!(v, Value::Int(_)),
+            Domain::AnyReal => v.as_real().is_some_and(f64::is_finite),
+            Domain::NonNegative => v.as_real().is_some_and(|r| r >= 0.0 && r.is_finite()),
+            Domain::Singleton(s) => v == s,
+            Domain::Enumeration(vals) => vals.contains(v),
+        }
+    }
+}
+
+/// A registered type: a name plus a domain.
+#[derive(Debug, Clone, PartialEq)]
+pub struct TypeDef {
+    /// The type's name (unique within a [`TypeSystem`]).
+    pub name: String,
+    /// The membership predicate for `dom(τ)`.
+    pub domain: Domain,
+}
+
+/// Registry of types. Creating a system pre-registers the builtins
+/// `string`, `int` and `real` (accessible via [`TypeSystem::STRING`] etc.).
+#[derive(Debug, Clone)]
+pub struct TypeSystem {
+    defs: Vec<TypeDef>,
+    by_name: HashMap<String, TypeId>,
+}
+
+impl TypeSystem {
+    /// The builtin `string` type.
+    pub const STRING: TypeId = TypeId(0);
+    /// The builtin `int` type.
+    pub const INT: TypeId = TypeId(1);
+    /// The builtin `real` type.
+    pub const REAL: TypeId = TypeId(2);
+
+    /// Create a system containing only the builtins.
+    pub fn new() -> Self {
+        let mut ts = TypeSystem {
+            defs: Vec::new(),
+            by_name: HashMap::new(),
+        };
+        ts.register("string", Domain::AnyString);
+        ts.register("int", Domain::AnyInt);
+        ts.register("real", Domain::AnyReal);
+        ts
+    }
+
+    /// Register a type; returns its id. Re-registering an existing name
+    /// returns the existing id unchanged (registration is idempotent by
+    /// name; the original domain wins).
+    pub fn register(&mut self, name: &str, domain: Domain) -> TypeId {
+        if let Some(&id) = self.by_name.get(name) {
+            return id;
+        }
+        let id = TypeId(self.defs.len() as u32);
+        self.defs.push(TypeDef {
+            name: name.to_string(),
+            domain,
+        });
+        self.by_name.insert(name.to_string(), id);
+        id
+    }
+
+    /// Register the singleton type for a value (Section 5: values as types).
+    pub fn register_singleton(&mut self, name: &str, value: Value) -> TypeId {
+        self.register(name, Domain::Singleton(value))
+    }
+
+    /// Look up a type by name.
+    pub fn lookup(&self, name: &str) -> Option<TypeId> {
+        self.by_name.get(name).copied()
+    }
+
+    /// The definition for an id, if the id belongs to this system.
+    pub fn def(&self, id: TypeId) -> Option<&TypeDef> {
+        self.defs.get(id.index())
+    }
+
+    /// The name for an id (panics on a foreign id in debug builds only
+    /// through `expect`-free Option handling).
+    pub fn name(&self, id: TypeId) -> &str {
+        self.def(id).map(|d| d.name.as_str()).unwrap_or("<unknown>")
+    }
+
+    /// Membership test `v ∈ dom(τ)`; `false` for unknown ids.
+    pub fn value_in_domain(&self, v: &Value, ty: TypeId) -> bool {
+        self.def(ty).is_some_and(|d| d.domain.contains(v))
+    }
+
+    /// Infer the builtin type for a lexical value.
+    pub fn infer(v: &Value) -> TypeId {
+        match v {
+            Value::Str(_) => Self::STRING,
+            Value::Int(_) => Self::INT,
+            Value::Real(_) => Self::REAL,
+        }
+    }
+
+    /// Number of registered types.
+    pub fn len(&self) -> usize {
+        self.defs.len()
+    }
+
+    /// Whether only builtins are present is never true (builtins exist), so
+    /// this reports whether *no* types exist at all — kept for API symmetry.
+    pub fn is_empty(&self) -> bool {
+        self.defs.is_empty()
+    }
+
+    /// Iterate over `(TypeId, &TypeDef)` pairs.
+    pub fn iter(&self) -> impl Iterator<Item = (TypeId, &TypeDef)> {
+        self.defs
+            .iter()
+            .enumerate()
+            .map(|(i, d)| (TypeId(i as u32), d))
+    }
+}
+
+impl Default for TypeSystem {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn builtins_are_preregistered() {
+        let ts = TypeSystem::new();
+        assert_eq!(ts.lookup("string"), Some(TypeSystem::STRING));
+        assert_eq!(ts.lookup("int"), Some(TypeSystem::INT));
+        assert_eq!(ts.lookup("real"), Some(TypeSystem::REAL));
+        assert_eq!(ts.len(), 3);
+    }
+
+    #[test]
+    fn register_is_idempotent_by_name() {
+        let mut ts = TypeSystem::new();
+        let a = ts.register("mm", Domain::NonNegative);
+        let b = ts.register("mm", Domain::AnyInt);
+        assert_eq!(a, b);
+        // original domain wins
+        assert!(ts.value_in_domain(&Value::Real(1.5), a));
+    }
+
+    #[test]
+    fn nonnegative_domain() {
+        let mut ts = TypeSystem::new();
+        let mm = ts.register("mm", Domain::NonNegative);
+        assert!(ts.value_in_domain(&Value::Int(0), mm));
+        assert!(ts.value_in_domain(&Value::Real(2.5), mm));
+        assert!(!ts.value_in_domain(&Value::Int(-1), mm));
+        assert!(!ts.value_in_domain(&Value::Str("5".into()), mm));
+    }
+
+    #[test]
+    fn singleton_types_view_values_as_types() {
+        let mut ts = TypeSystem::new();
+        let author = ts.register_singleton("author", Value::Str("author".into()));
+        assert!(ts.value_in_domain(&Value::Str("author".into()), author));
+        assert!(!ts.value_in_domain(&Value::Str("title".into()), author));
+    }
+
+    #[test]
+    fn enumeration_domain() {
+        let mut ts = TypeSystem::new();
+        let month = ts.register(
+            "month",
+            Domain::Enumeration(vec![Value::Str("Jan".into()), Value::Str("Feb".into())]),
+        );
+        assert!(ts.value_in_domain(&Value::Str("Jan".into()), month));
+        assert!(!ts.value_in_domain(&Value::Str("Mar".into()), month));
+    }
+
+    #[test]
+    fn infer_builtin_types() {
+        assert_eq!(TypeSystem::infer(&Value::Str("x".into())), TypeSystem::STRING);
+        assert_eq!(TypeSystem::infer(&Value::Int(1)), TypeSystem::INT);
+        assert_eq!(TypeSystem::infer(&Value::Real(1.0)), TypeSystem::REAL);
+    }
+
+    #[test]
+    fn unknown_ids_are_handled() {
+        let ts = TypeSystem::new();
+        let bogus = TypeId(999);
+        assert_eq!(ts.def(bogus), None);
+        assert_eq!(ts.name(bogus), "<unknown>");
+        assert!(!ts.value_in_domain(&Value::Int(1), bogus));
+    }
+}

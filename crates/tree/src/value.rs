@@ -1,0 +1,173 @@
+//! Typed attribute values.
+//!
+//! Every object attribute (tag or content) in a semistructured instance
+//! carries a value plus a type from the [`crate::TypeSystem`]. Values are
+//! deliberately a small closed enum: the paper's model only needs strings,
+//! integers, reals and unit-bearing quantities (e.g. `mm`, `USD`) — the
+//! latter are represented as a numeric payload whose *type* identifies the
+//! unit, so conversion functions in `toss-core` can reinterpret them.
+
+use std::cmp::Ordering;
+use std::fmt;
+
+/// A typed attribute value.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Value {
+    /// A UTF-8 string (the dominant case in XML content).
+    Str(String),
+    /// A 64-bit integer (years, page numbers, …).
+    Int(i64),
+    /// A 64-bit float (unit-bearing quantities after conversion).
+    Real(f64),
+}
+
+impl Value {
+    /// View the value as a string slice if it is a [`Value::Str`].
+    pub fn as_str(&self) -> Option<&str> {
+        match self {
+            Value::Str(s) => Some(s),
+            _ => None,
+        }
+    }
+
+    /// View the value as an integer, converting a whole `Real` losslessly.
+    pub fn as_int(&self) -> Option<i64> {
+        match self {
+            Value::Int(i) => Some(*i),
+            Value::Real(r) if r.fract() == 0.0 && r.is_finite() => Some(*r as i64),
+            _ => None,
+        }
+    }
+
+    /// View the value as a float (integers widen losslessly).
+    pub fn as_real(&self) -> Option<f64> {
+        match self {
+            Value::Real(r) => Some(*r),
+            Value::Int(i) => Some(*i as f64),
+            _ => None,
+        }
+    }
+
+    /// Render the value the way it would appear as XML text content.
+    pub fn render(&self) -> String {
+        self.to_string()
+    }
+
+    /// Parse a string into the "most specific" value: integer, then real,
+    /// then string. This mirrors how the XML loader assigns types to raw
+    /// text content.
+    pub fn parse_lexical(text: &str) -> Value {
+        let t = text.trim();
+        if let Ok(i) = t.parse::<i64>() {
+            return Value::Int(i);
+        }
+        if let Ok(r) = t.parse::<f64>() {
+            if r.is_finite() {
+                return Value::Real(r);
+            }
+        }
+        Value::Str(text.to_string())
+    }
+
+    /// Compare two values under the natural order of their common
+    /// supertype: numerics compare numerically, strings lexicographically.
+    /// Mixed string/number comparisons are not ordered (returns `None`),
+    /// matching the paper's well-typedness requirement that comparands have
+    /// a least common supertype.
+    pub fn partial_cmp_typed(&self, other: &Value) -> Option<Ordering> {
+        match (self, other) {
+            (Value::Str(a), Value::Str(b)) => Some(a.cmp(b)),
+            (a, b) => {
+                let (x, y) = (a.as_real()?, b.as_real()?);
+                x.partial_cmp(&y)
+            }
+        }
+    }
+}
+
+impl fmt::Display for Value {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Value::Str(s) => f.write_str(s),
+            Value::Int(i) => write!(f, "{i}"),
+            Value::Real(r) => write!(f, "{r}"),
+        }
+    }
+}
+
+impl From<&str> for Value {
+    fn from(s: &str) -> Self {
+        Value::Str(s.to_string())
+    }
+}
+
+impl From<String> for Value {
+    fn from(s: String) -> Self {
+        Value::Str(s)
+    }
+}
+
+impl From<i64> for Value {
+    fn from(i: i64) -> Self {
+        Value::Int(i)
+    }
+}
+
+impl From<f64> for Value {
+    fn from(r: f64) -> Self {
+        Value::Real(r)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parse_lexical_prefers_int() {
+        assert_eq!(Value::parse_lexical("1999"), Value::Int(1999));
+        assert_eq!(Value::parse_lexical(" 42 "), Value::Int(42));
+    }
+
+    #[test]
+    fn parse_lexical_falls_back_to_real_then_string() {
+        assert_eq!(Value::parse_lexical("3.5"), Value::Real(3.5));
+        assert_eq!(
+            Value::parse_lexical("SIGMOD Conference"),
+            Value::Str("SIGMOD Conference".into())
+        );
+    }
+
+    #[test]
+    fn parse_lexical_rejects_nonfinite_reals() {
+        // "inf" parses as f64 infinity; we keep it a string.
+        assert_eq!(Value::parse_lexical("inf"), Value::Str("inf".into()));
+        assert_eq!(Value::parse_lexical("NaN"), Value::Str("NaN".into()));
+    }
+
+    #[test]
+    fn as_int_accepts_whole_reals() {
+        assert_eq!(Value::Real(2.0).as_int(), Some(2));
+        assert_eq!(Value::Real(2.5).as_int(), None);
+        assert_eq!(Value::Str("2".into()).as_int(), None);
+    }
+
+    #[test]
+    fn typed_comparison_mixes_numerics_only() {
+        assert_eq!(
+            Value::Int(3).partial_cmp_typed(&Value::Real(3.5)),
+            Some(Ordering::Less)
+        );
+        assert_eq!(
+            Value::Str("a".into()).partial_cmp_typed(&Value::Str("b".into())),
+            Some(Ordering::Less)
+        );
+        assert_eq!(Value::Str("3".into()).partial_cmp_typed(&Value::Int(3)), None);
+    }
+
+    #[test]
+    fn display_round_trips_ints() {
+        assert_eq!(Value::Int(-7).to_string(), "-7");
+        assert_eq!(Value::Str("x".into()).to_string(), "x");
+    }
+}

@@ -1,0 +1,273 @@
+//! Named collections of XML documents.
+//!
+//! A [`Collection`] owns a set of documents (trees), assigns them stable
+//! [`DocumentId`]s, tracks its serialized size against a configurable limit
+//! (Xindice's 5 MB by default, set at the [`crate::Database`] level) and
+//! maintains the inverted indexes used by the XPath engine's
+//! descendant-axis fast path.
+
+use crate::error::{DbError, DbResult};
+use crate::index::CollectionIndex;
+use toss_tree::serialize::{tree_to_xml, Style};
+use toss_tree::Tree;
+
+/// Stable identifier of a document within a collection.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct DocumentId(pub u64);
+
+impl std::fmt::Display for DocumentId {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "doc#{}", self.0)
+    }
+}
+
+/// A stored document: the parsed tree plus its compact-XML byte size.
+#[derive(Debug, Clone)]
+pub struct StoredDocument {
+    /// The document id.
+    pub id: DocumentId,
+    /// The parsed tree.
+    pub tree: Tree,
+    /// Size of the compact XML serialization in bytes.
+    pub size_bytes: usize,
+}
+
+/// A named collection of documents.
+#[derive(Debug)]
+pub struct Collection {
+    name: String,
+    docs: Vec<StoredDocument>,
+    next_id: u64,
+    size_bytes: usize,
+    size_limit: Option<usize>,
+    index: CollectionIndex,
+}
+
+impl Collection {
+    /// Create an empty collection. `size_limit` of `None` means unlimited.
+    pub fn new(name: impl Into<String>, size_limit: Option<usize>) -> Self {
+        Collection {
+            name: name.into(),
+            docs: Vec::new(),
+            next_id: 0,
+            size_bytes: 0,
+            size_limit,
+            index: CollectionIndex::new(),
+        }
+    }
+
+    /// The collection's name.
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// Insert a parsed document; returns its id.
+    ///
+    /// Fails with [`DbError::SizeLimitExceeded`] when the compact XML size
+    /// of the collection would exceed the configured limit.
+    pub fn insert(&mut self, tree: Tree) -> DbResult<DocumentId> {
+        let size = tree_to_xml(&tree, Style::Compact).len();
+        if let Some(limit) = self.size_limit {
+            if self.size_bytes + size > limit {
+                return Err(DbError::SizeLimitExceeded {
+                    limit,
+                    attempted: self.size_bytes + size,
+                });
+            }
+        }
+        let id = DocumentId(self.next_id);
+        self.next_id += 1;
+        self.index.add_document(id, &tree);
+        self.size_bytes += size;
+        self.docs.push(StoredDocument {
+            id,
+            tree,
+            size_bytes: size,
+        });
+        Ok(id)
+    }
+
+    /// Insert raw XML text (parsed with [`crate::parse_document`]).
+    pub fn insert_xml(&mut self, xml: &str) -> DbResult<DocumentId> {
+        let tree = crate::parser::parse_document(xml)?;
+        self.insert(tree)
+    }
+
+    /// Fetch a document by id.
+    pub fn get(&self, id: DocumentId) -> DbResult<&StoredDocument> {
+        self.docs
+            .iter()
+            .find(|d| d.id == id)
+            .ok_or(DbError::NoSuchDocument(id.0))
+    }
+
+    /// Replace a document's tree in place, keeping its id. Re-checks the
+    /// size limit against the new total and re-indexes.
+    pub fn replace(&mut self, id: DocumentId, tree: Tree) -> DbResult<Tree> {
+        let pos = self
+            .docs
+            .iter()
+            .position(|d| d.id == id)
+            .ok_or(DbError::NoSuchDocument(id.0))?;
+        let new_size = tree_to_xml(&tree, Style::Compact).len();
+        let old_size = self.docs[pos].size_bytes;
+        if let Some(limit) = self.size_limit {
+            if self.size_bytes - old_size + new_size > limit {
+                return Err(DbError::SizeLimitExceeded {
+                    limit,
+                    attempted: self.size_bytes - old_size + new_size,
+                });
+            }
+        }
+        self.index.remove_document(id);
+        self.index.add_document(id, &tree);
+        self.size_bytes = self.size_bytes - old_size + new_size;
+        let old = std::mem::replace(&mut self.docs[pos].tree, tree);
+        self.docs[pos].size_bytes = new_size;
+        Ok(old)
+    }
+
+    /// Remove a document by id; returns the removed tree.
+    pub fn remove(&mut self, id: DocumentId) -> DbResult<Tree> {
+        let pos = self
+            .docs
+            .iter()
+            .position(|d| d.id == id)
+            .ok_or(DbError::NoSuchDocument(id.0))?;
+        let doc = self.docs.remove(pos);
+        self.size_bytes -= doc.size_bytes;
+        self.index.remove_document(id);
+        Ok(doc.tree)
+    }
+
+    /// All stored documents, in insertion order.
+    pub fn documents(&self) -> &[StoredDocument] {
+        &self.docs
+    }
+
+    /// Number of documents.
+    pub fn len(&self) -> usize {
+        self.docs.len()
+    }
+
+    /// Whether the collection is empty.
+    pub fn is_empty(&self) -> bool {
+        self.docs.is_empty()
+    }
+
+    /// Total compact-XML size in bytes.
+    pub fn size_bytes(&self) -> usize {
+        self.size_bytes
+    }
+
+    /// The configured size limit, if any.
+    pub fn size_limit(&self) -> Option<usize> {
+        self.size_limit
+    }
+
+    /// The collection's inverted index (tag → document/node postings).
+    pub fn index(&self) -> &CollectionIndex {
+        &self.index
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use toss_tree::TreeBuilder;
+
+    fn doc(n: usize) -> Tree {
+        TreeBuilder::new("article")
+            .leaf("title", format!("Paper {n}"))
+            .build()
+    }
+
+    #[test]
+    fn insert_get_remove_cycle() {
+        let mut c = Collection::new("dblp", None);
+        let id0 = c.insert(doc(0)).unwrap();
+        let id1 = c.insert(doc(1)).unwrap();
+        assert_ne!(id0, id1);
+        assert_eq!(c.len(), 2);
+        assert!(c.size_bytes() > 0);
+        let removed = c.remove(id0).unwrap();
+        assert_eq!(removed.node_count(), 2);
+        assert_eq!(c.len(), 1);
+        assert!(matches!(c.get(id0), Err(DbError::NoSuchDocument(_))));
+        assert!(c.get(id1).is_ok());
+    }
+
+    #[test]
+    fn ids_are_not_reused_after_removal() {
+        let mut c = Collection::new("x", None);
+        let id0 = c.insert(doc(0)).unwrap();
+        c.remove(id0).unwrap();
+        let id1 = c.insert(doc(1)).unwrap();
+        assert_ne!(id0, id1);
+    }
+
+    #[test]
+    fn size_limit_enforced_like_xindice() {
+        let mut c = Collection::new("tiny", Some(60));
+        c.insert(doc(0)).unwrap(); // ~45 bytes
+        let e = c.insert(doc(1)).unwrap_err();
+        assert!(matches!(e, DbError::SizeLimitExceeded { limit: 60, .. }));
+        assert_eq!(c.len(), 1);
+    }
+
+    #[test]
+    fn size_accounting_tracks_removals() {
+        let mut c = Collection::new("x", None);
+        let id = c.insert(doc(0)).unwrap();
+        let sz = c.size_bytes();
+        c.insert(doc(1)).unwrap();
+        assert!(c.size_bytes() > sz);
+        c.remove(id).unwrap();
+        assert!(c.size_bytes() < sz * 2);
+    }
+
+    #[test]
+    fn replace_keeps_id_and_reindexes() {
+        let mut c = Collection::new("x", None);
+        let id = c.insert(doc(0)).unwrap();
+        let old = c
+            .replace(
+                id,
+                TreeBuilder::new("article").leaf("title", "Replaced").build(),
+            )
+            .unwrap();
+        assert_eq!(old.node_count(), 2);
+        assert_eq!(c.get(id).unwrap().tree.data(c.get(id).unwrap().tree.root().unwrap()).unwrap().tag, "article");
+        // index reflects the new content only
+        assert_eq!(c.index().by_tag_content("title", "Paper 0").len(), 0);
+        assert_eq!(c.index().by_tag_content("title", "Replaced").len(), 1);
+        assert!(matches!(
+            c.replace(DocumentId(99), doc(1)),
+            Err(DbError::NoSuchDocument(99))
+        ));
+    }
+
+    #[test]
+    fn replace_respects_size_limit() {
+        let mut c = Collection::new("tiny", Some(60));
+        let id = c.insert(doc(0)).unwrap();
+        let huge = TreeBuilder::new("article")
+            .leaf("title", "x".repeat(100))
+            .build();
+        assert!(matches!(
+            c.replace(id, huge),
+            Err(DbError::SizeLimitExceeded { .. })
+        ));
+        // shrinking replacement is fine
+        c.replace(id, TreeBuilder::new("a").build()).unwrap();
+        assert!(c.size_bytes() < 60);
+    }
+
+    #[test]
+    fn insert_xml_parses() {
+        let mut c = Collection::new("x", None);
+        let id = c.insert_xml("<a><b>1</b></a>").unwrap();
+        assert_eq!(c.get(id).unwrap().tree.node_count(), 2);
+        assert!(c.insert_xml("<a><b>").is_err());
+    }
+}

@@ -1,0 +1,106 @@
+//! Error types for the XML database.
+
+use std::fmt;
+use toss_tree::TreeError;
+
+/// Errors from parsing, storage or query evaluation.
+#[derive(Debug, Clone, PartialEq)]
+pub enum DbError {
+    /// XML was malformed; carries byte offset and message.
+    Parse {
+        /// Byte offset in the input where the problem was detected.
+        offset: usize,
+        /// Human-readable description.
+        message: String,
+    },
+    /// An XPath expression was malformed.
+    XPathSyntax(String),
+    /// A named collection does not exist.
+    NoSuchCollection(String),
+    /// A collection with that name already exists.
+    CollectionExists(String),
+    /// A document id was not found in the collection.
+    NoSuchDocument(u64),
+    /// Inserting a document would exceed the collection's size limit —
+    /// mirrors Xindice's 5 MB per-collection cap that shaped the paper's
+    /// experiments.
+    SizeLimitExceeded {
+        /// The configured limit in bytes.
+        limit: usize,
+        /// The size the collection would reach.
+        attempted: usize,
+    },
+    /// Snapshot persistence failed.
+    Storage(String),
+    /// An underlying tree operation failed (internal invariant breach).
+    Tree(TreeError),
+}
+
+impl fmt::Display for DbError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            DbError::Parse { offset, message } => {
+                write!(f, "XML parse error at byte {offset}: {message}")
+            }
+            DbError::XPathSyntax(m) => write!(f, "XPath syntax error: {m}"),
+            DbError::NoSuchCollection(n) => write!(f, "no such collection `{n}`"),
+            DbError::CollectionExists(n) => write!(f, "collection `{n}` already exists"),
+            DbError::NoSuchDocument(id) => write!(f, "no such document #{id}"),
+            DbError::SizeLimitExceeded { limit, attempted } => write!(
+                f,
+                "collection size limit exceeded: {attempted} bytes > limit {limit} bytes"
+            ),
+            DbError::Storage(m) => write!(f, "storage error: {m}"),
+            DbError::Tree(e) => write!(f, "tree error: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for DbError {}
+
+impl From<TreeError> for DbError {
+    fn from(e: TreeError) -> Self {
+        DbError::Tree(e)
+    }
+}
+
+/// Result alias for database operations.
+pub type DbResult<T> = Result<T, DbError>;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_covers_variants() {
+        let cases: Vec<(DbError, &str)> = vec![
+            (
+                DbError::Parse {
+                    offset: 12,
+                    message: "unexpected `<`".into(),
+                },
+                "XML parse error at byte 12: unexpected `<`",
+            ),
+            (
+                DbError::NoSuchCollection("dblp".into()),
+                "no such collection `dblp`",
+            ),
+            (
+                DbError::SizeLimitExceeded {
+                    limit: 100,
+                    attempted: 150,
+                },
+                "collection size limit exceeded: 150 bytes > limit 100 bytes",
+            ),
+        ];
+        for (e, s) in cases {
+            assert_eq!(e.to_string(), s);
+        }
+    }
+
+    #[test]
+    fn tree_error_converts() {
+        let e: DbError = TreeError::EmptyTree.into();
+        assert!(matches!(e, DbError::Tree(_)));
+    }
+}

@@ -1,0 +1,150 @@
+//! Inverted indexes over a collection.
+//!
+//! Two postings structures accelerate the XPath engine:
+//!
+//! * **tag index** — tag name → list of `(document, node)` pairs, used by
+//!   the descendant axis (`//tag`) so it never scans unrelated subtrees;
+//! * **content index** — `(tag, exact content)` → postings, used for
+//!   equality predicates like `[author='J. Ullman']`.
+//!
+//! Postings are kept in document order (documents in insertion order,
+//! nodes in preorder) so merged results preserve the order TAX requires.
+
+use crate::collection::DocumentId;
+use std::collections::HashMap;
+use toss_tree::{NodeId, Tree};
+
+/// A posting: one node in one document.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct Posting {
+    /// Which document.
+    pub doc: DocumentId,
+    /// Which node within that document's tree.
+    pub node: NodeId,
+}
+
+/// Inverted indexes for one collection.
+#[derive(Debug, Default)]
+pub struct CollectionIndex {
+    tag: HashMap<String, Vec<Posting>>,
+    content: HashMap<(String, String), Vec<Posting>>,
+}
+
+impl CollectionIndex {
+    /// An empty index.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Index every node of `tree` under document id `doc`.
+    pub fn add_document(&mut self, doc: DocumentId, tree: &Tree) {
+        for node in tree.preorder() {
+            let Ok(data) = tree.data(node) else { continue };
+            let posting = Posting { doc, node };
+            self.tag.entry(data.tag.clone()).or_default().push(posting);
+            if let Some(c) = &data.content {
+                self.content
+                    .entry((data.tag.clone(), c.render()))
+                    .or_default()
+                    .push(posting);
+            }
+        }
+    }
+
+    /// Drop all postings for a document (linear sweep; removal is rare in
+    /// the workloads this store serves).
+    pub fn remove_document(&mut self, doc: DocumentId) {
+        for v in self.tag.values_mut() {
+            v.retain(|p| p.doc != doc);
+        }
+        for v in self.content.values_mut() {
+            v.retain(|p| p.doc != doc);
+        }
+        self.tag.retain(|_, v| !v.is_empty());
+        self.content.retain(|_, v| !v.is_empty());
+    }
+
+    /// All nodes with the given tag, in document order.
+    pub fn by_tag(&self, tag: &str) -> &[Posting] {
+        self.tag.get(tag).map(Vec::as_slice).unwrap_or(&[])
+    }
+
+    /// All nodes with the given tag and exact content rendering.
+    pub fn by_tag_content(&self, tag: &str, content: &str) -> &[Posting] {
+        self.content
+            .get(&(tag.to_string(), content.to_string()))
+            .map(Vec::as_slice)
+            .unwrap_or(&[])
+    }
+
+    /// Distinct indexed tags.
+    pub fn tags(&self) -> impl Iterator<Item = &str> {
+        self.tag.keys().map(String::as_str)
+    }
+
+    /// Distinct `(tag, content)` pairs — the raw material the Ontology
+    /// Maker mines for terms.
+    pub fn tag_content_pairs(&self) -> impl Iterator<Item = (&str, &str)> {
+        self.content.keys().map(|(t, c)| (t.as_str(), c.as_str()))
+    }
+
+    /// Number of distinct indexed tags.
+    pub fn tag_count(&self) -> usize {
+        self.tag.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use toss_tree::TreeBuilder;
+
+    fn tree(author: &str) -> Tree {
+        TreeBuilder::new("inproceedings")
+            .leaf("author", author)
+            .leaf("year", "1999")
+            .build()
+    }
+
+    #[test]
+    fn tag_postings_in_document_order() {
+        let mut idx = CollectionIndex::new();
+        idx.add_document(DocumentId(0), &tree("A"));
+        idx.add_document(DocumentId(1), &tree("B"));
+        let p = idx.by_tag("author");
+        assert_eq!(p.len(), 2);
+        assert_eq!(p[0].doc, DocumentId(0));
+        assert_eq!(p[1].doc, DocumentId(1));
+        assert_eq!(idx.by_tag("inproceedings").len(), 2);
+        assert_eq!(idx.by_tag("missing").len(), 0);
+    }
+
+    #[test]
+    fn content_postings_require_exact_match() {
+        let mut idx = CollectionIndex::new();
+        idx.add_document(DocumentId(0), &tree("J. Ullman"));
+        assert_eq!(idx.by_tag_content("author", "J. Ullman").len(), 1);
+        assert_eq!(idx.by_tag_content("author", "J Ullman").len(), 0);
+        assert_eq!(idx.by_tag_content("year", "1999").len(), 1);
+    }
+
+    #[test]
+    fn remove_document_clears_postings() {
+        let mut idx = CollectionIndex::new();
+        idx.add_document(DocumentId(0), &tree("A"));
+        idx.add_document(DocumentId(1), &tree("B"));
+        idx.remove_document(DocumentId(0));
+        assert_eq!(idx.by_tag("author").len(), 1);
+        assert_eq!(idx.by_tag_content("author", "A").len(), 0);
+        assert_eq!(idx.by_tag_content("author", "B").len(), 1);
+    }
+
+    #[test]
+    fn tag_content_pairs_enumerates_terms() {
+        let mut idx = CollectionIndex::new();
+        idx.add_document(DocumentId(0), &tree("A"));
+        let pairs: Vec<_> = idx.tag_content_pairs().collect();
+        assert!(pairs.contains(&("author", "A")));
+        assert!(pairs.contains(&("year", "1999")));
+    }
+}

@@ -1,0 +1,38 @@
+//! # toss-xmldb — a native XML document store (Xindice substitute)
+//!
+//! The TOSS prototype ran on Apache Xindice, using it purely as an
+//! XPath-answering XML document store. This crate supplies the same
+//! capability natively in Rust:
+//!
+//! * [`parser`] — a hand-written, dependency-free XML parser producing
+//!   `toss_tree::Tree` values (elements, attributes, text, CDATA, comments,
+//!   processing instructions, the five standard entities and numeric
+//!   character references).
+//! * [`collection`] / [`database`] — named collections of documents with a
+//!   configurable per-collection size limit (defaults to Xindice's 5 MB,
+//!   so the paper's Fig. 16(a) end-of-range regime is reproducible).
+//! * [`xpath`] — an XPath-subset engine: child (`/`) and
+//!   descendant-or-self (`//`) axes, name tests and `*` wildcards,
+//!   predicates with `=`, `!=`, `contains()`, `text()`, attribute tests,
+//!   `and`/`or`/`not()`, positional predicates, and top-level `|` union.
+//!   This is the query surface the TOSS Query Executor's rewriter emits.
+//! * [`index`] — tag and (tag, content) inverted indexes used to accelerate
+//!   descendant-axis lookups.
+//! * [`storage`] — JSON snapshot persistence for databases.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod collection;
+pub mod database;
+pub mod error;
+pub mod index;
+pub mod parser;
+pub mod storage;
+pub mod xpath;
+
+pub use collection::{Collection, DocumentId};
+pub use database::{Database, DatabaseConfig};
+pub use error::{DbError, DbResult};
+pub use parser::{parse_document, parse_forest};
+pub use xpath::{NodeRef, XPath};

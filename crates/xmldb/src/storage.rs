@@ -1,0 +1,154 @@
+//! Snapshot persistence.
+//!
+//! Databases serialize to a single JSON file: collection names, per-document
+//! compact XML, and the configured size limit. On load the XML is re-parsed
+//! and re-indexed, so the snapshot format stays independent of in-memory
+//! layout (the same property Xindice got from its filer abstraction).
+
+use crate::collection::Collection;
+use crate::database::{Database, DatabaseConfig};
+use crate::error::{DbError, DbResult};
+use serde::{Deserialize, Serialize};
+use std::path::Path;
+use toss_tree::serialize::{tree_to_xml, Style};
+
+#[derive(Serialize, Deserialize)]
+struct Snapshot {
+    version: u32,
+    collection_size_limit: Option<usize>,
+    collections: Vec<CollectionSnapshot>,
+}
+
+#[derive(Serialize, Deserialize)]
+struct CollectionSnapshot {
+    name: String,
+    documents: Vec<String>,
+}
+
+const SNAPSHOT_VERSION: u32 = 1;
+
+/// Serialize a database to a JSON string.
+pub fn to_json(db: &Database) -> DbResult<String> {
+    let snap = Snapshot {
+        version: SNAPSHOT_VERSION,
+        collection_size_limit: db.config().collection_size_limit,
+        collections: db
+            .collections()
+            .map(|c: &Collection| CollectionSnapshot {
+                name: c.name().to_string(),
+                documents: c
+                    .documents()
+                    .iter()
+                    .map(|d| tree_to_xml(&d.tree, Style::Compact))
+                    .collect(),
+            })
+            .collect(),
+    };
+    serde_json::to_string(&snap).map_err(|e| DbError::Storage(e.to_string()))
+}
+
+/// Restore a database from a JSON string produced by [`to_json`].
+pub fn from_json(json: &str) -> DbResult<Database> {
+    let snap: Snapshot =
+        serde_json::from_str(json).map_err(|e| DbError::Storage(e.to_string()))?;
+    if snap.version != SNAPSHOT_VERSION {
+        return Err(DbError::Storage(format!(
+            "unsupported snapshot version {}",
+            snap.version
+        )));
+    }
+    let mut db = Database::with_config(DatabaseConfig {
+        collection_size_limit: snap.collection_size_limit,
+    });
+    for cs in snap.collections {
+        let coll = db.create_collection(&cs.name)?;
+        for xml in cs.documents {
+            coll.insert_xml(&xml)?;
+        }
+    }
+    Ok(db)
+}
+
+/// Write a snapshot to disk.
+pub fn save(db: &Database, path: &Path) -> DbResult<()> {
+    let json = to_json(db)?;
+    std::fs::write(path, json).map_err(|e| DbError::Storage(e.to_string()))
+}
+
+/// Load a snapshot from disk.
+pub fn load(path: &Path) -> DbResult<Database> {
+    let json = std::fs::read_to_string(path).map_err(|e| DbError::Storage(e.to_string()))?;
+    from_json(&json)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample_db() -> Database {
+        let mut db = Database::new();
+        let c = db.create_collection("dblp").unwrap();
+        c.insert_xml("<a><b>x &amp; y</b></a>").unwrap();
+        c.insert_xml("<c k=\"v\"/>").unwrap();
+        db.create_collection("empty").unwrap();
+        db
+    }
+
+    #[test]
+    fn json_round_trip_preserves_documents() {
+        let db = sample_db();
+        let json = to_json(&db).unwrap();
+        let db2 = from_json(&json).unwrap();
+        assert_eq!(db2.collection_names(), vec!["dblp", "empty"]);
+        let c = db2.collection("dblp").unwrap();
+        assert_eq!(c.len(), 2);
+        assert_eq!(
+            c.documents()[0].tree.data(c.documents()[0].tree.root().unwrap()).unwrap().tag,
+            "a"
+        );
+        // content with entities survived
+        let t = &c.documents()[0].tree;
+        let b = t.child_by_tag(t.root().unwrap(), "b").unwrap();
+        assert_eq!(t.data(b).unwrap().content_str(), "x & y");
+    }
+
+    #[test]
+    fn round_trip_preserves_config() {
+        let db = Database::with_config(DatabaseConfig {
+            collection_size_limit: Some(123),
+        });
+        let db2 = from_json(&to_json(&db).unwrap()).unwrap();
+        assert_eq!(db2.config().collection_size_limit, Some(123));
+    }
+
+    #[test]
+    fn file_round_trip() {
+        let db = sample_db();
+        let dir = std::env::temp_dir().join("toss-xmldb-test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("snap.json");
+        save(&db, &path).unwrap();
+        let db2 = load(&path).unwrap();
+        assert_eq!(db2.collection("dblp").unwrap().len(), 2);
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn bad_version_is_rejected() {
+        let json = r#"{"version":99,"collection_size_limit":null,"collections":[]}"#;
+        assert!(matches!(from_json(json), Err(DbError::Storage(_))));
+    }
+
+    #[test]
+    fn malformed_json_is_storage_error() {
+        assert!(matches!(from_json("{"), Err(DbError::Storage(_))));
+    }
+
+    #[test]
+    fn indexes_rebuilt_on_load() {
+        let db = sample_db();
+        let db2 = from_json(&to_json(&db).unwrap()).unwrap();
+        let c = db2.collection("dblp").unwrap();
+        assert_eq!(c.index().by_tag("b").len(), 1);
+    }
+}

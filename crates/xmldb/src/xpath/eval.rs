@@ -1,0 +1,354 @@
+//! XPath evaluation over trees and collections.
+//!
+//! Evaluation is node-set based. Results are returned in document order
+//! (documents in insertion order; nodes in preorder within a document),
+//! which is the order TAX's witness-tree semantics requires.
+//!
+//! The collection evaluator uses the tag index as a fast path for queries
+//! whose first step is `//name`: instead of scanning every subtree it
+//! starts from the index postings for `name`.
+
+use super::ast::{Axis, Expr, NameTest, Path, RelPath, Step, ValueExpr, XPath};
+use crate::collection::{Collection, DocumentId};
+use crate::index::Posting;
+use toss_tree::{NodeId, Tree};
+
+/// A query result: one node in one document.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct NodeRef {
+    /// Document containing the node.
+    pub doc: DocumentId,
+    /// The node within the document's tree.
+    pub node: NodeId,
+}
+
+/// The W3C-style string-value of a node: its own text content
+/// concatenated with the content of all descendants in preorder.
+/// Exposed as a helper; **comparisons in this engine use
+/// [`own_text`]** — see the deviation note below.
+pub fn string_value(tree: &Tree, node: NodeId) -> String {
+    let mut out = String::new();
+    for n in tree.subtree(node) {
+        if let Ok(d) = tree.data(n) {
+            if let Some(c) = &d.content {
+                out.push_str(&c.render());
+            }
+        }
+    }
+    out
+}
+
+/// The element's *own* text content ("" when absent).
+///
+/// Deviation from W3C XPath, by design: this store keys text content to
+/// its owning element (the TAX data model's `o.content`), and the TOSS
+/// rewriter's XPath must select a superset of what the TAX condition
+/// `content = v` matches. Concatenated string-values would *reject*
+/// elements whose descendants also carry text, losing true matches; the
+/// own-content semantics makes `[a='v']`, `text()`, `contains(...)` agree
+/// exactly with the data model.
+pub fn own_text(tree: &Tree, node: NodeId) -> String {
+    tree.data(node)
+        .ok()
+        .and_then(|d| d.content.as_ref().map(|c| c.render()))
+        .unwrap_or_default()
+}
+
+impl XPath {
+    /// Evaluate against a single tree; returns matching nodes in preorder.
+    pub fn eval_tree(&self, tree: &Tree) -> Vec<NodeId> {
+        let mut out: Vec<NodeId> = Vec::new();
+        for path in &self.paths {
+            out.extend(eval_path_tree(path, tree));
+        }
+        out.sort();
+        out.dedup();
+        out
+    }
+
+    /// Evaluate against every document of a collection; results in
+    /// document order.
+    pub fn eval_collection(&self, coll: &Collection) -> Vec<NodeRef> {
+        let mut out: Vec<NodeRef> = Vec::new();
+        for path in &self.paths {
+            eval_path_collection(path, coll, &mut out);
+        }
+        out.sort();
+        out.dedup();
+        out
+    }
+}
+
+fn eval_path_tree(path: &Path, tree: &Tree) -> Vec<NodeId> {
+    let Some(root) = tree.root() else {
+        return Vec::new();
+    };
+    let Some((first, rest)) = path.steps.split_first() else {
+        return Vec::new();
+    };
+    // Initial context: the (virtual) document node. `/a` tests root
+    // elements; `//a` tests every node.
+    let mut current: Vec<NodeId> = match first.axis {
+        Axis::Child => {
+            if first.test.matches(&tree.data(root).map(|d| d.tag.clone()).unwrap_or_default()) {
+                vec![root]
+            } else {
+                Vec::new()
+            }
+        }
+        Axis::Descendant => tree
+            .preorder()
+            .filter(|&n| {
+                tree.data(n)
+                    .map(|d| first.test.matches(&d.tag))
+                    .unwrap_or(false)
+            })
+            .collect(),
+    };
+    current = apply_predicates(tree, current, &first.predicates);
+    for step in rest {
+        current = advance_step(tree, &current, step);
+    }
+    current
+}
+
+/// Advance one step from a context node-set.
+fn advance_step(tree: &Tree, context: &[NodeId], step: &Step) -> Vec<NodeId> {
+    let mut matched: Vec<NodeId> = Vec::new();
+    for &ctx in context {
+        let candidates: Vec<NodeId> = match step.axis {
+            Axis::Child => tree.children(ctx).collect(),
+            Axis::Descendant => tree.descendants(ctx).collect(),
+        };
+        let mut local: Vec<NodeId> = candidates
+            .into_iter()
+            .filter(|&n| {
+                tree.data(n)
+                    .map(|d| step.test.matches(&d.tag))
+                    .unwrap_or(false)
+            })
+            .collect();
+        // Positional predicates are per-context in XPath, so filter here.
+        local = apply_predicates(tree, local, &step.predicates);
+        matched.extend(local);
+    }
+    matched.sort();
+    matched.dedup();
+    matched
+}
+
+fn apply_predicates(tree: &Tree, nodes: Vec<NodeId>, preds: &[Expr]) -> Vec<NodeId> {
+    let mut current = nodes;
+    for p in preds {
+        let snapshot = current.clone();
+        current = snapshot
+            .iter()
+            .enumerate()
+            .filter(|&(i, &n)| eval_expr(tree, n, i + 1, p))
+            .map(|(_, &n)| n)
+            .collect();
+    }
+    current
+}
+
+fn eval_expr(tree: &Tree, node: NodeId, position: usize, expr: &Expr) -> bool {
+    match expr {
+        Expr::Position(k) => position == *k,
+        Expr::And(a, b) => {
+            eval_expr(tree, node, position, a) && eval_expr(tree, node, position, b)
+        }
+        Expr::Or(a, b) => {
+            eval_expr(tree, node, position, a) || eval_expr(tree, node, position, b)
+        }
+        Expr::Not(e) => !eval_expr(tree, node, position, e),
+        Expr::Exists(p) => !eval_rel_path(tree, node, p).is_empty(),
+        Expr::Eq(v, lit) => value_matches(tree, node, v, |s| s == lit),
+        Expr::Ne(v, lit) => value_matches(tree, node, v, |s| s != lit),
+        Expr::Contains(v, lit) => value_matches(tree, node, v, |s| s.contains(lit.as_str())),
+        Expr::StartsWith(v, lit) => {
+            value_matches(tree, node, v, |s| s.starts_with(lit.as_str()))
+        }
+        Expr::AttrExists(name) => tree
+            .data(node)
+            .map(|d| d.attr_value(name).is_some())
+            .unwrap_or(false),
+    }
+}
+
+/// XPath existential comparison: for relative-path values the predicate
+/// holds if *some* reached node's string-value satisfies `f`; for `text()`
+/// and attributes there is at most one value.
+fn value_matches(tree: &Tree, node: NodeId, v: &ValueExpr, f: impl Fn(&str) -> bool) -> bool {
+    match v {
+        ValueExpr::Text => f(&own_text(tree, node)),
+        ValueExpr::Attr(name) => tree
+            .data(node)
+            .ok()
+            .and_then(|d| d.attr_value(name).map(|a| f(a)))
+            .unwrap_or(false),
+        ValueExpr::Rel(p) => eval_rel_path(tree, node, p)
+            .into_iter()
+            .any(|n| f(&own_text(tree, n))),
+    }
+}
+
+fn eval_rel_path(tree: &Tree, node: NodeId, p: &RelPath) -> Vec<NodeId> {
+    let Some((first, rest)) = p.steps.split_first() else {
+        return Vec::new();
+    };
+    let base: Vec<NodeId> = if p.from_descendants {
+        tree.descendants(node).collect()
+    } else {
+        tree.children(node).collect()
+    };
+    let mut current: Vec<NodeId> = base
+        .into_iter()
+        .filter(|&n| {
+            tree.data(n)
+                .map(|d| first.test.matches(&d.tag))
+                .unwrap_or(false)
+        })
+        .collect();
+    current = apply_predicates(tree, current, &first.predicates);
+    for step in rest {
+        current = advance_step(tree, &current, step);
+    }
+    current
+}
+
+fn eval_path_collection(path: &Path, coll: &Collection, out: &mut Vec<NodeRef>) {
+    // Fast path: `//name...` — seed from the tag index.
+    if let Some(first) = path.steps.first() {
+        if first.axis == Axis::Descendant {
+            if let NameTest::Name(name) = &first.test {
+                let postings: &[Posting] = coll.index().by_tag(name);
+                // group postings by document
+                let mut by_doc: Vec<(DocumentId, Vec<NodeId>)> = Vec::new();
+                for p in postings {
+                    match by_doc.last_mut() {
+                        Some((d, v)) if *d == p.doc => v.push(p.node),
+                        _ => by_doc.push((p.doc, vec![p.node])),
+                    }
+                }
+                for (doc, seeds) in by_doc {
+                    let Ok(stored) = coll.get(doc) else { continue };
+                    let tree = &stored.tree;
+                    let mut current = apply_predicates(tree, seeds, &first.predicates);
+                    for step in &path.steps[1..] {
+                        current = advance_step(tree, &current, step);
+                    }
+                    out.extend(current.into_iter().map(|node| NodeRef { doc, node }));
+                }
+                return;
+            }
+        }
+    }
+    // General path: evaluate per document.
+    for stored in coll.documents() {
+        for node in eval_path_tree(path, &stored.tree) {
+            out.push(NodeRef {
+                doc: stored.id,
+                node,
+            });
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::parser::parse_document;
+
+    fn tree() -> Tree {
+        parse_document(
+            "<r><a k=\"1\"><b>x</b><b>y</b></a><a><b>z</b><c><b>deep</b></c></a></r>",
+        )
+        .unwrap()
+    }
+
+    fn q(t: &Tree, s: &str) -> Vec<NodeId> {
+        XPath::parse(s).unwrap().eval_tree(t)
+    }
+
+    #[test]
+    fn string_value_helper_concatenates_but_comparisons_use_own_text() {
+        let t = tree();
+        let root = t.root().unwrap();
+        assert_eq!(string_value(&t, root), "xyzdeep");
+        let a2 = t.children(root).nth(1).unwrap();
+        assert_eq!(string_value(&t, a2), "zdeep");
+        assert_eq!(own_text(&t, a2), "");
+        // an element with text AND content-bearing children still matches
+        // its own text exactly (the rewriter-soundness requirement)
+        let m = crate::parser::parse_document("<r><a>ab<b>extra</b></a></r>").unwrap();
+        assert_eq!(q(&m, "//r[.//a='ab']").len(), 1);
+        assert_eq!(q(&m, "//a[text()='ab']").len(), 1);
+    }
+
+    #[test]
+    fn tree_eval_child_and_descendant() {
+        let t = tree();
+        assert_eq!(q(&t, "/r/a").len(), 2);
+        assert_eq!(q(&t, "/r/a/b").len(), 3);
+        assert_eq!(q(&t, "//b").len(), 4);
+        assert_eq!(q(&t, "/r//b").len(), 4);
+    }
+
+    #[test]
+    fn positional_is_per_context() {
+        let t = tree();
+        // first b under each a: x and z
+        let firsts = q(&t, "/r/a/b[1]");
+        assert_eq!(firsts.len(), 2);
+        let seconds = q(&t, "/r/a/b[2]");
+        assert_eq!(seconds.len(), 1);
+    }
+
+    #[test]
+    fn predicates_on_first_step() {
+        let t = tree();
+        assert_eq!(q(&t, "//a[@k='1']").len(), 1);
+        assert_eq!(q(&t, "//a[c]").len(), 1);
+        assert_eq!(q(&t, "//a[b='z']").len(), 1);
+        // rel-path equality is existential over children only
+        assert_eq!(q(&t, "//a[b='deep']").len(), 0);
+        assert_eq!(q(&t, "//a[.//b='deep']").len(), 1);
+    }
+
+    #[test]
+    fn duplicate_elimination_across_union() {
+        let t = tree();
+        let n = q(&t, "//b | //b");
+        assert_eq!(n.len(), 4);
+    }
+
+    #[test]
+    fn empty_tree_yields_nothing() {
+        let t = Tree::new();
+        assert_eq!(q(&t, "//a").len(), 0);
+    }
+
+    #[test]
+    fn collection_index_fast_path_equals_scan() {
+        let mut c = crate::collection::Collection::new("x", None);
+        c.insert_xml("<r><a><b>1</b></a></r>").unwrap();
+        c.insert_xml("<r><b>2</b></r>").unwrap();
+        let fast = XPath::parse("//b").unwrap().eval_collection(&c);
+        // wildcard first step forces the scan path
+        let scan = XPath::parse("//*")
+            .unwrap()
+            .eval_collection(&c)
+            .into_iter()
+            .filter(|r| {
+                c.get(r.doc)
+                    .unwrap()
+                    .tree
+                    .data(r.node)
+                    .map(|d| d.tag == "b")
+                    .unwrap_or(false)
+            })
+            .collect::<Vec<_>>();
+        assert_eq!(fast, scan);
+        assert_eq!(fast.len(), 2);
+    }
+}

@@ -1,0 +1,112 @@
+//! The introduction's motivating query: "Find all papers having at least
+//! one author from the US government."
+//!
+//! Few authors list their affiliation literally as "US Government" — they
+//! write "US Census Bureau", "US Army", "NIST", … TAX's exact match (or
+//! even `contains`) misses them all; TOSS answers through the isa
+//! hierarchy of the ontology: `affiliation below "US government"`.
+//!
+//! ```text
+//! cargo run --example government_authors
+//! ```
+
+use toss::core::algebra::TossPattern;
+use toss::core::executor::Mode;
+use toss::core::{
+    enhance_sdb, make_ontology, Executor, MakerConfig, OesInstance, TossCond, TossQuery,
+    TossTerm,
+};
+use toss::lexicon::data::bibliographic_lexicon;
+use toss::similarity::Levenshtein;
+use toss::tax::EdgeKind;
+use toss::xmldb::{parse_forest, Database, DatabaseConfig};
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let forest = parse_forest(
+        r#"<inproceedings><author>Alice Public</author>
+              <affiliation>US Census Bureau</affiliation>
+              <title>Scalable Record Linkage for Census Data</title></inproceedings>
+           <inproceedings><author>Bob Soldier</author>
+              <affiliation>Army Research Lab</affiliation>
+              <title>Decision Architectures for the Battlefield</title></inproceedings>
+           <inproceedings><author>Carol Standards</author>
+              <affiliation>NIST</affiliation>
+              <title>Conformance Testing for XML Parsers</title></inproceedings>
+           <inproceedings><author>Dan Industry</author>
+              <affiliation>Google</affiliation>
+              <title>Web-Scale Crawling</title></inproceedings>
+           <inproceedings><author>Erin Academic</author>
+              <affiliation>Stanford University</affiliation>
+              <title>Ontology Algebras Revisited</title></inproceedings>"#,
+    )?;
+
+    // the embedded lexicon already knows the organization taxonomy:
+    // US Census Bureau isa US government isa government agency isa organization,
+    // Army Research Lab isa US Army isa US government, NIST isa US government, …
+    let lexicon = bibliographic_lexicon();
+    let cfg = MakerConfig {
+        term_tags: vec!["affiliation".into()],
+        ..MakerConfig::default()
+    };
+    let ontology = make_ontology(&forest, &lexicon, &cfg)?;
+    let instance = OesInstance::new("papers", forest.clone(), ontology);
+    let sdb = enhance_sdb(&[instance], &[], &Levenshtein, 0.0)?;
+
+    let mut db = Database::with_config(DatabaseConfig::unlimited());
+    let coll = db.create_collection("papers")?;
+    for t in &forest {
+        coll.insert(t.clone())?;
+    }
+    let executor = Executor::new(db, sdb.seo);
+
+    let government_query = |target: &str| TossQuery {
+        collection: "papers".into(),
+        pattern: TossPattern::spine(
+            &[EdgeKind::ParentChild],
+            TossCond::all(vec![
+                TossCond::eq(TossTerm::tag(1), TossTerm::str("inproceedings")),
+                TossCond::eq(TossTerm::tag(2), TossTerm::str("affiliation")),
+                TossCond::below(TossTerm::content(2), TossTerm::ty(target)),
+            ]),
+        )
+        .expect("valid spine"),
+        expand_labels: vec![1],
+    };
+
+    let print_answers = |label: &str, out: &toss::core::QueryOutcome| {
+        println!("\n{label}: {} paper(s)", out.forest.len());
+        for t in &out.forest {
+            let root = t.root().expect("witness has a root");
+            let get = |tag: &str| {
+                t.child_by_tag(root, tag)
+                    .and_then(|n| t.data(n).ok())
+                    .map(|d| d.content_str())
+                    .unwrap_or_default()
+            };
+            println!("  - {} ({})", get("title"), get("affiliation"));
+        }
+    };
+
+    // TOSS: three government-affiliated papers, through three different
+    // literal affiliations
+    let toss = executor.select(&government_query("US government"), Mode::Toss)?;
+    print_answers("TOSS  affiliation below 'US government'", &toss);
+    assert_eq!(toss.forest.len(), 3);
+
+    // TAX baseline (contains "US government"): nothing — nobody writes it
+    let tax = executor.select(&government_query("US government"), Mode::TaxBaseline)?;
+    print_answers("TAX   affiliation contains 'US government'", &tax);
+    assert_eq!(tax.forest.len(), 0);
+
+    // the hierarchy composes: asking for any organization finds them all
+    let all = executor.select(&government_query("organization"), Mode::Toss)?;
+    print_answers("TOSS  affiliation below 'organization'", &all);
+    assert_eq!(all.forest.len(), 5);
+
+    // and the intro's company chain works too: Google isa web search
+    // company isa computer company isa company
+    let company = executor.select(&government_query("company"), Mode::Toss)?;
+    print_answers("TOSS  affiliation below 'company'", &company);
+    assert_eq!(company.forest.len(), 1);
+    Ok(())
+}

@@ -1,0 +1,53 @@
+#!/usr/bin/env python3
+"""Print fresh measured-numbers tables from results/*.json.
+
+Run the four figure binaries first (they write results/figXX.json), then:
+
+    python3 scripts/update_experiments.py
+
+The script prints markdown tables to paste into EXPERIMENTS.md; it does
+not edit the file (the surrounding prose carries analysis that should be
+re-checked against the new numbers).
+"""
+import json
+import pathlib
+
+ROOT = pathlib.Path(__file__).resolve().parent.parent
+RES = ROOT / "results"
+
+
+def fig15():
+    d = json.loads((RES / "fig15.json").read_text())
+    a = d["averages"]
+    print("## fig15 averages (P, R, quality)")
+    for k in ("tax", "toss_eps2", "toss_eps3"):
+        p, r, q = a[k]
+        print(f"| {k} | {p:.3f} / {r:.3f} / {q:.3f} |")
+
+
+def fig16a():
+    pts = json.loads((RES / "fig16a.json").read_text())
+    print("\n## fig16a (papers, KB, system, total ms)")
+    for p in pts:
+        print(f"| {p['papers']} | {p['dblp_bytes']//1024} | {p['system']} | {p['total_ms']:.1f} |")
+
+
+def fig16b():
+    pts = json.loads((RES / "fig16b.json").read_text())
+    print("\n## fig16b (papers, total KB, system, total ms, results)")
+    for p in pts:
+        print(f"| {p['papers']} | {p['total_bytes']//1024} | {p['system']} | {p['total_ms']:.1f} | {p['results']} |")
+
+
+def fig16c():
+    pts = json.loads((RES / "fig16c.json").read_text())
+    print("\n## fig16c (eps, workload, query ms, results)")
+    for p in pts:
+        print(f"| {p['epsilon']} | {p['workload']} | {p['query_ms']:.1f} | {p['results']} |")
+
+
+if __name__ == "__main__":
+    fig15()
+    fig16a()
+    fig16b()
+    fig16c()
