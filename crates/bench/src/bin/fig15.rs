@@ -10,13 +10,13 @@
 //! √(TAX recall) (15b), and precision-normalized recall improvement
 //! (15c). Results also land in `results/fig15.json`.
 
-use serde::Serialize;
 use toss_bench::{answered_paper_ids, build_executor, query_to_tax, query_to_toss, write_json, Table};
 use toss_core::executor::Mode;
 use toss_core::quality::{averages, QualityRow};
 use toss_datagen::{corpus::generate, ground_truth, queries::workload, CorpusConfig};
+use toss_json::Value;
 
-#[derive(Serialize, Clone)]
+#[derive(Clone)]
 struct QueryResult {
     dataset: usize,
     query: usize,
@@ -32,17 +32,27 @@ struct QueryResult {
     toss3_quality: f64,
 }
 
-#[derive(Serialize)]
-struct Fig15 {
-    rows: Vec<QueryResult>,
-    averages: AveragesOut,
+impl QueryResult {
+    fn to_value(&self) -> Value {
+        Value::object(vec![
+            ("dataset", self.dataset.into()),
+            ("query", self.query.into()),
+            ("correct", self.correct.into()),
+            ("tax_precision", self.tax_precision.into()),
+            ("tax_recall", self.tax_recall.into()),
+            ("tax_quality", self.tax_quality.into()),
+            ("toss2_precision", self.toss2_precision.into()),
+            ("toss2_recall", self.toss2_recall.into()),
+            ("toss2_quality", self.toss2_quality.into()),
+            ("toss3_precision", self.toss3_precision.into()),
+            ("toss3_recall", self.toss3_recall.into()),
+            ("toss3_quality", self.toss3_quality.into()),
+        ])
+    }
 }
 
-#[derive(Serialize)]
-struct AveragesOut {
-    tax: (f64, f64, f64),
-    toss_eps2: (f64, f64, f64),
-    toss_eps3: (f64, f64, f64),
+fn triple_to_value(t: (f64, f64, f64)) -> Value {
+    Value::Array(vec![t.0.into(), t.1.into(), t.2.into()])
 }
 
 fn main() {
@@ -175,14 +185,20 @@ fn main() {
     }
     t.print();
 
-    let out = Fig15 {
-        rows,
-        averages: AveragesOut {
-            tax: a_tax,
-            toss_eps2: a_t2,
-            toss_eps3: a_t3,
-        },
-    };
+    let out = Value::object(vec![
+        (
+            "rows",
+            Value::Array(rows.iter().map(QueryResult::to_value).collect()),
+        ),
+        (
+            "averages",
+            Value::object(vec![
+                ("tax", triple_to_value(a_tax)),
+                ("toss_eps2", triple_to_value(a_t2)),
+                ("toss_eps3", triple_to_value(a_t3)),
+            ]),
+        ),
+    ]);
     match write_json("fig15", &out) {
         Ok(p) => println!("\nresults written to {}", p.display()),
         Err(e) => eprintln!("could not write results: {e}"),

@@ -10,8 +10,8 @@
 //! that grows with data size (more ontology accesses); TOSS curves for
 //! different ontology sizes close to each other.
 
-use serde::Serialize;
 use std::time::Duration;
+use toss_json::Value;
 use toss_bench::{build_executor, write_json, Table};
 use toss_core::algebra::TossPattern;
 use toss_core::executor::Mode;
@@ -68,7 +68,6 @@ fn tax_query() -> TossQuery {
     q
 }
 
-#[derive(Serialize)]
 struct Point {
     papers: usize,
     dblp_bytes: usize,
@@ -79,6 +78,22 @@ struct Point {
     execute_ms: f64,
     convert_ms: f64,
     results: usize,
+}
+
+impl Point {
+    fn to_value(&self) -> Value {
+        Value::object(vec![
+            ("papers", self.papers.into()),
+            ("dblp_bytes", self.dblp_bytes.into()),
+            ("ontology_terms", self.ontology_terms.into()),
+            ("system", self.system.as_str().into()),
+            ("total_ms", self.total_ms.into()),
+            ("rewrite_ms", self.rewrite_ms.into()),
+            ("execute_ms", self.execute_ms.into()),
+            ("convert_ms", self.convert_ms.into()),
+            ("results", self.results.into()),
+        ])
+    }
 }
 
 fn ms(d: Duration) -> f64 {
@@ -193,7 +208,10 @@ fn main() {
         "\npaper shape: ~linear in data size; TOSS−TAX gap 0.41–4.14 s growing with size \
          (Java/Xindice on a 1.4 GHz PC; absolute numbers differ)"
     );
-    match write_json("fig16a", &points) {
+    match write_json(
+        "fig16a",
+        &Value::Array(points.iter().map(Point::to_value).collect()),
+    ) {
         Ok(p) => println!("results written to {}", p.display()),
         Err(e) => eprintln!("could not write results: {e}"),
     }

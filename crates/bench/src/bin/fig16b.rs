@@ -9,8 +9,8 @@
 //! tail where intermediate results dominate; TOSS above TAX by a gap
 //! that grows with data size.
 
-use serde::Serialize;
 use std::time::Duration;
+use toss_json::Value;
 use toss_bench::{build_executor, write_json, Table};
 use toss_core::algebra::{JoinKey, TossPattern};
 use toss_core::executor::Mode;
@@ -37,7 +37,6 @@ fn side(collection: &str, root: &str, tags: &[&str]) -> TossQuery {
     }
 }
 
-#[derive(Serialize)]
 struct Point {
     papers: usize,
     total_bytes: usize,
@@ -46,6 +45,20 @@ struct Point {
     execute_ms: f64,
     convert_ms: f64,
     results: usize,
+}
+
+impl Point {
+    fn to_value(&self) -> Value {
+        Value::object(vec![
+            ("papers", self.papers.into()),
+            ("total_bytes", self.total_bytes.into()),
+            ("system", self.system.as_str().into()),
+            ("total_ms", self.total_ms.into()),
+            ("execute_ms", self.execute_ms.into()),
+            ("convert_ms", self.convert_ms.into()),
+            ("results", self.results.into()),
+        ])
+    }
 }
 
 fn ms(d: Duration) -> f64 {
@@ -121,7 +134,10 @@ fn main() {
         "\npaper shape: ~linear, super-linear at the last points (intermediate results); \
          TOSS−TAX gap 0.31–2.72 s growing with size"
     );
-    match write_json("fig16b", &points) {
+    match write_json(
+        "fig16b",
+        &Value::Array(points.iter().map(Point::to_value).collect()),
+    ) {
         Ok(p) => println!("results written to {}", p.display()),
         Err(e) => eprintln!("could not write results: {e}"),
     }

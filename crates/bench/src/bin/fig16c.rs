@@ -10,8 +10,8 @@
 //! SEO nodes → larger expanded term sets → more output / more ontology
 //! access).
 
-use serde::Serialize;
 use std::time::Duration;
+use toss_json::Value;
 use toss_bench::{build_executor, write_json, Table};
 use toss_core::algebra::{JoinKey, TossPattern};
 use toss_core::executor::Mode;
@@ -68,7 +68,6 @@ fn join_sides() -> (TossQuery, TossQuery) {
     (left, right)
 }
 
-#[derive(Serialize)]
 struct Point {
     epsilon: f64,
     workload: String,
@@ -76,6 +75,19 @@ struct Point {
     sea_ms: f64,
     ontology_terms: usize,
     results: usize,
+}
+
+impl Point {
+    fn to_value(&self) -> Value {
+        Value::object(vec![
+            ("epsilon", self.epsilon.into()),
+            ("workload", self.workload.as_str().into()),
+            ("query_ms", self.query_ms.into()),
+            ("sea_ms", self.sea_ms.into()),
+            ("ontology_terms", self.ontology_terms.into()),
+            ("results", self.results.into()),
+        ])
+    }
 }
 
 fn ms(d: Duration) -> f64 {
@@ -175,7 +187,10 @@ fn main() {
     println!("\nFigure 16(c) — TOSS computation time vs ε");
     table.print();
     println!("\npaper shape: both workloads increase roughly linearly with ε");
-    match write_json("fig16c", &points) {
+    match write_json(
+        "fig16c",
+        &Value::Array(points.iter().map(Point::to_value).collect()),
+    ) {
         Ok(p) => println!("results written to {}", p.display()),
         Err(e) => eprintln!("could not write results: {e}"),
     }

@@ -1,8 +1,8 @@
 //! Tabular stdout reporting + JSON result files.
 
-use serde::Serialize;
 use std::fmt::Write as _;
 use std::path::Path;
+use toss_json::Value;
 
 /// A simple fixed-width table printer for experiment output.
 #[derive(Debug, Clone)]
@@ -57,9 +57,9 @@ impl Table {
     }
 }
 
-/// Write a serializable result set to `results/<name>.json` under the
-/// workspace root (directory created on demand).
-pub fn write_json<T: Serialize>(name: &str, value: &T) -> std::io::Result<std::path::PathBuf> {
+/// Write a JSON result set to `results/<name>.json` under the workspace
+/// root (directory created on demand).
+pub fn write_json(name: &str, value: &Value) -> std::io::Result<std::path::PathBuf> {
     let dir = Path::new(env!("CARGO_MANIFEST_DIR"))
         .ancestors()
         .nth(2)
@@ -67,9 +67,7 @@ pub fn write_json<T: Serialize>(name: &str, value: &T) -> std::io::Result<std::p
         .join("results");
     std::fs::create_dir_all(&dir)?;
     let path = dir.join(format!("{name}.json"));
-    let json = serde_json::to_string_pretty(value)
-        .map_err(|e| std::io::Error::new(std::io::ErrorKind::InvalidData, e))?;
-    std::fs::write(&path, json)?;
+    std::fs::write(&path, value.to_json_pretty())?;
     Ok(path)
 }
 
@@ -98,7 +96,7 @@ mod tests {
 
     #[test]
     fn json_written_to_results() {
-        let p = write_json("unit-test-report", &vec![1, 2, 3]).unwrap();
+        let p = write_json("unit-test-report", &vec![1i64, 2, 3].into()).unwrap();
         let body = std::fs::read_to_string(&p).unwrap();
         assert!(body.contains('1'));
         std::fs::remove_file(p).ok();

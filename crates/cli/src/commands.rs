@@ -16,7 +16,7 @@ use toss_similarity::{Levenshtein, NameRules, StringMetric};
 use toss_tax::EdgeKind;
 use toss_tree::serialize::{tree_to_xml, Style};
 use toss_tree::Forest;
-use toss_xmldb::{storage, Database, DatabaseConfig, XPath};
+use toss_xmldb::{Database, DatabaseConfig, DurableDatabase, XPath};
 
 /// Usage text shown on errors.
 pub const USAGE: &str = "\
@@ -28,6 +28,8 @@ usage:
   toss-cli query     --db <store.json> --seo <seo.json> --collection <name>
                      --root <tag> [--eq tag=value]… [--contains tag=value]…
                      [--similar tag=value]… [--below tag=term]… [--tax] [--pretty]
+  toss-cli db        checkpoint --db <store.json>
+  toss-cli db        recover    --db <store.json>
   toss-cli dot       --seo <seo.json>";
 
 /// The default metric: bibliographic name rules + gated Levenshtein.
@@ -49,14 +51,20 @@ pub fn run(argv: &[String]) -> Result<(), String> {
         "xpath" => cmd_xpath(&args),
         "build-seo" => cmd_build_seo(&args),
         "query" => cmd_query(&args),
+        "db" => cmd_db(&args),
         "dot" => cmd_dot(&args),
         other => Err(format!("unknown subcommand `{other}`")),
     }
 }
 
+/// Open a store read-only for querying. Goes through the durable open so
+/// journaled-but-not-checkpointed mutations are visible (and a torn
+/// journal tail left by a crash is trimmed on the way).
 fn load_db(path: &str) -> Result<Database, String> {
     if Path::new(path).exists() {
-        storage::load(Path::new(path)).map_err(|e| e.to_string())
+        DurableDatabase::open(path, DatabaseConfig::unlimited())
+            .map(DurableDatabase::into_inner)
+            .map_err(|e| e.to_string())
     } else {
         Ok(Database::with_config(DatabaseConfig::unlimited()))
     }
@@ -68,27 +76,83 @@ fn cmd_load(args: &Args) -> Result<(), String> {
     if args.positionals().is_empty() {
         return Err("no XML files given".into());
     }
-    let mut db = load_db(&db_path)?;
-    if db.collection(&coll_name).is_err() {
+    // Every insert is journaled and fsynced before it applies, so a crash
+    // mid-load keeps the documents inserted so far; the final checkpoint
+    // folds the journal into a fresh atomic snapshot.
+    let mut db = DurableDatabase::open(db_path.as_str(), DatabaseConfig::unlimited())
+        .map_err(|e| e.to_string())?;
+    if db.db().collection(&coll_name).is_err() {
         db.create_collection(&coll_name).map_err(|e| e.to_string())?;
     }
     let mut docs = 0usize;
     for file in args.positionals() {
         let xml = std::fs::read_to_string(file).map_err(|e| format!("{file}: {e}"))?;
         let forest = toss_xmldb::parse_forest(&xml).map_err(|e| format!("{file}: {e}"))?;
-        let coll = db.collection_mut(&coll_name).map_err(|e| e.to_string())?;
         for t in forest {
-            coll.insert(t).map_err(|e| e.to_string())?;
+            let doc_xml = tree_to_xml(&t, Style::Compact);
+            db.insert_xml(&coll_name, &doc_xml).map_err(|e| e.to_string())?;
             docs += 1;
         }
     }
-    storage::save(&db, Path::new(&db_path)).map_err(|e| e.to_string())?;
+    db.checkpoint().map_err(|e| e.to_string())?;
     println!(
         "loaded {docs} document(s) into `{coll_name}`; store now {} bytes across {} collection(s)",
-        db.total_size_bytes(),
-        db.collection_names().len()
+        db.db().total_size_bytes(),
+        db.db().collection_names().len()
     );
     Ok(())
+}
+
+fn cmd_db(args: &Args) -> Result<(), String> {
+    let [action] = args.positionals() else {
+        return Err("expected `db checkpoint` or `db recover`".into());
+    };
+    let db_path = args.required("db")?;
+    match action.as_str() {
+        "checkpoint" => {
+            let mut db = DurableDatabase::open(db_path, DatabaseConfig::unlimited())
+                .map_err(|e| e.to_string())?;
+            let pending = db.pending_journal_ops().map_err(|e| e.to_string())?;
+            db.checkpoint().map_err(|e| e.to_string())?;
+            println!(
+                "checkpointed {pending} journaled op(s) into {db_path}; journal truncated"
+            );
+            Ok(())
+        }
+        "recover" => {
+            let (db, report) =
+                DurableDatabase::recover(db_path, DatabaseConfig::unlimited())
+                    .map_err(|e| e.to_string())?;
+            if report.is_clean() {
+                println!("store is clean: nothing to repair");
+            }
+            if let Some(e) = &report.snapshot_error {
+                println!("snapshot discarded: {e}");
+            }
+            if let Some(e) = &report.journal_error {
+                println!("journal cut short: {e}");
+            }
+            if report.torn_tail_bytes > 0 {
+                println!("trimmed {} byte(s) of torn journal tail", report.torn_tail_bytes);
+            }
+            println!("replayed {} op(s)", report.replayed_ops);
+            for (seq, err) in &report.skipped_ops {
+                println!("skipped op #{seq}: {err}");
+            }
+            for path in &report.quarantined {
+                println!("damaged file kept at {}", path.display());
+            }
+            println!(
+                "recovered state: {} collection(s), {} bytes; re-persisted to {db_path}",
+                db.db().collection_names().len(),
+                db.db().total_size_bytes()
+            );
+            Ok(())
+        }
+        other => Err(format!(
+            "unknown db action `{other}` (expected checkpoint or recover)"
+        )),
+    }
 }
 
 fn cmd_xpath(args: &Args) -> Result<(), String> {
@@ -316,6 +380,32 @@ mod tests {
         .collect::<Vec<_>>())
         .expect("query");
         run(&argv(&format!("dot --seo {}", seo_path.display()))).expect("dot");
+    }
+
+    #[test]
+    fn db_checkpoint_and_recover_round_trip() {
+        let xml_path = tmp("ckpt.xml");
+        std::fs::write(&xml_path, "<a><b>1</b></a>").expect("write xml");
+        let db_path = tmp("ckpt-store.json");
+        std::fs::remove_file(&db_path).ok();
+        std::fs::remove_file(DurableDatabase::wal_path(&db_path)).ok();
+
+        run(&argv(&format!(
+            "load --db {} --collection c {}",
+            db_path.display(),
+            xml_path.display()
+        )))
+        .expect("load");
+        run(&argv(&format!("db checkpoint --db {}", db_path.display()))).expect("checkpoint");
+        run(&argv(&format!("db recover --db {}", db_path.display()))).expect("recover");
+        // the store still answers queries after checkpoint + recover
+        run(&argv(&format!(
+            "xpath --db {} --collection c //b",
+            db_path.display()
+        )))
+        .expect("xpath");
+        assert!(run(&argv(&format!("db frob --db {}", db_path.display()))).is_err());
+        assert!(run(&argv("db")).is_err());
     }
 
     #[test]

@@ -78,7 +78,7 @@ pub fn workload(corpus: &Corpus, seed: u64, count: usize) -> Vec<QuerySpec> {
                 NameVariant::Initial,
                 NameVariant::DropMiddle,
                 NameVariant::AllInitials,
-            ][rng.gen_range(0..4)];
+            ][rng.gen_range(0..4usize)];
             render(&corpus.authors[entity], variant)
         };
         // Small corpora can lack a satisfiable (entity, class) pair for a

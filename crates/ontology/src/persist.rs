@@ -10,10 +10,10 @@
 use crate::error::{OntologyError, OntologyResult};
 use crate::hierarchy::{HNodeId, Hierarchy};
 use crate::seo::Seo;
-use serde::{Deserialize, Serialize};
+use toss_json::Value;
 
 /// Serializable form of a [`Hierarchy`].
-#[derive(Debug, Clone, Serialize, Deserialize, PartialEq)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct HierarchyDto {
     /// Term sets per node, in node-id order.
     pub nodes: Vec<Vec<String>>,
@@ -50,7 +50,7 @@ impl HierarchyDto {
 }
 
 /// Serializable form of an [`Seo`].
-#[derive(Debug, Clone, Serialize, Deserialize, PartialEq)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct SeoDto {
     /// The original hierarchy `H`.
     pub original: HierarchyDto,
@@ -112,16 +112,143 @@ impl SeoDto {
     }
 }
 
+// -------------------------------------------------------------------
+// JSON mapping (hand-rolled over `toss_json::Value`; field names match
+// the original serde derive layout so existing SEO files keep loading)
+// -------------------------------------------------------------------
+
+fn pairs_to_value(pairs: &[(usize, usize)]) -> Value {
+    Value::Array(
+        pairs
+            .iter()
+            .map(|&(a, b)| Value::Array(vec![a.into(), b.into()]))
+            .collect(),
+    )
+}
+
+fn value_to_pairs(v: &Value, what: &str) -> OntologyResult<Vec<(usize, usize)>> {
+    let malformed = || OntologyError::UnknownTerm(format!("malformed SEO JSON: bad `{what}`"));
+    v.as_array()
+        .ok_or_else(malformed)?
+        .iter()
+        .map(|pair| match pair.as_array() {
+            Some([a, b]) => Ok((
+                a.as_usize().ok_or_else(malformed)?,
+                b.as_usize().ok_or_else(malformed)?,
+            )),
+            _ => Err(malformed()),
+        })
+        .collect()
+}
+
+impl HierarchyDto {
+    fn to_value(&self) -> Value {
+        Value::object(vec![
+            (
+                "nodes",
+                Value::Array(
+                    self.nodes
+                        .iter()
+                        .map(|terms| {
+                            Value::Array(terms.iter().map(|t| t.as_str().into()).collect())
+                        })
+                        .collect(),
+                ),
+            ),
+            ("edges", pairs_to_value(&self.edges)),
+        ])
+    }
+
+    fn from_value(v: &Value) -> OntologyResult<Self> {
+        let malformed =
+            |w: &str| OntologyError::UnknownTerm(format!("malformed SEO JSON: bad `{w}`"));
+        let nodes = v
+            .get("nodes")
+            .and_then(Value::as_array)
+            .ok_or_else(|| malformed("nodes"))?
+            .iter()
+            .map(|terms| {
+                terms
+                    .as_array()
+                    .ok_or_else(|| malformed("nodes"))?
+                    .iter()
+                    .map(|t| {
+                        t.as_str()
+                            .map(str::to_string)
+                            .ok_or_else(|| malformed("nodes"))
+                    })
+                    .collect::<OntologyResult<Vec<String>>>()
+            })
+            .collect::<OntologyResult<Vec<Vec<String>>>>()?;
+        let edges = value_to_pairs(v.get("edges").ok_or_else(|| malformed("edges"))?, "edges")?;
+        Ok(HierarchyDto { nodes, edges })
+    }
+}
+
+impl SeoDto {
+    fn to_value(&self) -> Value {
+        Value::object(vec![
+            ("original", self.original.to_value()),
+            ("enhanced_edges", pairs_to_value(&self.enhanced_edges)),
+            (
+                "cliques",
+                Value::Array(
+                    self.cliques
+                        .iter()
+                        .map(|c| Value::Array(c.iter().map(|&m| m.into()).collect()))
+                        .collect(),
+                ),
+            ),
+            ("epsilon", self.epsilon.into()),
+        ])
+    }
+
+    fn from_value(v: &Value) -> OntologyResult<Self> {
+        let malformed =
+            |w: &str| OntologyError::UnknownTerm(format!("malformed SEO JSON: bad `{w}`"));
+        let original =
+            HierarchyDto::from_value(v.get("original").ok_or_else(|| malformed("original"))?)?;
+        let enhanced_edges = value_to_pairs(
+            v.get("enhanced_edges")
+                .ok_or_else(|| malformed("enhanced_edges"))?,
+            "enhanced_edges",
+        )?;
+        let cliques = v
+            .get("cliques")
+            .and_then(Value::as_array)
+            .ok_or_else(|| malformed("cliques"))?
+            .iter()
+            .map(|c| {
+                c.as_array()
+                    .ok_or_else(|| malformed("cliques"))?
+                    .iter()
+                    .map(|m| m.as_usize().ok_or_else(|| malformed("cliques")))
+                    .collect::<OntologyResult<Vec<usize>>>()
+            })
+            .collect::<OntologyResult<Vec<Vec<usize>>>>()?;
+        let epsilon = v
+            .get("epsilon")
+            .and_then(Value::as_f64)
+            .ok_or_else(|| malformed("epsilon"))?;
+        Ok(SeoDto {
+            original,
+            enhanced_edges,
+            cliques,
+            epsilon,
+        })
+    }
+}
+
 /// Serialize an SEO to JSON.
 pub fn seo_to_json(seo: &Seo) -> String {
-    serde_json::to_string(&SeoDto::from_seo(seo)).expect("DTO is always serializable")
+    SeoDto::from_seo(seo).to_value().to_json()
 }
 
 /// Load an SEO from JSON produced by [`seo_to_json`].
 pub fn seo_from_json(json: &str) -> OntologyResult<Seo> {
-    let dto: SeoDto = serde_json::from_str(json)
+    let value = Value::parse(json)
         .map_err(|e| OntologyError::UnknownTerm(format!("malformed SEO JSON: {e}")))?;
-    dto.into_seo()
+    SeoDto::from_value(&value)?.into_seo()
 }
 
 #[cfg(test)]

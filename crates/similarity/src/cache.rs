@@ -3,11 +3,13 @@
 //! The SEA algorithm evaluates `d` on all pairs of hierarchy terms and the
 //! Query Executor re-evaluates `~` conditions against the same term pool;
 //! [`CachedMetric`] memoizes distances under a canonicalized (sorted) key
-//! so symmetric lookups share one entry. Thread-safe via `parking_lot`.
+//! so symmetric lookups share one entry. Thread-safe via `std::sync::RwLock`
+//! (a poisoned lock — a panic mid-insert — falls back to the poisoned
+//! guard's data, which is always a consistent map).
 
 use crate::traits::StringMetric;
-use parking_lot::RwLock;
 use std::collections::HashMap;
+use std::sync::RwLock;
 
 /// A wrapper that memoizes an inner metric's distances.
 pub struct CachedMetric<M> {
@@ -26,12 +28,12 @@ impl<M: StringMetric> CachedMetric<M> {
 
     /// Number of memoized pairs.
     pub fn cached_pairs(&self) -> usize {
-        self.cache.read().len()
+        self.cache.read().unwrap_or_else(|e| e.into_inner()).len()
     }
 
     /// Drop all memoized entries.
     pub fn clear(&self) {
-        self.cache.write().clear();
+        self.cache.write().unwrap_or_else(|e| e.into_inner()).clear();
     }
 
     fn key(a: &str, b: &str) -> (String, String) {
@@ -46,11 +48,19 @@ impl<M: StringMetric> CachedMetric<M> {
 impl<M: StringMetric> StringMetric for CachedMetric<M> {
     fn distance(&self, a: &str, b: &str) -> f64 {
         let key = Self::key(a, b);
-        if let Some(&d) = self.cache.read().get(&key) {
+        if let Some(&d) = self
+            .cache
+            .read()
+            .unwrap_or_else(|e| e.into_inner())
+            .get(&key)
+        {
             return d;
         }
         let d = self.inner.distance(a, b);
-        self.cache.write().insert(key, d);
+        self.cache
+            .write()
+            .unwrap_or_else(|e| e.into_inner())
+            .insert(key, d);
         d
     }
 

@@ -160,11 +160,9 @@ mod tests {
     #[test]
     fn preorder_is_preserved() {
         let t = data_tree();
-        let r = t.root().unwrap();
         let all: HashSet<NodeId> = t.preorder().collect();
         let rebuilt = build_from_nodes(&t, &all).unwrap();
         assert!(toss_tree::eq::trees_equal(&rebuilt, &t));
-        drop(r);
     }
 
     #[test]

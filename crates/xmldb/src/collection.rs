@@ -63,20 +63,39 @@ impl Collection {
 
     /// Insert a parsed document; returns its id.
     ///
-    /// Fails with [`DbError::SizeLimitExceeded`] when the compact XML size
+    /// Fails with [`DbError::CollectionFull`] when the compact XML size
     /// of the collection would exceed the configured limit.
     pub fn insert(&mut self, tree: Tree) -> DbResult<DocumentId> {
+        let id = DocumentId(self.next_id);
+        self.insert_with_id(id, tree)?;
+        Ok(id)
+    }
+
+    /// Insert a parsed document under a caller-chosen id. Used by snapshot
+    /// restore, where ids must survive a save/load cycle exactly (a
+    /// remove leaves a permanent gap in the id sequence, and a
+    /// re-numbering load would silently re-point every later id). The id
+    /// counter advances past `id`, so ids are never reused; note that a
+    /// gap *above* the largest live id is invisible here and must be
+    /// restored separately (see the snapshot's `next_id` field).
+    pub fn insert_with_id(&mut self, id: DocumentId, tree: Tree) -> DbResult<()> {
+        if self.docs.iter().any(|d| d.id == id) {
+            return Err(DbError::Storage(format!(
+                "duplicate document id {id} in collection `{}`",
+                self.name
+            )));
+        }
         let size = tree_to_xml(&tree, Style::Compact).len();
         if let Some(limit) = self.size_limit {
             if self.size_bytes + size > limit {
-                return Err(DbError::SizeLimitExceeded {
+                return Err(DbError::CollectionFull {
+                    collection: self.name.clone(),
                     limit,
                     attempted: self.size_bytes + size,
                 });
             }
         }
-        let id = DocumentId(self.next_id);
-        self.next_id += 1;
+        self.next_id = self.next_id.max(id.0 + 1);
         self.index.add_document(id, &tree);
         self.size_bytes += size;
         self.docs.push(StoredDocument {
@@ -84,7 +103,7 @@ impl Collection {
             tree,
             size_bytes: size,
         });
-        Ok(id)
+        Ok(())
     }
 
     /// Insert raw XML text (parsed with [`crate::parse_document`]).
@@ -113,7 +132,8 @@ impl Collection {
         let old_size = self.docs[pos].size_bytes;
         if let Some(limit) = self.size_limit {
             if self.size_bytes - old_size + new_size > limit {
-                return Err(DbError::SizeLimitExceeded {
+                return Err(DbError::CollectionFull {
+                    collection: self.name.clone(),
                     limit,
                     attempted: self.size_bytes - old_size + new_size,
                 });
@@ -143,6 +163,19 @@ impl Collection {
     /// All stored documents, in insertion order.
     pub fn documents(&self) -> &[StoredDocument] {
         &self.docs
+    }
+
+    /// The id the next inserted document will receive. Monotonic: removes
+    /// leave gaps, ids are never reused.
+    pub fn next_id(&self) -> u64 {
+        self.next_id
+    }
+
+    /// Raise the id counter to at least `n` — snapshot restore uses this
+    /// to reinstate a gap above the largest live id (e.g. after the
+    /// highest-numbered document was removed).
+    pub(crate) fn set_next_id_at_least(&mut self, n: u64) {
+        self.next_id = self.next_id.max(n);
     }
 
     /// Number of documents.
@@ -211,7 +244,7 @@ mod tests {
         let mut c = Collection::new("tiny", Some(60));
         c.insert(doc(0)).unwrap(); // ~45 bytes
         let e = c.insert(doc(1)).unwrap_err();
-        assert!(matches!(e, DbError::SizeLimitExceeded { limit: 60, .. }));
+        assert!(matches!(e, DbError::CollectionFull { limit: 60, .. }));
         assert_eq!(c.len(), 1);
     }
 
@@ -256,7 +289,7 @@ mod tests {
             .build();
         assert!(matches!(
             c.replace(id, huge),
-            Err(DbError::SizeLimitExceeded { .. })
+            Err(DbError::CollectionFull { .. })
         ));
         // shrinking replacement is fine
         c.replace(id, TreeBuilder::new("a").build()).unwrap();

@@ -59,17 +59,14 @@ impl Database {
 
     /// Create a collection; errors if the name is taken.
     pub fn create_collection(&mut self, name: &str) -> DbResult<&mut Collection> {
-        if self.collections.contains_key(name) {
-            return Err(DbError::CollectionExists(name.to_string()));
+        match self.collections.entry(name.to_string()) {
+            std::collections::btree_map::Entry::Occupied(_) => {
+                Err(DbError::CollectionExists(name.to_string()))
+            }
+            std::collections::btree_map::Entry::Vacant(slot) => {
+                Ok(slot.insert(Collection::new(name, self.config.collection_size_limit)))
+            }
         }
-        self.collections.insert(
-            name.to_string(),
-            Collection::new(name, self.config.collection_size_limit),
-        );
-        Ok(self
-            .collections
-            .get_mut(name)
-            .expect("inserted just above"))
     }
 
     /// Drop a collection; errors if it does not exist.
@@ -156,10 +153,7 @@ mod tests {
         });
         let c = db.create_collection("tiny").unwrap();
         let t = TreeBuilder::new("aaaaaaaaaa").build(); // >10 bytes serialized
-        assert!(matches!(
-            c.insert(t),
-            Err(DbError::SizeLimitExceeded { .. })
-        ));
+        assert!(matches!(c.insert(t), Err(DbError::CollectionFull { .. })));
     }
 
     #[test]

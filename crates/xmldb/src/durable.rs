@@ -1,0 +1,558 @@
+//! Crash-safe database: write-ahead journal + checksummed snapshots.
+//!
+//! [`DurableDatabase`] wraps a [`Database`] with the classic WAL
+//! discipline. Every mutation is:
+//!
+//! 1. **validated** against the in-memory state (so step 3 cannot fail),
+//! 2. **journaled** — appended to the write-ahead log and fsynced,
+//! 3. **applied** in memory.
+//!
+//! A crash before step 2 completes loses only the un-acknowledged
+//! operation; a crash after it loses nothing: the next
+//! [`DurableDatabase::open`] replays the journal over the newest
+//! snapshot. [`DurableDatabase::checkpoint`] folds the journal into a new
+//! atomic snapshot and truncates it; sequence numbers make the protocol
+//! idempotent, so a crash between those two steps merely leaves records
+//! that the next replay skips.
+//!
+//! [`DurableDatabase::open`] is *strict*: damaged bytes surface as
+//! [`DbError::Corruption`] and nothing is guessed.
+//! [`DurableDatabase::recover`] is *lenient*: it quarantines damaged
+//! files, rebuilds the best state reachable from the valid snapshot and
+//! journal prefix, makes that state durable again, and reports exactly
+//! what was lost in a [`RecoveryReport`].
+
+use crate::database::{Database, DatabaseConfig};
+use crate::error::{DbError, DbResult};
+use crate::journal::{Journal, JournalOp};
+use crate::storage;
+use crate::vfs::{StdVfs, Vfs};
+use crate::DocumentId;
+use std::path::{Path, PathBuf};
+use std::sync::Arc;
+use toss_tree::serialize::{tree_to_xml, Style};
+use toss_tree::Tree;
+
+/// What a lenient [`DurableDatabase::recover`] found and did.
+#[derive(Debug, Default)]
+pub struct RecoveryReport {
+    /// Whether a snapshot was loaded successfully.
+    pub snapshot_loaded: bool,
+    /// Why the snapshot was discarded, if it was.
+    pub snapshot_error: Option<DbError>,
+    /// Corruption that cut the journal short, if any (the valid prefix
+    /// before it was still replayed).
+    pub journal_error: Option<DbError>,
+    /// Bytes of torn journal tail trimmed (the residue of a crashed
+    /// append — expected, not corruption).
+    pub torn_tail_bytes: usize,
+    /// Journal operations successfully replayed.
+    pub replayed_ops: usize,
+    /// Journal operations that no longer applied, with their sequence
+    /// numbers and the reason (e.g. a size limit lowered since logging).
+    pub skipped_ops: Vec<(u64, DbError)>,
+    /// Copies of damaged files kept for forensics (`*.corrupt`).
+    pub quarantined: Vec<PathBuf>,
+}
+
+impl RecoveryReport {
+    /// True when recovery found nothing wrong at all.
+    pub fn is_clean(&self) -> bool {
+        self.snapshot_error.is_none()
+            && self.journal_error.is_none()
+            && self.torn_tail_bytes == 0
+            && self.skipped_ops.is_empty()
+    }
+}
+
+/// A [`Database`] with crash-safe persistence.
+pub struct DurableDatabase {
+    db: Database,
+    journal: Journal,
+    snapshot_path: PathBuf,
+    vfs: Arc<dyn Vfs>,
+}
+
+impl std::fmt::Debug for DurableDatabase {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("DurableDatabase")
+            .field("snapshot_path", &self.snapshot_path)
+            .field("journal", &self.journal)
+            .field("collections", &self.db.collection_names())
+            .finish()
+    }
+}
+
+impl DurableDatabase {
+    /// The journal path used for a snapshot at `snapshot`: the same file
+    /// name with `.wal` appended (`store.json` → `store.json.wal`).
+    pub fn wal_path(snapshot: &Path) -> PathBuf {
+        let mut os = snapshot.as_os_str().to_os_string();
+        os.push(".wal");
+        PathBuf::from(os)
+    }
+
+    /// Open (or create) a durable database on the real filesystem.
+    /// `config` applies only when no snapshot exists yet.
+    pub fn open(snapshot: impl Into<PathBuf>, config: DatabaseConfig) -> DbResult<Self> {
+        Self::open_with(snapshot, config, Arc::new(StdVfs))
+    }
+
+    /// Open against an explicit [`Vfs`] (the fault-injection harness uses
+    /// this). Strict: corruption anywhere fails the open; only a torn
+    /// journal tail — the normal residue of a crashed append — is
+    /// tolerated, and it is trimmed before the call returns.
+    pub fn open_with(
+        snapshot: impl Into<PathBuf>,
+        config: DatabaseConfig,
+        vfs: Arc<dyn Vfs>,
+    ) -> DbResult<Self> {
+        let snapshot_path = snapshot.into();
+        let (db, cursor) = if vfs.exists(&snapshot_path) {
+            storage::load_with_vfs_seq(&snapshot_path, &*vfs)?
+        } else {
+            (Database::with_config(config), 0)
+        };
+        let mut journal = Journal::open(Self::wal_path(&snapshot_path), vfs.clone())?;
+        journal.bump_seq(cursor);
+        let scan = journal.scan()?;
+        let mut this = DurableDatabase {
+            db,
+            journal,
+            snapshot_path,
+            vfs,
+        };
+        for rec in &scan.records {
+            if rec.seq < cursor {
+                continue; // already folded into the snapshot
+            }
+            check_op(&this.db, &rec.op)?;
+            apply_op(&mut this.db, &rec.op)?;
+        }
+        if scan.torn_tail_bytes > 0 {
+            this.journal.rewrite(&scan.records)?;
+        }
+        Ok(this)
+    }
+
+    /// Lenient recovery on the real filesystem.
+    pub fn recover(
+        snapshot: impl Into<PathBuf>,
+        config: DatabaseConfig,
+    ) -> DbResult<(Self, RecoveryReport)> {
+        Self::recover_with(snapshot, config, Arc::new(StdVfs))
+    }
+
+    /// Lenient recovery against an explicit [`Vfs`]: fall back to the
+    /// last valid state, quarantine damaged files, re-persist the
+    /// recovered state (checkpoint), and report what happened. Only I/O
+    /// failures can make this return `Err`.
+    pub fn recover_with(
+        snapshot: impl Into<PathBuf>,
+        config: DatabaseConfig,
+        vfs: Arc<dyn Vfs>,
+    ) -> DbResult<(Self, RecoveryReport)> {
+        let snapshot_path = snapshot.into();
+        let mut report = RecoveryReport::default();
+        let (db, cursor) = if vfs.exists(&snapshot_path) {
+            match storage::load_with_vfs_seq(&snapshot_path, &*vfs) {
+                Ok(loaded) => {
+                    report.snapshot_loaded = true;
+                    loaded
+                }
+                Err(err) => {
+                    quarantine(&*vfs, &snapshot_path, &mut report);
+                    report.snapshot_error = Some(err);
+                    (Database::with_config(config), 0)
+                }
+            }
+        } else {
+            (Database::with_config(config), 0)
+        };
+        let wal = Self::wal_path(&snapshot_path);
+        let mut journal = Journal::open(wal.clone(), vfs.clone())?;
+        journal.bump_seq(cursor);
+        let scan = journal.scan_lenient()?;
+        if scan.corruption.is_some() {
+            quarantine(&*vfs, &wal, &mut report);
+        }
+        report.journal_error = scan.corruption;
+        report.torn_tail_bytes = scan.torn_tail_bytes;
+        let mut this = DurableDatabase {
+            db,
+            journal,
+            snapshot_path,
+            vfs,
+        };
+        for rec in &scan.records {
+            if rec.seq < cursor {
+                continue;
+            }
+            match check_op(&this.db, &rec.op).and_then(|()| apply_op(&mut this.db, &rec.op)) {
+                Ok(_) => report.replayed_ops += 1,
+                Err(err) => report.skipped_ops.push((rec.seq, err)),
+            }
+        }
+        // Make the recovered state durable again: fresh snapshot, clean
+        // journal. After this, a plain strict open succeeds.
+        this.checkpoint()?;
+        Ok((this, report))
+    }
+
+    /// The underlying database (for queries).
+    pub fn db(&self) -> &Database {
+        &self.db
+    }
+
+    /// Consume the wrapper, returning the in-memory database. Anything
+    /// not yet checkpointed stays recoverable from the journal.
+    pub fn into_inner(self) -> Database {
+        self.db
+    }
+
+    /// The snapshot path this database persists to.
+    pub fn snapshot_path(&self) -> &Path {
+        &self.snapshot_path
+    }
+
+    /// Number of operations currently recorded in the journal (i.e. not
+    /// yet folded into a snapshot by [`DurableDatabase::checkpoint`]).
+    pub fn pending_journal_ops(&self) -> DbResult<usize> {
+        Ok(self.journal.scan()?.records.len())
+    }
+
+    /// Create a collection, durably.
+    pub fn create_collection(&mut self, name: &str) -> DbResult<()> {
+        self.commit(JournalOp::CreateCollection { name: name.into() })?;
+        Ok(())
+    }
+
+    /// Drop a collection, durably.
+    pub fn drop_collection(&mut self, name: &str) -> DbResult<()> {
+        self.commit(JournalOp::DropCollection { name: name.into() })?;
+        Ok(())
+    }
+
+    /// Insert a document, durably; returns its id.
+    ///
+    /// The XML is canonicalized (parsed and re-serialized compactly)
+    /// before journaling so the logged record replays byte-identically.
+    /// [`DatabaseConfig::collection_size_limit`] is enforced here *and*
+    /// on replay, through the same code path.
+    pub fn insert_xml(&mut self, collection: &str, xml: &str) -> DbResult<DocumentId> {
+        let tree = crate::parser::parse_document(xml)?;
+        let canonical = tree_to_xml(&tree, Style::Compact);
+        let id = self.commit(JournalOp::Insert {
+            collection: collection.into(),
+            xml: canonical,
+        })?;
+        id.ok_or_else(|| DbError::Storage("insert produced no document id".into()))
+    }
+
+    /// Remove a document, durably; returns the removed tree.
+    pub fn remove_document(&mut self, collection: &str, id: DocumentId) -> DbResult<Tree> {
+        let tree = self.db.collection(collection)?.get(id)?.tree.clone();
+        self.commit(JournalOp::Remove {
+            collection: collection.into(),
+            doc_id: id.0,
+        })?;
+        Ok(tree)
+    }
+
+    /// Replace a document's content in place, durably.
+    pub fn replace_document(
+        &mut self,
+        collection: &str,
+        id: DocumentId,
+        xml: &str,
+    ) -> DbResult<()> {
+        let tree = crate::parser::parse_document(xml)?;
+        let canonical = tree_to_xml(&tree, Style::Compact);
+        self.commit(JournalOp::Replace {
+            collection: collection.into(),
+            doc_id: id.0,
+            xml: canonical,
+        })?;
+        Ok(())
+    }
+
+    /// Fold the journal into a fresh atomic snapshot and truncate it.
+    pub fn checkpoint(&mut self) -> DbResult<()> {
+        let cursor = self.journal.next_seq();
+        storage::save_with_vfs_seq(&self.db, cursor, &self.snapshot_path, &*self.vfs)?;
+        self.journal.reset()?;
+        Ok(())
+    }
+
+    /// The WAL discipline: validate, journal + fsync, apply.
+    fn commit(&mut self, op: JournalOp) -> DbResult<Option<DocumentId>> {
+        check_op(&self.db, &op)?;
+        self.journal.append(&op)?;
+        apply_op(&mut self.db, &op)
+    }
+}
+
+/// Best-effort copy of a damaged file to `<path>.corrupt` for forensics.
+fn quarantine(vfs: &dyn Vfs, path: &Path, report: &mut RecoveryReport) {
+    if let Ok(bytes) = vfs.read(path) {
+        let mut os = path.as_os_str().to_os_string();
+        os.push(".corrupt");
+        let dest = PathBuf::from(os);
+        if vfs.write(&dest, &bytes).is_ok() {
+            let _ = vfs.sync(&dest);
+            report.quarantined.push(dest);
+        }
+    }
+}
+
+/// Validate that `op` can be applied to `db` without mutating anything.
+/// After this returns `Ok`, [`apply_op`] cannot fail.
+fn check_op(db: &Database, op: &JournalOp) -> DbResult<()> {
+    match op {
+        JournalOp::CreateCollection { name } => {
+            if db.collection(name).is_ok() {
+                Err(DbError::CollectionExists(name.clone()))
+            } else {
+                Ok(())
+            }
+        }
+        JournalOp::DropCollection { name } => db.collection(name).map(|_| ()),
+        JournalOp::Insert { collection, xml } => {
+            let coll = db.collection(collection)?;
+            let tree = crate::parser::parse_document(xml)?;
+            let size = tree_to_xml(&tree, Style::Compact).len();
+            if let Some(limit) = coll.size_limit() {
+                if coll.size_bytes() + size > limit {
+                    return Err(DbError::CollectionFull {
+                        collection: collection.clone(),
+                        limit,
+                        attempted: coll.size_bytes() + size,
+                    });
+                }
+            }
+            Ok(())
+        }
+        JournalOp::Remove { collection, doc_id } => db
+            .collection(collection)?
+            .get(DocumentId(*doc_id))
+            .map(|_| ()),
+        JournalOp::Replace {
+            collection,
+            doc_id,
+            xml,
+        } => {
+            let coll = db.collection(collection)?;
+            let old = coll.get(DocumentId(*doc_id))?;
+            let tree = crate::parser::parse_document(xml)?;
+            let new_size = tree_to_xml(&tree, Style::Compact).len();
+            if let Some(limit) = coll.size_limit() {
+                let attempted = coll.size_bytes() - old.size_bytes + new_size;
+                if attempted > limit {
+                    return Err(DbError::CollectionFull {
+                        collection: collection.clone(),
+                        limit,
+                        attempted,
+                    });
+                }
+            }
+            Ok(())
+        }
+    }
+}
+
+/// Apply a validated operation. Shared by live commits and replay, so
+/// recovery reconstructs exactly the state the live path built.
+fn apply_op(db: &mut Database, op: &JournalOp) -> DbResult<Option<DocumentId>> {
+    match op {
+        JournalOp::CreateCollection { name } => {
+            db.create_collection(name)?;
+            Ok(None)
+        }
+        JournalOp::DropCollection { name } => {
+            db.drop_collection(name)?;
+            Ok(None)
+        }
+        JournalOp::Insert { collection, xml } => {
+            let id = db.collection_mut(collection)?.insert_xml(xml)?;
+            Ok(Some(id))
+        }
+        JournalOp::Remove { collection, doc_id } => {
+            db.collection_mut(collection)?.remove(DocumentId(*doc_id))?;
+            Ok(None)
+        }
+        JournalOp::Replace {
+            collection,
+            doc_id,
+            xml,
+        } => {
+            let tree = crate::parser::parse_document(xml)?;
+            db.collection_mut(collection)?
+                .replace(DocumentId(*doc_id), tree)?;
+            Ok(None)
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::vfs::FaultVfs;
+
+    fn mem() -> (Arc<FaultVfs>, Arc<dyn Vfs>) {
+        let fs = Arc::new(FaultVfs::new());
+        let dyn_fs: Arc<dyn Vfs> = fs.clone();
+        (fs, dyn_fs)
+    }
+
+    fn open_mem(vfs: Arc<dyn Vfs>) -> DurableDatabase {
+        DurableDatabase::open_with("store.json", DatabaseConfig::unlimited(), vfs).unwrap()
+    }
+
+    #[test]
+    fn mutations_survive_crash_without_checkpoint() {
+        let (fs, vfs) = mem();
+        let mut db = open_mem(vfs.clone());
+        db.create_collection("dblp").unwrap();
+        let id = db.insert_xml("dblp", "<a><b>1</b></a>").unwrap();
+        db.insert_xml("dblp", "<c/>").unwrap();
+        db.remove_document("dblp", id).unwrap();
+        fs.crash();
+        let db = open_mem(vfs);
+        let coll = db.db().collection("dblp").unwrap();
+        assert_eq!(coll.len(), 1);
+        assert!(coll.get(id).is_err());
+    }
+
+    #[test]
+    fn checkpoint_then_crash_preserves_everything() {
+        let (fs, vfs) = mem();
+        let mut db = open_mem(vfs.clone());
+        db.create_collection("dblp").unwrap();
+        db.insert_xml("dblp", "<a/>").unwrap();
+        db.checkpoint().unwrap();
+        assert_eq!(db.pending_journal_ops().unwrap(), 0);
+        db.insert_xml("dblp", "<b/>").unwrap();
+        assert_eq!(db.pending_journal_ops().unwrap(), 1);
+        fs.crash();
+        let db = open_mem(vfs);
+        assert_eq!(db.db().collection("dblp").unwrap().len(), 2);
+    }
+
+    #[test]
+    fn document_ids_are_stable_across_recovery() {
+        let (fs, vfs) = mem();
+        let mut db = open_mem(vfs.clone());
+        db.create_collection("c").unwrap();
+        let a = db.insert_xml("c", "<a/>").unwrap();
+        let b = db.insert_xml("c", "<b/>").unwrap();
+        db.remove_document("c", a).unwrap();
+        let c = db.insert_xml("c", "<c/>").unwrap();
+        assert!(c > b);
+        fs.crash();
+        let db = open_mem(vfs);
+        let coll = db.db().collection("c").unwrap();
+        assert!(coll.get(b).is_ok());
+        assert!(coll.get(c).is_ok());
+        assert!(coll.get(a).is_err());
+    }
+
+    #[test]
+    fn replace_is_durable() {
+        let (fs, vfs) = mem();
+        let mut db = open_mem(vfs.clone());
+        db.create_collection("c").unwrap();
+        let id = db.insert_xml("c", "<a><t>old</t></a>").unwrap();
+        db.replace_document("c", id, "<a><t>new</t></a>").unwrap();
+        fs.crash();
+        let db = open_mem(vfs);
+        let coll = db.db().collection("c").unwrap();
+        assert_eq!(coll.index().by_tag_content("t", "new").len(), 1);
+        assert_eq!(coll.index().by_tag_content("t", "old").len(), 0);
+    }
+
+    #[test]
+    fn size_limit_enforced_on_live_insert_and_replay() {
+        let (fs, vfs) = mem();
+        let mut db = DurableDatabase::open_with(
+            "store.json",
+            DatabaseConfig {
+                collection_size_limit: Some(30),
+            },
+            vfs.clone(),
+        )
+        .unwrap();
+        db.create_collection("tiny").unwrap();
+        db.insert_xml("tiny", "<a><b>123456</b></a>").unwrap(); // 20 bytes
+        let err = db.insert_xml("tiny", "<a><b>123456</b></a>").unwrap_err();
+        assert!(matches!(err, DbError::CollectionFull { limit: 30, .. }));
+        // The rejected insert was never journaled: replay succeeds.
+        fs.crash();
+        let db = DurableDatabase::open_with(
+            "store.json",
+            DatabaseConfig::unlimited(),
+            vfs,
+        )
+        .unwrap();
+        assert_eq!(db.db().collection("tiny").unwrap().len(), 1);
+    }
+
+    #[test]
+    fn failed_commit_leaves_memory_and_disk_consistent() {
+        use crate::vfs::FaultMode;
+        let (fs, vfs) = mem();
+        let mut db = open_mem(vfs.clone());
+        db.create_collection("c").unwrap();
+        fs.fail_op(fs.op_count(), FaultMode::Error);
+        assert!(db.insert_xml("c", "<a/>").is_err());
+        // In-memory state did not apply the failed op...
+        assert_eq!(db.db().collection("c").unwrap().len(), 0);
+        // ...and neither did the durable state.
+        fs.crash();
+        let db = open_mem(vfs);
+        assert_eq!(db.db().collection("c").unwrap().len(), 0);
+    }
+
+    #[test]
+    fn recover_falls_back_on_corrupt_snapshot() {
+        let (fs, vfs) = mem();
+        let mut db = open_mem(vfs.clone());
+        db.create_collection("c").unwrap();
+        db.insert_xml("c", "<a/>").unwrap();
+        db.checkpoint().unwrap();
+        db.insert_xml("c", "<b/>").unwrap();
+        // Corrupt the snapshot in place: flip a character inside a
+        // document payload so the JSON still parses but the embedded
+        // checksum no longer matches.
+        let text = String::from_utf8(vfs.read(Path::new("store.json")).unwrap()).unwrap();
+        let broken = text.replacen("<a/>", "<e/>", 1);
+        assert_ne!(text, broken);
+        fs.corrupt(Path::new("store.json"), broken.into_bytes());
+        // Strict open refuses.
+        let err = DurableDatabase::open_with(
+            "store.json",
+            DatabaseConfig::unlimited(),
+            vfs.clone(),
+        )
+        .unwrap_err();
+        assert!(matches!(err, DbError::Corruption { .. }));
+        // Lenient recovery falls back to the journal suffix only (the
+        // snapshot's contents are gone) and quarantines the bad file.
+        let (db, report) =
+            DurableDatabase::recover_with("store.json", DatabaseConfig::unlimited(), vfs.clone())
+                .unwrap();
+        assert!(report.snapshot_error.is_some());
+        assert!(!report.quarantined.is_empty());
+        // The pre-checkpoint state lived only in the snapshot, so the
+        // post-checkpoint insert of <b/> has no collection to land in:
+        // it is skipped and reported, not silently dropped.
+        assert_eq!(report.skipped_ops.len(), 1);
+        assert!(matches!(
+            report.skipped_ops[0].1,
+            DbError::NoSuchCollection(_)
+        ));
+        assert!(db.db().collection("c").is_err());
+        // Recovery re-persisted: a strict open now succeeds.
+        drop(db);
+        DurableDatabase::open_with("store.json", DatabaseConfig::unlimited(), vfs).unwrap();
+    }
+}

@@ -3,6 +3,24 @@
 use std::fmt;
 use toss_tree::TreeError;
 
+/// Which persistent structure a corruption was detected in.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum CorruptionSite {
+    /// The snapshot file (checksum, version or structural mismatch).
+    Snapshot,
+    /// The write-ahead journal (a checksummed record failed verification).
+    Journal,
+}
+
+impl fmt::Display for CorruptionSite {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            CorruptionSite::Snapshot => write!(f, "snapshot"),
+            CorruptionSite::Journal => write!(f, "journal"),
+        }
+    }
+}
+
 /// Errors from parsing, storage or query evaluation.
 #[derive(Debug, Clone, PartialEq)]
 pub enum DbError {
@@ -23,17 +41,48 @@ pub enum DbError {
     NoSuchDocument(u64),
     /// Inserting a document would exceed the collection's size limit —
     /// mirrors Xindice's 5 MB per-collection cap that shaped the paper's
-    /// experiments.
-    SizeLimitExceeded {
+    /// experiments. Enforced on direct inserts *and* on journal replay.
+    CollectionFull {
+        /// The collection that refused the document.
+        collection: String,
         /// The configured limit in bytes.
         limit: usize,
         /// The size the collection would reach.
         attempted: usize,
     },
-    /// Snapshot persistence failed.
+    /// Snapshot persistence failed (I/O or structural problems that are
+    /// not evidence of on-disk corruption).
     Storage(String),
+    /// A persistent structure failed verification: checksum mismatch,
+    /// impossible record, or a snapshot whose embedded checksum does not
+    /// match its payload. Unlike [`DbError::Storage`], this indicates the
+    /// bytes on disk were damaged after being written.
+    Corruption {
+        /// Which structure was damaged.
+        site: CorruptionSite,
+        /// What exactly failed to verify.
+        detail: String,
+    },
     /// An underlying tree operation failed (internal invariant breach).
     Tree(TreeError),
+}
+
+impl DbError {
+    /// Shorthand for a snapshot-corruption error.
+    pub fn snapshot_corruption(detail: impl Into<String>) -> Self {
+        DbError::Corruption {
+            site: CorruptionSite::Snapshot,
+            detail: detail.into(),
+        }
+    }
+
+    /// Shorthand for a journal-corruption error.
+    pub fn journal_corruption(detail: impl Into<String>) -> Self {
+        DbError::Corruption {
+            site: CorruptionSite::Journal,
+            detail: detail.into(),
+        }
+    }
 }
 
 impl fmt::Display for DbError {
@@ -46,11 +95,18 @@ impl fmt::Display for DbError {
             DbError::NoSuchCollection(n) => write!(f, "no such collection `{n}`"),
             DbError::CollectionExists(n) => write!(f, "collection `{n}` already exists"),
             DbError::NoSuchDocument(id) => write!(f, "no such document #{id}"),
-            DbError::SizeLimitExceeded { limit, attempted } => write!(
+            DbError::CollectionFull {
+                collection,
+                limit,
+                attempted,
+            } => write!(
                 f,
-                "collection size limit exceeded: {attempted} bytes > limit {limit} bytes"
+                "collection `{collection}` full: {attempted} bytes > limit {limit} bytes"
             ),
             DbError::Storage(m) => write!(f, "storage error: {m}"),
+            DbError::Corruption { site, detail } => {
+                write!(f, "{site} corruption detected: {detail}")
+            }
             DbError::Tree(e) => write!(f, "tree error: {e}"),
         }
     }
@@ -86,11 +142,20 @@ mod tests {
                 "no such collection `dblp`",
             ),
             (
-                DbError::SizeLimitExceeded {
+                DbError::CollectionFull {
+                    collection: "dblp".into(),
                     limit: 100,
                     attempted: 150,
                 },
-                "collection size limit exceeded: 150 bytes > limit 100 bytes",
+                "collection `dblp` full: 150 bytes > limit 100 bytes",
+            ),
+            (
+                DbError::snapshot_corruption("checksum mismatch"),
+                "snapshot corruption detected: checksum mismatch",
+            ),
+            (
+                DbError::journal_corruption("record 3 failed CRC"),
+                "journal corruption detected: record 3 failed CRC",
             ),
         ];
         for (e, s) in cases {
@@ -102,5 +167,13 @@ mod tests {
     fn tree_error_converts() {
         let e: DbError = TreeError::EmptyTree.into();
         assert!(matches!(e, DbError::Tree(_)));
+    }
+
+    #[test]
+    fn corruption_sites_are_distinct() {
+        assert_ne!(
+            DbError::snapshot_corruption("x"),
+            DbError::journal_corruption("x")
+        );
     }
 }

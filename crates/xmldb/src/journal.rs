@@ -1,0 +1,572 @@
+//! Append-only write-ahead journal.
+//!
+//! Every mutation of a [`crate::durable::DurableDatabase`] is appended
+//! here — and fsynced — *before* it is applied in memory, so a crash at
+//! any point loses at most the operation whose record never became
+//! durable.
+//!
+//! ## On-disk format
+//!
+//! The file starts with the 8-byte magic `TOSSWAL1`, followed by zero or
+//! more records:
+//!
+//! ```text
+//! [u32 LE payload length][u32 LE CRC-32 of payload][payload bytes]
+//! ```
+//!
+//! The payload is the compact JSON encoding of a sequence number plus a
+//! [`JournalOp`]. Sequence numbers are assigned monotonically and never
+//! reused, even across [`Journal::reset`]; snapshots record the last
+//! sequence they contain, which makes checkpointing crash-idempotent — a
+//! crash between "snapshot written" and "journal truncated" merely leaves
+//! records that replay skips as already-applied.
+//!
+//! Reading distinguishes two failure shapes:
+//!
+//! * **Torn tail** — the file ends mid-record (fewer than 8 header bytes,
+//!   or fewer payload bytes than the header promises). This is the
+//!   expected residue of a crash during an append and is *not* an error:
+//!   the valid prefix is returned and the tail's byte count reported so
+//!   the caller can truncate it.
+//! * **Corruption** — a structurally complete record whose CRC does not
+//!   match, or a bad magic. This means bytes that were once durable have
+//!   been damaged; it surfaces as [`DbError::Corruption`].
+
+use crate::crc32::crc32;
+use crate::error::{DbError, DbResult};
+use crate::vfs::Vfs;
+use std::path::{Path, PathBuf};
+use std::sync::Arc;
+use toss_json::Value;
+
+/// Magic bytes identifying a TOSS write-ahead journal, version 1.
+pub const JOURNAL_MAGIC: &[u8; 8] = b"TOSSWAL1";
+
+/// One logged mutation.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum JournalOp {
+    /// `create_collection(name)`.
+    CreateCollection {
+        /// Collection name.
+        name: String,
+    },
+    /// `drop_collection(name)`.
+    DropCollection {
+        /// Collection name.
+        name: String,
+    },
+    /// Insert a document (stored as its compact XML serialization).
+    Insert {
+        /// Target collection.
+        collection: String,
+        /// Compact XML of the document.
+        xml: String,
+    },
+    /// Remove a document by id.
+    Remove {
+        /// Target collection.
+        collection: String,
+        /// The document id.
+        doc_id: u64,
+    },
+    /// Replace a document's content, keeping its id.
+    Replace {
+        /// Target collection.
+        collection: String,
+        /// The document id.
+        doc_id: u64,
+        /// Compact XML of the new content.
+        xml: String,
+    },
+}
+
+/// A sequenced journal record.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct JournalRecord {
+    /// Monotonic sequence number (never reused across resets).
+    pub seq: u64,
+    /// The logged operation.
+    pub op: JournalOp,
+}
+
+/// Encode a record as a compact JSON payload.
+fn encode_payload(seq: u64, op: &JournalOp) -> Vec<u8> {
+    let mut fields: Vec<(&str, Value)> = vec![("seq", seq.into())];
+    match op {
+        JournalOp::CreateCollection { name } => {
+            fields.push(("op", "create".into()));
+            fields.push(("collection", name.as_str().into()));
+        }
+        JournalOp::DropCollection { name } => {
+            fields.push(("op", "drop".into()));
+            fields.push(("collection", name.as_str().into()));
+        }
+        JournalOp::Insert { collection, xml } => {
+            fields.push(("op", "insert".into()));
+            fields.push(("collection", collection.as_str().into()));
+            fields.push(("xml", xml.as_str().into()));
+        }
+        JournalOp::Remove { collection, doc_id } => {
+            fields.push(("op", "remove".into()));
+            fields.push(("collection", collection.as_str().into()));
+            fields.push(("doc", (*doc_id).into()));
+        }
+        JournalOp::Replace {
+            collection,
+            doc_id,
+            xml,
+        } => {
+            fields.push(("op", "replace".into()));
+            fields.push(("collection", collection.as_str().into()));
+            fields.push(("doc", (*doc_id).into()));
+            fields.push(("xml", xml.as_str().into()));
+        }
+    }
+    Value::object(fields).to_json().into_bytes()
+}
+
+/// Decode a payload produced by [`encode_payload`].
+fn decode_payload(payload: &[u8]) -> DbResult<JournalRecord> {
+    let text = std::str::from_utf8(payload)
+        .map_err(|_| DbError::journal_corruption("record payload is not UTF-8"))?;
+    let value = Value::parse(text)
+        .map_err(|e| DbError::journal_corruption(format!("record payload is not JSON: {e}")))?;
+    let field = |name: &str| -> DbResult<&Value> {
+        value
+            .get(name)
+            .ok_or_else(|| DbError::journal_corruption(format!("record missing field `{name}`")))
+    };
+    let str_field = |name: &str| -> DbResult<String> {
+        field(name)?.as_str().map(str::to_string).ok_or_else(|| {
+            DbError::journal_corruption(format!("record field `{name}` is not a string"))
+        })
+    };
+    let int_field = |name: &str| -> DbResult<u64> {
+        field(name)?
+            .as_i64()
+            .and_then(|v| u64::try_from(v).ok())
+            .ok_or_else(|| {
+                DbError::journal_corruption(format!(
+                    "record field `{name}` is not a non-negative integer"
+                ))
+            })
+    };
+    let seq = int_field("seq")?;
+    let op = match str_field("op")?.as_str() {
+        "create" => JournalOp::CreateCollection {
+            name: str_field("collection")?,
+        },
+        "drop" => JournalOp::DropCollection {
+            name: str_field("collection")?,
+        },
+        "insert" => JournalOp::Insert {
+            collection: str_field("collection")?,
+            xml: str_field("xml")?,
+        },
+        "remove" => JournalOp::Remove {
+            collection: str_field("collection")?,
+            doc_id: int_field("doc")?,
+        },
+        "replace" => JournalOp::Replace {
+            collection: str_field("collection")?,
+            doc_id: int_field("doc")?,
+            xml: str_field("xml")?,
+        },
+        other => {
+            return Err(DbError::journal_corruption(format!(
+                "unknown journal op `{other}`"
+            )))
+        }
+    };
+    Ok(JournalRecord { seq, op })
+}
+
+/// Frame a payload as a length-prefixed, checksummed record.
+fn frame(payload: &[u8]) -> Vec<u8> {
+    let mut rec = Vec::with_capacity(8 + payload.len());
+    rec.extend_from_slice(&(payload.len() as u32).to_le_bytes());
+    rec.extend_from_slice(&crc32(payload).to_le_bytes());
+    rec.extend_from_slice(payload);
+    rec
+}
+
+/// Result of scanning a journal file.
+#[derive(Debug)]
+pub struct JournalScan {
+    /// The decoded records of the valid prefix, in append order.
+    pub records: Vec<JournalRecord>,
+    /// Bytes of torn (incomplete) tail record dropped from the end, if
+    /// any. `0` means the valid prefix ran to the end of the file.
+    pub torn_tail_bytes: usize,
+    /// Corruption that cut the scan short (bad magic or a CRC-failing
+    /// complete record). When set, `records` holds the prefix before the
+    /// damage. [`Journal::scan`] turns this into a hard error; recovery
+    /// reads it leniently.
+    pub corruption: Option<DbError>,
+}
+
+/// An append-only, checksummed operation log bound to one file.
+pub struct Journal {
+    path: PathBuf,
+    vfs: Arc<dyn Vfs>,
+    next_seq: u64,
+}
+
+impl std::fmt::Debug for Journal {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Journal")
+            .field("path", &self.path)
+            .field("next_seq", &self.next_seq)
+            .finish()
+    }
+}
+
+impl Journal {
+    /// Open (creating if needed) the journal at `path`. A brand-new file
+    /// gets the magic header written and synced immediately. The next
+    /// sequence number continues after the last valid record on disk.
+    pub fn open(path: impl Into<PathBuf>, vfs: Arc<dyn Vfs>) -> DbResult<Journal> {
+        let mut journal = Journal {
+            path: path.into(),
+            vfs,
+            next_seq: 0,
+        };
+        if journal.vfs.exists(&journal.path) {
+            let scan = journal.scan_lenient()?;
+            journal.next_seq = scan.records.last().map(|r| r.seq + 1).unwrap_or(0);
+        } else {
+            journal.rewrite(&[])?;
+        }
+        Ok(journal)
+    }
+
+    /// The journal's file path.
+    pub fn path(&self) -> &Path {
+        &self.path
+    }
+
+    /// The sequence number the next append will use.
+    pub fn next_seq(&self) -> u64 {
+        self.next_seq
+    }
+
+    /// Raise the next sequence number to at least `min_next`. Used after
+    /// loading a snapshot whose cursor is ahead of the (reset) journal,
+    /// so fresh appends are never numbered below the snapshot cursor.
+    pub fn bump_seq(&mut self, min_next: u64) {
+        self.next_seq = self.next_seq.max(min_next);
+    }
+
+    /// Append one operation and fsync, returning its sequence number.
+    /// Only after this returns `Ok` may the operation be applied in
+    /// memory. On failure nothing was durably appended (at worst a torn
+    /// tail that the next open trims) and the sequence is not consumed.
+    pub fn append(&mut self, op: &JournalOp) -> DbResult<u64> {
+        let seq = self.next_seq;
+        let rec = frame(&encode_payload(seq, op));
+        self.vfs
+            .append(&self.path, &rec)
+            .map_err(|e| DbError::Storage(format!("journal append failed: {e}")))?;
+        self.vfs
+            .sync(&self.path)
+            .map_err(|e| DbError::Storage(format!("journal fsync failed: {e}")))?;
+        self.next_seq = seq + 1;
+        Ok(seq)
+    }
+
+    /// Scan the whole journal strictly. Torn tails are tolerated and
+    /// reported; CRC mismatches on complete records are
+    /// [`DbError::Corruption`].
+    pub fn scan(&self) -> DbResult<JournalScan> {
+        let scan = self.scan_lenient()?;
+        match scan.corruption {
+            Some(err) => Err(err),
+            None => Ok(JournalScan {
+                corruption: None,
+                ..scan
+            }),
+        }
+    }
+
+    /// Scan leniently: corruption does not fail the call, it is returned
+    /// in [`JournalScan::corruption`] alongside the valid prefix. I/O
+    /// errors still fail.
+    pub fn scan_lenient(&self) -> DbResult<JournalScan> {
+        let bytes = self
+            .vfs
+            .read(&self.path)
+            .map_err(|e| DbError::Storage(format!("journal read failed: {e}")))?;
+        if bytes.len() < JOURNAL_MAGIC.len() {
+            // A journal too short to hold the magic can only be a torn
+            // initial write; treat the whole file as tail.
+            return Ok(JournalScan {
+                records: Vec::new(),
+                torn_tail_bytes: bytes.len(),
+                corruption: None,
+            });
+        }
+        if &bytes[..JOURNAL_MAGIC.len()] != JOURNAL_MAGIC {
+            return Ok(JournalScan {
+                records: Vec::new(),
+                torn_tail_bytes: 0,
+                corruption: Some(DbError::journal_corruption("bad journal magic")),
+            });
+        }
+        let mut records = Vec::new();
+        let mut pos = JOURNAL_MAGIC.len();
+        while pos < bytes.len() {
+            let remaining = bytes.len() - pos;
+            if remaining < 8 {
+                return Ok(JournalScan {
+                    records,
+                    torn_tail_bytes: remaining,
+                    corruption: None,
+                });
+            }
+            let len = u32::from_le_bytes([
+                bytes[pos],
+                bytes[pos + 1],
+                bytes[pos + 2],
+                bytes[pos + 3],
+            ]) as usize;
+            let crc = u32::from_le_bytes([
+                bytes[pos + 4],
+                bytes[pos + 5],
+                bytes[pos + 6],
+                bytes[pos + 7],
+            ]);
+            if remaining - 8 < len {
+                // Incomplete payload: the append was cut short.
+                return Ok(JournalScan {
+                    records,
+                    torn_tail_bytes: remaining,
+                    corruption: None,
+                });
+            }
+            let payload = &bytes[pos + 8..pos + 8 + len];
+            if crc32(payload) != crc {
+                return Ok(JournalScan {
+                    torn_tail_bytes: 0,
+                    corruption: Some(DbError::journal_corruption(format!(
+                        "record #{} at byte {pos} failed CRC check",
+                        records.len()
+                    ))),
+                    records,
+                });
+            }
+            match decode_payload(payload) {
+                Ok(rec) => records.push(rec),
+                Err(err) => {
+                    return Ok(JournalScan {
+                        records,
+                        torn_tail_bytes: 0,
+                        corruption: Some(err),
+                    })
+                }
+            }
+            pos += 8 + len;
+        }
+        Ok(JournalScan {
+            records,
+            torn_tail_bytes: 0,
+            corruption: None,
+        })
+    }
+
+    /// Rewrite the journal to exactly `records` (used to trim a torn tail
+    /// or a corrupt suffix discovered during recovery). The rewrite is
+    /// atomic: a fresh file is written and synced, then renamed over the
+    /// old journal.
+    pub fn rewrite(&self, records: &[JournalRecord]) -> DbResult<()> {
+        let mut bytes = JOURNAL_MAGIC.to_vec();
+        for rec in records {
+            bytes.extend_from_slice(&frame(&encode_payload(rec.seq, &rec.op)));
+        }
+        let tmp = self.path.with_extension("wal.tmp");
+        self.vfs
+            .write(&tmp, &bytes)
+            .map_err(|e| DbError::Storage(format!("journal rewrite failed: {e}")))?;
+        self.vfs
+            .sync(&tmp)
+            .map_err(|e| DbError::Storage(format!("journal rewrite fsync failed: {e}")))?;
+        self.vfs
+            .rename(&tmp, &self.path)
+            .map_err(|e| DbError::Storage(format!("journal rewrite rename failed: {e}")))?;
+        Ok(())
+    }
+
+    /// Truncate the journal to empty (magic only). Called after a
+    /// checkpoint has durably captured everything the journal recorded.
+    /// Sequence numbers keep counting up — they are never reused.
+    pub fn reset(&self) -> DbResult<()> {
+        self.rewrite(&[])
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::vfs::{FaultMode, FaultVfs};
+
+    fn mem() -> (Arc<FaultVfs>, Arc<dyn Vfs>) {
+        let fs = Arc::new(FaultVfs::new());
+        let dyn_fs: Arc<dyn Vfs> = fs.clone();
+        (fs, dyn_fs)
+    }
+
+    fn sample_ops() -> Vec<JournalOp> {
+        vec![
+            JournalOp::CreateCollection { name: "dblp".into() },
+            JournalOp::Insert {
+                collection: "dblp".into(),
+                xml: "<article><title>TOSS</title></article>".into(),
+            },
+            JournalOp::Replace {
+                collection: "dblp".into(),
+                doc_id: 0,
+                xml: "<article><title>TAX</title></article>".into(),
+            },
+            JournalOp::Remove {
+                collection: "dblp".into(),
+                doc_id: 0,
+            },
+            JournalOp::DropCollection { name: "dblp".into() },
+        ]
+    }
+
+    fn ops_of(scan: &JournalScan) -> Vec<JournalOp> {
+        scan.records.iter().map(|r| r.op.clone()).collect()
+    }
+
+    #[test]
+    fn ops_round_trip_through_encode_decode() {
+        for (i, op) in sample_ops().into_iter().enumerate() {
+            let rec = decode_payload(&encode_payload(i as u64, &op)).unwrap();
+            assert_eq!(rec.seq, i as u64);
+            assert_eq!(rec.op, op);
+        }
+    }
+
+    #[test]
+    fn append_scan_round_trip_with_sequences() {
+        let (_fs, vfs) = mem();
+        let mut j = Journal::open("db.wal", vfs).unwrap();
+        for (i, op) in sample_ops().iter().enumerate() {
+            assert_eq!(j.append(op).unwrap(), i as u64);
+        }
+        let scan = j.scan().unwrap();
+        assert_eq!(ops_of(&scan), sample_ops());
+        assert_eq!(scan.torn_tail_bytes, 0);
+        assert_eq!(
+            scan.records.iter().map(|r| r.seq).collect::<Vec<_>>(),
+            vec![0, 1, 2, 3, 4]
+        );
+    }
+
+    #[test]
+    fn appends_survive_crash_and_seq_continues() {
+        let (fs, vfs) = mem();
+        let mut j = Journal::open("db.wal", vfs.clone()).unwrap();
+        for op in sample_ops() {
+            j.append(&op).unwrap();
+        }
+        fs.crash();
+        let j = Journal::open("db.wal", vfs).unwrap();
+        assert_eq!(ops_of(&j.scan().unwrap()), sample_ops());
+        assert_eq!(j.next_seq(), 5);
+    }
+
+    #[test]
+    fn torn_tail_is_reported_not_fatal() {
+        let (fs, vfs) = mem();
+        let mut j = Journal::open("db.wal", vfs.clone()).unwrap();
+        j.append(&sample_ops()[0]).unwrap();
+        // Tear the second append partway through the record.
+        fs.fail_op(fs.op_count(), FaultMode::Tear { keep: 5 });
+        assert!(j.append(&sample_ops()[1]).is_err());
+        fs.crash();
+        let scan = Journal::open("db.wal", vfs).unwrap().scan().unwrap();
+        assert_eq!(ops_of(&scan), vec![sample_ops()[0].clone()]);
+        assert_eq!(scan.torn_tail_bytes, 5);
+    }
+
+    #[test]
+    fn bit_flip_in_complete_record_is_corruption() {
+        let (fs, vfs) = mem();
+        let mut j = Journal::open("db.wal", vfs.clone()).unwrap();
+        j.append(&sample_ops()[0]).unwrap();
+        j.append(&sample_ops()[1]).unwrap();
+        let mut bytes = vfs.read(Path::new("db.wal")).unwrap();
+        let mid = bytes.len() / 2;
+        bytes[mid] ^= 0x40;
+        fs.corrupt(Path::new("db.wal"), bytes);
+        let err = j.scan().unwrap_err();
+        assert!(
+            matches!(
+                err,
+                DbError::Corruption {
+                    site: crate::error::CorruptionSite::Journal,
+                    ..
+                }
+            ),
+            "got {err:?}"
+        );
+        // Lenient scan surfaces the valid prefix alongside the error.
+        let lenient = j.scan_lenient().unwrap();
+        assert!(lenient.corruption.is_some());
+        assert!(lenient.records.len() < 2);
+    }
+
+    #[test]
+    fn bad_magic_is_corruption() {
+        let (fs, vfs) = mem();
+        fs.corrupt(Path::new("db.wal"), b"NOTAWAL!rest".to_vec());
+        let j = Journal {
+            path: "db.wal".into(),
+            vfs,
+            next_seq: 0,
+        };
+        assert!(matches!(j.scan(), Err(DbError::Corruption { .. })));
+    }
+
+    #[test]
+    fn rewrite_trims_to_given_records() {
+        let (_fs, vfs) = mem();
+        let mut j = Journal::open("db.wal", vfs).unwrap();
+        for op in sample_ops() {
+            j.append(&op).unwrap();
+        }
+        let scan = j.scan().unwrap();
+        j.rewrite(&scan.records[..2]).unwrap();
+        assert_eq!(ops_of(&j.scan().unwrap()), sample_ops()[..2]);
+        j.reset().unwrap();
+        assert!(j.scan().unwrap().records.is_empty());
+    }
+
+    #[test]
+    fn reset_survives_crash_and_seq_not_reused() {
+        let (fs, vfs) = mem();
+        let mut j = Journal::open("db.wal", vfs.clone()).unwrap();
+        j.append(&sample_ops()[0]).unwrap();
+        j.reset().unwrap();
+        // In-process the journal still hands out fresh sequence numbers.
+        assert_eq!(j.append(&sample_ops()[4]).unwrap(), 1);
+        fs.crash();
+        let scan = Journal::open("db.wal", vfs).unwrap().scan().unwrap();
+        assert_eq!(scan.records.len(), 1);
+        assert_eq!(scan.records[0].seq, 1);
+    }
+
+    #[test]
+    fn failed_append_leaves_journal_unchanged() {
+        let (fs, vfs) = mem();
+        let mut j = Journal::open("db.wal", vfs.clone()).unwrap();
+        j.append(&sample_ops()[0]).unwrap();
+        fs.fail_op(fs.op_count(), FaultMode::Error);
+        assert!(j.append(&sample_ops()[1]).is_err());
+        fs.clear_fault();
+        assert_eq!(ops_of(&j.scan().unwrap()), vec![sample_ops()[0].clone()]);
+        // The unconsumed sequence number is reused by the next append.
+        assert_eq!(j.append(&sample_ops()[1]).unwrap(), 1);
+    }
+}

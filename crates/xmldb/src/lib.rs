@@ -18,21 +18,37 @@
 //!   This is the query surface the TOSS Query Executor's rewriter emits.
 //! * [`index`] — tag and (tag, content) inverted indexes used to accelerate
 //!   descendant-axis lookups.
-//! * [`storage`] — JSON snapshot persistence for databases.
+//! * [`storage`] — checksummed JSON snapshots, written atomically
+//!   (temp file + fsync + rename).
+//! * [`journal`] / [`durable`] — a write-ahead journal and the
+//!   [`durable::DurableDatabase`] wrapper giving crash-safe persistence:
+//!   mutations are logged and fsynced before they apply, checkpoints fold
+//!   the journal into a fresh snapshot, and recovery replays the journal
+//!   over the newest valid snapshot.
+//! * [`vfs`] — the filesystem abstraction ([`vfs::StdVfs`] for real disks,
+//!   [`vfs::FaultVfs`] for deterministic crash and fault injection in
+//!   tests).
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
 pub mod collection;
+pub mod crc32;
 pub mod database;
+pub mod durable;
 pub mod error;
 pub mod index;
+pub mod journal;
 pub mod parser;
 pub mod storage;
+pub mod vfs;
 pub mod xpath;
 
 pub use collection::{Collection, DocumentId};
 pub use database::{Database, DatabaseConfig};
-pub use error::{DbError, DbResult};
+pub use durable::{DurableDatabase, RecoveryReport};
+pub use error::{CorruptionSite, DbError, DbResult};
+pub use journal::{Journal, JournalOp};
 pub use parser::{parse_document, parse_forest};
+pub use vfs::{FaultMode, FaultVfs, StdVfs, Vfs};
 pub use xpath::{NodeRef, XPath};

@@ -1,0 +1,420 @@
+//! Filesystem abstraction used by the durability layer.
+//!
+//! All snapshot and journal I/O goes through a [`Vfs`] so that crash
+//! behaviour can be tested deterministically: [`StdVfs`] maps straight to
+//! `std::fs`, while [`FaultVfs`] is an in-memory filesystem that models
+//! the durable/volatile split of a real disk (written bytes are *volatile*
+//! until `sync`) and can inject a failure — or a torn write — at the Nth
+//! mutating operation.
+//!
+//! The trait deliberately exposes low-level primitives (`write`, `append`,
+//! `sync`, `rename`) rather than a single "atomically persist" call: the
+//! atomic-snapshot and write-ahead protocols are implemented *above* the
+//! trait, so every step of those protocols is a distinct injection point.
+
+use std::collections::BTreeMap;
+use std::io;
+use std::path::{Path, PathBuf};
+use std::sync::Mutex;
+
+/// Filesystem operations needed by the journal and snapshot code.
+///
+/// `write` and `append` are **not** durable until a matching [`Vfs::sync`];
+/// `rename` is atomic and considered durably recorded once it returns
+/// (implementations must sync the parent directory where that matters).
+pub trait Vfs: Send + Sync {
+    /// Read a file's current contents. `NotFound` if it does not exist.
+    fn read(&self, path: &Path) -> io::Result<Vec<u8>>;
+    /// Create or truncate `path` and write `bytes` (volatile until synced).
+    fn write(&self, path: &Path, bytes: &[u8]) -> io::Result<()>;
+    /// Append `bytes` to `path`, creating it if absent (volatile until synced).
+    fn append(&self, path: &Path, bytes: &[u8]) -> io::Result<()>;
+    /// Make all previously written bytes of `path` durable (fsync).
+    fn sync(&self, path: &Path) -> io::Result<()>;
+    /// Atomically rename `from` onto `to`, replacing any existing file.
+    fn rename(&self, from: &Path, to: &Path) -> io::Result<()>;
+    /// Delete a file. Succeeds silently if it does not exist.
+    fn remove(&self, path: &Path) -> io::Result<()>;
+    /// Whether a file exists.
+    fn exists(&self, path: &Path) -> bool;
+}
+
+/// The real filesystem.
+#[derive(Debug, Default, Clone, Copy)]
+pub struct StdVfs;
+
+impl StdVfs {
+    fn sync_parent_dir(path: &Path) {
+        // Make the rename itself durable. Failures are deliberately
+        // ignored: directory fsync is not available on every platform,
+        // and the rename has already happened.
+        if let Some(dir) = path.parent() {
+            if let Ok(d) = std::fs::File::open(dir) {
+                let _ = d.sync_all();
+            }
+        }
+    }
+}
+
+impl Vfs for StdVfs {
+    fn read(&self, path: &Path) -> io::Result<Vec<u8>> {
+        std::fs::read(path)
+    }
+
+    fn write(&self, path: &Path, bytes: &[u8]) -> io::Result<()> {
+        std::fs::write(path, bytes)
+    }
+
+    fn append(&self, path: &Path, bytes: &[u8]) -> io::Result<()> {
+        use std::io::Write as _;
+        let mut f = std::fs::OpenOptions::new()
+            .create(true)
+            .append(true)
+            .open(path)?;
+        f.write_all(bytes)
+    }
+
+    fn sync(&self, path: &Path) -> io::Result<()> {
+        // fsync via a fresh read handle: Linux permits fsync on an
+        // O_RDONLY descriptor, and this keeps the trait stateless.
+        std::fs::File::open(path)?.sync_all()
+    }
+
+    fn rename(&self, from: &Path, to: &Path) -> io::Result<()> {
+        std::fs::rename(from, to)?;
+        Self::sync_parent_dir(to);
+        Ok(())
+    }
+
+    fn remove(&self, path: &Path) -> io::Result<()> {
+        match std::fs::remove_file(path) {
+            Err(e) if e.kind() == io::ErrorKind::NotFound => Ok(()),
+            other => other,
+        }
+    }
+
+    fn exists(&self, path: &Path) -> bool {
+        path.exists()
+    }
+}
+
+/// What an injected fault does when it fires.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum FaultMode {
+    /// The operation fails with an I/O error and has no effect.
+    Error,
+    /// For `write`/`append`: only the first `keep` bytes of the buffer
+    /// reach the disk — and are treated as durable, as a crashed flush
+    /// would leave them — before the error is returned. For any other
+    /// operation this behaves like [`FaultMode::Error`].
+    Tear {
+        /// How many bytes of the buffer survive.
+        keep: usize,
+    },
+}
+
+#[derive(Debug, Clone, Default)]
+struct FileState {
+    /// What a reader sees right now.
+    content: Vec<u8>,
+    /// What survives a crash. `None` means the file was never synced and
+    /// vanishes entirely on crash.
+    durable: Option<Vec<u8>>,
+}
+
+#[derive(Debug, Default)]
+struct FaultState {
+    files: BTreeMap<PathBuf, FileState>,
+    /// Count of mutating operations performed so far.
+    ops: usize,
+    /// Fire `1`-shot fault when `ops` reaches this value.
+    fault_at: Option<(usize, FaultMode)>,
+}
+
+/// An in-memory filesystem with crash semantics and fault injection.
+///
+/// Mutating operations (`write`, `append`, `sync`, `rename`, `remove`) are
+/// numbered from 0. [`FaultVfs::fail_op`] arms a one-shot fault at a given
+/// operation number; [`FaultVfs::crash`] simulates power loss, discarding
+/// every byte that was not made durable by a `sync` (or carried through an
+/// atomic `rename` of a synced file).
+#[derive(Debug, Default)]
+pub struct FaultVfs {
+    state: Mutex<FaultState>,
+}
+
+impl FaultVfs {
+    /// A fresh, empty in-memory filesystem with no armed fault.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Arm a one-shot fault: the `op`-th mutating operation (0-based,
+    /// counted from now on the absolute counter) fails with `mode`.
+    pub fn fail_op(&self, op: usize, mode: FaultMode) {
+        self.lock().fault_at = Some((op, mode));
+    }
+
+    /// Disarm any pending fault.
+    pub fn clear_fault(&self) {
+        self.lock().fault_at = None;
+    }
+
+    /// Number of mutating operations performed so far.
+    pub fn op_count(&self) -> usize {
+        self.lock().ops
+    }
+
+    /// Simulate power loss: volatile bytes are discarded, never-synced
+    /// files disappear. Any armed fault is cleared (the "process" that
+    /// armed it is gone).
+    pub fn crash(&self) {
+        let mut st = self.lock();
+        st.fault_at = None;
+        let mut survivors = BTreeMap::new();
+        for (path, file) in std::mem::take(&mut st.files) {
+            if let Some(durable) = file.durable {
+                survivors.insert(
+                    path,
+                    FileState {
+                        content: durable.clone(),
+                        durable: Some(durable),
+                    },
+                );
+            }
+        }
+        st.files = survivors;
+    }
+
+    /// Directly overwrite a file's content *and* durable image — used by
+    /// tests to model on-disk corruption (bit flips, truncated tails).
+    pub fn corrupt(&self, path: &Path, bytes: Vec<u8>) {
+        let mut st = self.lock();
+        st.files.insert(
+            path.to_path_buf(),
+            FileState {
+                content: bytes.clone(),
+                durable: Some(bytes),
+            },
+        );
+    }
+
+    fn lock(&self) -> std::sync::MutexGuard<'_, FaultState> {
+        // A poisoned lock only means another test thread panicked; the
+        // map itself is still structurally sound.
+        self.state.lock().unwrap_or_else(|e| e.into_inner())
+    }
+
+    /// Bump the op counter; if the armed fault fires, return its mode.
+    fn step(st: &mut FaultState) -> Option<FaultMode> {
+        let op = st.ops;
+        st.ops += 1;
+        match st.fault_at {
+            Some((at, mode)) if at == op => {
+                st.fault_at = None;
+                Some(mode)
+            }
+            _ => None,
+        }
+    }
+
+    fn injected(op: usize) -> io::Error {
+        io::Error::other(format!("injected fault at op {op}"))
+    }
+}
+
+impl Vfs for FaultVfs {
+    fn read(&self, path: &Path) -> io::Result<Vec<u8>> {
+        let st = self.lock();
+        st.files
+            .get(path)
+            .map(|f| f.content.clone())
+            .ok_or_else(|| io::Error::new(io::ErrorKind::NotFound, "no such file"))
+    }
+
+    fn write(&self, path: &Path, bytes: &[u8]) -> io::Result<()> {
+        let mut st = self.lock();
+        let op = st.ops;
+        match Self::step(&mut st) {
+            Some(FaultMode::Error) => Err(Self::injected(op)),
+            Some(FaultMode::Tear { keep }) => {
+                let kept = bytes[..keep.min(bytes.len())].to_vec();
+                st.files.insert(
+                    path.to_path_buf(),
+                    FileState {
+                        content: kept.clone(),
+                        durable: Some(kept),
+                    },
+                );
+                Err(Self::injected(op))
+            }
+            None => {
+                let file = st.files.entry(path.to_path_buf()).or_default();
+                file.content = bytes.to_vec();
+                Ok(())
+            }
+        }
+    }
+
+    fn append(&self, path: &Path, bytes: &[u8]) -> io::Result<()> {
+        let mut st = self.lock();
+        let op = st.ops;
+        match Self::step(&mut st) {
+            Some(FaultMode::Error) => Err(Self::injected(op)),
+            Some(FaultMode::Tear { keep }) => {
+                let file = st.files.entry(path.to_path_buf()).or_default();
+                file.content.extend_from_slice(&bytes[..keep.min(bytes.len())]);
+                file.durable = Some(file.content.clone());
+                Err(Self::injected(op))
+            }
+            None => {
+                let file = st.files.entry(path.to_path_buf()).or_default();
+                file.content.extend_from_slice(bytes);
+                Ok(())
+            }
+        }
+    }
+
+    fn sync(&self, path: &Path) -> io::Result<()> {
+        let mut st = self.lock();
+        let op = st.ops;
+        if Self::step(&mut st).is_some() {
+            return Err(Self::injected(op));
+        }
+        match st.files.get_mut(path) {
+            Some(file) => {
+                file.durable = Some(file.content.clone());
+                Ok(())
+            }
+            None => Err(io::Error::new(io::ErrorKind::NotFound, "no such file")),
+        }
+    }
+
+    fn rename(&self, from: &Path, to: &Path) -> io::Result<()> {
+        let mut st = self.lock();
+        let op = st.ops;
+        if Self::step(&mut st).is_some() {
+            return Err(Self::injected(op));
+        }
+        match st.files.remove(from) {
+            Some(file) => {
+                // The rename is durably recorded, but the *data* keeps its
+                // synced/unsynced status: renaming a never-synced file and
+                // crashing loses it — exactly the bug an atomic-save
+                // protocol that skips fsync would have.
+                st.files.insert(to.to_path_buf(), file);
+                Ok(())
+            }
+            None => Err(io::Error::new(io::ErrorKind::NotFound, "no such file")),
+        }
+    }
+
+    fn remove(&self, path: &Path) -> io::Result<()> {
+        let mut st = self.lock();
+        let op = st.ops;
+        if Self::step(&mut st).is_some() {
+            return Err(Self::injected(op));
+        }
+        st.files.remove(path);
+        Ok(())
+    }
+
+    fn exists(&self, path: &Path) -> bool {
+        self.lock().files.contains_key(path)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn p(s: &str) -> PathBuf {
+        PathBuf::from(s)
+    }
+
+    #[test]
+    fn unsynced_writes_vanish_on_crash() {
+        let fs = FaultVfs::new();
+        fs.write(&p("a"), b"hello").unwrap();
+        assert_eq!(fs.read(&p("a")).unwrap(), b"hello");
+        fs.crash();
+        assert!(!fs.exists(&p("a")));
+    }
+
+    #[test]
+    fn synced_writes_survive_crash() {
+        let fs = FaultVfs::new();
+        fs.write(&p("a"), b"hello").unwrap();
+        fs.sync(&p("a")).unwrap();
+        fs.append(&p("a"), b" world").unwrap();
+        fs.crash();
+        assert_eq!(fs.read(&p("a")).unwrap(), b"hello");
+    }
+
+    #[test]
+    fn rename_of_unsynced_file_is_lost_on_crash() {
+        let fs = FaultVfs::new();
+        fs.write(&p("tmp"), b"data").unwrap();
+        fs.rename(&p("tmp"), &p("final")).unwrap();
+        fs.crash();
+        assert!(!fs.exists(&p("final")));
+        assert!(!fs.exists(&p("tmp")));
+    }
+
+    #[test]
+    fn rename_of_synced_file_survives_crash() {
+        let fs = FaultVfs::new();
+        fs.write(&p("tmp"), b"data").unwrap();
+        fs.sync(&p("tmp")).unwrap();
+        fs.rename(&p("tmp"), &p("final")).unwrap();
+        fs.crash();
+        assert_eq!(fs.read(&p("final")).unwrap(), b"data");
+        assert!(!fs.exists(&p("tmp")));
+    }
+
+    #[test]
+    fn fault_fires_once_at_exact_op() {
+        let fs = FaultVfs::new();
+        fs.write(&p("a"), b"1").unwrap(); // op 0
+        fs.fail_op(1, FaultMode::Error);
+        assert!(fs.write(&p("a"), b"2").is_err()); // op 1 fails
+        assert_eq!(fs.read(&p("a")).unwrap(), b"1", "failed op had no effect");
+        fs.write(&p("a"), b"3").unwrap(); // op 2 fine again
+        assert_eq!(fs.op_count(), 3);
+    }
+
+    #[test]
+    fn torn_append_keeps_prefix_durably() {
+        let fs = FaultVfs::new();
+        fs.append(&p("log"), b"aaaa").unwrap();
+        fs.sync(&p("log")).unwrap();
+        fs.fail_op(2, FaultMode::Tear { keep: 2 });
+        assert!(fs.append(&p("log"), b"bbbb").is_err());
+        fs.crash();
+        assert_eq!(fs.read(&p("log")).unwrap(), b"aaaabb");
+    }
+
+    #[test]
+    fn remove_missing_is_error_free_on_std_only() {
+        // FaultVfs::remove also tolerates missing files.
+        let fs = FaultVfs::new();
+        fs.remove(&p("nope")).unwrap();
+    }
+
+    #[test]
+    fn std_vfs_round_trip() {
+        let dir = std::env::temp_dir().join("toss-vfs-test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let file = dir.join("f.bin");
+        let fs = StdVfs;
+        fs.write(&file, b"abc").unwrap();
+        fs.append(&file, b"def").unwrap();
+        fs.sync(&file).unwrap();
+        assert_eq!(fs.read(&file).unwrap(), b"abcdef");
+        let dst = dir.join("g.bin");
+        fs.rename(&file, &dst).unwrap();
+        assert!(fs.exists(&dst) && !fs.exists(&file));
+        fs.remove(&dst).unwrap();
+        fs.remove(&dst).unwrap(); // second remove is a no-op
+    }
+}

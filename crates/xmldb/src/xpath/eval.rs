@@ -184,7 +184,7 @@ fn value_matches(tree: &Tree, node: NodeId, v: &ValueExpr, f: impl Fn(&str) -> b
         ValueExpr::Attr(name) => tree
             .data(node)
             .ok()
-            .and_then(|d| d.attr_value(name).map(|a| f(a)))
+            .and_then(|d| d.attr_value(name).map(&f))
             .unwrap_or(false),
         ValueExpr::Rel(p) => eval_rel_path(tree, node, p)
             .into_iter()

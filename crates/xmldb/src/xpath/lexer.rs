@@ -130,7 +130,7 @@ pub fn tokenize(input: &str) -> DbResult<Vec<Token>> {
                     i += 1;
                 }
                 let n: usize = std::str::from_utf8(&bytes[start..i])
-                    .expect("digits are UTF-8")
+                    .map_err(|_| DbError::XPathSyntax("number is not valid UTF-8".into()))?
                     .parse()
                     .map_err(|_| DbError::XPathSyntax("integer overflow".into()))?;
                 out.push(Token::Integer(n));

@@ -1,0 +1,24 @@
+#!/usr/bin/env bash
+# Repository verification gate: build, full test suite, and lints.
+#
+# This is the same sequence CI runs (.github/workflows/ci.yml); run it
+# locally before pushing. Everything must pass with zero warnings from
+# clippy on the durability-critical crate.
+
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+echo "==> cargo build --workspace --release"
+cargo build --workspace --release
+
+echo "==> cargo test --workspace -q"
+cargo test --workspace -q
+
+if cargo clippy --version >/dev/null 2>&1; then
+    echo "==> cargo clippy -p toss-xmldb --all-targets -- -D warnings"
+    cargo clippy -p toss-xmldb --all-targets -- -D warnings
+else
+    echo "==> clippy not installed; skipping lint step"
+fi
+
+echo "==> verify OK"

@@ -1,0 +1,200 @@
+//! Offline stand-in for the `criterion` crate.
+//!
+//! Supplies the API subset the workspace benches use (`Criterion`,
+//! `benchmark_group`, `bench_function`, `bench_with_input`, `BenchmarkId`,
+//! `black_box`, `criterion_group!`, `criterion_main!`). Under `cargo bench`
+//! each benchmark body is timed over a small fixed number of iterations and
+//! the mean is printed; when the harness is invoked without the `--bench`
+//! flag (e.g. by `cargo test`, which builds and runs `harness = false`
+//! bench targets), everything is skipped so test runs stay fast.
+
+#![forbid(unsafe_code)]
+
+use std::fmt::Display;
+use std::time::Instant;
+
+/// Prevent the optimizer from discarding a value.
+pub fn black_box<T>(x: T) -> T {
+    std::hint::black_box(x)
+}
+
+/// A benchmark identifier: function name + parameter.
+pub struct BenchmarkId {
+    name: String,
+}
+
+impl BenchmarkId {
+    /// Identifier for `name` parameterized by `param`.
+    pub fn new(name: impl Into<String>, param: impl Display) -> Self {
+        BenchmarkId {
+            name: format!("{}/{}", name.into(), param),
+        }
+    }
+}
+
+/// Per-iteration timing driver passed to benchmark closures.
+pub struct Bencher {
+    iters: u64,
+    label: String,
+}
+
+impl Bencher {
+    /// Time `f` over a fixed number of iterations and print the mean.
+    pub fn iter<O, F: FnMut() -> O>(&mut self, mut f: F) {
+        // warm-up
+        black_box(f());
+        let start = Instant::now();
+        for _ in 0..self.iters {
+            black_box(f());
+        }
+        let per = start.elapsed() / self.iters as u32;
+        println!("bench {:<50} {:>12.3?}/iter", self.label, per);
+    }
+}
+
+/// Top-level benchmark registry.
+pub struct Criterion {
+    enabled: bool,
+    sample_size: u64,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        // Cargo invokes `harness = false` bench targets with `--bench` for
+        // `cargo bench` but without it for `cargo test`.
+        let enabled = std::env::args().any(|a| a == "--bench");
+        Criterion {
+            enabled,
+            sample_size: 10,
+        }
+    }
+}
+
+impl Criterion {
+    /// Open a named group of related benchmarks.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            parent: self,
+            name: name.into(),
+            sample_size: 10,
+        }
+    }
+
+    /// Run a single benchmark.
+    pub fn bench_function<F: FnMut(&mut Bencher)>(&mut self, name: &str, mut f: F) -> &mut Self {
+        if self.enabled {
+            let mut b = Bencher {
+                iters: self.sample_size,
+                label: name.to_string(),
+            };
+            f(&mut b);
+        }
+        self
+    }
+}
+
+/// A named group of benchmarks sharing settings.
+pub struct BenchmarkGroup<'a> {
+    parent: &'a mut Criterion,
+    name: String,
+    sample_size: u64,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Set the iteration count used per benchmark.
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.sample_size = n.max(1) as u64;
+        self
+    }
+
+    /// Run a benchmark in this group.
+    pub fn bench_function<F: FnMut(&mut Bencher)>(&mut self, name: &str, mut f: F) -> &mut Self {
+        if self.parent.enabled {
+            let mut b = Bencher {
+                iters: self.sample_size,
+                label: format!("{}/{}", self.name, name),
+            };
+            f(&mut b);
+        }
+        self
+    }
+
+    /// Run a benchmark parameterized by `input`.
+    pub fn bench_with_input<I: ?Sized, F: FnMut(&mut Bencher, &I)>(
+        &mut self,
+        id: BenchmarkId,
+        input: &I,
+        mut f: F,
+    ) -> &mut Self {
+        if self.parent.enabled {
+            let mut b = Bencher {
+                iters: self.sample_size,
+                label: format!("{}/{}", self.name, id.name),
+            };
+            f(&mut b, input);
+        }
+        self
+    }
+
+    /// Close the group.
+    pub fn finish(self) {}
+}
+
+/// Bundle benchmark functions into a group runner.
+#[macro_export]
+macro_rules! criterion_group {
+    ($name:ident, $($f:path),+ $(,)?) => {
+        fn $name() {
+            let mut c = $crate::Criterion::default();
+            $( $f(&mut c); )+
+        }
+    };
+}
+
+/// Entry point running one or more groups.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $( $group(); )+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn disabled_outside_cargo_bench_and_runs_nothing() {
+        // The test harness is not invoked with `--bench`, so benches are
+        // skipped entirely.
+        let mut c = Criterion::default();
+        assert!(!c.enabled);
+        let mut ran = false;
+        c.bench_function("noop", |b| {
+            ran = true;
+            b.iter(|| 1 + 1)
+        });
+        let mut g = c.benchmark_group("g");
+        g.sample_size(5)
+            .bench_with_input(BenchmarkId::new("x", 3), &3, |b, &n| {
+                ran = true;
+                b.iter(|| n * 2)
+            });
+        g.finish();
+        assert!(!ran);
+    }
+
+    #[test]
+    fn bencher_runs_when_enabled() {
+        let mut c = Criterion {
+            enabled: true,
+            sample_size: 3,
+        };
+        let mut count = 0u32;
+        c.bench_function("counting", |b| b.iter(|| count += 1));
+        // 1 warm-up + 10 timed iterations (default group sample size)
+        assert!(count > 0);
+    }
+}

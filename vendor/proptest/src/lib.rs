@@ -1,0 +1,512 @@
+//! Offline stand-in for the `proptest` crate.
+//!
+//! The build environment cannot reach crates.io, so this vendored crate
+//! reimplements the subset of proptest the workspace uses: the `proptest!`
+//! macro (with `#![proptest_config]`), `prop_assert!` / `prop_assert_eq!`,
+//! `Strategy` + `prop_map`, integer and float range strategies, tuple
+//! strategies, `proptest::collection::vec`, and `proptest::string::
+//! string_regex` for the small regex subset the tests rely on
+//! (`[chars]`/`[a-z]` classes, `.`, literals, `{m,n}` repetition).
+//!
+//! Cases are generated from a deterministic per-test seed, so failures are
+//! reproducible; there is no shrinking — the failing inputs are printed
+//! instead.
+
+#![forbid(unsafe_code)]
+
+/// Deterministic RNG used to generate test cases (SplitMix64).
+#[derive(Debug, Clone)]
+pub struct TestRng {
+    state: u64,
+}
+
+impl TestRng {
+    /// Seed from an arbitrary string (test name), deterministically.
+    pub fn from_name(name: &str) -> Self {
+        let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+        for b in name.bytes() {
+            h ^= b as u64;
+            h = h.wrapping_mul(0x1000_0000_01b3);
+        }
+        TestRng { state: h }
+    }
+
+    /// Next 64 random bits.
+    pub fn next_u64(&mut self) -> u64 {
+        self.state = self.state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+        let mut z = self.state;
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        z ^ (z >> 31)
+    }
+
+    /// Uniform draw in `[lo, hi)`.
+    pub fn usize_in(&mut self, lo: usize, hi: usize) -> usize {
+        assert!(lo < hi, "empty range");
+        lo + (self.next_u64() as usize) % (hi - lo)
+    }
+
+    /// Uniform draw in `[0, 1)`.
+    pub fn unit_f64(&mut self) -> f64 {
+        (self.next_u64() >> 11) as f64 / (1u64 << 53) as f64
+    }
+}
+
+/// Per-test configuration (`with_cases` only).
+#[derive(Debug, Clone)]
+pub struct ProptestConfig {
+    /// Number of random cases to run.
+    pub cases: u32,
+}
+
+impl ProptestConfig {
+    /// Run `cases` random cases.
+    pub fn with_cases(cases: u32) -> Self {
+        ProptestConfig { cases }
+    }
+}
+
+impl Default for ProptestConfig {
+    fn default() -> Self {
+        ProptestConfig { cases: 64 }
+    }
+}
+
+/// A generator of test-case values.
+pub trait Strategy {
+    /// The generated type.
+    type Value: std::fmt::Debug;
+
+    /// Generate one value.
+    fn generate(&self, rng: &mut TestRng) -> Self::Value;
+
+    /// Map generated values through `f`.
+    fn prop_map<O: std::fmt::Debug, F: Fn(Self::Value) -> O>(self, f: F) -> Map<Self, F>
+    where
+        Self: Sized,
+    {
+        Map { inner: self, f }
+    }
+}
+
+/// Strategy produced by [`Strategy::prop_map`].
+pub struct Map<S, F> {
+    inner: S,
+    f: F,
+}
+
+impl<S: Strategy, O: std::fmt::Debug, F: Fn(S::Value) -> O> Strategy for Map<S, F> {
+    type Value = O;
+    fn generate(&self, rng: &mut TestRng) -> O {
+        (self.f)(self.inner.generate(rng))
+    }
+}
+
+macro_rules! impl_int_range_strategy {
+    ($($t:ty),*) => {$(
+        impl Strategy for std::ops::Range<$t> {
+            type Value = $t;
+            fn generate(&self, rng: &mut TestRng) -> $t {
+                assert!(self.start < self.end, "empty range strategy");
+                let span = (self.end as i128 - self.start as i128) as u128;
+                let v = (rng.next_u64() as u128) % span;
+                (self.start as i128 + v as i128) as $t
+            }
+        }
+        impl Strategy for std::ops::RangeInclusive<$t> {
+            type Value = $t;
+            fn generate(&self, rng: &mut TestRng) -> $t {
+                let (lo, hi) = (*self.start(), *self.end());
+                assert!(lo <= hi, "empty range strategy");
+                let span = (hi as i128 - lo as i128) as u128 + 1;
+                let v = (rng.next_u64() as u128) % span;
+                (lo as i128 + v as i128) as $t
+            }
+        }
+    )*};
+}
+
+impl_int_range_strategy!(usize, u64, u32, u16, u8, isize, i64, i32, i16, i8);
+
+impl Strategy for std::ops::Range<f64> {
+    type Value = f64;
+    fn generate(&self, rng: &mut TestRng) -> f64 {
+        self.start + rng.unit_f64() * (self.end - self.start)
+    }
+}
+
+impl<A: Strategy, B: Strategy> Strategy for (A, B) {
+    type Value = (A::Value, B::Value);
+    fn generate(&self, rng: &mut TestRng) -> Self::Value {
+        (self.0.generate(rng), self.1.generate(rng))
+    }
+}
+
+impl<A: Strategy, B: Strategy, C: Strategy> Strategy for (A, B, C) {
+    type Value = (A::Value, B::Value, C::Value);
+    fn generate(&self, rng: &mut TestRng) -> Self::Value {
+        (self.0.generate(rng), self.1.generate(rng), self.2.generate(rng))
+    }
+}
+
+impl<A: Strategy, B: Strategy, C: Strategy, D: Strategy> Strategy for (A, B, C, D) {
+    type Value = (A::Value, B::Value, C::Value, D::Value);
+    fn generate(&self, rng: &mut TestRng) -> Self::Value {
+        (
+            self.0.generate(rng),
+            self.1.generate(rng),
+            self.2.generate(rng),
+            self.3.generate(rng),
+        )
+    }
+}
+
+/// String literals act as regex strategies, as in real proptest.
+impl Strategy for &'static str {
+    type Value = String;
+    fn generate(&self, rng: &mut TestRng) -> String {
+        string::compile(self)
+            .unwrap_or_else(|e| panic!("invalid regex strategy `{self}`: {e:?}"))
+            .generate(rng)
+    }
+}
+
+/// Collection strategies (`vec` only).
+pub mod collection {
+    use super::{Strategy, TestRng};
+
+    /// Strategy for vectors whose length is drawn from `len`.
+    pub struct VecStrategy<S> {
+        elem: S,
+        lo: usize,
+        hi: usize,
+    }
+
+    /// `vec(elem, min..max)` — vectors of `elem` with length in the range.
+    pub fn vec<S: Strategy>(elem: S, len: std::ops::Range<usize>) -> VecStrategy<S> {
+        VecStrategy { elem, lo: len.start, hi: len.end }
+    }
+
+    impl<S: Strategy> Strategy for VecStrategy<S> {
+        type Value = Vec<S::Value>;
+        fn generate(&self, rng: &mut TestRng) -> Vec<S::Value> {
+            let n = if self.lo < self.hi { rng.usize_in(self.lo, self.hi) } else { self.lo };
+            (0..n).map(|_| self.elem.generate(rng)).collect()
+        }
+    }
+}
+
+/// String strategies (`string_regex` only).
+pub mod string {
+    use super::{Strategy, TestRng};
+
+    /// Error from compiling an unsupported/invalid pattern.
+    #[derive(Debug, Clone, PartialEq)]
+    pub struct RegexError(pub String);
+
+    /// One regex atom plus its repetition bounds.
+    #[derive(Debug, Clone)]
+    struct Piece {
+        /// Candidate characters (uniformly drawn).
+        chars: Vec<char>,
+        min: usize,
+        max: usize,
+    }
+
+    /// A compiled generator for the supported regex subset.
+    #[derive(Debug, Clone)]
+    pub struct RegexGeneratorStrategy {
+        pieces: Vec<Piece>,
+    }
+
+    impl Strategy for RegexGeneratorStrategy {
+        type Value = String;
+        fn generate(&self, rng: &mut TestRng) -> String {
+            let mut out = String::new();
+            for p in &self.pieces {
+                let n = if p.min < p.max {
+                    p.min + (rng.next_u64() as usize) % (p.max - p.min + 1)
+                } else {
+                    p.min
+                };
+                for _ in 0..n {
+                    let c = p.chars[(rng.next_u64() as usize) % p.chars.len()];
+                    out.push(c);
+                }
+            }
+            out
+        }
+    }
+
+    /// `.` draws from printable ASCII plus a few multibyte characters, so
+    /// "any char" patterns still exercise UTF-8 handling.
+    fn any_chars() -> Vec<char> {
+        let mut v: Vec<char> = (0x20u8..0x7f).map(|b| b as char).collect();
+        v.extend(['é', 'Ł', '→', '漢', '\t']);
+        v
+    }
+
+    /// Compile `pattern`; supports `[...]` classes with ranges, `.`,
+    /// literal characters, and `{m}` / `{m,n}` repetition.
+    pub fn compile(pattern: &str) -> Result<RegexGeneratorStrategy, RegexError> {
+        let chars: Vec<char> = pattern.chars().collect();
+        let mut pieces = Vec::new();
+        let mut i = 0;
+        while i < chars.len() {
+            let set: Vec<char> = match chars[i] {
+                '[' => {
+                    let close = chars[i + 1..]
+                        .iter()
+                        .position(|&c| c == ']')
+                        .ok_or_else(|| RegexError("unclosed `[`".into()))?;
+                    let inner = &chars[i + 1..i + 1 + close];
+                    i += close + 2;
+                    let mut set = Vec::new();
+                    let mut j = 0;
+                    while j < inner.len() {
+                        if j + 2 < inner.len() && inner[j + 1] == '-' {
+                            let (lo, hi) = (inner[j] as u32, inner[j + 2] as u32);
+                            if lo > hi {
+                                return Err(RegexError("reversed class range".into()));
+                            }
+                            set.extend((lo..=hi).filter_map(char::from_u32));
+                            j += 3;
+                        } else {
+                            set.push(inner[j]);
+                            j += 1;
+                        }
+                    }
+                    if set.is_empty() {
+                        return Err(RegexError("empty character class".into()));
+                    }
+                    set
+                }
+                '.' => {
+                    i += 1;
+                    any_chars()
+                }
+                '\\' => {
+                    let c = *chars
+                        .get(i + 1)
+                        .ok_or_else(|| RegexError("dangling escape".into()))?;
+                    i += 2;
+                    vec![c]
+                }
+                c => {
+                    i += 1;
+                    vec![c]
+                }
+            };
+            // optional {m} / {m,n}
+            let (min, max) = if i < chars.len() && chars[i] == '{' {
+                let close = chars[i + 1..]
+                    .iter()
+                    .position(|&c| c == '}')
+                    .ok_or_else(|| RegexError("unclosed `{`".into()))?;
+                let body: String = chars[i + 1..i + 1 + close].iter().collect();
+                i += close + 2;
+                let parse = |s: &str| {
+                    s.trim()
+                        .parse::<usize>()
+                        .map_err(|_| RegexError(format!("bad repetition `{body}`")))
+                };
+                match body.split_once(',') {
+                    Some((lo, hi)) => (parse(lo)?, parse(hi)?),
+                    None => {
+                        let n = parse(&body)?;
+                        (n, n)
+                    }
+                }
+            } else if i < chars.len() && (chars[i] == '*' || chars[i] == '+' || chars[i] == '?') {
+                let q = chars[i];
+                i += 1;
+                match q {
+                    '*' => (0, 8),
+                    '+' => (1, 8),
+                    _ => (0, 1),
+                }
+            } else {
+                (1, 1)
+            };
+            if min > max {
+                return Err(RegexError("reversed repetition".into()));
+            }
+            pieces.push(Piece { chars: set, min, max });
+        }
+        Ok(RegexGeneratorStrategy { pieces })
+    }
+
+    /// Compile a regex pattern into a string strategy.
+    pub fn string_regex(pattern: &str) -> Result<RegexGeneratorStrategy, RegexError> {
+        compile(pattern)
+    }
+}
+
+/// The usual glob import, mirroring `proptest::prelude`.
+pub mod prelude {
+    pub use crate::{
+        prop_assert, prop_assert_eq, prop_assert_ne, proptest, ProptestConfig, Strategy,
+    };
+}
+
+/// Assert a condition inside a `proptest!` body.
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr) => {
+        if !$cond {
+            return ::std::result::Result::Err(::std::format!(
+                "assertion failed: {}",
+                ::std::stringify!($cond)
+            ));
+        }
+    };
+    ($cond:expr, $($fmt:tt)+) => {
+        if !$cond {
+            return ::std::result::Result::Err(::std::format!($($fmt)+));
+        }
+    };
+}
+
+/// Assert equality inside a `proptest!` body.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($a:expr, $b:expr) => {{
+        let (a, b) = (&$a, &$b);
+        if !(a == b) {
+            return ::std::result::Result::Err(::std::format!(
+                "assertion failed: `{} == {}`\n  left: {:?}\n right: {:?}",
+                ::std::stringify!($a), ::std::stringify!($b), a, b
+            ));
+        }
+    }};
+    ($a:expr, $b:expr, $($fmt:tt)+) => {{
+        let (a, b) = (&$a, &$b);
+        if !(a == b) {
+            return ::std::result::Result::Err(::std::format!(
+                "{}\n  left: {:?}\n right: {:?}",
+                ::std::format!($($fmt)+), a, b
+            ));
+        }
+    }};
+}
+
+/// Assert inequality inside a `proptest!` body.
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($a:expr, $b:expr) => {{
+        let (a, b) = (&$a, &$b);
+        if a == b {
+            return ::std::result::Result::Err(::std::format!(
+                "assertion failed: `{} != {}`\n  both: {:?}",
+                ::std::stringify!($a), ::std::stringify!($b), a
+            ));
+        }
+    }};
+}
+
+/// Define deterministic random-case tests.
+///
+/// Each `#[test] fn name(arg in strategy, …) { body }` becomes a standard
+/// test that runs `cases` generated inputs; `prop_assert*` failures report
+/// the generated arguments.
+#[macro_export]
+macro_rules! proptest {
+    (#![proptest_config($cfg:expr)] $($rest:tt)*) => {
+        $crate::__proptest_fns! { $cfg; $($rest)* }
+    };
+    ($($rest:tt)*) => {
+        $crate::__proptest_fns! { $crate::ProptestConfig::default(); $($rest)* }
+    };
+}
+
+/// Internal expansion of [`proptest!`]; not part of the public API.
+#[macro_export]
+#[doc(hidden)]
+macro_rules! __proptest_fns {
+    ($cfg:expr; $( $(#[$meta:meta])* fn $name:ident ( $( $arg:pat_param in $strat:expr ),+ $(,)? ) $body:block )* ) => {
+        $(
+            $(#[$meta])*
+            fn $name() {
+                let cfg: $crate::ProptestConfig = $cfg;
+                let mut rng = $crate::TestRng::from_name(::std::stringify!($name));
+                for case in 0..cfg.cases {
+                    let result: ::std::result::Result<(), ::std::string::String> = (|| {
+                        $( let $arg = $crate::Strategy::generate(&($strat), &mut rng); )+
+                        $body
+                        ::std::result::Result::Ok(())
+                    })();
+                    if let ::std::result::Result::Err(msg) = result {
+                        ::std::panic!(
+                            "proptest `{}` failed on case {}/{}:\n{}",
+                            ::std::stringify!($name), case + 1, cfg.cases, msg
+                        );
+                    }
+                }
+            }
+        )*
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::prelude::*;
+
+    fn words() -> impl Strategy<Value = String> {
+        crate::string::string_regex("[ab]{1,4}").expect("valid")
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(32))]
+
+        #[test]
+        fn ranges_in_bounds(n in 3usize..9, f in 0.5f64..2.5) {
+            prop_assert!((3..9).contains(&n));
+            prop_assert!((0.5..2.5).contains(&f));
+        }
+
+        #[test]
+        fn regex_words_match_class(w in words(), free in ".{0,12}") {
+            prop_assert!(!w.is_empty() && w.len() <= 4);
+            prop_assert!(w.chars().all(|c| c == 'a' || c == 'b'));
+            prop_assert!(free.chars().count() <= 12);
+        }
+
+        #[test]
+        fn vec_and_map_compose(v in crate::collection::vec((words(), 0usize..3), 1..5)) {
+            prop_assert!(!v.is_empty() && v.len() < 5);
+            for (w, k) in &v {
+                prop_assert!(*k < 3, "k was {}", k);
+                prop_assert_ne!(w.len(), 0);
+            }
+        }
+    }
+
+    #[test]
+    fn generation_is_deterministic() {
+        let s = words();
+        let mut a = crate::TestRng::from_name("x");
+        let mut b = crate::TestRng::from_name("x");
+        for _ in 0..50 {
+            assert_eq!(s.generate(&mut a), s.generate(&mut b));
+        }
+    }
+
+    #[test]
+    fn bad_patterns_are_rejected() {
+        assert!(crate::string::string_regex("[abc").is_err());
+        assert!(crate::string::string_regex("a{2").is_err());
+        assert!(crate::string::string_regex("a{x}").is_err());
+    }
+
+    #[test]
+    #[should_panic(expected = "failed on case")]
+    fn failures_panic_with_context() {
+        proptest! {
+            #![proptest_config(ProptestConfig::with_cases(4))]
+            fn always_fails(n in 0usize..4) {
+                prop_assert!(n > 100, "n was {}", n);
+            }
+        }
+        always_fails();
+    }
+}
