@@ -57,17 +57,13 @@ pub fn run(argv: &[String]) -> Result<(), String> {
     }
 }
 
-/// Open a store read-only for querying. Goes through the durable open so
-/// journaled-but-not-checkpointed mutations are visible (and a torn
-/// journal tail left by a crash is trimmed on the way).
+/// Open a store read-only for querying: journaled-but-not-checkpointed
+/// mutations are visible, but nothing on disk is created or rewritten —
+/// no `.wal` appears for a store that lacks one, and a torn journal tail
+/// is skipped rather than trimmed, so querying works on read-only media.
 fn load_db(path: &str) -> Result<Database, String> {
-    if Path::new(path).exists() {
-        DurableDatabase::open(path, DatabaseConfig::unlimited())
-            .map(DurableDatabase::into_inner)
-            .map_err(|e| e.to_string())
-    } else {
-        Ok(Database::with_config(DatabaseConfig::unlimited()))
-    }
+    DurableDatabase::open_read_only(Path::new(path), DatabaseConfig::unlimited())
+        .map_err(|e| e.to_string())
 }
 
 fn cmd_load(args: &Args) -> Result<(), String> {

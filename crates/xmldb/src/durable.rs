@@ -113,6 +113,8 @@ impl DurableDatabase {
         } else {
             (Database::with_config(config), 0)
         };
+        // Journal::open trims any torn tail itself, so the strict scan
+        // below only fails on genuine corruption.
         let mut journal = Journal::open(Self::wal_path(&snapshot_path), vfs.clone())?;
         journal.bump_seq(cursor);
         let scan = journal.scan()?;
@@ -129,10 +131,46 @@ impl DurableDatabase {
             check_op(&this.db, &rec.op)?;
             apply_op(&mut this.db, &rec.op)?;
         }
-        if scan.torn_tail_bytes > 0 {
-            this.journal.rewrite(&scan.records)?;
-        }
         Ok(this)
+    }
+
+    /// Load the committed state **without mutating any on-disk file**:
+    /// no `.wal` is created for a store that lacks one, and a torn
+    /// journal tail is skipped rather than trimmed. Strict like
+    /// [`DurableDatabase::open`] — corruption is an error — but safe on
+    /// read-only media and for query paths that should not write.
+    /// Returns a plain [`Database`], since nothing can be committed
+    /// through it.
+    pub fn open_read_only(
+        snapshot: impl AsRef<Path>,
+        config: DatabaseConfig,
+    ) -> DbResult<Database> {
+        Self::open_read_only_with(snapshot.as_ref(), config, &StdVfs)
+    }
+
+    /// [`DurableDatabase::open_read_only`] against an explicit [`Vfs`].
+    pub fn open_read_only_with(
+        snapshot: &Path,
+        config: DatabaseConfig,
+        vfs: &dyn Vfs,
+    ) -> DbResult<Database> {
+        let (mut db, cursor) = if vfs.exists(snapshot) {
+            storage::load_with_vfs_seq(snapshot, vfs)?
+        } else {
+            (Database::with_config(config), 0)
+        };
+        let scan = Journal::scan_file(&Self::wal_path(snapshot), vfs)?;
+        if let Some(err) = scan.corruption {
+            return Err(err);
+        }
+        for rec in &scan.records {
+            if rec.seq < cursor {
+                continue;
+            }
+            check_op(&db, &rec.op)?;
+            apply_op(&mut db, &rec.op)?;
+        }
+        Ok(db)
     }
 
     /// Lenient recovery on the real filesystem.
@@ -170,14 +208,17 @@ impl DurableDatabase {
             (Database::with_config(config), 0)
         };
         let wal = Self::wal_path(&snapshot_path);
-        let mut journal = Journal::open(wal.clone(), vfs.clone())?;
-        journal.bump_seq(cursor);
-        let scan = journal.scan_lenient()?;
+        // Scan before Journal::open so the report (and any quarantine
+        // copy) captures the file as the crash left it — open itself
+        // trims torn tails.
+        let scan = Journal::scan_file(&wal, &*vfs)?;
         if scan.corruption.is_some() {
             quarantine(&*vfs, &wal, &mut report);
         }
         report.journal_error = scan.corruption;
         report.torn_tail_bytes = scan.torn_tail_bytes;
+        let mut journal = Journal::open(wal, vfs.clone())?;
+        journal.bump_seq(cursor);
         let mut this = DurableDatabase {
             db,
             journal,
@@ -293,11 +334,22 @@ impl DurableDatabase {
 }
 
 /// Best-effort copy of a damaged file to `<path>.corrupt` for forensics.
+/// If that name is taken by an earlier corruption event, a numeric
+/// suffix is added (`.corrupt.1`, `.corrupt.2`, …) so no forensic copy
+/// is ever overwritten.
 fn quarantine(vfs: &dyn Vfs, path: &Path, report: &mut RecoveryReport) {
     if let Ok(bytes) = vfs.read(path) {
         let mut os = path.as_os_str().to_os_string();
         os.push(".corrupt");
-        let dest = PathBuf::from(os);
+        let base = PathBuf::from(os);
+        let mut dest = base.clone();
+        let mut n = 0u64;
+        while vfs.exists(&dest) {
+            n += 1;
+            let mut os = base.as_os_str().to_os_string();
+            os.push(format!(".{n}"));
+            dest = PathBuf::from(os);
+        }
         if vfs.write(&dest, &bytes).is_ok() {
             let _ = vfs.sync(&dest);
             report.quarantined.push(dest);
@@ -510,6 +562,96 @@ mod tests {
         fs.crash();
         let db = open_mem(vfs);
         assert_eq!(db.db().collection("c").unwrap().len(), 0);
+    }
+
+    #[test]
+    fn repeated_corruption_never_overwrites_quarantine_copies() {
+        let (fs, vfs) = mem();
+        {
+            let mut db = open_mem(vfs.clone());
+            db.create_collection("c").unwrap();
+            db.checkpoint().unwrap();
+        }
+        fs.corrupt(Path::new("store.json"), b"first garbage".to_vec());
+        let (_, r1) =
+            DurableDatabase::recover_with("store.json", DatabaseConfig::unlimited(), vfs.clone())
+                .unwrap();
+        assert_eq!(r1.quarantined, vec![PathBuf::from("store.json.corrupt")]);
+        fs.corrupt(Path::new("store.json"), b"second garbage".to_vec());
+        let (_, r2) =
+            DurableDatabase::recover_with("store.json", DatabaseConfig::unlimited(), vfs.clone())
+                .unwrap();
+        assert_eq!(r2.quarantined, vec![PathBuf::from("store.json.corrupt.1")]);
+        // Both forensic copies survive, each with its own bytes.
+        assert_eq!(
+            vfs.read(Path::new("store.json.corrupt")).unwrap(),
+            b"first garbage"
+        );
+        assert_eq!(
+            vfs.read(Path::new("store.json.corrupt.1")).unwrap(),
+            b"second garbage"
+        );
+    }
+
+    #[test]
+    fn read_only_open_sees_journaled_state_but_mutates_nothing() {
+        let (fs, vfs) = mem();
+        {
+            let mut db = open_mem(vfs.clone());
+            db.create_collection("c").unwrap();
+            db.insert_xml("c", "<a/>").unwrap();
+            // no checkpoint: state lives only in the WAL
+        }
+        // Leave a torn tail, as a crashed append would.
+        let wal = DurableDatabase::wal_path(Path::new("store.json"));
+        let mut bytes = vfs.read(&wal).unwrap();
+        bytes.extend_from_slice(&[1, 2, 3]);
+        fs.corrupt(&wal, bytes.clone());
+        let before_ops = fs.op_count();
+        let db = DurableDatabase::open_read_only_with(
+            Path::new("store.json"),
+            DatabaseConfig::unlimited(),
+            &*vfs,
+        )
+        .unwrap();
+        assert_eq!(db.collection("c").unwrap().len(), 1);
+        // No file was created, rewritten, or trimmed.
+        assert_eq!(fs.op_count(), before_ops, "read-only open performed writes");
+        assert_eq!(vfs.read(&wal).unwrap(), bytes, "torn tail was trimmed");
+        // A store that never existed gains no snapshot and no WAL.
+        let db = DurableDatabase::open_read_only_with(
+            Path::new("missing.json"),
+            DatabaseConfig::unlimited(),
+            &*vfs,
+        )
+        .unwrap();
+        assert!(db.collection_names().is_empty());
+        assert!(!vfs.exists(Path::new("missing.json")));
+        assert!(!vfs.exists(&DurableDatabase::wal_path(Path::new("missing.json"))));
+    }
+
+    #[test]
+    fn read_only_open_is_strict_about_corruption() {
+        let (fs, vfs) = mem();
+        {
+            let mut db = open_mem(vfs.clone());
+            db.create_collection("c").unwrap();
+            db.insert_xml("c", "<a/>").unwrap();
+        }
+        let wal = DurableDatabase::wal_path(Path::new("store.json"));
+        let mut bytes = vfs.read(&wal).unwrap();
+        // Flip a byte inside the first record's payload (magic is 8
+        // bytes, the record header another 8): a complete record whose
+        // CRC no longer matches is corruption, not a torn tail.
+        bytes[18] ^= 0x40;
+        fs.corrupt(&wal, bytes);
+        let err = DurableDatabase::open_read_only_with(
+            Path::new("store.json"),
+            DatabaseConfig::unlimited(),
+            &*vfs,
+        )
+        .unwrap_err();
+        assert!(matches!(err, DbError::Corruption { .. }), "got {err:?}");
     }
 
     #[test]

@@ -75,9 +75,16 @@ impl Vfs for StdVfs {
     }
 
     fn sync(&self, path: &Path) -> io::Result<()> {
-        // fsync via a fresh read handle: Linux permits fsync on an
-        // O_RDONLY descriptor, and this keeps the trait stateless.
-        std::fs::File::open(path)?.sync_all()
+        // fsync via a fresh write-capable handle (no truncation):
+        // Windows' FlushFileBuffers requires write access, so an
+        // O_RDONLY handle would not do. Write-then-reopen-to-sync is a
+        // POSIX assumption (the page cache is shared across handles);
+        // platforms where that does not hold need a stateful Vfs that
+        // keeps the original handle.
+        std::fs::OpenOptions::new()
+            .write(true)
+            .open(path)?
+            .sync_all()
     }
 
     fn rename(&self, from: &Path, to: &Path) -> io::Result<()> {
@@ -127,8 +134,8 @@ struct FaultState {
     files: BTreeMap<PathBuf, FileState>,
     /// Count of mutating operations performed so far.
     ops: usize,
-    /// Fire `1`-shot fault when `ops` reaches this value.
-    fault_at: Option<(usize, FaultMode)>,
+    /// One-shot faults keyed by the operation number they fire at.
+    faults: BTreeMap<usize, FaultMode>,
 }
 
 /// An in-memory filesystem with crash semantics and fault injection.
@@ -149,15 +156,16 @@ impl FaultVfs {
         Self::default()
     }
 
-    /// Arm a one-shot fault: the `op`-th mutating operation (0-based,
-    /// counted from now on the absolute counter) fails with `mode`.
+    /// Arm a one-shot fault: the `op`-th mutating operation (0-based on
+    /// the absolute counter) fails with `mode`. Multiple faults may be
+    /// armed at distinct operation numbers; each fires once.
     pub fn fail_op(&self, op: usize, mode: FaultMode) {
-        self.lock().fault_at = Some((op, mode));
+        self.lock().faults.insert(op, mode);
     }
 
-    /// Disarm any pending fault.
+    /// Disarm all pending faults.
     pub fn clear_fault(&self) {
-        self.lock().fault_at = None;
+        self.lock().faults.clear();
     }
 
     /// Number of mutating operations performed so far.
@@ -170,7 +178,7 @@ impl FaultVfs {
     /// armed it is gone).
     pub fn crash(&self) {
         let mut st = self.lock();
-        st.fault_at = None;
+        st.faults.clear();
         let mut survivors = BTreeMap::new();
         for (path, file) in std::mem::take(&mut st.files) {
             if let Some(durable) = file.durable {
@@ -205,17 +213,11 @@ impl FaultVfs {
         self.state.lock().unwrap_or_else(|e| e.into_inner())
     }
 
-    /// Bump the op counter; if the armed fault fires, return its mode.
+    /// Bump the op counter; if a fault is armed at this op, return its mode.
     fn step(st: &mut FaultState) -> Option<FaultMode> {
         let op = st.ops;
         st.ops += 1;
-        match st.fault_at {
-            Some((at, mode)) if at == op => {
-                st.fault_at = None;
-                Some(mode)
-            }
-            _ => None,
-        }
+        st.faults.remove(&op)
     }
 
     fn injected(op: usize) -> io::Error {

@@ -175,6 +175,75 @@ fn crash_at_every_op_with_torn_writes_recovers_committed_prefix() {
     crash_matrix(FaultMode::Tear { keep: 3 });
 }
 
+/// Run the workload with a fault armed at `fault_op`, **continuing**
+/// after the failed step instead of crashing (the ENOSPC-and-carry-on
+/// shape: the process shrugs off one I/O error and keeps going).
+/// Returns the shadow of acknowledged steps, after asserting the live
+/// in-memory state matches it.
+fn run_continuing_past_fault(vfs: Arc<FaultVfs>, fault_op: usize, mode: FaultMode) -> Database {
+    vfs.fail_op(fault_op, mode);
+    let mut shadow = Database::with_config(DatabaseConfig::unlimited());
+    let dyn_vfs: Arc<dyn Vfs> = vfs.clone();
+    let mut db = match DurableDatabase::open_with(STORE, DatabaseConfig::unlimited(), dyn_vfs.clone())
+    {
+        Ok(db) => db,
+        // Faulted during open: the one-shot fault is consumed, so a
+        // retry must succeed on the residue the failed open left.
+        Err(_) => DurableDatabase::open_with(STORE, DatabaseConfig::unlimited(), dyn_vfs)
+            .unwrap_or_else(|e| panic!("reopen after faulted open at op {fault_op}: {e}")),
+    };
+    for step in workload() {
+        if apply_durable(&mut db, &step).is_ok() {
+            apply_shadow(&mut shadow, &step);
+        }
+    }
+    assert_same_state(
+        db.db(),
+        &shadow,
+        &format!("live state after continuing past fault at op {fault_op}"),
+    );
+    shadow
+}
+
+/// The continue-after-fault matrix: inject a fault at every filesystem
+/// operation, keep operating through it, then crash and reopen. Later
+/// acknowledged operations must never be corrupted by residue (e.g. torn
+/// journal bytes) of the earlier failed one.
+fn continue_matrix(mode: FaultMode) {
+    // A fault-free run establishes how many injection points exist.
+    let clean = Arc::new(FaultVfs::new());
+    run_continuing_past_fault(clean.clone(), usize::MAX, mode);
+    let total_ops = clean.op_count();
+    assert!(
+        total_ops > 20,
+        "expected a non-trivial number of injection points, got {total_ops}"
+    );
+    for fault_op in 0..total_ops {
+        let vfs = Arc::new(FaultVfs::new());
+        let shadow = run_continuing_past_fault(vfs.clone(), fault_op, mode);
+        vfs.crash();
+        let reopened = DurableDatabase::open_with(STORE, DatabaseConfig::unlimited(), vfs.clone())
+            .unwrap_or_else(|e| {
+                panic!("reopen after continuing past fault at op {fault_op} ({mode:?}): {e}")
+            });
+        assert_same_state(
+            reopened.db(),
+            &shadow,
+            &format!("continue past fault at op {fault_op}, {mode:?}"),
+        );
+    }
+}
+
+#[test]
+fn continue_after_io_error_at_every_op_keeps_journal_valid() {
+    continue_matrix(FaultMode::Error);
+}
+
+#[test]
+fn continue_after_torn_write_at_every_op_keeps_journal_valid() {
+    continue_matrix(FaultMode::Tear { keep: 3 });
+}
+
 #[test]
 fn crash_and_resume_repeatedly_loses_nothing_acknowledged() {
     // Crash after each single successful step, reopening every time: the

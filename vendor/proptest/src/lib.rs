@@ -11,6 +11,15 @@
 //! Cases are generated from a deterministic per-test seed, so failures are
 //! reproducible; there is no shrinking — the failing inputs are printed
 //! instead.
+//!
+//! **Reduced guarantees**: compared to the real `proptest`, this stand-in
+//! explores a smaller, less adversarial input space (no shrinking, no
+//! persisted failure corpus — `.proptest-regressions` files are ignored —
+//! and only the strategies listed above). Property coverage
+//! here is correspondingly weaker than the same test run under upstream
+//! proptest. The package is published in-repo as `toss-proptest 0.0.0`
+//! (aliased to `proptest` in the workspace manifest) precisely so it can
+//! never be confused with — or silently shadow — the crates.io release.
 
 #![forbid(unsafe_code)]
 
