@@ -1,0 +1,156 @@
+//! Observability baseline — `BENCH_observability.json`.
+//!
+//! Runs the Figure-15 selection workload through the instrumented
+//! executor and records:
+//!
+//! * per-phase latency p50/p95/mean from the `toss.query.*_ns`
+//!   histograms (the paper's rewrite / execute / convert split);
+//! * query throughput with the default **no-op** sink (tracing
+//!   disabled — the production configuration) and with a
+//!   [`toss_obs::sink::MemorySink`] installed, plus the relative
+//!   overhead of tracing;
+//! * the measured cost of one disabled `span()`/`finish()` pair, the
+//!   number that must stay near zero for the no-op path to be free.
+//!
+//! The JSON lands at the workspace root so successive runs form a
+//! perf trajectory (`BENCH_*.json`).
+
+use std::path::Path;
+use std::sync::Arc;
+use std::time::Instant;
+use toss_bench::{build_executor, query_to_toss};
+use toss_core::executor::Mode;
+use toss_datagen::{corpus::generate, queries::workload, CorpusConfig};
+use toss_json::Value;
+
+/// Timed repetitions of the whole workload per configuration.
+const ROUNDS: usize = 20;
+/// Queries drawn from the Figure-15 workload generator.
+const QUERIES: usize = 6;
+/// Disabled-span microbench iterations.
+const SPANS: usize = 1_000_000;
+
+fn empty_histogram() -> toss_obs::metrics::HistogramSnapshot {
+    toss_obs::metrics::HistogramSnapshot {
+        count: 0,
+        sum: 0,
+        buckets: Vec::new(),
+    }
+}
+
+fn phase_value(snap: &toss_obs::metrics::MetricsSnapshot, name: &str) -> Value {
+    let h = snap.histogram(name).cloned().unwrap_or_else(empty_histogram);
+    Value::object(vec![
+        ("count", (h.count as i64).into()),
+        ("p50_ns", h.p50().into()),
+        ("p95_ns", h.p95().into()),
+        ("mean_ns", h.mean().into()),
+    ])
+}
+
+fn main() {
+    let corpus = generate(CorpusConfig::figure15(42));
+    let sys = build_executor(&corpus, 3.0, 0);
+    let queries: Vec<_> = workload(&corpus, 7, QUERIES)
+        .iter()
+        .map(query_to_toss)
+        .collect();
+    eprintln!(
+        "corpus: {} papers, ontology {} terms, {} workload queries",
+        corpus.papers.len(),
+        sys.ontology_terms,
+        queries.len()
+    );
+
+    // ---- phase histograms over a clean registry -----------------------
+    toss_obs::metrics::registry().reset();
+    for q in &queries {
+        for _ in 0..ROUNDS {
+            sys.executor.select(q, Mode::Toss).expect("select succeeds");
+        }
+    }
+    let snap = toss_obs::metrics::snapshot();
+
+    // ---- throughput, default no-op sink (tracing disabled) ------------
+    assert!(
+        !toss_obs::tracing_enabled(),
+        "no sink is installed, tracing must be off"
+    );
+    let t0 = Instant::now();
+    let mut ran = 0usize;
+    for _ in 0..ROUNDS {
+        for q in &queries {
+            sys.executor.select(q, Mode::Toss).expect("select succeeds");
+            ran += 1;
+        }
+    }
+    let qps_noop = ran as f64 / t0.elapsed().as_secs_f64();
+
+    // ---- throughput, MemorySink installed ------------------------------
+    let sink = Arc::new(toss_obs::sink::MemorySink::new());
+    let scope = toss_obs::install_sink_scoped(sink.clone());
+    let t1 = Instant::now();
+    let mut ran_traced = 0usize;
+    for _ in 0..ROUNDS {
+        for q in &queries {
+            sys.executor.select(q, Mode::Toss).expect("select succeeds");
+            ran_traced += 1;
+        }
+        sink.drain(); // bound memory; drain cost is part of the overhead
+    }
+    let qps_traced = ran_traced as f64 / t1.elapsed().as_secs_f64();
+    drop(scope);
+    let overhead_pct = 100.0 * (1.0 - qps_traced / qps_noop);
+
+    // ---- disabled-path span cost ---------------------------------------
+    let t2 = Instant::now();
+    for _ in 0..SPANS {
+        let s = toss_obs::span("bench.noop");
+        toss_obs::record("k", 1u64);
+        let _ = s.finish();
+    }
+    let disabled_span_ns = t2.elapsed().as_nanos() as f64 / SPANS as f64;
+
+    let report = Value::object(vec![
+        (
+            "workload",
+            Value::object(vec![
+                ("papers", corpus.papers.len().into()),
+                ("ontology_terms", sys.ontology_terms.into()),
+                ("queries", queries.len().into()),
+                ("rounds", ROUNDS.into()),
+            ]),
+        ),
+        (
+            "phases",
+            Value::object(vec![
+                ("rewrite", phase_value(&snap, "toss.query.rewrite_ns")),
+                ("execute", phase_value(&snap, "toss.query.execute_ns")),
+                ("convert", phase_value(&snap, "toss.query.convert_ns")),
+                ("total", phase_value(&snap, "toss.query.total_ns")),
+            ]),
+        ),
+        (
+            "throughput",
+            Value::object(vec![
+                ("qps_noop_sink", qps_noop.into()),
+                ("qps_memory_sink", qps_traced.into()),
+                ("tracing_overhead_pct", overhead_pct.into()),
+            ]),
+        ),
+        ("disabled_span_ns", disabled_span_ns.into()),
+    ]);
+
+    let out = Path::new(env!("CARGO_MANIFEST_DIR"))
+        .ancestors()
+        .nth(2)
+        .expect("crates/bench has two ancestors")
+        .join("BENCH_observability.json");
+    std::fs::write(&out, report.to_json_pretty()).expect("write BENCH_observability.json");
+
+    println!(
+        "no-op sink: {qps_noop:.0} q/s | memory sink: {qps_traced:.0} q/s \
+         | tracing overhead {overhead_pct:.2}% | disabled span {disabled_span_ns:.1}ns"
+    );
+    println!("wrote {}", out.display());
+}

@@ -121,9 +121,9 @@ fn main() {
             for _ in 0..REPS {
                 let out = sys.executor.select(&q, Mode::Toss).expect("toss select");
                 let cur = (
-                    out.rewrite_time,
-                    out.execute_time,
-                    out.convert_time,
+                    out.rewrite_time(),
+                    out.execute_time(),
+                    out.convert_time(),
                     out.forest.len(),
                 );
                 best = Some(match best {
@@ -166,9 +166,9 @@ fn main() {
                 .select(&q, Mode::TaxBaseline)
                 .expect("tax select");
             let cur = (
-                out.rewrite_time,
-                out.execute_time,
-                out.convert_time,
+                out.rewrite_time(),
+                out.execute_time(),
+                out.convert_time(),
                 out.forest.len(),
             );
             best = Some(match best {

@@ -91,9 +91,9 @@ fn main() {
                     .join_similarity(&left, &right, &lkey, &rkey, mode)
                     .expect("join succeeds");
                 let cur = (
-                    out.rewrite_time,
-                    out.execute_time,
-                    out.convert_time,
+                    out.rewrite_time(),
+                    out.execute_time(),
+                    out.convert_time(),
                     out.forest.len(),
                 );
                 best = Some(match best {

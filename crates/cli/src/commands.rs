@@ -28,6 +28,8 @@ usage:
   toss-cli query     --db <store.json> --seo <seo.json> --collection <name>
                      --root <tag> [--eq tag=value]… [--contains tag=value]…
                      [--similar tag=value]… [--below tag=term]… [--tax] [--pretty]
+                     [--explain] [--trace-out <spans.jsonl>]
+  toss-cli stats     --db <store.json> [--json]
   toss-cli db        checkpoint --db <store.json>
   toss-cli db        recover    --db <store.json>
   toss-cli dot       --seo <seo.json>";
@@ -51,6 +53,7 @@ pub fn run(argv: &[String]) -> Result<(), String> {
         "xpath" => cmd_xpath(&args),
         "build-seo" => cmd_build_seo(&args),
         "query" => cmd_query(&args),
+        "stats" => cmd_stats(&args),
         "db" => cmd_db(&args),
         "dot" => cmd_dot(&args),
         other => Err(format!("unknown subcommand `{other}`")),
@@ -64,6 +67,76 @@ pub fn run(argv: &[String]) -> Result<(), String> {
 fn load_db(path: &str) -> Result<Database, String> {
     DurableDatabase::open_read_only(Path::new(path), DatabaseConfig::unlimited())
         .map_err(|e| e.to_string())
+}
+
+/// Where a store's metrics snapshot lives.
+fn stats_path(db_path: &str) -> String {
+    format!("{db_path}.stats.json")
+}
+
+/// Persist the process's metrics registry next to the store so a later
+/// `toss-cli stats --db <store>` can report on what this run did.
+/// Best-effort: a failure to write stats never fails the command.
+fn persist_stats(db_path: &str) {
+    let snap = toss_obs::metrics::snapshot();
+    if let Err(e) = std::fs::write(stats_path(db_path), snap.to_json()) {
+        eprintln!("warning: could not write {}: {e}", stats_path(db_path));
+    }
+}
+
+/// Rebuild a [`toss_obs::metrics::MetricsSnapshot`] from the JSON that
+/// [`persist_stats`] wrote.
+fn snapshot_from_json(text: &str) -> Result<toss_obs::metrics::MetricsSnapshot, String> {
+    use toss_obs::metrics::{HistogramSnapshot, MetricsSnapshot};
+    let v = toss_json::Value::parse(text).map_err(|e| e.to_string())?;
+    let mut snap = MetricsSnapshot::default();
+    if let Some(cs) = v.get("counters").and_then(|c| c.as_object()) {
+        for (name, val) in cs {
+            let n = val.as_f64().unwrap_or(0.0).max(0.0) as u64;
+            snap.counters.push((name.clone(), n));
+        }
+    }
+    if let Some(hs) = v.get("histograms").and_then(|h| h.as_object()) {
+        for (name, hv) in hs {
+            let mut buckets = Vec::new();
+            for pair in hv.get("buckets").and_then(|b| b.as_array()).unwrap_or(&[]) {
+                if let Some([upper, count]) = pair.as_array() {
+                    buckets.push((
+                        upper.as_f64().unwrap_or(0.0).max(0.0) as u64,
+                        count.as_f64().unwrap_or(0.0).max(0.0) as u64,
+                    ));
+                }
+            }
+            snap.histograms.push((
+                name.clone(),
+                HistogramSnapshot {
+                    count: hv.get("count").and_then(|x| x.as_f64()).unwrap_or(0.0) as u64,
+                    sum: hv.get("sum").and_then(|x| x.as_f64()).unwrap_or(0.0) as u64,
+                    buckets,
+                },
+            ));
+        }
+    }
+    Ok(snap)
+}
+
+/// `toss-cli stats --db <store.json> [--json]` — print the metrics
+/// snapshot the last instrumented command persisted beside the store.
+/// Default output is the Prometheus text exposition format; `--json`
+/// prints the snapshot JSON verbatim.
+fn cmd_stats(args: &Args) -> Result<(), String> {
+    let db_path = args.required("db")?;
+    let path = stats_path(db_path);
+    let text = std::fs::read_to_string(&path).map_err(|e| {
+        format!("{path}: {e} (run a query/load/recover against this store first)")
+    })?;
+    if args.switch("json") {
+        print!("{text}");
+    } else {
+        let snap = snapshot_from_json(&text)?;
+        print!("{}", snap.to_prometheus());
+    }
+    Ok(())
 }
 
 fn cmd_load(args: &Args) -> Result<(), String> {
@@ -96,6 +169,7 @@ fn cmd_load(args: &Args) -> Result<(), String> {
         db.db().total_size_bytes(),
         db.db().collection_names().len()
     );
+    persist_stats(&db_path);
     Ok(())
 }
 
@@ -113,6 +187,7 @@ fn cmd_db(args: &Args) -> Result<(), String> {
             println!(
                 "checkpointed {pending} journaled op(s) into {db_path}; journal truncated"
             );
+            persist_stats(db_path);
             Ok(())
         }
         "recover" => {
@@ -143,6 +218,7 @@ fn cmd_db(args: &Args) -> Result<(), String> {
                 db.db().collection_names().len(),
                 db.db().total_size_bytes()
             );
+            persist_stats(db_path);
             Ok(())
         }
         other => Err(format!(
@@ -170,6 +246,7 @@ fn cmd_xpath(args: &Args) -> Result<(), String> {
     if matches.len() > 50 {
         println!("… ({} more)", matches.len() - 50);
     }
+    persist_stats(args.required("db")?);
     Ok(())
 }
 
@@ -286,16 +363,62 @@ fn cmd_query(args: &Args) -> Result<(), String> {
     } else {
         Mode::Toss
     };
+
+    // Optional trace consumers. Keeping the scopes alive for the whole
+    // query keeps tracing enabled; they uninstall on drop.
+    let mut scopes: Vec<toss_obs::SinkScope> = Vec::new();
+    let memory = if args.switch("explain") {
+        let sink = Arc::new(toss_obs::sink::MemorySink::new());
+        scopes.push(toss_obs::install_sink_scoped(sink.clone()));
+        Some(sink)
+    } else {
+        None
+    };
+    if let Some(path) = args.one("trace-out")? {
+        let sink = toss_obs::sink::JsonLinesSink::create(Path::new(path))
+            .map_err(|e| format!("{path}: {e}"))?;
+        scopes.push(toss_obs::install_sink_scoped(Arc::new(sink)));
+    }
+
     let out = executor.select(&query, mode).map_err(|e| e.to_string())?;
+    drop(scopes);
+
     println!(
         "{} answer(s) in {:?} (rewrite {:?}, execute {:?}, convert {:?})",
         out.forest.len(),
         out.total_time(),
-        out.rewrite_time,
-        out.execute_time,
-        out.convert_time
+        out.rewrite_time(),
+        out.execute_time(),
+        out.convert_time()
     );
     println!("xpath: {}", out.xpath);
+    if let Some(sink) = memory {
+        let records = sink.drain();
+        let trace =
+            toss_obs::QueryTrace::for_thread(&records, toss_obs::current_thread_id());
+        println!("\nEXPLAIN");
+        print!("{}", trace.render());
+        let total = out.total_time().as_nanos().max(1) as f64;
+        let pct = |d: std::time::Duration| 100.0 * d.as_nanos() as f64 / total;
+        println!(
+            "phase share: rewrite {:.1}%, execute {:.1}%, convert {:.1}%",
+            pct(out.rewrite_time()),
+            pct(out.execute_time()),
+            pct(out.convert_time())
+        );
+        let snap = toss_obs::metrics::snapshot();
+        for name in [
+            "toss.query.expansion_terms",
+            "xmldb.xpath.docs_scanned",
+            "xmldb.xpath.nodes_matched",
+            "similarity.cache.hits",
+            "similarity.cache.misses",
+        ] {
+            if let Some(v) = snap.counter(name) {
+                println!("{name} = {v}");
+            }
+        }
+    }
     let style = if args.switch("pretty") {
         Style::Pretty
     } else {
@@ -304,6 +427,7 @@ fn cmd_query(args: &Args) -> Result<(), String> {
     for t in &out.forest {
         println!("{}", tree_to_xml(t, style));
     }
+    persist_stats(args.required("db")?);
     Ok(())
 }
 

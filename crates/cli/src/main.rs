@@ -6,7 +6,9 @@
 //! toss-cli build-seo --db store.json --epsilon 3 --out seo.json [--rules rules.txt]
 //! toss-cli query --db store.json --seo seo.json --collection dblp \
 //!       --root inproceedings [--eq tag=value] [--contains tag=value] \
-//!       [--similar tag=value] [--below tag=term] [--tax]
+//!       [--similar tag=value] [--below tag=term] [--tax] \
+//!       [--explain] [--trace-out spans.jsonl]
+//! toss-cli stats --db store.json [--json]
 //! toss-cli dot --seo seo.json
 //! ```
 

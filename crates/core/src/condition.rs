@@ -199,7 +199,9 @@ impl TossCond {
         TossCond::Or(Box::new(self), Box::new(other))
     }
 
-    /// Negation.
+    /// Negation. (A builder like `and`/`or`, deliberately not the `!`
+    /// operator — conditions are built fluently, not evaluated here.)
+    #[allow(clippy::should_implement_trait)]
     pub fn not(self) -> TossCond {
         TossCond::Not(Box::new(self))
     }

@@ -23,9 +23,9 @@ use crate::rewrite::compile_xpath;
 use crate::typesys::TypeHierarchy;
 use std::collections::BTreeSet;
 use std::sync::Arc;
-use std::time::{Duration, Instant};
+use std::time::Duration;
 use toss_ontology::Seo;
-use toss_tax::PatternTree;
+use toss_tax::{Cond, PatternTree};
 use toss_tree::Forest;
 use toss_xmldb::{Database, NodeRef, XPath};
 
@@ -50,25 +50,63 @@ pub struct TossQuery {
 }
 
 /// A query result with the paper's phase timings.
+///
+/// The timings are the measured durations of the executor's tracing
+/// spans (`toss.query.rewrite` / `.execute` / `.convert`); they are
+/// captured whether or not a trace sink is installed.
 #[derive(Debug, Clone)]
 pub struct QueryOutcome {
     /// The witness trees.
     pub forest: Forest,
     /// The XPath the rewriter produced.
     pub xpath: String,
-    /// Phase 1: pattern parse + rewrite time.
-    pub rewrite_time: Duration,
-    /// Phase 2: XPath execution time in the store.
-    pub execute_time: Duration,
-    /// Phase 3: result parse-back / witness construction time.
-    pub convert_time: Duration,
+    rewrite_time: Duration,
+    execute_time: Duration,
+    convert_time: Duration,
 }
 
 impl QueryOutcome {
+    /// Phase 1: pattern parse + rewrite time.
+    pub fn rewrite_time(&self) -> Duration {
+        self.rewrite_time
+    }
+
+    /// Phase 2: XPath execution time in the store.
+    pub fn execute_time(&self) -> Duration {
+        self.execute_time
+    }
+
+    /// Phase 3: result parse-back / witness construction time.
+    pub fn convert_time(&self) -> Duration {
+        self.convert_time
+    }
+
     /// Total wall time across the three phases.
     pub fn total_time(&self) -> Duration {
         self.rewrite_time + self.execute_time + self.convert_time
     }
+}
+
+/// Number of expansion terms the SEO rewrite introduced into a compiled
+/// condition: the sizes of every `InSet` membership set plus the number
+/// of renderings admitted by every `SharedClass` map.
+pub fn expansion_terms(cond: &Cond) -> usize {
+    match cond {
+        Cond::True | Cond::Cmp { .. } => 0,
+        Cond::And(a, b) | Cond::Or(a, b) => expansion_terms(a) + expansion_terms(b),
+        Cond::Not(c) => expansion_terms(c),
+        Cond::InSet { set, .. } => set.len(),
+        Cond::SharedClass { classes, .. } => classes.len(),
+    }
+}
+
+/// Feed the three phase durations into the global metrics registry.
+fn publish_phase_metrics(rewrite: Duration, execute: Duration, convert: Duration) {
+    use toss_obs::metrics::histogram;
+    histogram("toss.query.rewrite_ns").observe_duration(rewrite);
+    histogram("toss.query.execute_ns").observe_duration(execute);
+    histogram("toss.query.convert_ns").observe_duration(convert);
+    histogram("toss.query.total_ns").observe_duration(rewrite + execute + convert);
 }
 
 /// The TOSS Query Executor.
@@ -135,28 +173,43 @@ impl Executor {
 
     /// Execute a selection query.
     pub fn select(&self, query: &TossQuery, mode: Mode) -> TossResult<QueryOutcome> {
+        let span = toss_obs::span("toss.query.select");
+        span.record("collection", query.collection.as_str());
+
         // phase 1: rewrite
-        let t0 = Instant::now();
+        let rw = toss_obs::span("toss.query.rewrite");
         let compiled = self.compile(&query.pattern, mode)?;
         let xpath_src = compile_xpath(&compiled)?;
         let xpath = XPath::parse(&xpath_src)?;
-        let rewrite_time = t0.elapsed();
+        let n_expansion = expansion_terms(compiled.condition());
+        rw.record("expansion_terms", n_expansion);
+        rw.record("xpath_len", xpath_src.len());
+        let rewrite_time = rw.finish();
 
         // phase 2: execute against the store
-        let t1 = Instant::now();
+        let ex = toss_obs::span("toss.query.execute");
         let coll = self.db.collection(&query.collection)?;
         let matches: Vec<NodeRef> = xpath.eval_collection(coll);
-        let execute_time = t1.elapsed();
+        ex.record("matches", matches.len());
+        let execute_time = ex.finish();
 
         // phase 3: convert matched documents back to witness trees
-        let t2 = Instant::now();
+        let cv = toss_obs::span("toss.query.convert");
         let docs: BTreeSet<_> = matches.iter().map(|m| m.doc).collect();
+        cv.record("candidate_docs", docs.len());
         let mut candidate = Forest::new();
         for doc in docs {
             candidate.push(coll.get(doc)?.tree.clone());
         }
         let forest = toss_tax::select(&candidate, &compiled, &query.expand_labels)?;
-        let convert_time = t2.elapsed();
+        cv.record("witnesses", forest.len());
+        let convert_time = cv.finish();
+
+        span.record("results", forest.len());
+        toss_obs::metrics::counter("toss.query.selects").inc();
+        toss_obs::metrics::counter("toss.query.expansion_terms").add(n_expansion as u64);
+        publish_phase_metrics(rewrite_time, execute_time, convert_time);
+        drop(span);
 
         Ok(QueryOutcome {
             forest,
@@ -177,25 +230,40 @@ impl Executor {
         list: &[toss_tax::ProjectEntry],
         mode: Mode,
     ) -> TossResult<QueryOutcome> {
-        let t0 = Instant::now();
+        let span = toss_obs::span("toss.query.project");
+        span.record("collection", query.collection.as_str());
+
+        let rw = toss_obs::span("toss.query.rewrite");
         let compiled = self.compile(&query.pattern, mode)?;
         let xpath_src = compile_xpath(&compiled)?;
         let xpath = XPath::parse(&xpath_src)?;
-        let rewrite_time = t0.elapsed();
+        let n_expansion = expansion_terms(compiled.condition());
+        rw.record("expansion_terms", n_expansion);
+        rw.record("xpath_len", xpath_src.len());
+        let rewrite_time = rw.finish();
 
-        let t1 = Instant::now();
+        let ex = toss_obs::span("toss.query.execute");
         let coll = self.db.collection(&query.collection)?;
         let matches: Vec<NodeRef> = xpath.eval_collection(coll);
-        let execute_time = t1.elapsed();
+        ex.record("matches", matches.len());
+        let execute_time = ex.finish();
 
-        let t2 = Instant::now();
+        let cv = toss_obs::span("toss.query.convert");
         let docs: BTreeSet<_> = matches.iter().map(|m| m.doc).collect();
+        cv.record("candidate_docs", docs.len());
         let mut candidate = Forest::new();
         for doc in docs {
             candidate.push(coll.get(doc)?.tree.clone());
         }
         let forest = toss_tax::project(&candidate, &compiled, list)?;
-        let convert_time = t2.elapsed();
+        cv.record("witnesses", forest.len());
+        let convert_time = cv.finish();
+
+        span.record("results", forest.len());
+        toss_obs::metrics::counter("toss.query.projects").inc();
+        toss_obs::metrics::counter("toss.query.expansion_terms").add(n_expansion as u64);
+        publish_phase_metrics(rewrite_time, execute_time, convert_time);
+        drop(span);
 
         Ok(QueryOutcome {
             forest,
@@ -220,17 +288,23 @@ impl Executor {
         expand_labels: &[u32],
         mode: Mode,
     ) -> TossResult<QueryOutcome> {
+        let span = toss_obs::span("toss.query.join");
         let l = self.select(left, mode)?;
         let r = self.select(right, mode)?;
 
-        let t0 = Instant::now();
+        let cross_span = toss_obs::span("toss.query.rewrite");
         let compiled_cross = self.compile(cross, mode)?;
-        let rewrite_time = l.rewrite_time + r.rewrite_time + t0.elapsed();
+        let rewrite_time = l.rewrite_time + r.rewrite_time + cross_span.finish();
 
-        let t1 = Instant::now();
+        let combine = toss_obs::span("toss.query.convert");
         let joined =
             toss_tax::join(&l.forest, &r.forest, &compiled_cross, expand_labels)?;
-        let convert_time = l.convert_time + r.convert_time + t1.elapsed();
+        combine.record("witnesses", joined.len());
+        let convert_time = l.convert_time + r.convert_time + combine.finish();
+
+        span.record("results", joined.len());
+        toss_obs::metrics::counter("toss.query.joins").inc();
+        drop(span);
 
         Ok(QueryOutcome {
             forest: joined,
@@ -256,9 +330,10 @@ impl Executor {
         mode: Mode,
     ) -> TossResult<QueryOutcome> {
         use crate::oes::SeoInstance;
+        let span = toss_obs::span("toss.query.join_similarity");
         let l = self.select(left, mode)?;
         let r = self.select(right, mode)?;
-        let t0 = Instant::now();
+        let combine = toss_obs::span("toss.query.convert");
         let joined = match mode {
             Mode::Toss => crate::algebra::similarity_hash_join(
                 &SeoInstance::new(l.forest, self.seo.clone()),
@@ -282,7 +357,11 @@ impl Executor {
                 )?
             }
         };
-        let convert_time = l.convert_time + r.convert_time + t0.elapsed();
+        combine.record("witnesses", joined.forest.len());
+        let convert_time = l.convert_time + r.convert_time + combine.finish();
+        span.record("results", joined.forest.len());
+        toss_obs::metrics::counter("toss.query.joins").inc();
+        drop(span);
         Ok(QueryOutcome {
             forest: joined.forest,
             xpath: format!("{} ⋈~ {}", l.xpath, r.xpath),
@@ -412,7 +491,7 @@ mod tests {
         let ex = setup();
         let out = ex.select(&venue_query("conference"), Mode::Toss).unwrap();
         assert!(out.xpath.starts_with("//inproceedings[booktitle["));
-        assert!(out.total_time() >= out.execute_time);
+        assert!(out.total_time() >= out.execute_time());
     }
 
     #[test]

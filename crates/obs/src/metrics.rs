@@ -1,0 +1,496 @@
+//! A global registry of named counters and log₂-bucketed histograms.
+//!
+//! Metrics are always on (unlike spans they are just atomic adds; there
+//! is no sink to install) and cumulative for the life of the process.
+//! Names follow the same dot-separated scheme as spans
+//! (`xmldb.journal.appends`, `toss.query.rewrite_ns`, …).
+//!
+//! Hot paths should look a handle up once and cache it — e.g. in a
+//! `OnceLock<Arc<Counter>>` — rather than calling [`counter`] per event;
+//! the lookup takes a read lock and hashes the name, the cached handle
+//! is a single atomic add.
+//!
+//! Histograms are log-scale: value `v` lands in bucket `⌊log₂ v⌋ + 1`
+//! (bucket 0 holds zeros), so 65 buckets cover the full `u64` range and
+//! quantile estimates are within a factor of 2 — the right trade for
+//! latency/size distributions spanning nanoseconds to seconds.
+
+use std::collections::BTreeMap;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, OnceLock, RwLock};
+
+/// A monotonic counter.
+#[derive(Debug, Default)]
+pub struct Counter {
+    value: AtomicU64,
+}
+
+impl Counter {
+    /// Add `n`.
+    pub fn add(&self, n: u64) {
+        self.value.fetch_add(n, Ordering::Relaxed);
+    }
+
+    /// Add 1.
+    pub fn inc(&self) {
+        self.add(1);
+    }
+
+    /// Current value.
+    pub fn get(&self) -> u64 {
+        self.value.load(Ordering::Relaxed)
+    }
+
+    fn reset(&self) {
+        self.value.store(0, Ordering::Relaxed);
+    }
+}
+
+const BUCKETS: usize = 65;
+
+/// A log₂-bucketed histogram of `u64` observations.
+pub struct Histogram {
+    count: AtomicU64,
+    sum: AtomicU64,
+    buckets: [AtomicU64; BUCKETS],
+}
+
+impl Default for Histogram {
+    fn default() -> Self {
+        Histogram {
+            count: AtomicU64::new(0),
+            sum: AtomicU64::new(0),
+            buckets: std::array::from_fn(|_| AtomicU64::new(0)),
+        }
+    }
+}
+
+impl std::fmt::Debug for Histogram {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Histogram")
+            .field("count", &self.count())
+            .field("sum", &self.sum())
+            .finish()
+    }
+}
+
+/// Bucket index of a value: 0 for 0, else `⌊log₂ v⌋ + 1`.
+fn bucket_of(v: u64) -> usize {
+    (u64::BITS - v.leading_zeros()) as usize
+}
+
+/// Inclusive upper bound of bucket `i` (`0`, `1`, `3`, `7`, …).
+fn bucket_upper(i: usize) -> u64 {
+    if i == 0 {
+        0
+    } else if i >= 64 {
+        u64::MAX
+    } else {
+        (1u64 << i) - 1
+    }
+}
+
+impl Histogram {
+    /// Record one observation.
+    pub fn observe(&self, v: u64) {
+        self.count.fetch_add(1, Ordering::Relaxed);
+        self.sum.fetch_add(v, Ordering::Relaxed);
+        self.buckets[bucket_of(v)].fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Record a duration, in nanoseconds.
+    pub fn observe_duration(&self, d: std::time::Duration) {
+        self.observe(d.as_nanos().min(u64::MAX as u128) as u64);
+    }
+
+    /// Number of observations.
+    pub fn count(&self) -> u64 {
+        self.count.load(Ordering::Relaxed)
+    }
+
+    /// Sum of observations.
+    pub fn sum(&self) -> u64 {
+        self.sum.load(Ordering::Relaxed)
+    }
+
+    /// Snapshot the bucket counts.
+    pub fn snapshot(&self) -> HistogramSnapshot {
+        let buckets: Vec<(u64, u64)> = self
+            .buckets
+            .iter()
+            .enumerate()
+            .map(|(i, c)| (bucket_upper(i), c.load(Ordering::Relaxed)))
+            .filter(|&(_, c)| c > 0)
+            .collect();
+        HistogramSnapshot {
+            count: self.count(),
+            sum: self.sum(),
+            buckets,
+        }
+    }
+
+    fn reset(&self) {
+        self.count.store(0, Ordering::Relaxed);
+        self.sum.store(0, Ordering::Relaxed);
+        for b in &self.buckets {
+            b.store(0, Ordering::Relaxed);
+        }
+    }
+}
+
+/// An immutable view of a histogram: `(upper_bound, count)` per
+/// non-empty bucket, in increasing bound order.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct HistogramSnapshot {
+    /// Number of observations.
+    pub count: u64,
+    /// Sum of observations.
+    pub sum: u64,
+    /// Non-empty buckets as `(inclusive upper bound, count)`.
+    pub buckets: Vec<(u64, u64)>,
+}
+
+impl HistogramSnapshot {
+    /// Estimate the `q`-quantile (0 ≤ q ≤ 1): the midpoint of the bucket
+    /// containing the rank, so within a factor of 2 of the true value.
+    pub fn quantile(&self, q: f64) -> f64 {
+        if self.count == 0 {
+            return 0.0;
+        }
+        let rank = ((q.clamp(0.0, 1.0) * self.count as f64).ceil() as u64).max(1);
+        let mut cumulative = 0u64;
+        for &(upper, c) in &self.buckets {
+            cumulative += c;
+            if cumulative >= rank {
+                if upper == 0 {
+                    return 0.0;
+                }
+                let lower = (upper / 2) as f64; // previous power of two − ε
+                return (lower + upper as f64 + 1.0) / 2.0;
+            }
+        }
+        self.buckets.last().map(|&(u, _)| u as f64).unwrap_or(0.0)
+    }
+
+    /// Median estimate.
+    pub fn p50(&self) -> f64 {
+        self.quantile(0.50)
+    }
+
+    /// 95th-percentile estimate.
+    pub fn p95(&self) -> f64 {
+        self.quantile(0.95)
+    }
+
+    /// Mean of the observations (exact — from sum and count).
+    pub fn mean(&self) -> f64 {
+        if self.count == 0 {
+            0.0
+        } else {
+            self.sum as f64 / self.count as f64
+        }
+    }
+}
+
+/// The registry: name → counter/histogram.
+#[derive(Default)]
+pub struct MetricsRegistry {
+    counters: RwLock<BTreeMap<String, Arc<Counter>>>,
+    histograms: RwLock<BTreeMap<String, Arc<Histogram>>>,
+}
+
+impl MetricsRegistry {
+    /// Get or create the counter named `name`.
+    pub fn counter(&self, name: &str) -> Arc<Counter> {
+        if let Some(c) = self
+            .counters
+            .read()
+            .unwrap_or_else(|e| e.into_inner())
+            .get(name)
+        {
+            return c.clone();
+        }
+        self.counters
+            .write()
+            .unwrap_or_else(|e| e.into_inner())
+            .entry(name.to_string())
+            .or_default()
+            .clone()
+    }
+
+    /// Get or create the histogram named `name`.
+    pub fn histogram(&self, name: &str) -> Arc<Histogram> {
+        if let Some(h) = self
+            .histograms
+            .read()
+            .unwrap_or_else(|e| e.into_inner())
+            .get(name)
+        {
+            return h.clone();
+        }
+        self.histograms
+            .write()
+            .unwrap_or_else(|e| e.into_inner())
+            .entry(name.to_string())
+            .or_default()
+            .clone()
+    }
+
+    /// Zero every metric **in place** (handles cached elsewhere stay
+    /// registered). For benchmarks and tests that need a clean slate.
+    pub fn reset(&self) {
+        for c in self
+            .counters
+            .read()
+            .unwrap_or_else(|e| e.into_inner())
+            .values()
+        {
+            c.reset();
+        }
+        for h in self
+            .histograms
+            .read()
+            .unwrap_or_else(|e| e.into_inner())
+            .values()
+        {
+            h.reset();
+        }
+    }
+
+    /// Snapshot every metric, names sorted.
+    pub fn snapshot(&self) -> MetricsSnapshot {
+        let counters = self
+            .counters
+            .read()
+            .unwrap_or_else(|e| e.into_inner())
+            .iter()
+            .map(|(k, v)| (k.clone(), v.get()))
+            .collect();
+        let histograms = self
+            .histograms
+            .read()
+            .unwrap_or_else(|e| e.into_inner())
+            .iter()
+            .map(|(k, v)| (k.clone(), v.snapshot()))
+            .collect();
+        MetricsSnapshot {
+            counters,
+            histograms,
+        }
+    }
+}
+
+/// The process-global registry.
+pub fn registry() -> &'static MetricsRegistry {
+    static REGISTRY: OnceLock<MetricsRegistry> = OnceLock::new();
+    REGISTRY.get_or_init(MetricsRegistry::default)
+}
+
+/// Get or create a counter in the global registry.
+pub fn counter(name: &str) -> Arc<Counter> {
+    registry().counter(name)
+}
+
+/// Get or create a histogram in the global registry.
+pub fn histogram(name: &str) -> Arc<Histogram> {
+    registry().histogram(name)
+}
+
+/// Snapshot the global registry.
+pub fn snapshot() -> MetricsSnapshot {
+    registry().snapshot()
+}
+
+/// A point-in-time export of the whole registry.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct MetricsSnapshot {
+    /// `(name, value)`, sorted by name.
+    pub counters: Vec<(String, u64)>,
+    /// `(name, snapshot)`, sorted by name.
+    pub histograms: Vec<(String, HistogramSnapshot)>,
+}
+
+/// A metric name with dots (and any non-alphanumeric) mapped to `_`,
+/// the Prometheus exposition charset.
+fn prom_name(name: &str) -> String {
+    name.chars()
+        .map(|c| if c.is_ascii_alphanumeric() { c } else { '_' })
+        .collect()
+}
+
+impl MetricsSnapshot {
+    /// Value of a counter by name.
+    pub fn counter(&self, name: &str) -> Option<u64> {
+        self.counters
+            .iter()
+            .find(|(n, _)| n == name)
+            .map(|&(_, v)| v)
+    }
+
+    /// Histogram snapshot by name.
+    pub fn histogram(&self, name: &str) -> Option<&HistogramSnapshot> {
+        self.histograms
+            .iter()
+            .find(|(n, _)| n == name)
+            .map(|(_, h)| h)
+    }
+
+    /// Render in the Prometheus text exposition format. Histogram
+    /// buckets are emitted cumulatively with `le` labels, as Prometheus
+    /// expects.
+    pub fn to_prometheus(&self) -> String {
+        let mut out = String::new();
+        for (name, value) in &self.counters {
+            let p = prom_name(name);
+            out.push_str(&format!("# TYPE {p} counter\n{p} {value}\n"));
+        }
+        for (name, h) in &self.histograms {
+            let p = prom_name(name);
+            out.push_str(&format!("# TYPE {p} histogram\n"));
+            let mut cumulative = 0u64;
+            for &(upper, c) in &h.buckets {
+                cumulative += c;
+                out.push_str(&format!("{p}_bucket{{le=\"{upper}\"}} {cumulative}\n"));
+            }
+            out.push_str(&format!("{p}_bucket{{le=\"+Inf\"}} {}\n", h.count));
+            out.push_str(&format!("{p}_sum {}\n", h.sum));
+            out.push_str(&format!("{p}_count {}\n", h.count));
+        }
+        out
+    }
+
+    /// Render as a JSON document:
+    ///
+    /// ```json
+    /// {"counters":{"name":1},
+    ///  "histograms":{"name":{"count":2,"sum":3,
+    ///                        "buckets":[[1,1],[3,1]],
+    ///                        "p50":1.0,"p95":3.5}}}
+    /// ```
+    pub fn to_json(&self) -> String {
+        let mut out = String::from("{\n  \"counters\": {");
+        for (i, (name, value)) in self.counters.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            out.push_str("\n    ");
+            crate::push_json_str(&mut out, name);
+            out.push_str(&format!(": {value}"));
+        }
+        out.push_str("\n  },\n  \"histograms\": {");
+        for (i, (name, h)) in self.histograms.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            out.push_str("\n    ");
+            crate::push_json_str(&mut out, name);
+            out.push_str(&format!(": {{\"count\": {}, \"sum\": {}, \"buckets\": [", h.count, h.sum));
+            for (j, (upper, c)) in h.buckets.iter().enumerate() {
+                if j > 0 {
+                    out.push_str(", ");
+                }
+                out.push_str(&format!("[{upper}, {c}]"));
+            }
+            out.push_str(&format!(
+                "], \"p50\": {}, \"p95\": {}}}",
+                h.p50(),
+                h.p95()
+            ));
+        }
+        out.push_str("\n  }\n}\n");
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn counters_accumulate() {
+        let r = MetricsRegistry::default();
+        let c = r.counter("t.count");
+        c.inc();
+        c.add(4);
+        assert_eq!(r.counter("t.count").get(), 5); // same handle by name
+        r.reset();
+        assert_eq!(c.get(), 0); // reset zeroes in place
+    }
+
+    #[test]
+    fn histogram_buckets_and_quantiles() {
+        let h = Histogram::default();
+        for v in [0u64, 1, 2, 3, 900, 1000, 1100, 1_000_000] {
+            h.observe(v);
+        }
+        assert_eq!(h.count(), 8);
+        assert_eq!(h.sum(), 1_003_006);
+        let s = h.snapshot();
+        // p50 falls in the [2,3] bucket (rank 4 of 8)
+        assert!(s.p50() >= 2.0 && s.p50() <= 3.5, "p50 = {}", s.p50());
+        // p95 (rank 8) falls in the bucket holding 1_000_000
+        assert!(
+            s.p95() >= 524_288.0 && s.p95() <= 1_048_576.0,
+            "p95 = {}",
+            s.p95()
+        );
+        assert!((s.mean() - 125_375.75).abs() < 1e-6);
+    }
+
+    #[test]
+    fn zero_only_histogram() {
+        let h = Histogram::default();
+        h.observe(0);
+        let s = h.snapshot();
+        assert_eq!(s.p50(), 0.0);
+        assert_eq!(s.buckets, vec![(0, 1)]);
+    }
+
+    #[test]
+    fn bucket_maths() {
+        assert_eq!(bucket_of(0), 0);
+        assert_eq!(bucket_of(1), 1);
+        assert_eq!(bucket_of(2), 2);
+        assert_eq!(bucket_of(3), 2);
+        assert_eq!(bucket_of(4), 3);
+        assert_eq!(bucket_of(u64::MAX), 64);
+        assert_eq!(bucket_upper(0), 0);
+        assert_eq!(bucket_upper(1), 1);
+        assert_eq!(bucket_upper(2), 3);
+        assert_eq!(bucket_upper(64), u64::MAX);
+    }
+
+    #[test]
+    fn prometheus_rendering() {
+        let r = MetricsRegistry::default();
+        r.counter("a.b").add(2);
+        let h = r.histogram("lat.ns");
+        h.observe(1);
+        h.observe(3);
+        let text = r.snapshot().to_prometheus();
+        assert!(text.contains("# TYPE a_b counter\na_b 2\n"));
+        assert!(text.contains("# TYPE lat_ns histogram\n"));
+        assert!(text.contains("lat_ns_bucket{le=\"1\"} 1\n"));
+        assert!(text.contains("lat_ns_bucket{le=\"3\"} 2\n"));
+        assert!(text.contains("lat_ns_bucket{le=\"+Inf\"} 2\n"));
+        assert!(text.contains("lat_ns_sum 4\n"));
+        assert!(text.contains("lat_ns_count 2\n"));
+    }
+
+    #[test]
+    fn json_rendering() {
+        let r = MetricsRegistry::default();
+        r.counter("a.b").add(2);
+        r.histogram("lat.ns").observe(3);
+        let json = r.snapshot().to_json();
+        assert!(json.contains("\"a.b\": 2"));
+        assert!(json.contains("\"lat.ns\""));
+        assert!(json.contains("\"buckets\": [[3, 1]]"));
+    }
+
+    #[test]
+    fn global_registry_is_shared() {
+        counter("test.obs.global").add(7);
+        assert!(snapshot().counter("test.obs.global").unwrap_or(0) >= 7);
+    }
+}

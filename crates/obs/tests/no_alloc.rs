@@ -1,0 +1,65 @@
+//! The no-op path must not allocate: with no sink installed, opening,
+//! annotating and finishing spans is free of heap traffic, and nothing
+//! is collected.
+//!
+//! This file holds a **single** test on purpose: it installs a counting
+//! global allocator and measures an allocation delta, which would race
+//! with sibling tests in the same binary.
+
+use std::alloc::{GlobalAlloc, Layout, System};
+use std::sync::atomic::{AtomicUsize, Ordering};
+
+struct CountingAlloc;
+
+static ALLOCATIONS: AtomicUsize = AtomicUsize::new(0);
+
+// SAFETY: delegates directly to the system allocator; the counter is a
+// relaxed atomic with no further invariants.
+unsafe impl GlobalAlloc for CountingAlloc {
+    unsafe fn alloc(&self, layout: Layout) -> *mut u8 {
+        ALLOCATIONS.fetch_add(1, Ordering::Relaxed);
+        System.alloc(layout)
+    }
+    unsafe fn dealloc(&self, ptr: *mut u8, layout: Layout) {
+        System.dealloc(ptr, layout)
+    }
+    unsafe fn realloc(&self, ptr: *mut u8, layout: Layout, new_size: usize) -> *mut u8 {
+        ALLOCATIONS.fetch_add(1, Ordering::Relaxed);
+        System.realloc(ptr, layout, new_size)
+    }
+}
+
+#[global_allocator]
+static A: CountingAlloc = CountingAlloc;
+
+#[test]
+fn disabled_spans_do_not_allocate() {
+    assert!(!toss_obs::tracing_enabled());
+
+    // Warm up thread-locals (the lazy thread id, the span stack) and the
+    // timer outside the measured window.
+    let _ = toss_obs::span("warmup").finish();
+    toss_obs::record("warmup_field", 1u64);
+
+    let before = ALLOCATIONS.load(Ordering::Relaxed);
+    for i in 0..10_000u64 {
+        let span = toss_obs::span("toss.query.select");
+        toss_obs::record("expansion_terms", i); // free: no open span collects it
+        span.record("results", i);
+        let _ = span.finish();
+    }
+    let after = ALLOCATIONS.load(Ordering::Relaxed);
+    assert_eq!(
+        after - before,
+        0,
+        "disabled span path allocated {} time(s)",
+        after - before
+    );
+
+    // And nothing was collected anywhere: installing a sink *now* shows
+    // an empty world (span-count == 0 for everything above).
+    let sink = std::sync::Arc::new(toss_obs::sink::MemorySink::new());
+    let scope = toss_obs::install_sink_scoped(sink.clone());
+    assert_eq!(sink.len(), 0);
+    drop(scope);
+}

@@ -60,6 +60,10 @@ impl Fusion {
 /// * [`OntologyError::InequalityViolated`] — a `≠` constraint's endpoints
 ///   were forced into the same fused node.
 pub fn fuse(hierarchies: &[Hierarchy], constraints: &[Constraint]) -> OntologyResult<Fusion> {
+    let obs_span = toss_obs::span("ontology.fusion");
+    obs_span.record("sources", hierarchies.len());
+    obs_span.record("constraints", constraints.len());
+
     // ---- vertex space: (source, node) pairs ----------------------------
     let mut offsets = Vec::with_capacity(hierarchies.len());
     let mut total = 0usize;
@@ -181,6 +185,22 @@ pub fn fuse(hierarchies: &[Hierarchy], constraints: &[Constraint]) -> OntologyRe
                 .collect()
         })
         .collect();
+
+    if obs_span.is_recording() {
+        // merged clusters = fused nodes holding more than one source vertex
+        let mut members = vec![0usize; comp_count];
+        for c in comp.iter().copied() {
+            members[c] += 1;
+        }
+        obs_span.record("nodes_in", total);
+        obs_span.record("nodes_out", fused.len());
+        obs_span.record(
+            "merged_clusters",
+            members.iter().filter(|&&m| m > 1).count(),
+        );
+    }
+    toss_obs::metrics::counter("ontology.fusion.runs").inc();
+    toss_obs::metrics::histogram("ontology.fusion.ns").observe_duration(obs_span.finish());
 
     Ok(Fusion {
         hierarchy: fused,

@@ -43,19 +43,30 @@ pub fn enhance<M: StringMetric>(
     epsilon: f64,
 ) -> OntologyResult<Seo> {
     let n = h.len();
+    let obs_span = toss_obs::span("ontology.sea");
+    obs_span.record("nodes", n);
+    obs_span.record("epsilon", epsilon);
 
     // ---- step 1: ε-similarity graph and its maximal cliques -----------
+    let sim_span = toss_obs::span("ontology.sea.similarity_graph");
     let mut sim = UnGraph::new(n);
+    let mut sim_edges = 0usize;
     for a in 0..n {
         for b in a + 1..n {
             let ta = h.terms_of(HNodeId(a)).expect("dense ids");
             let tb = h.terms_of(HNodeId(b)).expect("dense ids");
             if node_within(metric, ta, tb, epsilon) {
                 sim.add_edge(a, b);
+                sim_edges += 1;
             }
         }
     }
+    sim_span.record("sim_edges", sim_edges);
+    drop(sim_span);
+    let clique_span = toss_obs::span("ontology.sea.cliques");
     let cliques = sim.maximal_cliques();
+    clique_span.record("cliques", cliques.len());
+    drop(clique_span);
 
     // ---- step 2: μ ------------------------------------------------------
     let mut mu: Vec<Vec<usize>> = vec![Vec::new(); n]; // original -> clique ids
@@ -144,6 +155,17 @@ pub fn enhance<M: StringMetric>(
         hp.add_edge(clique_nodes[u], clique_nodes[v])
             .expect("req graph is acyclic");
     }
+
+    if obs_span.is_recording() {
+        obs_span.record("sim_edges", sim_edges);
+        obs_span.record("cliques", cliques.len());
+        obs_span.record(
+            "merged_clusters",
+            cliques.iter().filter(|c| c.len() > 1).count(),
+        );
+    }
+    toss_obs::metrics::counter("ontology.sea.runs").inc();
+    toss_obs::metrics::histogram("ontology.sea.ns").observe_duration(obs_span.finish());
 
     Ok(Seo::new(
         h.clone(),

@@ -6,15 +6,37 @@
 //! so symmetric lookups share one entry. Thread-safe via `std::sync::RwLock`
 //! (a poisoned lock — a panic mid-insert — falls back to the poisoned
 //! guard's data, which is always a consistent map).
+//!
+//! Every lookup is counted as a **hit** (served from the map) or a
+//! **miss** (computed through the inner metric): [`CachedMetric::hits`],
+//! [`CachedMetric::misses`] and [`CachedMetric::hit_rate`] read the
+//! per-instance tallies, and the same events feed the global
+//! `similarity.cache.hits` / `similarity.cache.misses` counters of
+//! `toss_obs::metrics`, so `toss stats` shows cache effectiveness
+//! alongside the query-phase histograms.
 
 use crate::traits::StringMetric;
 use std::collections::HashMap;
-use std::sync::RwLock;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, OnceLock, RwLock};
+use toss_obs::metrics::Counter;
+
+fn global_hits() -> &'static Counter {
+    static HITS: OnceLock<Arc<Counter>> = OnceLock::new();
+    HITS.get_or_init(|| toss_obs::metrics::counter("similarity.cache.hits"))
+}
+
+fn global_misses() -> &'static Counter {
+    static MISSES: OnceLock<Arc<Counter>> = OnceLock::new();
+    MISSES.get_or_init(|| toss_obs::metrics::counter("similarity.cache.misses"))
+}
 
 /// A wrapper that memoizes an inner metric's distances.
 pub struct CachedMetric<M> {
     inner: M,
     cache: RwLock<HashMap<(String, String), f64>>,
+    hits: AtomicU64,
+    misses: AtomicU64,
 }
 
 impl<M: StringMetric> CachedMetric<M> {
@@ -23,6 +45,8 @@ impl<M: StringMetric> CachedMetric<M> {
         CachedMetric {
             inner,
             cache: RwLock::new(HashMap::new()),
+            hits: AtomicU64::new(0),
+            misses: AtomicU64::new(0),
         }
     }
 
@@ -31,7 +55,29 @@ impl<M: StringMetric> CachedMetric<M> {
         self.cache.read().unwrap_or_else(|e| e.into_inner()).len()
     }
 
-    /// Drop all memoized entries.
+    /// Lookups served from the cache.
+    pub fn hits(&self) -> u64 {
+        self.hits.load(Ordering::Relaxed)
+    }
+
+    /// Lookups that had to run the inner metric.
+    pub fn misses(&self) -> u64 {
+        self.misses.load(Ordering::Relaxed)
+    }
+
+    /// Fraction of lookups served from the cache (0.0 with no lookups).
+    pub fn hit_rate(&self) -> f64 {
+        let hits = self.hits() as f64;
+        let total = hits + self.misses() as f64;
+        if total == 0.0 {
+            0.0
+        } else {
+            hits / total
+        }
+    }
+
+    /// Drop all memoized entries (hit/miss tallies are kept: they count
+    /// lookups, not contents).
     pub fn clear(&self) {
         self.cache.write().unwrap_or_else(|e| e.into_inner()).clear();
     }
@@ -54,8 +100,12 @@ impl<M: StringMetric> StringMetric for CachedMetric<M> {
             .unwrap_or_else(|e| e.into_inner())
             .get(&key)
         {
+            self.hits.fetch_add(1, Ordering::Relaxed);
+            global_hits().inc();
             return d;
         }
+        self.misses.fetch_add(1, Ordering::Relaxed);
+        global_misses().inc();
         let d = self.inner.distance(a, b);
         self.cache
             .write()
@@ -109,6 +159,24 @@ mod tests {
     }
 
     #[test]
+    fn repeated_pair_is_a_hit() {
+        let m = CachedMetric::new(Levenshtein);
+        let g_hits = m.hits();
+        assert_eq!(m.hits(), 0);
+        assert_eq!(m.hit_rate(), 0.0);
+        m.distance("alpha", "beta"); // miss: first sighting
+        assert_eq!((m.hits(), m.misses()), (0, 1));
+        m.distance("alpha", "beta"); // hit
+        m.distance("beta", "alpha"); // hit (symmetric key)
+        assert_eq!((m.hits(), m.misses()), (2, 1));
+        assert!((m.hit_rate() - 2.0 / 3.0).abs() < 1e-9);
+        // the global registry saw the same events (≥, since tests share it)
+        let snap = toss_obs::metrics::snapshot();
+        assert!(snap.counter("similarity.cache.hits").unwrap_or(0) >= g_hits + 2);
+        assert!(snap.counter("similarity.cache.misses").unwrap_or(0) >= 1);
+    }
+
+    #[test]
     fn clear_resets() {
         let calls = AtomicUsize::new(0);
         let m = CachedMetric::new(Counting { calls: &calls });
@@ -116,6 +184,7 @@ mod tests {
         m.clear();
         m.distance("a", "b");
         assert_eq!(calls.load(Ordering::SeqCst), 2);
+        assert_eq!((m.hits(), m.misses()), (0, 2));
     }
 
     #[test]

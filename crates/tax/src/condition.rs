@@ -184,7 +184,9 @@ impl Cond {
         Cond::Or(Box::new(self), Box::new(other))
     }
 
-    /// Negation.
+    /// Negation. (A builder like `and`/`or`, deliberately not the `!`
+    /// operator — conditions are built fluently, not evaluated here.)
+    #[allow(clippy::should_implement_trait)]
     pub fn not(self) -> Cond {
         Cond::Not(Box::new(self))
     }

@@ -63,6 +63,24 @@ impl RecoveryReport {
             && self.torn_tail_bytes == 0
             && self.skipped_ops.is_empty()
     }
+
+    /// Fold this report into the global `xmldb.recovery.*` counters (see
+    /// `docs/durability.md` for how to read them via `toss stats`).
+    /// Called once per recovery run.
+    pub fn publish_metrics(&self) {
+        use toss_obs::metrics::counter;
+        counter("xmldb.recovery.runs").inc();
+        counter("xmldb.recovery.replayed_ops").add(self.replayed_ops as u64);
+        counter("xmldb.recovery.skipped_ops").add(self.skipped_ops.len() as u64);
+        counter("xmldb.recovery.torn_tail_bytes").add(self.torn_tail_bytes as u64);
+        counter("xmldb.recovery.quarantined_files").add(self.quarantined.len() as u64);
+        if self.snapshot_error.is_some() {
+            counter("xmldb.recovery.snapshots_discarded").inc();
+        }
+        if self.journal_error.is_some() {
+            counter("xmldb.recovery.journals_cut_short").inc();
+        }
+    }
 }
 
 /// A [`Database`] with crash-safe persistence.
@@ -190,6 +208,7 @@ impl DurableDatabase {
         config: DatabaseConfig,
         vfs: Arc<dyn Vfs>,
     ) -> DbResult<(Self, RecoveryReport)> {
+        let span = toss_obs::span("xmldb.recover");
         let snapshot_path = snapshot.into();
         let mut report = RecoveryReport::default();
         let (db, cursor) = if vfs.exists(&snapshot_path) {
@@ -237,6 +256,10 @@ impl DurableDatabase {
         // Make the recovered state durable again: fresh snapshot, clean
         // journal. After this, a plain strict open succeeds.
         this.checkpoint()?;
+        report.publish_metrics();
+        span.record("replayed_ops", report.replayed_ops);
+        span.record("clean", report.is_clean());
+        drop(span);
         Ok((this, report))
     }
 

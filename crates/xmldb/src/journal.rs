@@ -304,8 +304,10 @@ impl Journal {
                     .into(),
             ));
         }
+        let span = toss_obs::span("xmldb.journal.append");
         let seq = self.next_seq;
         let rec = frame(&encode_payload(seq, op));
+        span.record("bytes", rec.len());
         let appended = self
             .vfs
             .append(&self.path, &rec)
@@ -319,9 +321,16 @@ impl Journal {
             Ok(()) => {
                 self.good_len += rec.len();
                 self.next_seq = seq + 1;
+                toss_obs::metrics::counter("xmldb.journal.appends").inc();
+                toss_obs::metrics::counter("xmldb.journal.fsyncs").inc();
+                toss_obs::metrics::counter("xmldb.journal.bytes_appended").add(rec.len() as u64);
+                toss_obs::metrics::histogram("xmldb.journal.append_ns")
+                    .observe_duration(span.finish());
                 Ok(seq)
             }
             Err(err) => {
+                toss_obs::metrics::counter("xmldb.journal.append_failures").inc();
+                span.record("failed", true);
                 self.truncate_to_good_len();
                 Err(err)
             }

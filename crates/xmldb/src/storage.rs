@@ -222,7 +222,9 @@ pub fn save_with_vfs_seq(
     path: &Path,
     vfs: &dyn Vfs,
 ) -> DbResult<()> {
+    let span = toss_obs::span("xmldb.snapshot.write");
     let json = to_json_with_seq(db, last_seq)?;
+    span.record("bytes", json.len());
     let tmp = path.with_extension("snap.tmp");
     vfs.write(&tmp, json.as_bytes())
         .map_err(|e| DbError::Storage(format!("snapshot write failed: {e}")))?;
@@ -230,6 +232,9 @@ pub fn save_with_vfs_seq(
         .map_err(|e| DbError::Storage(format!("snapshot fsync failed: {e}")))?;
     vfs.rename(&tmp, path)
         .map_err(|e| DbError::Storage(format!("snapshot rename failed: {e}")))?;
+    toss_obs::metrics::counter("xmldb.snapshot.writes").inc();
+    toss_obs::metrics::counter("xmldb.snapshot.bytes_written").add(json.len() as u64);
+    toss_obs::metrics::histogram("xmldb.snapshot.write_ns").observe_duration(span.finish());
     Ok(())
 }
 
@@ -241,12 +246,17 @@ pub fn save_with_vfs(db: &Database, path: &Path, vfs: &dyn Vfs) -> DbResult<()> 
 
 /// Load a snapshot and its journal cursor through an arbitrary [`Vfs`].
 pub fn load_with_vfs_seq(path: &Path, vfs: &dyn Vfs) -> DbResult<(Database, u64)> {
+    let span = toss_obs::span("xmldb.snapshot.load");
     let bytes = vfs
         .read(path)
         .map_err(|e| DbError::Storage(format!("snapshot read failed: {e}")))?;
+    span.record("bytes", bytes.len());
     let json = String::from_utf8(bytes)
         .map_err(|_| DbError::snapshot_corruption("snapshot is not valid UTF-8"))?;
-    from_json_with_seq(&json)
+    let loaded = from_json_with_seq(&json)?;
+    toss_obs::metrics::counter("xmldb.snapshot.loads").inc();
+    toss_obs::metrics::histogram("xmldb.snapshot.load_ns").observe_duration(span.finish());
+    Ok(loaded)
 }
 
 /// Load a snapshot through an arbitrary [`Vfs`].

@@ -69,12 +69,28 @@ impl XPath {
     /// Evaluate against every document of a collection; results in
     /// document order.
     pub fn eval_collection(&self, coll: &Collection) -> Vec<NodeRef> {
+        let span = toss_obs::span("xmldb.xpath.eval");
         let mut out: Vec<NodeRef> = Vec::new();
+        let mut docs_scanned = 0usize;
         for path in &self.paths {
-            eval_path_collection(path, coll, &mut out);
+            docs_scanned += eval_path_collection(path, coll, &mut out);
         }
         out.sort();
         out.dedup();
+        if span.is_recording() {
+            let docs_matched = {
+                let mut docs: Vec<DocumentId> = out.iter().map(|r| r.doc).collect();
+                docs.dedup(); // `out` is sorted by (doc, node)
+                docs.len()
+            };
+            span.record("docs_scanned", docs_scanned);
+            span.record("docs_matched", docs_matched);
+            span.record("nodes_matched", out.len());
+        }
+        toss_obs::metrics::counter("xmldb.xpath.evals").inc();
+        toss_obs::metrics::counter("xmldb.xpath.docs_scanned").add(docs_scanned as u64);
+        toss_obs::metrics::counter("xmldb.xpath.nodes_matched").add(out.len() as u64);
+        toss_obs::metrics::histogram("xmldb.xpath.eval_ns").observe_duration(span.finish());
         out
     }
 }
@@ -216,7 +232,10 @@ fn eval_rel_path(tree: &Tree, node: NodeId, p: &RelPath) -> Vec<NodeId> {
     current
 }
 
-fn eval_path_collection(path: &Path, coll: &Collection, out: &mut Vec<NodeRef>) {
+/// Returns how many documents were actually visited (the tag-index fast
+/// path touches only documents with a posting; the general path scans
+/// the whole collection).
+fn eval_path_collection(path: &Path, coll: &Collection, out: &mut Vec<NodeRef>) -> usize {
     // Fast path: `//name...` — seed from the tag index.
     if let Some(first) = path.steps.first() {
         if first.axis == Axis::Descendant {
@@ -230,6 +249,7 @@ fn eval_path_collection(path: &Path, coll: &Collection, out: &mut Vec<NodeRef>) 
                         _ => by_doc.push((p.doc, vec![p.node])),
                     }
                 }
+                let scanned = by_doc.len();
                 for (doc, seeds) in by_doc {
                     let Ok(stored) = coll.get(doc) else { continue };
                     let tree = &stored.tree;
@@ -239,12 +259,14 @@ fn eval_path_collection(path: &Path, coll: &Collection, out: &mut Vec<NodeRef>) 
                     }
                     out.extend(current.into_iter().map(|node| NodeRef { doc, node }));
                 }
-                return;
+                return scanned;
             }
         }
     }
     // General path: evaluate per document.
+    let mut scanned = 0usize;
     for stored in coll.documents() {
+        scanned += 1;
         for node in eval_path_tree(path, &stored.tree) {
             out.push(NodeRef {
                 doc: stored.id,
@@ -252,6 +274,7 @@ fn eval_path_collection(path: &Path, coll: &Collection, out: &mut Vec<NodeRef>) 
             });
         }
     }
+    scanned
 }
 
 #[cfg(test)]

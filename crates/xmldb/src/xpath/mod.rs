@@ -43,7 +43,14 @@ use crate::error::DbResult;
 impl XPath {
     /// Parse an XPath expression.
     pub fn parse(input: &str) -> DbResult<XPath> {
-        parser::parse(input)
+        let span = toss_obs::span("xmldb.xpath.parse");
+        span.record("src_len", input.len());
+        let parsed = parser::parse(input);
+        toss_obs::metrics::counter("xmldb.xpath.parses").inc();
+        if parsed.is_err() {
+            toss_obs::metrics::counter("xmldb.xpath.parse_errors").inc();
+        }
+        parsed
     }
 }
 

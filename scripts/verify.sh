@@ -17,8 +17,21 @@ cargo test --workspace -q
 if cargo clippy --version >/dev/null 2>&1; then
     echo "==> cargo clippy -p toss-xmldb --all-targets -- -D warnings"
     cargo clippy -p toss-xmldb --all-targets -- -D warnings
+    echo "==> cargo clippy -p toss-obs -p toss-core --all-targets -- -D warnings"
+    cargo clippy -p toss-obs -p toss-core --all-targets -- -D warnings
 else
     echo "==> clippy not installed; skipping lint step"
 fi
+
+echo "==> toss-cli stats smoke test"
+SMOKE=$(mktemp -d)
+trap 'rm -rf "$SMOKE"' EXIT
+cat > "$SMOKE/doc.xml" <<'XML'
+<inproceedings key="s1"><author>Smoke Test</author><year>2004</year></inproceedings>
+XML
+CLI=target/release/toss-cli
+"$CLI" load --db "$SMOKE/store.json" --collection dblp "$SMOKE/doc.xml" >/dev/null
+"$CLI" stats --db "$SMOKE/store.json" | grep -q "^xmldb_journal_appends"
+"$CLI" stats --db "$SMOKE/store.json" --json | grep -q '"xmldb.journal.appends"'
 
 echo "==> verify OK"
