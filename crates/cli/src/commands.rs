@@ -3,11 +3,13 @@
 use crate::args::{tag_value, Args};
 use std::path::Path;
 use std::sync::Arc;
+use std::time::Duration;
 use toss_core::algebra::TossPattern;
 use toss_core::executor::Mode;
 use toss_core::{
-    enhance_sdb_full, make_ontology, suggest_constraints, Executor, MakerConfig, OesInstance,
-    TossCond, TossOp, TossQuery, TossTerm,
+    enhance_sdb_full, make_ontology, suggest_constraints, AdmissionController, Executor,
+    Limit, MakerConfig, OesInstance, QueryBudget, QueryGovernor, TossCond, TossError,
+    TossOp, TossQuery, TossTerm,
 };
 use toss_lexicon::LexiconBuilder;
 use toss_ontology::persist::{seo_from_json, seo_to_json};
@@ -29,10 +31,62 @@ usage:
                      --root <tag> [--eq tag=value]… [--contains tag=value]…
                      [--similar tag=value]… [--below tag=term]… [--tax] [--pretty]
                      [--explain] [--trace-out <spans.jsonl>]
+                     [--timeout-ms <n>] [--max-terms <n>] [--max-docs <n>]
   toss-cli stats     --db <store.json> [--json]
   toss-cli db        checkpoint --db <store.json>
   toss-cli db        recover    --db <store.json>
-  toss-cli dot       --seo <seo.json>";
+  toss-cli dot       --seo <seo.json>
+
+query resource limits: --timeout-ms is a hard wall-clock deadline
+(exit code 3 when exceeded); --max-terms / --max-docs are soft budgets —
+the query degrades gracefully (exit 0, warning on stderr). Exit code 4
+means the query was shed under load.";
+
+/// Exit code for a usage or I/O error (usage text is printed).
+pub const EXIT_USAGE: u8 = 1;
+/// Exit code when a hard budget, the deadline, or cancellation stopped
+/// the query.
+pub const EXIT_BUDGET: u8 = 3;
+/// Exit code when the query was shed by admission control.
+pub const EXIT_OVERLOADED: u8 = 4;
+
+/// A command failure: a message plus the process exit code it maps to.
+#[derive(Debug)]
+pub struct CliFailure {
+    /// Process exit code (see the `EXIT_*` constants).
+    pub code: u8,
+    /// Human-readable cause.
+    pub message: String,
+}
+
+impl From<String> for CliFailure {
+    fn from(message: String) -> Self {
+        CliFailure {
+            code: EXIT_USAGE,
+            message,
+        }
+    }
+}
+
+impl From<&str> for CliFailure {
+    fn from(message: &str) -> Self {
+        CliFailure::from(message.to_string())
+    }
+}
+
+impl From<TossError> for CliFailure {
+    fn from(e: TossError) -> Self {
+        let code = match &e {
+            TossError::BudgetExceeded(_) | TossError::Cancelled => EXIT_BUDGET,
+            TossError::Overloaded(_) => EXIT_OVERLOADED,
+            _ => EXIT_USAGE,
+        };
+        CliFailure {
+            code,
+            message: e.to_string(),
+        }
+    }
+}
 
 /// The default metric: bibliographic name rules + gated Levenshtein.
 fn default_metric() -> impl StringMetric + Clone {
@@ -43,20 +97,20 @@ fn default_metric() -> impl StringMetric + Clone {
 }
 
 /// Dispatch a full argv (first element = subcommand).
-pub fn run(argv: &[String]) -> Result<(), String> {
+pub fn run(argv: &[String]) -> Result<(), CliFailure> {
     let (cmd, rest) = argv
         .split_first()
         .ok_or_else(|| "no subcommand given".to_string())?;
     let args = Args::parse(rest)?;
     match cmd.as_str() {
-        "load" => cmd_load(&args),
-        "xpath" => cmd_xpath(&args),
-        "build-seo" => cmd_build_seo(&args),
+        "load" => cmd_load(&args).map_err(CliFailure::from),
+        "xpath" => cmd_xpath(&args).map_err(CliFailure::from),
+        "build-seo" => cmd_build_seo(&args).map_err(CliFailure::from),
         "query" => cmd_query(&args),
-        "stats" => cmd_stats(&args),
-        "db" => cmd_db(&args),
-        "dot" => cmd_dot(&args),
-        other => Err(format!("unknown subcommand `{other}`")),
+        "stats" => cmd_stats(&args).map_err(CliFailure::from),
+        "db" => cmd_db(&args).map_err(CliFailure::from),
+        "dot" => cmd_dot(&args).map_err(CliFailure::from),
+        other => Err(CliFailure::from(format!("unknown subcommand `{other}`"))),
     }
 }
 
@@ -310,7 +364,36 @@ fn cmd_build_seo(args: &Args) -> Result<(), String> {
     Ok(())
 }
 
-fn cmd_query(args: &Args) -> Result<(), String> {
+/// Parse an optional non-negative integer flag.
+fn parse_u64_flag(args: &Args, name: &str) -> Result<Option<u64>, String> {
+    match args.one(name)? {
+        None => Ok(None),
+        Some(v) => v
+            .parse::<u64>()
+            .map(Some)
+            .map_err(|_| format!("--{name} must be a non-negative integer")),
+    }
+}
+
+/// Assemble the query's resource budget from the command line:
+/// `--timeout-ms` is a hard wall-clock deadline, `--max-terms` and
+/// `--max-docs` are soft limits that degrade the result instead of
+/// failing it.
+fn budget_from_args(args: &Args) -> Result<QueryBudget, String> {
+    let mut budget = QueryBudget::unlimited();
+    if let Some(ms) = parse_u64_flag(args, "timeout-ms")? {
+        budget = budget.with_deadline(Duration::from_millis(ms));
+    }
+    if let Some(n) = parse_u64_flag(args, "max-terms")? {
+        budget = budget.with_max_expansion_terms(Limit::soft(n));
+    }
+    if let Some(n) = parse_u64_flag(args, "max-docs")? {
+        budget = budget.with_max_docs_scanned(Limit::soft(n));
+    }
+    Ok(budget)
+}
+
+fn cmd_query(args: &Args) -> Result<(), CliFailure> {
     let db = load_db(args.required("db")?)?;
     let seo_json = std::fs::read_to_string(args.required("seo")?).map_err(|e| e.to_string())?;
     let seo = Arc::new(seo_from_json(&seo_json).map_err(|e| e.to_string())?);
@@ -380,7 +463,12 @@ fn cmd_query(args: &Args) -> Result<(), String> {
         scopes.push(toss_obs::install_sink_scoped(Arc::new(sink)));
     }
 
-    let out = executor.select(&query, mode).map_err(|e| e.to_string())?;
+    // One governed slot: the CLI serves one query per process, so the
+    // admission controller mainly exercises the same code path a serving
+    // loop would use (expired deadlines are rejected before any scan).
+    let gov = QueryGovernor::new(budget_from_args(args)?);
+    let admission = AdmissionController::new(1, Duration::from_millis(100));
+    let out = admission.run(&gov, || executor.select_governed(&query, mode, &gov))?;
     drop(scopes);
 
     println!(
@@ -392,6 +480,9 @@ fn cmd_query(args: &Args) -> Result<(), String> {
         out.convert_time()
     );
     println!("xpath: {}", out.xpath);
+    if let Some(d) = &out.degradation {
+        eprintln!("warning: degraded result: {d}");
+    }
     if let Some(sink) = memory {
         let records = sink.drain();
         let trace =
@@ -411,12 +502,25 @@ fn cmd_query(args: &Args) -> Result<(), String> {
             "toss.query.expansion_terms",
             "xmldb.xpath.docs_scanned",
             "xmldb.xpath.nodes_matched",
+            "xmldb.xpath.scans_truncated",
             "similarity.cache.hits",
             "similarity.cache.misses",
+            "similarity.cache.evictions",
+            "toss.governor.admitted",
+            "toss.governor.shed",
+            "toss.governor.degraded",
+            "toss.governor.budget_exceeded",
+            "toss.governor.deadline_exceeded",
+            "toss.governor.cancelled",
+            "toss.governor.panics",
         ] {
             if let Some(v) = snap.counter(name) {
                 println!("{name} = {v}");
             }
+        }
+        match &out.degradation {
+            Some(d) => println!("degradation: {d}"),
+            None => println!("degradation: none (exact result)"),
         }
     }
     let style = if args.switch("pretty") {
@@ -555,6 +659,78 @@ mod tests {
             seo_path.display()
         )))
         .unwrap_err();
-        assert!(e.contains("at least one"));
+        assert!(e.message.contains("at least one"));
+        assert_eq!(e.code, EXIT_USAGE);
+    }
+
+    /// Build a tiny store + SEO pair once per test that needs one.
+    fn store_and_seo(prefix: &str) -> (std::path::PathBuf, std::path::PathBuf) {
+        let xml_path = tmp(&format!("{prefix}.xml"));
+        std::fs::write(
+            &xml_path,
+            "<inproceedings><author>Jeff Ullman</author></inproceedings>\
+             <inproceedings><author>Jeff Ullmann</author></inproceedings>",
+        )
+        .expect("write xml");
+        let db_path = tmp(&format!("{prefix}-store.json"));
+        let seo_path = tmp(&format!("{prefix}-seo.json"));
+        std::fs::remove_file(&db_path).ok();
+        run(&argv(&format!(
+            "load --db {} --collection dblp {}",
+            db_path.display(),
+            xml_path.display()
+        )))
+        .expect("load");
+        run(&argv(&format!(
+            "build-seo --db {} --epsilon 2 --out {}",
+            db_path.display(),
+            seo_path.display()
+        )))
+        .expect("build-seo");
+        (db_path, seo_path)
+    }
+
+    #[test]
+    fn zero_timeout_exits_with_budget_code() {
+        let (db_path, seo_path) = store_and_seo("timeout");
+        let e = run(&argv(&format!(
+            "query --db {} --seo {} --collection dblp --root inproceedings \
+             --eq author=Jeff:Ullman --timeout-ms 0",
+            db_path.display(),
+            seo_path.display()
+        ))
+        .iter()
+        .map(|s| s.replace(':', " "))
+        .collect::<Vec<_>>())
+        .unwrap_err();
+        assert_eq!(e.code, EXIT_BUDGET, "{}", e.message);
+        assert!(e.message.contains("deadline"), "{}", e.message);
+    }
+
+    #[test]
+    fn soft_doc_budget_degrades_but_succeeds() {
+        let (db_path, seo_path) = store_and_seo("maxdocs");
+        // two documents in the store; a 1-doc soft budget degrades
+        run(&argv(&format!(
+            "query --db {} --seo {} --collection dblp --root inproceedings \
+             --contains author=Jeff --max-docs 1",
+            db_path.display(),
+            seo_path.display()
+        )))
+        .expect("soft budget must not fail the query");
+    }
+
+    #[test]
+    fn bad_budget_flag_is_a_usage_error() {
+        let (db_path, seo_path) = store_and_seo("badflag");
+        let e = run(&argv(&format!(
+            "query --db {} --seo {} --collection dblp --root inproceedings \
+             --contains author=Jeff --timeout-ms many",
+            db_path.display(),
+            seo_path.display()
+        )))
+        .unwrap_err();
+        assert_eq!(e.code, EXIT_USAGE);
+        assert!(e.message.contains("timeout-ms"));
     }
 }

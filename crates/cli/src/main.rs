@@ -22,10 +22,13 @@ fn main() -> ExitCode {
     match commands::run(&argv) {
         Ok(()) => ExitCode::SUCCESS,
         Err(e) => {
-            eprintln!("error: {e}");
-            eprintln!();
-            eprintln!("{}", commands::USAGE);
-            ExitCode::FAILURE
+            eprintln!("error: {}", e.message);
+            // budget/overload failures are operational, not usage errors
+            if e.code == commands::EXIT_USAGE {
+                eprintln!();
+                eprintln!("{}", commands::USAGE);
+            }
+            ExitCode::from(e.code)
         }
     }
 }

@@ -62,6 +62,7 @@ fn ctx_of<'a>(
         conversions,
         probe_metric: None,
         part_of: None,
+        governor: None,
     }
 }
 

@@ -21,6 +21,17 @@ pub enum TossError {
     /// support (the paper's rewriter likewise targets the experiment's
     /// query shapes).
     Unsupported(String),
+    /// A hard resource budget (or the deadline) was exceeded; the query
+    /// was cancelled promptly. See [`crate::governor::QueryBudget`].
+    BudgetExceeded(crate::governor::BudgetBreach),
+    /// The query's [`crate::governor::CancelToken`] was tripped.
+    Cancelled,
+    /// The admission controller shed the query instead of queueing it
+    /// unboundedly (load shedding under overload).
+    Overloaded(String),
+    /// A panic during query execution was caught and isolated
+    /// ([`crate::governor::isolate`]); the serving loop survives.
+    Internal(String),
 }
 
 impl fmt::Display for TossError {
@@ -32,6 +43,10 @@ impl fmt::Display for TossError {
             TossError::Tax(e) => write!(f, "tax error: {e}"),
             TossError::Db(e) => write!(f, "database error: {e}"),
             TossError::Unsupported(m) => write!(f, "unsupported query shape: {m}"),
+            TossError::BudgetExceeded(b) => write!(f, "{b}"),
+            TossError::Cancelled => write!(f, "query cancelled"),
+            TossError::Overloaded(m) => write!(f, "overloaded, query shed: {m}"),
+            TossError::Internal(m) => write!(f, "internal error: {m}"),
         }
     }
 }

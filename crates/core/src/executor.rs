@@ -19,6 +19,7 @@ use crate::algebra::TossPattern;
 use crate::convert::Conversions;
 use crate::error::{TossError, TossResult};
 use crate::expand::ExpandCtx;
+use crate::governor::{DegradationInfo, QueryGovernor, ScanDecision};
 use crate::rewrite::compile_xpath;
 use crate::typesys::TypeHierarchy;
 use std::collections::BTreeSet;
@@ -27,7 +28,9 @@ use std::time::Duration;
 use toss_ontology::Seo;
 use toss_tax::{Cond, PatternTree};
 use toss_tree::Forest;
-use toss_xmldb::{Database, NodeRef, XPath};
+use toss_xmldb::{
+    Collection, Database, NodeRef, ScanBudget, ScanControl, ScanStatus, XPath,
+};
 
 /// Which semantics to execute a query under.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -60,6 +63,10 @@ pub struct QueryOutcome {
     pub forest: Forest,
     /// The XPath the rewriter produced.
     pub xpath: String,
+    /// When a *soft* budget tripped, the first trip: which dimension,
+    /// how much work was skipped and an estimated recall loss. `None`
+    /// means the result is exact (no budget interfered).
+    pub degradation: Option<DegradationInfo>,
     rewrite_time: Duration,
     execute_time: Duration,
     convert_time: Duration,
@@ -85,6 +92,60 @@ impl QueryOutcome {
     pub fn total_time(&self) -> Duration {
         self.rewrite_time + self.execute_time + self.convert_time
     }
+
+    /// Whether a soft budget degraded this result.
+    pub fn is_degraded(&self) -> bool {
+        self.degradation.is_some()
+    }
+}
+
+/// Bridge from the governor to `toss-xmldb`'s cooperative [`ScanBudget`]
+/// hook (the store crate stays ignorant of `toss-core`'s budget types).
+struct GovernorScan<'a>(&'a QueryGovernor);
+
+impl ScanBudget for GovernorScan<'_> {
+    fn before_document(&self, _docs_scanned: usize) -> ScanControl {
+        match self.0.scan_control() {
+            ScanDecision::Continue => ScanControl::Continue,
+            ScanDecision::Truncate => ScanControl::Truncate,
+            ScanDecision::Abort => ScanControl::Abort,
+        }
+    }
+}
+
+/// Approximate heap bytes of one witness-tree node (tag + content +
+/// child vector bookkeeping) used for the memory budget. A coarse
+/// constant is fine: the ceiling is an order-of-magnitude guard, not an
+/// allocator ledger.
+const APPROX_NODE_BYTES: u64 = 96;
+
+fn approx_tree_bytes(t: &toss_tree::Tree) -> u64 {
+    t.node_count() as u64 * APPROX_NODE_BYTES
+}
+
+/// Keep at most the governor-admitted number of witness trees.
+fn clamp_witnesses(forest: Forest, gov: &QueryGovernor) -> TossResult<Forest> {
+    let allowed = gov.admit_witnesses(forest.len())?;
+    if allowed < forest.len() {
+        Ok(forest.iter().take(allowed).cloned().collect())
+    } else {
+        Ok(forest)
+    }
+}
+
+/// Shrink the two sides of a join until |L| × |R| fits the budget.
+fn clamp_join_inputs(
+    left: Forest,
+    right: Forest,
+    gov: &QueryGovernor,
+) -> TossResult<(Forest, Forest)> {
+    match gov.admit_join_cardinality(left.len(), right.len())? {
+        None => Ok((left, right)),
+        Some((l, r)) => Ok((
+            left.iter().take(l).cloned().collect(),
+            right.iter().take(r).cloned().collect(),
+        )),
+    }
 }
 
 /// Number of expansion terms the SEO rewrite introduced into a compiled
@@ -107,6 +168,18 @@ fn publish_phase_metrics(rewrite: Duration, execute: Duration, convert: Duration
     histogram("toss.query.execute_ns").observe_duration(execute);
     histogram("toss.query.convert_ns").observe_duration(convert);
     histogram("toss.query.total_ns").observe_duration(rewrite + execute + convert);
+}
+
+/// What phases 1 + 2 of a governed query produce: the compiled pattern,
+/// the XPath, the collection and the matched node refs.
+struct Retrieval<'a> {
+    compiled: PatternTree,
+    xpath_src: String,
+    coll: &'a Collection,
+    matches: Vec<NodeRef>,
+    n_expansion: usize,
+    rewrite_time: Duration,
+    execute_time: Duration,
 }
 
 /// The TOSS Query Executor.
@@ -161,6 +234,14 @@ impl Executor {
             conversions: &self.conversions,
             probe_metric: self.probe_metric.as_deref(),
             part_of: self.part_of_seo.as_deref(),
+            governor: None,
+        }
+    }
+
+    fn ctx_governed<'a>(&'a self, gov: &'a QueryGovernor) -> ExpandCtx<'a> {
+        ExpandCtx {
+            governor: Some(gov),
+            ..self.ctx()
         }
     }
 
@@ -171,14 +252,34 @@ impl Executor {
         }
     }
 
-    /// Execute a selection query.
-    pub fn select(&self, query: &TossQuery, mode: Mode) -> TossResult<QueryOutcome> {
-        let span = toss_obs::span("toss.query.select");
-        span.record("collection", query.collection.as_str());
+    fn compile_governed(
+        &self,
+        pattern: &TossPattern,
+        mode: Mode,
+        gov: &QueryGovernor,
+    ) -> TossResult<PatternTree> {
+        match mode {
+            Mode::Toss => pattern.compile(self.ctx_governed(gov)),
+            Mode::TaxBaseline => pattern.compile_baseline(),
+        }
+    }
+
+    /// Phases 1 + 2 under governance: rewrite the pattern (expansion
+    /// terms budgeted), then scan the store through the governor's
+    /// cooperative [`ScanBudget`] hook. The deadline/cancel check at the
+    /// top guarantees an already-dead query is rejected before a single
+    /// document is visited.
+    fn retrieve_governed<'a>(
+        &'a self,
+        query: &TossQuery,
+        mode: Mode,
+        gov: &QueryGovernor,
+    ) -> TossResult<Retrieval<'a>> {
+        gov.check()?;
 
         // phase 1: rewrite
         let rw = toss_obs::span("toss.query.rewrite");
-        let compiled = self.compile(&query.pattern, mode)?;
+        let compiled = self.compile_governed(&query.pattern, mode, gov)?;
         let xpath_src = compile_xpath(&compiled)?;
         let xpath = XPath::parse(&xpath_src)?;
         let n_expansion = expansion_terms(compiled.condition());
@@ -187,35 +288,107 @@ impl Executor {
         let rewrite_time = rw.finish();
 
         // phase 2: execute against the store
+        gov.check()?;
         let ex = toss_obs::span("toss.query.execute");
         let coll = self.db.collection(&query.collection)?;
-        let matches: Vec<NodeRef> = xpath.eval_collection(coll);
+        let (matches, status) = xpath.eval_collection_budgeted(coll, &GovernorScan(gov));
+        match status {
+            ScanStatus::Complete { .. } => {}
+            ScanStatus::Truncated {
+                docs_scanned,
+                docs_total,
+            } => gov.note_scan_truncated(docs_scanned as u64, docs_total as u64),
+            ScanStatus::Aborted { .. } => return Err(gov.scan_abort_error()),
+        }
         ex.record("matches", matches.len());
         let execute_time = ex.finish();
 
-        // phase 3: convert matched documents back to witness trees
-        let cv = toss_obs::span("toss.query.convert");
+        Ok(Retrieval {
+            compiled,
+            xpath_src,
+            coll,
+            matches,
+            n_expansion,
+            rewrite_time,
+            execute_time,
+        })
+    }
+
+    /// Load the matched documents as candidate witness trees, charging
+    /// the approximate-memory budget per tree. A tripped soft ceiling
+    /// stops loading further documents (graceful degradation); a hard
+    /// ceiling errors.
+    fn load_candidates_governed(
+        &self,
+        coll: &Collection,
+        matches: &[NodeRef],
+        gov: &QueryGovernor,
+        cv: &toss_obs::SpanGuard,
+    ) -> TossResult<Forest> {
         let docs: BTreeSet<_> = matches.iter().map(|m| m.doc).collect();
         cv.record("candidate_docs", docs.len());
         let mut candidate = Forest::new();
         for doc in docs {
-            candidate.push(coll.get(doc)?.tree.clone());
+            gov.check()?;
+            let tree = coll.get(doc)?.tree.clone();
+            let fits = gov.charge_memory(approx_tree_bytes(&tree))?;
+            candidate.push(tree);
+            if !fits {
+                cv.record("memory_truncated_at", candidate.len());
+                break;
+            }
         }
-        let forest = toss_tax::select(&candidate, &compiled, &query.expand_labels)?;
+        Ok(candidate)
+    }
+
+    /// Execute a selection query (ungoverned: no budgets, no deadline).
+    pub fn select(&self, query: &TossQuery, mode: Mode) -> TossResult<QueryOutcome> {
+        self.select_governed(query, mode, &QueryGovernor::unlimited())
+    }
+
+    /// Execute a selection query under a [`QueryGovernor`].
+    ///
+    /// Soft budget trips degrade the result (fewer expansion terms,
+    /// documents, or witnesses than an exact run) and are reported in
+    /// [`QueryOutcome::degradation`]; hard trips, the deadline and
+    /// cancellation return typed errors.
+    pub fn select_governed(
+        &self,
+        query: &TossQuery,
+        mode: Mode,
+        gov: &QueryGovernor,
+    ) -> TossResult<QueryOutcome> {
+        let span = toss_obs::span("toss.query.select");
+        span.record("collection", query.collection.as_str());
+
+        let ret = self.retrieve_governed(query, mode, gov)?;
+
+        // phase 3: convert matched documents back to witness trees
+        let cv = toss_obs::span("toss.query.convert");
+        let candidate =
+            self.load_candidates_governed(ret.coll, &ret.matches, gov, &cv)?;
+        let forest = toss_tax::select(&candidate, &ret.compiled, &query.expand_labels)?;
+        let forest = clamp_witnesses(forest, gov)?;
         cv.record("witnesses", forest.len());
         let convert_time = cv.finish();
 
+        let degradation = gov.degradation();
+        if let Some(d) = &degradation {
+            span.record("degradation", d.to_string());
+        }
         span.record("results", forest.len());
         toss_obs::metrics::counter("toss.query.selects").inc();
-        toss_obs::metrics::counter("toss.query.expansion_terms").add(n_expansion as u64);
-        publish_phase_metrics(rewrite_time, execute_time, convert_time);
+        toss_obs::metrics::counter("toss.query.expansion_terms")
+            .add(ret.n_expansion as u64);
+        publish_phase_metrics(ret.rewrite_time, ret.execute_time, convert_time);
         drop(span);
 
         Ok(QueryOutcome {
             forest,
-            xpath: xpath_src,
-            rewrite_time,
-            execute_time,
+            xpath: ret.xpath_src,
+            degradation,
+            rewrite_time: ret.rewrite_time,
+            execute_time: ret.execute_time,
             convert_time,
         })
     }
@@ -230,46 +403,48 @@ impl Executor {
         list: &[toss_tax::ProjectEntry],
         mode: Mode,
     ) -> TossResult<QueryOutcome> {
+        self.project_governed(query, list, mode, &QueryGovernor::unlimited())
+    }
+
+    /// [`Executor::project`] under a [`QueryGovernor`] (same semantics
+    /// as [`Executor::select_governed`]).
+    pub fn project_governed(
+        &self,
+        query: &TossQuery,
+        list: &[toss_tax::ProjectEntry],
+        mode: Mode,
+        gov: &QueryGovernor,
+    ) -> TossResult<QueryOutcome> {
         let span = toss_obs::span("toss.query.project");
         span.record("collection", query.collection.as_str());
 
-        let rw = toss_obs::span("toss.query.rewrite");
-        let compiled = self.compile(&query.pattern, mode)?;
-        let xpath_src = compile_xpath(&compiled)?;
-        let xpath = XPath::parse(&xpath_src)?;
-        let n_expansion = expansion_terms(compiled.condition());
-        rw.record("expansion_terms", n_expansion);
-        rw.record("xpath_len", xpath_src.len());
-        let rewrite_time = rw.finish();
-
-        let ex = toss_obs::span("toss.query.execute");
-        let coll = self.db.collection(&query.collection)?;
-        let matches: Vec<NodeRef> = xpath.eval_collection(coll);
-        ex.record("matches", matches.len());
-        let execute_time = ex.finish();
+        let ret = self.retrieve_governed(query, mode, gov)?;
 
         let cv = toss_obs::span("toss.query.convert");
-        let docs: BTreeSet<_> = matches.iter().map(|m| m.doc).collect();
-        cv.record("candidate_docs", docs.len());
-        let mut candidate = Forest::new();
-        for doc in docs {
-            candidate.push(coll.get(doc)?.tree.clone());
-        }
-        let forest = toss_tax::project(&candidate, &compiled, list)?;
+        let candidate =
+            self.load_candidates_governed(ret.coll, &ret.matches, gov, &cv)?;
+        let forest = toss_tax::project(&candidate, &ret.compiled, list)?;
+        let forest = clamp_witnesses(forest, gov)?;
         cv.record("witnesses", forest.len());
         let convert_time = cv.finish();
 
+        let degradation = gov.degradation();
+        if let Some(d) = &degradation {
+            span.record("degradation", d.to_string());
+        }
         span.record("results", forest.len());
         toss_obs::metrics::counter("toss.query.projects").inc();
-        toss_obs::metrics::counter("toss.query.expansion_terms").add(n_expansion as u64);
-        publish_phase_metrics(rewrite_time, execute_time, convert_time);
+        toss_obs::metrics::counter("toss.query.expansion_terms")
+            .add(ret.n_expansion as u64);
+        publish_phase_metrics(ret.rewrite_time, ret.execute_time, convert_time);
         drop(span);
 
         Ok(QueryOutcome {
             forest,
-            xpath: xpath_src,
-            rewrite_time,
-            execute_time,
+            xpath: ret.xpath_src,
+            degradation,
+            rewrite_time: ret.rewrite_time,
+            execute_time: ret.execute_time,
             convert_time,
         })
     }
@@ -288,20 +463,48 @@ impl Executor {
         expand_labels: &[u32],
         mode: Mode,
     ) -> TossResult<QueryOutcome> {
+        self.join_governed(
+            left,
+            right,
+            cross,
+            expand_labels,
+            mode,
+            &QueryGovernor::unlimited(),
+        )
+    }
+
+    /// [`Executor::join`] under a [`QueryGovernor`]. One governor covers
+    /// the whole request: both side selections, the product (bounded by
+    /// the join-cardinality budget *before* it is materialized) and the
+    /// combine phase.
+    pub fn join_governed(
+        &self,
+        left: &TossQuery,
+        right: &TossQuery,
+        cross: &TossPattern,
+        expand_labels: &[u32],
+        mode: Mode,
+        gov: &QueryGovernor,
+    ) -> TossResult<QueryOutcome> {
         let span = toss_obs::span("toss.query.join");
-        let l = self.select(left, mode)?;
-        let r = self.select(right, mode)?;
+        let l = self.select_governed(left, mode, gov)?;
+        let r = self.select_governed(right, mode, gov)?;
 
         let cross_span = toss_obs::span("toss.query.rewrite");
-        let compiled_cross = self.compile(cross, mode)?;
+        let compiled_cross = self.compile_governed(cross, mode, gov)?;
         let rewrite_time = l.rewrite_time + r.rewrite_time + cross_span.finish();
 
         let combine = toss_obs::span("toss.query.convert");
-        let joined =
-            toss_tax::join(&l.forest, &r.forest, &compiled_cross, expand_labels)?;
+        let (lf, rf) = clamp_join_inputs(l.forest, r.forest, gov)?;
+        let joined = toss_tax::join(&lf, &rf, &compiled_cross, expand_labels)?;
+        let joined = clamp_witnesses(joined, gov)?;
         combine.record("witnesses", joined.len());
         let convert_time = l.convert_time + r.convert_time + combine.finish();
 
+        let degradation = gov.degradation();
+        if let Some(d) = &degradation {
+            span.record("degradation", d.to_string());
+        }
         span.record("results", joined.len());
         toss_obs::metrics::counter("toss.query.joins").inc();
         drop(span);
@@ -309,6 +512,7 @@ impl Executor {
         Ok(QueryOutcome {
             forest: joined,
             xpath: format!("{} ⋈ {}", l.xpath, r.xpath),
+            degradation,
             rewrite_time,
             execute_time: l.execute_time + r.execute_time,
             convert_time,
@@ -329,15 +533,37 @@ impl Executor {
         right_key: &crate::algebra::JoinKey,
         mode: Mode,
     ) -> TossResult<QueryOutcome> {
+        self.join_similarity_governed(
+            left,
+            right,
+            left_key,
+            right_key,
+            mode,
+            &QueryGovernor::unlimited(),
+        )
+    }
+
+    /// [`Executor::join_similarity`] under a [`QueryGovernor`] (same
+    /// request-wide coverage as [`Executor::join_governed`]).
+    pub fn join_similarity_governed(
+        &self,
+        left: &TossQuery,
+        right: &TossQuery,
+        left_key: &crate::algebra::JoinKey,
+        right_key: &crate::algebra::JoinKey,
+        mode: Mode,
+        gov: &QueryGovernor,
+    ) -> TossResult<QueryOutcome> {
         use crate::oes::SeoInstance;
         let span = toss_obs::span("toss.query.join_similarity");
-        let l = self.select(left, mode)?;
-        let r = self.select(right, mode)?;
+        let l = self.select_governed(left, mode, gov)?;
+        let r = self.select_governed(right, mode, gov)?;
         let combine = toss_obs::span("toss.query.convert");
+        let (lf, rf) = clamp_join_inputs(l.forest, r.forest, gov)?;
         let joined = match mode {
             Mode::Toss => crate::algebra::similarity_hash_join(
-                &SeoInstance::new(l.forest, self.seo.clone()),
-                &SeoInstance::new(r.forest, self.seo.clone()),
+                &SeoInstance::new(lf, self.seo.clone()),
+                &SeoInstance::new(rf, self.seo.clone()),
                 left_key,
                 right_key,
             )?,
@@ -350,21 +576,27 @@ impl Executor {
                     0.0,
                 )?);
                 crate::algebra::similarity_hash_join(
-                    &SeoInstance::new(l.forest, empty.clone()),
-                    &SeoInstance::new(r.forest, empty),
+                    &SeoInstance::new(lf, empty.clone()),
+                    &SeoInstance::new(rf, empty),
                     left_key,
                     right_key,
                 )?
             }
         };
-        combine.record("witnesses", joined.forest.len());
+        let forest = clamp_witnesses(joined.forest, gov)?;
+        combine.record("witnesses", forest.len());
         let convert_time = l.convert_time + r.convert_time + combine.finish();
-        span.record("results", joined.forest.len());
+        let degradation = gov.degradation();
+        if let Some(d) = &degradation {
+            span.record("degradation", d.to_string());
+        }
+        span.record("results", forest.len());
         toss_obs::metrics::counter("toss.query.joins").inc();
         drop(span);
         Ok(QueryOutcome {
-            forest: joined.forest,
+            forest,
             xpath: format!("{} ⋈~ {}", l.xpath, r.xpath),
+            degradation,
             rewrite_time: l.rewrite_time + r.rewrite_time,
             execute_time: l.execute_time + r.execute_time,
             convert_time,

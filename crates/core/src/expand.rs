@@ -26,6 +26,7 @@
 use crate::condition::{TossCond, TossOp, TossTerm};
 use crate::convert::Conversions;
 use crate::error::{TossError, TossResult};
+use crate::governor::QueryGovernor;
 use crate::typesys::TypeHierarchy;
 use std::collections::HashMap;
 use toss_ontology::Seo;
@@ -48,6 +49,41 @@ pub struct ExpandCtx<'a> {
     /// Optional part-of SEO for `part_of` conditions (the Section-5
     /// multi-hierarchy extension). `None` makes `part_of` unsupported.
     pub part_of: Option<&'a Seo>,
+    /// Optional query governor: every term set the SEO contributes is
+    /// admitted against the expansion-term budget (soft limits truncate
+    /// the set, hard limits fail the rewrite), and deadline/cancel
+    /// checks run between atoms. `None` expands without bounds.
+    pub governor: Option<&'a QueryGovernor>,
+}
+
+impl<'a> ExpandCtx<'a> {
+    /// A context with no governance (tests and in-memory paths).
+    pub fn ungoverned(
+        seo: &'a Seo,
+        hierarchy: &'a TypeHierarchy,
+        conversions: &'a Conversions,
+    ) -> Self {
+        ExpandCtx {
+            seo,
+            hierarchy,
+            conversions,
+            probe_metric: None,
+            part_of: None,
+            governor: None,
+        }
+    }
+
+    /// Admit a freshly produced expansion set against the governor's
+    /// term budget, truncating under a soft limit.
+    fn admit_terms(&self, mut set: Vec<String>) -> TossResult<Vec<String>> {
+        if let Some(gov) = self.governor {
+            let allowed = gov.admit_expansion_terms(set.len())?;
+            if allowed < set.len() {
+                set.truncate(allowed);
+            }
+        }
+        Ok(set)
+    }
 }
 
 impl std::fmt::Debug for ExpandCtx<'_> {
@@ -125,16 +161,40 @@ fn expand_cmp(
     rhs: &TossTerm,
     ctx: ExpandCtx<'_>,
 ) -> TossResult<Cond> {
+    if let Some(gov) = ctx.governor {
+        gov.check()?;
+    }
     match op {
         TossOp::Similar => match (const_string(lhs), const_string(rhs)) {
             (Some(a), Some(b)) => Ok(TRUE_FALSE(ctx.seo.similar(&a, &b))),
-            (None, Some(s)) => Ok(Cond::in_set(to_tax_term(lhs)?, ctx.similar_terms(&s))),
-            (Some(s), None) => Ok(Cond::in_set(to_tax_term(rhs)?, ctx.similar_terms(&s))),
-            (None, None) => Ok(Cond::shared_class(
+            (None, Some(s)) => Ok(Cond::in_set(
                 to_tax_term(lhs)?,
-                to_tax_term(rhs)?,
-                seo_classes(ctx.seo),
+                ctx.admit_terms(ctx.similar_terms(&s))?,
             )),
+            (Some(s), None) => Ok(Cond::in_set(
+                to_tax_term(rhs)?,
+                ctx.admit_terms(ctx.similar_terms(&s))?,
+            )),
+            (None, None) => {
+                let mut classes = seo_classes(ctx.seo);
+                if let Some(gov) = ctx.governor {
+                    let allowed = gov.admit_expansion_terms(classes.len())?;
+                    if allowed < classes.len() {
+                        // deterministic truncation: keep the lexically
+                        // smallest term renderings
+                        let mut keys: Vec<String> = classes.keys().cloned().collect();
+                        keys.sort();
+                        for k in keys.drain(allowed..) {
+                            classes.remove(&k);
+                        }
+                    }
+                }
+                Ok(Cond::shared_class(
+                    to_tax_term(lhs)?,
+                    to_tax_term(rhs)?,
+                    classes,
+                ))
+            }
         },
         TossOp::Below | TossOp::InstanceOf | TossOp::SubtypeOf => {
             let Some(target) = const_string(rhs) else {
@@ -146,7 +206,7 @@ fn expand_cmp(
                 Some(x) => Ok(TRUE_FALSE(ctx.seo.leq_terms(&x, &target))),
                 None => Ok(Cond::in_set(
                     to_tax_term(lhs)?,
-                    ctx.seo.below_terms(&target),
+                    ctx.admit_terms(ctx.seo.below_terms(&target))?,
                 )),
             }
         }
@@ -166,7 +226,7 @@ fn expand_cmp(
                 Some(x) => Ok(TRUE_FALSE(part_of.leq_terms(&x, &target))),
                 None => Ok(Cond::in_set(
                     to_tax_term(lhs)?,
-                    part_of.below_terms(&target),
+                    ctx.admit_terms(part_of.below_terms(&target))?,
                 )),
             }
         }
@@ -263,13 +323,7 @@ mod tests {
         th: &'a TypeHierarchy,
         cv: &'a Conversions,
     ) -> ExpandCtx<'a> {
-        ExpandCtx {
-            seo,
-            hierarchy: th,
-            conversions: cv,
-            probe_metric: None,
-            part_of: None,
-        }
+        ExpandCtx::ungoverned(seo, th, cv)
     }
 
     #[test]
@@ -409,6 +463,42 @@ mod tests {
                 ..
             }
         ));
+    }
+
+    #[test]
+    fn soft_term_budget_truncates_expansion() {
+        use crate::governor::{QueryBudget, QueryGovernor};
+        let s = seo();
+        let th = TypeHierarchy::new();
+        let cv = Conversions::new();
+        let gov = QueryGovernor::new(QueryBudget::unlimited().with_max_expansion_terms(
+            crate::governor::Limit::soft(1),
+        ));
+        let mut cx = ctx(&s, &th, &cv);
+        cx.governor = Some(&gov);
+        let c = TossCond::below(TossTerm::content(3), TossTerm::ty("conference"));
+        let e = expand(&c, cx).unwrap();
+        match e {
+            Cond::InSet { set, .. } => assert_eq!(set.len(), 1),
+            other => panic!("expected InSet, got {other:?}"),
+        }
+        assert!(gov.degradation().is_some());
+    }
+
+    #[test]
+    fn hard_term_budget_fails_expansion() {
+        use crate::governor::{QueryBudget, QueryGovernor};
+        let s = seo();
+        let th = TypeHierarchy::new();
+        let cv = Conversions::new();
+        let gov = QueryGovernor::new(QueryBudget::unlimited().with_max_expansion_terms(
+            crate::governor::Limit::hard(1),
+        ));
+        let mut cx = ctx(&s, &th, &cv);
+        cx.governor = Some(&gov);
+        let c = TossCond::below(TossTerm::content(3), TossTerm::ty("conference"));
+        let err = expand(&c, cx).unwrap_err();
+        assert!(matches!(err, TossError::BudgetExceeded(_)), "{err:?}");
     }
 
     #[test]

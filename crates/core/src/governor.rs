@@ -1,0 +1,881 @@
+//! Query resource governance: budgets, deadlines, cancellation,
+//! admission control and panic isolation.
+//!
+//! TOSS trades exact-match recall for quality by expanding conditions
+//! through the SEO, but that expansion can blow up combinatorially and
+//! joins can produce quadratic intermediate products. This module bounds
+//! query *execution* so one adversarial or unlucky query cannot pin a
+//! core, exhaust memory, or take a serving loop down:
+//!
+//! * [`QueryBudget`] — a declarative resource envelope: wall-clock
+//!   deadline, SEO expansion terms, documents scanned, join/product
+//!   cardinality, witness trees, approximate memory. Every dimension
+//!   except the deadline can be **soft** (degrade: return what was found
+//!   so far, annotated with a [`DegradationInfo`]) or **hard** (cancel
+//!   with [`TossError::BudgetExceeded`]). The deadline is always hard.
+//! * [`CancelToken`] — a shared flag checked cooperatively in every
+//!   long-running loop; tripping it yields [`TossError::Cancelled`].
+//! * [`QueryGovernor`] — one per query: owns the budget, the token and
+//!   the start instant, tallies work done, and records the first soft
+//!   trip. The executor, the expansion context and the `xmldb` scan hook
+//!   all consult the same governor.
+//! * [`AdmissionController`] — bounded concurrent query slots with a
+//!   wait-queue timeout; when the queue wait expires the query is shed
+//!   with [`TossError::Overloaded`] instead of queueing unboundedly.
+//! * [`isolate`] — `catch_unwind` around query execution converting
+//!   panics into [`TossError::Internal`] so a poisoned query cannot
+//!   unwind through a serving loop.
+//!
+//! Every trip, shed, cancel and panic is counted in the
+//! `toss.governor.*` metric family (see `docs/robustness.md`).
+
+use crate::error::{TossError, TossResult};
+use std::fmt;
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::{Arc, Condvar, Mutex};
+use std::time::{Duration, Instant};
+
+/// Which budget dimension tripped.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum BudgetKind {
+    /// The wall-clock deadline (always hard).
+    Deadline,
+    /// SEO expansion terms introduced during rewrite.
+    ExpansionTerms,
+    /// Documents visited by the store scan.
+    DocsScanned,
+    /// Join / product intermediate cardinality (|L| × |R|).
+    JoinCardinality,
+    /// Witness trees in the result.
+    Witnesses,
+    /// Approximate bytes of intermediate results held in memory.
+    Memory,
+}
+
+impl fmt::Display for BudgetKind {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let s = match self {
+            BudgetKind::Deadline => "deadline",
+            BudgetKind::ExpansionTerms => "expansion-terms",
+            BudgetKind::DocsScanned => "docs-scanned",
+            BudgetKind::JoinCardinality => "join-cardinality",
+            BudgetKind::Witnesses => "witnesses",
+            BudgetKind::Memory => "memory",
+        };
+        write!(f, "{s}")
+    }
+}
+
+/// How a tripped limit is enforced.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Enforcement {
+    /// Degrade gracefully: truncate the remaining work and return the
+    /// results found so far, annotated with a [`DegradationInfo`].
+    Soft,
+    /// Cancel the query with [`TossError::BudgetExceeded`].
+    Hard,
+}
+
+/// One bounded dimension of a [`QueryBudget`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Limit {
+    /// Maximum admitted units of work.
+    pub max: u64,
+    /// What happens when the limit is exceeded.
+    pub enforcement: Enforcement,
+}
+
+impl Limit {
+    /// A soft limit: exceeding it degrades the query.
+    pub fn soft(max: u64) -> Self {
+        Limit {
+            max,
+            enforcement: Enforcement::Soft,
+        }
+    }
+
+    /// A hard limit: exceeding it cancels the query.
+    pub fn hard(max: u64) -> Self {
+        Limit {
+            max,
+            enforcement: Enforcement::Hard,
+        }
+    }
+}
+
+/// The per-query resource envelope. `None` means unlimited.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct QueryBudget {
+    /// Wall-clock deadline measured from [`QueryGovernor`] creation.
+    /// Always enforced hard ([`TossError::BudgetExceeded`] with
+    /// [`BudgetKind::Deadline`]).
+    pub deadline: Option<Duration>,
+    /// Cap on SEO expansion terms introduced during rewrite.
+    pub max_expansion_terms: Option<Limit>,
+    /// Cap on documents visited by the store scan.
+    pub max_docs_scanned: Option<Limit>,
+    /// Cap on |L| × |R| before a join or product is materialized.
+    pub max_join_cardinality: Option<Limit>,
+    /// Cap on witness trees returned.
+    pub max_witnesses: Option<Limit>,
+    /// Approximate ceiling on bytes of intermediate results.
+    pub max_memory_bytes: Option<Limit>,
+}
+
+impl QueryBudget {
+    /// No limits at all (the default).
+    pub fn unlimited() -> Self {
+        QueryBudget::default()
+    }
+
+    /// Set the wall-clock deadline (builder style).
+    pub fn with_deadline(mut self, d: Duration) -> Self {
+        self.deadline = Some(d);
+        self
+    }
+
+    /// Set the expansion-term limit (builder style).
+    pub fn with_max_expansion_terms(mut self, l: Limit) -> Self {
+        self.max_expansion_terms = Some(l);
+        self
+    }
+
+    /// Set the document-scan limit (builder style).
+    pub fn with_max_docs_scanned(mut self, l: Limit) -> Self {
+        self.max_docs_scanned = Some(l);
+        self
+    }
+
+    /// Set the join-cardinality limit (builder style).
+    pub fn with_max_join_cardinality(mut self, l: Limit) -> Self {
+        self.max_join_cardinality = Some(l);
+        self
+    }
+
+    /// Set the witness-count limit (builder style).
+    pub fn with_max_witnesses(mut self, l: Limit) -> Self {
+        self.max_witnesses = Some(l);
+        self
+    }
+
+    /// Set the approximate memory ceiling (builder style).
+    pub fn with_max_memory_bytes(mut self, l: Limit) -> Self {
+        self.max_memory_bytes = Some(l);
+        self
+    }
+}
+
+/// A shared cooperative-cancellation flag. Cloning shares the flag.
+#[derive(Debug, Clone, Default)]
+pub struct CancelToken(Arc<AtomicBool>);
+
+impl CancelToken {
+    /// A fresh, uncancelled token.
+    pub fn new() -> Self {
+        CancelToken::default()
+    }
+
+    /// Request cancellation. Idempotent; visible to all clones.
+    pub fn cancel(&self) {
+        self.0.store(true, Ordering::Release);
+    }
+
+    /// Whether cancellation has been requested.
+    pub fn is_cancelled(&self) -> bool {
+        self.0.load(Ordering::Acquire)
+    }
+}
+
+/// Why and how much a query result was degraded: which soft budget
+/// tripped first, how much work was admitted versus demanded, and a
+/// crude recall-loss estimate (the fraction of demanded work skipped —
+/// an upper bound on the fraction of true answers that can be missing).
+#[derive(Debug, Clone, PartialEq)]
+pub struct DegradationInfo {
+    /// The budget dimension that tripped.
+    pub tripped: BudgetKind,
+    /// The configured limit.
+    pub limit: u64,
+    /// The units of work the query demanded.
+    pub demanded: u64,
+    /// The units of work actually performed.
+    pub work_done: u64,
+    /// `1 − work_done / demanded`, clamped to `[0, 1]`.
+    pub estimated_recall_loss: f64,
+}
+
+impl DegradationInfo {
+    fn new(tripped: BudgetKind, limit: u64, demanded: u64, work_done: u64) -> Self {
+        let loss = if demanded == 0 {
+            0.0
+        } else {
+            (1.0 - work_done as f64 / demanded as f64).clamp(0.0, 1.0)
+        };
+        DegradationInfo {
+            tripped,
+            limit,
+            demanded,
+            work_done,
+            estimated_recall_loss: loss,
+        }
+    }
+}
+
+impl fmt::Display for DegradationInfo {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{} budget tripped: did {} of {} (limit {}), est. recall loss {:.0}%",
+            self.tripped,
+            self.work_done,
+            self.demanded,
+            self.limit,
+            self.estimated_recall_loss * 100.0
+        )
+    }
+}
+
+/// Details of a hard budget breach, carried by
+/// [`TossError::BudgetExceeded`].
+#[derive(Debug, Clone, PartialEq)]
+pub struct BudgetBreach {
+    /// The budget dimension that was exceeded.
+    pub kind: BudgetKind,
+    /// The configured limit (nanoseconds for the deadline).
+    pub limit: u64,
+    /// The observed demand (nanoseconds elapsed for the deadline).
+    pub observed: u64,
+}
+
+impl fmt::Display for BudgetBreach {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{} budget exceeded: {} > limit {}",
+            self.kind, self.observed, self.limit
+        )
+    }
+}
+
+/// The per-query governor: budget + token + work tallies.
+///
+/// One governor is created per query (or per query *request*: a join
+/// threads the same governor through both sides and the combine phase).
+/// All counters are atomic so the governor can be consulted from the
+/// scan hook, the expansion context and the executor concurrently.
+#[derive(Debug)]
+pub struct QueryGovernor {
+    budget: QueryBudget,
+    token: CancelToken,
+    start: Instant,
+    deadline_at: Option<Instant>,
+    terms_used: AtomicU64,
+    docs_scanned: AtomicU64,
+    witnesses_kept: AtomicU64,
+    memory_bytes: AtomicU64,
+    degradation: Mutex<Option<DegradationInfo>>,
+}
+
+impl QueryGovernor {
+    /// Govern with `budget` and a fresh cancel token.
+    pub fn new(budget: QueryBudget) -> Self {
+        Self::with_token(budget, CancelToken::new())
+    }
+
+    /// Govern with `budget` and an externally shared token.
+    pub fn with_token(budget: QueryBudget, token: CancelToken) -> Self {
+        let start = Instant::now();
+        let deadline_at = budget.deadline.map(|d| start + d);
+        QueryGovernor {
+            budget,
+            token,
+            start,
+            deadline_at,
+            terms_used: AtomicU64::new(0),
+            docs_scanned: AtomicU64::new(0),
+            witnesses_kept: AtomicU64::new(0),
+            memory_bytes: AtomicU64::new(0),
+            degradation: Mutex::new(None),
+        }
+    }
+
+    /// A governor with no limits (what ungoverned executor entry points
+    /// use internally).
+    pub fn unlimited() -> Self {
+        Self::new(QueryBudget::unlimited())
+    }
+
+    /// The budget under enforcement.
+    pub fn budget(&self) -> &QueryBudget {
+        &self.budget
+    }
+
+    /// A clone of the cancel token (hand it to whatever may cancel).
+    pub fn token(&self) -> CancelToken {
+        self.token.clone()
+    }
+
+    /// Wall time since the governor was created.
+    pub fn elapsed(&self) -> Duration {
+        self.start.elapsed()
+    }
+
+    /// Expansion terms admitted so far.
+    pub fn terms_used(&self) -> u64 {
+        self.terms_used.load(Ordering::Relaxed)
+    }
+
+    /// Documents scanned so far.
+    pub fn docs_scanned(&self) -> u64 {
+        self.docs_scanned.load(Ordering::Relaxed)
+    }
+
+    /// Approximate intermediate-result bytes charged so far.
+    pub fn memory_used(&self) -> u64 {
+        self.memory_bytes.load(Ordering::Relaxed)
+    }
+
+    /// The first soft-budget trip, if any.
+    pub fn degradation(&self) -> Option<DegradationInfo> {
+        self.degradation
+            .lock()
+            .unwrap_or_else(|e| e.into_inner())
+            .clone()
+    }
+
+    /// Cooperative checkpoint: errors if the token is cancelled or the
+    /// deadline has passed. Called at phase boundaries and inside every
+    /// long-running loop.
+    pub fn check(&self) -> TossResult<()> {
+        if self.token.is_cancelled() {
+            toss_obs::metrics::counter("toss.governor.cancelled").inc();
+            return Err(TossError::Cancelled);
+        }
+        if let Some(at) = self.deadline_at {
+            let now = Instant::now();
+            if now >= at {
+                toss_obs::metrics::counter("toss.governor.deadline_exceeded").inc();
+                return Err(TossError::BudgetExceeded(BudgetBreach {
+                    kind: BudgetKind::Deadline,
+                    limit: self.budget.deadline.unwrap_or_default().as_nanos() as u64,
+                    observed: self.elapsed().as_nanos() as u64,
+                }));
+            }
+        }
+        Ok(())
+    }
+
+    /// Whether the deadline has already passed (without raising).
+    pub fn deadline_expired(&self) -> bool {
+        matches!(self.deadline_at, Some(at) if Instant::now() >= at)
+    }
+
+    /// Record the first soft trip (later trips only bump the counter:
+    /// the first truncation is the one that explains the result).
+    fn trip_soft(&self, info: DegradationInfo) {
+        toss_obs::metrics::counter("toss.governor.degraded").inc();
+        let mut slot = self.degradation.lock().unwrap_or_else(|e| e.into_inner());
+        if slot.is_none() {
+            *slot = Some(info);
+        }
+    }
+
+    fn hard_breach(&self, kind: BudgetKind, limit: u64, observed: u64) -> TossError {
+        toss_obs::metrics::counter("toss.governor.budget_exceeded").inc();
+        TossError::BudgetExceeded(BudgetBreach {
+            kind,
+            limit,
+            observed,
+        })
+    }
+
+    /// Admit up to `requested` new SEO expansion terms. Returns how many
+    /// may actually be used; under a soft limit the overflow is recorded
+    /// as degradation, under a hard limit the query errors.
+    pub fn admit_expansion_terms(&self, requested: usize) -> TossResult<usize> {
+        self.check()?;
+        let used = self.terms_used.load(Ordering::Relaxed);
+        let demanded = used + requested as u64;
+        let Some(limit) = self.budget.max_expansion_terms else {
+            self.terms_used.store(demanded, Ordering::Relaxed);
+            return Ok(requested);
+        };
+        if demanded <= limit.max {
+            self.terms_used.store(demanded, Ordering::Relaxed);
+            return Ok(requested);
+        }
+        match limit.enforcement {
+            Enforcement::Hard => {
+                Err(self.hard_breach(BudgetKind::ExpansionTerms, limit.max, demanded))
+            }
+            Enforcement::Soft => {
+                let allowed = limit.max.saturating_sub(used) as usize;
+                self.terms_used
+                    .store(used + allowed as u64, Ordering::Relaxed);
+                self.trip_soft(DegradationInfo::new(
+                    BudgetKind::ExpansionTerms,
+                    limit.max,
+                    demanded,
+                    used + allowed as u64,
+                ));
+                Ok(allowed)
+            }
+        }
+    }
+
+    /// Per-document scan hook: decide whether the next document may be
+    /// visited. `Continue` also charges one document.
+    pub fn scan_control(&self) -> ScanDecision {
+        if self.token.is_cancelled() || self.deadline_expired() {
+            return ScanDecision::Abort;
+        }
+        let scanned = self.docs_scanned.load(Ordering::Relaxed);
+        if let Some(limit) = self.budget.max_docs_scanned {
+            if scanned >= limit.max {
+                return match limit.enforcement {
+                    Enforcement::Soft => ScanDecision::Truncate,
+                    Enforcement::Hard => ScanDecision::Abort,
+                };
+            }
+        }
+        self.docs_scanned.fetch_add(1, Ordering::Relaxed);
+        ScanDecision::Continue
+    }
+
+    /// The error explaining why a scan aborted: cancellation and the
+    /// deadline take precedence, else the hard document limit.
+    pub fn scan_abort_error(&self) -> TossError {
+        if let Err(e) = self.check() {
+            return e;
+        }
+        let limit = self
+            .budget
+            .max_docs_scanned
+            .map(|l| l.max)
+            .unwrap_or_default();
+        self.hard_breach(
+            BudgetKind::DocsScanned,
+            limit,
+            self.docs_scanned.load(Ordering::Relaxed) + 1,
+        )
+    }
+
+    /// Record a soft scan truncation: `scanned` of `total` documents
+    /// were visited before the soft limit stopped the scan.
+    pub fn note_scan_truncated(&self, scanned: u64, total: u64) {
+        let limit = self
+            .budget
+            .max_docs_scanned
+            .map(|l| l.max)
+            .unwrap_or(scanned);
+        self.trip_soft(DegradationInfo::new(
+            BudgetKind::DocsScanned,
+            limit,
+            total,
+            scanned,
+        ));
+    }
+
+    /// Admit a join/product of `left × right` intermediate pairs.
+    /// Returns `None` when the product fits, or `Some((l, r))` — the
+    /// truncated side sizes — when a soft limit forces a smaller
+    /// product. A hard limit errors.
+    pub fn admit_join_cardinality(
+        &self,
+        left: usize,
+        right: usize,
+    ) -> TossResult<Option<(usize, usize)>> {
+        self.check()?;
+        let Some(limit) = self.budget.max_join_cardinality else {
+            return Ok(None);
+        };
+        let product = (left as u64).saturating_mul(right as u64);
+        if product <= limit.max {
+            return Ok(None);
+        }
+        match limit.enforcement {
+            Enforcement::Hard => {
+                Err(self.hard_breach(BudgetKind::JoinCardinality, limit.max, product))
+            }
+            Enforcement::Soft => {
+                // Keep the left side as intact as possible; shrink the
+                // right so the product fits (each side keeps ≥ 1 row
+                // when the limit allows any work at all).
+                let l = (left as u64).min(limit.max.max(1)) as usize;
+                let r = if l == 0 {
+                    0
+                } else {
+                    ((limit.max / l as u64).max(if limit.max == 0 { 0 } else { 1 }) as usize)
+                        .min(right)
+                };
+                self.trip_soft(DegradationInfo::new(
+                    BudgetKind::JoinCardinality,
+                    limit.max,
+                    product,
+                    (l as u64).saturating_mul(r as u64),
+                ));
+                Ok(Some((l, r)))
+            }
+        }
+    }
+
+    /// Admit `produced` witness trees; returns how many to keep.
+    pub fn admit_witnesses(&self, produced: usize) -> TossResult<usize> {
+        self.check()?;
+        let kept_before = self.witnesses_kept.load(Ordering::Relaxed);
+        let demanded = kept_before + produced as u64;
+        let Some(limit) = self.budget.max_witnesses else {
+            self.witnesses_kept.store(demanded, Ordering::Relaxed);
+            return Ok(produced);
+        };
+        if demanded <= limit.max {
+            self.witnesses_kept.store(demanded, Ordering::Relaxed);
+            return Ok(produced);
+        }
+        match limit.enforcement {
+            Enforcement::Hard => {
+                Err(self.hard_breach(BudgetKind::Witnesses, limit.max, demanded))
+            }
+            Enforcement::Soft => {
+                let allowed = limit.max.saturating_sub(kept_before) as usize;
+                self.witnesses_kept
+                    .store(kept_before + allowed as u64, Ordering::Relaxed);
+                self.trip_soft(DegradationInfo::new(
+                    BudgetKind::Witnesses,
+                    limit.max,
+                    demanded,
+                    kept_before + allowed as u64,
+                ));
+                Ok(allowed)
+            }
+        }
+    }
+
+    /// Charge `bytes` of approximate intermediate-result memory.
+    /// Returns `false` under a tripped soft ceiling (the caller should
+    /// stop accumulating); errors under a hard ceiling.
+    pub fn charge_memory(&self, bytes: u64) -> TossResult<bool> {
+        let total = self.memory_bytes.fetch_add(bytes, Ordering::Relaxed) + bytes;
+        let Some(limit) = self.budget.max_memory_bytes else {
+            return Ok(true);
+        };
+        if total <= limit.max {
+            return Ok(true);
+        }
+        match limit.enforcement {
+            Enforcement::Hard => Err(self.hard_breach(BudgetKind::Memory, limit.max, total)),
+            Enforcement::Soft => {
+                self.trip_soft(DegradationInfo::new(
+                    BudgetKind::Memory,
+                    limit.max,
+                    total,
+                    limit.max,
+                ));
+                Ok(false)
+            }
+        }
+    }
+}
+
+/// The per-document decision of [`QueryGovernor::scan_control`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ScanDecision {
+    /// Visit the document (it has been charged).
+    Continue,
+    /// Stop scanning but keep the matches found so far (soft limit).
+    Truncate,
+    /// Stop scanning and fail the query (cancel / deadline / hard limit).
+    Abort,
+}
+
+/// Bounded concurrent query slots with a wait-queue timeout.
+///
+/// `max_concurrent` queries run at once; a query that cannot get a slot
+/// waits at most `max_queue_wait` and is then shed with
+/// [`TossError::Overloaded`] — the controller never queues unboundedly.
+#[derive(Debug)]
+pub struct AdmissionController {
+    max_concurrent: usize,
+    max_queue_wait: Duration,
+    active: Mutex<usize>,
+    freed: Condvar,
+}
+
+impl AdmissionController {
+    /// `max_concurrent` slots, shedding after `max_queue_wait` in queue.
+    pub fn new(max_concurrent: usize, max_queue_wait: Duration) -> Self {
+        AdmissionController {
+            max_concurrent: max_concurrent.max(1),
+            max_queue_wait,
+            active: Mutex::new(0),
+            freed: Condvar::new(),
+        }
+    }
+
+    /// Queries currently holding a slot.
+    pub fn active(&self) -> usize {
+        *self.active.lock().unwrap_or_else(|e| e.into_inner())
+    }
+
+    /// Acquire a slot, waiting at most the configured queue timeout.
+    /// Sheds with [`TossError::Overloaded`] when the wait expires.
+    pub fn admit(&self) -> TossResult<AdmissionPermit<'_>> {
+        let enqueued = Instant::now();
+        let mut active = self.active.lock().unwrap_or_else(|e| e.into_inner());
+        while *active >= self.max_concurrent {
+            let waited = enqueued.elapsed();
+            if waited >= self.max_queue_wait {
+                toss_obs::metrics::counter("toss.governor.shed").inc();
+                return Err(TossError::Overloaded(format!(
+                    "{} queries active, queue wait {:?} exceeded {:?}",
+                    self.max_concurrent, waited, self.max_queue_wait
+                )));
+            }
+            let (guard, _timeout) = self
+                .freed
+                .wait_timeout(active, self.max_queue_wait - waited)
+                .unwrap_or_else(|e| e.into_inner());
+            active = guard;
+        }
+        *active += 1;
+        toss_obs::metrics::counter("toss.governor.admitted").inc();
+        toss_obs::metrics::histogram("toss.governor.queue_wait_ns")
+            .observe_duration(enqueued.elapsed());
+        Ok(AdmissionPermit { ctrl: self })
+    }
+
+    /// The full governed entry point for a serving loop: reject an
+    /// already-expired deadline or cancelled token *before* admission
+    /// (and before any document is scanned), acquire a slot or shed,
+    /// then run `f` with panic isolation.
+    pub fn run<T>(
+        &self,
+        governor: &QueryGovernor,
+        f: impl FnOnce() -> TossResult<T>,
+    ) -> TossResult<T> {
+        governor.check()?;
+        let _permit = self.admit()?;
+        isolate(f)
+    }
+}
+
+/// An acquired admission slot; released on drop.
+#[derive(Debug)]
+pub struct AdmissionPermit<'a> {
+    ctrl: &'a AdmissionController,
+}
+
+impl Drop for AdmissionPermit<'_> {
+    fn drop(&mut self) {
+        let mut active = self.ctrl.active.lock().unwrap_or_else(|e| e.into_inner());
+        *active = active.saturating_sub(1);
+        drop(active);
+        self.ctrl.freed.notify_one();
+    }
+}
+
+/// Run `f`, converting a panic into [`TossError::Internal`] so one
+/// poisoned query cannot unwind through a serving loop. Counted in
+/// `toss.governor.panics`.
+pub fn isolate<T>(f: impl FnOnce() -> TossResult<T>) -> TossResult<T> {
+    match catch_unwind(AssertUnwindSafe(f)) {
+        Ok(result) => result,
+        Err(payload) => {
+            toss_obs::metrics::counter("toss.governor.panics").inc();
+            let msg = payload
+                .downcast_ref::<&str>()
+                .map(|s| s.to_string())
+                .or_else(|| payload.downcast_ref::<String>().cloned())
+                .unwrap_or_else(|| "non-string panic payload".into());
+            Err(TossError::Internal(format!("query panicked: {msg}")))
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::AtomicUsize;
+    use std::thread;
+
+    #[test]
+    fn unlimited_governor_admits_everything() {
+        let g = QueryGovernor::unlimited();
+        assert!(g.check().is_ok());
+        assert_eq!(g.admit_expansion_terms(1_000_000).unwrap(), 1_000_000);
+        assert_eq!(g.scan_control(), ScanDecision::Continue);
+        assert_eq!(g.admit_join_cardinality(10_000, 10_000).unwrap(), None);
+        assert_eq!(g.admit_witnesses(500).unwrap(), 500);
+        assert!(g.charge_memory(1 << 40).unwrap());
+        assert!(g.degradation().is_none());
+    }
+
+    #[test]
+    fn soft_term_limit_truncates_and_records() {
+        let g = QueryGovernor::new(
+            QueryBudget::unlimited().with_max_expansion_terms(Limit::soft(10)),
+        );
+        assert_eq!(g.admit_expansion_terms(7).unwrap(), 7);
+        assert_eq!(g.admit_expansion_terms(7).unwrap(), 3);
+        assert_eq!(g.admit_expansion_terms(7).unwrap(), 0);
+        let d = g.degradation().expect("degraded");
+        assert_eq!(d.tripped, BudgetKind::ExpansionTerms);
+        assert_eq!(d.limit, 10);
+        assert_eq!(d.demanded, 14); // the first over-demand is recorded
+        assert_eq!(d.work_done, 10);
+        assert!(d.estimated_recall_loss > 0.0);
+    }
+
+    #[test]
+    fn hard_term_limit_errors() {
+        let g = QueryGovernor::new(
+            QueryBudget::unlimited().with_max_expansion_terms(Limit::hard(5)),
+        );
+        assert_eq!(g.admit_expansion_terms(5).unwrap(), 5); // boundary ok
+        match g.admit_expansion_terms(1) {
+            Err(TossError::BudgetExceeded(b)) => {
+                assert_eq!(b.kind, BudgetKind::ExpansionTerms);
+                assert_eq!(b.limit, 5);
+                assert_eq!(b.observed, 6);
+            }
+            other => panic!("expected BudgetExceeded, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn cancel_token_is_shared_and_prompt() {
+        let g = QueryGovernor::unlimited();
+        let t = g.token();
+        assert!(g.check().is_ok());
+        t.cancel();
+        assert!(matches!(g.check(), Err(TossError::Cancelled)));
+        assert_eq!(g.scan_control(), ScanDecision::Abort);
+        assert!(matches!(g.scan_abort_error(), TossError::Cancelled));
+    }
+
+    #[test]
+    fn expired_deadline_fails_checks() {
+        let g = QueryGovernor::new(
+            QueryBudget::unlimited().with_deadline(Duration::ZERO),
+        );
+        match g.check() {
+            Err(TossError::BudgetExceeded(b)) => assert_eq!(b.kind, BudgetKind::Deadline),
+            other => panic!("expected deadline breach, got {other:?}"),
+        }
+        assert!(g.deadline_expired());
+        assert_eq!(g.scan_control(), ScanDecision::Abort);
+    }
+
+    #[test]
+    fn doc_scan_soft_and_hard() {
+        let soft = QueryGovernor::new(
+            QueryBudget::unlimited().with_max_docs_scanned(Limit::soft(2)),
+        );
+        assert_eq!(soft.scan_control(), ScanDecision::Continue);
+        assert_eq!(soft.scan_control(), ScanDecision::Continue);
+        assert_eq!(soft.scan_control(), ScanDecision::Truncate);
+        soft.note_scan_truncated(2, 10);
+        let d = soft.degradation().unwrap();
+        assert_eq!(d.tripped, BudgetKind::DocsScanned);
+        assert!((d.estimated_recall_loss - 0.8).abs() < 1e-9);
+
+        let hard = QueryGovernor::new(
+            QueryBudget::unlimited().with_max_docs_scanned(Limit::hard(1)),
+        );
+        assert_eq!(hard.scan_control(), ScanDecision::Continue);
+        assert_eq!(hard.scan_control(), ScanDecision::Abort);
+        assert!(matches!(
+            hard.scan_abort_error(),
+            TossError::BudgetExceeded(BudgetBreach {
+                kind: BudgetKind::DocsScanned,
+                ..
+            })
+        ));
+    }
+
+    #[test]
+    fn join_cardinality_truncation_fits_product() {
+        let g = QueryGovernor::new(
+            QueryBudget::unlimited().with_max_join_cardinality(Limit::soft(10)),
+        );
+        let (l, r) = g.admit_join_cardinality(4, 100).unwrap().unwrap();
+        assert!(l * r <= 10);
+        assert!(l >= 1 && r >= 1);
+        // zero-limit: no pairs at all
+        let g0 = QueryGovernor::new(
+            QueryBudget::unlimited().with_max_join_cardinality(Limit::soft(0)),
+        );
+        let (l0, r0) = g0.admit_join_cardinality(4, 4).unwrap().unwrap();
+        assert_eq!(l0 * r0, 0);
+    }
+
+    #[test]
+    fn memory_ceiling_soft_then_hard() {
+        let soft = QueryGovernor::new(
+            QueryBudget::unlimited().with_max_memory_bytes(Limit::soft(100)),
+        );
+        assert!(soft.charge_memory(60).unwrap());
+        assert!(!soft.charge_memory(60).unwrap());
+        assert_eq!(soft.degradation().unwrap().tripped, BudgetKind::Memory);
+
+        let hard = QueryGovernor::new(
+            QueryBudget::unlimited().with_max_memory_bytes(Limit::hard(100)),
+        );
+        assert!(hard.charge_memory(100).unwrap()); // boundary ok
+        assert!(hard.charge_memory(1).is_err());
+    }
+
+    #[test]
+    fn admission_sheds_rather_than_queueing() {
+        let ctrl = Arc::new(AdmissionController::new(1, Duration::from_millis(20)));
+        let p = ctrl.admit().unwrap();
+        assert_eq!(ctrl.active(), 1);
+        let c2 = ctrl.clone();
+        let shed = thread::spawn(move || c2.admit().map(|_| ()))
+            .join()
+            .unwrap();
+        assert!(matches!(shed, Err(TossError::Overloaded(_))));
+        drop(p);
+        assert_eq!(ctrl.active(), 0);
+        let _again = ctrl.admit().unwrap(); // slot is reusable
+    }
+
+    #[test]
+    fn admission_run_rejects_expired_deadline_before_slot() {
+        let ctrl = AdmissionController::new(1, Duration::from_millis(10));
+        let g = QueryGovernor::new(
+            QueryBudget::unlimited().with_deadline(Duration::ZERO),
+        );
+        let ran = AtomicUsize::new(0);
+        let out = ctrl.run(&g, || {
+            ran.fetch_add(1, Ordering::SeqCst);
+            Ok(())
+        });
+        assert!(matches!(out, Err(TossError::BudgetExceeded(_))));
+        assert_eq!(ran.load(Ordering::SeqCst), 0, "body must not run");
+        assert_eq!(ctrl.active(), 0, "no slot leaked");
+    }
+
+    #[test]
+    fn isolate_catches_panics() {
+        let ok = isolate(|| Ok::<_, TossError>(42));
+        assert_eq!(ok.unwrap(), 42);
+        let before = toss_obs::metrics::counter("toss.governor.panics").get();
+        let out: TossResult<()> = isolate(|| panic!("poisoned query"));
+        match out {
+            Err(TossError::Internal(m)) => assert!(m.contains("poisoned query")),
+            other => panic!("expected Internal, got {other:?}"),
+        }
+        assert!(toss_obs::metrics::counter("toss.governor.panics").get() > before);
+    }
+
+    #[test]
+    fn permit_released_even_on_panic_inside_run() {
+        let ctrl = AdmissionController::new(1, Duration::from_millis(10));
+        let g = QueryGovernor::unlimited();
+        let out: TossResult<()> = ctrl.run(&g, || panic!("boom"));
+        assert!(matches!(out, Err(TossError::Internal(_))));
+        assert_eq!(ctrl.active(), 0, "slot must be released after a panic");
+    }
+}

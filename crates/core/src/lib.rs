@@ -28,6 +28,10 @@
 //!   and converts results back into TAX witness trees, reporting the
 //!   paper's three timed phases.
 //! * [`mod@quality`] — precision, recall and quality = √(precision · recall).
+//! * [`governor`] — query resource governance: per-query budgets and
+//!   deadlines, cooperative cancellation, admission control (load
+//!   shedding) and panic isolation, so adversarial or unlucky queries
+//!   degrade gracefully or are cancelled instead of pinning a core.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
@@ -39,6 +43,7 @@ pub mod enhancer;
 pub mod error;
 pub mod executor;
 pub mod expand;
+pub mod governor;
 pub mod maker;
 pub mod oes;
 pub mod quality;
@@ -49,6 +54,10 @@ pub use condition::{TossCond, TossOp, TossTerm};
 pub use enhancer::{enhance_sdb, enhance_sdb_full, SdbSeo};
 pub use error::{TossError, TossResult};
 pub use executor::{Executor, QueryOutcome, TossQuery};
+pub use governor::{
+    AdmissionController, BudgetKind, CancelToken, DegradationInfo, Enforcement, Limit,
+    QueryBudget, QueryGovernor,
+};
 pub use maker::{make_ontology, suggest_constraints, MakerConfig};
 pub use oes::{OesInstance, SeoInstance};
 pub use quality::{precision, quality, recall};

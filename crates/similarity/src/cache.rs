@@ -7,16 +7,26 @@
 //! (a poisoned lock — a panic mid-insert — falls back to the poisoned
 //! guard's data, which is always a consistent map).
 //!
+//! The cache is **bounded**: at most [`CachedMetric::DEFAULT_CAPACITY`]
+//! pairs by default (configurable via [`CachedMetric::with_capacity`],
+//! removable via [`CachedMetric::unbounded`]). When full, the oldest
+//! inserted entry is evicted (FIFO) — the SEA pair sweep and probe
+//! expansion both touch pairs in waves, so insertion age approximates
+//! recency well enough without per-hit bookkeeping. An adversarial query
+//! stream therefore cannot grow the cache without bound.
+//!
 //! Every lookup is counted as a **hit** (served from the map) or a
 //! **miss** (computed through the inner metric): [`CachedMetric::hits`],
 //! [`CachedMetric::misses`] and [`CachedMetric::hit_rate`] read the
 //! per-instance tallies, and the same events feed the global
 //! `similarity.cache.hits` / `similarity.cache.misses` counters of
 //! `toss_obs::metrics`, so `toss stats` shows cache effectiveness
-//! alongside the query-phase histograms.
+//! alongside the query-phase histograms. Evictions are tallied in
+//! [`CachedMetric::evictions`] and the global
+//! `similarity.cache.evictions` counter.
 
 use crate::traits::StringMetric;
-use std::collections::HashMap;
+use std::collections::{HashMap, VecDeque};
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::{Arc, OnceLock, RwLock};
 use toss_obs::metrics::Counter;
@@ -31,28 +41,76 @@ fn global_misses() -> &'static Counter {
     MISSES.get_or_init(|| toss_obs::metrics::counter("similarity.cache.misses"))
 }
 
+fn global_evictions() -> &'static Counter {
+    static EVICTIONS: OnceLock<Arc<Counter>> = OnceLock::new();
+    EVICTIONS.get_or_init(|| toss_obs::metrics::counter("similarity.cache.evictions"))
+}
+
+/// Map plus FIFO insertion order, updated together under one lock.
+struct CacheState {
+    map: HashMap<(String, String), f64>,
+    order: VecDeque<(String, String)>,
+}
+
 /// A wrapper that memoizes an inner metric's distances.
 pub struct CachedMetric<M> {
     inner: M,
-    cache: RwLock<HashMap<(String, String), f64>>,
+    cache: RwLock<CacheState>,
+    capacity: Option<usize>,
     hits: AtomicU64,
     misses: AtomicU64,
+    evictions: AtomicU64,
 }
 
 impl<M: StringMetric> CachedMetric<M> {
-    /// Wrap a metric with an empty cache.
+    /// The default bound on memoized pairs (~1M entries; at two short
+    /// strings and an `f64` per entry this is tens of MB, not gigabytes).
+    pub const DEFAULT_CAPACITY: usize = 1 << 20;
+
+    /// Wrap a metric with an empty cache bounded at
+    /// [`CachedMetric::DEFAULT_CAPACITY`] pairs.
     pub fn new(inner: M) -> Self {
+        Self::build(inner, Some(Self::DEFAULT_CAPACITY))
+    }
+
+    /// Wrap a metric with an explicit capacity (0 disables memoization:
+    /// every lookup runs the inner metric).
+    pub fn with_capacity(inner: M, capacity: usize) -> Self {
+        Self::build(inner, Some(capacity))
+    }
+
+    /// Wrap a metric with no eviction at all (the pre-bounded behaviour;
+    /// only safe when the key universe is known to be small).
+    pub fn unbounded(inner: M) -> Self {
+        Self::build(inner, None)
+    }
+
+    fn build(inner: M, capacity: Option<usize>) -> Self {
         CachedMetric {
             inner,
-            cache: RwLock::new(HashMap::new()),
+            cache: RwLock::new(CacheState {
+                map: HashMap::new(),
+                order: VecDeque::new(),
+            }),
+            capacity,
             hits: AtomicU64::new(0),
             misses: AtomicU64::new(0),
+            evictions: AtomicU64::new(0),
         }
+    }
+
+    /// The configured capacity (`None` = unbounded).
+    pub fn capacity(&self) -> Option<usize> {
+        self.capacity
     }
 
     /// Number of memoized pairs.
     pub fn cached_pairs(&self) -> usize {
-        self.cache.read().unwrap_or_else(|e| e.into_inner()).len()
+        self.cache
+            .read()
+            .unwrap_or_else(|e| e.into_inner())
+            .map
+            .len()
     }
 
     /// Lookups served from the cache.
@@ -63,6 +121,11 @@ impl<M: StringMetric> CachedMetric<M> {
     /// Lookups that had to run the inner metric.
     pub fn misses(&self) -> u64 {
         self.misses.load(Ordering::Relaxed)
+    }
+
+    /// Entries evicted to stay within capacity.
+    pub fn evictions(&self) -> u64 {
+        self.evictions.load(Ordering::Relaxed)
     }
 
     /// Fraction of lookups served from the cache (0.0 with no lookups).
@@ -79,7 +142,9 @@ impl<M: StringMetric> CachedMetric<M> {
     /// Drop all memoized entries (hit/miss tallies are kept: they count
     /// lookups, not contents).
     pub fn clear(&self) {
-        self.cache.write().unwrap_or_else(|e| e.into_inner()).clear();
+        let mut state = self.cache.write().unwrap_or_else(|e| e.into_inner());
+        state.map.clear();
+        state.order.clear();
     }
 
     fn key(a: &str, b: &str) -> (String, String) {
@@ -98,6 +163,7 @@ impl<M: StringMetric> StringMetric for CachedMetric<M> {
             .cache
             .read()
             .unwrap_or_else(|e| e.into_inner())
+            .map
             .get(&key)
         {
             self.hits.fetch_add(1, Ordering::Relaxed);
@@ -107,10 +173,24 @@ impl<M: StringMetric> StringMetric for CachedMetric<M> {
         self.misses.fetch_add(1, Ordering::Relaxed);
         global_misses().inc();
         let d = self.inner.distance(a, b);
-        self.cache
-            .write()
-            .unwrap_or_else(|e| e.into_inner())
-            .insert(key, d);
+        if self.capacity == Some(0) {
+            return d;
+        }
+        let mut state = self.cache.write().unwrap_or_else(|e| e.into_inner());
+        // another thread may have inserted the same key while we computed
+        if state.map.insert(key.clone(), d).is_none() {
+            state.order.push_back(key);
+            if let Some(cap) = self.capacity {
+                while state.map.len() > cap {
+                    let Some(oldest) = state.order.pop_front() else {
+                        break;
+                    };
+                    state.map.remove(&oldest);
+                    self.evictions.fetch_add(1, Ordering::Relaxed);
+                    global_evictions().inc();
+                }
+            }
+        }
         d
     }
 
@@ -185,6 +265,47 @@ mod tests {
         m.distance("a", "b");
         assert_eq!(calls.load(Ordering::SeqCst), 2);
         assert_eq!((m.hits(), m.misses()), (0, 2));
+    }
+
+    #[test]
+    fn capacity_evicts_oldest_first() {
+        let m = CachedMetric::with_capacity(Levenshtein, 2);
+        assert_eq!(m.capacity(), Some(2));
+        m.distance("a", "b");
+        m.distance("c", "d");
+        m.distance("e", "f"); // evicts (a, b)
+        assert_eq!(m.cached_pairs(), 2);
+        assert_eq!(m.evictions(), 1);
+        m.distance("c", "d"); // still cached: a hit
+        assert_eq!(m.hits(), 1);
+        m.distance("a", "b"); // evicted: a miss again (and evicts (e, f))
+        assert_eq!(m.misses(), 4);
+        assert_eq!(m.evictions(), 2);
+        // the global registry saw the evictions too
+        let snap = toss_obs::metrics::snapshot();
+        assert!(snap.counter("similarity.cache.evictions").unwrap_or(0) >= 2);
+    }
+
+    #[test]
+    fn zero_capacity_disables_memoization() {
+        let calls = AtomicUsize::new(0);
+        let m = CachedMetric::with_capacity(Counting { calls: &calls }, 0);
+        assert_eq!(m.distance("abc", "abd"), 1.0);
+        assert_eq!(m.distance("abc", "abd"), 1.0);
+        assert_eq!(calls.load(Ordering::SeqCst), 2);
+        assert_eq!(m.cached_pairs(), 0);
+        assert_eq!(m.evictions(), 0);
+    }
+
+    #[test]
+    fn unbounded_never_evicts() {
+        let m = CachedMetric::unbounded(Levenshtein);
+        assert_eq!(m.capacity(), None);
+        for i in 0..100 {
+            m.distance(&format!("left{i}"), &format!("right{i}"));
+        }
+        assert_eq!(m.cached_pairs(), 100);
+        assert_eq!(m.evictions(), 0);
     }
 
     #[test]

@@ -51,4 +51,4 @@ pub use error::{CorruptionSite, DbError, DbResult};
 pub use journal::{Journal, JournalOp};
 pub use parser::{parse_document, parse_forest};
 pub use vfs::{FaultMode, FaultVfs, StdVfs, Vfs};
-pub use xpath::{NodeRef, XPath};
+pub use xpath::{NodeRef, ScanBudget, ScanControl, ScanStatus, XPath};

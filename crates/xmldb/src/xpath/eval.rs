@@ -22,6 +22,90 @@ pub struct NodeRef {
     pub node: NodeId,
 }
 
+/// A cooperative per-document scan budget.
+///
+/// The evaluator calls [`ScanBudget::before_document`] before visiting
+/// each document. This keeps the DB layer decoupled from any particular
+/// governance policy: `toss-core`'s query governor implements this trait
+/// to enforce deadlines, cancellation and document-scan limits, and the
+/// evaluator only needs to know *continue / truncate / abort*.
+pub trait ScanBudget {
+    /// Decide whether the next document may be visited. `docs_scanned`
+    /// counts documents already visited by this evaluation.
+    fn before_document(&self, docs_scanned: usize) -> ScanControl;
+}
+
+/// The decision a [`ScanBudget`] returns for the next document.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ScanControl {
+    /// Visit the document.
+    Continue,
+    /// Stop scanning but keep the matches found so far (a soft limit:
+    /// the caller turns the partial result into a degraded answer).
+    Truncate,
+    /// Stop scanning and discard nothing — the caller decides how to
+    /// fail (cancellation, deadline, or a hard limit).
+    Abort,
+}
+
+/// How a budgeted collection evaluation ended.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ScanStatus {
+    /// Every candidate document was visited.
+    Complete {
+        /// Documents visited.
+        docs_scanned: usize,
+    },
+    /// The budget truncated the scan; the matches are a prefix of the
+    /// full answer.
+    Truncated {
+        /// Documents visited before the budget stopped the scan.
+        docs_scanned: usize,
+        /// Documents a full evaluation would have visited.
+        docs_total: usize,
+    },
+    /// The budget aborted the scan; the matches must be discarded.
+    Aborted {
+        /// Documents visited before the abort.
+        docs_scanned: usize,
+    },
+}
+
+/// The always-continue budget backing [`XPath::eval_collection`].
+struct NoBudget;
+
+impl ScanBudget for NoBudget {
+    fn before_document(&self, _docs_scanned: usize) -> ScanControl {
+        ScanControl::Continue
+    }
+}
+
+/// Mutable state threaded through a budgeted evaluation.
+struct ScanState<'a> {
+    budget: &'a dyn ScanBudget,
+    scanned: usize,
+    /// Candidate documents across all union branches (including the
+    /// ones the budget prevented from being visited).
+    total: usize,
+    stopped: Option<ScanControl>,
+}
+
+impl ScanState<'_> {
+    /// Charge one document; returns false when scanning must stop.
+    fn admit_document(&mut self) -> bool {
+        match self.budget.before_document(self.scanned) {
+            ScanControl::Continue => {
+                self.scanned += 1;
+                true
+            }
+            control => {
+                self.stopped = Some(control);
+                false
+            }
+        }
+    }
+}
+
 /// The W3C-style string-value of a node: its own text content
 /// concatenated with the content of all descendants in preorder.
 /// Exposed as a helper; **comparisons in this engine use
@@ -69,12 +153,49 @@ impl XPath {
     /// Evaluate against every document of a collection; results in
     /// document order.
     pub fn eval_collection(&self, coll: &Collection) -> Vec<NodeRef> {
+        self.eval_collection_budgeted(coll, &NoBudget).0
+    }
+
+    /// Evaluate under a cooperative [`ScanBudget`]: the budget is asked
+    /// before each document visit, so a deadline, cancellation or
+    /// document-scan cap stops the scan promptly. Returns the matches
+    /// found plus a [`ScanStatus`] saying whether the scan completed,
+    /// was truncated (matches are a valid prefix) or aborted (the
+    /// caller should discard the matches and fail).
+    pub fn eval_collection_budgeted(
+        &self,
+        coll: &Collection,
+        budget: &dyn ScanBudget,
+    ) -> (Vec<NodeRef>, ScanStatus) {
         let span = toss_obs::span("xmldb.xpath.eval");
         let mut out: Vec<NodeRef> = Vec::new();
-        let mut docs_scanned = 0usize;
+        let mut state = ScanState {
+            budget,
+            scanned: 0,
+            total: 0,
+            stopped: None,
+        };
         for path in &self.paths {
-            docs_scanned += eval_path_collection(path, coll, &mut out);
+            eval_path_collection(path, coll, &mut out, &mut state);
+            if state.stopped.is_some() {
+                break;
+            }
         }
+        let docs_scanned = state.scanned;
+        let status = match state.stopped {
+            None => ScanStatus::Complete { docs_scanned },
+            Some(ScanControl::Truncate) => {
+                toss_obs::metrics::counter("xmldb.xpath.scans_truncated").inc();
+                ScanStatus::Truncated {
+                    docs_scanned,
+                    docs_total: state.total.max(docs_scanned),
+                }
+            }
+            Some(_) => {
+                toss_obs::metrics::counter("xmldb.xpath.scans_aborted").inc();
+                ScanStatus::Aborted { docs_scanned }
+            }
+        };
         out.sort();
         out.dedup();
         if span.is_recording() {
@@ -91,7 +212,7 @@ impl XPath {
         toss_obs::metrics::counter("xmldb.xpath.docs_scanned").add(docs_scanned as u64);
         toss_obs::metrics::counter("xmldb.xpath.nodes_matched").add(out.len() as u64);
         toss_obs::metrics::histogram("xmldb.xpath.eval_ns").observe_duration(span.finish());
-        out
+        (out, status)
     }
 }
 
@@ -232,10 +353,16 @@ fn eval_rel_path(tree: &Tree, node: NodeId, p: &RelPath) -> Vec<NodeId> {
     current
 }
 
-/// Returns how many documents were actually visited (the tag-index fast
-/// path touches only documents with a posting; the general path scans
-/// the whole collection).
-fn eval_path_collection(path: &Path, coll: &Collection, out: &mut Vec<NodeRef>) -> usize {
+/// Evaluate one union branch, charging each visited document to the
+/// scan state (the tag-index fast path touches only documents with a
+/// posting; the general path scans the whole collection). Stops early
+/// when the budget truncates or aborts the scan.
+fn eval_path_collection(
+    path: &Path,
+    coll: &Collection,
+    out: &mut Vec<NodeRef>,
+    state: &mut ScanState<'_>,
+) {
     // Fast path: `//name...` — seed from the tag index.
     if let Some(first) = path.steps.first() {
         if first.axis == Axis::Descendant {
@@ -249,8 +376,11 @@ fn eval_path_collection(path: &Path, coll: &Collection, out: &mut Vec<NodeRef>) 
                         _ => by_doc.push((p.doc, vec![p.node])),
                     }
                 }
-                let scanned = by_doc.len();
+                state.total += by_doc.len();
                 for (doc, seeds) in by_doc {
+                    if !state.admit_document() {
+                        return;
+                    }
                     let Ok(stored) = coll.get(doc) else { continue };
                     let tree = &stored.tree;
                     let mut current = apply_predicates(tree, seeds, &first.predicates);
@@ -259,14 +389,16 @@ fn eval_path_collection(path: &Path, coll: &Collection, out: &mut Vec<NodeRef>) 
                     }
                     out.extend(current.into_iter().map(|node| NodeRef { doc, node }));
                 }
-                return scanned;
+                return;
             }
         }
     }
     // General path: evaluate per document.
-    let mut scanned = 0usize;
+    state.total += coll.documents().len();
     for stored in coll.documents() {
-        scanned += 1;
+        if !state.admit_document() {
+            return;
+        }
         for node in eval_path_tree(path, &stored.tree) {
             out.push(NodeRef {
                 doc: stored.id,
@@ -274,7 +406,6 @@ fn eval_path_collection(path: &Path, coll: &Collection, out: &mut Vec<NodeRef>) 
             });
         }
     }
-    scanned
 }
 
 #[cfg(test)]
@@ -349,6 +480,105 @@ mod tests {
     fn empty_tree_yields_nothing() {
         let t = Tree::new();
         assert_eq!(q(&t, "//a").len(), 0);
+    }
+
+    struct CapBudget {
+        cap: usize,
+        control: ScanControl,
+    }
+
+    impl ScanBudget for CapBudget {
+        fn before_document(&self, docs_scanned: usize) -> ScanControl {
+            if docs_scanned < self.cap {
+                ScanControl::Continue
+            } else {
+                self.control
+            }
+        }
+    }
+
+    fn budget_collection(n: usize) -> crate::collection::Collection {
+        let mut c = crate::collection::Collection::new("x", None);
+        for i in 0..n {
+            c.insert_xml(&format!("<r><b>{i}</b></r>")).unwrap();
+        }
+        c
+    }
+
+    #[test]
+    fn budgeted_scan_truncates_with_prefix() {
+        let c = budget_collection(10);
+        let xp = XPath::parse("//b").unwrap();
+        let (full, status) = xp.eval_collection_budgeted(
+            &c,
+            &CapBudget {
+                cap: 100,
+                control: ScanControl::Truncate,
+            },
+        );
+        assert_eq!(status, ScanStatus::Complete { docs_scanned: 10 });
+        assert_eq!(full.len(), 10);
+
+        let (partial, status) = xp.eval_collection_budgeted(
+            &c,
+            &CapBudget {
+                cap: 4,
+                control: ScanControl::Truncate,
+            },
+        );
+        assert_eq!(
+            status,
+            ScanStatus::Truncated {
+                docs_scanned: 4,
+                docs_total: 10
+            }
+        );
+        assert_eq!(partial, full[..4].to_vec());
+    }
+
+    #[test]
+    fn budgeted_scan_aborts() {
+        let c = budget_collection(5);
+        let xp = XPath::parse("//b").unwrap();
+        let (_, status) = xp.eval_collection_budgeted(
+            &c,
+            &CapBudget {
+                cap: 2,
+                control: ScanControl::Abort,
+            },
+        );
+        assert_eq!(status, ScanStatus::Aborted { docs_scanned: 2 });
+        // zero-budget: aborted before any document
+        let (hits, status) = xp.eval_collection_budgeted(
+            &c,
+            &CapBudget {
+                cap: 0,
+                control: ScanControl::Abort,
+            },
+        );
+        assert!(hits.is_empty());
+        assert_eq!(status, ScanStatus::Aborted { docs_scanned: 0 });
+    }
+
+    #[test]
+    fn budgeted_scan_covers_general_path_too() {
+        let c = budget_collection(6);
+        // wildcard first step forces the general (non-indexed) path
+        let xp = XPath::parse("//*").unwrap();
+        let (_, status) = xp.eval_collection_budgeted(
+            &c,
+            &CapBudget {
+                cap: 3,
+                control: ScanControl::Truncate,
+            },
+        );
+        assert_eq!(
+            status,
+            ScanStatus::Truncated {
+                docs_scanned: 3,
+                docs_total: 6
+            }
+        );
     }
 
     #[test]

@@ -36,7 +36,7 @@ pub mod lexer;
 pub mod parser;
 
 pub use ast::{Expr, NameTest, Path, Step, XPath};
-pub use eval::NodeRef;
+pub use eval::{NodeRef, ScanBudget, ScanControl, ScanStatus};
 
 use crate::error::DbResult;
 

@@ -4,10 +4,21 @@ use super::ast::{Axis, Expr, NameTest, Path, RelPath, Step, ValueExpr, XPath};
 use super::lexer::{tokenize, Token};
 use crate::error::{DbError, DbResult};
 
+/// Maximum nesting depth of predicate expressions. Parsing is
+/// recursive-descent, so unbounded nesting (`//a[b[c[…]]]`,
+/// `not(not(…))`, `(((…)))`) would overflow the stack; deeper inputs
+/// are rejected with a parse error instead. The TOSS rewriter emits
+/// nesting proportional to the pattern-tree depth, far below this.
+pub const MAX_EXPR_DEPTH: usize = 128;
+
 /// Parse an XPath expression string into an AST.
 pub fn parse(input: &str) -> DbResult<XPath> {
     let tokens = tokenize(input)?;
-    let mut p = P { tokens, pos: 0 };
+    let mut p = P {
+        tokens,
+        pos: 0,
+        depth: 0,
+    };
     let x = p.xpath()?;
     if !p.at_end() {
         return Err(p.err("trailing tokens after expression"));
@@ -18,11 +29,29 @@ pub fn parse(input: &str) -> DbResult<XPath> {
 struct P {
     tokens: Vec<Token>,
     pos: usize,
+    /// Current recursion depth through `expr`/`step`.
+    depth: usize,
 }
 
 impl P {
     fn at_end(&self) -> bool {
         self.pos >= self.tokens.len()
+    }
+
+    /// Guard one level of expression/step recursion (paired with
+    /// [`P::ascend`] on every return path).
+    fn descend(&mut self) -> DbResult<()> {
+        self.depth += 1;
+        if self.depth > MAX_EXPR_DEPTH {
+            return Err(self.err(&format!(
+                "expression nesting exceeds the depth limit of {MAX_EXPR_DEPTH}"
+            )));
+        }
+        Ok(())
+    }
+
+    fn ascend(&mut self) {
+        self.depth -= 1;
     }
 
     fn peek(&self) -> Option<&Token> {
@@ -75,6 +104,13 @@ impl P {
     }
 
     fn step(&mut self, axis: Axis) -> DbResult<Step> {
+        self.descend()?;
+        let r = self.step_inner(axis);
+        self.ascend();
+        r
+    }
+
+    fn step_inner(&mut self, axis: Axis) -> DbResult<Step> {
         let test = match self.bump() {
             Some(Token::Name(n)) => NameTest::Name(n),
             Some(Token::Star) => NameTest::Wildcard,
@@ -94,7 +130,10 @@ impl P {
     }
 
     fn expr(&mut self) -> DbResult<Expr> {
-        self.or_expr()
+        self.descend()?;
+        let r = self.or_expr();
+        self.ascend();
+        r
     }
 
     fn or_expr(&mut self) -> DbResult<Expr> {
@@ -387,5 +426,43 @@ mod tests {
     fn union_parses_both_branches() {
         let x = parse("//a|//b[c='1']").unwrap();
         assert_eq!(x.paths.len(), 2);
+    }
+
+    #[test]
+    fn deeply_nested_predicate_is_rejected_not_overflowed() {
+        // 10 000 levels of `a[a[a[…]]]` must come back as a parse error
+        // (stack-safe), not a stack overflow.
+        let mut q = String::from("//a");
+        for _ in 0..10_000 {
+            q.push_str("[a");
+        }
+        q.push_str("='v'");
+        for _ in 0..10_000 {
+            q.push(']');
+        }
+        let err = parse(&q).unwrap_err();
+        assert!(
+            err.to_string().contains("depth limit"),
+            "unexpected error: {err}"
+        );
+        // same for pathological not() and paren nesting
+        let not_bomb = format!("//a[{}b='v'{}]", "not(".repeat(10_000), ")".repeat(10_000));
+        assert!(parse(&not_bomb).is_err());
+        let paren_bomb = format!("//a[{}b='v'{}]", "(".repeat(10_000), ")".repeat(10_000));
+        assert!(parse(&paren_bomb).is_err());
+    }
+
+    #[test]
+    fn moderate_nesting_still_parses() {
+        // nesting well inside the limit keeps working
+        let mut q = String::from("//a");
+        for _ in 0..30 {
+            q.push_str("[a");
+        }
+        q.push_str("='v'");
+        for _ in 0..30 {
+            q.push(']');
+        }
+        assert!(parse(&q).is_ok());
     }
 }

@@ -45,13 +45,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
 
     // 3. compare typed values — 30 mm ≤ 5 cm because 30 ≤ 50
     let seo = toss::ontology::enhance(&Hierarchy::new(), &Levenshtein, 0.0)?;
-    let ctx = ExpandCtx {
-        seo: &seo,
-        hierarchy: &th,
-        conversions: &cv,
-        probe_metric: None,
-        part_of: None,
-    };
+    let ctx = ExpandCtx::ungoverned(&seo, &th, &cv);
     let cases = [
         (Value::Int(30), "mm", TossOp::Le, Value::Int(5), "cm"),
         (Value::Int(2), "inch", TossOp::Ge, Value::Int(5), "cm"),

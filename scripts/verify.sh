@@ -14,11 +14,14 @@ cargo build --workspace --release
 echo "==> cargo test --workspace -q"
 cargo test --workspace -q
 
+echo "==> chaos suite (governance + fault injection, release)"
+cargo test --release --test chaos --test governance -q
+
 if cargo clippy --version >/dev/null 2>&1; then
     echo "==> cargo clippy -p toss-xmldb --all-targets -- -D warnings"
     cargo clippy -p toss-xmldb --all-targets -- -D warnings
-    echo "==> cargo clippy -p toss-obs -p toss-core --all-targets -- -D warnings"
-    cargo clippy -p toss-obs -p toss-core --all-targets -- -D warnings
+    echo "==> cargo clippy -p toss-obs -p toss-core -p toss-similarity --all-targets -- -D warnings"
+    cargo clippy -p toss-obs -p toss-core -p toss-similarity --all-targets -- -D warnings
 else
     echo "==> clippy not installed; skipping lint step"
 fi

@@ -1,0 +1,183 @@
+//! Budget edge cases for the query governor (see `docs/robustness.md`):
+//! zero budgets, exact-boundary budgets, a deadline that expired before
+//! admission, and cancellation raised during rewrite — all through the
+//! real executor against the real store.
+
+use std::sync::Arc;
+use std::time::Duration;
+use toss_core::algebra::TossPattern;
+use toss_core::executor::Mode;
+use toss_core::{
+    AdmissionController, CancelToken, Executor, Limit, QueryBudget, QueryGovernor,
+    TossCond, TossError, TossQuery, TossTerm,
+};
+use toss_ontology::hierarchy::from_pairs;
+use toss_ontology::sea::enhance;
+use toss_similarity::{Levenshtein, StringMetric};
+use toss_tax::EdgeKind;
+use toss_xmldb::{Database, DatabaseConfig};
+
+fn executor() -> Executor {
+    let mut db = Database::with_config(DatabaseConfig::unlimited());
+    let c = db.create_collection("dblp").unwrap();
+    c.insert_xml(
+        "<inproceedings key=\"p0\"><author>Jeff Ullmann</author>\
+         <booktitle>SIGMOD Conference</booktitle></inproceedings>",
+    )
+    .unwrap();
+    c.insert_xml(
+        "<inproceedings key=\"p1\"><author>Jeff Ullman</author>\
+         <booktitle>VLDB</booktitle></inproceedings>",
+    )
+    .unwrap();
+    c.insert_xml(
+        "<inproceedings key=\"p2\"><author>E. Codd</author>\
+         <booktitle>TODS</booktitle></inproceedings>",
+    )
+    .unwrap();
+    let h = from_pairs(&[
+        ("SIGMOD Conference", "conference"),
+        ("VLDB", "conference"),
+        ("TODS", "periodical"),
+        ("conference", "venue"),
+        ("periodical", "venue"),
+        ("Jeff Ullmann", "author"),
+        ("Jeff Ullman", "author"),
+        ("E. Codd", "author"),
+    ])
+    .unwrap();
+    let seo = Arc::new(enhance(&h, &Levenshtein, 1.0).unwrap());
+    Executor::new(db, seo)
+}
+
+fn author_query(probe: &str) -> TossQuery {
+    TossQuery {
+        collection: "dblp".into(),
+        pattern: TossPattern::spine(
+            &[EdgeKind::ParentChild],
+            TossCond::all(vec![
+                TossCond::eq(TossTerm::tag(1), TossTerm::str("inproceedings")),
+                TossCond::eq(TossTerm::tag(2), TossTerm::str("author")),
+                TossCond::similar(TossTerm::content(2), TossTerm::str(probe)),
+            ]),
+        )
+        .unwrap(),
+        expand_labels: vec![1],
+    }
+}
+
+#[test]
+fn zero_budgets_degrade_to_empty_not_error() {
+    let ex = executor();
+    let gov = QueryGovernor::new(
+        QueryBudget::unlimited()
+            .with_max_expansion_terms(Limit::soft(0))
+            .with_max_docs_scanned(Limit::soft(0))
+            .with_max_witnesses(Limit::soft(0)),
+    );
+    let out = ex
+        .select_governed(&author_query("Jeff Ullmann"), Mode::Toss, &gov)
+        .expect("soft zero budgets must degrade, not fail");
+    assert_eq!(out.forest.len(), 0);
+    let d = out.degradation.expect("zero budgets must report degradation");
+    assert_eq!(d.work_done, 0);
+    assert!(d.estimated_recall_loss > 0.0);
+    assert_eq!(gov.docs_scanned(), 0, "a 0-doc budget must scan nothing");
+}
+
+#[test]
+fn budget_exactly_at_demand_is_not_degraded() {
+    let ex = executor();
+    let q = author_query("Jeff Ullmann");
+
+    // measure the unconstrained demand first
+    let probe_gov = QueryGovernor::unlimited();
+    let exact = ex.select_governed(&q, Mode::Toss, &probe_gov).unwrap();
+    assert!(exact.degradation.is_none());
+    let terms = probe_gov.terms_used();
+    let docs = probe_gov.docs_scanned();
+    let witnesses = exact.forest.len();
+    assert!(witnesses > 0 && docs > 0);
+
+    // a budget exactly at the boundary must change nothing
+    let gov = QueryGovernor::new(
+        QueryBudget::unlimited()
+            .with_max_expansion_terms(Limit::soft(terms))
+            .with_max_docs_scanned(Limit::soft(docs))
+            .with_max_witnesses(Limit::soft(witnesses as u64)),
+    );
+    let out = ex.select_governed(&q, Mode::Toss, &gov).unwrap();
+    assert_eq!(out.forest.len(), witnesses);
+    assert!(
+        out.degradation.is_none(),
+        "exact-boundary budget must not degrade: {:?}",
+        out.degradation
+    );
+
+    // one unit less must degrade (sanity check on the boundary)
+    let gov = QueryGovernor::new(
+        QueryBudget::unlimited().with_max_witnesses(Limit::soft(witnesses as u64 - 1)),
+    );
+    let out = ex.select_governed(&q, Mode::Toss, &gov).unwrap();
+    assert_eq!(out.forest.len(), witnesses - 1);
+    assert!(out.degradation.is_some());
+}
+
+#[test]
+fn expired_deadline_is_rejected_before_any_scan() {
+    let ex = executor();
+    let gov =
+        QueryGovernor::new(QueryBudget::unlimited().with_deadline(Duration::ZERO));
+    let admission = AdmissionController::new(1, Duration::from_millis(50));
+    let err = admission
+        .run(&gov, || {
+            ex.select_governed(&author_query("Jeff Ullmann"), Mode::Toss, &gov)
+        })
+        .unwrap_err();
+    match err {
+        TossError::BudgetExceeded(b) => {
+            assert_eq!(b.kind, toss_core::BudgetKind::Deadline)
+        }
+        other => panic!("expected a deadline breach, got {other:?}"),
+    }
+    assert_eq!(
+        gov.docs_scanned(),
+        0,
+        "an already-expired query must not touch the store"
+    );
+}
+
+/// A probe metric that trips the cancel token the moment expansion
+/// consults it: cancellation lands during rewrite, so the execute phase
+/// must never start.
+struct CancellingMetric(CancelToken);
+
+impl StringMetric for CancellingMetric {
+    fn distance(&self, a: &str, b: &str) -> f64 {
+        self.0.cancel();
+        Levenshtein.distance(a, b)
+    }
+    fn is_strong(&self) -> bool {
+        true
+    }
+    fn name(&self) -> &str {
+        "cancelling-probe"
+    }
+}
+
+#[test]
+fn cancellation_between_rewrite_and_execute() {
+    let token = CancelToken::new();
+    let ex = executor().with_probe_metric(Arc::new(CancellingMetric(token.clone())));
+    let gov = QueryGovernor::with_token(QueryBudget::unlimited(), token);
+    // an unknown probe string forces the metric to run during rewrite
+    let err = ex
+        .select_governed(&author_query("Geoff Ullmann"), Mode::Toss, &gov)
+        .unwrap_err();
+    assert!(matches!(err, TossError::Cancelled), "{err:?}");
+    assert_eq!(
+        gov.docs_scanned(),
+        0,
+        "cancellation during rewrite must stop the query before the scan"
+    );
+}
