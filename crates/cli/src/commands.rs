@@ -30,7 +30,7 @@ usage:
   toss-cli query     --db <store.json> --seo <seo.json> --collection <name>
                      --root <tag> [--eq tag=value]… [--contains tag=value]…
                      [--similar tag=value]… [--below tag=term]… [--tax] [--pretty]
-                     [--explain] [--trace-out <spans.jsonl>]
+                     [--explain] [--trace-out <spans.jsonl>] [--threads <n>]
                      [--timeout-ms <n>] [--max-terms <n>] [--max-docs <n>]
   toss-cli stats     --db <store.json> [--json]
   toss-cli db        checkpoint --db <store.json>
@@ -439,8 +439,16 @@ fn cmd_query(args: &Args) -> Result<(), CliFailure> {
         pattern,
         expand_labels: vec![1],
     };
-    let executor =
+    // --threads bounds the scan worker pool; the default sizes it from
+    // the machine's available parallelism
+    let mut executor =
         Executor::new(db, seo).with_probe_metric(Arc::new(default_metric()));
+    if let Some(n) = parse_u64_flag(args, "threads")? {
+        if n == 0 {
+            return Err("--threads must be at least 1".to_string().into());
+        }
+        executor = executor.with_threads(n as usize);
+    }
     let mode = if args.switch("tax") {
         Mode::TaxBaseline
     } else {
@@ -488,6 +496,9 @@ fn cmd_query(args: &Args) -> Result<(), CliFailure> {
         let trace =
             toss_obs::QueryTrace::for_thread(&records, toss_obs::current_thread_id());
         println!("\nEXPLAIN");
+        if let Some(plan) = &out.plan {
+            println!("plan: {plan} (threads {})", executor.pool.workers());
+        }
         print!("{}", trace.render());
         let total = out.total_time().as_nanos().max(1) as f64;
         let pct = |d: std::time::Duration| 100.0 * d.as_nanos() as f64 / total;
@@ -500,6 +511,12 @@ fn cmd_query(args: &Args) -> Result<(), CliFailure> {
         let snap = toss_obs::metrics::snapshot();
         for name in [
             "toss.query.expansion_terms",
+            "toss.planner.index_probe",
+            "toss.planner.parallel_scan",
+            "toss.planner.probe_candidates",
+            "toss.pool.runs",
+            "toss.pool.partitions",
+            "toss.pool.speculative_waste",
             "xmldb.xpath.docs_scanned",
             "xmldb.xpath.nodes_matched",
             "xmldb.xpath.scans_truncated",
@@ -604,6 +621,49 @@ mod tests {
         .collect::<Vec<_>>())
         .expect("query");
         run(&argv(&format!("dot --seo {}", seo_path.display()))).expect("dot");
+    }
+
+    #[test]
+    fn query_accepts_explicit_thread_count() {
+        let xml_path = tmp("threaded.xml");
+        std::fs::write(
+            &xml_path,
+            "<inproceedings><author>A</author></inproceedings>\
+             <inproceedings><author>B</author></inproceedings>",
+        )
+        .expect("write xml");
+        let db_path = tmp("threaded-store.json");
+        let seo_path = tmp("threaded-seo.json");
+        std::fs::remove_file(&db_path).ok();
+        run(&argv(&format!(
+            "load --db {} --collection dblp {}",
+            db_path.display(),
+            xml_path.display()
+        )))
+        .expect("load");
+        run(&argv(&format!(
+            "build-seo --db {} --epsilon 1 --out {}",
+            db_path.display(),
+            seo_path.display()
+        )))
+        .expect("build-seo");
+        for threads in ["1", "4"] {
+            run(&argv(&format!(
+                "query --db {} --seo {} --collection dblp --root inproceedings \
+                 --eq author=A --threads {threads} --explain",
+                db_path.display(),
+                seo_path.display()
+            )))
+            .expect("query with --threads");
+        }
+        let err = run(&argv(&format!(
+            "query --db {} --seo {} --collection dblp --root inproceedings \
+             --eq author=A --threads 0",
+            db_path.display(),
+            seo_path.display()
+        )))
+        .expect_err("--threads 0 must be rejected");
+        assert!(err.message.contains("--threads"), "{}", err.message);
     }
 
     #[test]

@@ -23,13 +23,17 @@ use crate::governor::{DegradationInfo, QueryGovernor, ScanDecision};
 use crate::rewrite::compile_xpath;
 use crate::typesys::TypeHierarchy;
 use std::collections::BTreeSet;
+use std::fmt;
 use std::sync::Arc;
 use std::time::Duration;
 use toss_ontology::Seo;
+use toss_pool::WorkerPool;
 use toss_tax::{Cond, PatternTree};
 use toss_tree::Forest;
+use toss_xmldb::xpath::{Expr, NameTest, RelPath, ValueExpr};
 use toss_xmldb::{
-    Collection, Database, NodeRef, ScanBudget, ScanControl, ScanStatus, XPath,
+    planned_partitions, Collection, Database, DocumentId, NodeRef, ScanBudget,
+    ScanControl, ScanStatus, XPath,
 };
 
 /// Which semantics to execute a query under.
@@ -67,6 +71,9 @@ pub struct QueryOutcome {
     /// how much work was skipped and an estimated recall loss. `None`
     /// means the result is exact (no budget interfered).
     pub degradation: Option<DegradationInfo>,
+    /// The retrieval strategy phase 2 chose (`None` for joins, whose
+    /// side selections carry their own plans in the trace).
+    pub plan: Option<QueryPlan>,
     rewrite_time: Duration,
     execute_time: Duration,
     convert_time: Duration,
@@ -111,6 +118,221 @@ impl ScanBudget for GovernorScan<'_> {
             ScanDecision::Abort => ScanControl::Abort,
         }
     }
+
+    fn preflight(&self, _docs_scanned: usize) -> ScanControl {
+        match self.0.scan_preflight() {
+            ScanDecision::Continue => ScanControl::Continue,
+            ScanDecision::Truncate => ScanControl::Truncate,
+            ScanDecision::Abort => ScanControl::Abort,
+        }
+    }
+}
+
+/// The retrieval strategy phase 2 chose for a query. Recorded in the
+/// `toss.query.execute` span, counted in the `toss.planner.*` metrics
+/// and surfaced on [`QueryOutcome::plan`] (the CLI prints it under
+/// `--explain`).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum QueryPlan {
+    /// Batched content-index probe: a rewritten predicate's expanded
+    /// terms were resolved through one merged postings lookup, and only
+    /// the candidate documents were evaluated (and charged).
+    IndexProbe {
+        /// The probed child tag.
+        tag: String,
+        /// Number of probe terms (the exact value plus its expansions).
+        terms: usize,
+        /// Candidate documents the probe admitted.
+        candidates: usize,
+        /// Worker threads available to evaluate the candidates.
+        workers: usize,
+        /// Contiguous partitions the candidate evaluation uses.
+        partitions: usize,
+    },
+    /// Partitioned scan over the collection's candidate documents.
+    ParallelScan {
+        /// Worker threads available to the scan.
+        workers: usize,
+        /// Contiguous partitions the scan splits its candidates into.
+        partitions: usize,
+    },
+}
+
+impl QueryPlan {
+    /// Short strategy name (`index-probe` / `parallel-scan`).
+    pub fn strategy(&self) -> &'static str {
+        match self {
+            QueryPlan::IndexProbe { .. } => "index-probe",
+            QueryPlan::ParallelScan { .. } => "parallel-scan",
+        }
+    }
+}
+
+impl fmt::Display for QueryPlan {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            QueryPlan::IndexProbe {
+                tag,
+                terms,
+                candidates,
+                workers,
+                partitions,
+            } => write!(
+                f,
+                "index-probe tag={tag} terms={terms} candidates={candidates} \
+                 workers={workers} partitions={partitions}"
+            ),
+            QueryPlan::ParallelScan {
+                workers,
+                partitions,
+            } => write!(f, "parallel-scan workers={workers} partitions={partitions}"),
+        }
+    }
+}
+
+/// A necessary-condition content probe extracted from a compiled XPath:
+/// any document matching the query must contain a `tag` node whose own
+/// text is one of `terms`, so the content index's merged postings for
+/// `(tag, terms)` bound the candidate document set from above. The probe
+/// only *filters* candidates — the full XPath is still evaluated over
+/// them — so extraction errs on the side of returning nothing rather
+/// than an unsound key.
+struct ProbeKey<'a> {
+    tag: &'a str,
+    terms: Vec<&'a str>,
+}
+
+/// Flatten an `and` tree into its conjuncts (never descends into `or` /
+/// `not`, whose branches are not individually necessary).
+fn conjuncts<'a>(e: &'a Expr, out: &mut Vec<&'a Expr>) {
+    match e {
+        Expr::And(a, b) => {
+            conjuncts(a, out);
+            conjuncts(b, out);
+        }
+        other => out.push(other),
+    }
+}
+
+/// An `or` tree whose every leaf is `text()='lit'` with a non-empty
+/// literal — the shape the SEO rewrite's `InSet` compiles to. Empty
+/// literals are rejected: a node with no content satisfies
+/// `text()=''` but has no content-index entry, so probing for it would
+/// lose matches.
+fn text_disjunction(e: &Expr) -> Option<Vec<&str>> {
+    match e {
+        Expr::Eq(ValueExpr::Text, lit) if !lit.is_empty() => Some(vec![lit.as_str()]),
+        Expr::Or(a, b) => {
+            let mut terms = text_disjunction(a)?;
+            terms.extend(text_disjunction(b)?);
+            Some(terms)
+        }
+        _ => None,
+    }
+}
+
+/// The tag any node reached by `rel` must carry: the name test of the
+/// final step (`None` for wildcards — no postings to probe).
+fn rel_target_tag(rel: &RelPath) -> Option<&str> {
+    match &rel.steps.last()?.test {
+        NameTest::Name(n) => Some(n),
+        NameTest::Wildcard => None,
+    }
+}
+
+/// Every sound probe key extractable from the root step of a compiled
+/// XPath. Union queries are not probed (each branch would need its own
+/// probe); conjuncts under `not` / `ne` / `or` are never used.
+fn probe_keys(xpath: &XPath) -> Vec<ProbeKey<'_>> {
+    let [path] = xpath.paths.as_slice() else {
+        return Vec::new();
+    };
+    let Some(root) = path.steps.first() else {
+        return Vec::new();
+    };
+    let mut flat: Vec<&Expr> = Vec::new();
+    for pred in &root.predicates {
+        conjuncts(pred, &mut flat);
+    }
+    let mut keys = Vec::new();
+    for e in flat {
+        match e {
+            // [child='lit'] / [a/b='lit'] — the reached node's own text
+            // must equal the literal
+            Expr::Eq(ValueExpr::Rel(rel), lit) if !lit.is_empty() => {
+                if let Some(tag) = rel_target_tag(rel) {
+                    keys.push(ProbeKey {
+                        tag,
+                        terms: vec![lit.as_str()],
+                    });
+                }
+            }
+            // [text()='lit'] on the root step itself
+            Expr::Eq(ValueExpr::Text, lit) if !lit.is_empty() => {
+                if let NameTest::Name(tag) = &root.test {
+                    keys.push(ProbeKey {
+                        tag,
+                        terms: vec![lit.as_str()],
+                    });
+                }
+            }
+            // [child[(text()='a' or text()='b')]] — the SEO-expanded
+            // InSet shape; the disjunction sits on the reached step
+            Expr::Exists(rel) => {
+                let Some(last) = rel.steps.last() else { continue };
+                let NameTest::Name(tag) = &last.test else { continue };
+                if let Some(terms) =
+                    last.predicates.iter().find_map(text_disjunction)
+                {
+                    keys.push(ProbeKey { tag, terms });
+                }
+            }
+            _ => {}
+        }
+    }
+    keys
+}
+
+/// The per-query planner: choose index-probe vs parallel-scan from
+/// postings statistics. A probe is taken when its postings bound proves
+/// the candidate set is at most half the collection — below that the
+/// merged-postings lookup plus the filtered evaluation beats touching
+/// every document; above it the partitioned scan's better locality wins
+/// and the probe's merge would be pure overhead.
+fn plan_retrieval(
+    xpath: &XPath,
+    coll: &Collection,
+    workers: usize,
+) -> (QueryPlan, Option<Vec<DocumentId>>) {
+    let total = coll.documents().len();
+    let index = coll.index();
+    let best = probe_keys(xpath)
+        .into_iter()
+        .map(|k| (index.tag_content_any_len(k.tag, &k.terms), k))
+        .min_by_key(|(postings, _)| *postings);
+    if let Some((postings, key)) = best {
+        // `postings` bounds the candidate document count from above, so
+        // this cheap statistic rejects unselective probes before any
+        // postings list is materialized.
+        if 2 * postings <= total {
+            let docs = index.docs_with_tag_content_any(key.tag, &key.terms);
+            let candidates = xpath.count_scan_candidates(coll, Some(&docs));
+            let plan = QueryPlan::IndexProbe {
+                tag: key.tag.to_string(),
+                terms: key.terms.len(),
+                candidates: docs.len(),
+                workers,
+                partitions: planned_partitions(candidates, workers),
+            };
+            return (plan, Some(docs));
+        }
+    }
+    let candidates = xpath.count_scan_candidates(coll, None);
+    let plan = QueryPlan::ParallelScan {
+        workers,
+        partitions: planned_partitions(candidates, workers),
+    };
+    (plan, None)
 }
 
 /// Approximate heap bytes of one witness-tree node (tag + content +
@@ -178,6 +400,7 @@ struct Retrieval<'a> {
     coll: &'a Collection,
     matches: Vec<NodeRef>,
     n_expansion: usize,
+    plan: QueryPlan,
     rewrite_time: Duration,
     execute_time: Duration,
 }
@@ -197,6 +420,10 @@ pub struct Executor {
     pub probe_metric: Option<Arc<dyn toss_similarity::StringMetric>>,
     /// Optional part-of SEO enabling `part_of` conditions.
     pub part_of_seo: Option<Arc<Seo>>,
+    /// Worker pool for partitioned scans and join-side fan-out. Defaults
+    /// to the machine's available parallelism; a one-worker pool runs
+    /// the exact sequential code paths.
+    pub pool: WorkerPool,
 }
 
 impl Executor {
@@ -209,12 +436,26 @@ impl Executor {
             conversions: Conversions::new(),
             probe_metric: None,
             part_of_seo: None,
+            pool: WorkerPool::with_available_parallelism(),
         }
     }
 
     /// Set the part-of SEO (builder style).
     pub fn with_part_of(mut self, seo: Arc<Seo>) -> Self {
         self.part_of_seo = Some(seo);
+        self
+    }
+
+    /// Set the worker pool (builder style).
+    pub fn with_pool(mut self, pool: WorkerPool) -> Self {
+        self.pool = pool;
+        self
+    }
+
+    /// Size the worker pool to `n` threads (builder style). `1` runs
+    /// every query on the exact sequential code paths.
+    pub fn with_threads(mut self, n: usize) -> Self {
+        self.pool = WorkerPool::new(n);
         self
     }
 
@@ -287,11 +528,40 @@ impl Executor {
         rw.record("xpath_len", xpath_src.len());
         let rewrite_time = rw.finish();
 
-        // phase 2: execute against the store
+        // phase 2: plan, then execute against the store
         gov.check()?;
         let ex = toss_obs::span("toss.query.execute");
         let coll = self.db.collection(&query.collection)?;
-        let (matches, status) = xpath.eval_collection_budgeted(coll, &GovernorScan(gov));
+        let (plan, probe_docs) = plan_retrieval(&xpath, coll, self.pool.workers());
+        ex.record("plan", plan.strategy());
+        match &plan {
+            QueryPlan::IndexProbe {
+                tag,
+                terms,
+                candidates,
+                partitions,
+                ..
+            } => {
+                ex.record("probe_tag", tag.as_str());
+                ex.record("probe_terms", *terms);
+                ex.record("probe_candidates", *candidates);
+                ex.record("partitions", *partitions);
+                toss_obs::metrics::counter("toss.planner.index_probe").inc();
+                toss_obs::metrics::counter("toss.planner.probe_candidates")
+                    .add(*candidates as u64);
+            }
+            QueryPlan::ParallelScan { partitions, .. } => {
+                ex.record("partitions", *partitions);
+                toss_obs::metrics::counter("toss.planner.parallel_scan").inc();
+            }
+        }
+        let scan = GovernorScan(gov);
+        let (matches, status) = match &probe_docs {
+            Some(docs) => {
+                xpath.eval_collection_docs_budgeted(coll, docs, &scan, &self.pool)
+            }
+            None => xpath.eval_collection_parallel(coll, &scan, &self.pool),
+        };
         match status {
             ScanStatus::Complete { .. } => {}
             ScanStatus::Truncated {
@@ -309,6 +579,7 @@ impl Executor {
             coll,
             matches,
             n_expansion,
+            plan,
             rewrite_time,
             execute_time,
         })
@@ -387,6 +658,7 @@ impl Executor {
             forest,
             xpath: ret.xpath_src,
             degradation,
+            plan: Some(ret.plan),
             rewrite_time: ret.rewrite_time,
             execute_time: ret.execute_time,
             convert_time,
@@ -443,10 +715,41 @@ impl Executor {
             forest,
             xpath: ret.xpath_src,
             degradation,
+            plan: Some(ret.plan),
             rewrite_time: ret.rewrite_time,
             execute_time: ret.execute_time,
             convert_time,
         })
+    }
+
+    /// Evaluate the two side selections of a join, fanning them out as
+    /// two pool tasks when the pool has more than one worker. Each side
+    /// still partitions its own scan on the same pool —
+    /// [`WorkerPool::run`] is re-entrant, so nesting cannot deadlock.
+    /// With a sequential pool the sides run in order and the right side
+    /// is skipped after a left-side error, exactly as before.
+    fn select_both_governed(
+        &self,
+        left: &TossQuery,
+        right: &TossQuery,
+        mode: Mode,
+        gov: &QueryGovernor,
+    ) -> TossResult<(QueryOutcome, QueryOutcome)> {
+        if self.pool.is_sequential() {
+            return Ok((
+                self.select_governed(left, mode, gov)?,
+                self.select_governed(right, mode, gov)?,
+            ));
+        }
+        type SideTask<'s> = Box<dyn FnOnce() -> TossResult<QueryOutcome> + Send + 's>;
+        let tasks: Vec<SideTask<'_>> = vec![
+            Box::new(move || self.select_governed(left, mode, gov)),
+            Box::new(move || self.select_governed(right, mode, gov)),
+        ];
+        let mut sides = self.pool.run(tasks);
+        let r = sides.pop().expect("two tasks yield two results");
+        let l = sides.pop().expect("two tasks yield two results");
+        Ok((l?, r?))
     }
 
     /// Execute a join: retrieve each side by its own XPath, then product
@@ -487,8 +790,7 @@ impl Executor {
         gov: &QueryGovernor,
     ) -> TossResult<QueryOutcome> {
         let span = toss_obs::span("toss.query.join");
-        let l = self.select_governed(left, mode, gov)?;
-        let r = self.select_governed(right, mode, gov)?;
+        let (l, r) = self.select_both_governed(left, right, mode, gov)?;
 
         let cross_span = toss_obs::span("toss.query.rewrite");
         let compiled_cross = self.compile_governed(cross, mode, gov)?;
@@ -513,6 +815,7 @@ impl Executor {
             forest: joined,
             xpath: format!("{} ⋈ {}", l.xpath, r.xpath),
             degradation,
+            plan: None,
             rewrite_time,
             execute_time: l.execute_time + r.execute_time,
             convert_time,
@@ -556,8 +859,7 @@ impl Executor {
     ) -> TossResult<QueryOutcome> {
         use crate::oes::SeoInstance;
         let span = toss_obs::span("toss.query.join_similarity");
-        let l = self.select_governed(left, mode, gov)?;
-        let r = self.select_governed(right, mode, gov)?;
+        let (l, r) = self.select_both_governed(left, right, mode, gov)?;
         let combine = toss_obs::span("toss.query.convert");
         let (lf, rf) = clamp_join_inputs(l.forest, r.forest, gov)?;
         let joined = match mode {
@@ -597,6 +899,7 @@ impl Executor {
             forest,
             xpath: format!("{} ⋈~ {}", l.xpath, r.xpath),
             degradation,
+            plan: None,
             rewrite_time: l.rewrite_time + r.rewrite_time,
             execute_time: l.execute_time + r.execute_time,
             convert_time,
@@ -622,9 +925,11 @@ impl Executor {
 mod tests {
     use super::*;
     use crate::condition::{TossCond, TossTerm};
+    use crate::governor::{Limit, QueryBudget};
     use toss_ontology::hierarchy::from_pairs;
     use toss_ontology::sea::enhance;
     use toss_similarity::Levenshtein;
+    use toss_tree::serialize::{forest_to_xml, Style};
     use toss_tax::EdgeKind;
     use toss_xmldb::DatabaseConfig;
 
@@ -691,6 +996,211 @@ mod tests {
             .unwrap(),
             expand_labels: vec![1],
         }
+    }
+
+    /// `n` documents with unique authors, a three-way booktitle split
+    /// and one `venue` leaf shared by every document (so a venue probe
+    /// is never selective). `A1`/`A2` fuse in the SEO (distance 1 at
+    /// ε = 1.0), giving similarity queries a two-term batched probe.
+    fn setup_wide(n: usize) -> Executor {
+        let mut db = Database::with_config(DatabaseConfig::unlimited());
+        let c = db.create_collection("wide").unwrap();
+        for i in 0..n {
+            c.insert_xml(&format!(
+                "<inproceedings key=\"w{i}\"><author>A{i}</author>\
+                 <booktitle>B{}</booktitle><venue>V</venue></inproceedings>",
+                i % 3
+            ))
+            .unwrap();
+        }
+        let h = from_pairs(&[("A1", "author"), ("A2", "author")]).unwrap();
+        let seo = Arc::new(enhance(&h, &Levenshtein, 1.0).unwrap());
+        Executor::new(db, seo)
+    }
+
+    fn wide_query(tag: &str, value: &str, op_similar: bool) -> TossQuery {
+        let value_cond = if op_similar {
+            TossCond::similar(TossTerm::content(2), TossTerm::str(value))
+        } else {
+            TossCond::eq(TossTerm::content(2), TossTerm::str(value))
+        };
+        TossQuery {
+            collection: "wide".into(),
+            pattern: TossPattern::spine(
+                &[EdgeKind::ParentChild],
+                TossCond::all(vec![
+                    TossCond::eq(TossTerm::tag(1), TossTerm::str("inproceedings")),
+                    TossCond::eq(TossTerm::tag(2), TossTerm::str(tag)),
+                    value_cond,
+                ]),
+            )
+            .unwrap(),
+            expand_labels: vec![1],
+        }
+    }
+
+    #[test]
+    fn planner_chooses_index_probe_for_selective_predicates() {
+        let ex = setup_wide(20);
+        let out = ex.select(&wide_query("author", "A7", false), Mode::Toss).unwrap();
+        assert_eq!(out.forest.len(), 1);
+        match out.plan.as_ref().expect("selects always carry a plan") {
+            QueryPlan::IndexProbe {
+                tag,
+                terms,
+                candidates,
+                ..
+            } => {
+                assert_eq!(tag, "author");
+                assert_eq!(*terms, 1);
+                assert_eq!(*candidates, 1);
+            }
+            other => panic!("expected an index probe, got {other}"),
+        }
+
+        // the SEO-expanded similarity query probes both fused spellings
+        let out = ex.select(&wide_query("author", "A1", true), Mode::Toss).unwrap();
+        assert_eq!(out.forest.len(), 2, "A1 and A2 fuse in the SEO");
+        match out.plan.as_ref().unwrap() {
+            QueryPlan::IndexProbe {
+                terms, candidates, ..
+            } => {
+                assert_eq!(*terms, 2);
+                assert_eq!(*candidates, 2);
+            }
+            other => panic!("expected a batched index probe, got {other}"),
+        }
+    }
+
+    #[test]
+    fn planner_falls_back_to_scan_for_unselective_predicates() {
+        let ex = setup_wide(20);
+        // every document carries <venue>V</venue>: the postings statistic
+        // proves the probe would admit the whole collection
+        let out = ex.select(&wide_query("venue", "V", false), Mode::Toss).unwrap();
+        assert_eq!(out.forest.len(), 20);
+        assert!(
+            matches!(out.plan, Some(QueryPlan::ParallelScan { .. })),
+            "unselective probe must fall back to a scan: {:?}",
+            out.plan
+        );
+    }
+
+    #[test]
+    fn index_probe_is_never_taken_under_negation() {
+        let ex = setup_wide(20);
+        // not(author='A7') compiles under Not: no probe key may be
+        // extracted from it (the complement is the unselective side)
+        let q = TossQuery {
+            collection: "wide".into(),
+            pattern: TossPattern::spine(
+                &[EdgeKind::ParentChild],
+                TossCond::all(vec![
+                    TossCond::eq(TossTerm::tag(1), TossTerm::str("inproceedings")),
+                    TossCond::eq(TossTerm::tag(2), TossTerm::str("author")),
+                    TossCond::not(TossCond::eq(
+                        TossTerm::content(2),
+                        TossTerm::str("A7"),
+                    )),
+                ]),
+            )
+            .unwrap(),
+            expand_labels: vec![1],
+        };
+        let out = ex.select(&q, Mode::Toss).unwrap();
+        assert_eq!(out.forest.len(), 19);
+        assert!(
+            matches!(out.plan, Some(QueryPlan::ParallelScan { .. })),
+            "negated predicates must not drive a probe: {:?}",
+            out.plan
+        );
+    }
+
+    #[test]
+    fn parallel_select_is_identical_to_sequential() {
+        let n = 40;
+        let queries = [
+            wide_query("author", "A1", true),
+            wide_query("author", "A7", false),
+            wide_query("venue", "V", false),
+            wide_query("booktitle", "B2", false),
+        ];
+        for q in &queries {
+            let baseline = setup_wide(n)
+                .with_threads(1)
+                .select(q, Mode::Toss)
+                .unwrap();
+            for threads in [2, 7] {
+                let out = setup_wide(n)
+                    .with_threads(threads)
+                    .select(q, Mode::Toss)
+                    .unwrap();
+                assert_eq!(out.xpath, baseline.xpath);
+                assert_eq!(
+                    forest_to_xml(&out.forest, Style::Compact),
+                    forest_to_xml(&baseline.forest, Style::Compact),
+                    "threads={threads} must preserve order: {}",
+                    baseline.xpath
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn parallel_select_matches_sequential_under_budgets() {
+        let n = 40;
+        let q = wide_query("venue", "V", false); // scan-planned: all docs
+        for cap in [0u64, 1, 5, 100] {
+            let budget =
+                QueryBudget::unlimited().with_max_docs_scanned(Limit::soft(cap));
+            let gov1 = QueryGovernor::new(budget.clone());
+            let base = setup_wide(n)
+                .with_threads(1)
+                .select_governed(&q, Mode::Toss, &gov1)
+                .unwrap();
+            for threads in [2, 7] {
+                let gov = QueryGovernor::new(budget.clone());
+                let out = setup_wide(n)
+                    .with_threads(threads)
+                    .select_governed(&q, Mode::Toss, &gov)
+                    .unwrap();
+                assert_eq!(
+                    forest_to_xml(&out.forest, Style::Compact),
+                    forest_to_xml(&base.forest, Style::Compact),
+                    "cap={cap} threads={threads}"
+                );
+                assert_eq!(
+                    gov.docs_scanned(),
+                    gov1.docs_scanned(),
+                    "budget charging must not depend on threads (cap={cap})"
+                );
+                assert_eq!(out.degradation, base.degradation, "cap={cap}");
+            }
+        }
+    }
+
+    #[test]
+    fn index_probe_charges_docs_scanned_like_a_scan() {
+        // the probe admits 2 candidate documents; both must be charged
+        let ex = setup_wide(20);
+        let q = wide_query("author", "A1", true);
+        let gov = QueryGovernor::unlimited();
+        let out = ex.select_governed(&q, Mode::Toss, &gov).unwrap();
+        assert!(matches!(out.plan, Some(QueryPlan::IndexProbe { .. })));
+        assert_eq!(
+            gov.docs_scanned(),
+            2,
+            "index-served documents must be charged against the scan budget"
+        );
+
+        // and the scan budget really does bind the probe path
+        let gov = QueryGovernor::new(
+            QueryBudget::unlimited().with_max_docs_scanned(Limit::soft(1)),
+        );
+        let out = ex.select_governed(&q, Mode::Toss, &gov).unwrap();
+        assert_eq!(out.forest.len(), 1, "soft cap must truncate the probe");
+        assert!(out.degradation.is_some());
+        assert_eq!(gov.docs_scanned(), 1);
     }
 
     #[test]

@@ -74,8 +74,14 @@ impl<'a> ExpandCtx<'a> {
     }
 
     /// Admit a freshly produced expansion set against the governor's
-    /// term budget, truncating under a soft limit.
+    /// term budget, truncating under a soft limit. Duplicate renderings
+    /// (an SEO node can surface one term through several witnesses) are
+    /// dropped first, keeping the first occurrence: duplicates would
+    /// burn expansion budget and inflate the executor's batched index
+    /// probes for no extra matches.
     fn admit_terms(&self, mut set: Vec<String>) -> TossResult<Vec<String>> {
+        let mut seen = std::collections::HashSet::with_capacity(set.len());
+        set.retain(|t| seen.insert(t.clone()));
         if let Some(gov) = self.governor {
             let allowed = gov.admit_expansion_terms(set.len())?;
             if allowed < set.len() {
@@ -499,6 +505,35 @@ mod tests {
         let c = TossCond::below(TossTerm::content(3), TossTerm::ty("conference"));
         let err = expand(&c, cx).unwrap_err();
         assert!(matches!(err, TossError::BudgetExceeded(_)), "{err:?}");
+    }
+
+    #[test]
+    fn admit_terms_dedups_before_charging_the_budget() {
+        use crate::governor::{Limit, QueryBudget, QueryGovernor};
+        let s = seo();
+        let th = TypeHierarchy::new();
+        let cv = Conversions::new();
+        // budget of 2: with duplicates charged, ["a", "a", "b"] would
+        // truncate to ["a", "a"]; deduped first, both terms survive
+        let gov = QueryGovernor::new(
+            QueryBudget::unlimited().with_max_expansion_terms(Limit::soft(2)),
+        );
+        let mut cx = ctx(&s, &th, &cv);
+        cx.governor = Some(&gov);
+        let admitted = cx
+            .admit_terms(vec!["a".into(), "a".into(), "b".into()])
+            .unwrap();
+        assert_eq!(admitted, vec!["a".to_string(), "b".to_string()]);
+        assert!(gov.degradation().is_none(), "2 unique terms fit a budget of 2");
+        // order of first occurrence is preserved
+        let cx2 = ctx(&s, &th, &cv);
+        let admitted = cx2
+            .admit_terms(vec!["z".into(), "m".into(), "z".into(), "a".into()])
+            .unwrap();
+        assert_eq!(
+            admitted,
+            vec!["z".to_string(), "m".to_string(), "a".to_string()]
+        );
     }
 
     #[test]

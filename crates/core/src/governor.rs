@@ -443,6 +443,29 @@ impl QueryGovernor {
         ScanDecision::Continue
     }
 
+    /// Non-charging companion to [`QueryGovernor::scan_control`]:
+    /// *would* the next document be admitted right now? The parallel
+    /// scan's speculation preflight asks this before evaluating
+    /// partitions that have not reached the in-order commit frontier, so
+    /// a tripped budget stops far-ahead workers without being charged
+    /// for documents that were never admitted. Never counts against any
+    /// limit; the charging [`QueryGovernor::scan_control`] on the commit
+    /// path stays authoritative.
+    pub fn scan_preflight(&self) -> ScanDecision {
+        if self.token.is_cancelled() || self.deadline_expired() {
+            return ScanDecision::Abort;
+        }
+        if let Some(limit) = self.budget.max_docs_scanned {
+            if self.docs_scanned.load(Ordering::Relaxed) >= limit.max {
+                return match limit.enforcement {
+                    Enforcement::Soft => ScanDecision::Truncate,
+                    Enforcement::Hard => ScanDecision::Abort,
+                };
+            }
+        }
+        ScanDecision::Continue
+    }
+
     /// The error explaining why a scan aborted: cancellation and the
     /// deadline take precedence, else the hard document limit.
     pub fn scan_abort_error(&self) -> TossError {
@@ -792,6 +815,29 @@ mod tests {
                 ..
             })
         ));
+    }
+
+    #[test]
+    fn scan_preflight_never_charges() {
+        let g = QueryGovernor::new(
+            QueryBudget::unlimited().with_max_docs_scanned(Limit::soft(2)),
+        );
+        for _ in 0..10 {
+            assert_eq!(g.scan_preflight(), ScanDecision::Continue);
+        }
+        assert_eq!(g.docs_scanned(), 0, "preflight must not charge");
+        assert_eq!(g.scan_control(), ScanDecision::Continue);
+        assert_eq!(g.scan_control(), ScanDecision::Continue);
+        assert_eq!(g.scan_preflight(), ScanDecision::Truncate);
+
+        let hard = QueryGovernor::new(
+            QueryBudget::unlimited().with_max_docs_scanned(Limit::hard(0)),
+        );
+        assert_eq!(hard.scan_preflight(), ScanDecision::Abort);
+
+        let cancelled = QueryGovernor::unlimited();
+        cancelled.token().cancel();
+        assert_eq!(cancelled.scan_preflight(), ScanDecision::Abort);
     }
 
     #[test]

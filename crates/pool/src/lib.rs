@@ -1,0 +1,362 @@
+//! # toss-pool — a scoped worker pool for partitioned query execution
+//!
+//! A zero-dependency fan-out primitive built from `std::thread::scope`
+//! plus an `mpsc` channel used as a work queue. A [`WorkerPool`] is a
+//! *sizing policy*, not a set of live threads: each [`WorkerPool::run`]
+//! call spawns up to `workers` scoped threads that drain the queue of
+//! tasks and then join, so tasks may freely borrow from the caller's
+//! stack (the collection being scanned, the query governor, …) without
+//! `Arc`-wrapping or `'static` bounds — and without any `unsafe`.
+//!
+//! Design points:
+//!
+//! * **Deterministic results.** `run` returns task results in task
+//!   order, regardless of which worker executed what. Callers that need
+//!   order-sensitive merging (the partitioned XPath scan's strict
+//!   document order) rely on this.
+//! * **Sequential fast path.** With one worker — or one task — the pool
+//!   runs everything inline on the calling thread: no threads are
+//!   spawned, so a `--threads 1` configuration is *exactly* the
+//!   sequential code path, not a pool with extra overhead.
+//! * **Panic propagation.** A panicking task stops the pool from
+//!   starting further tasks and the first panic payload is re-raised on
+//!   the calling thread once every worker has joined, so the caller's
+//!   `catch_unwind`-based isolation (`toss-core`'s governor) sees the
+//!   same panic a sequential run would produce.
+//! * **Re-entrancy.** `run` may be called from inside a task (a join
+//!   evaluates both sides on the pool, and each side partitions its own
+//!   scan). Every call scopes its own threads, so nesting cannot
+//!   deadlock on a shared queue.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+use std::any::Any;
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::{mpsc, Mutex};
+use std::thread;
+
+/// A sizing policy for scoped fan-out: how many worker threads a
+/// [`WorkerPool::run`] call may use.
+#[derive(Debug, Clone)]
+pub struct WorkerPool {
+    workers: usize,
+}
+
+/// Upper bound on workers per pool — a guard against pathological
+/// `--threads` values, far above any real core count this store targets.
+const MAX_WORKERS: usize = 256;
+
+impl WorkerPool {
+    /// A pool that uses at most `workers` threads per `run` call
+    /// (clamped to `1..=256`). `new(1)` is the sequential pool: every
+    /// task runs inline on the calling thread.
+    pub fn new(workers: usize) -> Self {
+        WorkerPool {
+            workers: workers.clamp(1, MAX_WORKERS),
+        }
+    }
+
+    /// A pool sized from [`available_parallelism`].
+    pub fn with_available_parallelism() -> Self {
+        Self::new(available_parallelism())
+    }
+
+    /// The configured worker count.
+    pub fn workers(&self) -> usize {
+        self.workers
+    }
+
+    /// Whether `run` would execute tasks inline (single worker).
+    pub fn is_sequential(&self) -> bool {
+        self.workers == 1
+    }
+
+    /// Run every task, returning results in task order.
+    ///
+    /// Spawns `min(workers, tasks.len())` scoped threads that pull tasks
+    /// from a shared channel until it drains. With one worker or at most
+    /// one task, everything runs inline on the calling thread. If a task
+    /// panics, no further tasks are started and the first panic is
+    /// re-raised here after all workers joined.
+    pub fn run<T, F>(&self, tasks: Vec<F>) -> Vec<T>
+    where
+        T: Send,
+        F: FnOnce() -> T + Send,
+    {
+        let n = tasks.len();
+        if n == 0 {
+            return Vec::new();
+        }
+        let workers = self.workers.min(n);
+        if workers <= 1 {
+            return tasks.into_iter().map(|f| f()).collect();
+        }
+
+        // The work queue: an mpsc channel pre-filled with every task,
+        // shared behind a mutex (Receiver is not Sync). Workers drain it
+        // until empty or until a sibling panicked.
+        let (tx, rx) = mpsc::channel();
+        for job in tasks.into_iter().enumerate() {
+            tx.send(job).expect("receiver lives until the scope ends");
+        }
+        drop(tx);
+        let queue = Mutex::new(rx);
+        let poisoned = AtomicBool::new(false);
+
+        let mut indexed: Vec<(usize, T)> = thread::scope(|s| {
+            let queue = &queue;
+            let poisoned = &poisoned;
+            let handles: Vec<_> = (0..workers)
+                .map(|_| {
+                    s.spawn(move || {
+                        let mut local: Vec<(usize, T)> = Vec::new();
+                        loop {
+                            if poisoned.load(Ordering::Acquire) {
+                                break;
+                            }
+                            let job = queue
+                                .lock()
+                                .unwrap_or_else(|e| e.into_inner())
+                                .try_recv();
+                            let Ok((idx, task)) = job else { break };
+                            // Flag before unwinding so siblings stop
+                            // picking up new tasks promptly.
+                            let flag = PoisonOnPanic(poisoned);
+                            local.push((idx, task()));
+                            std::mem::forget(flag);
+                        }
+                        local
+                    })
+                })
+                .collect();
+            let mut all: Vec<(usize, T)> = Vec::with_capacity(n);
+            let mut first_panic: Option<Box<dyn Any + Send>> = None;
+            for h in handles {
+                match h.join() {
+                    Ok(part) => all.extend(part),
+                    Err(payload) => {
+                        if first_panic.is_none() {
+                            first_panic = Some(payload);
+                        }
+                    }
+                }
+            }
+            if let Some(payload) = first_panic {
+                std::panic::resume_unwind(payload);
+            }
+            all
+        });
+
+        indexed.sort_by_key(|(idx, _)| *idx);
+        indexed.into_iter().map(|(_, v)| v).collect()
+    }
+}
+
+impl Default for WorkerPool {
+    fn default() -> Self {
+        Self::with_available_parallelism()
+    }
+}
+
+/// Sets the shared poison flag if dropped during unwinding; forgotten on
+/// the success path.
+struct PoisonOnPanic<'a>(&'a AtomicBool);
+
+impl Drop for PoisonOnPanic<'_> {
+    fn drop(&mut self) {
+        self.0.store(true, Ordering::Release);
+    }
+}
+
+/// The machine's available parallelism (1 when it cannot be queried).
+pub fn available_parallelism() -> usize {
+    thread::available_parallelism()
+        .map(std::num::NonZeroUsize::get)
+        .unwrap_or(1)
+}
+
+/// Split `total` items into contiguous chunks of at least `min_chunk`
+/// items, using at most `max_chunks` chunks; returns the `(start, end)`
+/// half-open ranges in order. The building block for partitioned scans:
+/// contiguity preserves document order within each chunk, and the
+/// `min_chunk` floor keeps tiny workloads on one thread.
+pub fn partition_ranges(
+    total: usize,
+    max_chunks: usize,
+    min_chunk: usize,
+) -> Vec<(usize, usize)> {
+    if total == 0 {
+        return Vec::new();
+    }
+    let min_chunk = min_chunk.max(1);
+    let chunks = (total / min_chunk).clamp(1, max_chunks.max(1));
+    let base = total / chunks;
+    let extra = total % chunks;
+    let mut out = Vec::with_capacity(chunks);
+    let mut start = 0;
+    for i in 0..chunks {
+        let len = base + usize::from(i < extra);
+        out.push((start, start + len));
+        start += len;
+    }
+    debug_assert_eq!(start, total);
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::collections::HashSet;
+    use std::panic::{catch_unwind, AssertUnwindSafe};
+    use std::sync::atomic::AtomicUsize;
+    use std::thread::ThreadId;
+    use std::time::Duration;
+
+    #[test]
+    fn results_come_back_in_task_order() {
+        let pool = WorkerPool::new(4);
+        let tasks: Vec<_> = (0..100)
+            .map(|i| {
+                move || {
+                    if i % 7 == 0 {
+                        thread::sleep(Duration::from_micros(200));
+                    }
+                    i * 2
+                }
+            })
+            .collect();
+        let out = pool.run(tasks);
+        assert_eq!(out, (0..100).map(|i| i * 2).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn single_worker_runs_inline() {
+        let pool = WorkerPool::new(1);
+        assert!(pool.is_sequential());
+        let caller: ThreadId = thread::current().id();
+        let seen = Mutex::new(Vec::new());
+        pool.run(
+            (0..3)
+                .map(|_| {
+                    let seen = &seen;
+                    move || seen.lock().unwrap().push(thread::current().id())
+                })
+                .collect(),
+        );
+        let seen = seen.into_inner().unwrap();
+        assert_eq!(seen.len(), 3);
+        assert!(seen.iter().all(|&id| id == caller));
+    }
+
+    #[test]
+    fn single_task_runs_inline_even_with_many_workers() {
+        let caller = thread::current().id();
+        let out = WorkerPool::new(8).run(vec![move || thread::current().id() == caller]);
+        assert_eq!(out, vec![true]);
+    }
+
+    #[test]
+    fn multiple_workers_actually_parallelize() {
+        let pool = WorkerPool::new(4);
+        let ids = Mutex::new(HashSet::new());
+        pool.run(
+            (0..16)
+                .map(|_| {
+                    let ids = &ids;
+                    move || {
+                        ids.lock().unwrap().insert(thread::current().id());
+                        thread::sleep(Duration::from_millis(5));
+                    }
+                })
+                .collect(),
+        );
+        assert!(
+            ids.into_inner().unwrap().len() > 1,
+            "expected more than one worker thread"
+        );
+    }
+
+    #[test]
+    fn empty_task_list_is_a_no_op() {
+        let out: Vec<u32> = WorkerPool::new(4).run(Vec::<fn() -> u32>::new());
+        assert!(out.is_empty());
+    }
+
+    #[test]
+    fn panic_propagates_and_stops_new_tasks() {
+        let pool = WorkerPool::new(2);
+        let started = AtomicUsize::new(0);
+        let result = catch_unwind(AssertUnwindSafe(|| {
+            pool.run(
+                (0..16)
+                    .map(|i| {
+                        let started = &started;
+                        move || {
+                            started.fetch_add(1, Ordering::SeqCst);
+                            if i == 0 {
+                                panic!("task zero poisoned");
+                            }
+                            // slow enough that the poison flag (set while
+                            // task zero unwinds) lands before the other
+                            // worker can drain the whole queue
+                            thread::sleep(Duration::from_millis(20));
+                            i
+                        }
+                    })
+                    .collect::<Vec<_>>(),
+            )
+        }));
+        assert!(result.is_err(), "panic must propagate to the caller");
+        let ran = started.load(Ordering::SeqCst);
+        assert!(ran < 16, "poison flag should stop later tasks, ran {ran}");
+    }
+
+    #[test]
+    fn nested_run_does_not_deadlock() {
+        let pool = WorkerPool::new(2);
+        let inner = pool.clone();
+        let out = pool.run(
+            (0..4)
+                .map(|i| {
+                    let inner = inner.clone();
+                    move || inner.run((0..4).map(|j| move || i * 10 + j).collect()).len()
+                })
+                .collect(),
+        );
+        assert_eq!(out, vec![4, 4, 4, 4]);
+    }
+
+    #[test]
+    fn worker_count_is_clamped() {
+        assert_eq!(WorkerPool::new(0).workers(), 1);
+        assert_eq!(WorkerPool::new(9999).workers(), 256);
+        assert!(available_parallelism() >= 1);
+        assert!(WorkerPool::with_available_parallelism().workers() >= 1);
+    }
+
+    #[test]
+    fn partition_ranges_cover_everything_contiguously() {
+        for total in [0usize, 1, 2, 7, 64, 1000] {
+            for max_chunks in [1usize, 2, 7, 16] {
+                for min_chunk in [1usize, 8, 64] {
+                    let ranges = partition_ranges(total, max_chunks, min_chunk);
+                    if total == 0 {
+                        assert!(ranges.is_empty());
+                        continue;
+                    }
+                    assert!(ranges.len() <= max_chunks);
+                    assert_eq!(ranges[0].0, 0);
+                    assert_eq!(ranges.last().unwrap().1, total);
+                    for w in ranges.windows(2) {
+                        assert_eq!(w[0].1, w[1].0, "contiguous");
+                        assert!(w[0].1 > w[0].0, "non-empty");
+                    }
+                    if ranges.len() > 1 {
+                        assert!(ranges.iter().all(|(a, b)| b - a >= min_chunk.min(total)));
+                    }
+                }
+            }
+        }
+    }
+}

@@ -77,6 +77,48 @@ impl CollectionIndex {
             .unwrap_or(&[])
     }
 
+    /// Batched multi-term probe: all nodes whose tag is `tag` and whose
+    /// content renders as *any* of `terms`, merged into one
+    /// document-order postings list. This is the SEO fast path — a
+    /// rewritten predicate with N expanded terms becomes one merged
+    /// lookup instead of N separate probes (or N full scans).
+    pub fn by_tag_content_any<S: AsRef<str>>(&self, tag: &str, terms: &[S]) -> Vec<Posting> {
+        let mut merged: Vec<Posting> = Vec::new();
+        for term in terms {
+            merged.extend_from_slice(self.by_tag_content(tag, term.as_ref()));
+        }
+        merged.sort();
+        merged.dedup();
+        merged
+    }
+
+    /// The distinct documents holding a `tag` node whose content is any
+    /// of `terms`, in document order. The candidate set an index-probe
+    /// query plan feeds to the doc-filtered evaluator.
+    pub fn docs_with_tag_content_any<S: AsRef<str>>(
+        &self,
+        tag: &str,
+        terms: &[S],
+    ) -> Vec<DocumentId> {
+        let mut docs: Vec<DocumentId> = self
+            .by_tag_content_any(tag, terms)
+            .into_iter()
+            .map(|p| p.doc)
+            .collect();
+        docs.dedup(); // merged postings are already in document order
+        docs
+    }
+
+    /// Total postings for `(tag, term)` pairs across `terms` — the
+    /// planner's selectivity estimate, cheaper than materializing the
+    /// merge (no sort, no dedup).
+    pub fn tag_content_any_len<S: AsRef<str>>(&self, tag: &str, terms: &[S]) -> usize {
+        terms
+            .iter()
+            .map(|t| self.by_tag_content(tag, t.as_ref()).len())
+            .sum()
+    }
+
     /// Distinct indexed tags.
     pub fn tags(&self) -> impl Iterator<Item = &str> {
         self.tag.keys().map(String::as_str)
@@ -126,6 +168,29 @@ mod tests {
         assert_eq!(idx.by_tag_content("author", "J. Ullman").len(), 1);
         assert_eq!(idx.by_tag_content("author", "J Ullman").len(), 0);
         assert_eq!(idx.by_tag_content("year", "1999").len(), 1);
+    }
+
+    #[test]
+    fn multi_term_probe_merges_in_document_order() {
+        let mut idx = CollectionIndex::new();
+        idx.add_document(DocumentId(0), &tree("B"));
+        idx.add_document(DocumentId(1), &tree("A"));
+        idx.add_document(DocumentId(2), &tree("B"));
+        idx.add_document(DocumentId(3), &tree("C"));
+        let merged = idx.by_tag_content_any("author", &["A", "B", "A"]);
+        assert_eq!(
+            merged.iter().map(|p| p.doc).collect::<Vec<_>>(),
+            vec![DocumentId(0), DocumentId(1), DocumentId(2)],
+            "doc order, duplicate query terms deduplicated"
+        );
+        assert_eq!(
+            idx.docs_with_tag_content_any("author", &["A", "B"]),
+            vec![DocumentId(0), DocumentId(1), DocumentId(2)]
+        );
+        // selectivity estimate counts raw postings (duplicate terms and all)
+        assert_eq!(idx.tag_content_any_len("author", &["A", "B"]), 3);
+        assert!(idx.by_tag_content_any("author", &["Z"]).is_empty());
+        assert!(idx.by_tag_content_any::<&str>("author", &[]).is_empty());
     }
 
     #[test]

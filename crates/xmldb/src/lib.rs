@@ -51,4 +51,6 @@ pub use error::{CorruptionSite, DbError, DbResult};
 pub use journal::{Journal, JournalOp};
 pub use parser::{parse_document, parse_forest};
 pub use vfs::{FaultMode, FaultVfs, StdVfs, Vfs};
-pub use xpath::{NodeRef, ScanBudget, ScanControl, ScanStatus, XPath};
+pub use xpath::{
+    planned_partitions, NodeRef, ScanBudget, ScanControl, ScanStatus, XPath,
+};

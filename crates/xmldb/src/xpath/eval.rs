@@ -11,6 +11,10 @@
 use super::ast::{Axis, Expr, NameTest, Path, RelPath, Step, ValueExpr, XPath};
 use crate::collection::{Collection, DocumentId};
 use crate::index::Posting;
+use std::collections::{BTreeMap, HashSet};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Mutex;
+use toss_pool::{partition_ranges, WorkerPool};
 use toss_tree::{NodeId, Tree};
 
 /// A query result: one node in one document.
@@ -29,10 +33,32 @@ pub struct NodeRef {
 /// governance policy: `toss-core`'s query governor implements this trait
 /// to enforce deadlines, cancellation and document-scan limits, and the
 /// evaluator only needs to know *continue / truncate / abort*.
+///
+/// # Monotonicity
+///
+/// Budgets must be **monotone**: once `before_document(n)` (or
+/// [`preflight`](ScanBudget::preflight)`(n)`) returns `Truncate` or
+/// `Abort`, every later call with the same or a larger `docs_scanned`
+/// must also stop. Document caps, cancellation flags and deadlines all
+/// satisfy this naturally (counts only grow, time only advances). The
+/// parallel evaluator stays *correct* for a non-monotone budget — it
+/// re-evaluates any document the budget admits after all — but its
+/// speculation-skipping becomes pessimal.
 pub trait ScanBudget {
     /// Decide whether the next document may be visited. `docs_scanned`
     /// counts documents already visited by this evaluation.
     fn before_document(&self, docs_scanned: usize) -> ScanControl;
+
+    /// Non-charging probe: *would* a visit be allowed if `docs_scanned`
+    /// documents had already been admitted? The parallel evaluator asks
+    /// this before speculatively evaluating a partition whose documents
+    /// have not reached the in-order commit frontier yet, so a tripped
+    /// budget stops far-ahead workers without being charged for
+    /// documents that were never admitted. Implementations must not
+    /// count this call against any limit. The default speculates freely.
+    fn preflight(&self, _docs_scanned: usize) -> ScanControl {
+        ScanControl::Continue
+    }
 }
 
 /// The decision a [`ScanBudget`] returns for the next document.
@@ -181,39 +207,419 @@ impl XPath {
                 break;
             }
         }
-        let docs_scanned = state.scanned;
-        let status = match state.stopped {
-            None => ScanStatus::Complete { docs_scanned },
-            Some(ScanControl::Truncate) => {
-                toss_obs::metrics::counter("xmldb.xpath.scans_truncated").inc();
-                ScanStatus::Truncated {
-                    docs_scanned,
-                    docs_total: state.total.max(docs_scanned),
+        finish_eval(span, out, state.scanned, state.total, state.stopped)
+    }
+
+    /// Partitioned parallel evaluation: result- and order-identical to
+    /// [`eval_collection_budgeted`](XPath::eval_collection_budgeted), but
+    /// candidate documents are split into contiguous chunks evaluated on
+    /// `pool`'s workers.
+    ///
+    /// The budget still sees one document at a time, in document order:
+    /// chunks are evaluated *speculatively* and their per-document
+    /// results are committed through an in-order frontier that charges
+    /// [`ScanBudget::before_document`] exactly as the sequential scan
+    /// would, so the admitted document set — and therefore the matches
+    /// and the [`ScanStatus`] — equals the sequential run's for any
+    /// deterministic budget. A budget trip raises a shared stop flag
+    /// that far-ahead workers poll between documents, and
+    /// [`ScanBudget::preflight`] lets workers skip chunks that lie
+    /// entirely past a tripped limit without charging for them.
+    ///
+    /// With a single-worker pool this delegates to the sequential
+    /// evaluator: no threads, no speculation, no overhead.
+    pub fn eval_collection_parallel(
+        &self,
+        coll: &Collection,
+        budget: &(dyn ScanBudget + Sync),
+        pool: &WorkerPool,
+    ) -> (Vec<NodeRef>, ScanStatus) {
+        if pool.is_sequential() {
+            return self.eval_collection_budgeted(coll, budget);
+        }
+        let span = toss_obs::span("xmldb.xpath.eval");
+        let (candidates, path_counts) = collect_candidates(self, coll, None);
+        let (out, scanned, stopped, stop_ord) =
+            run_candidates_parallel(coll, &candidates, budget, pool);
+        let total = total_for_stop(&path_counts, candidates.len(), stop_ord);
+        finish_eval(span, out, scanned, total, stopped)
+    }
+
+    /// Evaluate against a pre-selected candidate document set — the
+    /// index-probe fast path. `docs` must be in document order (as
+    /// returned by the content index's merged probes); documents outside
+    /// the set are never visited *or charged*, while every document in
+    /// the set is charged through `budget` exactly like a scan visit, so
+    /// `docs_scanned` accounting agrees with the scan path.
+    pub fn eval_collection_docs_budgeted(
+        &self,
+        coll: &Collection,
+        docs: &[DocumentId],
+        budget: &(dyn ScanBudget + Sync),
+        pool: &WorkerPool,
+    ) -> (Vec<NodeRef>, ScanStatus) {
+        let span = toss_obs::span("xmldb.xpath.eval");
+        let filter: HashSet<DocumentId> = docs.iter().copied().collect();
+        let (candidates, path_counts) = collect_candidates(self, coll, Some(&filter));
+        let (out, scanned, stopped, stop_ord) = if pool.is_sequential() {
+            run_candidates_sequential(coll, &candidates, budget)
+        } else {
+            run_candidates_parallel(coll, &candidates, budget, pool)
+        };
+        let total = total_for_stop(&path_counts, candidates.len(), stop_ord);
+        finish_eval(span, out, scanned, total, stopped)
+    }
+
+    /// Number of budget-charged candidate visits a collection evaluation
+    /// would make: one per `(union branch, document)` pair, tag-index
+    /// seeded where the branch starts with `//name`, restricted to
+    /// `docs` when given (the index-probe path). This is the unit
+    /// [`planned_partitions`] partitions, exposed so the planner can
+    /// report exact partition counts without running the scan.
+    pub fn count_scan_candidates(
+        &self,
+        coll: &Collection,
+        docs: Option<&[DocumentId]>,
+    ) -> usize {
+        let filter: Option<HashSet<DocumentId>> =
+            docs.map(|d| d.iter().copied().collect());
+        collect_candidates(self, coll, filter.as_ref()).0.len()
+    }
+}
+
+/// Shared epilogue for every collection-evaluation strategy (sequential
+/// scan, partitioned parallel scan, index-probe doc filter): sort and
+/// deduplicate matches, derive the [`ScanStatus`], and emit the
+/// `xmldb.xpath.*` span records and metrics identically — so
+/// `docs_scanned` accounting cannot drift between strategies.
+fn finish_eval(
+    span: toss_obs::SpanGuard,
+    mut out: Vec<NodeRef>,
+    docs_scanned: usize,
+    docs_total: usize,
+    stopped: Option<ScanControl>,
+) -> (Vec<NodeRef>, ScanStatus) {
+    let status = match stopped {
+        None => ScanStatus::Complete { docs_scanned },
+        Some(ScanControl::Truncate) => {
+            toss_obs::metrics::counter("xmldb.xpath.scans_truncated").inc();
+            ScanStatus::Truncated {
+                docs_scanned,
+                docs_total: docs_total.max(docs_scanned),
+            }
+        }
+        Some(_) => {
+            toss_obs::metrics::counter("xmldb.xpath.scans_aborted").inc();
+            ScanStatus::Aborted { docs_scanned }
+        }
+    };
+    out.sort();
+    out.dedup();
+    if span.is_recording() {
+        let docs_matched = {
+            let mut docs: Vec<DocumentId> = out.iter().map(|r| r.doc).collect();
+            docs.dedup(); // `out` is sorted by (doc, node)
+            docs.len()
+        };
+        span.record("docs_scanned", docs_scanned);
+        span.record("docs_matched", docs_matched);
+        span.record("nodes_matched", out.len());
+    }
+    toss_obs::metrics::counter("xmldb.xpath.evals").inc();
+    toss_obs::metrics::counter("xmldb.xpath.docs_scanned").add(docs_scanned as u64);
+    toss_obs::metrics::counter("xmldb.xpath.nodes_matched").add(out.len() as u64);
+    toss_obs::metrics::histogram("xmldb.xpath.eval_ns").observe_duration(span.finish());
+    (out, status)
+}
+
+/// One budget-charged unit of work: evaluate one union branch against
+/// one document. The partitioned evaluator materializes the full
+/// candidate list up front — in exactly the order the sequential scan
+/// visits documents (path-major, documents in insertion order) — so
+/// chunking it contiguously preserves the admission order.
+struct Candidate<'a> {
+    path: &'a Path,
+    /// Index of `path` within the union, for `docs_total` bookkeeping.
+    path_ord: usize,
+    doc: DocumentId,
+    /// `Some` when the tag index seeded this visit (first step
+    /// `//name`): the posting nodes, in preorder.
+    seeds: Option<Vec<NodeId>>,
+}
+
+/// Enumerate candidates for every union branch, in sequential visit
+/// order. With a `filter`, only documents in the set become candidates
+/// (the index-probe fast path). Returns the candidates plus the
+/// per-branch candidate counts (for sequential-compatible `docs_total`
+/// reporting on truncation).
+fn collect_candidates<'a>(
+    xpath: &'a XPath,
+    coll: &Collection,
+    filter: Option<&HashSet<DocumentId>>,
+) -> (Vec<Candidate<'a>>, Vec<usize>) {
+    let mut cands: Vec<Candidate<'a>> = Vec::new();
+    let mut counts = Vec::with_capacity(xpath.paths.len());
+    for (path_ord, path) in xpath.paths.iter().enumerate() {
+        let before = cands.len();
+        let mut indexed = false;
+        if let Some(first) = path.steps.first() {
+            if first.axis == Axis::Descendant {
+                if let NameTest::Name(name) = &first.test {
+                    indexed = true;
+                    for p in coll.index().by_tag(name) {
+                        if filter.is_some_and(|f| !f.contains(&p.doc)) {
+                            continue;
+                        }
+                        match cands.last_mut() {
+                            Some(c) if c.path_ord == path_ord && c.doc == p.doc => {
+                                c.seeds.as_mut().expect("indexed candidates have seeds").push(p.node);
+                            }
+                            _ => cands.push(Candidate {
+                                path,
+                                path_ord,
+                                doc: p.doc,
+                                seeds: Some(vec![p.node]),
+                            }),
+                        }
+                    }
                 }
             }
-            Some(_) => {
-                toss_obs::metrics::counter("xmldb.xpath.scans_aborted").inc();
-                ScanStatus::Aborted { docs_scanned }
-            }
-        };
-        out.sort();
-        out.dedup();
-        if span.is_recording() {
-            let docs_matched = {
-                let mut docs: Vec<DocumentId> = out.iter().map(|r| r.doc).collect();
-                docs.dedup(); // `out` is sorted by (doc, node)
-                docs.len()
-            };
-            span.record("docs_scanned", docs_scanned);
-            span.record("docs_matched", docs_matched);
-            span.record("nodes_matched", out.len());
         }
-        toss_obs::metrics::counter("xmldb.xpath.evals").inc();
-        toss_obs::metrics::counter("xmldb.xpath.docs_scanned").add(docs_scanned as u64);
-        toss_obs::metrics::counter("xmldb.xpath.nodes_matched").add(out.len() as u64);
-        toss_obs::metrics::histogram("xmldb.xpath.eval_ns").observe_duration(span.finish());
-        (out, status)
+        if !indexed {
+            for stored in coll.documents() {
+                if filter.is_some_and(|f| !f.contains(&stored.id)) {
+                    continue;
+                }
+                cands.push(Candidate {
+                    path,
+                    path_ord,
+                    doc: stored.id,
+                    seeds: None,
+                });
+            }
+        }
+        counts.push(cands.len() - before);
     }
+    (cands, counts)
+}
+
+/// Evaluate one candidate — identical work to the sequential scan's
+/// per-document body, pure over `&Collection` so it can run on any
+/// worker (or run twice, if a speculative result was discarded).
+fn eval_candidate(coll: &Collection, cand: &Candidate<'_>) -> Vec<NodeRef> {
+    let doc = cand.doc;
+    match &cand.seeds {
+        Some(seeds) => {
+            let Ok(stored) = coll.get(doc) else {
+                return Vec::new();
+            };
+            let tree = &stored.tree;
+            let first = &cand.path.steps[0];
+            let mut current = apply_predicates(tree, seeds.clone(), &first.predicates);
+            for step in &cand.path.steps[1..] {
+                current = advance_step(tree, &current, step);
+            }
+            current
+                .into_iter()
+                .map(|node| NodeRef { doc, node })
+                .collect()
+        }
+        None => {
+            let Ok(stored) = coll.get(doc) else {
+                return Vec::new();
+            };
+            eval_path_tree(cand.path, &stored.tree)
+                .into_iter()
+                .map(|node| NodeRef { doc, node })
+                .collect()
+        }
+    }
+}
+
+/// Sequential-visit-order `docs_total`: the sequential evaluator counts
+/// a branch's candidates into the total when it *starts* the branch, so
+/// a stop inside branch `p` reports the candidates of branches `0..=p`.
+fn total_for_stop(path_counts: &[usize], all: usize, stop_ord: Option<usize>) -> usize {
+    match stop_ord {
+        None => all,
+        Some(p) => path_counts[..=p].iter().sum(),
+    }
+}
+
+/// Drive the candidate list exactly like the sequential scan:
+/// admit-then-evaluate, one document at a time. Used for doc-filtered
+/// evaluation on a single-worker pool.
+fn run_candidates_sequential(
+    coll: &Collection,
+    candidates: &[Candidate<'_>],
+    budget: &dyn ScanBudget,
+) -> (Vec<NodeRef>, usize, Option<ScanControl>, Option<usize>) {
+    let mut out = Vec::new();
+    let mut scanned = 0usize;
+    for cand in candidates {
+        match budget.before_document(scanned) {
+            ScanControl::Continue => {
+                scanned += 1;
+                out.extend(eval_candidate(coll, cand));
+            }
+            control => return (out, scanned, Some(control), Some(cand.path_ord)),
+        }
+    }
+    (out, scanned, None, None)
+}
+
+/// Aim for this many chunks per worker, so a fast worker steals the
+/// slack of a slow one instead of idling at a barrier.
+const CHUNKS_PER_WORKER: usize = 4;
+/// Don't split fewer documents than this across threads — the spawn
+/// cost would dominate.
+const MIN_CHUNK_DOCS: usize = 8;
+
+/// How many contiguous partitions a parallel evaluation over
+/// `candidates` candidate visits would use on a pool of `workers`
+/// workers. Exposed so the planner / EXPLAIN can report the partition
+/// count without running the scan.
+pub fn planned_partitions(candidates: usize, workers: usize) -> usize {
+    if workers <= 1 || candidates == 0 {
+        return 1;
+    }
+    partition_ranges(candidates, workers * CHUNKS_PER_WORKER, MIN_CHUNK_DOCS)
+        .len()
+        .max(1)
+}
+
+/// The in-order commit frontier shared by all workers of one parallel
+/// evaluation.
+struct Frontier {
+    /// Next chunk index allowed to commit.
+    next: usize,
+    /// Documents admitted by the budget so far (the sequential
+    /// `docs_scanned`).
+    scanned: usize,
+    stopped: Option<ScanControl>,
+    /// `path_ord` of the candidate on which the budget tripped.
+    stop_ord: Option<usize>,
+    /// Finished chunks waiting for their turn: chunk index →
+    /// per-candidate speculative results (`None` = skipped, re-evaluate
+    /// on commit if the budget admits the document after all).
+    pending: BTreeMap<usize, Vec<Option<Vec<NodeRef>>>>,
+    /// Committed matches, in candidate order.
+    out: Vec<NodeRef>,
+    /// Speculative evaluations whose result was committed (the rest is
+    /// waste, reported via `toss.pool.speculative_waste`).
+    used: usize,
+}
+
+/// Evaluate candidate chunks on the pool, committing results through an
+/// in-order frontier that consults the budget exactly like the
+/// sequential scan. Returns `(matches, scanned, stopped, stop_ord)`.
+fn run_candidates_parallel(
+    coll: &Collection,
+    candidates: &[Candidate<'_>],
+    budget: &(dyn ScanBudget + Sync),
+    pool: &WorkerPool,
+) -> (Vec<NodeRef>, usize, Option<ScanControl>, Option<usize>) {
+    let n = candidates.len();
+    let ranges = partition_ranges(n, pool.workers() * CHUNKS_PER_WORKER, MIN_CHUNK_DOCS);
+    if ranges.len() <= 1 {
+        return run_candidates_sequential(coll, candidates, budget);
+    }
+    let stop = AtomicBool::new(false);
+    let frontier = Mutex::new(Frontier {
+        next: 0,
+        scanned: 0,
+        stopped: None,
+        stop_ord: None,
+        pending: BTreeMap::new(),
+        out: Vec::new(),
+        used: 0,
+    });
+    let evaluated_total = std::sync::atomic::AtomicUsize::new(0);
+
+    let tasks: Vec<_> = ranges
+        .iter()
+        .enumerate()
+        .map(|(chunk, &(start, end))| {
+            let (stop, frontier, ranges, evaluated_total) =
+                (&stop, &frontier, &ranges, &evaluated_total);
+            move || {
+                let pspan = toss_obs::span("xmldb.xpath.partition");
+                let mut results: Vec<Option<Vec<NodeRef>>> = Vec::with_capacity(end - start);
+                let mut evaluated = 0usize;
+                // `scanned` before this chunk can only be `start` (every
+                // earlier candidate admitted) or smaller with the budget
+                // already tripped — so for a monotone budget a failing
+                // preflight at `start` proves nothing here will commit.
+                let speculate = !stop.load(Ordering::Acquire)
+                    && budget.preflight(start) == ScanControl::Continue;
+                for candidate in &candidates[start..end] {
+                    if speculate && !stop.load(Ordering::Acquire) {
+                        results.push(Some(eval_candidate(coll, candidate)));
+                        evaluated += 1;
+                    } else {
+                        results.push(None);
+                    }
+                }
+                evaluated_total.fetch_add(evaluated, Ordering::Relaxed);
+                if pspan.is_recording() {
+                    pspan.record("chunk", chunk);
+                    pspan.record("candidates", end - start);
+                    pspan.record("evaluated", evaluated);
+                }
+                drop(pspan);
+
+                // Commit every chunk that has reached the frontier, in
+                // chunk order; admission happens here, single-file.
+                let mut fr = frontier.lock().unwrap_or_else(|e| e.into_inner());
+                fr.pending.insert(chunk, results);
+                loop {
+                    let turn = fr.next;
+                    let Some(chunk_results) = fr.pending.remove(&turn) else {
+                        break;
+                    };
+                    let (c_start, c_end) = ranges[turn];
+                    fr.next = turn + 1;
+                    if fr.stopped.is_some() {
+                        continue; // drain without committing
+                    }
+                    for (idx, spec) in (c_start..c_end).zip(chunk_results) {
+                        match budget.before_document(fr.scanned) {
+                            ScanControl::Continue => {
+                                fr.scanned += 1;
+                                match spec {
+                                    Some(matches) => {
+                                        fr.used += 1;
+                                        fr.out.extend(matches);
+                                    }
+                                    // Skipped speculatively but admitted
+                                    // after all (non-monotone budget):
+                                    // evaluate now, on the commit path.
+                                    None => {
+                                        fr.out.extend(eval_candidate(coll, &candidates[idx]));
+                                    }
+                                }
+                            }
+                            control => {
+                                fr.stopped = Some(control);
+                                fr.stop_ord = Some(candidates[idx].path_ord);
+                                stop.store(true, Ordering::Release);
+                                break;
+                            }
+                        }
+                    }
+                }
+            }
+        })
+        .collect();
+    pool.run(tasks);
+
+    let fr = frontier.into_inner().unwrap_or_else(|e| e.into_inner());
+    let evaluated = evaluated_total.load(Ordering::Relaxed);
+    toss_obs::metrics::counter("toss.pool.runs").inc();
+    toss_obs::metrics::counter("toss.pool.partitions").add(ranges.len() as u64);
+    toss_obs::metrics::counter("toss.pool.speculative_waste")
+        .add(evaluated.saturating_sub(fr.used) as u64);
+    (fr.out, fr.scanned, fr.stopped, fr.stop_ord)
 }
 
 fn eval_path_tree(path: &Path, tree: &Tree) -> Vec<NodeId> {
@@ -495,6 +901,9 @@ mod tests {
                 self.control
             }
         }
+        fn preflight(&self, docs_scanned: usize) -> ScanControl {
+            self.before_document(docs_scanned)
+        }
     }
 
     fn budget_collection(n: usize) -> crate::collection::Collection {
@@ -577,6 +986,150 @@ mod tests {
             ScanStatus::Truncated {
                 docs_scanned: 3,
                 docs_total: 6
+            }
+        );
+    }
+
+    /// A budget that only stops on `before_document` — its `preflight`
+    /// always continues (the trait default), so speculative skipping
+    /// gets no help and the commit path must stay correct on its own.
+    struct BlindCapBudget(usize);
+
+    impl ScanBudget for BlindCapBudget {
+        fn before_document(&self, docs_scanned: usize) -> ScanControl {
+            if docs_scanned < self.0 {
+                ScanControl::Continue
+            } else {
+                ScanControl::Truncate
+            }
+        }
+    }
+
+    /// Mixed-shape collection: docs where `//b` is index-seeded, docs
+    /// without `b` at all, duplicate content for dedup pressure.
+    fn mixed_collection(n: usize) -> crate::collection::Collection {
+        let mut c = crate::collection::Collection::new("x", None);
+        for i in 0..n {
+            match i % 4 {
+                0 => c.insert_xml(&format!("<r><b>{}</b><b>dup</b></r>", i % 5)),
+                1 => c.insert_xml("<r><a>no-b-here</a></r>"),
+                2 => c.insert_xml(&format!("<r><a><b>{}</b></a><c><b>deep</b></c></r>", i % 5)),
+                _ => c.insert_xml("<q><b>dup</b></q>"),
+            }
+            .unwrap();
+        }
+        c
+    }
+
+    #[test]
+    fn parallel_eval_is_identical_to_sequential() {
+        let c = mixed_collection(57);
+        for query in ["//b", "//b[text()='dup'] | //a", "//*[b]", "/r//b | //q"] {
+            let xp = XPath::parse(query).unwrap();
+            let (seq, seq_status) = xp.eval_collection_budgeted(&c, &NoBudget);
+            for threads in [1usize, 2, 7] {
+                let pool = WorkerPool::new(threads);
+                let (par, par_status) = xp.eval_collection_parallel(&c, &NoBudget, &pool);
+                assert_eq!(par, seq, "{query} @ {threads} threads");
+                assert_eq!(par_status, seq_status, "{query} @ {threads} threads");
+            }
+        }
+    }
+
+    #[test]
+    fn parallel_eval_matches_sequential_under_truncation() {
+        let c = mixed_collection(64);
+        let xp = XPath::parse("//b | //a").unwrap();
+        for cap in [0usize, 1, 5, 30, 1000] {
+            let mk = || CapBudget {
+                cap,
+                control: ScanControl::Truncate,
+            };
+            let (seq, seq_status) = xp.eval_collection_budgeted(&c, &mk());
+            for threads in [2usize, 7] {
+                let pool = WorkerPool::new(threads);
+                let (par, par_status) = xp.eval_collection_parallel(&c, &mk(), &pool);
+                assert_eq!(par, seq, "cap {cap} @ {threads} threads");
+                assert_eq!(par_status, seq_status, "cap {cap} @ {threads} threads");
+            }
+        }
+    }
+
+    #[test]
+    fn parallel_eval_matches_sequential_under_abort() {
+        let c = mixed_collection(40);
+        let xp = XPath::parse("//b").unwrap();
+        for cap in [0usize, 3, 17] {
+            let mk = || CapBudget {
+                cap,
+                control: ScanControl::Abort,
+            };
+            let (_, seq_status) = xp.eval_collection_budgeted(&c, &mk());
+            let pool = WorkerPool::new(4);
+            let (_, par_status) = xp.eval_collection_parallel(&c, &mk(), &pool);
+            assert_eq!(par_status, seq_status, "cap {cap}");
+        }
+    }
+
+    #[test]
+    fn parallel_commit_is_exact_without_preflight_help() {
+        // A budget whose preflight never trips exercises the path where
+        // workers speculate past the stop point and the in-order commit
+        // alone must reproduce the sequential prefix.
+        let c = mixed_collection(64);
+        let xp = XPath::parse("//b | //a").unwrap();
+        for cap in [0usize, 7, 33] {
+            let (seq, seq_status) = xp.eval_collection_budgeted(&c, &BlindCapBudget(cap));
+            let pool = WorkerPool::new(7);
+            let (par, par_status) =
+                xp.eval_collection_parallel(&c, &BlindCapBudget(cap), &pool);
+            assert_eq!(par, seq, "cap {cap}");
+            assert_eq!(par_status, seq_status, "cap {cap}");
+        }
+    }
+
+    #[test]
+    fn doc_filtered_eval_visits_and_charges_only_the_filter() {
+        let c = budget_collection(10);
+        let xp = XPath::parse("//b").unwrap();
+        let docs: Vec<DocumentId> = c
+            .documents()
+            .iter()
+            .map(|d| d.id)
+            .filter(|d| d.0 % 2 == 0)
+            .collect();
+        for threads in [1usize, 4] {
+            let pool = WorkerPool::new(threads);
+            let (hits, status) =
+                xp.eval_collection_docs_budgeted(&c, &docs, &NoBudget, &pool);
+            assert_eq!(hits.len(), 5, "@ {threads} threads");
+            assert!(hits.iter().all(|r| r.doc.0 % 2 == 0));
+            // the filtered docs are charged like scan visits
+            assert_eq!(status, ScanStatus::Complete { docs_scanned: 5 });
+        }
+    }
+
+    #[test]
+    fn doc_filtered_eval_respects_budget() {
+        let c = budget_collection(10);
+        let xp = XPath::parse("//b").unwrap();
+        let docs: Vec<DocumentId> = c.documents().iter().map(|d| d.id).collect();
+        let pool = WorkerPool::new(1);
+        let (hits, status) = xp.eval_collection_docs_budgeted(
+            &c,
+            &docs,
+            &CapBudget {
+                cap: 3,
+                control: ScanControl::Truncate,
+            },
+            &pool,
+        );
+        assert_eq!(hits.len(), 3);
+        assert_eq!(
+            status,
+            ScanStatus::Truncated {
+                docs_scanned: 3,
+                docs_total: 10
             }
         );
     }

@@ -35,8 +35,8 @@ pub mod eval;
 pub mod lexer;
 pub mod parser;
 
-pub use ast::{Expr, NameTest, Path, Step, XPath};
-pub use eval::{NodeRef, ScanBudget, ScanControl, ScanStatus};
+pub use ast::{Expr, NameTest, Path, RelPath, Step, ValueExpr, XPath};
+pub use eval::{planned_partitions, NodeRef, ScanBudget, ScanControl, ScanStatus};
 
 use crate::error::DbResult;
 

@@ -18,13 +18,17 @@ echo "==> chaos suite (governance + fault injection, release)"
 cargo test --release --test chaos --test governance -q
 
 if cargo clippy --version >/dev/null 2>&1; then
-    echo "==> cargo clippy -p toss-xmldb --all-targets -- -D warnings"
-    cargo clippy -p toss-xmldb --all-targets -- -D warnings
+    echo "==> cargo clippy -p toss-xmldb -p toss-pool --all-targets -- -D warnings"
+    cargo clippy -p toss-xmldb -p toss-pool --all-targets -- -D warnings
     echo "==> cargo clippy -p toss-obs -p toss-core -p toss-similarity --all-targets -- -D warnings"
     cargo clippy -p toss-obs -p toss-core -p toss-similarity --all-targets -- -D warnings
 else
     echo "==> clippy not installed; skipping lint step"
 fi
+
+echo "==> parallel query bench smoke (BENCH_query_parallel.json)"
+cargo run --release -p toss-bench --bin bench_query_parallel -- --quick
+test -s BENCH_query_parallel.json
 
 echo "==> toss-cli stats smoke test"
 SMOKE=$(mktemp -d)

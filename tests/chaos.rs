@@ -149,8 +149,8 @@ fn attempt(
 fn chaos_mixed_load_never_escapes_a_panic() {
     let ex = Arc::new(executor());
     let ctrl = Arc::new(AdmissionController::new(2, Duration::from_millis(50)));
-    // 6 query threads + 1 faulted writer start together
-    let barrier = Arc::new(Barrier::new(7));
+    // 7 query threads + 1 faulted writer start together
+    let barrier = Arc::new(Barrier::new(8));
     let mut handles: Vec<thread::JoinHandle<Result<Stats, String>>> = Vec::new();
 
     // two slow threads pin the admission slots in waves
@@ -230,6 +230,48 @@ fn chaos_mixed_load_never_escapes_a_panic() {
                         .with_max_docs_scanned(Limit::soft(2)),
                     &mut stats,
                 )?;
+            }
+            Ok(stats)
+        }));
+    }
+
+    // a parallel-scan thread: its executor fans scans out over a
+    // 4-worker pool while the shared admission controller is under the
+    // same chaos; results must stay exact whenever nothing degraded
+    {
+        let (ctrl, barrier) = (ctrl.clone(), barrier.clone());
+        handles.push(thread::spawn(move || {
+            barrier.wait();
+            let ex = executor().with_threads(4);
+            let mut stats = Stats::default();
+            let q = author_query("Jeff Ullmann");
+            for i in 0..15 {
+                let budget = if i % 3 == 2 {
+                    QueryBudget::unlimited().with_max_docs_scanned(Limit::soft(7))
+                } else {
+                    QueryBudget::unlimited()
+                };
+                let gov = QueryGovernor::new(budget);
+                match ctrl.run(&gov, || ex.select_governed(&q, Mode::Toss, &gov)) {
+                    Ok(out) => {
+                        stats.ok += 1;
+                        match &out.degradation {
+                            Some(_) => stats.degraded += 1,
+                            None => {
+                                if out.forest.len() != 20 {
+                                    return Err(format!(
+                                        "parallel scan returned {} matches, expected 20",
+                                        out.forest.len()
+                                    ));
+                                }
+                            }
+                        }
+                    }
+                    Err(TossError::Overloaded(_)) => stats.shed += 1,
+                    Err(other) => {
+                        return Err(format!("unexpected parallel-scan error: {other:?}"))
+                    }
+                }
             }
             Ok(stats)
         }));
