@@ -523,6 +523,12 @@ fn cmd_query(args: &Args) -> Result<(), CliFailure> {
             "similarity.cache.hits",
             "similarity.cache.misses",
             "similarity.cache.evictions",
+            "toss.semantic.rewrite_cache.hits",
+            "toss.semantic.rewrite_cache.misses",
+            "toss.semantic.rewrite_cache.evictions",
+            "toss.semantic.index_builds",
+            "toss.semantic.sea.blocked_runs",
+            "toss.semantic.sea.candidate_pairs",
             "toss.governor.admitted",
             "toss.governor.shed",
             "toss.governor.degraded",
@@ -534,6 +540,14 @@ fn cmd_query(args: &Args) -> Result<(), CliFailure> {
             if let Some(v) = snap.counter(name) {
                 println!("{name} = {v}");
             }
+        }
+        if let Some(h) = snap.histogram("toss.semantic.index_build_ns") {
+            println!(
+                "toss.semantic.index_build_ns: builds {}, total {:?}, mean {:?}",
+                h.count,
+                std::time::Duration::from_nanos(h.sum),
+                std::time::Duration::from_nanos(h.mean() as u64)
+            );
         }
         match &out.degradation {
             Some(d) => println!("degradation: {d}"),

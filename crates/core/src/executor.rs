@@ -21,6 +21,7 @@ use crate::error::{TossError, TossResult};
 use crate::expand::ExpandCtx;
 use crate::governor::{DegradationInfo, QueryGovernor, ScanDecision};
 use crate::rewrite::compile_xpath;
+use crate::semcache::{fingerprint, CachedRewrite, RewriteCache};
 use crate::typesys::TypeHierarchy;
 use std::collections::BTreeSet;
 use std::fmt;
@@ -424,6 +425,11 @@ pub struct Executor {
     /// to the machine's available parallelism; a one-worker pool runs
     /// the exact sequential code paths.
     pub pool: WorkerPool,
+    /// Bounded cache of SEO-expanded conditions keyed on the normalized
+    /// condition, the SEO version stamps, ε, the probe metric and the
+    /// expansion-term budget class. Only exact (never soft-truncated)
+    /// expansions are stored; see [`crate::semcache`].
+    pub rewrite_cache: RewriteCache,
 }
 
 impl Executor {
@@ -437,6 +443,7 @@ impl Executor {
             probe_metric: None,
             part_of_seo: None,
             pool: WorkerPool::with_available_parallelism(),
+            rewrite_cache: RewriteCache::default(),
         }
     }
 
@@ -486,9 +493,89 @@ impl Executor {
         }
     }
 
+    /// Cache key for the Toss-mode rewrite of `cond`: the normalized
+    /// condition fingerprint plus every executor-side input the
+    /// expansion depends on. SEO version stamps are unique per
+    /// enhancement, so fusing and re-enhancing an ontology can never be
+    /// served a stale expansion.
+    fn rewrite_key(&self, cond: &crate::condition::TossCond, gov: Option<&QueryGovernor>) -> String {
+        use std::fmt::Write as _;
+        let mut key = fingerprint(cond);
+        let _ = write!(
+            key,
+            "@seo{}~eps{:016x}",
+            self.seo.version(),
+            self.seo.epsilon().to_bits()
+        );
+        if let Some(p) = &self.part_of_seo {
+            let _ = write!(key, "+po{}", p.version());
+        }
+        if let Some(m) = &self.probe_metric {
+            let _ = write!(key, "#m:{}", m.name());
+        }
+        match gov.and_then(|g| g.budget().max_expansion_terms) {
+            Some(limit) => {
+                let _ = write!(key, "|b:{limit:?}");
+            }
+            None => key.push_str("|b:unlimited"),
+        }
+        key
+    }
+
+    /// Toss-mode compile through the rewrite cache. A cached expansion
+    /// is served only when the governor's remaining expansion-term
+    /// headroom admits it in full, and is then charged through
+    /// [`QueryGovernor::admit_expansion_terms`] exactly like a cold
+    /// rewrite. Fresh expansions are stored only when the compile
+    /// finished without soft truncation (the stored entry must be the
+    /// *exact* expansion, valid for any query of the same budget class
+    /// with enough headroom).
+    fn compile_toss_cached(
+        &self,
+        pattern: &TossPattern,
+        gov: Option<&QueryGovernor>,
+    ) -> TossResult<PatternTree> {
+        let key = self.rewrite_key(&pattern.condition, gov);
+        if let Some(hit) = self.rewrite_cache.get(&key) {
+            let servable = match gov {
+                Some(g) => g.expansion_headroom() >= hit.terms as u64,
+                None => true,
+            };
+            if servable {
+                if let Some(g) = gov {
+                    g.admit_expansion_terms(hit.terms)?;
+                }
+                let mut p = pattern.structure.clone();
+                p.set_condition((*hit.cond).clone())?;
+                self.rewrite_cache.record_hit();
+                return Ok(p);
+            }
+        }
+        self.rewrite_cache.record_miss();
+        let truncations_before = gov.map(QueryGovernor::expansion_truncations);
+        let compiled = match gov {
+            Some(g) => pattern.compile(self.ctx_governed(g))?,
+            None => pattern.compile(self.ctx())?,
+        };
+        let exact = match (truncations_before, gov) {
+            (Some(before), Some(g)) => g.expansion_truncations() == before,
+            _ => true,
+        };
+        if exact {
+            self.rewrite_cache.insert(
+                key,
+                CachedRewrite {
+                    cond: Arc::new(compiled.condition().clone()),
+                    terms: expansion_terms(compiled.condition()),
+                },
+            );
+        }
+        Ok(compiled)
+    }
+
     fn compile(&self, pattern: &TossPattern, mode: Mode) -> TossResult<PatternTree> {
         match mode {
-            Mode::Toss => pattern.compile(self.ctx()),
+            Mode::Toss => self.compile_toss_cached(pattern, None),
             Mode::TaxBaseline => pattern.compile_baseline(),
         }
     }
@@ -500,7 +587,7 @@ impl Executor {
         gov: &QueryGovernor,
     ) -> TossResult<PatternTree> {
         match mode {
-            Mode::Toss => pattern.compile(self.ctx_governed(gov)),
+            Mode::Toss => self.compile_toss_cached(pattern, Some(gov)),
             Mode::TaxBaseline => pattern.compile_baseline(),
         }
     }
@@ -1402,5 +1489,103 @@ mod tests {
             bare.select(&q, Mode::Toss),
             Err(TossError::Unsupported(_))
         ));
+    }
+
+    #[test]
+    fn rewrite_cache_serves_repeated_queries_identically() {
+        let ex = setup();
+        let q = author_query("Jeff Ullman");
+        let cold = ex.select(&q, Mode::Toss).unwrap();
+        assert_eq!((ex.rewrite_cache.hits(), ex.rewrite_cache.misses()), (0, 1));
+        let warm = ex.select(&q, Mode::Toss).unwrap();
+        assert_eq!((ex.rewrite_cache.hits(), ex.rewrite_cache.misses()), (1, 1));
+        assert_eq!(
+            forest_to_xml(&cold.forest, Style::Compact),
+            forest_to_xml(&warm.forest, Style::Compact),
+            "a cache hit must produce byte-identical results"
+        );
+        assert_eq!(cold.xpath, warm.xpath);
+        // a commuted condition normalizes onto the same entry
+        let mut commuted = q.clone();
+        let TossCond::And(a, b) = q.pattern.condition.clone() else {
+            panic!("spine conditions are And chains");
+        };
+        commuted.pattern.condition = TossCond::And(b, a);
+        let swapped = ex.select(&commuted, Mode::Toss).unwrap();
+        assert_eq!(ex.rewrite_cache.hits(), 2);
+        assert_eq!(
+            forest_to_xml(&cold.forest, Style::Compact),
+            forest_to_xml(&swapped.forest, Style::Compact),
+        );
+        // a different probe is a different key
+        ex.select(&author_query("E. Codd"), Mode::Toss).unwrap();
+        assert_eq!(ex.rewrite_cache.misses(), 2);
+    }
+
+    #[test]
+    fn truncated_expansions_are_never_cached() {
+        let ex = setup();
+        let q = venue_query("venue"); // expands to 6 below-cone terms
+        let budget =
+            || QueryBudget::unlimited().with_max_expansion_terms(Limit::soft(2));
+        for expected_misses in 1..=2 {
+            let gov = QueryGovernor::new(budget());
+            let out = ex.select_governed(&q, Mode::Toss, &gov).unwrap();
+            assert!(out.degradation.is_some(), "soft(2) must truncate");
+            assert_eq!(ex.rewrite_cache.hits(), 0, "truncated rewrites never hit");
+            assert_eq!(ex.rewrite_cache.misses(), expected_misses);
+        }
+        assert!(
+            ex.rewrite_cache.is_empty(),
+            "an inexact expansion must not be stored"
+        );
+    }
+
+    #[test]
+    fn cache_hit_is_charged_and_respects_headroom() {
+        let ex = setup();
+        let q = venue_query("conference"); // expands to 3 below-cone terms
+        let gov = QueryGovernor::new(
+            QueryBudget::unlimited().with_max_expansion_terms(Limit::soft(4)),
+        );
+        // cold: exact (3 ≤ 4), so the expansion is cached and charged
+        ex.select_governed(&q, Mode::Toss, &gov).unwrap();
+        assert_eq!(ex.rewrite_cache.misses(), 1);
+        assert_eq!(gov.terms_used(), 3);
+        // warm, same governor: headroom is 1 < 3, so the entry is
+        // unservable — the query degrades through the cold path instead
+        // of over-charging the budget
+        let out = ex.select_governed(&q, Mode::Toss, &gov).unwrap();
+        assert_eq!(ex.rewrite_cache.hits(), 0);
+        assert_eq!(ex.rewrite_cache.misses(), 2);
+        assert!(out.degradation.is_some());
+        // a fresh governor of the same budget class has full headroom:
+        // the hit is served and charged exactly like the cold rewrite
+        let gov2 = QueryGovernor::new(
+            QueryBudget::unlimited().with_max_expansion_terms(Limit::soft(4)),
+        );
+        let warm = ex.select_governed(&q, Mode::Toss, &gov2).unwrap();
+        assert_eq!(ex.rewrite_cache.hits(), 1);
+        assert_eq!(gov2.terms_used(), 3);
+        assert!(warm.degradation.is_none());
+        assert_eq!(warm.forest.len(), 2, "SIGMOD + VLDB papers");
+    }
+
+    #[test]
+    fn cache_keys_separate_modes_and_budget_classes() {
+        let ex = setup();
+        let q = author_query("Jeff Ullman");
+        // the TAX baseline never touches the SEO or the cache
+        ex.select(&q, Mode::TaxBaseline).unwrap();
+        assert_eq!((ex.rewrite_cache.hits(), ex.rewrite_cache.misses()), (0, 0));
+        // unlimited and budgeted compiles of the same condition are
+        // distinct entries: a budget-class change can change the rewrite
+        ex.select(&q, Mode::Toss).unwrap();
+        let gov = QueryGovernor::new(
+            QueryBudget::unlimited().with_max_expansion_terms(Limit::soft(100)),
+        );
+        ex.select_governed(&q, Mode::Toss, &gov).unwrap();
+        assert_eq!((ex.rewrite_cache.hits(), ex.rewrite_cache.misses()), (0, 2));
+        assert_eq!(ex.rewrite_cache.len(), 2);
     }
 }

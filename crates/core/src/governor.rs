@@ -274,6 +274,10 @@ pub struct QueryGovernor {
     docs_scanned: AtomicU64,
     witnesses_kept: AtomicU64,
     memory_bytes: AtomicU64,
+    /// How many times `admit_expansion_terms` soft-truncated a request.
+    /// The rewrite cache uses this to tell an exact expansion (cacheable)
+    /// from a truncated one (never cached).
+    terms_truncations: AtomicU64,
     degradation: Mutex<Option<DegradationInfo>>,
 }
 
@@ -296,6 +300,7 @@ impl QueryGovernor {
             docs_scanned: AtomicU64::new(0),
             witnesses_kept: AtomicU64::new(0),
             memory_bytes: AtomicU64::new(0),
+            terms_truncations: AtomicU64::new(0),
             degradation: Mutex::new(None),
         }
     }
@@ -324,6 +329,24 @@ impl QueryGovernor {
     /// Expansion terms admitted so far.
     pub fn terms_used(&self) -> u64 {
         self.terms_used.load(Ordering::Relaxed)
+    }
+
+    /// How many expansion terms could still be admitted without tripping
+    /// the expansion-term budget (`u64::MAX` when unlimited). A peek —
+    /// nothing is charged.
+    pub fn expansion_headroom(&self) -> u64 {
+        match self.budget.max_expansion_terms {
+            Some(limit) => limit.max.saturating_sub(self.terms_used()),
+            None => u64::MAX,
+        }
+    }
+
+    /// How many times `admit_expansion_terms` soft-truncated a request so
+    /// far. A rewrite whose compile left this unchanged was admitted in
+    /// full — the signal the rewrite cache uses to store only exact
+    /// expansions.
+    pub fn expansion_truncations(&self) -> u64 {
+        self.terms_truncations.load(Ordering::Relaxed)
     }
 
     /// Documents scanned so far.
@@ -413,6 +436,7 @@ impl QueryGovernor {
                 let allowed = limit.max.saturating_sub(used) as usize;
                 self.terms_used
                     .store(used + allowed as u64, Ordering::Relaxed);
+                self.terms_truncations.fetch_add(1, Ordering::Relaxed);
                 self.trip_soft(DegradationInfo::new(
                     BudgetKind::ExpansionTerms,
                     limit.max,

@@ -32,6 +32,9 @@
 //!   deadlines, cooperative cancellation, admission control (load
 //!   shedding) and panic isolation, so adversarial or unlucky queries
 //!   degrade gracefully or are cancelled instead of pinning a core.
+//! * [`semcache`] — a bounded rewrite cache: repeated queries reuse
+//!   their SEO expansion instead of re-walking the ontology, keyed on
+//!   the normalized condition, SEO version, ε and budget class.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
@@ -48,6 +51,7 @@ pub mod maker;
 pub mod oes;
 pub mod quality;
 pub mod rewrite;
+pub mod semcache;
 pub mod typesys;
 
 pub use condition::{TossCond, TossOp, TossTerm};
@@ -60,5 +64,6 @@ pub use governor::{
     QueryBudget, QueryGovernor,
 };
 pub use maker::{make_ontology, suggest_constraints, MakerConfig};
+pub use semcache::{CachedRewrite, RewriteCache};
 pub use oes::{OesInstance, SeoInstance};
 pub use quality::{precision, quality, recall};

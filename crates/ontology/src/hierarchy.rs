@@ -9,7 +9,9 @@
 
 use crate::error::{OntologyError, OntologyResult};
 use crate::graph::DiGraph;
+use crate::reach::ReachIndex;
 use std::collections::HashMap;
+use std::sync::{Arc, OnceLock};
 
 /// Identifier of a node within one [`Hierarchy`].
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
@@ -30,6 +32,12 @@ pub struct Hierarchy {
     graph: DiGraph,
     /// term → node containing it (terms are unique across nodes).
     by_term: HashMap<String, HNodeId>,
+    /// Lazily built reachability index for the current graph snapshot.
+    /// Every mutation drops it (and bumps `rev`), so the index can never
+    /// serve stale cones after fusion or re-enhancement.
+    reach: OnceLock<Arc<ReachIndex>>,
+    /// Monotone revision counter, bumped on every structural mutation.
+    rev: u64,
 }
 
 impl Hierarchy {
@@ -61,12 +69,37 @@ impl Hierarchy {
                 )));
             }
         }
+        self.invalidate_reach();
         let id = HNodeId(self.graph.add_vertex());
         for t in &terms {
             self.by_term.insert(t.clone(), id);
         }
         self.terms.push(terms);
         Ok(id)
+    }
+
+    /// Drop the cached reachability index after a structural mutation.
+    fn invalidate_reach(&mut self) {
+        self.reach = OnceLock::new();
+        self.rev += 1;
+    }
+
+    /// Structural revision of this hierarchy; bumped on every mutation.
+    /// Callers that cache derived structures (the rewrite cache, the SEO
+    /// version stamp) key on this to detect re-enhanced ontologies.
+    pub fn revision(&self) -> u64 {
+        self.rev
+    }
+
+    /// The reachability index for the current graph snapshot, building it
+    /// on first use. Cone queries (`below`, `above`, `below_many`) always
+    /// come from here; `leq` only consults it when already built so a
+    /// single ≤ probe never pays an index build.
+    pub fn reach_index(&self) -> Arc<ReachIndex> {
+        Arc::clone(
+            self.reach
+                .get_or_init(|| Arc::new(ReachIndex::build(&self.graph))),
+        )
     }
 
     /// Assert `below ≤ above`. Rejects edges that would create a cycle
@@ -78,6 +111,7 @@ impl Hierarchy {
                 above: self.render_node(above),
             });
         }
+        self.invalidate_reach();
         self.graph.add_edge(below.0, above.0);
         Ok(())
     }
@@ -103,8 +137,13 @@ impl Hierarchy {
             .ok_or(OntologyError::InvalidNode(id.0))
     }
 
-    /// `a ≤ b` in the reflexive-transitive order.
+    /// `a ≤ b` in the reflexive-transitive order. Answered by the
+    /// reachability index when one has already been built (a single bit
+    /// test); otherwise by DFS, so a lone probe never pays an index build.
     pub fn leq(&self, a: HNodeId, b: HNodeId) -> bool {
+        if let Some(ix) = self.reach.get() {
+            return ix.leq(a.0, b.0);
+        }
         a == b || self.graph.has_path(a.0, b.0)
     }
 
@@ -124,50 +163,27 @@ impl Hierarchy {
     }
 
     /// All nodes ≤ *some* target (union of below cones, including the
-    /// targets themselves). One reverse BFS over the edge set — `O(V+E)`
-    /// regardless of how many targets.
+    /// targets themselves). Served from the shared reachability index —
+    /// a word-parallel OR over precomputed descendant bitsets, replacing
+    /// the old per-call reverse-adjacency rebuild + BFS.
     pub fn below_many(&self, targets: &[HNodeId]) -> Vec<HNodeId> {
-        // reverse adjacency built on the fly (cheap relative to queries
-        // that need it; hierarchies are small and this stays O(E))
-        let mut preds: Vec<Vec<usize>> = vec![Vec::new(); self.len()];
-        for (u, v) in self.graph.edges() {
-            preds[v].push(u);
-        }
-        let mut seen = vec![false; self.len()];
-        let mut stack: Vec<usize> = targets
-            .iter()
-            .filter(|t| t.0 < self.len())
-            .map(|t| t.0)
-            .collect();
-        for &s in &stack {
-            seen[s] = true;
-        }
-        while let Some(u) = stack.pop() {
-            for &p in &preds[u] {
-                if !seen[p] {
-                    seen[p] = true;
-                    stack.push(p);
-                }
-            }
-        }
-        (0..self.len())
-            .filter(|&i| seen[i])
+        let ids: Vec<usize> = targets.iter().map(|t| t.0).collect();
+        self.reach_index()
+            .below_many(&ids)
+            .into_iter()
             .map(HNodeId)
             .collect()
     }
 
-    /// All nodes ≥ `id` (the *above cone*, including `id`).
+    /// All nodes ≥ `id` (the *above cone*, including `id`), ascending.
+    /// Served from the shared reachability index's memoized cone — no
+    /// per-call sort/dedup allocation.
     pub fn above(&self, id: HNodeId) -> Vec<HNodeId> {
-        let mut out: Vec<HNodeId> = self
-            .graph
-            .reachable_from(id.0)
-            .into_iter()
-            .map(HNodeId)
-            .collect();
-        out.push(id);
-        out.sort();
-        out.dedup();
-        out
+        self.reach_index()
+            .above_cone(id.0)
+            .iter()
+            .map(|&u| HNodeId(u as usize))
+            .collect()
     }
 
     /// All terms of all nodes ≤ the node containing `term` (including the
@@ -235,6 +251,7 @@ impl Hierarchy {
     /// Returns the number of edges removed.
     pub fn reduce(&mut self) -> usize {
         let before = self.graph.edge_count();
+        self.invalidate_reach();
         self.graph = self.graph.transitive_reduction();
         before - self.graph.edge_count()
     }
@@ -402,6 +419,43 @@ mod tests {
                 bigger.node_of(t)
             }
         }));
+    }
+
+    #[test]
+    fn reach_index_invalidated_on_mutation() {
+        let mut h = from_pairs(&[("b", "a")]).unwrap();
+        let rev0 = h.revision();
+        // force the index, then mutate: cones must reflect the new edge
+        assert_eq!(h.below_terms("a"), vec!["a", "b"]);
+        h.add_leq("c", "b").unwrap();
+        assert!(h.revision() > rev0);
+        assert_eq!(h.below_terms("a"), vec!["a", "b", "c"]);
+        let b = h.node_of("b").unwrap();
+        let c = h.node_of("c").unwrap();
+        assert!(h.leq(c, b));
+        // reduce also invalidates (and preserves order)
+        h.add_leq("c", "a").unwrap();
+        let rev1 = h.revision();
+        h.reduce();
+        assert!(h.revision() > rev1);
+        assert!(h.leq_terms("c", "a"));
+    }
+
+    #[test]
+    fn leq_without_index_matches_leq_with_index() {
+        let h = from_pairs(&[("b", "a"), ("c", "a"), ("d", "b"), ("d", "c")]).unwrap();
+        let cold: Vec<bool> = h
+            .nodes()
+            .flat_map(|a| h.nodes().map(move |b| (a, b)))
+            .map(|(a, b)| h.leq(a, b))
+            .collect();
+        h.reach_index(); // build, then re-ask
+        let warm: Vec<bool> = h
+            .nodes()
+            .flat_map(|a| h.nodes().map(move |b| (a, b)))
+            .map(|(a, b)| h.leq(a, b))
+            .collect();
+        assert_eq!(cold, warm);
     }
 
     #[test]

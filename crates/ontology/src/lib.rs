@@ -16,6 +16,9 @@
 //!   a [`seo::Seo`] (Definitions 8–9, Theorems 1–2).
 //! * [`graph`] — the supporting digraph toolkit (Tarjan SCC, reachability,
 //!   transitive closure/reduction, Bron-Kerbosch maximal cliques).
+//! * [`reach`] / [`intern`] — the semantic fast path: per-hierarchy
+//!   reachability bitsets with memoized cones, and the `u32` symbol
+//!   table the SEO uses to hand out cones without re-allocating terms.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
@@ -26,9 +29,11 @@ pub mod error;
 pub mod fusion;
 pub mod graph;
 pub mod hierarchy;
+pub mod intern;
 pub mod ontology;
 pub mod persist;
 pub mod poset;
+pub mod reach;
 pub mod sea;
 pub mod seo;
 
@@ -36,6 +41,8 @@ pub use constraints::{Constraint, TermRef};
 pub use error::{OntologyError, OntologyResult};
 pub use fusion::{fuse, Fusion};
 pub use hierarchy::{HNodeId, Hierarchy};
+pub use intern::{Sym, SymbolTable};
 pub use ontology::Ontology;
-pub use sea::enhance;
+pub use reach::ReachIndex;
+pub use sea::{enhance, enhance_exhaustive};
 pub use seo::Seo;

@@ -29,11 +29,20 @@ use crate::error::{OntologyError, OntologyResult};
 use crate::graph::{DiGraph, UnGraph};
 use crate::hierarchy::{HNodeId, Hierarchy};
 use crate::seo::Seo;
+use std::collections::HashMap;
 use toss_similarity::node::node_within;
 use toss_similarity::StringMetric;
 
 /// Run the SEA algorithm: enhance `h` with similarity under `metric` and
 /// threshold `epsilon`.
+///
+/// When the metric declares blocking bounds ([`StringMetric::length_lower_bound`]
+/// / [`StringMetric::bigram_edits_bound`]), the ε-similarity graph is built
+/// from a candidate set pruned by a length window and an inverted bigram
+/// index, so only plausible pairs reach the exact `node_within` check.
+/// Metrics without bounds (rule-based, min-combinators) transparently use
+/// the exhaustive all-pairs loop. Output is identical either way — see
+/// [`enhance_exhaustive`] and the equivalence proptests.
 ///
 /// Returns [`OntologyError::SimilarityInconsistent`] when `(H, d, ε)` is
 /// similarity inconsistent (Definition 9).
@@ -41,6 +50,26 @@ pub fn enhance<M: StringMetric>(
     h: &Hierarchy,
     metric: &M,
     epsilon: f64,
+) -> OntologyResult<Seo> {
+    enhance_impl(h, metric, epsilon, true)
+}
+
+/// The reference SEA: always runs the all-pairs ε-similarity loop,
+/// ignoring any blocking bounds the metric declares. Exists so benches
+/// and equivalence tests can compare against [`enhance`]'s pruned path.
+pub fn enhance_exhaustive<M: StringMetric>(
+    h: &Hierarchy,
+    metric: &M,
+    epsilon: f64,
+) -> OntologyResult<Seo> {
+    enhance_impl(h, metric, epsilon, false)
+}
+
+fn enhance_impl<M: StringMetric>(
+    h: &Hierarchy,
+    metric: &M,
+    epsilon: f64,
+    blocked: bool,
 ) -> OntologyResult<Seo> {
     let n = h.len();
     let obs_span = toss_obs::span("ontology.sea");
@@ -51,13 +80,38 @@ pub fn enhance<M: StringMetric>(
     let sim_span = toss_obs::span("ontology.sea.similarity_graph");
     let mut sim = UnGraph::new(n);
     let mut sim_edges = 0usize;
-    for a in 0..n {
-        for b in a + 1..n {
-            let ta = h.terms_of(HNodeId(a)).expect("dense ids");
-            let tb = h.terms_of(HNodeId(b)).expect("dense ids");
-            if node_within(metric, ta, tb, epsilon) {
-                sim.add_edge(a, b);
-                sim_edges += 1;
+    let candidates = if blocked {
+        candidate_node_pairs(h, metric, epsilon)
+    } else {
+        None
+    };
+    match &candidates {
+        Some(pairs) => {
+            sim_span.record("strategy", "blocked");
+            sim_span.record("candidate_pairs", pairs.len());
+            toss_obs::metrics::counter("toss.semantic.sea.blocked_runs").inc();
+            toss_obs::metrics::counter("toss.semantic.sea.candidate_pairs")
+                .add(pairs.len() as u64);
+            for &(a, b) in pairs {
+                let ta = h.terms_of(HNodeId(a)).expect("dense ids");
+                let tb = h.terms_of(HNodeId(b)).expect("dense ids");
+                if node_within(metric, ta, tb, epsilon) {
+                    sim.add_edge(a, b);
+                    sim_edges += 1;
+                }
+            }
+        }
+        None => {
+            sim_span.record("strategy", "exhaustive");
+            for a in 0..n {
+                for b in a + 1..n {
+                    let ta = h.terms_of(HNodeId(a)).expect("dense ids");
+                    let tb = h.terms_of(HNodeId(b)).expect("dense ids");
+                    if node_within(metric, ta, tb, epsilon) {
+                        sim.add_edge(a, b);
+                        sim_edges += 1;
+                    }
+                }
             }
         }
     }
@@ -77,17 +131,19 @@ pub fn enhance<M: StringMetric>(
     }
 
     // ---- step 3: required paths ----------------------------------------
-    let closure = h.digraph().transitive_closure();
+    // Seeding the requirement graph with the *Hasse edges* alone gives the
+    // same transitive closure as seeding with every closure pair: a path
+    // A →* B decomposes into Hasse steps, and an induction on its length
+    // shows every μ-image of A reaches every distinct μ-image of B through
+    // the step edges (μ is total, so intermediate nodes always contribute
+    // images to route through). Same closure ⇒ same cycles ⇒ the same
+    // unique transitive reduction, at O(E·|μ|²) instead of O(V²·|μ|²).
     let mut req = DiGraph::new(cliques.len());
-    for a in 0..n {
-        for b in 0..n {
-            if a != b && closure[a][b] {
-                for &ca in &mu[a] {
-                    for &cb in &mu[b] {
-                        if ca != cb {
-                            req.add_edge(ca, cb);
-                        }
-                    }
+    for (u, v) in h.digraph().edges() {
+        for &ca in &mu[u] {
+            for &cb in &mu[v] {
+                if ca != cb {
+                    req.add_edge(ca, cb);
                 }
             }
         }
@@ -97,17 +153,15 @@ pub fn enhance<M: StringMetric>(
             "required orderings between similarity cliques form a cycle".into(),
         ));
     }
-    let req_closure = req.transitive_closure();
+    let closure = h.digraph().transitive_closure_bits();
+    let req_closure = req.transitive_closure_bits();
 
     // ---- step 4: reverse direction of condition 1 -----------------------
-    for (ca, row) in req_closure.iter().enumerate() {
-        for (cb, &reach) in row.iter().enumerate() {
-            if !reach {
-                continue;
-            }
+    for ca in 0..cliques.len() {
+        for cb in req_closure.iter_row(ca) {
             for &a in &cliques[ca] {
                 for &b in &cliques[cb] {
-                    if a != b && !closure[a][b] {
+                    if a != b && !closure.get(a, b) {
                         return Err(OntologyError::SimilarityInconsistent(format!(
                             "clique path {} → {} requires {} ≤ {} which does not hold in H",
                             render(h, &cliques[ca]),
@@ -115,11 +169,6 @@ pub fn enhance<M: StringMetric>(
                             h.render_node(HNodeId(a)),
                             h.render_node(HNodeId(b)),
                         )));
-                    }
-                    if a == b {
-                        // a node in both cliques: path both ways would be
-                        // needed only if also cb→ca; a→a trivially holds
-                        continue;
                     }
                 }
             }
@@ -176,6 +225,162 @@ pub fn enhance<M: StringMetric>(
             .collect(),
         epsilon,
     ))
+}
+
+/// One term of the hierarchy, flattened for the blocking index.
+struct BlockTerm {
+    node: usize,
+    /// Char count (the unit the length bound speaks in).
+    len: usize,
+    /// Sorted `(bigram, multiplicity)` pairs; bigram = two chars packed.
+    grams: Vec<(u64, u32)>,
+}
+
+fn bigram_counts(chars: &[char]) -> Vec<(u64, u32)> {
+    let mut keys: Vec<u64> = chars
+        .windows(2)
+        .map(|w| ((w[0] as u64) << 32) | w[1] as u64)
+        .collect();
+    keys.sort_unstable();
+    let mut out: Vec<(u64, u32)> = Vec::new();
+    for k in keys {
+        match out.last_mut() {
+            Some((prev, c)) if *prev == k => *c += 1,
+            _ => out.push((k, 1)),
+        }
+    }
+    out
+}
+
+/// Candidate node pairs `(a, b)` with `a < b` that could possibly be
+/// within ε, derived from the metric's declared blocking bounds:
+///
+/// * **length window** — `d(x, y) ≥ c·|len(x) − len(y)|` means any pair
+///   whose char lengths differ by more than `ε/c` is out;
+/// * **bigram count filter** — `shared_bigrams(x, y) ≥ max(len) − 1 − B·d`
+///   (the classic q-gram lemma with q = 2) means a surviving pair must
+///   share at least `max(len) − 1 − B·ε` bigrams, which an inverted
+///   bigram index finds without touching non-overlapping pairs. Length
+///   pairs where that threshold is ≤ 0 (short strings) are enumerated
+///   wholesale — the filter has no power there.
+///
+/// Both filters are *necessary* conditions for `d ≤ ε` on each term pair,
+/// and a within-ε node pair has every (strong metric: the first) cross
+/// term pair within ε, so the pair surfaces through its own terms; the
+/// exact `node_within` verification then decides. Returns `None` when the
+/// metric declares no length bound — the caller falls back to the
+/// exhaustive loop, keeping unsupported metrics (rule-based,
+/// min-combinators) correct by construction.
+fn candidate_node_pairs<M: StringMetric>(
+    h: &Hierarchy,
+    metric: &M,
+    epsilon: f64,
+) -> Option<Vec<(usize, usize)>> {
+    let n = h.len();
+    if epsilon < 0.0 || n < 2 {
+        // a metric never goes below 0, and fewer than two nodes have no pairs
+        return Some(Vec::new());
+    }
+    let len_cost = metric.length_lower_bound()?;
+    if len_cost <= 0.0 || len_cost.is_nan() {
+        return None; // declared bound carries no information
+    }
+    let bigram_bound = metric.bigram_edits_bound();
+
+    let mut terms: Vec<BlockTerm> = Vec::new();
+    for node in 0..n {
+        for t in h.terms_of(HNodeId(node)).expect("dense ids") {
+            let chars: Vec<char> = t.chars().collect();
+            terms.push(BlockTerm {
+                node,
+                len: chars.len(),
+                grams: bigram_counts(&chars),
+            });
+        }
+    }
+    let m = terms.len();
+    let max_len_diff = (epsilon / len_cost).floor() as usize;
+    // Pairs at or below this length bypass the bigram filter: beyond it,
+    // the threshold max(la,lb) − 1 − B·ε exceeds 1, so every surviving
+    // pair shares at least one bigram and the inverted index cannot miss
+    // it (a cutoff at threshold 0 would drop pairs with no shared bigram
+    // whose threshold rounds to 0).
+    let short_cutoff = match bigram_bound {
+        Some(b) if b > 0.0 => (2.0 + b * epsilon).floor() as usize,
+        _ => usize::MAX, // no bigram filter: length window only
+    };
+
+    let mut cand: std::collections::HashSet<(usize, usize)> = std::collections::HashSet::new();
+    let mut push = |na: usize, nb: usize| {
+        if na != nb {
+            cand.insert((na.min(nb), na.max(nb)));
+        }
+    };
+
+    // short-short pairs: length window only
+    let mut by_len: HashMap<usize, Vec<usize>> = HashMap::new();
+    for (i, t) in terms.iter().enumerate() {
+        if t.len <= short_cutoff {
+            by_len.entry(t.len).or_default().push(i);
+        }
+    }
+    let mut lens: Vec<usize> = by_len.keys().copied().collect();
+    lens.sort_unstable();
+    for &la in &lens {
+        for lb in la..=la.saturating_add(max_len_diff).min(short_cutoff) {
+            let Some(bucket_b) = by_len.get(&lb) else {
+                continue;
+            };
+            for &i in &by_len[&la] {
+                for &j in bucket_b {
+                    if la < lb || i < j {
+                        push(terms[i].node, terms[j].node);
+                    }
+                }
+            }
+        }
+    }
+
+    // everything else must share ≥ max(la,lb) − 1 − B·ε ≥ 1 bigrams:
+    // probe an inverted bigram index, accumulating the exact shared
+    // multiset count Σ min(cnt_a, cnt_b) per already-indexed term
+    if short_cutoff != usize::MAX {
+        let bigram_b = bigram_bound.expect("cutoff is finite only with a bigram bound");
+        let mut postings: HashMap<u64, Vec<(usize, u32)>> = HashMap::new();
+        let mut shared = vec![0u32; m];
+        let mut touched: Vec<usize> = Vec::new();
+        for (i, t) in terms.iter().enumerate() {
+            for &(g, ca) in &t.grams {
+                if let Some(list) = postings.get(&g) {
+                    for &(j, cb) in list {
+                        if shared[j] == 0 {
+                            touched.push(j);
+                        }
+                        shared[j] += ca.min(cb);
+                    }
+                }
+            }
+            for &j in &touched {
+                let (la, lb) = (t.len, terms[j].len);
+                let max_len = la.max(lb);
+                if max_len > short_cutoff && la.abs_diff(lb) <= max_len_diff {
+                    let threshold = max_len as f64 - 1.0 - bigram_b * epsilon;
+                    if f64::from(shared[j]) >= threshold - 1e-9 {
+                        push(t.node, terms[j].node);
+                    }
+                }
+                shared[j] = 0;
+            }
+            touched.clear();
+            for &(g, ca) in &t.grams {
+                postings.entry(g).or_default().push((i, ca));
+            }
+        }
+    }
+
+    let mut out: Vec<(usize, usize)> = cand.into_iter().collect();
+    out.sort_unstable();
+    Some(out)
 }
 
 fn render(h: &Hierarchy, clique: &[usize]) -> String {

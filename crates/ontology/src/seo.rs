@@ -6,7 +6,16 @@
 //! itself owns the real term sets and the μ mapping.
 
 use crate::hierarchy::{HNodeId, Hierarchy};
+use crate::intern::{Sym, SymbolTable};
 use std::collections::HashMap;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, OnceLock};
+
+/// Monotone source of SEO version stamps: every constructed enhancement
+/// (fresh SEA runs, persistence loads, fused-and-re-enhanced ontologies)
+/// gets a distinct version, so downstream caches keyed on it can never
+/// serve a rewrite computed against a different enhancement.
+static SEO_VERSION: AtomicU64 = AtomicU64::new(0);
 
 /// A similarity enhancement of a hierarchy: the enhanced Hasse diagram
 /// `H'`, the mapping `μ : H → 2^{H'}` and the member term sets of each
@@ -25,6 +34,17 @@ pub struct Seo {
     /// term sets per enhanced node.
     terms: Vec<Vec<String>>,
     epsilon: f64,
+    /// Process-unique version stamp for cache keys.
+    version: u64,
+    /// Vocabulary interned in lexicographic order, so symbol order is
+    /// term order and sorted `Sym` cones resolve to sorted term lists.
+    symbols: SymbolTable,
+    /// Per enhanced node, its term set as ascending symbols.
+    node_syms: Vec<Vec<Sym>>,
+    /// Memoized below-cone term sets, indexed by `Sym`.
+    below_memo: Vec<OnceLock<Arc<[Sym]>>>,
+    /// Memoized similarity classes, indexed by `Sym`.
+    similar_memo: Vec<OnceLock<Arc<[Sym]>>>,
 }
 
 impl Seo {
@@ -62,6 +82,24 @@ impl Seo {
             }
             terms.push(ts);
         }
+        // intern the vocabulary in lexicographic order: Sym order then
+        // coincides with term order, so cones sorted by symbol resolve
+        // straight to the sorted term lists the public API promises
+        let mut vocab: Vec<&String> = term_to_enhanced.keys().collect();
+        vocab.sort();
+        let mut symbols = SymbolTable::new();
+        for t in vocab {
+            symbols.intern(t);
+        }
+        let node_syms: Vec<Vec<Sym>> = terms
+            .iter()
+            .map(|ts| {
+                ts.iter()
+                    .map(|t| symbols.lookup(t).expect("vocabulary is interned"))
+                    .collect()
+            })
+            .collect();
+        let n_syms = symbols.len();
         Seo {
             original,
             enhanced,
@@ -70,6 +108,11 @@ impl Seo {
             term_to_enhanced,
             terms,
             epsilon,
+            version: SEO_VERSION.fetch_add(1, Ordering::Relaxed) + 1,
+            symbols,
+            node_syms,
+            below_memo: (0..n_syms).map(|_| OnceLock::new()).collect(),
+            similar_memo: (0..n_syms).map(|_| OnceLock::new()).collect(),
         }
     }
 
@@ -111,6 +154,19 @@ impl Seo {
         self.epsilon
     }
 
+    /// Process-unique version stamp of this enhancement. Two `Seo` values
+    /// never share a version (clones excepted), so caches keyed on it
+    /// invalidate automatically when an ontology is fused and re-enhanced.
+    pub fn version(&self) -> u64 {
+        self.version
+    }
+
+    /// The interned vocabulary of this enhancement (lexicographic symbol
+    /// order).
+    pub fn symbols(&self) -> &SymbolTable {
+        &self.symbols
+    }
+
     /// `μ(a)`: enhanced nodes containing original node `a`.
     pub fn mu(&self, a: HNodeId) -> &[HNodeId] {
         self.mu.get(a.0).map(Vec::as_slice).unwrap_or(&[])
@@ -148,17 +204,36 @@ impl Seo {
     /// enhanced node containing it (always includes `term` itself when
     /// the term is known; returns just `term` for unknown terms).
     pub fn similar_terms(&self, term: &str) -> Vec<String> {
-        let nodes = self.enhanced_nodes_of_term(term);
-        if nodes.is_empty() {
-            return vec![term.to_string()];
+        match self.similar_terms_interned(term) {
+            Some(cone) => self.resolve_all(&cone),
+            None => vec![term.to_string()],
         }
-        let mut out: Vec<String> = nodes
-            .iter()
-            .flat_map(|&e| self.terms_of_enhanced(e).iter().cloned())
-            .collect();
-        out.sort();
-        out.dedup();
-        out
+    }
+
+    /// The similarity class of a known term as memoized symbols (sorted
+    /// ascending — lexicographic term order), or `None` for unknown
+    /// terms. Repeated calls return the same allocation.
+    pub fn similar_terms_interned(&self, term: &str) -> Option<Arc<[Sym]>> {
+        let sym = self.symbols.lookup(term)?;
+        Some(Arc::clone(self.similar_memo[sym.index()].get_or_init(
+            || {
+                let mut syms: Vec<Sym> = self
+                    .enhanced_nodes_of_term(term)
+                    .iter()
+                    .flat_map(|&e| self.node_syms[e.0].iter().copied())
+                    .collect();
+                syms.sort_unstable();
+                syms.dedup();
+                syms.into()
+            },
+        )))
+    }
+
+    /// Resolve a symbol cone back to owned term strings (order kept).
+    fn resolve_all(&self, syms: &[Sym]) -> Vec<String> {
+        syms.iter()
+            .map(|&s| self.symbols.resolve(s).to_string())
+            .collect()
     }
 
     /// Terms similar to a *probe* string that may be absent from the
@@ -193,26 +268,49 @@ impl Seo {
     pub fn leq_terms(&self, x: &str, y: &str) -> bool {
         let ex = self.enhanced_nodes_of_term(x);
         let ey = self.enhanced_nodes_of_term(y);
-        ex.iter()
-            .any(|&a| ey.iter().any(|&b| self.enhanced.leq(a, b)))
+        if ex.is_empty() || ey.is_empty() {
+            return false;
+        }
+        // force the shared reachability index so the nested ≤ probes are
+        // bit tests rather than per-pair DFS walks
+        let ix = self.enhanced.reach_index();
+        ex.iter().any(|&a| ey.iter().any(|&b| ix.leq(a.0, b.0)))
     }
 
     /// All terms at or below `term` in the enhanced order — the term
     /// expansion the Query Executor uses for `isa`/`below` conditions.
     pub fn below_terms(&self, term: &str) -> Vec<String> {
-        let targets = self.enhanced_nodes_of_term(term);
-        if targets.is_empty() {
-            return vec![term.to_string()];
+        match self.below_terms_interned(term) {
+            Some(cone) => self.resolve_all(&cone),
+            None => vec![term.to_string()],
         }
-        let mut out: Vec<String> = self
-            .enhanced
-            .below_many(targets)
-            .into_iter()
-            .flat_map(|e| self.terms_of_enhanced(e).iter().cloned())
-            .collect();
-        out.sort();
-        out.dedup();
-        out
+    }
+
+    /// The below-cone of a known term as memoized symbols (sorted
+    /// ascending — lexicographic term order), or `None` for unknown
+    /// terms. This is the allocation-free hot path: repeated calls
+    /// return the same `Arc<[Sym]>`.
+    pub fn below_terms_interned(&self, term: &str) -> Option<Arc<[Sym]>> {
+        let sym = self.symbols.lookup(term)?;
+        Some(Arc::clone(self.below_memo[sym.index()].get_or_init(
+            || {
+                let targets: Vec<usize> = self
+                    .enhanced_nodes_of_term(term)
+                    .iter()
+                    .map(|e| e.0)
+                    .collect();
+                let mut syms: Vec<Sym> = self
+                    .enhanced
+                    .reach_index()
+                    .below_many(&targets)
+                    .into_iter()
+                    .flat_map(|e| self.node_syms[e].iter().copied())
+                    .collect();
+                syms.sort_unstable();
+                syms.dedup();
+                syms.into()
+            },
+        )))
     }
 
     /// Number of enhanced nodes.
@@ -377,6 +475,33 @@ mod tests {
     #[test]
     fn epsilon_is_recorded() {
         assert_eq!(example11_seo().epsilon(), 2.0);
+    }
+
+    #[test]
+    fn versions_are_unique_per_enhancement() {
+        let a = example11_seo();
+        let b = example11_seo();
+        assert_ne!(a.version(), b.version());
+    }
+
+    #[test]
+    fn interned_cones_are_memoized_and_match_strings() {
+        let seo = example11_seo();
+        let c1 = seo.below_terms_interned("concept").unwrap();
+        let c2 = seo.below_terms_interned("concept").unwrap();
+        assert!(std::sync::Arc::ptr_eq(&c1, &c2), "cone is shared");
+        let resolved: Vec<String> = c1
+            .iter()
+            .map(|&s| seo.symbols().resolve(s).to_string())
+            .collect();
+        assert_eq!(resolved, seo.below_terms("concept"));
+        let s1 = seo.similar_terms_interned("relation").unwrap();
+        let resolved: Vec<String> = s1
+            .iter()
+            .map(|&s| seo.symbols().resolve(s).to_string())
+            .collect();
+        assert_eq!(resolved, seo.similar_terms("relation"));
+        assert!(seo.below_terms_interned("ghost").is_none());
     }
 
     #[test]

@@ -273,6 +273,14 @@ impl<M: StringMetric> StringMetric for CachedMetric<M> {
     fn name(&self) -> &str {
         self.inner.name()
     }
+
+    fn length_lower_bound(&self) -> Option<f64> {
+        self.inner.length_lower_bound()
+    }
+
+    fn bigram_edits_bound(&self) -> Option<f64> {
+        self.inner.bigram_edits_bound()
+    }
 }
 
 #[cfg(test)]

@@ -55,6 +55,17 @@ impl StringMetric for DamerauOsa {
     fn name(&self) -> &str {
         "damerau-osa"
     }
+
+    fn length_lower_bound(&self) -> Option<f64> {
+        // every operation (transpositions included) shifts length ≤ 1
+        Some(1.0)
+    }
+
+    fn bigram_edits_bound(&self) -> Option<f64> {
+        // a transposition can touch three bigrams (the two around the
+        // swapped pair plus the pair itself)
+        Some(3.0)
+    }
 }
 
 #[cfg(test)]
@@ -90,6 +101,11 @@ mod tests {
     fn axioms_hold() {
         axioms::assert_axioms(&DamerauOsa);
         axioms::assert_within_consistent(&DamerauOsa);
+    }
+
+    #[test]
+    fn blocking_bounds_hold() {
+        axioms::assert_blocking_bounds(&DamerauOsa);
     }
 
     #[test]

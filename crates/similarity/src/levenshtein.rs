@@ -98,6 +98,16 @@ impl StringMetric for Levenshtein {
         }
         Self::raw_within(a, b, epsilon.floor() as usize)
     }
+
+    fn length_lower_bound(&self) -> Option<f64> {
+        // every edit changes the length by at most one
+        Some(1.0)
+    }
+
+    fn bigram_edits_bound(&self) -> Option<f64> {
+        // an insert/delete/substitute touches at most two bigrams
+        Some(2.0)
+    }
 }
 
 #[cfg(test)]
@@ -139,6 +149,11 @@ mod tests {
         axioms::assert_axioms(&Levenshtein);
         axioms::assert_triangle(&Levenshtein);
         axioms::assert_within_consistent(&Levenshtein);
+    }
+
+    #[test]
+    fn blocking_bounds_hold() {
+        axioms::assert_blocking_bounds(&Levenshtein);
     }
 
     #[test]

@@ -26,6 +26,27 @@ pub trait StringMetric: Send + Sync {
     fn within(&self, a: &str, b: &str, epsilon: f64) -> bool {
         self.distance(a, b) <= epsilon
     }
+
+    /// Blocking bound: `Some(c)` promises
+    /// `distance(a, b) ≥ c · |chars(a) − chars(b)|` for every pair, so a
+    /// candidate generator may discard pairs whose char-length difference
+    /// exceeds `ε / c` without calling [`StringMetric::distance`]. Return
+    /// `None` (the default) when no such guarantee holds — callers then
+    /// fall back to exhaustive comparison, which is always correct.
+    fn length_lower_bound(&self) -> Option<f64> {
+        None
+    }
+
+    /// Blocking bound: `Some(B)` promises the q-gram count filter at
+    /// q = 2 — `shared_bigrams(a, b) ≥ max(chars(a), chars(b)) − 1 − B·d`
+    /// where `shared_bigrams` is the bigram *multiset* intersection size
+    /// and `d = distance(a, b)`. Edit metrics satisfy this with `B` =
+    /// the most bigrams one edit operation can destroy (2 for
+    /// insert/delete/substitute, 3 once transpositions are allowed).
+    /// Return `None` (the default) when no such guarantee holds.
+    fn bigram_edits_bound(&self) -> Option<f64> {
+        None
+    }
 }
 
 impl<M: StringMetric + ?Sized> StringMetric for &M {
@@ -40,6 +61,12 @@ impl<M: StringMetric + ?Sized> StringMetric for &M {
     }
     fn within(&self, a: &str, b: &str, epsilon: f64) -> bool {
         (**self).within(a, b, epsilon)
+    }
+    fn length_lower_bound(&self) -> Option<f64> {
+        (**self).length_lower_bound()
+    }
+    fn bigram_edits_bound(&self) -> Option<f64> {
+        (**self).bigram_edits_bound()
     }
 }
 
@@ -56,6 +83,12 @@ impl<M: StringMetric + ?Sized> StringMetric for Box<M> {
     fn within(&self, a: &str, b: &str, epsilon: f64) -> bool {
         (**self).within(a, b, epsilon)
     }
+    fn length_lower_bound(&self) -> Option<f64> {
+        (**self).length_lower_bound()
+    }
+    fn bigram_edits_bound(&self) -> Option<f64> {
+        (**self).bigram_edits_bound()
+    }
 }
 
 impl<M: StringMetric> StringMetric for std::sync::Arc<M> {
@@ -70,6 +103,12 @@ impl<M: StringMetric> StringMetric for std::sync::Arc<M> {
     }
     fn within(&self, a: &str, b: &str, epsilon: f64) -> bool {
         (**self).within(a, b, epsilon)
+    }
+    fn length_lower_bound(&self) -> Option<f64> {
+        (**self).length_lower_bound()
+    }
+    fn bigram_edits_bound(&self) -> Option<f64> {
+        (**self).bigram_edits_bound()
     }
 }
 
@@ -128,6 +167,49 @@ pub(crate) mod axioms {
                     assert!(
                         lhs <= rhs + 1e-9,
                         "{}: triangle violated: d({x:?},{z:?})={lhs} > {rhs}",
+                        m.name()
+                    );
+                }
+            }
+        }
+    }
+
+    /// Any declared blocking bounds actually hold on the sample corpus:
+    /// `d ≥ c·|Δchars|` for the length bound, and the q = 2 count filter
+    /// `shared_bigrams ≥ max(len) − 1 − B·d` for the bigram bound.
+    pub fn assert_blocking_bounds<M: StringMetric>(m: &M) {
+        use std::collections::HashMap;
+        fn bigrams(s: &str) -> HashMap<(char, char), usize> {
+            let cs: Vec<char> = s.chars().collect();
+            let mut out = HashMap::new();
+            for w in cs.windows(2) {
+                *out.entry((w[0], w[1])).or_default() += 1;
+            }
+            out
+        }
+        for &x in SAMPLES {
+            for &y in SAMPLES {
+                let d = m.distance(x, y);
+                let (lx, ly) = (x.chars().count(), y.chars().count());
+                if let Some(c) = m.length_lower_bound() {
+                    let dl = lx.abs_diff(ly) as f64;
+                    assert!(
+                        d + 1e-9 >= c * dl,
+                        "{}: length bound violated on {x:?},{y:?}: d={d} < {c}*{dl}",
+                        m.name()
+                    );
+                }
+                if let Some(bb) = m.bigram_edits_bound() {
+                    let gx = bigrams(x);
+                    let gy = bigrams(y);
+                    let shared: usize = gx
+                        .iter()
+                        .map(|(g, nx)| nx.min(gy.get(g).unwrap_or(&0)))
+                        .sum();
+                    let need = lx.max(ly) as f64 - 1.0 - bb * d;
+                    assert!(
+                        shared as f64 + 1e-9 >= need,
+                        "{}: bigram bound violated on {x:?},{y:?}: shared={shared} < {need}",
                         m.name()
                     );
                 }

@@ -20,8 +20,8 @@ cargo test --release --test chaos --test governance -q
 if cargo clippy --version >/dev/null 2>&1; then
     echo "==> cargo clippy -p toss-xmldb -p toss-pool --all-targets -- -D warnings"
     cargo clippy -p toss-xmldb -p toss-pool --all-targets -- -D warnings
-    echo "==> cargo clippy -p toss-obs -p toss-core -p toss-similarity --all-targets -- -D warnings"
-    cargo clippy -p toss-obs -p toss-core -p toss-similarity --all-targets -- -D warnings
+    echo "==> cargo clippy -p toss-obs -p toss-core -p toss-similarity -p toss-ontology --all-targets -- -D warnings"
+    cargo clippy -p toss-obs -p toss-core -p toss-similarity -p toss-ontology --all-targets -- -D warnings
 else
     echo "==> clippy not installed; skipping lint step"
 fi
@@ -29,6 +29,10 @@ fi
 echo "==> parallel query bench smoke (BENCH_query_parallel.json)"
 cargo run --release -p toss-bench --bin bench_query_parallel -- --quick
 test -s BENCH_query_parallel.json
+
+echo "==> semantic fast-path bench smoke (BENCH_semantic.json)"
+cargo run --release -p toss-bench --bin bench_semantic -- --quick
+test -s BENCH_semantic.json
 
 echo "==> toss-cli stats smoke test"
 SMOKE=$(mktemp -d)

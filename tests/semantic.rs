@@ -1,0 +1,195 @@
+//! Property-based tests of the semantic fast path: the reachability
+//! index must agree with naive BFS on arbitrary DAGs, and the
+//! candidate-pruned SEA must be observationally identical to the
+//! exhaustive all-pairs algorithm — byte-identical persisted SEOs on
+//! consistent inputs, identical errors on inconsistent ones.
+
+use proptest::prelude::*;
+use toss::core::{Executor, RewriteCache, TossCond, TossQuery, TossTerm};
+use toss::ontology::hierarchy::Hierarchy;
+use toss::ontology::persist::seo_to_json;
+use toss::ontology::{enhance, enhance_exhaustive};
+use toss::similarity::{DamerauOsa, Levenshtein, StringMetric};
+use toss::tax::EdgeKind;
+use toss::tree::Forest;
+use toss::xmldb::{Database, DatabaseConfig};
+
+// ---------------------------------------------------------------------
+// generators
+// ---------------------------------------------------------------------
+
+/// Short lowercase words so random pairs land within small edit
+/// distances often enough to exercise merging — and, on unlucky draws,
+/// similarity-inconsistency errors.
+fn word() -> impl Strategy<Value = String> {
+    proptest::string::string_regex("[ab]{1,4}").expect("valid regex")
+}
+
+/// A random hierarchy: words under class roots plus random chains among
+/// the words themselves (cyclic `add_leq` attempts are rejected by the
+/// hierarchy, so the result is always a DAG of arbitrary shape).
+fn hierarchy() -> impl Strategy<Value = Hierarchy> {
+    (
+        proptest::collection::vec((word(), 0usize..3), 1..14),
+        proptest::collection::vec((word(), word()), 0..8),
+    )
+        .prop_map(|(unders, chains)| {
+            let mut h = Hierarchy::new();
+            let classes = ["classx", "classy", "classz"];
+            for (w, c) in unders {
+                let _ = h.add_leq(&w, classes[c]);
+            }
+            for (lo, hi) in chains {
+                // may be rejected (cycle) or a no-op (same node): fine
+                let _ = h.add_leq(&lo, &hi);
+            }
+            let _ = h.add_leq("classx", "classy");
+            h
+        })
+}
+
+// ---------------------------------------------------------------------
+// ReachIndex vs naive BFS
+// ---------------------------------------------------------------------
+
+proptest! {
+    /// `ReachIndex::leq` and both cones agree with BFS reachability on
+    /// the underlying digraph, for every vertex pair.
+    #[test]
+    fn reach_index_matches_bfs(h in hierarchy()) {
+        let ix = h.reach_index();
+        let g = h.digraph();
+        let n = g.len();
+        for a in 0..n {
+            let fwd = g.reachable_from(a); // forward = everything ≥ a
+            for b in 0..n {
+                let expect = a == b || fwd.contains(&b);
+                prop_assert_eq!(
+                    ix.leq(a, b),
+                    expect,
+                    "leq({}, {}) disagrees with BFS", a, b
+                );
+            }
+            let mut above: Vec<u32> = fwd.into_iter().map(|v| v as u32).collect();
+            if !above.contains(&(a as u32)) {
+                above.push(a as u32);
+            }
+            above.sort_unstable();
+            let above_cone = ix.above_cone(a);
+            prop_assert_eq!(above_cone.as_ref(), &above[..]);
+            let mut below: Vec<u32> = (0..n)
+                .filter(|&v| v == a || g.reachable_from(v).contains(&a))
+                .map(|v| v as u32)
+                .collect();
+            below.sort_unstable();
+            let below_cone = ix.below_cone(a);
+            prop_assert_eq!(below_cone.as_ref(), &below[..]);
+        }
+        // below_many is the union of the individual below-cones
+        let targets: Vec<usize> = (0..n).step_by(2).collect();
+        let mut union: Vec<usize> = targets
+            .iter()
+            .flat_map(|&t| {
+                ix.below_cone(t).iter().map(|&v| v as usize).collect::<Vec<_>>()
+            })
+            .collect();
+        union.sort_unstable();
+        union.dedup();
+        prop_assert_eq!(ix.below_many(&targets), union);
+    }
+
+    /// The hierarchy's public cone queries (index-served) agree with the
+    /// quadratic definition in terms of `leq`.
+    #[test]
+    fn hierarchy_cones_agree_with_leq(h in hierarchy()) {
+        let ids: Vec<_> = h.nodes().collect();
+        for &a in &ids {
+            let below: Vec<_> = ids.iter().copied().filter(|&x| h.leq(x, a)).collect();
+            prop_assert_eq!(h.below(a), below);
+            let above: Vec<_> = ids.iter().copied().filter(|&x| h.leq(a, x)).collect();
+            prop_assert_eq!(h.above(a), above);
+        }
+    }
+}
+
+// ---------------------------------------------------------------------
+// blocked SEA ≡ exhaustive SEA
+// ---------------------------------------------------------------------
+
+fn assert_sea_equivalent<M: StringMetric>(h: &Hierarchy, metric: &M, eps: f64) {
+    let blocked = enhance(h, metric, eps);
+    let exhaustive = enhance_exhaustive(h, metric, eps);
+    match (blocked, exhaustive) {
+        (Ok(b), Ok(e)) => assert_eq!(
+            seo_to_json(&b),
+            seo_to_json(&e),
+            "blocked SEA diverged from exhaustive at eps={eps}"
+        ),
+        (Err(b), Err(e)) => assert_eq!(
+            format!("{b:?}"),
+            format!("{e:?}"),
+            "blocked SEA must fail identically at eps={eps}"
+        ),
+        (b, e) => panic!(
+            "blocked and exhaustive SEA disagree on success at eps={eps}: \
+             blocked={b:?} exhaustive={e:?}"
+        ),
+    }
+}
+
+proptest! {
+    /// Candidate pruning is invisible: same persisted SEO bytes, or the
+    /// same error, as the all-pairs loop — across metrics (with and
+    /// without transpositions, i.e. B = 2 and B = 3 bigram bounds) and
+    /// thresholds (including ε = 0 self-classes and fractional ε).
+    #[test]
+    fn blocked_sea_is_byte_identical_to_exhaustive(h in hierarchy()) {
+        for eps in [0.0, 0.5, 1.0, 2.0] {
+            assert_sea_equivalent(&h, &Levenshtein, eps);
+            assert_sea_equivalent(&h, &DamerauOsa, eps);
+        }
+    }
+
+    /// The executor's rewrite cache is invisible too: compiling the same
+    /// query against a warm cache yields the same compiled selection as
+    /// the cold compile.
+    #[test]
+    fn rewrite_cache_is_transparent(h in hierarchy(), probe in word()) {
+        let Ok(seo) = enhance(&h, &Levenshtein, 1.0) else {
+            return Ok(()); // inconsistent draw: nothing to query
+        };
+        let seo = std::sync::Arc::new(seo);
+        let q = TossQuery {
+            collection: "none".into(),
+            pattern: toss::core::algebra::TossPattern::spine(
+                &[EdgeKind::ParentChild],
+                TossCond::all(vec![
+                    TossCond::similar(TossTerm::content(2), TossTerm::str(&probe)),
+                    TossCond::below(TossTerm::content(2), TossTerm::ty("classy")),
+                ]),
+            )
+            .expect("spine pattern builds"),
+            expand_labels: vec![1],
+        };
+        let forest = Forest::new();
+        let mode = toss::core::executor::Mode::Toss;
+        let with_cache = Executor::new(
+            Database::with_config(DatabaseConfig::unlimited()),
+            seo.clone(),
+        );
+        let cold = with_cache.select_in_memory(&forest, &q.pattern, &q.expand_labels, mode);
+        let warm = with_cache.select_in_memory(&forest, &q.pattern, &q.expand_labels, mode);
+        // an uncached executor (zero-capacity cache) is the reference
+        let mut reference = Executor::new(
+            Database::with_config(DatabaseConfig::unlimited()),
+            seo,
+        );
+        reference.rewrite_cache = RewriteCache::new(0);
+        let uncached = reference.select_in_memory(&forest, &q.pattern, &q.expand_labels, mode);
+        prop_assert_eq!(&format!("{cold:?}"), &format!("{uncached:?}"));
+        prop_assert_eq!(&format!("{warm:?}"), &format!("{uncached:?}"));
+        if cold.is_ok() {
+            prop_assert!(with_cache.rewrite_cache.hits() >= 1);
+        }
+    }
+}
