@@ -13,7 +13,7 @@ pub struct Args {
 }
 
 /// Flags that take no value.
-const SWITCHES: &[&str] = &["tax", "pretty", "part-of", "explain", "json"];
+const SWITCHES: &[&str] = &["tax", "pretty", "part-of", "explain", "json", "allow-shutdown"];
 
 impl Args {
     /// Parse `argv` (without the subcommand). Every `--flag` not in the

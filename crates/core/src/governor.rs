@@ -665,8 +665,23 @@ impl AdmissionController {
         *self.active.lock().unwrap_or_else(|e| e.into_inner())
     }
 
+    /// The configured number of concurrent slots.
+    pub fn max_concurrent(&self) -> usize {
+        self.max_concurrent
+    }
+
+    /// The configured queue-wait ceiling before a query is shed.
+    pub fn max_queue_wait(&self) -> Duration {
+        self.max_queue_wait
+    }
+
     /// Acquire a slot, waiting at most the configured queue timeout.
     /// Sheds with [`TossError::Overloaded`] when the wait expires.
+    ///
+    /// The `toss.governor.queue_wait_ns` histogram records the time spent
+    /// queueing on **both** outcomes — admission and shedding — so load
+    /// shed under overload is visible in the wait distribution instead of
+    /// silently missing from it.
     pub fn admit(&self) -> TossResult<AdmissionPermit<'_>> {
         let enqueued = Instant::now();
         let mut active = self.active.lock().unwrap_or_else(|e| e.into_inner());
@@ -674,6 +689,8 @@ impl AdmissionController {
             let waited = enqueued.elapsed();
             if waited >= self.max_queue_wait {
                 toss_obs::metrics::counter("toss.governor.shed").inc();
+                toss_obs::metrics::histogram("toss.governor.queue_wait_ns")
+                    .observe_duration(waited);
                 return Err(TossError::Overloaded(format!(
                     "{} queries active, queue wait {:?} exceeded {:?}",
                     self.max_concurrent, waited, self.max_queue_wait
@@ -909,6 +926,27 @@ mod tests {
         drop(p);
         assert_eq!(ctrl.active(), 0);
         let _again = ctrl.admit().unwrap(); // slot is reusable
+    }
+
+    #[test]
+    fn shed_queries_record_queue_wait() {
+        let hist = toss_obs::metrics::histogram("toss.governor.queue_wait_ns");
+        let before = hist.count();
+        let ctrl = Arc::new(AdmissionController::new(1, Duration::from_millis(5)));
+        let p = ctrl.admit().unwrap(); // admitted: one observation
+        let c2 = ctrl.clone();
+        let shed = thread::spawn(move || c2.admit().map(|_| ()))
+            .join()
+            .unwrap();
+        assert!(matches!(shed, Err(TossError::Overloaded(_))));
+        drop(p);
+        // both the admitted and the shed query observed their queue wait
+        assert!(
+            hist.count() >= before + 2,
+            "shed queries must record queue wait (count {} -> {})",
+            before,
+            hist.count()
+        );
     }
 
     #[test]

@@ -17,8 +17,9 @@
 //!   in-memory collector for EXPLAIN and tests) and
 //!   [`sink::JsonLinesSink`] (one JSON object per finished span, for
 //!   `--trace-out`). The "no-op sink" is the absence of any sink.
-//! * [`metrics`] — a global registry of named monotonic counters and
-//!   log₂-bucketed histograms with Prometheus-text and JSON exporters.
+//! * [`metrics`] — a global registry of named monotonic counters,
+//!   up/down gauges and log₂-bucketed histograms with Prometheus-text
+//!   and JSON exporters.
 //! * [`explain`] — reassembles the span records of one query into a
 //!   human-readable EXPLAIN tree.
 //!

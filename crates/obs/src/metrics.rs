@@ -1,4 +1,5 @@
-//! A global registry of named counters and log₂-bucketed histograms.
+//! A global registry of named counters, gauges and log₂-bucketed
+//! histograms.
 //!
 //! Metrics are always on (unlike spans they are just atomic adds; there
 //! is no sink to install) and cumulative for the life of the process.
@@ -38,6 +39,45 @@ impl Counter {
 
     /// Current value.
     pub fn get(&self) -> u64 {
+        self.value.load(Ordering::Relaxed)
+    }
+
+    fn reset(&self) {
+        self.value.store(0, Ordering::Relaxed);
+    }
+}
+
+/// A point-in-time level that can go up **and** down (active
+/// connections, in-flight queries, queue depth). Unlike [`Counter`] the
+/// exported value is the current level, not a cumulative total.
+#[derive(Debug, Default)]
+pub struct Gauge {
+    value: std::sync::atomic::AtomicI64,
+}
+
+impl Gauge {
+    /// Set the level.
+    pub fn set(&self, v: i64) {
+        self.value.store(v, Ordering::Relaxed);
+    }
+
+    /// Add `n` (may be negative).
+    pub fn add(&self, n: i64) {
+        self.value.fetch_add(n, Ordering::Relaxed);
+    }
+
+    /// Increment by 1.
+    pub fn inc(&self) {
+        self.add(1);
+    }
+
+    /// Decrement by 1.
+    pub fn dec(&self) {
+        self.add(-1);
+    }
+
+    /// Current level.
+    pub fn get(&self) -> i64 {
         self.value.load(Ordering::Relaxed)
     }
 
@@ -196,6 +236,7 @@ impl HistogramSnapshot {
 #[derive(Default)]
 pub struct MetricsRegistry {
     counters: RwLock<BTreeMap<String, Arc<Counter>>>,
+    gauges: RwLock<BTreeMap<String, Arc<Gauge>>>,
     histograms: RwLock<BTreeMap<String, Arc<Histogram>>>,
 }
 
@@ -211,6 +252,24 @@ impl MetricsRegistry {
             return c.clone();
         }
         self.counters
+            .write()
+            .unwrap_or_else(|e| e.into_inner())
+            .entry(name.to_string())
+            .or_default()
+            .clone()
+    }
+
+    /// Get or create the gauge named `name`.
+    pub fn gauge(&self, name: &str) -> Arc<Gauge> {
+        if let Some(g) = self
+            .gauges
+            .read()
+            .unwrap_or_else(|e| e.into_inner())
+            .get(name)
+        {
+            return g.clone();
+        }
+        self.gauges
             .write()
             .unwrap_or_else(|e| e.into_inner())
             .entry(name.to_string())
@@ -247,6 +306,14 @@ impl MetricsRegistry {
         {
             c.reset();
         }
+        for g in self
+            .gauges
+            .read()
+            .unwrap_or_else(|e| e.into_inner())
+            .values()
+        {
+            g.reset();
+        }
         for h in self
             .histograms
             .read()
@@ -266,6 +333,13 @@ impl MetricsRegistry {
             .iter()
             .map(|(k, v)| (k.clone(), v.get()))
             .collect();
+        let gauges = self
+            .gauges
+            .read()
+            .unwrap_or_else(|e| e.into_inner())
+            .iter()
+            .map(|(k, v)| (k.clone(), v.get()))
+            .collect();
         let histograms = self
             .histograms
             .read()
@@ -275,6 +349,7 @@ impl MetricsRegistry {
             .collect();
         MetricsSnapshot {
             counters,
+            gauges,
             histograms,
         }
     }
@@ -289,6 +364,11 @@ pub fn registry() -> &'static MetricsRegistry {
 /// Get or create a counter in the global registry.
 pub fn counter(name: &str) -> Arc<Counter> {
     registry().counter(name)
+}
+
+/// Get or create a gauge in the global registry.
+pub fn gauge(name: &str) -> Arc<Gauge> {
+    registry().gauge(name)
 }
 
 /// Get or create a histogram in the global registry.
@@ -306,6 +386,8 @@ pub fn snapshot() -> MetricsSnapshot {
 pub struct MetricsSnapshot {
     /// `(name, value)`, sorted by name.
     pub counters: Vec<(String, u64)>,
+    /// `(name, level)`, sorted by name.
+    pub gauges: Vec<(String, i64)>,
     /// `(name, snapshot)`, sorted by name.
     pub histograms: Vec<(String, HistogramSnapshot)>,
 }
@@ -327,6 +409,14 @@ impl MetricsSnapshot {
             .map(|&(_, v)| v)
     }
 
+    /// Value of a gauge by name.
+    pub fn gauge(&self, name: &str) -> Option<i64> {
+        self.gauges
+            .iter()
+            .find(|(n, _)| n == name)
+            .map(|&(_, v)| v)
+    }
+
     /// Histogram snapshot by name.
     pub fn histogram(&self, name: &str) -> Option<&HistogramSnapshot> {
         self.histograms
@@ -343,6 +433,10 @@ impl MetricsSnapshot {
         for (name, value) in &self.counters {
             let p = prom_name(name);
             out.push_str(&format!("# TYPE {p} counter\n{p} {value}\n"));
+        }
+        for (name, value) in &self.gauges {
+            let p = prom_name(name);
+            out.push_str(&format!("# TYPE {p} gauge\n{p} {value}\n"));
         }
         for (name, h) in &self.histograms {
             let p = prom_name(name);
@@ -370,6 +464,15 @@ impl MetricsSnapshot {
     pub fn to_json(&self) -> String {
         let mut out = String::from("{\n  \"counters\": {");
         for (i, (name, value)) in self.counters.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            out.push_str("\n    ");
+            crate::push_json_str(&mut out, name);
+            out.push_str(&format!(": {value}"));
+        }
+        out.push_str("\n  },\n  \"gauges\": {");
+        for (i, (name, value)) in self.gauges.iter().enumerate() {
             if i > 0 {
                 out.push(',');
             }
@@ -415,6 +518,24 @@ mod tests {
         assert_eq!(r.counter("t.count").get(), 5); // same handle by name
         r.reset();
         assert_eq!(c.get(), 0); // reset zeroes in place
+    }
+
+    #[test]
+    fn gauges_go_up_and_down() {
+        let r = MetricsRegistry::default();
+        let g = r.gauge("t.level");
+        g.inc();
+        g.inc();
+        g.dec();
+        assert_eq!(r.gauge("t.level").get(), 1); // same handle by name
+        g.set(-3);
+        assert_eq!(g.get(), -3);
+        let snap = r.snapshot();
+        assert_eq!(snap.gauge("t.level"), Some(-3));
+        assert!(snap.to_prometheus().contains("# TYPE t_level gauge\nt_level -3\n"));
+        assert!(snap.to_json().contains("\"t.level\": -3"));
+        r.reset();
+        assert_eq!(g.get(), 0);
     }
 
     #[test]

@@ -1,0 +1,185 @@
+//! Per-client budget classes: named [`QueryBudget`] envelopes.
+//!
+//! A shared server cannot let clients pick arbitrary budgets — an
+//! unlimited deadline is a denial-of-service primitive. Instead every
+//! request names a **class**; the class fixes ceilings and the request
+//! may only tighten them (overrides are clamped to the class ceiling,
+//! never raised above it).
+//!
+//! | class         | deadline | expansion terms | docs scanned |
+//! |---------------|----------|-----------------|--------------|
+//! | `best_effort` | 250 ms   | 128 (soft)      | 10 000 (soft)|
+//! | `interactive` | 2 s      | 1 024 (soft)    | 200 000 (soft)|
+//! | `batch`       | 30 s     | 8 192 (soft)    | 2 000 000 (soft)|
+//!
+//! Every class also carries soft join-cardinality, witness and memory
+//! ceilings so one query cannot hold the store's whole candidate set in
+//! RAM. Soft limits degrade (the response's `degraded` field explains
+//! what was truncated); only the deadline is hard.
+
+use std::time::Duration;
+use toss_core::{Limit, QueryBudget};
+
+/// A named budget envelope (see the module table).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum BudgetClass {
+    /// Small, fast, first to be shed: health checks and speculative UI
+    /// queries.
+    BestEffort,
+    /// The default: human-facing queries.
+    #[default]
+    Interactive,
+    /// Large offline scans; longest deadline, biggest soft limits.
+    Batch,
+}
+
+impl BudgetClass {
+    /// The wire string (`snake_case`).
+    pub fn as_str(self) -> &'static str {
+        match self {
+            BudgetClass::BestEffort => "best_effort",
+            BudgetClass::Interactive => "interactive",
+            BudgetClass::Batch => "batch",
+        }
+    }
+
+    /// Parse the wire string.
+    pub fn parse(s: &str) -> Option<BudgetClass> {
+        Some(match s {
+            "best_effort" => BudgetClass::BestEffort,
+            "interactive" => BudgetClass::Interactive,
+            "batch" => BudgetClass::Batch,
+            _ => return None,
+        })
+    }
+
+    /// The class's deadline ceiling.
+    pub fn max_deadline(self) -> Duration {
+        match self {
+            BudgetClass::BestEffort => Duration::from_millis(250),
+            BudgetClass::Interactive => Duration::from_secs(2),
+            BudgetClass::Batch => Duration::from_secs(30),
+        }
+    }
+
+    fn term_ceiling(self) -> u64 {
+        match self {
+            BudgetClass::BestEffort => 128,
+            BudgetClass::Interactive => 1_024,
+            BudgetClass::Batch => 8_192,
+        }
+    }
+
+    fn doc_ceiling(self) -> u64 {
+        match self {
+            BudgetClass::BestEffort => 10_000,
+            BudgetClass::Interactive => 200_000,
+            BudgetClass::Batch => 2_000_000,
+        }
+    }
+
+    fn memory_ceiling(self) -> u64 {
+        match self {
+            BudgetClass::BestEffort => 16 << 20,
+            BudgetClass::Interactive => 64 << 20,
+            BudgetClass::Batch => 256 << 20,
+        }
+    }
+
+    /// Assemble the [`QueryBudget`] for a request of this class.
+    /// `timeout_ms`/`max_terms`/`max_docs` are the request's overrides;
+    /// each is **clamped to the class ceiling** (a zero/absent override
+    /// means "class default"). The result always has a hard deadline.
+    pub fn budget(
+        self,
+        timeout_ms: Option<u64>,
+        max_terms: Option<u64>,
+        max_docs: Option<u64>,
+    ) -> QueryBudget {
+        let ceiling = self.max_deadline();
+        let deadline = match timeout_ms {
+            Some(ms) if ms > 0 => Duration::from_millis(ms).min(ceiling),
+            _ => ceiling,
+        };
+        let terms = max_terms
+            .filter(|&n| n > 0)
+            .map_or(self.term_ceiling(), |n| n.min(self.term_ceiling()));
+        let docs = max_docs
+            .filter(|&n| n > 0)
+            .map_or(self.doc_ceiling(), |n| n.min(self.doc_ceiling()));
+        QueryBudget::unlimited()
+            .with_deadline(deadline)
+            .with_max_expansion_terms(Limit::soft(terms))
+            .with_max_docs_scanned(Limit::soft(docs))
+            .with_max_join_cardinality(Limit::soft(1_000_000))
+            .with_max_witnesses(Limit::soft(10_000))
+            .with_max_memory_bytes(Limit::soft(self.memory_ceiling()))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn wire_strings_round_trip() {
+        for c in [
+            BudgetClass::BestEffort,
+            BudgetClass::Interactive,
+            BudgetClass::Batch,
+        ] {
+            assert_eq!(BudgetClass::parse(c.as_str()), Some(c));
+        }
+        assert_eq!(BudgetClass::parse("supersonic"), None);
+        assert_eq!(BudgetClass::default(), BudgetClass::Interactive);
+    }
+
+    #[test]
+    fn overrides_only_tighten() {
+        let b = BudgetClass::Interactive.budget(Some(100), Some(10), Some(50));
+        assert_eq!(b.deadline, Some(Duration::from_millis(100)));
+        assert_eq!(b.max_expansion_terms.unwrap().max, 10);
+        assert_eq!(b.max_docs_scanned.unwrap().max, 50);
+
+        // an override above the ceiling is clamped down, never raised
+        let b = BudgetClass::BestEffort.budget(Some(60_000), Some(1 << 40), None);
+        assert_eq!(b.deadline, Some(Duration::from_millis(250)));
+        assert_eq!(b.max_expansion_terms.unwrap().max, 128);
+        assert_eq!(b.max_docs_scanned.unwrap().max, 10_000);
+    }
+
+    #[test]
+    fn zero_or_absent_override_means_class_default() {
+        for timeout in [None, Some(0)] {
+            let b = BudgetClass::Batch.budget(timeout, Some(0), None);
+            assert_eq!(b.deadline, Some(Duration::from_secs(30)));
+            assert_eq!(b.max_expansion_terms.unwrap().max, 8_192);
+            assert_eq!(b.max_docs_scanned.unwrap().max, 2_000_000);
+        }
+    }
+
+    #[test]
+    fn every_class_budget_has_a_hard_deadline_and_soft_limits() {
+        for c in [
+            BudgetClass::BestEffort,
+            BudgetClass::Interactive,
+            BudgetClass::Batch,
+        ] {
+            let b = c.budget(None, None, None);
+            assert!(b.deadline.is_some(), "{c:?} must have a deadline");
+            for l in [
+                b.max_expansion_terms,
+                b.max_docs_scanned,
+                b.max_join_cardinality,
+                b.max_witnesses,
+                b.max_memory_bytes,
+            ] {
+                assert_eq!(
+                    l.unwrap().enforcement,
+                    toss_core::Enforcement::Soft,
+                    "{c:?} limits degrade, not fail"
+                );
+            }
+        }
+    }
+}

@@ -1,0 +1,418 @@
+//! `toss-client` — the client side of the protocol, plus the retry
+//! discipline a well-behaved caller of a load-shedding server needs:
+//! jittered exponential backoff that honors the server's
+//! `retry_after_ms` hint and retries **only** errors the server marked
+//! retryable (shed load, drain) — never budget or request errors, which
+//! would fail identically on every attempt.
+
+use crate::protocol::{
+    read_frame, write_frame, ErrorCode, FrameError, QueryRequest, Request,
+    DEFAULT_MAX_FRAME_BYTES,
+};
+use std::io;
+use std::net::{TcpStream, ToSocketAddrs};
+use std::time::Duration;
+use toss_json::Value;
+
+/// A client-side failure.
+#[derive(Debug)]
+pub enum ClientError {
+    /// Transport-level failure (connect, frame I/O, timeout).
+    Io(io::Error),
+    /// The server closed or sent something unintelligible.
+    Protocol(String),
+    /// A typed error response from the server.
+    Server {
+        /// The machine-readable code.
+        code: ErrorCode,
+        /// Human-readable cause.
+        message: String,
+        /// The server's suggested retry delay, if any.
+        retry_after_ms: Option<u64>,
+    },
+}
+
+impl std::fmt::Display for ClientError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ClientError::Io(e) => write!(f, "i/o: {e}"),
+            ClientError::Protocol(m) => write!(f, "protocol: {m}"),
+            ClientError::Server { code, message, .. } => {
+                write!(f, "server error [{}]: {message}", code.as_str())
+            }
+        }
+    }
+}
+
+impl std::error::Error for ClientError {}
+
+impl From<io::Error> for ClientError {
+    fn from(e: io::Error) -> Self {
+        ClientError::Io(e)
+    }
+}
+
+impl ClientError {
+    /// Whether retrying the same request can succeed: transport errors
+    /// (the server may be back) and server errors it marked retryable.
+    pub fn is_retryable(&self) -> bool {
+        match self {
+            ClientError::Io(_) => true,
+            ClientError::Protocol(_) => false,
+            ClientError::Server { code, .. } => code.is_retryable(),
+        }
+    }
+
+    /// The server's retry hint, if this error carries one.
+    pub fn retry_after(&self) -> Option<Duration> {
+        match self {
+            ClientError::Server {
+                retry_after_ms: Some(ms),
+                ..
+            } => Some(Duration::from_millis(*ms)),
+            _ => None,
+        }
+    }
+}
+
+/// The parsed `ok` response to a `query` request.
+#[derive(Debug, Clone, PartialEq)]
+pub struct QueryReply {
+    /// Total matching witness trees.
+    pub answers: usize,
+    /// How many serialized trees the response carries (≤ `max_results`).
+    pub returned: usize,
+    /// The compiled XPath the server ran.
+    pub xpath: String,
+    /// Degradation notice when a soft budget truncated the result.
+    pub degraded: Option<String>,
+    /// Serialized witness trees.
+    pub results: Vec<String>,
+    /// Server-side wall time in microseconds.
+    pub server_us: u64,
+}
+
+/// A connected client. One request/response at a time per client; open
+/// several clients for concurrency.
+pub struct Client {
+    stream: TcpStream,
+    max_frame_bytes: usize,
+    io_timeout: Duration,
+}
+
+impl Client {
+    /// Connect with a default 60 s I/O timeout (longer than every
+    /// budget-class deadline, so slow-but-progressing batch queries are
+    /// not abandoned by their own client).
+    pub fn connect(addr: impl ToSocketAddrs) -> Result<Client, ClientError> {
+        Client::connect_with(addr, Duration::from_secs(60))
+    }
+
+    /// Connect with an explicit I/O timeout.
+    pub fn connect_with(
+        addr: impl ToSocketAddrs,
+        io_timeout: Duration,
+    ) -> Result<Client, ClientError> {
+        let stream = TcpStream::connect(addr)?;
+        stream.set_nodelay(true).ok();
+        stream.set_read_timeout(Some(io_timeout))?;
+        stream.set_write_timeout(Some(io_timeout))?;
+        Ok(Client {
+            stream,
+            max_frame_bytes: DEFAULT_MAX_FRAME_BYTES,
+            io_timeout,
+        })
+    }
+
+    /// Send one request and read its response value.
+    pub fn call(&mut self, req: &Request) -> Result<Value, ClientError> {
+        write_frame(&mut self.stream, req.to_payload().as_bytes())?;
+        let payload = match read_frame(
+            &mut self.stream,
+            self.max_frame_bytes,
+            Some(self.io_timeout),
+        ) {
+            Ok(p) => p,
+            Err(FrameError::Io(e)) => return Err(ClientError::Io(e)),
+            Err(FrameError::Timeout) => {
+                return Err(ClientError::Io(io::Error::new(
+                    io::ErrorKind::TimedOut,
+                    "response timed out",
+                )))
+            }
+            Err(e) => return Err(ClientError::Protocol(e.to_string())),
+        };
+        let text = std::str::from_utf8(&payload)
+            .map_err(|_| ClientError::Protocol("response is not UTF-8".into()))?;
+        let v = Value::parse(text).map_err(|e| ClientError::Protocol(e.to_string()))?;
+        match v.get("status").and_then(Value::as_str) {
+            Some("ok") => Ok(v),
+            Some("error") => {
+                let code = v
+                    .get("code")
+                    .and_then(Value::as_str)
+                    .and_then(ErrorCode::parse)
+                    .unwrap_or(ErrorCode::Internal);
+                Err(ClientError::Server {
+                    code,
+                    message: v
+                        .get("message")
+                        .and_then(Value::as_str)
+                        .unwrap_or("")
+                        .to_string(),
+                    retry_after_ms: v
+                        .get("retry_after_ms")
+                        .and_then(Value::as_i64)
+                        .and_then(|n| u64::try_from(n).ok()),
+                })
+            }
+            _ => Err(ClientError::Protocol("response has no status".into())),
+        }
+    }
+
+    /// Liveness probe.
+    pub fn ping(&mut self) -> Result<(), ClientError> {
+        self.call(&Request::Ping).map(|_| ())
+    }
+
+    /// Fetch the server's Prometheus-text metrics export.
+    pub fn metrics(&mut self) -> Result<String, ClientError> {
+        let v = self.call(&Request::Metrics)?;
+        v.get("metrics")
+            .and_then(Value::as_str)
+            .map(str::to_string)
+            .ok_or_else(|| ClientError::Protocol("metrics response lacks text".into()))
+    }
+
+    /// Request graceful server shutdown (only honored when the server
+    /// enables the verb).
+    pub fn shutdown_server(&mut self) -> Result<(), ClientError> {
+        self.call(&Request::Shutdown).map(|_| ())
+    }
+
+    /// Run one query.
+    pub fn query(&mut self, q: QueryRequest) -> Result<QueryReply, ClientError> {
+        let v = self.call(&Request::Query(Box::new(q)))?;
+        let results = v
+            .get("results")
+            .and_then(Value::as_array)
+            .map(|a| {
+                a.iter()
+                    .filter_map(Value::as_str)
+                    .map(str::to_string)
+                    .collect::<Vec<_>>()
+            })
+            .unwrap_or_default();
+        Ok(QueryReply {
+            answers: v
+                .get("answers")
+                .and_then(Value::as_i64)
+                .unwrap_or(0)
+                .max(0) as usize,
+            returned: results.len(),
+            xpath: v
+                .get("xpath")
+                .and_then(Value::as_str)
+                .unwrap_or("")
+                .to_string(),
+            degraded: v
+                .get("degraded")
+                .and_then(Value::as_str)
+                .map(str::to_string),
+            results,
+            server_us: v
+                .get("server_us")
+                .and_then(Value::as_i64)
+                .unwrap_or(0)
+                .max(0) as u64,
+        })
+    }
+}
+
+/// Jittered exponential backoff: `base·2ⁿ` capped at `cap`, each delay
+/// scaled by a uniform jitter in `[0.5, 1.0]` (full-jitter halves
+/// synchronized retry storms), and floored at the server's
+/// `retry_after_ms` hint when one was given.
+#[derive(Debug, Clone)]
+pub struct RetryPolicy {
+    /// Total attempts (the first try counts; 1 = no retries).
+    pub max_attempts: u32,
+    /// First backoff delay.
+    pub base: Duration,
+    /// Backoff ceiling.
+    pub cap: Duration,
+}
+
+impl Default for RetryPolicy {
+    fn default() -> Self {
+        RetryPolicy {
+            max_attempts: 5,
+            base: Duration::from_millis(20),
+            cap: Duration::from_secs(2),
+        }
+    }
+}
+
+/// A tiny xorshift PRNG for jitter — deterministic given its seed, no
+/// dependency, good enough for decorrelating retry storms.
+struct Jitter(u64);
+
+impl Jitter {
+    fn new() -> Jitter {
+        // seed from wall clock + thread identity; quality is irrelevant,
+        // distinctness across clients is what decorrelates retries
+        let t = std::time::SystemTime::now()
+            .duration_since(std::time::UNIX_EPOCH)
+            .map(|d| d.subsec_nanos() as u64 ^ d.as_secs())
+            .unwrap_or(0x9e3779b97f4a7c15);
+        let tid = &t as *const _ as u64;
+        Jitter(t ^ tid.rotate_left(17) | 1)
+    }
+
+    fn next_f64(&mut self) -> f64 {
+        let mut x = self.0;
+        x ^= x << 13;
+        x ^= x >> 7;
+        x ^= x << 17;
+        self.0 = x;
+        (x >> 11) as f64 / (1u64 << 53) as f64
+    }
+}
+
+impl RetryPolicy {
+    /// The delay before retry number `attempt` (1-based), jittered and
+    /// floored at `hint` (the server's `retry_after_ms`).
+    pub fn delay(&self, attempt: u32, hint: Option<Duration>, jitter01: f64) -> Duration {
+        let exp = self
+            .base
+            .saturating_mul(1u32 << attempt.min(16).saturating_sub(1))
+            .min(self.cap);
+        let jittered = exp.mul_f64(0.5 + 0.5 * jitter01.clamp(0.0, 1.0));
+        match hint {
+            Some(h) => jittered.max(h),
+            None => jittered,
+        }
+    }
+
+    /// Run `f` until it succeeds, fails non-retryably, or the attempt
+    /// budget is spent. Sleeps between attempts per [`RetryPolicy::delay`].
+    pub fn run<T>(
+        &self,
+        mut f: impl FnMut(u32) -> Result<T, ClientError>,
+    ) -> Result<T, ClientError> {
+        let mut jitter = Jitter::new();
+        let mut attempt = 1u32;
+        loop {
+            match f(attempt) {
+                Ok(v) => return Ok(v),
+                Err(e) if e.is_retryable() && attempt < self.max_attempts => {
+                    toss_obs::metrics::counter("toss.client.retries").inc();
+                    std::thread::sleep(self.delay(
+                        attempt,
+                        e.retry_after(),
+                        jitter.next_f64(),
+                    ));
+                    attempt += 1;
+                }
+                Err(e) => return Err(e),
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn backoff_grows_caps_and_honors_hint() {
+        let p = RetryPolicy {
+            max_attempts: 8,
+            base: Duration::from_millis(10),
+            cap: Duration::from_millis(200),
+        };
+        // zero jitter scales to the 0.5 floor of each exponential step
+        assert_eq!(p.delay(1, None, 0.0), Duration::from_millis(5));
+        assert_eq!(p.delay(2, None, 0.0), Duration::from_millis(10));
+        assert_eq!(p.delay(3, None, 0.0), Duration::from_millis(20));
+        // capped regardless of attempt
+        assert!(p.delay(30, None, 1.0) <= Duration::from_millis(200));
+        // the server hint is a floor
+        assert_eq!(
+            p.delay(1, Some(Duration::from_millis(150)), 0.0),
+            Duration::from_millis(150)
+        );
+    }
+
+    #[test]
+    fn retry_runs_until_success_and_respects_budget() {
+        let p = RetryPolicy {
+            max_attempts: 4,
+            base: Duration::from_millis(1),
+            cap: Duration::from_millis(2),
+        };
+        let mut calls = 0;
+        let out = p.run(|_| {
+            calls += 1;
+            if calls < 3 {
+                Err(ClientError::Server {
+                    code: ErrorCode::Overloaded,
+                    message: "busy".into(),
+                    retry_after_ms: Some(1),
+                })
+            } else {
+                Ok(42)
+            }
+        });
+        assert_eq!(out.unwrap(), 42);
+        assert_eq!(calls, 3);
+
+        // the attempt budget is a ceiling
+        let mut calls = 0;
+        let out: Result<(), _> = p.run(|_| {
+            calls += 1;
+            Err(ClientError::Server {
+                code: ErrorCode::Overloaded,
+                message: "busy".into(),
+                retry_after_ms: None,
+            })
+        });
+        assert!(out.is_err());
+        assert_eq!(calls, 4);
+    }
+
+    #[test]
+    fn non_retryable_errors_fail_fast() {
+        let p = RetryPolicy::default();
+        let mut calls = 0;
+        let out: Result<(), _> = p.run(|_| {
+            calls += 1;
+            Err(ClientError::Server {
+                code: ErrorCode::BudgetExceeded,
+                message: "deadline".into(),
+                retry_after_ms: None,
+            })
+        });
+        assert!(out.is_err());
+        assert_eq!(calls, 1, "budget errors must not be retried");
+        let mut calls = 0;
+        let out: Result<(), _> = p.run(|_| {
+            calls += 1;
+            Err(ClientError::Protocol("garbled".into()))
+        });
+        assert!(out.is_err());
+        assert_eq!(calls, 1, "protocol errors must not be retried");
+    }
+
+    #[test]
+    fn jitter_is_in_unit_interval_and_varies() {
+        let mut j = Jitter::new();
+        let mut distinct = std::collections::BTreeSet::new();
+        for _ in 0..100 {
+            let x = j.next_f64();
+            assert!((0.0..1.0).contains(&x), "jitter {x} outside [0,1)");
+            distinct.insert((x * 1e9) as u64);
+        }
+        assert!(distinct.len() > 90, "jitter must actually vary");
+    }
+}

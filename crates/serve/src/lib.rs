@@ -1,0 +1,41 @@
+//! toss-serve — a fault-tolerant network front-end for the TOSS engine.
+//!
+//! This crate turns the in-process [`toss_core::Executor`] into a
+//! long-running TCP service without pulling in an async runtime: a
+//! thread-per-connection accept loop over `std::net`, a length-prefixed
+//! JSON protocol, and the existing governance layer
+//! ([`toss_core::AdmissionController`], [`toss_core::QueryGovernor`])
+//! deciding who runs and who is shed.
+//!
+//! The robustness contract, end to end:
+//!
+//! - **Backpressure**: admission slots are bounded; a request that would
+//!   queue past the configured wait is *rejected* with a typed
+//!   `overloaded` error carrying a `retry_after_ms` hint — never an
+//!   unbounded queue, never a dropped connection.
+//! - **Deadlines**: every query runs under a [`budget::BudgetClass`]
+//!   with a hard deadline; connections have read/write deadlines so a
+//!   slow-loris client is disconnected rather than pinning a thread.
+//! - **Panic isolation**: a panicking query is caught by the executor's
+//!   isolation layer and surfaced as a typed `internal` error frame; the
+//!   connection (and server) live on.
+//! - **Graceful drain**: [`server::Server::shutdown`] stops accepting,
+//!   lets in-flight queries finish up to a drain deadline, then cancels
+//!   stragglers through their [`toss_core::CancelToken`]s. Responses are
+//!   single-write frames, so a drained client never observes a partial
+//!   frame.
+//!
+//! The [`client`] module is the matching `toss-client` library: typed
+//! errors, and a jittered-exponential [`client::RetryPolicy`] that
+//! honors the server's retry hints and refuses to retry non-retryable
+//! failures.
+
+pub mod budget;
+pub mod client;
+pub mod protocol;
+pub mod server;
+
+pub use budget::BudgetClass;
+pub use client::{Client, ClientError, QueryReply, RetryPolicy};
+pub use protocol::{ErrorCode, FrameError, QueryRequest, Request};
+pub use server::{DrainReport, Server, ServerConfig, ShutdownHandle};

@@ -1,0 +1,625 @@
+//! The wire protocol: length-prefixed JSON frames.
+//!
+//! One frame is a 4-byte big-endian payload length followed by that many
+//! bytes of UTF-8 JSON. Requests and responses are single frames; a
+//! connection carries any number of request/response pairs in order
+//! (pipelining is allowed — the server answers in request order).
+//!
+//! The framing layer is where most network faults surface, so its error
+//! type distinguishes the cases the server treats differently:
+//!
+//! * [`FrameError::Closed`] — EOF exactly on a frame boundary: the peer
+//!   hung up cleanly between requests.
+//! * [`FrameError::HalfFrame`] — EOF *inside* a frame: the peer dropped
+//!   mid-request (or mid-response). Never answered, only counted.
+//! * [`FrameError::Timeout`] — the per-frame read deadline expired
+//!   (slow-loris clients trickle bytes forever; the overall deadline
+//!   caps them regardless of per-`read` progress).
+//! * [`FrameError::Oversize`] — the declared length exceeds the
+//!   configured frame ceiling; the frame is rejected without buffering.
+//!
+//! Every response carries a `status` of `"ok"` or `"error"`; error
+//! responses carry a stable machine-readable [`ErrorCode`] plus an
+//! optional `retry_after_ms` hint that well-behaved clients (see
+//! [`crate::client`]) honor before retrying.
+
+use std::io::{self, Read, Write};
+use std::time::{Duration, Instant};
+use toss_core::{TossError, TossResult};
+use toss_json::Value;
+
+/// Default ceiling on a single frame's payload (1 MiB).
+pub const DEFAULT_MAX_FRAME_BYTES: usize = 1 << 20;
+
+/// A framing-layer failure.
+#[derive(Debug)]
+pub enum FrameError {
+    /// EOF on a frame boundary: the peer closed cleanly.
+    Closed,
+    /// EOF inside a frame: the peer dropped mid-request/response.
+    HalfFrame,
+    /// The read deadline expired before the frame completed.
+    Timeout,
+    /// Declared payload length exceeds the configured ceiling.
+    Oversize(usize),
+    /// Any other I/O error (connection reset, …).
+    Io(io::Error),
+}
+
+impl std::fmt::Display for FrameError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            FrameError::Closed => write!(f, "connection closed"),
+            FrameError::HalfFrame => write!(f, "connection dropped mid-frame"),
+            FrameError::Timeout => write!(f, "frame read timed out"),
+            FrameError::Oversize(n) => write!(f, "frame of {n} bytes exceeds the limit"),
+            FrameError::Io(e) => write!(f, "i/o error: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for FrameError {}
+
+/// Fill `buf` from `r`, tolerating short reads. Returns how many bytes
+/// were read before EOF (== `buf.len()` on success). `deadline` bounds
+/// the *whole* fill: per-`read` socket timeouts alone would let a
+/// slow-loris peer trickle one byte per timeout window forever.
+fn read_full(
+    r: &mut impl Read,
+    buf: &mut [u8],
+    deadline: Option<Instant>,
+) -> Result<usize, FrameError> {
+    let mut done = 0;
+    while done < buf.len() {
+        if let Some(at) = deadline {
+            if Instant::now() >= at {
+                return Err(FrameError::Timeout);
+            }
+        }
+        match r.read(&mut buf[done..]) {
+            Ok(0) => break,
+            Ok(n) => done += n,
+            Err(e) if e.kind() == io::ErrorKind::Interrupted => continue,
+            Err(e)
+                if e.kind() == io::ErrorKind::WouldBlock
+                    || e.kind() == io::ErrorKind::TimedOut =>
+            {
+                return Err(FrameError::Timeout)
+            }
+            Err(e) => return Err(FrameError::Io(e)),
+        }
+    }
+    Ok(done)
+}
+
+/// Read one frame. `timeout` bounds the whole frame (prefix + payload)
+/// from the first byte of the length prefix; `None` waits as long as the
+/// underlying socket allows.
+pub fn read_frame(
+    r: &mut impl Read,
+    max_bytes: usize,
+    timeout: Option<Duration>,
+) -> Result<Vec<u8>, FrameError> {
+    let mut prefix = [0u8; 4];
+    // The deadline starts at the first read: an idle connection waiting
+    // for its next request is not "slow", only a started-but-unfinished
+    // frame is. The socket's own read timeout bounds idle waits.
+    if read_full(r, &mut prefix[..1], None)? == 0 {
+        return Err(FrameError::Closed);
+    }
+    let deadline = timeout.map(|t| Instant::now() + t);
+    if read_full(r, &mut prefix[1..], deadline)? != 3 {
+        return Err(FrameError::HalfFrame);
+    }
+    let len = u32::from_be_bytes(prefix) as usize;
+    if len == 0 || len > max_bytes {
+        return Err(FrameError::Oversize(len));
+    }
+    let mut payload = vec![0u8; len];
+    if read_full(r, &mut payload, deadline)? != len {
+        return Err(FrameError::HalfFrame);
+    }
+    Ok(payload)
+}
+
+/// Write one frame as a **single** `write_all` (length prefix and
+/// payload in one buffer), so a response either reaches the kernel whole
+/// or fails whole — the serving layer's "no partial frame" guarantee
+/// rests on this plus never killing a socket between a request and its
+/// response.
+pub fn write_frame(w: &mut impl Write, payload: &[u8]) -> io::Result<()> {
+    let mut buf = Vec::with_capacity(4 + payload.len());
+    buf.extend_from_slice(&(payload.len() as u32).to_be_bytes());
+    buf.extend_from_slice(payload);
+    w.write_all(&buf)?;
+    w.flush()
+}
+
+/// Stable machine-readable error codes carried by error responses.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ErrorCode {
+    /// Malformed frame/JSON/field, or a query shape the executor
+    /// rejects (ill-typed, unsupported, unknown collection …).
+    BadRequest,
+    /// Admission control shed the request; retry after the hint.
+    Overloaded,
+    /// A hard budget or the deadline stopped the query.
+    BudgetExceeded,
+    /// The query was cancelled (drain past its deadline, or an explicit
+    /// cancel).
+    Cancelled,
+    /// A panic during execution was isolated; the server is still up.
+    Internal,
+    /// The server is draining; retry against another replica or after
+    /// the hint.
+    ShuttingDown,
+}
+
+impl ErrorCode {
+    /// The wire string (`snake_case`).
+    pub fn as_str(self) -> &'static str {
+        match self {
+            ErrorCode::BadRequest => "bad_request",
+            ErrorCode::Overloaded => "overloaded",
+            ErrorCode::BudgetExceeded => "budget_exceeded",
+            ErrorCode::Cancelled => "cancelled",
+            ErrorCode::Internal => "internal",
+            ErrorCode::ShuttingDown => "shutting_down",
+        }
+    }
+
+    /// Parse the wire string.
+    pub fn parse(s: &str) -> Option<ErrorCode> {
+        Some(match s {
+            "bad_request" => ErrorCode::BadRequest,
+            "overloaded" => ErrorCode::Overloaded,
+            "budget_exceeded" => ErrorCode::BudgetExceeded,
+            "cancelled" => ErrorCode::Cancelled,
+            "internal" => ErrorCode::Internal,
+            "shutting_down" => ErrorCode::ShuttingDown,
+            _ => return None,
+        })
+    }
+
+    /// Whether a client may retry the same request verbatim and expect
+    /// it to succeed once load/drain passes.
+    pub fn is_retryable(self) -> bool {
+        matches!(self, ErrorCode::Overloaded | ErrorCode::ShuttingDown)
+    }
+}
+
+/// Map an executor error to its wire code. Query-shape and store errors
+/// are the client's fault (`bad_request`); the governance outcomes keep
+/// their identity so clients can tell shed load (retry) from a blown
+/// budget (don't).
+pub fn error_code_of(e: &TossError) -> ErrorCode {
+    match e {
+        TossError::Overloaded(_) => ErrorCode::Overloaded,
+        TossError::BudgetExceeded(_) => ErrorCode::BudgetExceeded,
+        TossError::Cancelled => ErrorCode::Cancelled,
+        TossError::Internal(_) => ErrorCode::Internal,
+        _ => ErrorCode::BadRequest,
+    }
+}
+
+/// One `tag=value` style predicate of a query request.
+pub type Predicate = (String, String);
+
+/// The budget class a request runs under; see [`crate::budget`].
+pub use crate::budget::BudgetClass;
+
+/// A parsed `query` request.
+#[derive(Debug, Clone, PartialEq)]
+pub struct QueryRequest {
+    /// Collection to query.
+    pub collection: String,
+    /// Root tag of the selection pattern.
+    pub root: String,
+    /// `tag = value` equality predicates.
+    pub eq: Vec<Predicate>,
+    /// `tag contains value` predicates.
+    pub contains: Vec<Predicate>,
+    /// `tag ~ value` similarity predicates.
+    pub similar: Vec<Predicate>,
+    /// `tag below term` ontology predicates.
+    pub below: Vec<Predicate>,
+    /// Run the TAX baseline (no SEO expansion) instead of TOSS.
+    pub tax: bool,
+    /// Deadline override in milliseconds (clamped to the class ceiling;
+    /// 0 or absent = the class default).
+    pub timeout_ms: Option<u64>,
+    /// Soft expansion-term override (clamped to the class ceiling).
+    pub max_terms: Option<u64>,
+    /// Soft documents-scanned override (clamped to the class ceiling).
+    pub max_docs: Option<u64>,
+    /// Cap on serialized result trees in the response (default 100).
+    pub max_results: usize,
+    /// Budget class.
+    pub class: BudgetClass,
+}
+
+impl QueryRequest {
+    /// A query on `collection` rooted at `root`: no predicates yet (add
+    /// at least one before sending), default class, default result cap.
+    pub fn new(collection: &str, root: &str) -> QueryRequest {
+        QueryRequest {
+            collection: collection.to_string(),
+            root: root.to_string(),
+            eq: Vec::new(),
+            contains: Vec::new(),
+            similar: Vec::new(),
+            below: Vec::new(),
+            tax: false,
+            timeout_ms: None,
+            max_terms: None,
+            max_docs: None,
+            max_results: 100,
+            class: BudgetClass::default(),
+        }
+    }
+}
+
+/// A parsed request frame.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Request {
+    /// Liveness probe; answered even while draining.
+    Ping,
+    /// Prometheus-text export of the process metrics registry.
+    Metrics,
+    /// Begin graceful shutdown (only honored when the server was
+    /// started with the shutdown verb enabled).
+    Shutdown,
+    /// Execute a selection query.
+    Query(Box<QueryRequest>),
+}
+
+fn str_field(v: &Value, key: &str) -> Result<String, String> {
+    v.get(key)
+        .and_then(Value::as_str)
+        .map(str::to_string)
+        .ok_or_else(|| format!("missing or non-string field `{key}`"))
+}
+
+fn predicates(v: &Value, key: &str) -> Result<Vec<Predicate>, String> {
+    let Some(arr) = v.get(key) else {
+        return Ok(Vec::new());
+    };
+    let arr = arr
+        .as_array()
+        .ok_or_else(|| format!("field `{key}` must be an array of [tag, value] pairs"))?;
+    let mut out = Vec::with_capacity(arr.len());
+    for pair in arr {
+        match pair.as_array() {
+            Some([t, val]) => match (t.as_str(), val.as_str()) {
+                (Some(t), Some(val)) => out.push((t.to_string(), val.to_string())),
+                _ => return Err(format!("`{key}` pairs must be two strings")),
+            },
+            _ => return Err(format!("`{key}` entries must be [tag, value] pairs")),
+        }
+    }
+    Ok(out)
+}
+
+fn u64_field(v: &Value, key: &str) -> Result<Option<u64>, String> {
+    match v.get(key) {
+        None | Some(Value::Null) => Ok(None),
+        Some(x) => x
+            .as_i64()
+            .and_then(|i| u64::try_from(i).ok())
+            .map(Some)
+            .ok_or_else(|| format!("field `{key}` must be a non-negative integer")),
+    }
+}
+
+impl Request {
+    /// Parse a request frame payload.
+    pub fn parse(payload: &[u8]) -> Result<Request, String> {
+        let text = std::str::from_utf8(payload).map_err(|_| "frame is not UTF-8".to_string())?;
+        let v = Value::parse(text).map_err(|e| e.to_string())?;
+        let verb = str_field(&v, "verb")?;
+        match verb.as_str() {
+            "ping" => Ok(Request::Ping),
+            "metrics" => Ok(Request::Metrics),
+            "shutdown" => Ok(Request::Shutdown),
+            "query" => {
+                let class = match v.get("class") {
+                    None | Some(Value::Null) => BudgetClass::Interactive,
+                    Some(c) => {
+                        let s = c.as_str().ok_or("field `class` must be a string")?;
+                        BudgetClass::parse(s)
+                            .ok_or_else(|| format!("unknown budget class `{s}`"))?
+                    }
+                };
+                let q = QueryRequest {
+                    collection: str_field(&v, "collection")?,
+                    root: str_field(&v, "root")?,
+                    eq: predicates(&v, "eq")?,
+                    contains: predicates(&v, "contains")?,
+                    similar: predicates(&v, "similar")?,
+                    below: predicates(&v, "below")?,
+                    tax: matches!(v.get("tax"), Some(Value::Bool(true))),
+                    timeout_ms: u64_field(&v, "timeout_ms")?,
+                    max_terms: u64_field(&v, "max_terms")?,
+                    max_docs: u64_field(&v, "max_docs")?,
+                    max_results: u64_field(&v, "max_results")?
+                        .map(|n| n as usize)
+                        .unwrap_or(100),
+                    class,
+                };
+                if q.eq.is_empty()
+                    && q.contains.is_empty()
+                    && q.similar.is_empty()
+                    && q.below.is_empty()
+                {
+                    return Err(
+                        "query needs at least one of eq/contains/similar/below".to_string()
+                    );
+                }
+                Ok(Request::Query(Box::new(q)))
+            }
+            other => Err(format!("unknown verb `{other}`")),
+        }
+    }
+
+    /// Serialize to a frame payload (the client side of [`Request::parse`]).
+    pub fn to_payload(&self) -> String {
+        fn pred_value(preds: &[Predicate]) -> Value {
+            Value::Array(
+                preds
+                    .iter()
+                    .map(|(t, v)| {
+                        Value::Array(vec![Value::Str(t.clone()), Value::Str(v.clone())])
+                    })
+                    .collect(),
+            )
+        }
+        let fields: Vec<(String, Value)> = match self {
+            Request::Ping => vec![("verb".into(), Value::Str("ping".into()))],
+            Request::Metrics => vec![("verb".into(), Value::Str("metrics".into()))],
+            Request::Shutdown => vec![("verb".into(), Value::Str("shutdown".into()))],
+            Request::Query(q) => {
+                let mut f: Vec<(String, Value)> = vec![
+                    ("verb".into(), Value::Str("query".into())),
+                    ("collection".into(), Value::Str(q.collection.clone())),
+                    ("root".into(), Value::Str(q.root.clone())),
+                    ("class".into(), Value::Str(q.class.as_str().into())),
+                ];
+                for (key, preds) in [
+                    ("eq", &q.eq),
+                    ("contains", &q.contains),
+                    ("similar", &q.similar),
+                    ("below", &q.below),
+                ] {
+                    if !preds.is_empty() {
+                        f.push((key.into(), pred_value(preds)));
+                    }
+                }
+                if q.tax {
+                    f.push(("tax".into(), Value::Bool(true)));
+                }
+                for (key, v) in [
+                    ("timeout_ms", q.timeout_ms),
+                    ("max_terms", q.max_terms),
+                    ("max_docs", q.max_docs),
+                ] {
+                    if let Some(n) = v {
+                        f.push((key.into(), Value::Int(n as i64)));
+                    }
+                }
+                f.push(("max_results".into(), Value::Int(q.max_results as i64)));
+                f
+            }
+        };
+        Value::Object(fields).to_json()
+    }
+}
+
+/// Build an `ok` response payload from extra fields.
+pub fn ok_payload(fields: Vec<(String, Value)>) -> String {
+    let mut all = vec![("status".to_string(), Value::Str("ok".into()))];
+    all.extend(fields);
+    Value::Object(all).to_json()
+}
+
+/// Build an error response payload.
+pub fn error_payload(code: ErrorCode, message: &str, retry_after_ms: Option<u64>) -> String {
+    let mut fields = vec![
+        ("status".to_string(), Value::Str("error".into())),
+        ("code".to_string(), Value::Str(code.as_str().into())),
+        ("message".to_string(), Value::Str(message.into())),
+    ];
+    if let Some(ms) = retry_after_ms {
+        fields.push(("retry_after_ms".to_string(), Value::Int(ms as i64)));
+    }
+    Value::Object(fields).to_json()
+}
+
+/// Compile a [`QueryRequest`] into the executor's query form. Shared by
+/// the server and by in-process callers that want identical semantics.
+pub fn build_query(
+    q: &QueryRequest,
+) -> TossResult<(toss_core::TossQuery, toss_core::executor::Mode)> {
+    use toss_core::{TossCond, TossOp, TossTerm};
+    let mut conds = vec![TossCond::eq(
+        TossTerm::tag(1),
+        TossTerm::str(&q.root),
+    )];
+    let mut edges = Vec::new();
+    let mut next_label = 2u32;
+    for (preds, op) in [
+        (&q.eq, TossOp::Eq),
+        (&q.contains, TossOp::Contains),
+        (&q.similar, TossOp::Similar),
+        (&q.below, TossOp::Below),
+    ] {
+        for (tag, value) in preds.iter() {
+            let l = next_label;
+            next_label += 1;
+            edges.push(toss_tax::EdgeKind::ParentChild);
+            conds.push(TossCond::eq(TossTerm::tag(l), TossTerm::str(tag)));
+            let rhs = if matches!(op, TossOp::Below | TossOp::PartOf) {
+                TossTerm::ty(value)
+            } else {
+                TossTerm::str(value)
+            };
+            conds.push(TossCond::cmp(TossTerm::content(l), op, rhs));
+        }
+    }
+    let pattern =
+        toss_core::algebra::TossPattern::spine(&edges, TossCond::all(conds))?;
+    let query = toss_core::TossQuery {
+        collection: q.collection.clone(),
+        pattern,
+        expand_labels: vec![1],
+    };
+    let mode = if q.tax {
+        toss_core::executor::Mode::TaxBaseline
+    } else {
+        toss_core::executor::Mode::Toss
+    };
+    Ok((query, mode))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn frame_round_trip() {
+        let mut buf = Vec::new();
+        write_frame(&mut buf, b"{\"verb\":\"ping\"}").unwrap();
+        assert_eq!(&buf[..4], &15u32.to_be_bytes());
+        let mut cur = io::Cursor::new(buf);
+        let payload = read_frame(&mut cur, DEFAULT_MAX_FRAME_BYTES, None).unwrap();
+        assert_eq!(payload, b"{\"verb\":\"ping\"}");
+        // a second read on the exhausted stream is a clean close
+        assert!(matches!(
+            read_frame(&mut cur, DEFAULT_MAX_FRAME_BYTES, None),
+            Err(FrameError::Closed)
+        ));
+    }
+
+    #[test]
+    fn half_frames_and_oversize_are_distinguished() {
+        // prefix promises 100 bytes, only 3 arrive
+        let mut buf = 100u32.to_be_bytes().to_vec();
+        buf.extend_from_slice(b"abc");
+        let mut cur = io::Cursor::new(buf);
+        assert!(matches!(
+            read_frame(&mut cur, DEFAULT_MAX_FRAME_BYTES, None),
+            Err(FrameError::HalfFrame)
+        ));
+
+        // truncated prefix
+        let mut cur = io::Cursor::new(vec![0u8, 0]);
+        assert!(matches!(
+            read_frame(&mut cur, DEFAULT_MAX_FRAME_BYTES, None),
+            Err(FrameError::HalfFrame)
+        ));
+
+        // oversize and zero-length frames are rejected without buffering
+        let mut cur = io::Cursor::new(10_000u32.to_be_bytes().to_vec());
+        assert!(matches!(
+            read_frame(&mut cur, 1024, None),
+            Err(FrameError::Oversize(10_000))
+        ));
+        let mut cur = io::Cursor::new(0u32.to_be_bytes().to_vec());
+        assert!(matches!(
+            read_frame(&mut cur, 1024, None),
+            Err(FrameError::Oversize(0))
+        ));
+    }
+
+    #[test]
+    fn request_parse_round_trip() {
+        let q = QueryRequest {
+            collection: "dblp".into(),
+            root: "inproceedings".into(),
+            eq: vec![("author".into(), "Jeff Ullman".into())],
+            contains: vec![],
+            similar: vec![("booktitle".into(), "SIGMOD".into())],
+            below: vec![],
+            tax: false,
+            timeout_ms: Some(250),
+            max_terms: None,
+            max_docs: Some(1000),
+            max_results: 10,
+            class: BudgetClass::BestEffort,
+        };
+        let req = Request::Query(Box::new(q));
+        let payload = req.to_payload();
+        assert_eq!(Request::parse(payload.as_bytes()).unwrap(), req);
+        for simple in [Request::Ping, Request::Metrics, Request::Shutdown] {
+            let p = simple.to_payload();
+            assert_eq!(Request::parse(p.as_bytes()).unwrap(), simple);
+        }
+    }
+
+    #[test]
+    fn request_parse_rejects_garbage() {
+        assert!(Request::parse(b"\xff\xfe").is_err()); // not UTF-8
+        assert!(Request::parse(b"nonsense").is_err()); // not JSON
+        assert!(Request::parse(b"{\"verb\":\"frob\"}").is_err()); // unknown verb
+        assert!(Request::parse(b"{}").is_err()); // missing verb
+        // a query with no predicate is rejected at parse time
+        assert!(Request::parse(
+            b"{\"verb\":\"query\",\"collection\":\"c\",\"root\":\"r\"}"
+        )
+        .is_err());
+        // malformed predicate shapes
+        assert!(Request::parse(
+            b"{\"verb\":\"query\",\"collection\":\"c\",\"root\":\"r\",\"eq\":[[1,2]]}"
+        )
+        .is_err());
+        assert!(Request::parse(
+            b"{\"verb\":\"query\",\"collection\":\"c\",\"root\":\"r\",\"class\":\"warp\",\
+              \"eq\":[[\"a\",\"b\"]]}"
+        )
+        .is_err());
+    }
+
+    #[test]
+    fn error_codes_round_trip_and_classify() {
+        for code in [
+            ErrorCode::BadRequest,
+            ErrorCode::Overloaded,
+            ErrorCode::BudgetExceeded,
+            ErrorCode::Cancelled,
+            ErrorCode::Internal,
+            ErrorCode::ShuttingDown,
+        ] {
+            assert_eq!(ErrorCode::parse(code.as_str()), Some(code));
+        }
+        assert!(ErrorCode::Overloaded.is_retryable());
+        assert!(ErrorCode::ShuttingDown.is_retryable());
+        assert!(!ErrorCode::BudgetExceeded.is_retryable());
+        assert!(!ErrorCode::Internal.is_retryable());
+        assert_eq!(
+            error_code_of(&TossError::Overloaded("x".into())),
+            ErrorCode::Overloaded
+        );
+        assert_eq!(
+            error_code_of(&TossError::Cancelled),
+            ErrorCode::Cancelled
+        );
+        assert_eq!(
+            error_code_of(&TossError::Internal("p".into())),
+            ErrorCode::Internal
+        );
+        assert_eq!(
+            error_code_of(&TossError::Unsupported("q".into())),
+            ErrorCode::BadRequest
+        );
+    }
+
+    #[test]
+    fn error_payload_carries_retry_hint() {
+        let p = error_payload(ErrorCode::Overloaded, "busy", Some(40));
+        let v = Value::parse(&p).unwrap();
+        assert_eq!(v.get("status").unwrap().as_str(), Some("error"));
+        assert_eq!(v.get("code").unwrap().as_str(), Some("overloaded"));
+        assert_eq!(v.get("retry_after_ms").unwrap().as_i64(), Some(40));
+        let p = error_payload(ErrorCode::Internal, "boom", None);
+        assert!(Value::parse(&p).unwrap().get("retry_after_ms").is_none());
+    }
+}

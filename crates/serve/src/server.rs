@@ -1,0 +1,640 @@
+//! The serving loop: thread-per-connection TCP front-end over the
+//! [`Executor`] and [`AdmissionController`].
+//!
+//! ## Robustness contract
+//!
+//! * **Backpressure, never unbounded queueing.** Connections above
+//!   `max_connections` get one `overloaded` error frame (with a
+//!   `retry_after_ms` hint) and a close; queries past the admission
+//!   controller's queue-wait ceiling get an `overloaded` frame on a
+//!   *live* connection. Nothing waits forever and nothing hangs.
+//! * **Deadlines everywhere.** Every query runs under a hard class
+//!   deadline; sockets carry read/write timeouts plus a whole-frame
+//!   read deadline, so a slow-loris peer (trickling bytes) or a stalled
+//!   reader (never draining its responses) is disconnected instead of
+//!   pinning a thread.
+//! * **Panic isolation.** Query panics are caught by
+//!   [`toss_core::governor::isolate`] inside the admission controller
+//!   and surface as an `internal` error **frame** — the connection
+//!   survives, the server survives.
+//! * **No partial frames.** A response is written with a single
+//!   `write_all`; drain kills only the *read* half of sockets, so a
+//!   response in flight always completes (or fails whole on a dead
+//!   peer).
+//! * **Graceful drain.** [`Server::shutdown`] stops accepting, lets
+//!   in-flight queries run up to the drain deadline, then cancels
+//!   stragglers through their [`CancelToken`]s, and only force-closes
+//!   sockets as a last resort. The report says which of those happened.
+//!
+//! Metrics: `toss.serve.*` (see `docs/serving.md` and
+//! `docs/observability.md`).
+
+use crate::budget::BudgetClass;
+use crate::protocol::{
+    error_code_of, error_payload, ok_payload, read_frame, write_frame, ErrorCode,
+    FrameError, QueryRequest, Request, DEFAULT_MAX_FRAME_BYTES,
+};
+use std::collections::HashMap;
+use std::io;
+use std::net::{Shutdown, SocketAddr, TcpListener, TcpStream, ToSocketAddrs};
+use std::sync::atomic::{AtomicBool, AtomicU64, AtomicU8, AtomicUsize, Ordering};
+use std::sync::{Arc, Condvar, Mutex};
+use std::thread;
+use std::time::{Duration, Instant};
+use toss_core::{AdmissionController, CancelToken, Executor, QueryGovernor};
+use toss_json::Value;
+use toss_tree::serialize::{tree_to_xml, Style};
+
+/// Tunables for a [`Server`]. The defaults are sized for a small
+/// multi-tenant box; every test overrides what it probes.
+#[derive(Debug, Clone)]
+pub struct ServerConfig {
+    /// Connection ceiling; excess connections are told `overloaded` and
+    /// closed immediately.
+    pub max_connections: usize,
+    /// Concurrent query slots (the admission controller's width).
+    pub max_concurrent_queries: usize,
+    /// How long a query may wait for a slot before it is shed.
+    pub max_queue_wait: Duration,
+    /// Socket read timeout; also the idle keep-alive ceiling and the
+    /// whole-frame read deadline (slow-loris kill).
+    pub read_timeout: Duration,
+    /// Socket write timeout (stalled-reader kill).
+    pub write_timeout: Duration,
+    /// How long [`Server::shutdown`] waits for in-flight queries before
+    /// cancelling them.
+    pub drain_deadline: Duration,
+    /// Ceiling on a single request frame.
+    pub max_frame_bytes: usize,
+    /// Honor the `shutdown` protocol verb (off by default: a remote
+    /// peer should not be able to stop the server unless deployment
+    /// explicitly wires that up).
+    pub allow_shutdown_verb: bool,
+}
+
+impl Default for ServerConfig {
+    fn default() -> Self {
+        ServerConfig {
+            max_connections: 256,
+            max_concurrent_queries: 8,
+            max_queue_wait: Duration::from_millis(100),
+            read_timeout: Duration::from_secs(30),
+            write_timeout: Duration::from_secs(10),
+            drain_deadline: Duration::from_secs(5),
+            max_frame_bytes: DEFAULT_MAX_FRAME_BYTES,
+            allow_shutdown_verb: false,
+        }
+    }
+}
+
+/// What [`Server::shutdown`] observed while draining.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct DrainReport {
+    /// In-flight queries that completed within the drain deadline.
+    pub drained: usize,
+    /// Queries still running at the deadline whose tokens were tripped.
+    pub cancelled: usize,
+    /// Sockets force-closed because their thread did not exit in the
+    /// post-cancel grace period.
+    pub forced_closes: usize,
+    /// Wall time the whole drain took.
+    pub duration: Duration,
+}
+
+const STATE_RUNNING: u8 = 0;
+const STATE_DRAINING: u8 = 1;
+const STATE_STOPPED: u8 = 2;
+
+/// Per-connection registry entry: a second handle on the socket (for
+/// read-half drain and last-resort close) plus the in-flight query's
+/// cancel token, if any.
+struct ConnEntry {
+    stream: TcpStream,
+    token: Mutex<Option<CancelToken>>,
+}
+
+struct Shared {
+    cfg: ServerConfig,
+    executor: Arc<Executor>,
+    admission: AdmissionController,
+    state: AtomicU8,
+    shutdown_requested: AtomicBool,
+    conns: Mutex<HashMap<u64, Arc<ConnEntry>>>,
+    next_conn: AtomicU64,
+    inflight: AtomicUsize,
+    /// Notified whenever a connection unregisters or a query finishes;
+    /// the drain loop and `wait_for_shutdown` sleep on it.
+    change: Condvar,
+    change_lock: Mutex<()>,
+}
+
+impl Shared {
+    fn state(&self) -> u8 {
+        self.state.load(Ordering::Acquire)
+    }
+
+    fn notify(&self) {
+        let _g = self.change_lock.lock().unwrap_or_else(|e| e.into_inner());
+        self.change.notify_all();
+    }
+
+    /// Block until `done()` or the deadline; returns whether `done()`.
+    fn wait_until(&self, deadline: Instant, done: impl Fn() -> bool) -> bool {
+        let mut guard = self.change_lock.lock().unwrap_or_else(|e| e.into_inner());
+        loop {
+            if done() {
+                return true;
+            }
+            let now = Instant::now();
+            if now >= deadline {
+                return done();
+            }
+            let (g, _) = self
+                .change
+                .wait_timeout(guard, (deadline - now).min(Duration::from_millis(50)))
+                .unwrap_or_else(|e| e.into_inner());
+            guard = g;
+        }
+    }
+
+    fn conn_count(&self) -> usize {
+        self.conns.lock().unwrap_or_else(|e| e.into_inner()).len()
+    }
+
+    /// The `retry_after_ms` hint for shed work: the queue-wait ceiling
+    /// (after that long, a slot has either freed or the box is still
+    /// saturated and the client should back off further on its own).
+    fn retry_after_ms(&self) -> u64 {
+        self.cfg.max_queue_wait.as_millis().max(10) as u64
+    }
+}
+
+/// A running server: accept loop + per-connection threads.
+///
+/// Start with [`Server::start`], stop with [`Server::shutdown`] (drains)
+/// — or let a client's `shutdown` verb / another thread holding a
+/// [`ShutdownHandle`] request it and call [`Server::serve_until_shutdown`].
+pub struct Server {
+    shared: Arc<Shared>,
+    addr: SocketAddr,
+    accept_thread: Option<thread::JoinHandle<()>>,
+}
+
+/// A cloneable handle that can request (not perform) shutdown from
+/// another thread — e.g. a CLI signal/stdin watcher.
+#[derive(Clone)]
+pub struct ShutdownHandle {
+    shared: Arc<Shared>,
+}
+
+impl ShutdownHandle {
+    /// Request graceful shutdown; `serve_until_shutdown` picks it up.
+    pub fn request_shutdown(&self) {
+        self.shared.shutdown_requested.store(true, Ordering::Release);
+        self.shared.notify();
+    }
+}
+
+impl Server {
+    /// Bind `addr` (use port 0 for an ephemeral port) and start serving
+    /// `executor` under `cfg`.
+    pub fn start(
+        executor: Arc<Executor>,
+        addr: impl ToSocketAddrs,
+        cfg: ServerConfig,
+    ) -> io::Result<Server> {
+        let listener = TcpListener::bind(addr)?;
+        let local = listener.local_addr()?;
+        // Nonblocking accept + poll: the accept loop must notice a
+        // drain request even when no client ever connects again.
+        listener.set_nonblocking(true)?;
+        let admission =
+            AdmissionController::new(cfg.max_concurrent_queries, cfg.max_queue_wait);
+        let shared = Arc::new(Shared {
+            cfg,
+            executor,
+            admission,
+            state: AtomicU8::new(STATE_RUNNING),
+            shutdown_requested: AtomicBool::new(false),
+            conns: Mutex::new(HashMap::new()),
+            next_conn: AtomicU64::new(0),
+            inflight: AtomicUsize::new(0),
+            change: Condvar::new(),
+            change_lock: Mutex::new(()),
+        });
+        let accept_shared = shared.clone();
+        let accept_thread = thread::Builder::new()
+            .name("toss-serve-accept".into())
+            .spawn(move || accept_loop(accept_shared, listener))?;
+        Ok(Server {
+            shared,
+            addr: local,
+            accept_thread: Some(accept_thread),
+        })
+    }
+
+    /// The bound address (with the resolved ephemeral port).
+    pub fn local_addr(&self) -> SocketAddr {
+        self.addr
+    }
+
+    /// Connections currently registered.
+    pub fn connections(&self) -> usize {
+        self.shared.conn_count()
+    }
+
+    /// Queries currently executing.
+    pub fn inflight(&self) -> usize {
+        self.shared.inflight.load(Ordering::Acquire)
+    }
+
+    /// A handle other threads can use to request shutdown.
+    pub fn shutdown_handle(&self) -> ShutdownHandle {
+        ShutdownHandle {
+            shared: self.shared.clone(),
+        }
+    }
+
+    /// Block until some [`ShutdownHandle`] (or the `shutdown` verb)
+    /// requests shutdown, then drain and return the report.
+    pub fn serve_until_shutdown(self) -> DrainReport {
+        {
+            let mut guard = self
+                .shared
+                .change_lock
+                .lock()
+                .unwrap_or_else(|e| e.into_inner());
+            while !self.shared.shutdown_requested.load(Ordering::Acquire) {
+                let (g, _) = self
+                    .shared
+                    .change
+                    .wait_timeout(guard, Duration::from_millis(200))
+                    .unwrap_or_else(|e| e.into_inner());
+                guard = g;
+            }
+        }
+        self.shutdown()
+    }
+
+    /// Graceful shutdown: stop accepting, drain in-flight queries up to
+    /// the drain deadline, cancel stragglers, force-close only what is
+    /// left after a grace period. Idempotent with respect to a prior
+    /// `shutdown` verb (the drain runs once, here).
+    pub fn shutdown(mut self) -> DrainReport {
+        let t0 = Instant::now();
+        let drain_span = toss_obs::span("toss.serve.drain");
+        let sh = &self.shared;
+        let inflight_at_start = sh.inflight.load(Ordering::Acquire);
+        sh.shutdown_requested.store(true, Ordering::Release);
+        sh.state.store(STATE_DRAINING, Ordering::Release);
+        sh.notify();
+        if let Some(t) = self.accept_thread.take() {
+            let _ = t.join(); // polls every 10 ms; prompt
+        }
+
+        // Kill the READ half of every registered socket: idle
+        // connection threads wake with a clean EOF and exit; a thread
+        // mid-query keeps its WRITE half, so its response still goes
+        // out whole. New requests can no longer arrive.
+        for entry in sh.conns.lock().unwrap_or_else(|e| e.into_inner()).values() {
+            let _ = entry.stream.shutdown(Shutdown::Read);
+        }
+
+        // Phase 1: wait for in-flight queries up to the drain deadline.
+        let deadline = t0 + sh.cfg.drain_deadline;
+        sh.wait_until(deadline, || sh.inflight.load(Ordering::Acquire) == 0);
+
+        // Phase 2: cancel stragglers through their tokens.
+        let mut cancelled = 0usize;
+        for entry in sh.conns.lock().unwrap_or_else(|e| e.into_inner()).values() {
+            if let Some(tok) = entry
+                .token
+                .lock()
+                .unwrap_or_else(|e| e.into_inner())
+                .as_ref()
+            {
+                tok.cancel();
+                cancelled += 1;
+            }
+        }
+        if cancelled > 0 {
+            toss_obs::metrics::counter("toss.serve.drain.cancelled").add(cancelled as u64);
+        }
+
+        // Phase 3: grace period for cancelled queries to observe the
+        // token, write their `cancelled` frame whole, and unregister.
+        let grace = Instant::now() + sh.cfg.drain_deadline.max(Duration::from_millis(250));
+        sh.wait_until(grace, || sh.conn_count() == 0);
+
+        // Phase 4: last resort — close whatever is left outright.
+        let leftover: Vec<Arc<ConnEntry>> = sh
+            .conns
+            .lock()
+            .unwrap_or_else(|e| e.into_inner())
+            .values()
+            .cloned()
+            .collect();
+        let forced_closes = leftover.len();
+        for entry in &leftover {
+            let _ = entry.stream.shutdown(Shutdown::Both);
+        }
+        if forced_closes > 0 {
+            toss_obs::metrics::counter("toss.serve.drain.forced_closes")
+                .add(forced_closes as u64);
+            sh.wait_until(Instant::now() + Duration::from_millis(500), || {
+                sh.conn_count() == 0
+            });
+        }
+
+        sh.state.store(STATE_STOPPED, Ordering::Release);
+        let duration = t0.elapsed();
+        drain_span.record("cancelled", cancelled);
+        drain_span.record("forced_closes", forced_closes);
+        drop(drain_span);
+        toss_obs::metrics::histogram("toss.serve.drain_ns").observe_duration(duration);
+        DrainReport {
+            drained: inflight_at_start.saturating_sub(cancelled),
+            cancelled,
+            forced_closes,
+            duration,
+        }
+    }
+}
+
+fn accept_loop(shared: Arc<Shared>, listener: TcpListener) {
+    loop {
+        if shared.state() != STATE_RUNNING
+            || shared.shutdown_requested.load(Ordering::Acquire)
+        {
+            break;
+        }
+        match listener.accept() {
+            Ok((stream, _peer)) => on_accept(&shared, stream),
+            Err(e) if e.kind() == io::ErrorKind::WouldBlock => {
+                thread::sleep(Duration::from_millis(10));
+            }
+            Err(_) => thread::sleep(Duration::from_millis(10)),
+        }
+    }
+}
+
+fn on_accept(shared: &Arc<Shared>, stream: TcpStream) {
+    toss_obs::metrics::counter("toss.serve.conns_accepted").inc();
+    // Accepted sockets must be blocking regardless of what the
+    // (nonblocking) listener hands us on any platform.
+    let _ = stream.set_nonblocking(false);
+    let _ = stream.set_nodelay(true);
+    let _ = stream.set_read_timeout(Some(shared.cfg.read_timeout));
+    let _ = stream.set_write_timeout(Some(shared.cfg.write_timeout));
+
+    // Connection backpressure: over the ceiling, the peer gets one
+    // typed `overloaded` frame and a close instead of a silent hang.
+    if shared.conn_count() >= shared.cfg.max_connections {
+        toss_obs::metrics::counter("toss.serve.conns_rejected").inc();
+        let mut s = stream;
+        let _ = write_frame(
+            &mut s,
+            error_payload(
+                ErrorCode::Overloaded,
+                "connection limit reached",
+                Some(shared.retry_after_ms()),
+            )
+            .as_bytes(),
+        );
+        return; // dropped => closed
+    }
+
+    let Ok(registry_handle) = stream.try_clone() else {
+        return; // cannot track it for drain: refuse rather than leak
+    };
+    let id = shared.next_conn.fetch_add(1, Ordering::Relaxed);
+    let entry = Arc::new(ConnEntry {
+        stream: registry_handle,
+        token: Mutex::new(None),
+    });
+    shared
+        .conns
+        .lock()
+        .unwrap_or_else(|e| e.into_inner())
+        .insert(id, entry.clone());
+    toss_obs::metrics::gauge("toss.serve.connections_active").inc();
+
+    let conn_shared = shared.clone();
+    let spawned = thread::Builder::new()
+        .name(format!("toss-serve-conn-{id}"))
+        .spawn(move || {
+            conn_loop(&conn_shared, stream, &entry);
+            conn_shared
+                .conns
+                .lock()
+                .unwrap_or_else(|e| e.into_inner())
+                .remove(&id);
+            toss_obs::metrics::gauge("toss.serve.connections_active").dec();
+            conn_shared.notify();
+        });
+    if spawned.is_err() {
+        // could not spawn: unregister and drop the socket
+        shared
+            .conns
+            .lock()
+            .unwrap_or_else(|e| e.into_inner())
+            .remove(&id);
+        toss_obs::metrics::gauge("toss.serve.connections_active").dec();
+    }
+}
+
+fn conn_loop(shared: &Arc<Shared>, mut stream: TcpStream, entry: &Arc<ConnEntry>) {
+    loop {
+        let payload = match read_frame(
+            &mut stream,
+            shared.cfg.max_frame_bytes,
+            Some(shared.cfg.read_timeout),
+        ) {
+            Ok(p) => p,
+            Err(FrameError::Closed) => break,
+            Err(FrameError::HalfFrame) => {
+                toss_obs::metrics::counter("toss.serve.faults.half_frame").inc();
+                break;
+            }
+            Err(FrameError::Timeout) => {
+                toss_obs::metrics::counter("toss.serve.faults.read_timeout").inc();
+                break;
+            }
+            Err(FrameError::Oversize(n)) => {
+                toss_obs::metrics::counter("toss.serve.faults.oversize").inc();
+                // tell the peer why before hanging up (best effort)
+                let _ = write_frame(
+                    &mut stream,
+                    error_payload(
+                        ErrorCode::BadRequest,
+                        &format!(
+                            "frame of {n} bytes exceeds the {} byte limit",
+                            shared.cfg.max_frame_bytes
+                        ),
+                        None,
+                    )
+                    .as_bytes(),
+                );
+                break;
+            }
+            Err(FrameError::Io(_)) => {
+                toss_obs::metrics::counter("toss.serve.faults.io").inc();
+                break;
+            }
+        };
+
+        let reply = handle_payload(shared, entry, &payload);
+        if write_frame(&mut stream, reply.as_bytes()).is_err() {
+            // stalled reader / dead peer: the write timeout fired or
+            // the connection reset. Close; never retry a partial frame.
+            toss_obs::metrics::counter("toss.serve.faults.write_failed").inc();
+            break;
+        }
+    }
+}
+
+/// Parse and dispatch one request payload; always returns a whole
+/// response payload (this function must never panic — query panics are
+/// isolated further down, parse errors are typed frames).
+fn handle_payload(shared: &Arc<Shared>, entry: &Arc<ConnEntry>, payload: &[u8]) -> String {
+    toss_obs::metrics::counter("toss.serve.requests").inc();
+    let req = match Request::parse(payload) {
+        Ok(r) => r,
+        Err(msg) => {
+            toss_obs::metrics::counter("toss.serve.errors.bad_request").inc();
+            return error_payload(ErrorCode::BadRequest, &msg, None);
+        }
+    };
+    match req {
+        Request::Ping => ok_payload(vec![(
+            "verb".into(),
+            Value::Str("ping".into()),
+        )]),
+        Request::Metrics => ok_payload(vec![(
+            "metrics".into(),
+            Value::Str(toss_obs::metrics::snapshot().to_prometheus()),
+        )]),
+        Request::Shutdown => {
+            if shared.cfg.allow_shutdown_verb {
+                shared.shutdown_requested.store(true, Ordering::Release);
+                shared.notify();
+                ok_payload(vec![("verb".into(), Value::Str("shutdown".into()))])
+            } else {
+                error_payload(
+                    ErrorCode::BadRequest,
+                    "shutdown verb not enabled on this server",
+                    None,
+                )
+            }
+        }
+        Request::Query(q) => handle_query(shared, entry, &q),
+    }
+}
+
+fn handle_query(shared: &Arc<Shared>, entry: &Arc<ConnEntry>, q: &QueryRequest) -> String {
+    if shared.state() != STATE_RUNNING {
+        toss_obs::metrics::counter("toss.serve.errors.shutting_down").inc();
+        return error_payload(
+            ErrorCode::ShuttingDown,
+            "server is draining",
+            Some(shared.cfg.drain_deadline.as_millis().max(10) as u64),
+        );
+    }
+    let (query, mode) = match crate::protocol::build_query(q) {
+        Ok(x) => x,
+        Err(e) => {
+            toss_obs::metrics::counter("toss.serve.errors.bad_request").inc();
+            return error_payload(ErrorCode::BadRequest, &e.to_string(), None);
+        }
+    };
+    let budget = q.class.budget(q.timeout_ms, q.max_terms, q.max_docs);
+    let gov = QueryGovernor::new(budget);
+
+    // Expose the token so drain can cancel us, and count ourselves
+    // in-flight so drain waits for us.
+    *entry.token.lock().unwrap_or_else(|e| e.into_inner()) = Some(gov.token());
+    shared.inflight.fetch_add(1, Ordering::AcqRel);
+    toss_obs::metrics::gauge("toss.serve.inflight").inc();
+
+    let started = Instant::now();
+    let executor = shared.executor.clone();
+    let result = shared
+        .admission
+        .run(&gov, || executor.select_governed(&query, mode, &gov));
+    let elapsed = started.elapsed();
+
+    shared.inflight.fetch_sub(1, Ordering::AcqRel);
+    toss_obs::metrics::gauge("toss.serve.inflight").dec();
+    *entry.token.lock().unwrap_or_else(|e| e.into_inner()) = None;
+    shared.notify();
+    toss_obs::metrics::histogram("toss.serve.request_ns").observe_duration(elapsed);
+
+    match result {
+        Ok(out) => {
+            let results: Vec<Value> = out
+                .forest
+                .iter()
+                .take(q.max_results)
+                .map(|t| Value::Str(tree_to_xml(t, Style::Compact)))
+                .collect();
+            ok_payload(vec![
+                ("answers".into(), Value::Int(out.forest.len() as i64)),
+                ("returned".into(), Value::Int(results.len() as i64)),
+                ("xpath".into(), Value::Str(out.xpath.clone())),
+                (
+                    "degraded".into(),
+                    match &out.degradation {
+                        Some(d) => Value::Str(d.to_string()),
+                        None => Value::Null,
+                    },
+                ),
+                ("results".into(), Value::Array(results)),
+                ("server_us".into(), Value::Int(elapsed.as_micros() as i64)),
+            ])
+        }
+        Err(e) => {
+            let code = error_code_of(&e);
+            toss_obs::metrics::counter(match code {
+                ErrorCode::Overloaded => "toss.serve.errors.overloaded",
+                ErrorCode::BudgetExceeded => "toss.serve.errors.budget_exceeded",
+                ErrorCode::Cancelled => "toss.serve.errors.cancelled",
+                ErrorCode::Internal => "toss.serve.errors.internal",
+                _ => "toss.serve.errors.bad_request",
+            })
+            .inc();
+            let retry = match code {
+                ErrorCode::Overloaded => Some(shared.retry_after_ms()),
+                // cancelled-by-drain: the peer should come back once a
+                // replacement is up; give it the drain window as a hint
+                ErrorCode::Cancelled if shared.state() != STATE_RUNNING => {
+                    Some(shared.cfg.drain_deadline.as_millis().max(10) as u64)
+                }
+                _ => None,
+            };
+            error_payload(code, &e.to_string(), retry)
+        }
+    }
+}
+
+/// Convenience: build the default budget-class table description used
+/// by docs and the CLI banner.
+pub fn budget_class_summary() -> String {
+    [
+        BudgetClass::BestEffort,
+        BudgetClass::Interactive,
+        BudgetClass::Batch,
+    ]
+    .iter()
+    .map(|c| {
+        let b = c.budget(None, None, None);
+        format!(
+            "{}: deadline {:?}, terms {}, docs {}",
+            c.as_str(),
+            b.deadline.unwrap(),
+            b.max_expansion_terms.unwrap().max,
+            b.max_docs_scanned.unwrap().max,
+        )
+    })
+    .collect::<Vec<_>>()
+    .join("; ")
+}

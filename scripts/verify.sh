@@ -14,14 +14,16 @@ cargo build --workspace --release
 echo "==> cargo test --workspace -q"
 cargo test --workspace -q
 
-echo "==> chaos suite (governance + fault injection, release)"
-cargo test --release --test chaos --test governance -q
+echo "==> chaos suites (governance + serving fault injection, release)"
+cargo test --release --test chaos --test governance --test serve -q
 
 if cargo clippy --version >/dev/null 2>&1; then
     echo "==> cargo clippy -p toss-xmldb -p toss-pool --all-targets -- -D warnings"
     cargo clippy -p toss-xmldb -p toss-pool --all-targets -- -D warnings
     echo "==> cargo clippy -p toss-obs -p toss-core -p toss-similarity -p toss-ontology --all-targets -- -D warnings"
     cargo clippy -p toss-obs -p toss-core -p toss-similarity -p toss-ontology --all-targets -- -D warnings
+    echo "==> cargo clippy -p toss-serve --all-targets -- -D warnings"
+    cargo clippy -p toss-serve --all-targets -- -D warnings
 else
     echo "==> clippy not installed; skipping lint step"
 fi
@@ -33,6 +35,13 @@ test -s BENCH_query_parallel.json
 echo "==> semantic fast-path bench smoke (BENCH_semantic.json)"
 cargo run --release -p toss-bench --bin bench_semantic -- --quick
 test -s BENCH_semantic.json
+
+echo "==> serving-layer load smoke (BENCH_serve.json)"
+# 100 requests against a live server on an ephemeral port, one injected
+# mid-frame fault, graceful drain with queries in flight — the binary
+# asserts the whole robustness contract and fails loudly otherwise
+cargo run --release -p toss-bench --bin bench_serve -- --quick
+test -s BENCH_serve.json
 
 echo "==> toss-cli stats smoke test"
 SMOKE=$(mktemp -d)

@@ -1,0 +1,464 @@
+//! Fault-injection and drain chaos suite for the toss-serve network
+//! layer (see `docs/serving.md`). The invariants, end to end over real
+//! sockets:
+//!
+//! * every injected fault — dropped connection mid-request, half-written
+//!   frame, garbage payload, oversize frame, slow-loris trickle, stalled
+//!   reader — yields a clean typed error (or a clean close) and the
+//!   server keeps serving;
+//! * a panicking query becomes an `internal` error **frame** on a live
+//!   connection — zero executor panics escape;
+//! * overload is shed with a typed `overloaded` error carrying a
+//!   `retry_after_ms` hint, and the shed path records queue-wait time;
+//! * graceful drain completes or cancels every in-flight query within
+//!   the drain deadline, and no client ever observes a partial frame.
+//!
+//! Metrics assertions are deltas (`after - before >= n`): the registry
+//! is process-global and tests run in parallel, but other tests only
+//! ever *add* to these counters.
+
+use std::io::Write as _;
+use std::net::TcpStream;
+use std::sync::{Arc, Barrier};
+use std::thread;
+use std::time::{Duration, Instant};
+use toss_core::Executor;
+use toss_ontology::hierarchy::from_pairs;
+use toss_ontology::sea::enhance;
+use toss_serve::protocol::{read_frame, write_frame, FrameError, Request};
+use toss_serve::{
+    BudgetClass, Client, ClientError, ErrorCode, QueryRequest, Server, ServerConfig,
+};
+use toss_similarity::{Levenshtein, StringMetric};
+use toss_xmldb::{Database, DatabaseConfig};
+
+/// Probe string that makes the metric panic (a poisoned query).
+const PANIC_PROBE: &str = "zzz-panic-probe";
+/// Probe string that makes the metric slow (pins an admission slot).
+const SLOW_PROBE: &str = "zzz-slow-probe";
+
+struct ChaosMetric;
+
+impl StringMetric for ChaosMetric {
+    fn distance(&self, a: &str, b: &str) -> f64 {
+        if a == PANIC_PROBE || b == PANIC_PROBE {
+            panic!("chaos: poisoned metric input");
+        }
+        if a == SLOW_PROBE || b == SLOW_PROBE {
+            thread::sleep(Duration::from_millis(25));
+        }
+        Levenshtein.distance(a, b)
+    }
+    fn is_strong(&self) -> bool {
+        true
+    }
+    fn name(&self) -> &str {
+        "chaos"
+    }
+}
+
+/// A small store + SEO under the chaos metric. `pad` bytes of filler
+/// per document let tests manufacture multi-megabyte responses.
+fn executor(docs: usize, pad: usize) -> Arc<Executor> {
+    let mut db = Database::with_config(DatabaseConfig::unlimited());
+    let c = db.create_collection("chaos").unwrap();
+    let filler = "x".repeat(pad);
+    for i in 0..docs {
+        let author = match i % 3 {
+            0 => "Jeff Ullman",
+            1 => "Jeff Ullmann",
+            _ => "E. Codd",
+        };
+        c.insert_xml(&format!(
+            "<inproceedings key=\"p{i}\"><author>{author}</author>\
+             <booktitle>SIGMOD Conference</booktitle><pad>{filler}</pad></inproceedings>"
+        ))
+        .unwrap();
+    }
+    let h = from_pairs(&[
+        ("SIGMOD Conference", "conference"),
+        ("VLDB", "conference"),
+        ("conference", "venue"),
+        ("Jeff Ullman", "author"),
+        ("Jeff Ullmann", "author"),
+        ("E. Codd", "author"),
+    ])
+    .unwrap();
+    let seo = Arc::new(enhance(&h, &Levenshtein, 1.0).unwrap());
+    Arc::new(Executor::new(db, seo).with_probe_metric(Arc::new(ChaosMetric)))
+}
+
+fn start(cfg: ServerConfig) -> Server {
+    Server::start(executor(30, 0), "127.0.0.1:0", cfg).unwrap()
+}
+
+fn counter_value(name: &str) -> u64 {
+    toss_obs::metrics::snapshot().counter(name).unwrap_or(0)
+}
+
+/// Poll until `name` has grown past `before` (parallel-test safe: other
+/// tests only add). Panics after `deadline`.
+fn await_counter_above(name: &str, before: u64, deadline: Duration) {
+    let t0 = Instant::now();
+    while counter_value(name) <= before {
+        assert!(
+            t0.elapsed() < deadline,
+            "counter {name} never grew past {before} within {deadline:?}"
+        );
+        thread::sleep(Duration::from_millis(20));
+    }
+}
+
+fn eq_query(author: &str) -> QueryRequest {
+    let mut q = QueryRequest::new("chaos", "inproceedings");
+    q.eq.push(("author".into(), author.into()));
+    q
+}
+
+fn similar_query(probe: &str) -> QueryRequest {
+    let mut q = QueryRequest::new("chaos", "inproceedings");
+    q.similar.push(("author".into(), probe.into()));
+    q
+}
+
+#[test]
+fn ping_query_and_metrics_round_trip() {
+    let server = start(ServerConfig::default());
+    let mut client = Client::connect(server.local_addr()).unwrap();
+    client.ping().unwrap();
+
+    let reply = client.query(eq_query("E. Codd")).unwrap();
+    assert_eq!(reply.answers, 10, "30 docs, every third by Codd");
+    assert_eq!(reply.returned, 10);
+    assert!(!reply.xpath.is_empty());
+    assert!(reply.results[0].contains("E. Codd"), "{}", reply.results[0]);
+
+    // max_results caps the serialized trees, not the reported count
+    let mut capped = eq_query("E. Codd");
+    capped.max_results = 3;
+    let reply = client.query(capped).unwrap();
+    assert_eq!((reply.answers, reply.returned), (10, 3));
+
+    let text = client.metrics().unwrap();
+    assert!(text.contains("toss_serve_requests"), "{text}");
+    assert!(text.contains("toss_serve_connections_active"), "{text}");
+    server.shutdown();
+}
+
+#[test]
+fn garbage_and_unknown_requests_get_typed_errors_on_a_live_connection() {
+    let server = start(ServerConfig::default());
+    let mut s = TcpStream::connect(server.local_addr()).unwrap();
+
+    for payload in [
+        &b"not json at all"[..],
+        br#"{"verb":"frobnicate"}"#,
+        br#"{"verb":"query","collection":"chaos","root":"inproceedings"}"#,
+        br#"{"verb":"query","collection":"chaos","root":"inproceedings",
+             "eq":[["author","x"]],"class":"supersonic"}"#,
+        // shutdown verb is disabled by default: bad_request, not a drain
+        br#"{"verb":"shutdown"}"#,
+    ] {
+        write_frame(&mut s, payload).unwrap();
+        let resp = read_frame(&mut s, 1 << 20, Some(Duration::from_secs(5))).unwrap();
+        let v = toss_json::Value::parse(std::str::from_utf8(&resp).unwrap()).unwrap();
+        assert_eq!(v.get("status").and_then(|x| x.as_str()), Some("error"));
+        assert_eq!(v.get("code").and_then(|x| x.as_str()), Some("bad_request"));
+    }
+    // ...and the connection still works after every one of them
+    write_frame(&mut s, Request::Ping.to_payload().as_bytes()).unwrap();
+    let resp = read_frame(&mut s, 1 << 20, Some(Duration::from_secs(5))).unwrap();
+    assert!(std::str::from_utf8(&resp).unwrap().contains("\"ok\""));
+    assert_eq!(server.connections(), 1);
+    server.shutdown();
+}
+
+#[test]
+fn dropped_connection_mid_request_is_a_clean_half_frame_fault() {
+    let server = start(ServerConfig::default());
+    let before = counter_value("toss.serve.faults.half_frame");
+
+    // claim a 100-byte frame, deliver 10 bytes, hang up
+    let mut s = TcpStream::connect(server.local_addr()).unwrap();
+    s.write_all(&100u32.to_be_bytes()).unwrap();
+    s.write_all(b"0123456789").unwrap();
+    drop(s);
+
+    await_counter_above(
+        "toss.serve.faults.half_frame",
+        before,
+        Duration::from_secs(5),
+    );
+    // the server took the fault and keeps serving
+    let mut client = Client::connect(server.local_addr()).unwrap();
+    assert_eq!(client.query(eq_query("E. Codd")).unwrap().answers, 10);
+    server.shutdown();
+}
+
+#[test]
+fn oversize_frame_is_refused_with_a_reason() {
+    let mut cfg = ServerConfig::default();
+    cfg.max_frame_bytes = 1024;
+    let server = start(cfg);
+    let mut s = TcpStream::connect(server.local_addr()).unwrap();
+    s.write_all(&(1u32 << 21).to_be_bytes()).unwrap();
+    // the refusal arrives as a whole error frame, then the socket closes
+    let resp = read_frame(&mut s, 1 << 20, Some(Duration::from_secs(5))).unwrap();
+    let text = std::str::from_utf8(&resp).unwrap();
+    assert!(text.contains("bad_request") && text.contains("1024"), "{text}");
+    match read_frame(&mut s, 1 << 20, Some(Duration::from_secs(5))) {
+        Err(FrameError::Closed) => {}
+        other => panic!("expected close after oversize refusal, got {other:?}"),
+    }
+    server.shutdown();
+}
+
+#[test]
+fn slow_loris_client_is_disconnected() {
+    let mut cfg = ServerConfig::default();
+    cfg.read_timeout = Duration::from_millis(200);
+    let server = start(cfg);
+    let before = counter_value("toss.serve.faults.read_timeout");
+
+    // trickle: one prefix byte, then silence — the whole-frame deadline
+    // must kill us rather than pin a connection thread forever
+    let mut s = TcpStream::connect(server.local_addr()).unwrap();
+    s.write_all(&[0u8]).unwrap();
+    await_counter_above(
+        "toss.serve.faults.read_timeout",
+        before,
+        Duration::from_secs(5),
+    );
+    // our socket is dead; a well-behaved client still gets served
+    let mut client = Client::connect(server.local_addr()).unwrap();
+    client.ping().unwrap();
+    server.shutdown();
+}
+
+#[test]
+fn stalled_reader_is_disconnected_by_the_write_deadline() {
+    let mut cfg = ServerConfig::default();
+    cfg.write_timeout = Duration::from_millis(200);
+    // big documents => multi-megabyte responses that cannot fit in
+    // kernel socket buffers once the reader stops draining
+    let server = Server::start(executor(100, 20_000), "127.0.0.1:0", cfg).unwrap();
+    let before = counter_value("toss.serve.faults.write_failed");
+
+    let mut s = TcpStream::connect(server.local_addr()).unwrap();
+    let mut q = eq_query("E. Codd");
+    q.max_results = 1000;
+    let payload = Request::Query(Box::new(q)).to_payload();
+    // pipeline many requests and never read a byte of the responses
+    for _ in 0..12 {
+        write_frame(&mut s, payload.as_bytes()).unwrap();
+    }
+    await_counter_above(
+        "toss.serve.faults.write_failed",
+        before,
+        Duration::from_secs(30),
+    );
+    drop(s);
+    server.shutdown();
+}
+
+#[test]
+fn query_panic_is_isolated_as_an_internal_error_frame() {
+    let server = start(ServerConfig::default());
+    let panics_before = counter_value("toss.governor.panics");
+    let mut client = Client::connect(server.local_addr()).unwrap();
+    match client.query(similar_query(PANIC_PROBE)) {
+        Err(ClientError::Server { code, .. }) => assert_eq!(code, ErrorCode::Internal),
+        other => panic!("poisoned query must yield a typed internal error, got {other:?}"),
+    }
+    assert!(counter_value("toss.governor.panics") > panics_before);
+    // same connection, same server: both alive
+    client.ping().unwrap();
+    assert_eq!(client.query(eq_query("E. Codd")).unwrap().answers, 10);
+    server.shutdown();
+}
+
+#[test]
+fn budget_class_deadline_is_enforced_as_a_typed_error() {
+    let server = start(ServerConfig::default());
+    let mut client = Client::connect(server.local_addr()).unwrap();
+    let mut q = similar_query(SLOW_PROBE); // ≥25 ms per metric probe
+    q.timeout_ms = Some(1);
+    q.class = BudgetClass::BestEffort;
+    match client.query(q) {
+        Err(ClientError::Server { code, .. }) => {
+            assert_eq!(code, ErrorCode::BudgetExceeded);
+        }
+        other => panic!("expected budget_exceeded, got {other:?}"),
+    }
+    server.shutdown();
+}
+
+#[test]
+fn overload_is_shed_with_a_retry_hint_and_queue_wait_is_recorded() {
+    let mut cfg = ServerConfig::default();
+    cfg.max_concurrent_queries = 1;
+    cfg.max_queue_wait = Duration::from_millis(10);
+    let server = start(cfg);
+    let addr = server.local_addr();
+    let wait_hist_before = toss_obs::metrics::snapshot()
+        .histogram("toss.governor.queue_wait_ns")
+        .map(|h| h.count)
+        .unwrap_or(0);
+
+    let n = 6;
+    let barrier = Arc::new(Barrier::new(n));
+    let handles: Vec<_> = (0..n)
+        .map(|_| {
+            let barrier = barrier.clone();
+            thread::spawn(move || {
+                let mut client = Client::connect(addr).unwrap();
+                barrier.wait();
+                client.query(similar_query(SLOW_PROBE))
+            })
+        })
+        .collect();
+    let mut ok = 0;
+    let mut shed = 0;
+    for h in handles {
+        match h.join().expect("client threads never panic") {
+            Ok(_) => ok += 1,
+            Err(ClientError::Server {
+                code: ErrorCode::Overloaded,
+                retry_after_ms,
+                ..
+            }) => {
+                assert!(
+                    retry_after_ms.unwrap_or(0) >= 10,
+                    "shed load must carry a usable retry hint"
+                );
+                shed += 1;
+            }
+            Err(other) => panic!("unexpected failure under overload: {other:?}"),
+        }
+    }
+    assert!(ok >= 1, "one slot exists, someone must win it");
+    assert!(shed >= 1, "1 slot + 10ms queue for 6 slow queries must shed");
+    // the rejection path records how long the shed query waited
+    let wait_hist_after = toss_obs::metrics::snapshot()
+        .histogram("toss.governor.queue_wait_ns")
+        .map(|h| h.count)
+        .unwrap_or(0);
+    assert!(wait_hist_after > wait_hist_before);
+    server.shutdown();
+}
+
+#[test]
+fn connection_limit_rejects_with_overloaded_frame() {
+    let mut cfg = ServerConfig::default();
+    cfg.max_connections = 1;
+    let server = start(cfg);
+    let mut first = Client::connect(server.local_addr()).unwrap();
+    first.ping().unwrap(); // guarantees registration completed
+
+    let mut second = TcpStream::connect(server.local_addr()).unwrap();
+    let resp = read_frame(&mut second, 1 << 20, Some(Duration::from_secs(5))).unwrap();
+    let v = toss_json::Value::parse(std::str::from_utf8(&resp).unwrap()).unwrap();
+    assert_eq!(v.get("code").and_then(|x| x.as_str()), Some("overloaded"));
+    assert!(v.get("retry_after_ms").and_then(|x| x.as_i64()).unwrap_or(0) > 0);
+    match read_frame(&mut second, 1 << 20, Some(Duration::from_secs(5))) {
+        Err(FrameError::Closed) => {}
+        other => panic!("rejected connection must be closed, got {other:?}"),
+    }
+    first.ping().unwrap();
+    server.shutdown();
+}
+
+#[test]
+fn shutdown_verb_drains_when_enabled() {
+    let mut cfg = ServerConfig::default();
+    cfg.allow_shutdown_verb = true;
+    let server = start(cfg);
+    let addr = server.local_addr();
+    let waiter = thread::spawn(move || server.serve_until_shutdown());
+    let mut client = Client::connect(addr).unwrap();
+    client.shutdown_server().unwrap();
+    let report = waiter.join().unwrap();
+    assert_eq!(report.forced_closes, 0, "idle drain needs no force-close");
+}
+
+/// The chaos drain: slow queries in flight on several connections, then
+/// `shutdown`. Every query completes or is cancelled within the drain
+/// window; every client reads a *whole* frame; nothing panics.
+#[test]
+fn drain_completes_or_cancels_in_flight_queries_without_partial_frames() {
+    let mut cfg = ServerConfig::default();
+    cfg.drain_deadline = Duration::from_millis(400);
+    let server = start(cfg);
+    let addr = server.local_addr();
+    let panics_before = counter_value("toss.governor.panics");
+
+    let n = 6;
+    let barrier = Arc::new(Barrier::new(n));
+    let clients: Vec<_> = (0..n)
+        .map(|i| {
+            let barrier = barrier.clone();
+            thread::spawn(move || {
+                let mut s = TcpStream::connect(addr).unwrap();
+                s.set_read_timeout(Some(Duration::from_secs(10))).unwrap();
+                let mut q = similar_query(SLOW_PROBE); // runs for ~1s
+                q.class = BudgetClass::Batch; // 30s deadline: only drain stops it
+                barrier.wait();
+                write_frame(&mut s, Request::Query(Box::new(q)).to_payload().as_bytes())
+                    .unwrap();
+                // The invariant under drain: a WHOLE frame, ok or typed
+                // error. HalfFrame = a torn response; Closed = a dropped
+                // in-flight query. Both are bugs.
+                let resp = read_frame(&mut s, 1 << 20, Some(Duration::from_secs(10)))
+                    .unwrap_or_else(|e| panic!("client {i}: partial/no frame: {e:?}"));
+                let v =
+                    toss_json::Value::parse(std::str::from_utf8(&resp).unwrap()).unwrap();
+                match v.get("status").and_then(|x| x.as_str()) {
+                    Some("ok") => "ok",
+                    Some("error") => {
+                        let code = v.get("code").and_then(|x| x.as_str()).unwrap().to_string();
+                        assert!(
+                            code == "cancelled" || code == "shutting_down",
+                            "client {i}: drain may only cancel, got {code}"
+                        );
+                        "cancelled"
+                    }
+                    other => panic!("client {i}: malformed status {other:?}"),
+                }
+            })
+        })
+        .collect();
+
+    // wait until every query is actually executing, then pull the plug
+    let t0 = Instant::now();
+    while server.inflight() < n {
+        assert!(t0.elapsed() < Duration::from_secs(10), "queries never started");
+        thread::sleep(Duration::from_millis(10));
+    }
+    let report = server.shutdown();
+
+    let outcomes: Vec<&str> = clients
+        .into_iter()
+        .map(|h| h.join().expect("no client panics"))
+        .collect();
+    let cancelled_seen = outcomes.iter().filter(|o| **o == "cancelled").count();
+    assert_eq!(outcomes.len(), n);
+    assert_eq!(
+        report.drained + report.cancelled,
+        n,
+        "every in-flight query is accounted for: {report:?}"
+    );
+    assert!(
+        report.cancelled >= cancelled_seen,
+        "server-side cancels cover client-observed ones: {report:?} vs {cancelled_seen}"
+    );
+    assert_eq!(report.forced_closes, 0, "clean drain: {report:?}");
+    assert!(
+        report.duration < Duration::from_secs(3),
+        "drain must be bounded: {report:?}"
+    );
+    assert_eq!(
+        counter_value("toss.governor.panics"),
+        panics_before,
+        "zero executor panics through the whole drain"
+    );
+}
