@@ -39,6 +39,11 @@ usage:
   toss-cli serve     --db <store.json> --seo <seo.json> [--addr <host:port>]
                      [--max-conns <n>] [--max-concurrent <n>] [--threads <n>]
                      [--drain-ms <n>] [--allow-shutdown]
+                     [--flight-capacity <n>] [--slow-log <file.jsonl>]
+                     [--slow-threshold-ms <n>] [--slow-sample <n>]
+                     [--window-ms <n>] [--window-buckets <n>]
+  toss-cli top       [--addr <host:port>] [--interval-ms <n>]
+                     [--iterations <n>] [--slow <n>]
 
 query resource limits: --timeout-ms is a hard wall-clock deadline
 (exit code 3 when exceeded; 0 means no deadline); --max-terms /
@@ -47,7 +52,14 @@ warning on stderr). Exit code 4 means the query was shed under load.
 
 serve runs until stdin closes or reads a `shutdown` line, then drains
 gracefully. With --allow-shutdown, clients may stop it via the protocol
-`shutdown` verb.";
+`shutdown` verb. --slow-log appends always-sampled slow/failed queries
+(and 1-in-<n> of the rest, --slow-sample; 0 disables sampling) as JSON
+lines; --flight-capacity bounds the in-memory flight recorder the
+`slow` admin frame reads.
+
+top polls a live server's `stats` frame every --interval-ms (default
+1000) and renders per-class windowed SLOs plus the newest --slow
+flight-recorder entries; --iterations 0 (the default) polls forever.";
 
 /// Exit code for a usage or I/O error (usage text is printed).
 pub const EXIT_USAGE: u8 = 1;
@@ -118,6 +130,7 @@ pub fn run(argv: &[String]) -> Result<(), CliFailure> {
         "db" => cmd_db(&args).map_err(CliFailure::from),
         "dot" => cmd_dot(&args).map_err(CliFailure::from),
         "serve" => cmd_serve(&args).map_err(CliFailure::from),
+        "top" => cmd_top(&args).map_err(CliFailure::from),
         other => Err(CliFailure::from(format!("unknown subcommand `{other}`"))),
     }
 }
@@ -141,9 +154,56 @@ fn stats_path(db_path: &str) -> String {
 /// Best-effort: a failure to write stats never fails the command.
 fn persist_stats(db_path: &str) {
     let snap = toss_obs::metrics::snapshot();
-    if let Err(e) = std::fs::write(stats_path(db_path), snap.to_json()) {
+    if let Err(e) = std::fs::write(stats_path(db_path), stats_document(&snap)) {
         eprintln!("warning: could not write {}: {e}", stats_path(db_path));
     }
+}
+
+/// The `<db>.stats.json` document: the metrics snapshot JSON with a
+/// top-level `windows` object spliced in, rebuilt from the
+/// `toss.serve.window.<class>.<field>` gauges. The object uses the
+/// exact per-class schema the live `stats` frame returns, so offline
+/// `toss-cli stats --json` and a live `toss-cli top` read one shape.
+fn stats_document(snap: &toss_obs::metrics::MetricsSnapshot) -> String {
+    use toss_json::Value;
+    let Ok(Value::Object(mut doc)) = Value::parse(&snap.to_json()) else {
+        return snap.to_json();
+    };
+    doc.push(("windows".to_string(), windows_from_gauges(snap)));
+    Value::Object(doc).to_json_pretty()
+}
+
+/// Group `toss.serve.window.<class>.<field>` gauges back into the
+/// `stats`-frame `windows` object (`{class: {requests, …}}`); classes
+/// that never published gauges are simply absent.
+fn windows_from_gauges(snap: &toss_obs::metrics::MetricsSnapshot) -> toss_json::Value {
+    use toss_json::Value;
+    const FIELDS: [&str; 9] = [
+        "requests", "errors", "shed", "p50_ns", "p95_ns", "p99_ns",
+        "error_rate_bps", "shed_rate_bps", "window_ms",
+    ];
+    let mut classes: Vec<(String, Vec<(String, Value)>)> = Vec::new();
+    for (name, level) in &snap.gauges {
+        let Some(rest) = name.strip_prefix("toss.serve.window.") else { continue };
+        let Some((class, field)) = rest.split_once('.') else { continue };
+        if !FIELDS.contains(&field) {
+            continue;
+        }
+        let slot = match classes.iter_mut().find(|(c, _)| c == class) {
+            Some(s) => s,
+            None => {
+                classes.push((class.to_string(), Vec::new()));
+                classes.last_mut().expect("just pushed")
+            }
+        };
+        slot.1.push((field.to_string(), Value::Int(*level)));
+    }
+    Value::Object(
+        classes
+            .into_iter()
+            .map(|(c, fields)| (c, Value::Object(fields)))
+            .collect(),
+    )
 }
 
 /// Rebuild a [`toss_obs::metrics::MetricsSnapshot`] from the JSON that
@@ -618,6 +678,26 @@ fn cmd_serve(args: &Args) -> Result<(), String> {
     if let Some(ms) = parse_u64_flag(args, "drain-ms")? {
         cfg.drain_deadline = Duration::from_millis(ms.max(1));
     }
+    if let Some(n) = parse_u64_flag(args, "flight-capacity")? {
+        cfg.flight_capacity = n.max(1) as usize;
+    }
+    if let Some(path) = args.one("slow-log")? {
+        cfg.slow_query_log = Some(Path::new(path).to_path_buf());
+    }
+    if let Some(ms) = parse_u64_flag(args, "slow-threshold-ms")? {
+        cfg.slow_threshold = Duration::from_millis(ms);
+    }
+    if let Some(n) = parse_u64_flag(args, "slow-sample")? {
+        // 0 is meaningful: sample nothing but the always-kept slow/error
+        // records
+        cfg.slow_sample_every = n;
+    }
+    if let Some(ms) = parse_u64_flag(args, "window-ms")? {
+        cfg.window_bucket = Duration::from_millis(ms.max(1));
+    }
+    if let Some(n) = parse_u64_flag(args, "window-buckets")? {
+        cfg.window_buckets = n.max(2) as usize;
+    }
     let addr = args.one("addr")?.unwrap_or("127.0.0.1:7464");
     let server =
         Server::start(Arc::new(executor), addr, cfg).map_err(|e| format!("{addr}: {e}"))?;
@@ -653,6 +733,117 @@ fn cmd_serve(args: &Args) -> Result<(), String> {
         report.duration, report.drained, report.cancelled, report.forced_closes
     );
     persist_stats(args.required("db")?);
+    Ok(())
+}
+
+/// Nanoseconds → a fixed-width milliseconds column.
+fn fmt_ms(ns: u64) -> String {
+    format!("{:.2}", ns as f64 / 1e6)
+}
+
+/// Render one `top` refresh: a header line, the per-class SLO table,
+/// and (optionally) the newest flight-recorder entries.
+fn render_top(
+    addr: &str,
+    stats: &toss_serve::StatsReply,
+    recent: &[toss_obs::QueryRecord],
+) -> String {
+    use std::fmt::Write as _;
+    let mut out = String::new();
+    let _ = writeln!(
+        out,
+        "toss-serve {addr} — up {:.1}s, {} in flight, {} conn(s), \
+         flight {}/{} (lifetime {})",
+        stats.uptime_ms as f64 / 1e3,
+        stats.inflight,
+        stats.connections,
+        stats.flight_retained,
+        stats.flight_capacity,
+        stats.flight_recorded,
+    );
+    let _ = writeln!(
+        out,
+        "{:<12} {:>7} {:>6} {:>6} {:>10} {:>10} {:>10} {:>7} {:>7}  {:>9}",
+        "class", "req", "err", "shed", "p50 ms", "p95 ms", "p99 ms", "err%", "shed%", "window s"
+    );
+    for (class, w) in &stats.windows {
+        let _ = writeln!(
+            out,
+            "{:<12} {:>7} {:>6} {:>6} {:>10} {:>10} {:>10} {:>7.2} {:>7.2}  {:>9.1}",
+            class,
+            w.requests,
+            w.errors,
+            w.shed,
+            fmt_ms(w.p50_ns),
+            fmt_ms(w.p95_ns),
+            fmt_ms(w.p99_ns),
+            w.error_rate_bps as f64 / 100.0,
+            w.shed_rate_bps as f64 / 100.0,
+            w.window_ms as f64 / 1e3,
+        );
+    }
+    if !recent.is_empty() {
+        let _ = writeln!(out, "\nrecent queries (newest first):");
+        for r in recent {
+            let degraded = if r.degraded.is_empty() {
+                String::new()
+            } else {
+                format!("  degraded: {}", r.degraded.join("; "))
+            };
+            let cause = if r.cause.is_empty() {
+                String::new()
+            } else {
+                format!(" ({})", r.cause)
+            };
+            let _ = writeln!(
+                out,
+                "  q{:<8} {:<12} {:>9} ms  {:<5}{} {}{}",
+                r.query_id,
+                r.class,
+                fmt_ms(r.total_ns),
+                r.outcome.as_str(),
+                cause,
+                r.query,
+                degraded,
+            );
+        }
+    }
+    out
+}
+
+/// `toss-cli top` — poll a running server's `stats` (and `slow`) admin
+/// frames and render a refreshing per-class SLO dashboard. The screen
+/// is cleared between refreshes only when stdout is a terminal, so
+/// piped output stays a readable log.
+fn cmd_top(args: &Args) -> Result<(), String> {
+    use std::io::IsTerminal;
+    let addr = args.one("addr")?.unwrap_or("127.0.0.1:7464").to_string();
+    let interval = Duration::from_millis(
+        parse_u64_flag(args, "interval-ms")?.unwrap_or(1_000).max(50),
+    );
+    let iterations = parse_u64_flag(args, "iterations")?.unwrap_or(0);
+    let slow_n = parse_u64_flag(args, "slow")?.unwrap_or(5) as usize;
+    let mut client =
+        toss_serve::Client::connect(addr.as_str()).map_err(|e| format!("{addr}: {e}"))?;
+    let clear = std::io::stdout().is_terminal();
+    let mut tick = 0u64;
+    loop {
+        let stats = client.stats().map_err(|e| format!("{addr}: {e}"))?;
+        let recent = if slow_n > 0 {
+            client.slow(slow_n, None).map_err(|e| format!("{addr}: {e}"))?
+        } else {
+            Vec::new()
+        };
+        if clear {
+            print!("\x1b[2J\x1b[H");
+        }
+        print!("{}", render_top(&addr, &stats, &recent));
+        tick += 1;
+        if iterations > 0 && tick >= iterations {
+            break;
+        }
+        std::thread::sleep(interval);
+    }
     Ok(())
 }
 
@@ -900,6 +1091,73 @@ mod tests {
             seo_path.display()
         )))
         .expect("soft budget must not fail the query");
+    }
+
+    #[test]
+    fn stats_document_carries_the_stats_frame_window_schema() {
+        // publish one class's windowed gauges the way the server does,
+        // then check the persisted document groups them back into the
+        // live `stats`-frame shape
+        let snap = toss_obs::RollingWindow::new(Duration::from_secs(1), 5).snapshot();
+        snap.publish_gauges("toss.serve.window.interactive");
+        let doc = stats_document(&toss_obs::metrics::snapshot());
+        let v = toss_json::Value::parse(&doc).expect("stats document parses");
+        let w = v
+            .get("windows")
+            .and_then(|w| w.get("interactive"))
+            .expect("windows.interactive present");
+        for field in [
+            "requests", "errors", "shed", "p50_ns", "p95_ns", "p99_ns",
+            "error_rate_bps", "shed_rate_bps", "window_ms",
+        ] {
+            assert!(w.get(field).is_some(), "windows.interactive.{field} missing");
+        }
+        assert_eq!(w.get("window_ms").and_then(|x| x.as_i64()), Some(5_000));
+        // the classic snapshot sections survive the splice
+        assert!(v.get("counters").is_some());
+        assert!(v.get("gauges").is_some());
+        assert!(snapshot_from_json(&doc).is_ok(), "stats reader still parses it");
+    }
+
+    #[test]
+    fn top_polls_a_live_server_and_renders_every_class() {
+        let (db_path, seo_path) = store_and_seo("top");
+        let db = load_db(&db_path.display().to_string()).expect("open store");
+        let seo_json = std::fs::read_to_string(&seo_path).expect("read seo");
+        let seo = Arc::new(seo_from_json(&seo_json).expect("parse seo"));
+        let executor = Executor::new(db, seo).with_probe_metric(Arc::new(default_metric()));
+        let server = toss_serve::Server::start(
+            Arc::new(executor),
+            "127.0.0.1:0",
+            toss_serve::ServerConfig::default(),
+        )
+        .expect("start server");
+        let addr = server.local_addr().to_string();
+
+        // drive one query through the wire so the dashboard has data
+        let mut client = toss_serve::Client::connect(addr.as_str()).expect("connect");
+        let mut q = toss_serve::QueryRequest::new("dblp", "inproceedings");
+        q.eq.push(("author".into(), "Jeff Ullman".into()));
+        let reply = client.query(q).expect("query");
+        assert!(reply.query_id > 0, "replies carry the query id");
+
+        // the subcommand itself: one non-interactive refresh
+        run(&argv(&format!("top --addr {addr} --iterations 1 --slow 3")))
+            .expect("top --iterations 1");
+
+        // and the renderer shows every budget class plus the query we ran
+        let stats = client.stats().expect("stats");
+        let recent = client.slow(3, None).expect("slow");
+        let screen = render_top(&addr, &stats, &recent);
+        for class in ["best_effort", "interactive", "batch"] {
+            assert!(screen.contains(class), "missing class {class} in:\n{screen}");
+        }
+        assert!(
+            screen.contains(&format!("q{}", reply.query_id)),
+            "recent queries must show q{}:\n{screen}",
+            reply.query_id
+        );
+        server.shutdown();
     }
 
     #[test]

@@ -718,9 +718,29 @@ impl AdmissionController {
         governor: &QueryGovernor,
         f: impl FnOnce() -> TossResult<T>,
     ) -> TossResult<T> {
-        governor.check()?;
-        let _permit = self.admit()?;
-        isolate(f)
+        self.run_with_wait(governor, f).1
+    }
+
+    /// Like [`AdmissionController::run`], but also reports how long this
+    /// request queued for a slot (zero when rejected before admission) —
+    /// the per-request figure telemetry stamps into its flight-recorder
+    /// entry, complementing the aggregate `toss.governor.queue_wait_ns`
+    /// histogram.
+    pub fn run_with_wait<T>(
+        &self,
+        governor: &QueryGovernor,
+        f: impl FnOnce() -> TossResult<T>,
+    ) -> (Duration, TossResult<T>) {
+        if let Err(e) = governor.check() {
+            return (Duration::ZERO, Err(e));
+        }
+        let enqueued = Instant::now();
+        let permit = self.admit();
+        let waited = enqueued.elapsed();
+        match permit {
+            Ok(_permit) => (waited, isolate(f)),
+            Err(e) => (waited, Err(e)),
+        }
     }
 }
 
@@ -947,6 +967,40 @@ mod tests {
             before,
             hist.count()
         );
+    }
+
+    #[test]
+    fn accepted_queries_record_queue_wait() {
+        let hist = toss_obs::metrics::histogram("toss.governor.queue_wait_ns");
+        let before = hist.count();
+        let ctrl = AdmissionController::new(2, Duration::from_millis(50));
+        // an uncontended admit still observes its (tiny) queue wait
+        let p = ctrl.admit().unwrap();
+        assert_eq!(hist.count(), before + 1, "accepted path must observe wait");
+        drop(p);
+        // and the run_with_wait entry point reports the per-request wait
+        let g = QueryGovernor::unlimited();
+        let (wait, out) = ctrl.run_with_wait(&g, || Ok(7));
+        assert_eq!(out.unwrap(), 7);
+        assert!(wait < Duration::from_millis(50));
+        assert!(hist.count() >= before + 2);
+    }
+
+    #[test]
+    fn run_with_wait_reports_shed_wait() {
+        let ctrl = Arc::new(AdmissionController::new(1, Duration::from_millis(5)));
+        let p = ctrl.admit().unwrap();
+        let c2 = ctrl.clone();
+        let (wait, out) = thread::spawn(move || {
+            let g = QueryGovernor::unlimited();
+            let (w, r) = c2.run_with_wait(&g, || Ok(()));
+            (w, r)
+        })
+        .join()
+        .unwrap();
+        assert!(matches!(out, Err(TossError::Overloaded(_))));
+        assert!(wait >= Duration::from_millis(5), "shed after the ceiling");
+        drop(p);
     }
 
     #[test]

@@ -18,10 +18,17 @@
 //!   [`sink::JsonLinesSink`] (one JSON object per finished span, for
 //!   `--trace-out`). The "no-op sink" is the absence of any sink.
 //! * [`metrics`] — a global registry of named monotonic counters,
-//!   up/down gauges and log₂-bucketed histograms with Prometheus-text
-//!   and JSON exporters.
+//!   up/down gauges and log-linear-bucketed histograms with
+//!   Prometheus-text and JSON exporters.
 //! * [`explain`] — reassembles the span records of one query into a
 //!   human-readable EXPLAIN tree.
+//! * [`context`] — per-request [`QueryId`] propagation: the serving
+//!   layer sets the current query at ingress and every span collected
+//!   underneath is stamped with it.
+//! * [`flight`] — the flight recorder: a bounded ring of structured
+//!   [`QueryRecord`]s plus a sampling JSON-lines slow-query log.
+//! * [`window`] — rolling time-bucketed aggregation yielding windowed
+//!   p50/p95/p99, error-rate and shed-rate SLO gauges.
 //!
 //! Span and metric names are dot-separated, lowercase, and prefixed by
 //! subsystem (`toss.query.rewrite`, `xmldb.journal.append`,
@@ -31,16 +38,22 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod context;
 pub mod explain;
+pub mod flight;
 pub mod metrics;
 pub mod sink;
 mod span;
+pub mod window;
 
+pub use context::{current_query_id, set_current_query, QueryId, QueryIdGuard};
 pub use explain::{QueryTrace, TraceNode};
+pub use flight::{FlightRecorder, QueryOutcomeKind, QueryRecord, SlowQueryLog};
 pub use sink::{install_sink, install_sink_scoped, uninstall_sink, SinkScope, TraceSink};
 pub use span::{
     current_thread_id, record, span, tracing_enabled, FieldValue, SpanGuard, SpanRecord,
 };
+pub use window::{RollingWindow, WindowSnapshot};
 
 /// Append `s` to `out` as a JSON string literal (with quotes).
 pub(crate) fn push_json_str(out: &mut String, s: &str) {

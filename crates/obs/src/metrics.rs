@@ -1,4 +1,4 @@
-//! A global registry of named counters, gauges and log₂-bucketed
+//! A global registry of named counters, gauges and log-linear-bucketed
 //! histograms.
 //!
 //! Metrics are always on (unlike spans they are just atomic adds; there
@@ -11,10 +11,12 @@
 //! the lookup takes a read lock and hashes the name, the cached handle
 //! is a single atomic add.
 //!
-//! Histograms are log-scale: value `v` lands in bucket `⌊log₂ v⌋ + 1`
-//! (bucket 0 holds zeros), so 65 buckets cover the full `u64` range and
-//! quantile estimates are within a factor of 2 — the right trade for
-//! latency/size distributions spanning nanoseconds to seconds.
+//! Histograms are log-linear: values `0..=15` get exact buckets, and
+//! every octave above that is split into 4 sub-buckets (a shifted-index
+//! scheme in the HdrHistogram family), so 256 buckets cover the full
+//! `u64` range and quantile estimates are within 12.5% — tight enough
+//! that percentiles no longer snap to power-of-two midpoints, while a
+//! bucket index is still just a `leading_zeros` and a shift.
 
 use std::collections::BTreeMap;
 use std::sync::atomic::{AtomicU64, Ordering};
@@ -86,9 +88,14 @@ impl Gauge {
     }
 }
 
-const BUCKETS: usize = 65;
+/// Values below this get their own exact bucket (index == value).
+const EXACT: u64 = 16;
+/// log₂(sub-buckets per octave): 4 sub-buckets ⇒ ≤12.5% relative error.
+const SUB_BITS: u32 = 2;
+/// 16 exact buckets + 60 octaves (2⁴..2⁶³) × 4 sub-buckets.
+const BUCKETS: usize = 256;
 
-/// A log₂-bucketed histogram of `u64` observations.
+/// A log-linear-bucketed histogram of `u64` observations.
 pub struct Histogram {
     count: AtomicU64,
     sum: AtomicU64,
@@ -114,19 +121,36 @@ impl std::fmt::Debug for Histogram {
     }
 }
 
-/// Bucket index of a value: 0 for 0, else `⌊log₂ v⌋ + 1`.
+/// Bucket index of a value. Values `< EXACT` map to their own bucket;
+/// larger values land in sub-bucket `(v >> (⌊log₂ v⌋ − 2)) & 3` of
+/// their octave, giving 4 equal-width linear slices per power of two.
 fn bucket_of(v: u64) -> usize {
-    (u64::BITS - v.leading_zeros()) as usize
+    if v < EXACT {
+        v as usize
+    } else {
+        let octave = 63 - v.leading_zeros(); // ≥ 4
+        let sub = (v >> (octave - SUB_BITS)) & 3;
+        (EXACT as u32 + (octave - 4) * 4) as usize + sub as usize
+    }
 }
 
-/// Inclusive upper bound of bucket `i` (`0`, `1`, `3`, `7`, …).
+/// Inclusive lower bound of bucket `i`.
+fn bucket_lower(i: usize) -> u64 {
+    if i < EXACT as usize {
+        i as u64
+    } else {
+        let octave = 4 + ((i - EXACT as usize) / 4) as u32;
+        let sub = ((i - EXACT as usize) % 4) as u64;
+        (4 + sub) << (octave - SUB_BITS)
+    }
+}
+
+/// Inclusive upper bound of bucket `i` (`0`, `1`, … `15`, `19`, `23`, …).
 fn bucket_upper(i: usize) -> u64 {
-    if i == 0 {
-        0
-    } else if i >= 64 {
+    if i + 1 >= BUCKETS {
         u64::MAX
     } else {
-        (1u64 << i) - 1
+        bucket_lower(i + 1) - 1
     }
 }
 
@@ -169,7 +193,11 @@ impl Histogram {
         }
     }
 
-    fn reset(&self) {
+    /// Zero the histogram in place (used by [`MetricsRegistry::reset`]
+    /// and by rolling-window slots that recycle a histogram per time
+    /// bucket). Not atomic as a whole: concurrent observers may land in
+    /// either epoch.
+    pub fn reset(&self) {
         self.count.store(0, Ordering::Relaxed);
         self.sum.store(0, Ordering::Relaxed);
         for b in &self.buckets {
@@ -191,8 +219,9 @@ pub struct HistogramSnapshot {
 }
 
 impl HistogramSnapshot {
-    /// Estimate the `q`-quantile (0 ≤ q ≤ 1): the midpoint of the bucket
-    /// containing the rank, so within a factor of 2 of the true value.
+    /// Estimate the `q`-quantile (0 ≤ q ≤ 1): exact for observations
+    /// below 16, otherwise the midpoint of the log-linear bucket holding
+    /// the rank — within 12.5% of the true value.
     pub fn quantile(&self, q: f64) -> f64 {
         if self.count == 0 {
             return 0.0;
@@ -202,11 +231,11 @@ impl HistogramSnapshot {
         for &(upper, c) in &self.buckets {
             cumulative += c;
             if cumulative >= rank {
-                if upper == 0 {
-                    return 0.0;
+                let lower = bucket_lower(bucket_of(upper));
+                if lower == upper {
+                    return upper as f64; // exact bucket
                 }
-                let lower = (upper / 2) as f64; // previous power of two − ε
-                return (lower + upper as f64 + 1.0) / 2.0;
+                return (lower as f64 + upper as f64) / 2.0;
             }
         }
         self.buckets.last().map(|&(u, _)| u as f64).unwrap_or(0.0)
@@ -220,6 +249,11 @@ impl HistogramSnapshot {
     /// 95th-percentile estimate.
     pub fn p95(&self) -> f64 {
         self.quantile(0.95)
+    }
+
+    /// 99th-percentile estimate.
+    pub fn p99(&self) -> f64 {
+        self.quantile(0.99)
     }
 
     /// Mean of the observations (exact — from sum and count).
@@ -547,15 +581,30 @@ mod tests {
         assert_eq!(h.count(), 8);
         assert_eq!(h.sum(), 1_003_006);
         let s = h.snapshot();
-        // p50 falls in the [2,3] bucket (rank 4 of 8)
-        assert!(s.p50() >= 2.0 && s.p50() <= 3.5, "p50 = {}", s.p50());
-        // p95 (rank 8) falls in the bucket holding 1_000_000
+        // p50 (rank 4 of 8) is the exact-bucketed value 3
+        assert_eq!(s.p50(), 3.0, "p50 = {}", s.p50());
+        // p95 (rank 8) falls in the log-linear bucket holding 1_000_000:
+        // [917504, 1048575], so the estimate is within 12.5%
         assert!(
-            s.p95() >= 524_288.0 && s.p95() <= 1_048_576.0,
+            s.p95() >= 917_504.0 && s.p95() <= 1_048_575.0,
             "p95 = {}",
             s.p95()
         );
         assert!((s.mean() - 125_375.75).abs() < 1e-6);
+    }
+
+    #[test]
+    fn log_linear_quantiles_beat_factor_of_two() {
+        // A tight cluster around 49 µs used to report the power-of-two
+        // midpoint 49151.5 regardless of where in [32768, 65535] the
+        // mass sat; log-linear buckets pin it to within 12.5%.
+        let h = Histogram::default();
+        for _ in 0..1000 {
+            h.observe(49_000);
+        }
+        let p50 = h.snapshot().p50();
+        let err = (p50 - 49_000.0).abs() / 49_000.0;
+        assert!(err <= 0.125, "p50 = {p50}, relative error {err}");
     }
 
     #[test]
@@ -569,16 +618,31 @@ mod tests {
 
     #[test]
     fn bucket_maths() {
-        assert_eq!(bucket_of(0), 0);
-        assert_eq!(bucket_of(1), 1);
-        assert_eq!(bucket_of(2), 2);
-        assert_eq!(bucket_of(3), 2);
-        assert_eq!(bucket_of(4), 3);
-        assert_eq!(bucket_of(u64::MAX), 64);
-        assert_eq!(bucket_upper(0), 0);
-        assert_eq!(bucket_upper(1), 1);
-        assert_eq!(bucket_upper(2), 3);
-        assert_eq!(bucket_upper(64), u64::MAX);
+        // exact region: index == value
+        for v in 0..16u64 {
+            assert_eq!(bucket_of(v), v as usize);
+            assert_eq!(bucket_lower(v as usize), v);
+            assert_eq!(bucket_upper(v as usize), v);
+        }
+        // first log-linear octave: [16,19] [20,23] [24,27] [28,31]
+        assert_eq!(bucket_of(16), 16);
+        assert_eq!(bucket_of(19), 16);
+        assert_eq!(bucket_of(20), 17);
+        assert_eq!(bucket_of(31), 19);
+        assert_eq!(bucket_of(32), 20);
+        assert_eq!(bucket_upper(16), 19);
+        assert_eq!(bucket_upper(17), 23);
+        assert_eq!(bucket_lower(20), 32);
+        // top bucket saturates
+        assert_eq!(bucket_of(u64::MAX), BUCKETS - 1);
+        assert_eq!(bucket_upper(BUCKETS - 1), u64::MAX);
+        assert_eq!(bucket_lower(BUCKETS - 1), 7u64 << 61);
+        // every bucket is contiguous with its neighbour
+        for i in 0..BUCKETS - 1 {
+            assert_eq!(bucket_upper(i) + 1, bucket_lower(i + 1), "bucket {i}");
+            assert_eq!(bucket_of(bucket_lower(i)), i);
+            assert_eq!(bucket_of(bucket_upper(i)), i);
+        }
     }
 
     #[test]

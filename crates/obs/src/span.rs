@@ -170,15 +170,23 @@ pub fn span(name: &'static str) -> SpanGuard {
     }
     let start_ns = epoch().elapsed().as_nanos() as u64;
     let id = NEXT_SPAN_ID.fetch_add(1, Ordering::Relaxed);
+    // Stamp the current query id (set by the serving layer at ingress)
+    // on every collected span so a request's tree is joinable with its
+    // flight-recorder entry. Only paid on the enabled path.
+    let query = crate::context::current_query_id();
     STACK.with(|s| {
         let mut stack = s.borrow_mut();
         let parent = stack.last().map(|a| a.id);
+        let mut fields = Vec::new();
+        if let Some(q) = query {
+            fields.push(("query_id", FieldValue::Uint(q.0)));
+        }
         stack.push(ActiveSpan {
             id,
             parent,
             name,
             start_ns,
-            fields: Vec::new(),
+            fields,
         });
     });
     SpanGuard {

@@ -1,0 +1,123 @@
+//! Golden tests for the metrics exporters: the Prometheus text
+//! exposition and the JSON export are wire formats read by external
+//! scrapers and by `toss-cli stats`, so their exact shape is pinned
+//! here — a change to either is a breaking change and must show up as
+//! a deliberate golden update, not an incidental diff.
+
+use std::time::Duration;
+use toss_obs::metrics::MetricsRegistry;
+use toss_obs::{QueryOutcomeKind, RollingWindow};
+
+/// An isolated registry with one counter, one gauge and one histogram
+/// whose observations all land in exact (value < 16) buckets, so every
+/// number in the goldens is derivable by hand.
+fn golden_registry() -> MetricsRegistry {
+    let r = MetricsRegistry::default();
+    r.counter("golden.requests").add(2);
+    r.gauge("golden.inflight").set(-3);
+    let h = r.histogram("golden.latency_ns");
+    for v in [1, 3, 3, 9] {
+        h.observe(v);
+    }
+    r
+}
+
+#[test]
+fn prometheus_exposition_golden() {
+    let text = golden_registry().snapshot().to_prometheus();
+    let expected = "\
+# TYPE golden_requests counter
+golden_requests 2
+# TYPE golden_inflight gauge
+golden_inflight -3
+# TYPE golden_latency_ns histogram
+golden_latency_ns_bucket{le=\"1\"} 1
+golden_latency_ns_bucket{le=\"3\"} 3
+golden_latency_ns_bucket{le=\"9\"} 4
+golden_latency_ns_bucket{le=\"+Inf\"} 4
+golden_latency_ns_sum 16
+golden_latency_ns_count 4
+";
+    assert_eq!(text, expected);
+}
+
+#[test]
+fn json_export_golden() {
+    let text = golden_registry().snapshot().to_json();
+    let expected = "\
+{
+  \"counters\": {
+    \"golden.requests\": 2
+  },
+  \"gauges\": {
+    \"golden.inflight\": -3
+  },
+  \"histograms\": {
+    \"golden.latency_ns\": {\"count\": 4, \"sum\": 16, \"buckets\": [[1, 1], [3, 2], [9, 1]], \"p50\": 3, \"p95\": 9}
+  }
+}
+";
+    assert_eq!(text, expected);
+}
+
+/// Windowed SLO gauges flow through the same exporters: publishing a
+/// window snapshot must surface the full per-class schema in both the
+/// Prometheus text and the JSON document (this is what `slo`-dashboard
+/// scrapers and `toss-cli stats` read).
+#[test]
+fn windowed_gauges_flow_through_both_exporters() {
+    let w = RollingWindow::new(Duration::from_secs(1), 4);
+    for _ in 0..18 {
+        w.record(1_000, QueryOutcomeKind::Ok);
+    }
+    w.record(200_000, QueryOutcomeKind::Error);
+    w.record(1_000, QueryOutcomeKind::Shed);
+    w.snapshot().publish_gauges("toss.serve.window.golden_class");
+
+    let snap = toss_obs::metrics::snapshot();
+    for field in [
+        "requests",
+        "errors",
+        "shed",
+        "p50_ns",
+        "p95_ns",
+        "p99_ns",
+        "error_rate_bps",
+        "shed_rate_bps",
+        "window_ms",
+    ] {
+        assert!(
+            snap.gauge(&format!("toss.serve.window.golden_class.{field}")).is_some(),
+            "window gauge {field} missing from the registry snapshot"
+        );
+    }
+    assert_eq!(snap.gauge("toss.serve.window.golden_class.requests"), Some(20));
+    assert_eq!(snap.gauge("toss.serve.window.golden_class.errors"), Some(1));
+    assert_eq!(snap.gauge("toss.serve.window.golden_class.shed"), Some(1));
+    assert_eq!(
+        snap.gauge("toss.serve.window.golden_class.error_rate_bps"),
+        Some(500)
+    );
+    assert_eq!(snap.gauge("toss.serve.window.golden_class.window_ms"), Some(4_000));
+    // p99 rank lands on the one slow error: a log-linear bucket around
+    // 200µs, within the 12.5% quantile error bound
+    let p99 = snap
+        .gauge("toss.serve.window.golden_class.p99_ns")
+        .expect("p99 gauge");
+    assert!(
+        (175_000..=225_000).contains(&p99),
+        "p99 {p99} outside the log-linear error bound around 200µs"
+    );
+
+    // Prometheus text: names are sanitized to the exposition charset
+    let prom = snap.to_prometheus();
+    assert!(prom.contains("# TYPE toss_serve_window_golden_class_p95_ns gauge"));
+    assert!(prom.contains("toss_serve_window_golden_class_requests 20"));
+
+    // JSON document: gauges appear under their dotted names (the
+    // machine-readability of this document is pinned by the CLI's
+    // `stats_document` round-trip test, which parses it)
+    let json = snap.to_json();
+    assert!(json.contains("\"toss.serve.window.golden_class.requests\": 20"));
+    assert!(json.contains("\"toss.serve.window.golden_class.p99_ns\": "));
+}

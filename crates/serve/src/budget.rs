@@ -34,6 +34,14 @@ pub enum BudgetClass {
 }
 
 impl BudgetClass {
+    /// Every class, in shed-first order (telemetry iterates this to
+    /// keep one SLO window per class).
+    pub const ALL: [BudgetClass; 3] = [
+        BudgetClass::BestEffort,
+        BudgetClass::Interactive,
+        BudgetClass::Batch,
+    ];
+
     /// The wire string (`snake_case`).
     pub fn as_str(self) -> &'static str {
         match self {

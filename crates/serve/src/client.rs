@@ -5,14 +5,16 @@
 //! retryable (shed load, drain) — never budget or request errors, which
 //! would fail identically on every attempt.
 
+use crate::budget::BudgetClass;
 use crate::protocol::{
-    read_frame, write_frame, ErrorCode, FrameError, QueryRequest, Request,
-    DEFAULT_MAX_FRAME_BYTES,
+    read_frame, record_from_value, write_frame, ErrorCode, FrameError, QueryRequest,
+    Request, DEFAULT_MAX_FRAME_BYTES,
 };
 use std::io;
 use std::net::{TcpStream, ToSocketAddrs};
 use std::time::Duration;
 use toss_json::Value;
+use toss_obs::QueryRecord;
 
 /// A client-side failure.
 #[derive(Debug)]
@@ -78,6 +80,9 @@ impl ClientError {
 /// The parsed `ok` response to a `query` request.
 #[derive(Debug, Clone, PartialEq)]
 pub struct QueryReply {
+    /// The server-assigned query id — joins this reply to its
+    /// flight-recorder entry (`slow` frame) and trace spans.
+    pub query_id: u64,
     /// Total matching witness trees.
     pub answers: usize,
     /// How many serialized trees the response carries (≤ `max_results`).
@@ -90,6 +95,56 @@ pub struct QueryReply {
     pub results: Vec<String>,
     /// Server-side wall time in microseconds.
     pub server_us: u64,
+}
+
+/// One budget class's windowed SLO figures, as returned by the `stats`
+/// admin frame (mirrors the `toss.serve.window.<class>.*` gauges).
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct WindowStats {
+    /// Requests completed inside the window.
+    pub requests: u64,
+    /// Failed requests inside the window.
+    pub errors: u64,
+    /// Requests shed by admission control inside the window.
+    pub shed: u64,
+    /// Windowed median latency, nanoseconds.
+    pub p50_ns: u64,
+    /// Windowed p95 latency, nanoseconds.
+    pub p95_ns: u64,
+    /// Windowed p99 latency, nanoseconds.
+    pub p99_ns: u64,
+    /// Error rate in basis points (1/10000).
+    pub error_rate_bps: u64,
+    /// Shed rate in basis points (1/10000).
+    pub shed_rate_bps: u64,
+    /// The span the window covers, milliseconds.
+    pub window_ms: u64,
+}
+
+/// The parsed `stats` admin response.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct StatsReply {
+    /// Server uptime, milliseconds.
+    pub uptime_ms: u64,
+    /// Queries executing right now.
+    pub inflight: u64,
+    /// Connections currently open.
+    pub connections: u64,
+    /// Per-class windows, in the server's (shed-first) class order.
+    pub windows: Vec<(String, WindowStats)>,
+    /// Flight-recorder entries pushed since start.
+    pub flight_recorded: u64,
+    /// Flight-recorder entries currently retained.
+    pub flight_retained: u64,
+    /// Flight-recorder ring capacity.
+    pub flight_capacity: u64,
+}
+
+impl StatsReply {
+    /// Look up one class's window by wire name (`interactive`, …).
+    pub fn window(&self, class: &str) -> Option<&WindowStats> {
+        self.windows.iter().find(|(c, _)| c == class).map(|(_, w)| w)
+    }
 }
 
 /// A connected client. One request/response at a time per client; open
@@ -184,6 +239,63 @@ impl Client {
             .ok_or_else(|| ClientError::Protocol("metrics response lacks text".into()))
     }
 
+    /// Fetch the structured admin snapshot: per-class windowed SLO
+    /// figures, in-flight/connection gauges, flight-recorder occupancy.
+    pub fn stats(&mut self) -> Result<StatsReply, ClientError> {
+        let v = self.call(&Request::Stats)?;
+        let u = |val: &Value, key: &str| {
+            val.get(key).and_then(Value::as_i64).unwrap_or(0).max(0) as u64
+        };
+        let windows = match v.get("windows") {
+            Some(Value::Object(fields)) => fields
+                .iter()
+                .map(|(name, w)| {
+                    (
+                        name.clone(),
+                        WindowStats {
+                            requests: u(w, "requests"),
+                            errors: u(w, "errors"),
+                            shed: u(w, "shed"),
+                            p50_ns: u(w, "p50_ns"),
+                            p95_ns: u(w, "p95_ns"),
+                            p99_ns: u(w, "p99_ns"),
+                            error_rate_bps: u(w, "error_rate_bps"),
+                            shed_rate_bps: u(w, "shed_rate_bps"),
+                            window_ms: u(w, "window_ms"),
+                        },
+                    )
+                })
+                .collect(),
+            _ => Vec::new(),
+        };
+        let flight = v.get("flight");
+        let fu = |key: &str| flight.map(|f| u(f, key)).unwrap_or(0);
+        Ok(StatsReply {
+            uptime_ms: u(&v, "uptime_ms"),
+            inflight: u(&v, "inflight"),
+            connections: u(&v, "connections"),
+            windows,
+            flight_recorded: fu("recorded"),
+            flight_retained: fu("retained"),
+            flight_capacity: fu("capacity"),
+        })
+    }
+
+    /// Fetch recent flight-recorder entries, newest first, optionally
+    /// filtered to one budget class.
+    pub fn slow(
+        &mut self,
+        limit: usize,
+        class: Option<BudgetClass>,
+    ) -> Result<Vec<QueryRecord>, ClientError> {
+        let v = self.call(&Request::Slow { limit, class })?;
+        let entries = v
+            .get("queries")
+            .and_then(Value::as_array)
+            .ok_or_else(|| ClientError::Protocol("slow response lacks queries".into()))?;
+        Ok(entries.iter().filter_map(record_from_value).collect())
+    }
+
     /// Request graceful server shutdown (only honored when the server
     /// enables the verb).
     pub fn shutdown_server(&mut self) -> Result<(), ClientError> {
@@ -204,6 +316,11 @@ impl Client {
             })
             .unwrap_or_default();
         Ok(QueryReply {
+            query_id: v
+                .get("query_id")
+                .and_then(Value::as_i64)
+                .unwrap_or(0)
+                .max(0) as u64,
             answers: v
                 .get("answers")
                 .and_then(Value::as_i64)

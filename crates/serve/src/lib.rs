@@ -36,6 +36,6 @@ pub mod protocol;
 pub mod server;
 
 pub use budget::BudgetClass;
-pub use client::{Client, ClientError, QueryReply, RetryPolicy};
+pub use client::{Client, ClientError, QueryReply, RetryPolicy, StatsReply, WindowStats};
 pub use protocol::{ErrorCode, FrameError, QueryRequest, Request};
 pub use server::{DrainReport, Server, ServerConfig, ShutdownHandle};

@@ -266,6 +266,18 @@ pub enum Request {
     Ping,
     /// Prometheus-text export of the process metrics registry.
     Metrics,
+    /// Structured admin snapshot: per-budget-class windowed SLO figures
+    /// (p50/p95/p99, error/shed rates), in-flight and connection gauges,
+    /// flight-recorder occupancy. What `toss-cli top` polls.
+    Stats,
+    /// Recent flight-recorder entries, newest first: per-query phase
+    /// timings, plan, budget consumption and outcome.
+    Slow {
+        /// Maximum entries to return.
+        limit: usize,
+        /// Only entries of this budget class, when set.
+        class: Option<BudgetClass>,
+    },
     /// Begin graceful shutdown (only honored when the server was
     /// started with the shutdown verb enabled).
     Shutdown,
@@ -320,6 +332,24 @@ impl Request {
         match verb.as_str() {
             "ping" => Ok(Request::Ping),
             "metrics" => Ok(Request::Metrics),
+            "stats" => Ok(Request::Stats),
+            "slow" => {
+                let limit = u64_field(&v, "limit")?
+                    .map(|n| n as usize)
+                    .unwrap_or(20)
+                    .max(1);
+                let class = match v.get("class") {
+                    None | Some(Value::Null) => None,
+                    Some(c) => {
+                        let s = c.as_str().ok_or("field `class` must be a string")?;
+                        Some(
+                            BudgetClass::parse(s)
+                                .ok_or_else(|| format!("unknown budget class `{s}`"))?,
+                        )
+                    }
+                };
+                Ok(Request::Slow { limit, class })
+            }
             "shutdown" => Ok(Request::Shutdown),
             "query" => {
                 let class = match v.get("class") {
@@ -376,6 +406,17 @@ impl Request {
         let fields: Vec<(String, Value)> = match self {
             Request::Ping => vec![("verb".into(), Value::Str("ping".into()))],
             Request::Metrics => vec![("verb".into(), Value::Str("metrics".into()))],
+            Request::Stats => vec![("verb".into(), Value::Str("stats".into()))],
+            Request::Slow { limit, class } => {
+                let mut f = vec![
+                    ("verb".into(), Value::Str("slow".into())),
+                    ("limit".into(), Value::Int(*limit as i64)),
+                ];
+                if let Some(c) = class {
+                    f.push(("class".into(), Value::Str(c.as_str().into())));
+                }
+                f
+            }
             Request::Shutdown => vec![("verb".into(), Value::Str("shutdown".into()))],
             Request::Query(q) => {
                 let mut f: Vec<(String, Value)> = vec![
@@ -412,6 +453,72 @@ impl Request {
         };
         Value::Object(fields).to_json()
     }
+}
+
+/// Encode a flight-recorder entry as the `slow`-frame wire object.
+pub fn record_to_value(r: &toss_obs::QueryRecord) -> Value {
+    Value::Object(vec![
+        ("query_id".into(), Value::Int(r.query_id as i64)),
+        ("class".into(), Value::Str(r.class.clone())),
+        ("query".into(), Value::Str(r.query.clone())),
+        ("plan".into(), Value::Str(r.plan.clone())),
+        ("outcome".into(), Value::Str(r.outcome.as_str().into())),
+        ("cause".into(), Value::Str(r.cause.clone())),
+        ("total_ns".into(), Value::Int(r.total_ns as i64)),
+        ("queue_wait_ns".into(), Value::Int(r.queue_wait_ns as i64)),
+        ("rewrite_ns".into(), Value::Int(r.rewrite_ns as i64)),
+        ("execute_ns".into(), Value::Int(r.execute_ns as i64)),
+        ("convert_ns".into(), Value::Int(r.convert_ns as i64)),
+        ("terms_used".into(), Value::Int(r.terms_used as i64)),
+        ("docs_scanned".into(), Value::Int(r.docs_scanned as i64)),
+        ("memory_bytes".into(), Value::Int(r.memory_bytes as i64)),
+        ("answers".into(), Value::Int(r.answers as i64)),
+        (
+            "degraded".into(),
+            Value::Array(r.degraded.iter().map(|d| Value::Str(d.clone())).collect()),
+        ),
+    ])
+}
+
+/// Decode a `slow`-frame wire object back into a flight-recorder entry
+/// (the client side of [`record_to_value`]).
+pub fn record_from_value(v: &Value) -> Option<toss_obs::QueryRecord> {
+    let u = |key: &str| v.get(key).and_then(Value::as_i64).unwrap_or(0).max(0) as u64;
+    let s = |key: &str| {
+        v.get(key)
+            .and_then(Value::as_str)
+            .unwrap_or("")
+            .to_string()
+    };
+    Some(toss_obs::QueryRecord {
+        query_id: v.get("query_id").and_then(Value::as_i64)?.max(0) as u64,
+        class: s("class"),
+        query: s("query"),
+        plan: s("plan"),
+        outcome: toss_obs::QueryOutcomeKind::parse(
+            v.get("outcome").and_then(Value::as_str).unwrap_or(""),
+        )?,
+        cause: s("cause"),
+        total_ns: u("total_ns"),
+        queue_wait_ns: u("queue_wait_ns"),
+        rewrite_ns: u("rewrite_ns"),
+        execute_ns: u("execute_ns"),
+        convert_ns: u("convert_ns"),
+        terms_used: u("terms_used"),
+        docs_scanned: u("docs_scanned"),
+        memory_bytes: u("memory_bytes"),
+        answers: u("answers"),
+        degraded: v
+            .get("degraded")
+            .and_then(Value::as_array)
+            .map(|a| {
+                a.iter()
+                    .filter_map(Value::as_str)
+                    .map(str::to_string)
+                    .collect()
+            })
+            .unwrap_or_default(),
+    })
 }
 
 /// Build an `ok` response payload from extra fields.
@@ -549,10 +656,69 @@ mod tests {
         let req = Request::Query(Box::new(q));
         let payload = req.to_payload();
         assert_eq!(Request::parse(payload.as_bytes()).unwrap(), req);
-        for simple in [Request::Ping, Request::Metrics, Request::Shutdown] {
+        for simple in [
+            Request::Ping,
+            Request::Metrics,
+            Request::Stats,
+            Request::Shutdown,
+            Request::Slow {
+                limit: 5,
+                class: None,
+            },
+            Request::Slow {
+                limit: 50,
+                class: Some(BudgetClass::Batch),
+            },
+        ] {
             let p = simple.to_payload();
             assert_eq!(Request::parse(p.as_bytes()).unwrap(), simple);
         }
+        // `slow` defaults its limit and rejects unknown classes
+        assert_eq!(
+            Request::parse(b"{\"verb\":\"slow\"}").unwrap(),
+            Request::Slow {
+                limit: 20,
+                class: None
+            }
+        );
+        assert!(Request::parse(b"{\"verb\":\"slow\",\"class\":\"warp\"}").is_err());
+    }
+
+    #[test]
+    fn flight_record_wire_round_trip() {
+        let rec = toss_obs::QueryRecord {
+            query_id: 99,
+            class: "batch".into(),
+            query: "//inproceedings[author=\"A\"]".into(),
+            plan: "index_probe(author)".into(),
+            outcome: toss_obs::QueryOutcomeKind::Error,
+            cause: "budget_exceeded".into(),
+            total_ns: 123_456,
+            queue_wait_ns: 789,
+            rewrite_ns: 10,
+            execute_ns: 20,
+            convert_ns: 30,
+            terms_used: 4,
+            docs_scanned: 5,
+            memory_bytes: 6,
+            answers: 0,
+            degraded: vec!["terms clamped".into()],
+        };
+        let v = record_to_value(&rec);
+        let back = record_from_value(&v).unwrap();
+        assert_eq!(back.query_id, rec.query_id);
+        assert_eq!(back.class, rec.class);
+        assert_eq!(back.plan, rec.plan);
+        assert_eq!(back.outcome, rec.outcome);
+        assert_eq!(back.total_ns, rec.total_ns);
+        assert_eq!(back.queue_wait_ns, rec.queue_wait_ns);
+        assert_eq!(back.degraded, rec.degraded);
+        // a record without a parseable outcome is rejected
+        assert!(record_from_value(&Value::Object(vec![(
+            "query_id".into(),
+            Value::Int(1)
+        )]))
+        .is_none());
     }
 
     #[test]

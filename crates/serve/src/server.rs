@@ -31,18 +31,24 @@
 
 use crate::budget::BudgetClass;
 use crate::protocol::{
-    error_code_of, error_payload, ok_payload, read_frame, write_frame, ErrorCode,
-    FrameError, QueryRequest, Request, DEFAULT_MAX_FRAME_BYTES,
+    error_code_of, error_payload, ok_payload, read_frame, record_to_value, write_frame,
+    ErrorCode, FrameError, QueryRequest, Request, DEFAULT_MAX_FRAME_BYTES,
 };
 use std::collections::HashMap;
 use std::io;
 use std::net::{Shutdown, SocketAddr, TcpListener, TcpStream, ToSocketAddrs};
+use std::path::PathBuf;
 use std::sync::atomic::{AtomicBool, AtomicU64, AtomicU8, AtomicUsize, Ordering};
 use std::sync::{Arc, Condvar, Mutex};
 use std::thread;
 use std::time::{Duration, Instant};
+use toss_core::executor::QueryOutcome;
 use toss_core::{AdmissionController, CancelToken, Executor, QueryGovernor};
 use toss_json::Value;
+use toss_obs::{
+    FlightRecorder, QueryId, QueryOutcomeKind, QueryRecord, RollingWindow, SlowQueryLog,
+    WindowSnapshot,
+};
 use toss_tree::serialize::{tree_to_xml, Style};
 
 /// Tunables for a [`Server`]. The defaults are sized for a small
@@ -70,6 +76,22 @@ pub struct ServerConfig {
     /// peer should not be able to stop the server unless deployment
     /// explicitly wires that up).
     pub allow_shutdown_verb: bool,
+    /// Flight-recorder capacity: how many completed queries the `slow`
+    /// admin frame can look back over.
+    pub flight_capacity: usize,
+    /// Slow-query JSON-lines log path; `None` disables the log.
+    pub slow_query_log: Option<PathBuf>,
+    /// Queries slower than this (or shed/failed/degraded ones) are
+    /// always written to the slow-query log.
+    pub slow_threshold: Duration,
+    /// Additionally sample 1 in N healthy fast queries into the log
+    /// (0 = only slow/failed ones), keeping log volume bounded.
+    pub slow_sample_every: u64,
+    /// Length of one SLO window bucket.
+    pub window_bucket: Duration,
+    /// Number of window buckets (windowed gauges cover
+    /// `window_bucket × window_buckets` of trailing traffic).
+    pub window_buckets: usize,
 }
 
 impl Default for ServerConfig {
@@ -83,6 +105,12 @@ impl Default for ServerConfig {
             drain_deadline: Duration::from_secs(5),
             max_frame_bytes: DEFAULT_MAX_FRAME_BYTES,
             allow_shutdown_verb: false,
+            flight_capacity: 512,
+            slow_query_log: None,
+            slow_threshold: Duration::from_millis(250),
+            slow_sample_every: 128,
+            window_bucket: Duration::from_secs(1),
+            window_buckets: 10,
         }
     }
 }
@@ -126,9 +154,35 @@ struct Shared {
     /// the drain loop and `wait_for_shutdown` sleep on it.
     change: Condvar,
     change_lock: Mutex<()>,
+    started: Instant,
+    /// Ring of the most recent completed queries (the `slow` frame).
+    flight: FlightRecorder,
+    /// Optional JSON-lines log of slow/failed (+ sampled) queries.
+    slow_log: Option<SlowQueryLog>,
+    /// One rolling SLO window per budget class, in `BudgetClass::ALL`
+    /// order.
+    windows: Vec<(BudgetClass, RollingWindow)>,
 }
 
 impl Shared {
+    fn window_for(&self, class: BudgetClass) -> &RollingWindow {
+        // ALL covers every variant, so the lookup always succeeds.
+        &self.windows.iter().find(|(c, _)| *c == class).unwrap().1
+    }
+
+    /// Snapshot every class window, refresh its registry gauges
+    /// (`toss.serve.window.<class>.*`), and return the snapshots.
+    fn publish_windows(&self) -> Vec<(BudgetClass, WindowSnapshot)> {
+        self.windows
+            .iter()
+            .map(|(class, w)| {
+                let snap = w.snapshot();
+                snap.publish_gauges(&format!("toss.serve.window.{}", class.as_str()));
+                (*class, snap)
+            })
+            .collect()
+    }
+
     fn state(&self) -> u8 {
         self.state.load(Ordering::Acquire)
     }
@@ -210,7 +264,22 @@ impl Server {
         listener.set_nonblocking(true)?;
         let admission =
             AdmissionController::new(cfg.max_concurrent_queries, cfg.max_queue_wait);
+        let slow_log = match &cfg.slow_query_log {
+            Some(path) => Some(SlowQueryLog::create(
+                path,
+                cfg.slow_threshold.as_nanos().min(u64::MAX as u128) as u64,
+                cfg.slow_sample_every,
+            )?),
+            None => None,
+        };
+        let windows = BudgetClass::ALL
+            .iter()
+            .map(|c| (*c, RollingWindow::new(cfg.window_bucket, cfg.window_buckets)))
+            .collect();
         let shared = Arc::new(Shared {
+            flight: FlightRecorder::new(cfg.flight_capacity),
+            slow_log,
+            windows,
             cfg,
             executor,
             admission,
@@ -221,7 +290,11 @@ impl Server {
             inflight: AtomicUsize::new(0),
             change: Condvar::new(),
             change_lock: Mutex::new(()),
+            started: Instant::now(),
         });
+        // Publish the windowed gauges (as zeros) up front so scrapes of
+        // an idle server already see the full gauge set.
+        shared.publish_windows();
         let accept_shared = shared.clone();
         let accept_thread = thread::Builder::new()
             .name("toss-serve-accept".into())
@@ -510,10 +583,16 @@ fn handle_payload(shared: &Arc<Shared>, entry: &Arc<ConnEntry>, payload: &[u8]) 
             "verb".into(),
             Value::Str("ping".into()),
         )]),
-        Request::Metrics => ok_payload(vec![(
-            "metrics".into(),
-            Value::Str(toss_obs::metrics::snapshot().to_prometheus()),
-        )]),
+        Request::Metrics => {
+            // refresh windowed gauges so the export is current
+            shared.publish_windows();
+            ok_payload(vec![(
+                "metrics".into(),
+                Value::Str(toss_obs::metrics::snapshot().to_prometheus()),
+            )])
+        }
+        Request::Stats => stats_payload(shared),
+        Request::Slow { limit, class } => slow_payload(shared, limit, class),
         Request::Shutdown => {
             if shared.cfg.allow_shutdown_verb {
                 shared.shutdown_requested.store(true, Ordering::Release);
@@ -531,9 +610,89 @@ fn handle_payload(shared: &Arc<Shared>, entry: &Arc<ConnEntry>, payload: &[u8]) 
     }
 }
 
+/// Stamp one finished query into the telemetry pipeline: the flight
+/// recorder, the slow-query log, and the class's SLO window (whose
+/// gauges are refreshed in the same breath).
+#[allow(clippy::too_many_arguments)]
+fn stamp_query(
+    shared: &Shared,
+    qid: QueryId,
+    q: &QueryRequest,
+    total: Duration,
+    queue_wait: Duration,
+    gov: Option<&QueryGovernor>,
+    out: Option<&QueryOutcome>,
+    outcome: QueryOutcomeKind,
+    cause: &str,
+) {
+    let total_ns = total.as_nanos().min(u64::MAX as u128) as u64;
+    let mut degraded = Vec::new();
+    if let Some(d) = out.and_then(|o| o.degradation.as_ref()) {
+        degraded.push(d.to_string());
+    } else if let Some(d) = gov.and_then(|g| g.degradation()) {
+        degraded.push(d.to_string());
+    }
+    let rec = QueryRecord {
+        query_id: qid.0,
+        class: q.class.as_str().to_string(),
+        query: match out {
+            Some(o) => o.xpath.clone(),
+            None => format!("{}//{}", q.collection, q.root),
+        },
+        plan: out
+            .and_then(|o| o.plan.as_ref())
+            .map(|p| p.to_string())
+            .unwrap_or_default(),
+        outcome,
+        cause: cause.to_string(),
+        total_ns,
+        queue_wait_ns: queue_wait.as_nanos().min(u64::MAX as u128) as u64,
+        rewrite_ns: out
+            .map(|o| o.rewrite_time().as_nanos() as u64)
+            .unwrap_or(0),
+        execute_ns: out
+            .map(|o| o.execute_time().as_nanos() as u64)
+            .unwrap_or(0),
+        convert_ns: out
+            .map(|o| o.convert_time().as_nanos() as u64)
+            .unwrap_or(0),
+        terms_used: gov.map(|g| g.terms_used()).unwrap_or(0),
+        docs_scanned: gov.map(|g| g.docs_scanned()).unwrap_or(0),
+        memory_bytes: gov.map(|g| g.memory_used()).unwrap_or(0),
+        answers: out.map(|o| o.forest.len() as u64).unwrap_or(0),
+        degraded,
+    };
+    if let Some(log) = &shared.slow_log {
+        log.offer(&rec);
+    }
+    shared.flight.record(rec);
+    let w = shared.window_for(q.class);
+    w.record(total_ns, outcome);
+    w.snapshot()
+        .publish_gauges(&format!("toss.serve.window.{}", q.class.as_str()));
+}
+
 fn handle_query(shared: &Arc<Shared>, entry: &Arc<ConnEntry>, q: &QueryRequest) -> String {
+    // Ingress: every query request gets a process-unique id, set as the
+    // thread's current query so every span underneath (admission,
+    // planner, executor, xmldb) is stamped with it.
+    let qid = QueryId::next();
+    let _ctx = toss_obs::set_current_query(qid);
+    let started = Instant::now();
+
     if shared.state() != STATE_RUNNING {
         toss_obs::metrics::counter("toss.serve.errors.shutting_down").inc();
+        stamp_query(
+            shared,
+            qid,
+            q,
+            started.elapsed(),
+            Duration::ZERO,
+            None,
+            None,
+            QueryOutcomeKind::Error,
+            ErrorCode::ShuttingDown.as_str(),
+        );
         return error_payload(
             ErrorCode::ShuttingDown,
             "server is draining",
@@ -544,6 +703,17 @@ fn handle_query(shared: &Arc<Shared>, entry: &Arc<ConnEntry>, q: &QueryRequest) 
         Ok(x) => x,
         Err(e) => {
             toss_obs::metrics::counter("toss.serve.errors.bad_request").inc();
+            stamp_query(
+                shared,
+                qid,
+                q,
+                started.elapsed(),
+                Duration::ZERO,
+                None,
+                None,
+                QueryOutcomeKind::Error,
+                ErrorCode::BadRequest.as_str(),
+            );
             return error_payload(ErrorCode::BadRequest, &e.to_string(), None);
         }
     };
@@ -556,11 +726,10 @@ fn handle_query(shared: &Arc<Shared>, entry: &Arc<ConnEntry>, q: &QueryRequest) 
     shared.inflight.fetch_add(1, Ordering::AcqRel);
     toss_obs::metrics::gauge("toss.serve.inflight").inc();
 
-    let started = Instant::now();
     let executor = shared.executor.clone();
-    let result = shared
+    let (queue_wait, result) = shared
         .admission
-        .run(&gov, || executor.select_governed(&query, mode, &gov));
+        .run_with_wait(&gov, || executor.select_governed(&query, mode, &gov));
     let elapsed = started.elapsed();
 
     shared.inflight.fetch_sub(1, Ordering::AcqRel);
@@ -571,6 +740,17 @@ fn handle_query(shared: &Arc<Shared>, entry: &Arc<ConnEntry>, q: &QueryRequest) 
 
     match result {
         Ok(out) => {
+            stamp_query(
+                shared,
+                qid,
+                q,
+                elapsed,
+                queue_wait,
+                Some(&gov),
+                Some(&out),
+                QueryOutcomeKind::Ok,
+                "",
+            );
             let results: Vec<Value> = out
                 .forest
                 .iter()
@@ -578,6 +758,7 @@ fn handle_query(shared: &Arc<Shared>, entry: &Arc<ConnEntry>, q: &QueryRequest) 
                 .map(|t| Value::Str(tree_to_xml(t, Style::Compact)))
                 .collect();
             ok_payload(vec![
+                ("query_id".into(), Value::Int(qid.0 as i64)),
                 ("answers".into(), Value::Int(out.forest.len() as i64)),
                 ("returned".into(), Value::Int(results.len() as i64)),
                 ("xpath".into(), Value::Str(out.xpath.clone())),
@@ -602,6 +783,21 @@ fn handle_query(shared: &Arc<Shared>, entry: &Arc<ConnEntry>, q: &QueryRequest) 
                 _ => "toss.serve.errors.bad_request",
             })
             .inc();
+            stamp_query(
+                shared,
+                qid,
+                q,
+                elapsed,
+                queue_wait,
+                Some(&gov),
+                None,
+                if code == ErrorCode::Overloaded {
+                    QueryOutcomeKind::Shed
+                } else {
+                    QueryOutcomeKind::Error
+                },
+                code.as_str(),
+            );
             let retry = match code {
                 ErrorCode::Overloaded => Some(shared.retry_after_ms()),
                 // cancelled-by-drain: the peer should come back once a
@@ -614,6 +810,87 @@ fn handle_query(shared: &Arc<Shared>, entry: &Arc<ConnEntry>, q: &QueryRequest) 
             error_payload(code, &e.to_string(), retry)
         }
     }
+}
+
+/// Build one class window's wire object for the `stats` frame.
+fn window_value(s: &WindowSnapshot) -> Value {
+    Value::Object(vec![
+        ("requests".into(), Value::Int(s.requests as i64)),
+        ("errors".into(), Value::Int(s.errors as i64)),
+        ("shed".into(), Value::Int(s.shed as i64)),
+        ("p50_ns".into(), Value::Int(s.p50_ns as i64)),
+        ("p95_ns".into(), Value::Int(s.p95_ns as i64)),
+        ("p99_ns".into(), Value::Int(s.p99_ns as i64)),
+        (
+            "error_rate_bps".into(),
+            Value::Int((s.error_rate() * 10_000.0).round() as i64),
+        ),
+        (
+            "shed_rate_bps".into(),
+            Value::Int((s.shed_rate() * 10_000.0).round() as i64),
+        ),
+        ("window_ms".into(), Value::Int(s.window.as_millis() as i64)),
+    ])
+}
+
+/// The `stats` admin frame: per-class windowed SLO figures plus process
+/// gauges, in one structured response (`toss-cli top` polls this).
+fn stats_payload(shared: &Arc<Shared>) -> String {
+    let windows = shared.publish_windows();
+    let window_fields: Vec<(String, Value)> = windows
+        .iter()
+        .map(|(class, s)| (class.as_str().to_string(), window_value(s)))
+        .collect();
+    ok_payload(vec![
+        (
+            "uptime_ms".into(),
+            Value::Int(shared.started.elapsed().as_millis() as i64),
+        ),
+        (
+            "inflight".into(),
+            Value::Int(shared.inflight.load(Ordering::Acquire) as i64),
+        ),
+        (
+            "connections".into(),
+            Value::Int(shared.conn_count() as i64),
+        ),
+        ("windows".into(), Value::Object(window_fields)),
+        (
+            "flight".into(),
+            Value::Object(vec![
+                (
+                    "recorded".into(),
+                    Value::Int(shared.flight.recorded() as i64),
+                ),
+                ("retained".into(), Value::Int(shared.flight.len() as i64)),
+                (
+                    "capacity".into(),
+                    Value::Int(shared.flight.capacity() as i64),
+                ),
+            ]),
+        ),
+    ])
+}
+
+/// The `slow` admin frame: recent flight-recorder entries, newest
+/// first, optionally filtered to one budget class.
+fn slow_payload(shared: &Arc<Shared>, limit: usize, class: Option<BudgetClass>) -> String {
+    // With a class filter, look back over the whole ring so the limit
+    // counts *matching* entries, not scanned ones.
+    let lookback = if class.is_some() {
+        shared.flight.capacity()
+    } else {
+        limit
+    };
+    let entries: Vec<Value> = shared
+        .flight
+        .recent(lookback)
+        .into_iter()
+        .filter(|r| class.is_none_or(|c| r.class == c.as_str()))
+        .take(limit)
+        .map(|r| record_to_value(&r))
+        .collect();
+    ok_payload(vec![("queries".into(), Value::Array(entries))])
 }
 
 /// Convenience: build the default budget-class table description used

@@ -24,6 +24,8 @@ if cargo clippy --version >/dev/null 2>&1; then
     cargo clippy -p toss-obs -p toss-core -p toss-similarity -p toss-ontology --all-targets -- -D warnings
     echo "==> cargo clippy -p toss-serve --all-targets -- -D warnings"
     cargo clippy -p toss-serve --all-targets -- -D warnings
+    echo "==> cargo clippy -p toss-cli -p toss-bench --all-targets -- -D warnings"
+    cargo clippy -p toss-cli -p toss-bench --all-targets -- -D warnings
 else
     echo "==> clippy not installed; skipping lint step"
 fi
@@ -43,6 +45,19 @@ echo "==> serving-layer load smoke (BENCH_serve.json)"
 cargo run --release -p toss-bench --bin bench_serve -- --quick
 test -s BENCH_serve.json
 
+echo "==> observability bench smoke (BENCH_observability.json)"
+# asserts the per-request telemetry (flight recorder + windowed SLOs)
+# stays within the documented ≤8% overhead vs the no-op sink
+cargo run --release -p toss-bench --bin bench_obs -- --quick
+test -s BENCH_observability.json
+python3 - <<'PY'
+import json
+r = json.load(open("BENCH_observability.json"))
+pct = r["throughput"]["flight_overhead_pct"]
+assert pct <= 8.0, f"flight-recorder overhead {pct:.2f}% exceeds the 8% budget"
+print(f"flight-recorder overhead {pct:.2f}% (budget 8%)")
+PY
+
 echo "==> toss-cli stats smoke test"
 SMOKE=$(mktemp -d)
 trap 'rm -rf "$SMOKE"' EXIT
@@ -53,5 +68,48 @@ CLI=target/release/toss-cli
 "$CLI" load --db "$SMOKE/store.json" --collection dblp "$SMOKE/doc.xml" >/dev/null
 "$CLI" stats --db "$SMOKE/store.json" | grep -q "^xmldb_journal_appends"
 "$CLI" stats --db "$SMOKE/store.json" --json | grep -q '"xmldb.journal.appends"'
+"$CLI" stats --db "$SMOKE/store.json" --json | grep -q '"windows"'
+
+echo "==> flight recorder + toss-cli top smoke test"
+# a live server with a slow-query log, one query over the wire, then
+# one non-interactive `top` refresh against it
+"$CLI" build-seo --db "$SMOKE/store.json" --epsilon 1 --out "$SMOKE/seo.json" >/dev/null
+mkfifo "$SMOKE/serve-stdin"
+"$CLI" serve --db "$SMOKE/store.json" --seo "$SMOKE/seo.json" \
+    --addr 127.0.0.1:7465 --slow-log "$SMOKE/slow.jsonl" \
+    --slow-threshold-ms 0 < "$SMOKE/serve-stdin" > "$SMOKE/serve.log" &
+SERVE_PID=$!
+exec 9> "$SMOKE/serve-stdin"   # hold the server's stdin open
+for _ in $(seq 1 50); do
+    grep -q "listening" "$SMOKE/serve.log" 2>/dev/null && break
+    sleep 0.1
+done
+# one query over the wire so the flight recorder and SLO windows have
+# an entry (the protocol is 4-byte BE length ‖ JSON)
+python3 - <<'PY'
+import json, socket, struct
+s = socket.create_connection(("127.0.0.1", 7465), timeout=10)
+req = json.dumps({"verb": "query", "collection": "dblp",
+                  "root": "inproceedings",
+                  "eq": [["author", "Smoke Test"]]}).encode()
+s.sendall(struct.pack(">I", len(req)) + req)
+n = struct.unpack(">I", s.recv(4))[0]
+buf = b""
+while len(buf) < n:
+    buf += s.recv(n - len(buf))
+resp = json.loads(buf)
+assert resp["status"] == "ok", resp
+assert resp["query_id"] > 0, resp
+print(f"wire query ok: query_id={resp['query_id']}")
+PY
+TOP_OUT=$("$CLI" top --addr 127.0.0.1:7465 --iterations 1)
+echo "$TOP_OUT" | grep -q "interactive"
+echo "$TOP_OUT" | grep -q "best_effort"
+echo "shutdown" >&9
+wait "$SERVE_PID"
+test -s "$SMOKE/slow.jsonl" || { echo "slow-query log is empty"; exit 1; }
+grep -q '"query_id"' "$SMOKE/slow.jsonl"
+# the drained server persisted windowed gauges into <db>.stats.json
+"$CLI" stats --db "$SMOKE/store.json" --json | grep -q '"toss.serve.window.interactive.requests"'
 
 echo "==> verify OK"

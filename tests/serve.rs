@@ -145,6 +145,71 @@ fn ping_query_and_metrics_round_trip() {
     server.shutdown();
 }
 
+/// The telemetry tentpole, end to end over a real socket: a query run
+/// through `toss-client` is findable afterwards via the `slow` admin
+/// frame by its server-assigned [`toss_obs::QueryId`], carrying
+/// per-phase timings, the chosen plan and its budget class — and the
+/// same traffic shows up in the `stats` frame's windowed SLOs and as
+/// `toss.serve.window.*` gauges in the Prometheus export.
+#[test]
+fn query_is_findable_in_flight_recorder_with_phases_plan_and_class() {
+    let server = start(ServerConfig::default());
+    let mut client = Client::connect(server.local_addr()).unwrap();
+
+    let reply = client.query(eq_query("E. Codd")).unwrap();
+    assert!(reply.query_id > 0, "replies carry the server-assigned query id");
+
+    let records = client.slow(100, None).unwrap();
+    let rec = records
+        .iter()
+        .find(|r| r.query_id == reply.query_id)
+        .unwrap_or_else(|| panic!("q{} not in the flight recorder", reply.query_id));
+    assert_eq!(rec.class, "interactive", "default budget class is stamped");
+    assert_eq!(rec.outcome, toss_obs::QueryOutcomeKind::Ok);
+    assert!(rec.cause.is_empty());
+    assert!(rec.total_ns > 0, "end-to-end timing recorded");
+    assert!(
+        rec.execute_ns > 0 && rec.total_ns >= rec.execute_ns,
+        "phase timings recorded and consistent: {rec:?}"
+    );
+    assert!(!rec.plan.is_empty(), "the chosen plan is stamped: {rec:?}");
+    assert!(rec.query.contains("inproceedings"), "{}", rec.query);
+    assert_eq!(rec.answers, 10);
+
+    // the class filter matches the stamped class
+    let interactive = client.slow(100, Some(BudgetClass::Interactive)).unwrap();
+    assert!(interactive.iter().any(|r| r.query_id == reply.query_id));
+    let batch = client.slow(100, Some(BudgetClass::Batch)).unwrap();
+    assert!(batch.iter().all(|r| r.query_id != reply.query_id));
+
+    // a failed request is stamped too, with its cause
+    let mut bad = QueryRequest::new("no-such-collection", "inproceedings");
+    bad.eq.push(("author".into(), "x".into()));
+    let err = client.query(bad).expect_err("unknown collection must fail");
+    assert!(matches!(err, ClientError::Server { .. }), "{err:?}");
+    let failed = client.slow(100, None).unwrap();
+    let bad_rec = failed
+        .iter()
+        .find(|r| r.outcome != toss_obs::QueryOutcomeKind::Ok)
+        .expect("the failed query is in the flight recorder");
+    assert!(!bad_rec.cause.is_empty(), "{bad_rec:?}");
+
+    // the same traffic is visible in the stats frame's windowed SLOs…
+    let stats = client.stats().unwrap();
+    assert!(stats.flight_recorded >= 2);
+    assert!(stats.flight_capacity > 0);
+    let w = stats.window("interactive").expect("interactive window");
+    assert!(w.requests >= 1, "{stats:?}");
+    assert!(w.p50_ns > 0 && w.p95_ns >= w.p50_ns, "{w:?}");
+    assert!(w.window_ms > 0);
+
+    // …and as per-class gauges in the Prometheus export
+    let text = client.metrics().unwrap();
+    assert!(text.contains("toss_serve_window_interactive_p95_ns"), "{text}");
+    assert!(text.contains("toss_serve_window_batch_requests"), "{text}");
+    server.shutdown();
+}
+
 #[test]
 fn garbage_and_unknown_requests_get_typed_errors_on_a_live_connection() {
     let server = start(ServerConfig::default());
