@@ -159,6 +159,7 @@ fn main() {
                     memory_bytes: 0,
                     answers: out.forest.len() as u64,
                     degraded: Vec::new(),
+                    ..QueryRecord::default()
                 });
                 window.record(total_ns, QueryOutcomeKind::Ok);
                 ran += 1;

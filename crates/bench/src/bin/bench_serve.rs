@@ -30,9 +30,12 @@ use toss_core::Executor;
 use toss_json::Value;
 use toss_ontology::hierarchy::from_pairs;
 use toss_ontology::sea::enhance;
-use toss_serve::{BudgetClass, Client, ClientError, QueryRequest, Server, ServerConfig};
+use toss_serve::{
+    next_write_key, BudgetClass, Client, ClientError, QueryRequest, Server, ServerConfig,
+    WriteConfig, WriteEngine, WriteOp,
+};
 use toss_similarity::{Levenshtein, StringMetric};
-use toss_xmldb::{Database, DatabaseConfig};
+use toss_xmldb::{DatabaseConfig, DurableDatabase};
 
 /// Probe prefix that makes [`GatedMetric`] sleep per comparison: the
 /// drain-phase queries use it so they are *deterministically* still in
@@ -56,22 +59,37 @@ impl StringMetric for GatedMetric {
     }
 }
 
-/// A store of `docs` bibliography-style documents with rotating author
-/// spellings, enhanced at ε = 1 so similarity queries do real expansion.
-fn executor(docs: usize) -> Arc<Executor> {
-    let mut db = Database::with_config(DatabaseConfig::unlimited());
-    let c = db.create_collection("bench").unwrap();
+/// A durable store of `docs` bibliography-style documents with rotating
+/// author spellings, enhanced at ε = 1 so similarity queries do real
+/// expansion — split into the executor half (behind the server's lock)
+/// and the [`WriteEngine`] the mixed read/write leg commits through.
+fn setup(docs: usize) -> (Arc<std::sync::RwLock<Executor>>, WriteEngine) {
+    let dir =
+        std::env::temp_dir().join(format!("toss-bench-serve-{}", std::process::id()));
+    std::fs::remove_dir_all(&dir).ok();
+    std::fs::create_dir_all(&dir).expect("bench tmp dir");
+    let mut durable =
+        DurableDatabase::open(dir.join("store.json"), DatabaseConfig::unlimited())
+            .expect("open durable store");
+    durable.create_collection("bench").unwrap();
     let authors = ["Jeff Ullman", "Jeff Ullmann", "E. Codd", "M. Stonebraker"];
     for i in 0..docs {
-        c.insert_xml(&format!(
-            "<inproceedings key=\"p{i}\"><author>{}</author>\
-             <booktitle>SIGMOD Conference</booktitle>\
-             <year>{}</year></inproceedings>",
-            authors[i % authors.len()],
-            1990 + (i % 30),
-        ))
-        .unwrap();
+        durable
+            .insert_xml(
+                "bench",
+                &format!(
+                    "<inproceedings key=\"p{i}\"><author>{}</author>\
+                     <booktitle>SIGMOD Conference</booktitle>\
+                     <year>{}</year></inproceedings>",
+                    authors[i % authors.len()],
+                    1990 + (i % 30),
+                ),
+            )
+            .unwrap();
     }
+    // fold the build into the snapshot so the measured leg starts with
+    // an empty journal
+    durable.checkpoint().expect("checkpoint the build");
     let h = from_pairs(&[
         ("SIGMOD Conference", "conference"),
         ("VLDB", "conference"),
@@ -83,7 +101,15 @@ fn executor(docs: usize) -> Arc<Executor> {
     ])
     .unwrap();
     let seo = Arc::new(enhance(&h, &Levenshtein, 1.0).unwrap());
-    Arc::new(Executor::new(db, seo).with_probe_metric(Arc::new(GatedMetric)))
+    let (db, writer) = durable.into_parts();
+    let engine = WriteEngine {
+        writer,
+        hierarchy: h,
+        enhancer: Box::new(|h| enhance(h, &Levenshtein, 1.0).map_err(|e| e.to_string())),
+        config: WriteConfig::default(),
+    };
+    let exec = Executor::new(db, seo).with_probe_metric(Arc::new(GatedMetric));
+    (Arc::new(std::sync::RwLock::new(exec)), engine)
 }
 
 fn query() -> QueryRequest {
@@ -124,8 +150,10 @@ fn main() {
          {docs}-doc store, quick={quick}"
     );
 
-    let server = Server::start(
-        executor(docs),
+    let (executor, engine) = setup(docs);
+    let server = Server::start_writable(
+        executor,
+        engine,
         "127.0.0.1:0",
         ServerConfig {
             drain_deadline: Duration::from_secs(2),
@@ -217,6 +245,125 @@ fn main() {
          p99 {p99} µs, {errored} typed rejection(s)"
     );
 
+    // Mixed read/write leg: every third request is an insert through
+    // the group-commit write path (batch class, fresh idempotency key),
+    // the rest are the same similarity reads. Same open-loop schedule,
+    // so fsync batching shows up as write latency, not hidden throttle.
+    let (mixed_total, mixed_qps) = if quick { (60, 150) } else { (600, 300) };
+    let mixed_interval = Duration::from_secs(1).div_f64(mixed_qps as f64);
+    let mixed_next = Arc::new(AtomicUsize::new(0));
+    let write_lat = Arc::new(Mutex::new(Vec::<u64>::new()));
+    let read_lat = Arc::new(Mutex::new(Vec::<u64>::new()));
+    let mixed_errors = Arc::new(AtomicUsize::new(0));
+    let t1 = Instant::now();
+    let mixed_workers: Vec<_> = (0..conns)
+        .map(|_| {
+            let next = mixed_next.clone();
+            let write_lat = write_lat.clone();
+            let read_lat = read_lat.clone();
+            let errors = mixed_errors.clone();
+            thread::spawn(move || {
+                let mut client = Client::connect(addr).expect("mixed worker connects");
+                loop {
+                    let k = next.fetch_add(1, Ordering::Relaxed);
+                    if k >= mixed_total {
+                        break;
+                    }
+                    let due = mixed_interval.mul_f64(k as f64);
+                    let now = t1.elapsed();
+                    if due > now {
+                        thread::sleep(due - now);
+                    }
+                    let sent = Instant::now();
+                    if k.is_multiple_of(3) {
+                        let op = WriteOp::InsertDoc {
+                            collection: "bench".into(),
+                            xml: format!(
+                                "<inproceedings key=\"w{k}\"><author>Jeff Ullman\
+                                 </author><year>2026</year></inproceedings>"
+                            ),
+                        };
+                        match client.write_keyed(op, BudgetClass::Batch, &next_write_key())
+                        {
+                            Ok(reply) => {
+                                assert!(reply.seq > 0, "write {k}: no journal seq");
+                                assert!(!reply.deduped, "write {k}: fresh key deduped");
+                                write_lat
+                                    .lock()
+                                    .unwrap()
+                                    .push(sent.elapsed().as_micros() as u64);
+                            }
+                            Err(ClientError::Server { .. }) => {
+                                errors.fetch_add(1, Ordering::Relaxed);
+                            }
+                            Err(e) => panic!("write {k}: transport failure: {e}"),
+                        }
+                    } else {
+                        match client.query(query()) {
+                            Ok(reply) => {
+                                assert!(reply.answers > 0, "mixed read {k}: no answers");
+                                read_lat
+                                    .lock()
+                                    .unwrap()
+                                    .push(sent.elapsed().as_micros() as u64);
+                            }
+                            Err(ClientError::Server { .. }) => {
+                                errors.fetch_add(1, Ordering::Relaxed);
+                            }
+                            Err(e) => panic!("mixed read {k}: transport failure: {e}"),
+                        }
+                    }
+                }
+            })
+        })
+        .collect();
+    for w in mixed_workers {
+        w.join().expect("no mixed-leg worker panics");
+    }
+    let mixed_wall = t1.elapsed();
+    let mut wsorted = write_lat.lock().unwrap().clone();
+    wsorted.sort_unstable();
+    let mut rsorted = read_lat.lock().unwrap().clone();
+    rsorted.sort_unstable();
+    let mixed_errored = mixed_errors.load(Ordering::Relaxed);
+    assert!(
+        !wsorted.is_empty(),
+        "the mixed leg must have acknowledged writes"
+    );
+    let (wp50, wp95) = (percentile(&wsorted, 50.0), percentile(&wsorted, 95.0));
+    let (rp50, rp95) = (percentile(&rsorted, 50.0), percentile(&rsorted, 95.0));
+
+    // Group-commit evidence: the fsync/batch histograms the writer
+    // thread feeds, plus the live `stats` write block.
+    let snap = toss_obs::metrics::snapshot();
+    let fsync_h = snap.histogram("toss.serve.write.batch_fsync_ns");
+    let batch_h = snap.histogram("toss.serve.write.batch_size");
+    let (fsync_batches, mean_fsync_us) = fsync_h
+        .map(|h| (h.count, h.mean() / 1e3))
+        .unwrap_or((0, 0.0));
+    let mean_batch = batch_h.map(|h| h.mean()).unwrap_or(0.0);
+    let wstats = Client::connect(addr)
+        .expect("stats client connects")
+        .stats()
+        .expect("stats frame")
+        .write;
+    assert!(wstats.writable, "the bench server must report a write path");
+    assert!(!wstats.degraded, "healthy run must not end degraded");
+    assert_eq!(
+        wstats.applied as usize,
+        wsorted.len(),
+        "every acknowledged write is applied exactly once"
+    );
+    assert!(fsync_batches > 0, "group commit must have fsynced batches");
+    eprintln!(
+        "mixed leg {mixed_wall:?}: {} writes (p50 {wp50} µs, p95 {wp95} µs) + \
+         {} reads (p50 {rp50} µs, p95 {rp95} µs), {mixed_errored} rejection(s); \
+         {} batches, mean batch {mean_batch:.2}, mean fsync {mean_fsync_us:.0} µs",
+        wsorted.len(),
+        rsorted.len(),
+        fsync_batches,
+    );
+
     // Graceful-drain finale: put slow-ish queries in flight on fresh
     // connections, then shut down while they run.
     let drain_clients: Vec<_> = (0..8)
@@ -280,6 +427,24 @@ fn main() {
         ("p50_us".into(), Value::Int(p50 as i64)),
         ("p95_us".into(), Value::Int(p95 as i64)),
         ("p99_us".into(), Value::Int(p99 as i64)),
+        (
+            "mixed".into(),
+            Value::Object(vec![
+                ("requests".into(), Value::Int(mixed_total as i64)),
+                ("writes".into(), Value::Int(wsorted.len() as i64)),
+                ("reads".into(), Value::Int(rsorted.len() as i64)),
+                ("typed_rejections".into(), Value::Int(mixed_errored as i64)),
+                ("write_p50_us".into(), Value::Int(wp50 as i64)),
+                ("write_p95_us".into(), Value::Int(wp95 as i64)),
+                ("read_p50_us".into(), Value::Int(rp50 as i64)),
+                ("read_p95_us".into(), Value::Int(rp95 as i64)),
+                ("fsync_batches".into(), Value::Int(fsync_batches as i64)),
+                ("mean_batch_size".into(), Value::Float(mean_batch)),
+                ("mean_fsync_us".into(), Value::Float(mean_fsync_us)),
+                ("applied".into(), Value::Int(wstats.applied as i64)),
+                ("checkpoints".into(), Value::Int(wstats.checkpoints as i64)),
+            ]),
+        ),
         (
             "drain".into(),
             Value::Object(vec![

@@ -13,7 +13,15 @@ pub struct Args {
 }
 
 /// Flags that take no value.
-const SWITCHES: &[&str] = &["tax", "pretty", "part-of", "explain", "json", "allow-shutdown"];
+const SWITCHES: &[&str] = &[
+    "tax",
+    "pretty",
+    "part-of",
+    "explain",
+    "json",
+    "allow-shutdown",
+    "writable",
+];
 
 impl Args {
     /// Parse `argv` (without the subcommand). Every `--flag` not in the

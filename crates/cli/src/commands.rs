@@ -37,6 +37,7 @@ usage:
   toss-cli db        recover    --db <store.json>
   toss-cli dot       --seo <seo.json>
   toss-cli serve     --db <store.json> --seo <seo.json> [--addr <host:port>]
+                     [--writable] [--checkpoint-every <n>]
                      [--max-conns <n>] [--max-concurrent <n>] [--threads <n>]
                      [--drain-ms <n>] [--allow-shutdown]
                      [--flight-capacity <n>] [--slow-log <file.jsonl>]
@@ -51,7 +52,12 @@ query resource limits: --timeout-ms is a hard wall-clock deadline
 warning on stderr). Exit code 4 means the query was shed under load.
 
 serve runs until stdin closes or reads a `shutdown` line, then drains
-gracefully. With --allow-shutdown, clients may stop it via the protocol
+gracefully. With --writable the store opens through the WAL and accepts
+mutation frames (insert_doc, delete_doc, add_term, add_edge,
+checkpoint); writes are acknowledged only after their group-commit
+batch fsyncs, and --checkpoint-every folds the journal once that many
+records accumulate (0 disables auto-checkpoints). With
+--allow-shutdown, clients may stop it via the protocol
 `shutdown` verb. --slow-log appends always-sampled slow/failed queries
 (and 1-in-<n> of the rest, --slow-sample; 0 disables sampling) as JSON
 lines; --flight-capacity bounds the in-memory flight recorder the
@@ -652,11 +658,64 @@ fn cmd_dot(args: &Args) -> Result<(), String> {
 /// `toss-cli serve` — run the toss-serve TCP front-end over a store +
 /// SEO. Serves until stdin closes (or reads a `shutdown` line), then
 /// drains gracefully and reports what the drain did.
+///
+/// With `--writable`, the store is opened through the durable layer
+/// (WAL + snapshot) and mutation frames are accepted: a single writer
+/// thread group-commits them to the journal, the ontology grows live
+/// (SEO re-enhanced with the same metric/ε the loaded SEO was built
+/// with), and background checkpoints fold the journal. The serving
+/// ontology prefers the `<store>.ont.json` sidecar (written at each
+/// checkpoint) plus the journal tail; the `--seo` file is the baseline
+/// for fresh stores.
 fn cmd_serve(args: &Args) -> Result<(), String> {
-    use toss_serve::{Server, ServerConfig};
-    let db = load_db(args.required("db")?)?;
+    use toss_serve::{Server, ServerConfig, WriteConfig, WriteEngine};
+    let db_path = args.required("db")?;
     let seo_json = std::fs::read_to_string(args.required("seo")?).map_err(|e| e.to_string())?;
-    let seo = Arc::new(seo_from_json(&seo_json).map_err(|e| e.to_string())?);
+    let file_seo = seo_from_json(&seo_json).map_err(|e| e.to_string())?;
+    let writable = args.switch("writable");
+
+    let (db, write_engine) = if writable {
+        let durable =
+            DurableDatabase::open(Path::new(db_path), DatabaseConfig::unlimited())
+                .map_err(|e| e.to_string())?;
+        let records = durable.journal_records().map_err(|e| e.to_string())?;
+        // the checkpoint sidecar beats the --seo file: it already folds
+        // every ontology mutation up to its cursor
+        let (cursor, base_seo) =
+            toss_serve::load_sidecar(&toss_xmldb::StdVfs, Path::new(db_path))
+                .unwrap_or((0, file_seo));
+        let epsilon = base_seo.epsilon();
+        let mut hierarchy = base_seo.original().clone();
+        let replayed = toss_serve::recover_ontology(&mut hierarchy, &records, cursor);
+        let metric = default_metric();
+        let enhancer: toss_serve::Enhancer = Box::new(move |h| {
+            toss_ontology::enhance(h, &metric, epsilon).map_err(|e| e.to_string())
+        });
+        let seo = if replayed > 0 {
+            println!("replayed {replayed} ontology journal record(s) past the sidecar");
+            (enhancer)(&hierarchy)?
+        } else {
+            base_seo
+        };
+        let (db, writer) = durable.into_parts();
+        let mut write_cfg = WriteConfig::default();
+        if let Some(n) = parse_u64_flag(args, "checkpoint-every")? {
+            write_cfg.checkpoint_every = n as usize;
+        }
+        let engine = WriteEngine {
+            writer,
+            hierarchy,
+            enhancer,
+            config: write_cfg,
+        };
+        ((db, Arc::new(seo)), Some(engine))
+    } else {
+        (
+            (load_db(db_path)?, Arc::new(file_seo)),
+            None,
+        )
+    };
+    let (db, seo) = db;
     let mut executor = Executor::new(db, seo).with_probe_metric(Arc::new(default_metric()));
     if let Some(n) = parse_u64_flag(args, "threads")? {
         if n == 0 {
@@ -699,9 +758,17 @@ fn cmd_serve(args: &Args) -> Result<(), String> {
         cfg.window_buckets = n.max(2) as usize;
     }
     let addr = args.one("addr")?.unwrap_or("127.0.0.1:7464");
-    let server =
-        Server::start(Arc::new(executor), addr, cfg).map_err(|e| format!("{addr}: {e}"))?;
-    println!("toss-serve listening on {}", server.local_addr());
+    let executor = Arc::new(std::sync::RwLock::new(executor));
+    let server = match write_engine {
+        Some(engine) => Server::start_writable(executor, engine, addr, cfg),
+        None => Server::start(executor, addr, cfg),
+    }
+    .map_err(|e| format!("{addr}: {e}"))?;
+    println!(
+        "toss-serve listening on {}{}",
+        server.local_addr(),
+        if writable { " (writable)" } else { "" }
+    );
     println!("budget classes: {}", toss_serve::server::budget_class_summary());
     println!("send EOF or a `shutdown` line on stdin to drain and exit");
 
@@ -761,6 +828,28 @@ fn render_top(
         stats.flight_capacity,
         stats.flight_recorded,
     );
+    if stats.write.writable {
+        let w = &stats.write;
+        let health = if w.degraded {
+            format!("  DEGRADED (read-only): {}", w.reason)
+        } else {
+            String::new()
+        };
+        let _ = writeln!(
+            out,
+            "writes: {} applied ({} deduped, {} rejected) in {} batch(es), \
+             {} checkpoint(s), last fsync {} ms, seq {}, rev {}{}",
+            w.applied,
+            w.deduped,
+            w.rejected,
+            w.batches,
+            w.checkpoints,
+            fmt_ms(w.last_fsync_ns),
+            w.last_seq,
+            w.revision,
+            health,
+        );
+    }
     let _ = writeln!(
         out,
         "{:<12} {:>7} {:>6} {:>6} {:>10} {:>10} {:>10} {:>7} {:>7}  {:>9}",
@@ -795,6 +884,20 @@ fn render_top(
             } else {
                 format!(" ({})", r.cause)
             };
+            // write records lead with their verb and carry the
+            // group-commit figures a read query has no use for
+            let what = if r.op.is_empty() {
+                r.query.clone()
+            } else {
+                format!(
+                    "{} {} [batch {}, fsync {} ms{}]",
+                    r.op,
+                    r.query,
+                    r.batch_size,
+                    fmt_ms(r.fsync_ns),
+                    if r.deduped { ", deduped" } else { "" },
+                )
+            };
             let _ = writeln!(
                 out,
                 "  q{:<8} {:<12} {:>9} ms  {:<5}{} {}{}",
@@ -803,7 +906,7 @@ fn render_top(
                 fmt_ms(r.total_ns),
                 r.outcome.as_str(),
                 cause,
-                r.query,
+                what,
                 degraded,
             );
         }
@@ -1127,7 +1230,7 @@ mod tests {
         let seo = Arc::new(seo_from_json(&seo_json).expect("parse seo"));
         let executor = Executor::new(db, seo).with_probe_metric(Arc::new(default_metric()));
         let server = toss_serve::Server::start(
-            Arc::new(executor),
+            Arc::new(std::sync::RwLock::new(executor)),
             "127.0.0.1:0",
             toss_serve::ServerConfig::default(),
         )

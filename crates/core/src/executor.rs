@@ -430,6 +430,11 @@ pub struct Executor {
     /// expansion-term budget class. Only exact (never soft-truncated)
     /// expansions are stored; see [`crate::semcache`].
     pub rewrite_cache: RewriteCache,
+    /// Write-visibility revision: bumped exactly once per applied write
+    /// batch by [`Executor::note_write_batch`]. Readers that captured a
+    /// revision can tell whether a batch landed since; admin surfaces
+    /// report it as the store's logical version.
+    revision: std::sync::atomic::AtomicU64,
 }
 
 impl Executor {
@@ -444,7 +449,39 @@ impl Executor {
             part_of_seo: None,
             pool: WorkerPool::with_available_parallelism(),
             rewrite_cache: RewriteCache::default(),
+            revision: std::sync::atomic::AtomicU64::new(0),
         }
+    }
+
+    /// The current write-visibility revision (see
+    /// [`Executor::note_write_batch`]).
+    pub fn revision(&self) -> u64 {
+        self.revision.load(std::sync::atomic::Ordering::Acquire)
+    }
+
+    /// Record that one write batch was applied to `db` (and, when the
+    /// batch carried ontology ops, install the freshly re-enhanced SEO).
+    /// Called with exclusive access — the serving layer holds its write
+    /// lock — **once per batch**, so every semantic-layer invalidation
+    /// triggers exactly once per applied batch:
+    ///
+    /// * the revision counter bumps once;
+    /// * swapping `seo` changes the SEO version stamp, which keys the
+    ///   rewrite cache, so stale expansions can never be served (and
+    ///   batches without ontology ops invalidate nothing);
+    /// * the new SEO's hierarchies carry their own fresh `ReachIndex`
+    ///   (built lazily on first use).
+    ///
+    /// Returns the new revision.
+    pub fn note_write_batch(&mut self, new_seo: Option<Arc<Seo>>) -> u64 {
+        if let Some(seo) = new_seo {
+            self.seo = seo;
+            toss_obs::metrics::counter("toss.executor.seo_swaps").inc();
+        }
+        toss_obs::metrics::counter("toss.executor.write_batches").inc();
+        1 + self
+            .revision
+            .fetch_add(1, std::sync::atomic::Ordering::AcqRel)
     }
 
     /// Set the part-of SEO (builder style).

@@ -84,6 +84,47 @@ pub struct QueryRecord {
     pub answers: u64,
     /// Degradation notes (soft-limit clamps), empty when none.
     pub degraded: Vec<String>,
+    /// Write verb (`insert_doc`, `delete_doc`, `add_term`, `add_edge`,
+    /// `checkpoint`) for write-path records; empty for queries.
+    pub op: String,
+    /// For writes: how many ops shared this record's group-commit batch
+    /// (1 for a lone write); 0 for queries.
+    pub batch_size: u64,
+    /// For writes: journal append + fsync latency of the batch, in
+    /// nanoseconds; 0 for queries.
+    pub fsync_ns: u64,
+    /// For writes: the idempotency key matched the dedupe table, so the
+    /// stored outcome was returned without re-applying.
+    pub deduped: bool,
+}
+
+impl Default for QueryRecord {
+    /// An all-zero / all-empty record with outcome `Ok` — the base
+    /// constructors fill in what they know and leave the rest.
+    fn default() -> QueryRecord {
+        QueryRecord {
+            query_id: 0,
+            class: String::new(),
+            query: String::new(),
+            plan: String::new(),
+            outcome: QueryOutcomeKind::Ok,
+            cause: String::new(),
+            total_ns: 0,
+            queue_wait_ns: 0,
+            rewrite_ns: 0,
+            execute_ns: 0,
+            convert_ns: 0,
+            terms_used: 0,
+            docs_scanned: 0,
+            memory_bytes: 0,
+            answers: 0,
+            degraded: Vec::new(),
+            op: String::new(),
+            batch_size: 0,
+            fsync_ns: 0,
+            deduped: false,
+        }
+    }
 }
 
 impl QueryRecord {
@@ -122,8 +163,23 @@ impl QueryRecord {
             }
             crate::push_json_str(&mut out, d);
         }
-        out.push_str("]}");
+        out.push(']');
+        if !self.op.is_empty() {
+            out.push_str(",\"op\":");
+            crate::push_json_str(&mut out, &self.op);
+            out.push_str(&format!(
+                ",\"batch_size\":{},\"fsync_ns\":{},\"deduped\":{}",
+                self.batch_size, self.fsync_ns, self.deduped
+            ));
+        }
+        out.push('}');
         out
+    }
+
+    /// Whether this record describes a write (mutation frame) rather
+    /// than a query.
+    pub fn is_write(&self) -> bool {
+        !self.op.is_empty()
     }
 }
 
@@ -281,7 +337,7 @@ mod tests {
             docs_scanned: 5,
             memory_bytes: 6,
             answers: 7,
-            degraded: Vec::new(),
+            ..QueryRecord::default()
         }
     }
 
@@ -310,6 +366,26 @@ mod tests {
         assert!(json.contains("\\\"exceeded\\\""));
         assert!(json.contains("\"degraded\":[\"witnesses clamped\"]"));
         assert!(!json.contains('\n'));
+    }
+
+    #[test]
+    fn write_records_carry_op_fields() {
+        let mut r = rec(7, 500, QueryOutcomeKind::Ok);
+        r.op = "insert_doc".into();
+        r.batch_size = 4;
+        r.fsync_ns = 12_345;
+        r.deduped = true;
+        assert!(r.is_write());
+        let json = r.to_json();
+        assert!(json.contains("\"op\":\"insert_doc\""));
+        assert!(json.contains("\"batch_size\":4"));
+        assert!(json.contains("\"fsync_ns\":12345"));
+        assert!(json.contains("\"deduped\":true"));
+        // Query records stay byte-compatible with the PR-7 shape: no
+        // write fields at all.
+        let q = rec(8, 500, QueryOutcomeKind::Ok);
+        assert!(!q.is_write());
+        assert!(!q.to_json().contains("\"op\""));
     }
 
     #[test]

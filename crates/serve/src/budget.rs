@@ -94,6 +94,34 @@ impl BudgetClass {
         }
     }
 
+    /// The group-commit latency target for **write** frames of this
+    /// class: how long the single writer thread may hold a batch open
+    /// waiting for more writes before it fsyncs and acknowledges.
+    ///
+    /// Writes default to the `batch` class (throughput: wide batches,
+    /// one fsync amortized over many acks); an `interactive` write
+    /// clamps the window down so a human-facing mutation is not held
+    /// hostage to batching. A mixed batch closes at the *smallest*
+    /// window of its members.
+    pub fn group_commit_window(self) -> Duration {
+        match self {
+            BudgetClass::BestEffort => Duration::from_millis(5),
+            BudgetClass::Interactive => Duration::from_millis(2),
+            BudgetClass::Batch => Duration::from_millis(15),
+        }
+    }
+
+    /// Ceiling on one write frame's document payload for this class
+    /// (the `batch` ceiling is the largest; a class may only see its
+    /// writes *rejected* above its ceiling, never silently truncated).
+    pub fn max_write_bytes(self) -> usize {
+        match self {
+            BudgetClass::BestEffort => 64 << 10,
+            BudgetClass::Interactive => 256 << 10,
+            BudgetClass::Batch => 1 << 20,
+        }
+    }
+
     /// Assemble the [`QueryBudget`] for a request of this class.
     /// `timeout_ms`/`max_terms`/`max_docs` are the request's overrides;
     /// each is **clamped to the class ceiling** (a zero/absent override
@@ -164,6 +192,40 @@ mod tests {
             assert_eq!(b.max_expansion_terms.unwrap().max, 8_192);
             assert_eq!(b.max_docs_scanned.unwrap().max, 2_000_000);
         }
+    }
+
+    #[test]
+    fn write_windows_clamp_interactive_below_batch() {
+        // the satellite contract: writes batch by default, but an
+        // interactive-class write must close its group-commit window
+        // sooner than a batch-class one — and every window is bounded
+        // well below the class deadline, so an ack is never deadline-
+        // limited by batching alone.
+        let interactive = BudgetClass::Interactive.group_commit_window();
+        let batch = BudgetClass::Batch.group_commit_window();
+        assert!(
+            interactive < batch,
+            "interactive window {interactive:?} must undercut batch {batch:?}"
+        );
+        for c in BudgetClass::ALL {
+            let w = c.group_commit_window();
+            assert!(w > Duration::ZERO, "{c:?} window must be positive");
+            assert!(
+                w * 10 < c.max_deadline(),
+                "{c:?} window {w:?} must be well under the {:?} deadline",
+                c.max_deadline()
+            );
+            assert!(c.max_write_bytes() > 0);
+        }
+        // write-size ceilings are ordered like the classes themselves
+        assert!(
+            BudgetClass::BestEffort.max_write_bytes()
+                < BudgetClass::Interactive.max_write_bytes()
+        );
+        assert!(
+            BudgetClass::Interactive.max_write_bytes()
+                < BudgetClass::Batch.max_write_bytes()
+        );
     }
 
     #[test]

@@ -8,10 +8,11 @@
 use crate::budget::BudgetClass;
 use crate::protocol::{
     read_frame, record_from_value, write_frame, ErrorCode, FrameError, QueryRequest,
-    Request, DEFAULT_MAX_FRAME_BYTES,
+    Request, WriteOp, WriteRequest, DEFAULT_MAX_FRAME_BYTES,
 };
 use std::io;
 use std::net::{TcpStream, ToSocketAddrs};
+use std::sync::atomic::{AtomicU64, Ordering};
 use std::time::Duration;
 use toss_json::Value;
 use toss_obs::QueryRecord;
@@ -97,6 +98,54 @@ pub struct QueryReply {
     pub server_us: u64,
 }
 
+/// The parsed `ok` response to a mutation frame.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct WriteReply {
+    /// The server-assigned query id of the write.
+    pub query_id: u64,
+    /// The journal sequence number the mutation fsynced under.
+    pub seq: u64,
+    /// The assigned document id (inserts only).
+    pub doc_id: Option<u64>,
+    /// Whether the server collapsed this send onto a previously
+    /// acknowledged write with the same idempotency key (i.e. this was
+    /// a retry whose original ack was lost).
+    pub deduped: bool,
+    /// How many mutations shared this write's group-commit fsync.
+    pub batch_size: u64,
+    /// Duration of that fsynced batch append, nanoseconds.
+    pub fsync_ns: u64,
+    /// Server-side wall time in microseconds.
+    pub server_us: u64,
+}
+
+/// The write-path block of the `stats` admin frame.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct WriteStats {
+    /// Whether this server has a write path at all.
+    pub writable: bool,
+    /// Whether it is currently read-only degraded.
+    pub degraded: bool,
+    /// The degradation reason ("" when healthy).
+    pub reason: String,
+    /// The executor revision (bumps once per applied batch).
+    pub revision: u64,
+    /// Mutations applied since start.
+    pub applied: u64,
+    /// Idempotency-key dedupe hits since start.
+    pub deduped: u64,
+    /// Writes rejected by validation since start.
+    pub rejected: u64,
+    /// Group-commit batches fsynced since start.
+    pub batches: u64,
+    /// Checkpoints completed since start.
+    pub checkpoints: u64,
+    /// Duration of the most recent batch fsync, nanoseconds.
+    pub last_fsync_ns: u64,
+    /// Highest acknowledged journal sequence number.
+    pub last_seq: u64,
+}
+
 /// One budget class's windowed SLO figures, as returned by the `stats`
 /// admin frame (mirrors the `toss.serve.window.<class>.*` gauges).
 #[derive(Debug, Clone, Default, PartialEq, Eq)]
@@ -138,6 +187,8 @@ pub struct StatsReply {
     pub flight_retained: u64,
     /// Flight-recorder ring capacity.
     pub flight_capacity: u64,
+    /// The write path's state and counters.
+    pub write: WriteStats,
 }
 
 impl StatsReply {
@@ -270,6 +321,26 @@ impl Client {
         };
         let flight = v.get("flight");
         let fu = |key: &str| flight.map(|f| u(f, key)).unwrap_or(0);
+        let write = match v.get("write") {
+            Some(wv) => WriteStats {
+                writable: matches!(wv.get("writable"), Some(Value::Bool(true))),
+                degraded: matches!(wv.get("degraded"), Some(Value::Bool(true))),
+                reason: wv
+                    .get("reason")
+                    .and_then(Value::as_str)
+                    .unwrap_or("")
+                    .to_string(),
+                revision: u(wv, "revision"),
+                applied: u(wv, "applied"),
+                deduped: u(wv, "deduped"),
+                rejected: u(wv, "rejected"),
+                batches: u(wv, "batches"),
+                checkpoints: u(wv, "checkpoints"),
+                last_fsync_ns: u(wv, "last_fsync_ns"),
+                last_seq: u(wv, "last_seq"),
+            },
+            None => WriteStats::default(),
+        };
         Ok(StatsReply {
             uptime_ms: u(&v, "uptime_ms"),
             inflight: u(&v, "inflight"),
@@ -278,6 +349,7 @@ impl Client {
             flight_recorded: fu("recorded"),
             flight_retained: fu("retained"),
             flight_capacity: fu("capacity"),
+            write,
         })
     }
 
@@ -344,6 +416,147 @@ impl Client {
                 .max(0) as u64,
         })
     }
+
+    /// Send one mutation under an explicit idempotency key. Reusing the
+    /// same key on a resend is what makes write retries safe: the
+    /// server's dedupe table collapses the replay onto the original
+    /// ack (`deduped: true`) instead of applying it twice.
+    pub fn write_keyed(
+        &mut self,
+        op: WriteOp,
+        class: BudgetClass,
+        key: &str,
+    ) -> Result<WriteReply, ClientError> {
+        let v = self.call(&Request::Write(Box::new(WriteRequest {
+            op,
+            key: key.to_string(),
+            class,
+        })))?;
+        let u = |k: &str| v.get(k).and_then(Value::as_i64).unwrap_or(0).max(0) as u64;
+        Ok(WriteReply {
+            query_id: u("query_id"),
+            seq: u("seq"),
+            doc_id: v
+                .get("doc_id")
+                .and_then(Value::as_i64)
+                .and_then(|n| u64::try_from(n).ok()),
+            deduped: matches!(v.get("deduped"), Some(Value::Bool(true))),
+            batch_size: u("batch_size"),
+            fsync_ns: u("fsync_ns"),
+            server_us: u("server_us"),
+        })
+    }
+
+    /// Insert a document (fresh idempotency key, batch class).
+    pub fn insert_doc(
+        &mut self,
+        collection: &str,
+        xml: &str,
+    ) -> Result<WriteReply, ClientError> {
+        self.write_keyed(
+            WriteOp::InsertDoc {
+                collection: collection.to_string(),
+                xml: xml.to_string(),
+            },
+            BudgetClass::Batch,
+            &next_write_key(),
+        )
+    }
+
+    /// Delete a document by id (fresh idempotency key, batch class).
+    pub fn delete_doc(
+        &mut self,
+        collection: &str,
+        doc_id: u64,
+    ) -> Result<WriteReply, ClientError> {
+        self.write_keyed(
+            WriteOp::DeleteDoc {
+                collection: collection.to_string(),
+                doc_id,
+            },
+            BudgetClass::Batch,
+            &next_write_key(),
+        )
+    }
+
+    /// Add terms to the live ontology (fresh idempotency key).
+    pub fn add_term(&mut self, terms: &[&str]) -> Result<WriteReply, ClientError> {
+        self.write_keyed(
+            WriteOp::AddTerm {
+                terms: terms.iter().map(|t| t.to_string()).collect(),
+            },
+            BudgetClass::Batch,
+            &next_write_key(),
+        )
+    }
+
+    /// Add a `below ≤ above` ontology edge (fresh idempotency key).
+    pub fn add_edge(&mut self, below: &str, above: &str) -> Result<WriteReply, ClientError> {
+        self.write_keyed(
+            WriteOp::AddEdge {
+                below: below.to_string(),
+                above: above.to_string(),
+            },
+            BudgetClass::Batch,
+            &next_write_key(),
+        )
+    }
+
+    /// Ask the server to checkpoint now: snapshot, verify, fold the
+    /// journal. Returns how many journal records were folded away.
+    pub fn checkpoint(&mut self) -> Result<u64, ClientError> {
+        let v = self.call(&Request::Write(Box::new(WriteRequest {
+            op: WriteOp::Checkpoint,
+            key: String::new(),
+            class: BudgetClass::Batch,
+        })))?;
+        Ok(v.get("folded").and_then(Value::as_i64).unwrap_or(0).max(0) as u64)
+    }
+
+    /// Run one mutation under the retry policy, reconnecting on
+    /// transport failure. The idempotency key is generated **once** and
+    /// attached to every resend, so an ack lost to a timeout or a
+    /// dropped connection cannot double-apply: the server answers the
+    /// replay from its dedupe table.
+    pub fn write_with_retry(
+        addr: impl ToSocketAddrs + Copy,
+        policy: &RetryPolicy,
+        op: WriteOp,
+        class: BudgetClass,
+    ) -> Result<WriteReply, ClientError> {
+        let key = next_write_key();
+        policy.run(|_| Client::connect(addr)?.write_keyed(op.clone(), class, &key))
+    }
+}
+
+/// Generate a process-unique idempotency key: a per-process random
+/// prefix (wall-clock seeded) plus a monotone counter. Uniqueness
+/// across processes matters only probabilistically — a collision just
+/// risks one spurious dedupe within the server's bounded key window.
+pub fn next_write_key() -> String {
+    static SEED: AtomicU64 = AtomicU64::new(0);
+    static COUNTER: AtomicU64 = AtomicU64::new(0);
+    let mut seed = SEED.load(Ordering::Relaxed);
+    if seed == 0 {
+        let t = std::time::SystemTime::now()
+            .duration_since(std::time::UNIX_EPOCH)
+            .map(|d| d.as_nanos() as u64)
+            .unwrap_or(0x9e3779b97f4a7c15);
+        let pid = std::process::id() as u64;
+        let mut s = t ^ pid.rotate_left(32) ^ 0x2545f4914f6cdd1d;
+        // splatter the bits so similar clocks still diverge
+        s ^= s >> 33;
+        s = s.wrapping_mul(0xff51afd7ed558ccd);
+        s ^= s >> 33;
+        if s == 0 {
+            s = 1;
+        }
+        // first writer wins; everyone re-reads the published seed
+        let _ = SEED.compare_exchange(0, s, Ordering::Relaxed, Ordering::Relaxed);
+        seed = SEED.load(Ordering::Relaxed);
+    }
+    let n = COUNTER.fetch_add(1, Ordering::Relaxed);
+    format!("wk-{seed:016x}-{n}")
 }
 
 /// Jittered exponential backoff: `base·2ⁿ` capped at `cap`, each delay
@@ -519,6 +732,20 @@ mod tests {
         });
         assert!(out.is_err());
         assert_eq!(calls, 1, "protocol errors must not be retried");
+    }
+
+    #[test]
+    fn write_keys_are_unique_and_stable_prefix() {
+        let a = next_write_key();
+        let b = next_write_key();
+        assert_ne!(a, b, "each generated key must be fresh");
+        assert!(a.starts_with("wk-") && b.starts_with("wk-"));
+        // same process prefix — the counter is what varies
+        assert_eq!(&a[..20], &b[..20]);
+        let mut seen = std::collections::BTreeSet::new();
+        for _ in 0..1000 {
+            assert!(seen.insert(next_write_key()), "key collision");
+        }
     }
 
     #[test]

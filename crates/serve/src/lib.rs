@@ -28,14 +28,33 @@
 //! The [`client`] module is the matching `toss-client` library: typed
 //! errors, and a jittered-exponential [`client::RetryPolicy`] that
 //! honors the server's retry hints and refuses to retry non-retryable
-//! failures.
+//! failures — which, thanks to client-generated idempotency keys on
+//! every mutation frame, now safely includes **writes**: a retried
+//! write carries the same key, and the server's dedupe table collapses
+//! replays onto the original ack.
+//!
+//! The [`write`] module is the live write path ([`server::Server::start_writable`]):
+//! mutation frames (`insert_doc`, `delete_doc`, `add_term`, `add_edge`,
+//! `checkpoint`) flow through a single writer thread with group-commit
+//! WAL batching — a write is acknowledged only after its batch's fsync
+//! — plus background verified checkpoints, and read-only **degraded**
+//! mode on persistent journal faults (typed `degraded` frames with a
+//! retry hint; probe writes self-heal).
 
 pub mod budget;
 pub mod client;
 pub mod protocol;
 pub mod server;
+pub mod write;
 
 pub use budget::BudgetClass;
-pub use client::{Client, ClientError, QueryReply, RetryPolicy, StatsReply, WindowStats};
-pub use protocol::{ErrorCode, FrameError, QueryRequest, Request};
+pub use client::{
+    next_write_key, Client, ClientError, QueryReply, RetryPolicy, StatsReply, WindowStats,
+    WriteReply, WriteStats,
+};
+pub use protocol::{ErrorCode, FrameError, QueryRequest, Request, WriteOp, WriteRequest};
 pub use server::{DrainReport, Server, ServerConfig, ShutdownHandle};
+pub use write::{
+    load_sidecar, recover_ontology, sidecar_path, Enhancer, WriteConfig, WriteEngine,
+    WriteState,
+};

@@ -153,6 +153,10 @@ pub enum ErrorCode {
     /// The server is draining; retry against another replica or after
     /// the hint.
     ShuttingDown,
+    /// The journal is unhealthy (ENOSPC, persistent I/O errors): the
+    /// server is serving reads but rejecting writes until a probe
+    /// write succeeds again. Retry after the hint.
+    Degraded,
 }
 
 impl ErrorCode {
@@ -165,6 +169,7 @@ impl ErrorCode {
             ErrorCode::Cancelled => "cancelled",
             ErrorCode::Internal => "internal",
             ErrorCode::ShuttingDown => "shutting_down",
+            ErrorCode::Degraded => "degraded",
         }
     }
 
@@ -177,14 +182,21 @@ impl ErrorCode {
             "cancelled" => ErrorCode::Cancelled,
             "internal" => ErrorCode::Internal,
             "shutting_down" => ErrorCode::ShuttingDown,
+            "degraded" => ErrorCode::Degraded,
             _ => return None,
         })
     }
 
     /// Whether a client may retry the same request verbatim and expect
-    /// it to succeed once load/drain passes.
+    /// it to succeed once load/drain passes. Degraded mode is retryable
+    /// because the server self-heals (probe writes clear it) — and
+    /// write retries are idempotent under their key, so a replayed
+    /// mutation never double-applies.
     pub fn is_retryable(self) -> bool {
-        matches!(self, ErrorCode::Overloaded | ErrorCode::ShuttingDown)
+        matches!(
+            self,
+            ErrorCode::Overloaded | ErrorCode::ShuttingDown | ErrorCode::Degraded
+        )
     }
 }
 
@@ -259,6 +271,92 @@ impl QueryRequest {
     }
 }
 
+/// One mutation carried by a write frame (the serve-level mirror of
+/// [`toss_xmldb::JournalOp`], minus the ops the protocol does not
+/// expose).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum WriteOp {
+    /// Insert a document given as XML text.
+    InsertDoc {
+        /// Target collection.
+        collection: String,
+        /// The document's XML.
+        xml: String,
+    },
+    /// Delete a document by id.
+    DeleteDoc {
+        /// Target collection.
+        collection: String,
+        /// The document id.
+        doc_id: u64,
+    },
+    /// Add ontology terms (store no-op; grows the hierarchy).
+    AddTerm {
+        /// The terms to add.
+        terms: Vec<String>,
+    },
+    /// Assert `below ≤ above` in the ontology.
+    AddEdge {
+        /// The lesser term.
+        below: String,
+        /// The greater term.
+        above: String,
+    },
+    /// Fold the journal into a fresh verified snapshot.
+    Checkpoint,
+}
+
+impl WriteOp {
+    /// The wire verb.
+    pub fn verb(&self) -> &'static str {
+        match self {
+            WriteOp::InsertDoc { .. } => "insert_doc",
+            WriteOp::DeleteDoc { .. } => "delete_doc",
+            WriteOp::AddTerm { .. } => "add_term",
+            WriteOp::AddEdge { .. } => "add_edge",
+            WriteOp::Checkpoint => "checkpoint",
+        }
+    }
+
+    /// A short human-readable target, for telemetry records.
+    pub fn target(&self) -> String {
+        match self {
+            WriteOp::InsertDoc { collection, .. } => collection.clone(),
+            WriteOp::DeleteDoc {
+                collection, doc_id, ..
+            } => format!("{collection}/{doc_id}"),
+            WriteOp::AddTerm { terms } => terms.join(","),
+            WriteOp::AddEdge { below, above } => format!("{below}<={above}"),
+            WriteOp::Checkpoint => String::new(),
+        }
+    }
+
+    /// Approximate payload size, checked against the class's
+    /// [`BudgetClass::max_write_bytes`] ceiling at admission.
+    pub fn payload_bytes(&self) -> usize {
+        match self {
+            WriteOp::InsertDoc { xml, .. } => xml.len(),
+            WriteOp::AddTerm { terms } => terms.iter().map(String::len).sum(),
+            _ => 0,
+        }
+    }
+}
+
+/// A parsed mutation frame: the op, its client-generated idempotency
+/// key (empty for `checkpoint`), and the budget class governing its
+/// group-commit window.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct WriteRequest {
+    /// The mutation.
+    pub op: WriteOp,
+    /// Client-generated idempotency key: a retried send carries the
+    /// same key, and the server's dedupe table collapses replays into
+    /// the original's outcome.
+    pub key: String,
+    /// Budget class; writes default to `batch` (unlike queries).
+    pub class: BudgetClass,
+}
+
 /// A parsed request frame.
 #[derive(Debug, Clone, PartialEq)]
 pub enum Request {
@@ -283,6 +381,9 @@ pub enum Request {
     Shutdown,
     /// Execute a selection query.
     Query(Box<QueryRequest>),
+    /// Apply a mutation (or trigger a checkpoint) through the single
+    /// writer thread's group-commit WAL path.
+    Write(Box<WriteRequest>),
 }
 
 fn str_field(v: &Value, key: &str) -> Result<String, String> {
@@ -387,6 +488,69 @@ impl Request {
                 }
                 Ok(Request::Query(Box::new(q)))
             }
+            "insert_doc" | "delete_doc" | "add_term" | "add_edge" | "checkpoint" => {
+                let op = match verb.as_str() {
+                    "insert_doc" => WriteOp::InsertDoc {
+                        collection: str_field(&v, "collection")?,
+                        xml: str_field(&v, "xml")?,
+                    },
+                    "delete_doc" => WriteOp::DeleteDoc {
+                        collection: str_field(&v, "collection")?,
+                        doc_id: u64_field(&v, "doc_id")?
+                            .ok_or("missing field `doc_id`")?,
+                    },
+                    "add_term" => {
+                        let arr = v
+                            .get("terms")
+                            .and_then(Value::as_array)
+                            .ok_or("field `terms` must be an array of strings")?;
+                        let terms: Vec<String> = arr
+                            .iter()
+                            .map(|t| {
+                                t.as_str()
+                                    .map(str::to_string)
+                                    .ok_or("`terms` entries must be strings")
+                            })
+                            .collect::<Result<_, _>>()?;
+                        if terms.is_empty() {
+                            return Err("`terms` must not be empty".to_string());
+                        }
+                        WriteOp::AddTerm { terms }
+                    }
+                    "add_edge" => WriteOp::AddEdge {
+                        below: str_field(&v, "below")?,
+                        above: str_field(&v, "above")?,
+                    },
+                    _ => WriteOp::Checkpoint,
+                };
+                let key = match v.get("key") {
+                    None | Some(Value::Null) if op == WriteOp::Checkpoint => String::new(),
+                    None | Some(Value::Null) => {
+                        return Err(format!(
+                            "write verb `{verb}` requires an idempotency `key`"
+                        ))
+                    }
+                    Some(k) => {
+                        let k = k.as_str().ok_or("field `key` must be a string")?;
+                        if k.is_empty() {
+                            return Err("field `key` must be non-empty".to_string());
+                        }
+                        k.to_string()
+                    }
+                };
+                let class = match v.get("class") {
+                    // unlike queries, writes default to the batch class:
+                    // throughput-oriented group commit unless the client
+                    // explicitly asks for an interactive ack
+                    None | Some(Value::Null) => BudgetClass::Batch,
+                    Some(c) => {
+                        let s = c.as_str().ok_or("field `class` must be a string")?;
+                        BudgetClass::parse(s)
+                            .ok_or_else(|| format!("unknown budget class `{s}`"))?
+                    }
+                };
+                Ok(Request::Write(Box::new(WriteRequest { op, key, class })))
+            }
             other => Err(format!("unknown verb `{other}`")),
         }
     }
@@ -450,6 +614,38 @@ impl Request {
                 f.push(("max_results".into(), Value::Int(q.max_results as i64)));
                 f
             }
+            Request::Write(w) => {
+                let mut f: Vec<(String, Value)> =
+                    vec![("verb".into(), Value::Str(w.op.verb().into()))];
+                match &w.op {
+                    WriteOp::InsertDoc { collection, xml } => {
+                        f.push(("collection".into(), Value::Str(collection.clone())));
+                        f.push(("xml".into(), Value::Str(xml.clone())));
+                    }
+                    WriteOp::DeleteDoc { collection, doc_id } => {
+                        f.push(("collection".into(), Value::Str(collection.clone())));
+                        f.push(("doc_id".into(), Value::Int(*doc_id as i64)));
+                    }
+                    WriteOp::AddTerm { terms } => {
+                        f.push((
+                            "terms".into(),
+                            Value::Array(
+                                terms.iter().map(|t| Value::Str(t.clone())).collect(),
+                            ),
+                        ));
+                    }
+                    WriteOp::AddEdge { below, above } => {
+                        f.push(("below".into(), Value::Str(below.clone())));
+                        f.push(("above".into(), Value::Str(above.clone())));
+                    }
+                    WriteOp::Checkpoint => {}
+                }
+                if !w.key.is_empty() {
+                    f.push(("key".into(), Value::Str(w.key.clone())));
+                }
+                f.push(("class".into(), Value::Str(w.class.as_str().into())));
+                f
+            }
         };
         Value::Object(fields).to_json()
     }
@@ -477,6 +673,10 @@ pub fn record_to_value(r: &toss_obs::QueryRecord) -> Value {
             "degraded".into(),
             Value::Array(r.degraded.iter().map(|d| Value::Str(d.clone())).collect()),
         ),
+        ("op".into(), Value::Str(r.op.clone())),
+        ("batch_size".into(), Value::Int(r.batch_size as i64)),
+        ("fsync_ns".into(), Value::Int(r.fsync_ns as i64)),
+        ("deduped".into(), Value::Bool(r.deduped)),
     ])
 }
 
@@ -518,6 +718,10 @@ pub fn record_from_value(v: &Value) -> Option<toss_obs::QueryRecord> {
                     .collect()
             })
             .unwrap_or_default(),
+        op: s("op"),
+        batch_size: u("batch_size"),
+        fsync_ns: u("fsync_ns"),
+        deduped: matches!(v.get("deduped"), Some(Value::Bool(true))),
     })
 }
 
@@ -673,6 +877,58 @@ mod tests {
             let p = simple.to_payload();
             assert_eq!(Request::parse(p.as_bytes()).unwrap(), simple);
         }
+        // write verbs round-trip with their key and class
+        for op in [
+            WriteOp::InsertDoc {
+                collection: "dblp".into(),
+                xml: "<inproceedings/>".into(),
+            },
+            WriteOp::DeleteDoc {
+                collection: "dblp".into(),
+                doc_id: 42,
+            },
+            WriteOp::AddTerm {
+                terms: vec!["PODS".into(), "ICDE".into()],
+            },
+            WriteOp::AddEdge {
+                below: "PODS".into(),
+                above: "conference".into(),
+            },
+        ] {
+            let req = Request::Write(Box::new(WriteRequest {
+                op,
+                key: "wk-1".into(),
+                class: BudgetClass::Interactive,
+            }));
+            let p = req.to_payload();
+            assert_eq!(Request::parse(p.as_bytes()).unwrap(), req);
+        }
+        // checkpoint needs no key; writes default to the batch class
+        let cp = Request::Write(Box::new(WriteRequest {
+            op: WriteOp::Checkpoint,
+            key: String::new(),
+            class: BudgetClass::Batch,
+        }));
+        assert_eq!(Request::parse(cp.to_payload().as_bytes()).unwrap(), cp);
+        match Request::parse(
+            br#"{"verb":"insert_doc","collection":"c","xml":"<a/>","key":"k"}"#,
+        )
+        .unwrap()
+        {
+            Request::Write(w) => assert_eq!(w.class, BudgetClass::Batch),
+            other => panic!("expected a write, got {other:?}"),
+        }
+        // a mutation without a key is rejected at parse time
+        assert!(Request::parse(
+            br#"{"verb":"insert_doc","collection":"c","xml":"<a/>"}"#
+        )
+        .is_err());
+        assert!(Request::parse(
+            br#"{"verb":"delete_doc","collection":"c","doc_id":1,"key":""}"#
+        )
+        .is_err());
+        assert!(Request::parse(br#"{"verb":"add_term","terms":[],"key":"k"}"#).is_err());
+
         // `slow` defaults its limit and rejects unknown classes
         assert_eq!(
             Request::parse(b"{\"verb\":\"slow\"}").unwrap(),
@@ -703,6 +959,10 @@ mod tests {
             memory_bytes: 6,
             answers: 0,
             degraded: vec!["terms clamped".into()],
+            op: "insert_doc".into(),
+            batch_size: 7,
+            fsync_ns: 42_000,
+            deduped: true,
         };
         let v = record_to_value(&rec);
         let back = record_from_value(&v).unwrap();
@@ -713,6 +973,11 @@ mod tests {
         assert_eq!(back.total_ns, rec.total_ns);
         assert_eq!(back.queue_wait_ns, rec.queue_wait_ns);
         assert_eq!(back.degraded, rec.degraded);
+        // the write fields survive the round trip too
+        assert_eq!(back.op, rec.op);
+        assert_eq!(back.batch_size, rec.batch_size);
+        assert_eq!(back.fsync_ns, rec.fsync_ns);
+        assert!(back.deduped);
         // a record without a parseable outcome is rejected
         assert!(record_from_value(&Value::Object(vec![(
             "query_id".into(),
@@ -753,11 +1018,16 @@ mod tests {
             ErrorCode::Cancelled,
             ErrorCode::Internal,
             ErrorCode::ShuttingDown,
+            ErrorCode::Degraded,
         ] {
             assert_eq!(ErrorCode::parse(code.as_str()), Some(code));
         }
         assert!(ErrorCode::Overloaded.is_retryable());
         assert!(ErrorCode::ShuttingDown.is_retryable());
+        assert!(
+            ErrorCode::Degraded.is_retryable(),
+            "degraded self-heals, so clients may retry"
+        );
         assert!(!ErrorCode::BudgetExceeded.is_retryable());
         assert!(!ErrorCode::Internal.is_retryable());
         assert_eq!(

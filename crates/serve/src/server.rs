@@ -32,14 +32,15 @@
 use crate::budget::BudgetClass;
 use crate::protocol::{
     error_code_of, error_payload, ok_payload, read_frame, record_to_value, write_frame,
-    ErrorCode, FrameError, QueryRequest, Request, DEFAULT_MAX_FRAME_BYTES,
+    ErrorCode, FrameError, QueryRequest, Request, WriteRequest, DEFAULT_MAX_FRAME_BYTES,
 };
+use crate::write::{WriteEngine, WriteJob, WriteResult, WriteState, WriterLoop};
 use std::collections::HashMap;
 use std::io;
 use std::net::{Shutdown, SocketAddr, TcpListener, TcpStream, ToSocketAddrs};
 use std::path::PathBuf;
 use std::sync::atomic::{AtomicBool, AtomicU64, AtomicU8, AtomicUsize, Ordering};
-use std::sync::{Arc, Condvar, Mutex};
+use std::sync::{mpsc, Arc, Condvar, Mutex, RwLock};
 use std::thread;
 use std::time::{Duration, Instant};
 use toss_core::executor::QueryOutcome;
@@ -92,6 +93,9 @@ pub struct ServerConfig {
     /// Number of window buckets (windowed gauges cover
     /// `window_bucket × window_buckets` of trailing traffic).
     pub window_buckets: usize,
+    /// Depth of the writer thread's mutation queue; frames past it are
+    /// shed with `overloaded` instead of queueing unboundedly.
+    pub write_queue_depth: usize,
 }
 
 impl Default for ServerConfig {
@@ -111,6 +115,7 @@ impl Default for ServerConfig {
             slow_sample_every: 128,
             window_bucket: Duration::from_secs(1),
             window_buckets: 10,
+            write_queue_depth: 256,
         }
     }
 }
@@ -143,7 +148,16 @@ struct ConnEntry {
 
 struct Shared {
     cfg: ServerConfig,
-    executor: Arc<Executor>,
+    /// The executor behind a read/write lock: connection threads read,
+    /// the single writer thread takes the write lock briefly per
+    /// applied batch. Read-only servers simply never write.
+    executor: Arc<RwLock<Executor>>,
+    /// Mutation queue into the writer thread; `None` on read-only
+    /// servers, and taken (dropped) during drain so the writer exits
+    /// after committing what was already enqueued.
+    write_tx: Mutex<Option<mpsc::SyncSender<WriteJob>>>,
+    /// Observable writer state (`None` on read-only servers).
+    write_state: Option<Arc<WriteState>>,
     admission: AdmissionController,
     state: AtomicU8,
     shutdown_requested: AtomicBool,
@@ -232,6 +246,7 @@ pub struct Server {
     shared: Arc<Shared>,
     addr: SocketAddr,
     accept_thread: Option<thread::JoinHandle<()>>,
+    writer_thread: Option<thread::JoinHandle<()>>,
 }
 
 /// A cloneable handle that can request (not perform) shutdown from
@@ -251,9 +266,33 @@ impl ShutdownHandle {
 
 impl Server {
     /// Bind `addr` (use port 0 for an ephemeral port) and start serving
-    /// `executor` under `cfg`.
+    /// `executor` under `cfg`, **read-only** (mutation frames get a
+    /// typed `bad_request`; use [`Server::start_writable`] for the live
+    /// write path).
     pub fn start(
-        executor: Arc<Executor>,
+        executor: Arc<RwLock<Executor>>,
+        addr: impl ToSocketAddrs,
+        cfg: ServerConfig,
+    ) -> io::Result<Server> {
+        Server::start_inner(executor, None, addr, cfg)
+    }
+
+    /// Bind `addr` and start serving with the live write path enabled:
+    /// mutation frames flow through `engine`'s single writer thread
+    /// (group-commit WAL, idempotency dedupe, background checkpoints,
+    /// read-only degradation on persistent journal faults).
+    pub fn start_writable(
+        executor: Arc<RwLock<Executor>>,
+        engine: WriteEngine,
+        addr: impl ToSocketAddrs,
+        cfg: ServerConfig,
+    ) -> io::Result<Server> {
+        Server::start_inner(executor, Some(engine), addr, cfg)
+    }
+
+    fn start_inner(
+        executor: Arc<RwLock<Executor>>,
+        engine: Option<WriteEngine>,
         addr: impl ToSocketAddrs,
         cfg: ServerConfig,
     ) -> io::Result<Server> {
@@ -276,12 +315,22 @@ impl Server {
             .iter()
             .map(|c| (*c, RollingWindow::new(cfg.window_bucket, cfg.window_buckets)))
             .collect();
+        let write_state = engine.as_ref().map(|_| Arc::new(WriteState::default()));
+        let (write_tx, write_rx) = match engine {
+            Some(_) => {
+                let (tx, rx) = mpsc::sync_channel(cfg.write_queue_depth.max(1));
+                (Some(tx), Some(rx))
+            }
+            None => (None, None),
+        };
         let shared = Arc::new(Shared {
             flight: FlightRecorder::new(cfg.flight_capacity),
             slow_log,
             windows,
             cfg,
-            executor,
+            executor: executor.clone(),
+            write_tx: Mutex::new(write_tx),
+            write_state: write_state.clone(),
             admission,
             state: AtomicU8::new(STATE_RUNNING),
             shutdown_requested: AtomicBool::new(false),
@@ -295,6 +344,32 @@ impl Server {
         // Publish the windowed gauges (as zeros) up front so scrapes of
         // an idle server already see the full gauge set.
         shared.publish_windows();
+        let writer_thread = match (engine, write_rx, write_state) {
+            (Some(engine), Some(rx), Some(state)) => {
+                toss_obs::metrics::gauge("toss.serve.degraded").set(0);
+                let stamp_shared = shared.clone();
+                let stamp = Box::new(move |rec: QueryRecord| {
+                    let class =
+                        BudgetClass::parse(&rec.class).unwrap_or(BudgetClass::Batch);
+                    let (total_ns, outcome) = (rec.total_ns, rec.outcome);
+                    if let Some(log) = &stamp_shared.slow_log {
+                        log.offer(&rec);
+                    }
+                    stamp_shared.flight.record(rec);
+                    let w = stamp_shared.window_for(class);
+                    w.record(total_ns, outcome);
+                    w.snapshot()
+                        .publish_gauges(&format!("toss.serve.window.{}", class.as_str()));
+                });
+                let writer = WriterLoop::new(engine, executor, state, stamp);
+                Some(
+                    thread::Builder::new()
+                        .name("toss-serve-writer".into())
+                        .spawn(move || writer.run(rx))?,
+                )
+            }
+            _ => None,
+        };
         let accept_shared = shared.clone();
         let accept_thread = thread::Builder::new()
             .name("toss-serve-accept".into())
@@ -303,7 +378,13 @@ impl Server {
             shared,
             addr: local,
             accept_thread: Some(accept_thread),
+            writer_thread,
         })
+    }
+
+    /// Observable writer state (`None` on a read-only server).
+    pub fn write_state(&self) -> Option<Arc<WriteState>> {
+        self.shared.write_state.clone()
     }
 
     /// The bound address (with the resolved ephemeral port).
@@ -376,6 +457,16 @@ impl Server {
         // Phase 1: wait for in-flight queries up to the drain deadline.
         let deadline = t0 + sh.cfg.drain_deadline;
         sh.wait_until(deadline, || sh.inflight.load(Ordering::Acquire) == 0);
+
+        // Stop the write path: new mutations were already refused once
+        // the state left RUNNING; dropping the queue's sender lets the
+        // writer thread commit and ack everything already enqueued,
+        // then exit. Join it so every acknowledged write is fsynced
+        // before the drain report returns.
+        *sh.write_tx.lock().unwrap_or_else(|e| e.into_inner()) = None;
+        if let Some(t) = self.writer_thread.take() {
+            let _ = t.join();
+        }
 
         // Phase 2: cancel stragglers through their tokens.
         let mut cancelled = 0usize;
@@ -607,6 +698,199 @@ fn handle_payload(shared: &Arc<Shared>, entry: &Arc<ConnEntry>, payload: &[u8]) 
             }
         }
         Request::Query(q) => handle_query(shared, entry, &q),
+        Request::Write(w) => handle_write(shared, &w),
+    }
+}
+
+/// Stamp an ingress-rejected write (degraded, draining, oversize,
+/// shed): the writer thread never saw it, so telemetry happens here.
+fn stamp_write_rejection(shared: &Shared, qid: QueryId, w: &WriteRequest, code: ErrorCode, total: Duration) {
+    let rec = QueryRecord {
+        query_id: qid.0,
+        class: w.class.as_str().to_string(),
+        query: w.op.target(),
+        op: w.op.verb().to_string(),
+        outcome: QueryOutcomeKind::Error,
+        cause: code.as_str().to_string(),
+        total_ns: total.as_nanos().min(u64::MAX as u128) as u64,
+        ..QueryRecord::default()
+    };
+    if let Some(log) = &shared.slow_log {
+        log.offer(&rec);
+    }
+    shared.flight.record(rec);
+    let win = shared.window_for(w.class);
+    win.record(rec_total_ns(total), QueryOutcomeKind::Error);
+}
+
+fn rec_total_ns(total: Duration) -> u64 {
+    total.as_nanos().min(u64::MAX as u128) as u64
+}
+
+/// Dispatch one mutation frame into the writer thread's group-commit
+/// queue and block (bounded by the class deadline) for its fsynced ack.
+fn handle_write(shared: &Arc<Shared>, w: &WriteRequest) -> String {
+    let qid = QueryId::next();
+    let _ctx = toss_obs::set_current_query(qid);
+    let started = Instant::now();
+    toss_obs::metrics::counter("toss.serve.write.requests").inc();
+
+    let Some(state) = &shared.write_state else {
+        toss_obs::metrics::counter("toss.serve.errors.bad_request").inc();
+        return error_payload(
+            ErrorCode::BadRequest,
+            "this server is read-only: no write path is configured",
+            None,
+        );
+    };
+    if shared.state() != STATE_RUNNING {
+        toss_obs::metrics::counter("toss.serve.errors.shutting_down").inc();
+        stamp_write_rejection(shared, qid, w, ErrorCode::ShuttingDown, started.elapsed());
+        return error_payload(
+            ErrorCode::ShuttingDown,
+            "server is draining",
+            Some(shared.cfg.drain_deadline.as_millis().max(10) as u64),
+        );
+    }
+    // Read-only degraded mode: reject at ingress with the reason and a
+    // retry hint. Reads keep flowing; the writer thread's probe loop
+    // clears the flag once the journal is healthy again.
+    if state.is_degraded() {
+        toss_obs::metrics::counter("toss.serve.errors.degraded").inc();
+        stamp_write_rejection(shared, qid, w, ErrorCode::Degraded, started.elapsed());
+        return error_payload(
+            ErrorCode::Degraded,
+            &format!("server is read-only: {}", state.degraded_reason()),
+            Some(500),
+        );
+    }
+    // The class's write-size ceiling (cheap pre-admission check; the
+    // batch validator still owns semantic validation).
+    let bytes = w.op.payload_bytes();
+    if bytes > w.class.max_write_bytes() {
+        toss_obs::metrics::counter("toss.serve.errors.bad_request").inc();
+        stamp_write_rejection(shared, qid, w, ErrorCode::BadRequest, started.elapsed());
+        return error_payload(
+            ErrorCode::BadRequest,
+            &format!(
+                "write of {bytes} bytes exceeds the {} byte ceiling of class `{}`",
+                w.class.max_write_bytes(),
+                w.class.as_str()
+            ),
+            None,
+        );
+    }
+
+    let (reply_tx, reply_rx) = mpsc::sync_channel(1);
+    let job = WriteJob {
+        op: w.op.clone(),
+        key: w.key.clone(),
+        class: w.class,
+        query_id: qid.0,
+        enqueued: started,
+        reply: reply_tx,
+    };
+    {
+        let guard = shared.write_tx.lock().unwrap_or_else(|e| e.into_inner());
+        let Some(tx) = guard.as_ref() else {
+            return error_payload(
+                ErrorCode::ShuttingDown,
+                "server is draining",
+                Some(shared.cfg.drain_deadline.as_millis().max(10) as u64),
+            );
+        };
+        match tx.try_send(job) {
+            Ok(()) => {}
+            Err(mpsc::TrySendError::Full(_)) => {
+                toss_obs::metrics::counter("toss.serve.write.shed").inc();
+                stamp_write_rejection(
+                    shared,
+                    qid,
+                    w,
+                    ErrorCode::Overloaded,
+                    started.elapsed(),
+                );
+                return error_payload(
+                    ErrorCode::Overloaded,
+                    "write queue is full",
+                    Some(shared.retry_after_ms()),
+                );
+            }
+            Err(mpsc::TrySendError::Disconnected(_)) => {
+                return error_payload(
+                    ErrorCode::ShuttingDown,
+                    "server is draining",
+                    Some(shared.cfg.drain_deadline.as_millis().max(10) as u64),
+                );
+            }
+        }
+    }
+
+    // Count ourselves in flight so drain waits for the pending ack.
+    shared.inflight.fetch_add(1, Ordering::AcqRel);
+    toss_obs::metrics::gauge("toss.serve.inflight").inc();
+    let outcome = reply_rx.recv_timeout(w.class.max_deadline());
+    shared.inflight.fetch_sub(1, Ordering::AcqRel);
+    toss_obs::metrics::gauge("toss.serve.inflight").dec();
+    shared.notify();
+    let elapsed = started.elapsed();
+    toss_obs::metrics::histogram("toss.serve.request_ns").observe_duration(elapsed);
+
+    match outcome {
+        Ok(WriteResult::Applied {
+            seq,
+            doc_id,
+            deduped,
+            batch_size,
+            fsync_ns,
+        }) => ok_payload(vec![
+            ("query_id".into(), Value::Int(qid.0 as i64)),
+            ("verb".into(), Value::Str(w.op.verb().into())),
+            ("seq".into(), Value::Int(seq as i64)),
+            (
+                "doc_id".into(),
+                match doc_id {
+                    Some(id) => Value::Int(id as i64),
+                    None => Value::Null,
+                },
+            ),
+            ("deduped".into(), Value::Bool(deduped)),
+            ("batch_size".into(), Value::Int(batch_size as i64)),
+            ("fsync_ns".into(), Value::Int(fsync_ns as i64)),
+            ("server_us".into(), Value::Int(elapsed.as_micros() as i64)),
+        ]),
+        Ok(WriteResult::CheckpointDone { folded }) => ok_payload(vec![
+            ("query_id".into(), Value::Int(qid.0 as i64)),
+            ("verb".into(), Value::Str("checkpoint".into())),
+            ("folded".into(), Value::Int(folded as i64)),
+            ("server_us".into(), Value::Int(elapsed.as_micros() as i64)),
+        ]),
+        Ok(WriteResult::Failed {
+            code,
+            message,
+            retry_after_ms,
+        }) => {
+            toss_obs::metrics::counter(match code {
+                ErrorCode::Degraded => "toss.serve.errors.degraded",
+                ErrorCode::BadRequest => "toss.serve.errors.bad_request",
+                ErrorCode::Internal => "toss.serve.errors.internal",
+                _ => "toss.serve.errors.bad_request",
+            })
+            .inc();
+            error_payload(code, &message, retry_after_ms)
+        }
+        // The ack did not arrive inside the class deadline. The write
+        // may still commit — that is exactly what the idempotency key
+        // is for: the client retries with the same key and either gets
+        // the deduped original outcome or a fresh apply.
+        Err(_) => {
+            toss_obs::metrics::counter("toss.serve.write.ack_timeouts").inc();
+            error_payload(
+                ErrorCode::Overloaded,
+                "write ack timed out; retry with the same idempotency key",
+                Some(shared.retry_after_ms()),
+            )
+        }
     }
 }
 
@@ -661,6 +945,7 @@ fn stamp_query(
         memory_bytes: gov.map(|g| g.memory_used()).unwrap_or(0),
         answers: out.map(|o| o.forest.len() as u64).unwrap_or(0),
         degraded,
+        ..QueryRecord::default()
     };
     if let Some(log) = &shared.slow_log {
         log.offer(&rec);
@@ -726,10 +1011,15 @@ fn handle_query(shared: &Arc<Shared>, entry: &Arc<ConnEntry>, q: &QueryRequest) 
     shared.inflight.fetch_add(1, Ordering::AcqRel);
     toss_obs::metrics::gauge("toss.serve.inflight").inc();
 
-    let executor = shared.executor.clone();
+    // Hold the executor read lock for the query's whole execution:
+    // in-flight reads keep a consistent snapshot (the writer thread's
+    // apply phase takes the write lock, so a batch becomes visible
+    // between queries, never inside one).
+    let executor = shared.executor.read().unwrap_or_else(|e| e.into_inner());
     let (queue_wait, result) = shared
         .admission
         .run_with_wait(&gov, || executor.select_governed(&query, mode, &gov));
+    drop(executor);
     let elapsed = started.elapsed();
 
     shared.inflight.fetch_sub(1, Ordering::AcqRel);
@@ -855,6 +1145,7 @@ fn stats_payload(shared: &Arc<Shared>) -> String {
             Value::Int(shared.conn_count() as i64),
         ),
         ("windows".into(), Value::Object(window_fields)),
+        ("write".into(), write_stats_value(shared)),
         (
             "flight".into(),
             Value::Object(vec![
@@ -870,6 +1161,38 @@ fn stats_payload(shared: &Arc<Shared>) -> String {
             ]),
         ),
     ])
+}
+
+/// The `stats` frame's write-path object: writability, degraded state
+/// (with its reason), the executor revision, and the writer's counters.
+fn write_stats_value(shared: &Arc<Shared>) -> Value {
+    let revision = shared
+        .executor
+        .read()
+        .unwrap_or_else(|e| e.into_inner())
+        .revision();
+    match &shared.write_state {
+        None => Value::Object(vec![
+            ("writable".into(), Value::Bool(false)),
+            ("revision".into(), Value::Int(revision as i64)),
+        ]),
+        Some(st) => {
+            let u = |a: &AtomicU64| a.load(Ordering::Relaxed) as i64;
+            Value::Object(vec![
+                ("writable".into(), Value::Bool(true)),
+                ("degraded".into(), Value::Bool(st.is_degraded())),
+                ("reason".into(), Value::Str(st.degraded_reason())),
+                ("revision".into(), Value::Int(revision as i64)),
+                ("applied".into(), Value::Int(u(&st.applied))),
+                ("deduped".into(), Value::Int(u(&st.deduped))),
+                ("rejected".into(), Value::Int(u(&st.rejected))),
+                ("batches".into(), Value::Int(u(&st.batches))),
+                ("checkpoints".into(), Value::Int(u(&st.checkpoints))),
+                ("last_fsync_ns".into(), Value::Int(u(&st.last_fsync_ns))),
+                ("last_seq".into(), Value::Int(u(&st.last_seq))),
+            ])
+        }
+    }
 }
 
 /// The `slow` admin frame: recent flight-recorder entries, newest

@@ -1,0 +1,886 @@
+//! The live write path: a single writer thread draining mutation frames
+//! into the WAL with **group commit**, then applying them to the shared
+//! [`Executor`] under a short write lock.
+//!
+//! ## The ack contract
+//!
+//! A write is acknowledged only after the journal batch containing it
+//! has been appended **and fsynced** ([`toss_xmldb::DurableWriter::append_batch`]
+//! is all-or-nothing: one append, one fsync, no sequence numbers
+//! consumed on failure). `ack ⇒ fsynced ⇒ survives crash` — the crash
+//! campaign in `tests/serve.rs` replays kill schedules against exactly
+//! this invariant.
+//!
+//! ## Group commit
+//!
+//! The writer collects a batch for at most the *smallest*
+//! [`BudgetClass::group_commit_window`] among its members (an
+//! interactive write shrinks the window; batch writes ride along), then
+//! validates the whole batch with [`toss_xmldb::BatchValidator`]
+//! (sequential overlay: later ops may depend on earlier ones), journals
+//! it with a single fsync, applies it under the executor write lock,
+//! bumps the revision **once** via [`Executor::note_write_batch`] —
+//! which also swaps in a freshly re-enhanced SEO when the batch touched
+//! the ontology, invalidating the version-keyed rewrite cache exactly
+//! once — and only then acks every waiter.
+//!
+//! ## Idempotency
+//!
+//! Every mutation frame carries a client-generated key. Acknowledged
+//! keys go into a bounded FIFO dedupe table; a replayed key (a retry of
+//! a write whose ack was lost) is answered from the table without
+//! re-applying. This is what makes `toss-client`'s jittered retry safe
+//! for writes.
+//!
+//! ## Degradation and self-healing
+//!
+//! When a journal append still fails after the retry/backoff budget
+//! (ENOSPC, persistent I/O errors), the server flips to **read-only
+//! degraded** state: writes are rejected with a typed `degraded` frame
+//! carrying the reason and a retry hint, reads keep flowing, and the
+//! `toss.serve.degraded` gauge goes to 1. The writer thread then probes
+//! the journal on every idle tick ([`toss_xmldb::DurableWriter::probe`]
+//! appends a `Noop`, repairing a poisoned journal first); the first
+//! successful probe clears degraded state.
+//!
+//! ## Checkpoints
+//!
+//! A checkpoint serializes the store and the SEO sidecar under a *read*
+//! lock (readers keep running), persists both lock-free, verifies the
+//! snapshot by reloading it, and only then truncates the journal to the
+//! records at or past the cursor. Ontology mutations are store no-ops,
+//! so the sidecar (`<snapshot>.ont.json`) plus the journal tail is what
+//! reconstructs the hierarchy on restart — see [`recover_ontology`].
+
+use crate::budget::BudgetClass;
+use crate::protocol::{ErrorCode, WriteOp};
+use std::collections::{HashMap, VecDeque};
+use std::path::{Path, PathBuf};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::mpsc::{Receiver, RecvTimeoutError, SyncSender};
+use std::sync::{Arc, Mutex, RwLock};
+use std::time::{Duration, Instant};
+use toss_core::Executor;
+use toss_json::Value;
+use toss_obs::QueryRecord;
+use toss_ontology::hierarchy::Hierarchy;
+use toss_ontology::seo::Seo;
+use toss_xmldb::storage::save_json_with_vfs;
+use toss_xmldb::{
+    apply_op, BatchValidator, DurableWriter, JournalOp, JournalRecord, Vfs,
+};
+
+/// Rebuild a [`Seo`] from a grown hierarchy. The serving layer is
+/// metric-agnostic: the embedder (CLI, tests) closes over whatever
+/// metric and ε the original SEO was built with.
+pub type Enhancer = Box<dyn Fn(&Hierarchy) -> Result<Seo, String> + Send>;
+
+/// Tunables for the writer thread.
+pub struct WriteConfig {
+    /// Ceiling on ops per group-commit batch.
+    pub max_batch: usize,
+    /// Bounded recent-keys dedupe table size (FIFO eviction).
+    pub dedupe_capacity: usize,
+    /// Journal-append retries before flipping to degraded.
+    pub append_retries: u32,
+    /// Backoff between append retries.
+    pub append_backoff: Duration,
+    /// Auto-checkpoint once this many journal records accumulate
+    /// (0 disables; explicit `checkpoint` frames always work).
+    pub checkpoint_every: usize,
+    /// Idle tick: degraded-mode probe cadence and queue poll interval.
+    pub tick: Duration,
+}
+
+impl Default for WriteConfig {
+    fn default() -> Self {
+        WriteConfig {
+            max_batch: 64,
+            dedupe_capacity: 1024,
+            append_retries: 2,
+            append_backoff: Duration::from_millis(5),
+            checkpoint_every: 4096,
+            tick: Duration::from_millis(50),
+        }
+    }
+}
+
+/// The durability half a writable server owns: the WAL writer split off
+/// a [`toss_xmldb::DurableDatabase`], the live ontology hierarchy, and
+/// the enhancer that rebuilds the SEO after ontology mutations.
+pub struct WriteEngine {
+    /// Journal + snapshot path + vfs (from `DurableDatabase::into_parts`).
+    pub writer: DurableWriter,
+    /// The authoritative hierarchy the ontology ops mutate.
+    pub hierarchy: Hierarchy,
+    /// Rebuilds the SEO from the hierarchy after ontology mutations.
+    pub enhancer: Enhancer,
+    /// Writer-thread tunables.
+    pub config: WriteConfig,
+}
+
+/// Observable writer state, shared with connection threads (ingress
+/// rejection) and the `stats` admin frame.
+#[derive(Debug, Default)]
+pub struct WriteState {
+    degraded: AtomicBool,
+    reason: Mutex<String>,
+    /// Mutations applied (excluding dedupe hits and checkpoints).
+    pub applied: AtomicU64,
+    /// Replayed idempotency keys answered from the dedupe table.
+    pub deduped: AtomicU64,
+    /// Writes rejected by validation.
+    pub rejected: AtomicU64,
+    /// Group-commit batches fsynced.
+    pub batches: AtomicU64,
+    /// Checkpoints completed.
+    pub checkpoints: AtomicU64,
+    /// Duration of the most recent batch fsync, nanoseconds.
+    pub last_fsync_ns: AtomicU64,
+    /// Highest acknowledged journal sequence number.
+    pub last_seq: AtomicU64,
+}
+
+impl WriteState {
+    /// Whether the server is in read-only degraded mode.
+    pub fn is_degraded(&self) -> bool {
+        self.degraded.load(Ordering::Acquire)
+    }
+
+    /// The degradation reason ("" when healthy).
+    pub fn degraded_reason(&self) -> String {
+        self.reason.lock().unwrap_or_else(|e| e.into_inner()).clone()
+    }
+
+    fn enter_degraded(&self, reason: String) {
+        *self.reason.lock().unwrap_or_else(|e| e.into_inner()) = reason;
+        if !self.degraded.swap(true, Ordering::AcqRel) {
+            toss_obs::metrics::counter("toss.serve.write.degraded_entered").inc();
+        }
+        toss_obs::metrics::gauge("toss.serve.degraded").set(1);
+    }
+
+    fn clear_degraded(&self) {
+        self.reason.lock().unwrap_or_else(|e| e.into_inner()).clear();
+        if self.degraded.swap(false, Ordering::AcqRel) {
+            toss_obs::metrics::counter("toss.serve.write.healed").inc();
+        }
+        toss_obs::metrics::gauge("toss.serve.degraded").set(0);
+    }
+}
+
+/// One enqueued mutation: the frame's contents plus the channel its
+/// connection thread blocks on until the batch fsyncs.
+pub(crate) struct WriteJob {
+    pub op: WriteOp,
+    pub key: String,
+    pub class: BudgetClass,
+    pub query_id: u64,
+    pub enqueued: Instant,
+    pub reply: SyncSender<WriteResult>,
+}
+
+/// The writer thread's verdict on one job.
+#[derive(Debug, Clone)]
+pub(crate) enum WriteResult {
+    /// Journaled, fsynced and applied (or collapsed onto a previously
+    /// acknowledged write with the same key).
+    Applied {
+        seq: u64,
+        doc_id: Option<u64>,
+        deduped: bool,
+        batch_size: u64,
+        fsync_ns: u64,
+    },
+    /// A checkpoint completed; `folded` journal records were truncated.
+    CheckpointDone { folded: u64 },
+    /// Rejected (validation, degradation, internal fault).
+    Failed {
+        code: ErrorCode,
+        message: String,
+        retry_after_ms: Option<u64>,
+    },
+}
+
+/// The outcome cached per acknowledged idempotency key.
+#[derive(Debug, Clone, Copy)]
+struct AckedOutcome {
+    seq: u64,
+    doc_id: Option<u64>,
+}
+
+/// Bounded FIFO map of recently acknowledged idempotency keys.
+struct DedupeTable {
+    capacity: usize,
+    map: HashMap<String, AckedOutcome>,
+    order: VecDeque<String>,
+}
+
+impl DedupeTable {
+    fn new(capacity: usize) -> Self {
+        DedupeTable {
+            capacity: capacity.max(1),
+            map: HashMap::new(),
+            order: VecDeque::new(),
+        }
+    }
+
+    fn get(&self, key: &str) -> Option<AckedOutcome> {
+        self.map.get(key).copied()
+    }
+
+    fn insert(&mut self, key: String, outcome: AckedOutcome) {
+        if self.map.insert(key.clone(), outcome).is_none() {
+            self.order.push_back(key);
+            while self.order.len() > self.capacity {
+                if let Some(old) = self.order.pop_front() {
+                    self.map.remove(&old);
+                }
+            }
+        }
+    }
+}
+
+/// The sidecar path holding the persisted SEO next to the snapshot.
+pub fn sidecar_path(snapshot: &Path) -> PathBuf {
+    snapshot.with_extension("ont.json")
+}
+
+/// Load the ontology sidecar, returning its journal cursor and the
+/// persisted SEO. `None` when absent or unreadable (fresh store, or a
+/// sidecar torn by a crash — the caller falls back to its baseline
+/// ontology plus a full journal replay).
+pub fn load_sidecar(vfs: &dyn Vfs, snapshot: &Path) -> Option<(u64, Seo)> {
+    let bytes = vfs.read(&sidecar_path(snapshot)).ok()?;
+    let text = String::from_utf8(bytes).ok()?;
+    let v = Value::parse(&text).ok()?;
+    let cursor = v.get("cursor").and_then(Value::as_i64)?.max(0) as u64;
+    let seo =
+        toss_ontology::persist::seo_from_json(&v.get("seo")?.to_json()).ok()?;
+    Some((cursor, seo))
+}
+
+/// Replay the ontology tail of a journal scan onto `hierarchy`: every
+/// `add_term`/`add_edge` record with `seq >= cursor` (doc ops and
+/// no-ops are skipped — the store replay handled those). Returns how
+/// many records mutated the hierarchy.
+pub fn recover_ontology(
+    hierarchy: &mut Hierarchy,
+    records: &[JournalRecord],
+    cursor: u64,
+) -> usize {
+    let mut applied = 0;
+    for rec in records.iter().filter(|r| r.seq >= cursor) {
+        match &rec.op {
+            JournalOp::AddTerm { terms } => {
+                for t in terms {
+                    hierarchy.add_term(t);
+                }
+                applied += 1;
+            }
+            // a cycle here means the edge was journaled against a
+            // different hierarchy state; skip rather than die — the
+            // journal is replayed leniently, like store recovery
+            JournalOp::AddEdge { below, above }
+                if hierarchy.add_leq(below, above).is_ok() =>
+            {
+                applied += 1;
+            }
+            _ => {}
+        }
+    }
+    applied
+}
+
+/// Convert a wire mutation into its journal form. `Checkpoint` has no
+/// journal form (it is a writer-thread action, not a logged op).
+fn to_journal_op(op: &WriteOp) -> Option<JournalOp> {
+    Some(match op {
+        WriteOp::InsertDoc { collection, xml } => JournalOp::Insert {
+            collection: collection.clone(),
+            xml: xml.clone(),
+        },
+        WriteOp::DeleteDoc { collection, doc_id } => JournalOp::Remove {
+            collection: collection.clone(),
+            doc_id: *doc_id,
+        },
+        WriteOp::AddTerm { terms } => JournalOp::AddTerm {
+            terms: terms.clone(),
+        },
+        WriteOp::AddEdge { below, above } => JournalOp::AddEdge {
+            below: below.clone(),
+            above: above.clone(),
+        },
+        WriteOp::Checkpoint => return None,
+    })
+}
+
+/// Everything the writer thread owns while running.
+pub(crate) struct WriterLoop {
+    engine: WriteEngine,
+    executor: Arc<RwLock<Executor>>,
+    state: Arc<WriteState>,
+    dedupe: DedupeTable,
+    /// Telemetry sink provided by the server (flight recorder +
+    /// slow-query log + SLO window for the job's class).
+    stamp: Box<dyn Fn(QueryRecord) + Send>,
+}
+
+impl WriterLoop {
+    pub(crate) fn new(
+        engine: WriteEngine,
+        executor: Arc<RwLock<Executor>>,
+        state: Arc<WriteState>,
+        stamp: Box<dyn Fn(QueryRecord) + Send>,
+    ) -> Self {
+        let dedupe = DedupeTable::new(engine.config.dedupe_capacity);
+        WriterLoop {
+            engine,
+            executor,
+            state,
+            dedupe,
+            stamp,
+        }
+    }
+
+    /// The thread body: drain jobs until every sender is gone (server
+    /// drain drops the queue's sender after refusing new writes, so
+    /// already-enqueued writes still commit and ack during shutdown).
+    pub(crate) fn run(mut self, rx: Receiver<WriteJob>) {
+        loop {
+            match rx.recv_timeout(self.engine.config.tick) {
+                Ok(job) => {
+                    let (batch, checkpoint) = self.collect_batch(job, &rx);
+                    if !batch.is_empty() {
+                        self.commit_batch(batch);
+                    }
+                    if let Some(cp) = checkpoint {
+                        self.run_checkpoint(cp);
+                    }
+                }
+                Err(RecvTimeoutError::Timeout) => self.idle_tick(),
+                Err(RecvTimeoutError::Disconnected) => break,
+            }
+        }
+    }
+
+    /// Collect one group-commit batch starting at `first`. The window
+    /// is the smallest member's class window, measured from the first
+    /// job; a `checkpoint` job closes the batch and is returned
+    /// separately (it must run after the batch it arrived behind).
+    fn collect_batch(
+        &mut self,
+        first: WriteJob,
+        rx: &Receiver<WriteJob>,
+    ) -> (Vec<WriteJob>, Option<WriteJob>) {
+        let t0 = Instant::now();
+        let mut window = first.class.group_commit_window();
+        let mut batch = Vec::new();
+        let mut checkpoint = None;
+        let push = |job: WriteJob,
+                        window: &mut Duration,
+                        batch: &mut Vec<WriteJob>,
+                        checkpoint: &mut Option<WriteJob>| {
+            if matches!(job.op, WriteOp::Checkpoint) {
+                *checkpoint = Some(job);
+                true // checkpoint closes the batch
+            } else {
+                *window = (*window).min(job.class.group_commit_window());
+                batch.push(job);
+                false
+            }
+        };
+        let closed = push(first, &mut window, &mut batch, &mut checkpoint);
+        if !closed {
+            while batch.len() < self.engine.config.max_batch {
+                let left = window.checked_sub(t0.elapsed()).unwrap_or_default();
+                if left.is_zero() {
+                    break;
+                }
+                match rx.recv_timeout(left) {
+                    Ok(job) => {
+                        if push(job, &mut window, &mut batch, &mut checkpoint) {
+                            break;
+                        }
+                    }
+                    Err(_) => break,
+                }
+            }
+        }
+        (batch, checkpoint)
+    }
+
+    /// Degraded-mode self-heal: probe the journal; the first successful
+    /// probe clears the flag. Healthy idle ticks are free.
+    fn idle_tick(&mut self) {
+        if !self.state.is_degraded() {
+            return;
+        }
+        match self.engine.writer.probe() {
+            Ok(_) => {
+                self.state.clear_degraded();
+                toss_obs::metrics::counter("toss.serve.write.probes_ok").inc();
+            }
+            Err(_) => {
+                toss_obs::metrics::counter("toss.serve.write.probes_failed").inc();
+            }
+        }
+    }
+
+    /// Validate, journal (group commit), apply, ack.
+    fn commit_batch(&mut self, batch: Vec<WriteJob>) {
+        // Degraded ingress check is done by connection threads, but a
+        // job can race the flag flip; reject here too.
+        if self.state.is_degraded() {
+            let reason = self.state.degraded_reason();
+            for job in batch {
+                self.finish(
+                    job,
+                    WriteResult::Failed {
+                        code: ErrorCode::Degraded,
+                        message: format!("server is read-only: {reason}"),
+                        retry_after_ms: Some(500),
+                    },
+                );
+            }
+            return;
+        }
+
+        // Phase 1 — validate under a read lock (readers unaffected;
+        // the single-writer invariant means nobody else mutates).
+        // Dedupe hits are answered immediately; invalid ops are
+        // rejected to their own clients and dropped from the batch.
+        let mut accepted: Vec<(WriteJob, JournalOp)> = Vec::new();
+        let mut ontology_scratch: Option<Hierarchy> = None;
+        {
+            let exec = self.executor.read().unwrap_or_else(|e| e.into_inner());
+            let mut validator = BatchValidator::new(&exec.db);
+            for job in batch {
+                if let Some(hit) = self.dedupe.get(&job.key) {
+                    self.state.deduped.fetch_add(1, Ordering::Relaxed);
+                    toss_obs::metrics::counter("toss.serve.write.dedupe_hits").inc();
+                    self.finish(
+                        job,
+                        WriteResult::Applied {
+                            seq: hit.seq,
+                            doc_id: hit.doc_id,
+                            deduped: true,
+                            batch_size: 0,
+                            fsync_ns: 0,
+                        },
+                    );
+                    continue;
+                }
+                let Some(jop) = to_journal_op(&job.op) else {
+                    continue; // checkpoint never reaches here
+                };
+                let verdict = match &jop {
+                    JournalOp::AddTerm { .. } | JournalOp::AddEdge { .. } => {
+                        // ontology ops validate against a scratch clone
+                        // so in-batch edges see in-batch terms; a failed
+                        // op must not leak half its effects into the
+                        // scratch, hence the pre-op snapshot
+                        let scratch = ontology_scratch
+                            .get_or_insert_with(|| self.engine.hierarchy.clone());
+                        let before = scratch.clone();
+                        let r = match &jop {
+                            JournalOp::AddTerm { terms } => {
+                                for t in terms {
+                                    scratch.add_term(t);
+                                }
+                                Ok(())
+                            }
+                            JournalOp::AddEdge { below, above } => scratch
+                                .add_leq(below, above)
+                                .map(|_| ())
+                                .map_err(|e| e.to_string()),
+                            _ => unreachable!(),
+                        };
+                        if r.is_err() {
+                            *scratch = before;
+                        }
+                        r
+                    }
+                    other => validator.check(other).map_err(|e| e.to_string()),
+                };
+                match verdict {
+                    Ok(()) => accepted.push((job, jop)),
+                    Err(msg) => {
+                        self.state.rejected.fetch_add(1, Ordering::Relaxed);
+                        toss_obs::metrics::counter("toss.serve.write.rejected").inc();
+                        self.finish(
+                            job,
+                            WriteResult::Failed {
+                                code: ErrorCode::BadRequest,
+                                message: msg,
+                                retry_after_ms: None,
+                            },
+                        );
+                    }
+                }
+            }
+        }
+        if accepted.is_empty() {
+            return;
+        }
+
+        // Phase 2 — group commit: one journal append + one fsync for
+        // the whole batch, with a bounded retry/backoff budget. Ack
+        // nothing before this succeeds.
+        let ops: Vec<JournalOp> = accepted.iter().map(|(_, op)| op.clone()).collect();
+        let fsync_started = Instant::now();
+        let mut attempt = 0;
+        let seqs = loop {
+            match self.engine.writer.append_batch(&ops) {
+                Ok(seqs) => break Some(seqs),
+                Err(e) if attempt < self.engine.config.append_retries => {
+                    attempt += 1;
+                    toss_obs::metrics::counter("toss.serve.write.append_retries").inc();
+                    std::thread::sleep(self.engine.config.append_backoff);
+                    let _ = e;
+                }
+                Err(e) => {
+                    // past the budget: flip to read-only degraded, fail
+                    // the whole batch with the typed frame. Nothing was
+                    // acked, nothing was applied; the journal consumed
+                    // no sequence numbers.
+                    self.state.enter_degraded(e.to_string());
+                    for (job, _) in accepted.drain(..) {
+                        self.finish(
+                            job,
+                            WriteResult::Failed {
+                                code: ErrorCode::Degraded,
+                                message: format!("journal append failed: {e}"),
+                                retry_after_ms: Some(500),
+                            },
+                        );
+                    }
+                    break None;
+                }
+            }
+        };
+        let Some(seqs) = seqs else { return };
+        let fsync_ns =
+            fsync_started.elapsed().as_nanos().min(u64::MAX as u128) as u64;
+        let batch_size = accepted.len() as u64;
+        toss_obs::metrics::histogram("toss.serve.write.batch_fsync_ns")
+            .observe(fsync_ns);
+        toss_obs::metrics::histogram("toss.serve.write.batch_size").observe(batch_size);
+
+        // Phase 3 — apply under the write lock. After validation,
+        // apply_op cannot fail; the revision bumps once per batch, and
+        // an ontology-touching batch swaps in the re-enhanced SEO in
+        // the same breath (one rewrite-cache invalidation).
+        let mut doc_ids: Vec<Option<u64>> = Vec::with_capacity(accepted.len());
+        let mut apply_err: Option<String> = None;
+        let new_seo = match ontology_scratch {
+            Some(scratch) => match (self.engine.enhancer)(&scratch) {
+                Ok(seo) => {
+                    self.engine.hierarchy = scratch;
+                    Some(Arc::new(seo))
+                }
+                Err(e) => {
+                    apply_err = Some(format!("SEO re-enhancement failed: {e}"));
+                    None
+                }
+            },
+            None => None,
+        };
+        if apply_err.is_none() {
+            let mut exec = self.executor.write().unwrap_or_else(|e| e.into_inner());
+            for (_, op) in &accepted {
+                match apply_op(&mut exec.db, op) {
+                    Ok(id) => doc_ids.push(id.map(|d| d.0)),
+                    Err(e) => {
+                        // validated ops cannot fail to apply; if one
+                        // does, the journal is ahead of memory — record
+                        // loudly and fail the remaining acks (recovery
+                        // replay will reconcile)
+                        apply_err = Some(e.to_string());
+                        toss_obs::metrics::counter("toss.serve.write.apply_faults")
+                            .inc();
+                        break;
+                    }
+                }
+            }
+            if apply_err.is_none() {
+                exec.note_write_batch(new_seo);
+            }
+        }
+        if let Some(msg) = apply_err {
+            for (job, _) in accepted {
+                self.finish(
+                    job,
+                    WriteResult::Failed {
+                        code: ErrorCode::Internal,
+                        message: msg.clone(),
+                        retry_after_ms: None,
+                    },
+                );
+            }
+            return;
+        }
+
+        // Phase 4 — ack everything, then remember the keys.
+        self.state.batches.fetch_add(1, Ordering::Relaxed);
+        self.state
+            .applied
+            .fetch_add(batch_size, Ordering::Relaxed);
+        self.state.last_fsync_ns.store(fsync_ns, Ordering::Relaxed);
+        if let Some(&last) = seqs.last() {
+            self.state.last_seq.store(last, Ordering::Relaxed);
+        }
+        for (i, (job, _)) in accepted.into_iter().enumerate() {
+            let outcome = AckedOutcome {
+                seq: seqs[i],
+                doc_id: doc_ids[i],
+            };
+            self.dedupe.insert(job.key.clone(), outcome);
+            self.finish(
+                job,
+                WriteResult::Applied {
+                    seq: outcome.seq,
+                    doc_id: outcome.doc_id,
+                    deduped: false,
+                    batch_size,
+                    fsync_ns,
+                },
+            );
+        }
+
+        // Opportunistic background checkpoint once the journal grows
+        // past the configured threshold.
+        let every = self.engine.config.checkpoint_every;
+        if every > 0 {
+            if let Ok(pending) = self.engine.writer.pending_journal_ops() {
+                if pending >= every {
+                    // a failed opportunistic checkpoint loses nothing;
+                    // the server stays writable and retries next batch
+                    if self.checkpoint_now().is_err() {
+                        toss_obs::metrics::counter(
+                            "toss.serve.write.checkpoint_failures",
+                        )
+                        .inc();
+                    }
+                }
+            }
+        }
+    }
+
+    /// Serialize under a read lock, persist + verify + truncate
+    /// lock-free. Returns how many journal records were folded away.
+    fn checkpoint_now(&mut self) -> Result<u64, String> {
+        let cursor = self.engine.writer.next_seq();
+        let before = self
+            .engine
+            .writer
+            .pending_journal_ops()
+            .unwrap_or_default() as u64;
+        // Readers keep running: only the serialization itself holds
+        // the read lock, the I/O below does not.
+        let (db_json, seo_json) = {
+            let exec = self.executor.read().unwrap_or_else(|e| e.into_inner());
+            let db_json = toss_xmldb::storage::to_json_with_seq(&exec.db, cursor)
+                .map_err(|e| e.to_string())?;
+            let seo_json = toss_ontology::persist::seo_to_json(&exec.seo);
+            (db_json, seo_json)
+        };
+        // Sidecar first: if it fails, the journal is untouched and the
+        // old snapshot + full journal still recover everything.
+        let envelope = format!("{{\"cursor\":{cursor},\"seo\":{seo_json}}}");
+        save_json_with_vfs(
+            &envelope,
+            &sidecar_path(self.engine.writer.snapshot_path()),
+            &**self.engine.writer.vfs(),
+        )
+        .map_err(|e| e.to_string())?;
+        self.engine
+            .writer
+            .checkpoint_json(&db_json, cursor)
+            .map_err(|e| e.to_string())?;
+        self.state.checkpoints.fetch_add(1, Ordering::Relaxed);
+        toss_obs::metrics::counter("toss.serve.write.checkpoints").inc();
+        Ok(before)
+    }
+
+    fn run_checkpoint(&mut self, job: WriteJob) {
+        match self.checkpoint_now() {
+            Ok(folded) => self.finish(job, WriteResult::CheckpointDone { folded }),
+            Err(msg) => {
+                // a failed checkpoint loses nothing (the journal is
+                // only truncated after the new snapshot verified); the
+                // server stays writable
+                toss_obs::metrics::counter("toss.serve.write.checkpoint_failures")
+                    .inc();
+                self.finish(
+                    job,
+                    WriteResult::Failed {
+                        code: ErrorCode::Internal,
+                        message: format!("checkpoint failed: {msg}"),
+                        retry_after_ms: None,
+                    },
+                );
+            }
+        }
+    }
+
+    /// Stamp the job's telemetry record and send its result (the
+    /// connection thread may have timed out and gone — a dead channel
+    /// is fine, the outcome is already durable or already rejected).
+    fn finish(&self, job: WriteJob, result: WriteResult) {
+        let total_ns = job
+            .enqueued
+            .elapsed()
+            .as_nanos()
+            .min(u64::MAX as u128) as u64;
+        let (outcome, cause, batch_size, fsync_ns, deduped) = match &result {
+            WriteResult::Applied {
+                batch_size,
+                fsync_ns,
+                deduped,
+                ..
+            } => (
+                toss_obs::QueryOutcomeKind::Ok,
+                String::new(),
+                *batch_size,
+                *fsync_ns,
+                *deduped,
+            ),
+            WriteResult::CheckpointDone { .. } => {
+                (toss_obs::QueryOutcomeKind::Ok, String::new(), 0, 0, false)
+            }
+            WriteResult::Failed { code, .. } => (
+                toss_obs::QueryOutcomeKind::Error,
+                code.as_str().to_string(),
+                0,
+                0,
+                false,
+            ),
+        };
+        (self.stamp)(QueryRecord {
+            query_id: job.query_id,
+            class: job.class.as_str().to_string(),
+            query: job.op.target(),
+            op: job.op.verb().to_string(),
+            outcome,
+            cause,
+            total_ns,
+            batch_size,
+            fsync_ns,
+            deduped,
+            ..QueryRecord::default()
+        });
+        let _ = job.reply.send(result);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn dedupe_table_is_bounded_fifo() {
+        let mut t = DedupeTable::new(3);
+        for i in 0..5u64 {
+            t.insert(
+                format!("k{i}"),
+                AckedOutcome {
+                    seq: i,
+                    doc_id: None,
+                },
+            );
+        }
+        // the two oldest keys were evicted
+        assert!(t.get("k0").is_none());
+        assert!(t.get("k1").is_none());
+        for i in 2..5u64 {
+            assert_eq!(t.get(&format!("k{i}")).unwrap().seq, i);
+        }
+        // re-inserting an existing key does not grow the order queue
+        t.insert(
+            "k4".into(),
+            AckedOutcome {
+                seq: 99,
+                doc_id: Some(1),
+            },
+        );
+        assert_eq!(t.get("k4").unwrap().seq, 99);
+        assert_eq!(t.order.len(), 3);
+    }
+
+    #[test]
+    fn ontology_replay_applies_tail_and_skips_cycles() {
+        let mut h = Hierarchy::default();
+        h.add_leq("SIGMOD", "conference").unwrap();
+        let records = vec![
+            JournalRecord {
+                seq: 5,
+                op: JournalOp::AddTerm {
+                    terms: vec!["PODS".into()],
+                },
+            },
+            JournalRecord {
+                seq: 6,
+                op: JournalOp::AddEdge {
+                    below: "PODS".into(),
+                    above: "conference".into(),
+                },
+            },
+            // below the cursor: already folded into the sidecar
+            JournalRecord {
+                seq: 2,
+                op: JournalOp::AddTerm {
+                    terms: vec!["stale".into()],
+                },
+            },
+            // a cycle is skipped, not fatal
+            JournalRecord {
+                seq: 7,
+                op: JournalOp::AddEdge {
+                    below: "conference".into(),
+                    above: "PODS".into(),
+                },
+            },
+            JournalRecord {
+                seq: 8,
+                op: JournalOp::Noop,
+            },
+        ];
+        let applied = recover_ontology(&mut h, &records, 4);
+        assert_eq!(applied, 2, "one term batch + one edge");
+        assert!(h.node_of("PODS").is_some());
+        assert!(h.node_of("stale").is_none(), "pre-cursor records are folded");
+    }
+
+    #[test]
+    fn journal_op_mapping_covers_every_mutation() {
+        assert!(matches!(
+            to_journal_op(&WriteOp::InsertDoc {
+                collection: "c".into(),
+                xml: "<a/>".into()
+            }),
+            Some(JournalOp::Insert { .. })
+        ));
+        assert!(matches!(
+            to_journal_op(&WriteOp::DeleteDoc {
+                collection: "c".into(),
+                doc_id: 3
+            }),
+            Some(JournalOp::Remove { .. })
+        ));
+        assert!(matches!(
+            to_journal_op(&WriteOp::AddTerm {
+                terms: vec!["t".into()]
+            }),
+            Some(JournalOp::AddTerm { .. })
+        ));
+        assert!(matches!(
+            to_journal_op(&WriteOp::AddEdge {
+                below: "b".into(),
+                above: "a".into()
+            }),
+            Some(JournalOp::AddEdge { .. })
+        ));
+        assert!(to_journal_op(&WriteOp::Checkpoint).is_none());
+    }
+}

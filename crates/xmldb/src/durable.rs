@@ -354,6 +354,323 @@ impl DurableDatabase {
         self.journal.append(&op)?;
         apply_op(&mut self.db, &op)
     }
+
+    /// The journal's current records (strict scan). Callers that keep
+    /// state *outside* the [`Database`] — a serving ontology fed by
+    /// [`JournalOp::AddTerm`]/[`JournalOp::AddEdge`] — replay the
+    /// relevant ops from here on startup.
+    pub fn journal_records(&self) -> DbResult<Vec<crate::journal::JournalRecord>> {
+        Ok(self.journal.scan()?.records)
+    }
+
+    /// Split into the in-memory [`Database`] and a [`DurableWriter`]
+    /// owning the durability machinery (journal + snapshot path + vfs).
+    ///
+    /// This is how a live server shares the store: the database goes
+    /// behind a read/write lock for concurrent readers, while a single
+    /// writer thread owns the `DurableWriter` and runs the same
+    /// validate → journal+fsync → apply discipline [`commit`] runs —
+    /// with [`Journal::append_batch`] providing group commit.
+    ///
+    /// [`commit`]: DurableDatabase::commit
+    pub fn into_parts(self) -> (Database, DurableWriter) {
+        (
+            self.db,
+            DurableWriter {
+                journal: self.journal,
+                snapshot_path: self.snapshot_path,
+                vfs: self.vfs,
+            },
+        )
+    }
+}
+
+/// The durability half of a split [`DurableDatabase`] (see
+/// [`DurableDatabase::into_parts`]): the journal, the snapshot path, and
+/// the vfs — but **not** the database, which the caller owns and mutates
+/// via [`apply_op`] only after the corresponding journal append fsynced.
+pub struct DurableWriter {
+    journal: Journal,
+    snapshot_path: PathBuf,
+    vfs: Arc<dyn Vfs>,
+}
+
+impl std::fmt::Debug for DurableWriter {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("DurableWriter")
+            .field("snapshot_path", &self.snapshot_path)
+            .field("journal", &self.journal)
+            .finish()
+    }
+}
+
+impl DurableWriter {
+    /// Group-commit a validated batch: one append, one fsync, all-or-
+    /// nothing. Returns the sequence numbers. Only after this returns
+    /// `Ok` may the caller apply the ops in memory (and acknowledge
+    /// them to clients).
+    pub fn append_batch(&mut self, ops: &[JournalOp]) -> DbResult<Vec<u64>> {
+        self.journal.append_batch(ops)
+    }
+
+    /// The sequence number the next append will use.
+    pub fn next_seq(&self) -> u64 {
+        self.journal.next_seq()
+    }
+
+    /// The snapshot path this writer persists to.
+    pub fn snapshot_path(&self) -> &Path {
+        &self.snapshot_path
+    }
+
+    /// The vfs all durable I/O goes through.
+    pub fn vfs(&self) -> &Arc<dyn Vfs> {
+        &self.vfs
+    }
+
+    /// Number of operations currently in the journal (not yet folded
+    /// into a snapshot).
+    pub fn pending_journal_ops(&self) -> DbResult<usize> {
+        Ok(self.journal.scan()?.records.len())
+    }
+
+    /// Durability probe: append + fsync a [`JournalOp::Noop`]. A probe
+    /// that succeeds proves the whole write path (open file, append,
+    /// fsync) is healthy again — this is what clears degraded mode. If
+    /// the journal was poisoned by an unrepaired append failure, one
+    /// atomic repair (rewrite to the valid prefix) is attempted first,
+    /// so a healed disk can actually recover.
+    pub fn probe(&mut self) -> DbResult<u64> {
+        match self.journal.append(&JournalOp::Noop) {
+            Ok(seq) => Ok(seq),
+            Err(first) => {
+                let records = match self.journal.scan_lenient() {
+                    Ok(scan) => scan.records,
+                    Err(_) => return Err(first),
+                };
+                self.journal.rewrite(&records).map_err(|_| first)?;
+                self.journal.append(&JournalOp::Noop)
+            }
+        }
+    }
+
+    /// Checkpoint from an already-serialized snapshot (produced by
+    /// [`storage::to_json_with_seq`] with `cursor` as its `last_seq`,
+    /// typically under a brief read lock on the live database):
+    ///
+    /// 1. persist the snapshot atomically (temp + fsync + rename),
+    /// 2. **verify** it by re-loading it through the same vfs,
+    /// 3. only then truncate the journal — retaining any record with
+    ///    `seq >= cursor` (appended after serialization), so nothing
+    ///    the snapshot does not contain is ever dropped.
+    ///
+    /// A crash at any point leaves a recoverable store: before the
+    /// rename the old snapshot + full journal stand; after it, the new
+    /// snapshot's cursor makes stale journal records replay as no-ops.
+    pub fn checkpoint_json(&mut self, json: &str, cursor: u64) -> DbResult<()> {
+        let span = toss_obs::span("xmldb.checkpoint");
+        storage::save_json_with_vfs(json, &self.snapshot_path, &*self.vfs)?;
+        storage::load_with_vfs_seq(&self.snapshot_path, &*self.vfs)?;
+        let tail: Vec<_> = self
+            .journal
+            .scan_lenient()?
+            .records
+            .into_iter()
+            .filter(|r| r.seq >= cursor)
+            .collect();
+        span.record("retained", tail.len());
+        self.journal.rewrite(&tail)?;
+        toss_obs::metrics::counter("xmldb.checkpoint.runs").inc();
+        toss_obs::metrics::histogram("xmldb.checkpoint.ns").observe_duration(span.finish());
+        Ok(())
+    }
+
+    /// Serialize `db` (stamped with the current cursor) and checkpoint.
+    /// Convenience for callers that can hold `&Database` across the
+    /// whole operation; live servers serialize under a read lock and
+    /// call [`DurableWriter::checkpoint_json`] instead.
+    pub fn checkpoint(&mut self, db: &Database) -> DbResult<()> {
+        let cursor = self.journal.next_seq();
+        let json = storage::to_json_with_seq(db, cursor)?;
+        self.checkpoint_json(&json, cursor)
+    }
+}
+
+/// Sequential validation of a write batch against a base [`Database`]
+/// plus the accumulated effects of the batch's earlier ops — without
+/// mutating anything.
+///
+/// [`check_op`] alone cannot validate a batch: an `Insert` may target a
+/// collection a `CreateCollection` earlier in the same batch brings into
+/// existence, and size-limit math must count bytes earlier ops added.
+/// `BatchValidator` tracks that overlay. After every op of a batch passes
+/// [`BatchValidator::check`] in order, applying them in order with
+/// [`apply_op`] cannot fail.
+pub struct BatchValidator<'a> {
+    db: &'a Database,
+    /// Collection-existence overlay: `true` = exists (created in batch),
+    /// `false` = dropped in batch. Absent = defer to the base database.
+    exists: std::collections::BTreeMap<String, bool>,
+    /// Collections (re)created within the batch: they have no base
+    /// documents and start at zero bytes.
+    fresh: std::collections::BTreeSet<String>,
+    /// Current size in bytes of collections the batch touched.
+    sizes: std::collections::BTreeMap<String, usize>,
+    /// Size overrides for documents replaced within the batch.
+    doc_sizes: std::collections::BTreeMap<(String, u64), usize>,
+    /// Documents removed within the batch.
+    removed: std::collections::BTreeSet<(String, u64)>,
+}
+
+impl<'a> BatchValidator<'a> {
+    /// Start validating a batch against `db`'s current state.
+    pub fn new(db: &'a Database) -> Self {
+        BatchValidator {
+            db,
+            exists: Default::default(),
+            fresh: Default::default(),
+            sizes: Default::default(),
+            doc_sizes: Default::default(),
+            removed: Default::default(),
+        }
+    }
+
+    fn collection_exists(&self, name: &str) -> bool {
+        match self.exists.get(name) {
+            Some(&e) => e,
+            None => self.db.collection(name).is_ok(),
+        }
+    }
+
+    /// Current byte size of `name`, accounting for in-batch effects.
+    fn cur_size(&self, name: &str) -> usize {
+        if let Some(&s) = self.sizes.get(name) {
+            return s;
+        }
+        if self.fresh.contains(name) {
+            return 0;
+        }
+        self.db.collection(name).map(|c| c.size_bytes()).unwrap_or(0)
+    }
+
+    fn size_limit(&self, name: &str) -> Option<usize> {
+        if self.fresh.contains(name) {
+            // In-batch collections get the database-wide config limit,
+            // exactly as `Database::create_collection` assigns it.
+            self.db.config().collection_size_limit
+        } else {
+            self.db.collection(name).ok().and_then(|c| c.size_limit())
+        }
+    }
+
+    /// Size of document `id` in `name`, honoring in-batch replaces;
+    /// `Err(NoSuchDocument)` if it does not exist at this point of the
+    /// batch (absent from base, in a fresh collection, or removed).
+    fn doc_size(&self, name: &str, id: u64) -> DbResult<usize> {
+        let key = (name.to_string(), id);
+        if self.removed.contains(&key) {
+            return Err(DbError::NoSuchDocument(id));
+        }
+        if let Some(&s) = self.doc_sizes.get(&key) {
+            return Ok(s);
+        }
+        if self.fresh.contains(name) {
+            return Err(DbError::NoSuchDocument(id));
+        }
+        Ok(self.db.collection(name)?.get(DocumentId(id))?.size_bytes)
+    }
+
+    /// Forget per-document overlay state for a collection that was
+    /// dropped (its documents are gone with it).
+    fn clear_collection(&mut self, name: &str) {
+        self.doc_sizes.retain(|(c, _), _| c != name);
+        self.removed.retain(|(c, _)| c != name);
+        self.sizes.remove(name);
+    }
+
+    /// Validate the next op of the batch and fold its effects into the
+    /// overlay. Ops must be checked in batch order.
+    pub fn check(&mut self, op: &JournalOp) -> DbResult<()> {
+        match op {
+            JournalOp::CreateCollection { name } => {
+                if self.collection_exists(name) {
+                    return Err(DbError::CollectionExists(name.clone()));
+                }
+                self.exists.insert(name.clone(), true);
+                self.fresh.insert(name.clone());
+                self.clear_collection(name);
+                self.sizes.insert(name.clone(), 0);
+                Ok(())
+            }
+            JournalOp::DropCollection { name } => {
+                if !self.collection_exists(name) {
+                    return Err(DbError::NoSuchCollection(name.clone()));
+                }
+                self.exists.insert(name.clone(), false);
+                self.fresh.remove(name);
+                self.clear_collection(name);
+                Ok(())
+            }
+            JournalOp::Insert { collection, xml } => {
+                if !self.collection_exists(collection) {
+                    return Err(DbError::NoSuchCollection(collection.clone()));
+                }
+                let tree = crate::parser::parse_document(xml)?;
+                let size = tree_to_xml(&tree, Style::Compact).len();
+                let cur = self.cur_size(collection);
+                if let Some(limit) = self.size_limit(collection) {
+                    if cur + size > limit {
+                        return Err(DbError::CollectionFull {
+                            collection: collection.clone(),
+                            limit,
+                            attempted: cur + size,
+                        });
+                    }
+                }
+                self.sizes.insert(collection.clone(), cur + size);
+                Ok(())
+            }
+            JournalOp::Remove { collection, doc_id } => {
+                if !self.collection_exists(collection) {
+                    return Err(DbError::NoSuchCollection(collection.clone()));
+                }
+                let old = self.doc_size(collection, *doc_id)?;
+                let cur = self.cur_size(collection);
+                self.sizes
+                    .insert(collection.clone(), cur.saturating_sub(old));
+                self.removed.insert((collection.clone(), *doc_id));
+                Ok(())
+            }
+            JournalOp::Replace {
+                collection,
+                doc_id,
+                xml,
+            } => {
+                if !self.collection_exists(collection) {
+                    return Err(DbError::NoSuchCollection(collection.clone()));
+                }
+                let old = self.doc_size(collection, *doc_id)?;
+                let tree = crate::parser::parse_document(xml)?;
+                let new_size = tree_to_xml(&tree, Style::Compact).len();
+                let cur = self.cur_size(collection);
+                let attempted = cur - old + new_size;
+                if let Some(limit) = self.size_limit(collection) {
+                    if attempted > limit {
+                        return Err(DbError::CollectionFull {
+                            collection: collection.clone(),
+                            limit,
+                            attempted,
+                        });
+                    }
+                }
+                self.sizes.insert(collection.clone(), attempted);
+                self.doc_sizes
+                    .insert((collection.clone(), *doc_id), new_size);
+                Ok(())
+            }
+            JournalOp::AddTerm { .. } | JournalOp::AddEdge { .. } | JournalOp::Noop => Ok(()),
+        }
+    }
 }
 
 /// Best-effort copy of a damaged file to `<path>.corrupt` for forensics.
@@ -382,7 +699,12 @@ fn quarantine(vfs: &dyn Vfs, path: &Path, report: &mut RecoveryReport) {
 
 /// Validate that `op` can be applied to `db` without mutating anything.
 /// After this returns `Ok`, [`apply_op`] cannot fail.
-fn check_op(db: &Database, op: &JournalOp) -> DbResult<()> {
+///
+/// Public so external write paths (the serving layer's single-writer
+/// loop) can run the same validate → journal → apply discipline over a
+/// database they own; see also [`BatchValidator`] for validating a whole
+/// batch whose later ops depend on earlier ones.
+pub fn check_op(db: &Database, op: &JournalOp) -> DbResult<()> {
     match op {
         JournalOp::CreateCollection { name } => {
             if db.collection(name).is_ok() {
@@ -432,12 +754,17 @@ fn check_op(db: &Database, op: &JournalOp) -> DbResult<()> {
             }
             Ok(())
         }
+        // Ontology ops and probes never touch the store; they are
+        // validated (cycle checks etc.) by whoever owns the hierarchy.
+        JournalOp::AddTerm { .. } | JournalOp::AddEdge { .. } | JournalOp::Noop => Ok(()),
     }
 }
 
 /// Apply a validated operation. Shared by live commits and replay, so
 /// recovery reconstructs exactly the state the live path built.
-fn apply_op(db: &mut Database, op: &JournalOp) -> DbResult<Option<DocumentId>> {
+///
+/// Public for the same reason as [`check_op`].
+pub fn apply_op(db: &mut Database, op: &JournalOp) -> DbResult<Option<DocumentId>> {
     match op {
         JournalOp::CreateCollection { name } => {
             db.create_collection(name)?;
@@ -465,6 +792,7 @@ fn apply_op(db: &mut Database, op: &JournalOp) -> DbResult<Option<DocumentId>> {
                 .replace(DocumentId(*doc_id), tree)?;
             Ok(None)
         }
+        JournalOp::AddTerm { .. } | JournalOp::AddEdge { .. } | JournalOp::Noop => Ok(None),
     }
 }
 
@@ -675,6 +1003,181 @@ mod tests {
         )
         .unwrap_err();
         assert!(matches!(err, DbError::Corruption { .. }), "got {err:?}");
+    }
+
+    #[test]
+    fn split_writer_batch_commit_survives_crash() {
+        let (fs, vfs) = mem();
+        {
+            let mut db = open_mem(vfs.clone());
+            db.create_collection("c").unwrap();
+            db.checkpoint().unwrap();
+        }
+        let (mut db, mut writer) = open_mem(vfs.clone()).into_parts();
+        let batch = vec![
+            JournalOp::Insert {
+                collection: "c".into(),
+                xml: "<a/>".into(),
+            },
+            JournalOp::AddTerm {
+                terms: vec!["index".into()],
+            },
+            JournalOp::Insert {
+                collection: "c".into(),
+                xml: "<b/>".into(),
+            },
+        ];
+        let mut v = BatchValidator::new(&db);
+        for op in &batch {
+            v.check(op).unwrap();
+        }
+        let seqs = writer.append_batch(&batch).unwrap();
+        assert_eq!(seqs.len(), 3);
+        for op in &batch {
+            apply_op(&mut db, op).unwrap();
+        }
+        assert_eq!(db.collection("c").unwrap().len(), 2);
+        fs.crash();
+        let reopened = open_mem(vfs.clone());
+        assert_eq!(reopened.db().collection("c").unwrap().len(), 2);
+        // The ontology op is replayable from the journal tail.
+        let onto: Vec<_> = reopened
+            .journal_records()
+            .unwrap()
+            .into_iter()
+            .filter(|r| matches!(r.op, JournalOp::AddTerm { .. } | JournalOp::AddEdge { .. }))
+            .collect();
+        assert_eq!(onto.len(), 1);
+    }
+
+    #[test]
+    fn batch_validator_tracks_in_batch_effects() {
+        let mut base = Database::with_config(DatabaseConfig {
+            collection_size_limit: Some(30),
+        });
+        base.create_collection("c").unwrap();
+        let id = base.collection_mut("c").unwrap().insert_xml("<a><b>123456</b></a>").unwrap(); // 20 bytes
+
+        // Insert into a collection created earlier in the same batch.
+        let mut v = BatchValidator::new(&base);
+        v.check(&JournalOp::CreateCollection { name: "d".into() }).unwrap();
+        v.check(&JournalOp::Insert {
+            collection: "d".into(),
+            xml: "<x/>".into(),
+        })
+        .unwrap();
+
+        // Size limits account for earlier batch inserts: a second 20-byte
+        // doc into `c` (20/30 used) must overflow.
+        let mut v = BatchValidator::new(&base);
+        let big = JournalOp::Insert {
+            collection: "c".into(),
+            xml: "<a><b>123456</b></a>".into(),
+        };
+        let err = v.check(&big).unwrap_err();
+        assert!(matches!(err, DbError::CollectionFull { limit: 30, .. }));
+        // ...but removing the existing doc first makes room.
+        let mut v = BatchValidator::new(&base);
+        v.check(&JournalOp::Remove {
+            collection: "c".into(),
+            doc_id: id.0,
+        })
+        .unwrap();
+        v.check(&big).unwrap();
+        // Double-remove of the same doc inside one batch is rejected.
+        let err = v
+            .check(&JournalOp::Remove {
+                collection: "c".into(),
+                doc_id: id.0,
+            })
+            .unwrap_err();
+        assert!(matches!(err, DbError::NoSuchDocument(_)));
+
+        // Drop forgets the base docs; a recreated collection is empty.
+        let mut v = BatchValidator::new(&base);
+        v.check(&JournalOp::DropCollection { name: "c".into() }).unwrap();
+        v.check(&JournalOp::CreateCollection { name: "c".into() }).unwrap();
+        let err = v
+            .check(&JournalOp::Remove {
+                collection: "c".into(),
+                doc_id: id.0,
+            })
+            .unwrap_err();
+        assert!(matches!(err, DbError::NoSuchDocument(_)));
+
+        // A validated batch applies without error, and matches check_op
+        // semantics op-by-op once applied.
+        let mut db = base;
+        let batch = vec![
+            JournalOp::Remove {
+                collection: "c".into(),
+                doc_id: id.0,
+            },
+            big,
+        ];
+        let mut v = BatchValidator::new(&db);
+        for op in &batch {
+            v.check(op).unwrap();
+        }
+        for op in &batch {
+            apply_op(&mut db, op).unwrap();
+        }
+        assert_eq!(db.collection("c").unwrap().len(), 1);
+    }
+
+    #[test]
+    fn checkpoint_json_verifies_before_truncating() {
+        use crate::vfs::FaultMode;
+        let (fs, vfs) = mem();
+        let mut db = open_mem(vfs.clone());
+        db.create_collection("c").unwrap();
+        db.insert_xml("c", "<a/>").unwrap();
+        let (db, mut writer) = db.into_parts();
+        let cursor = writer.next_seq();
+        let json = storage::to_json_with_seq(&db, cursor).unwrap();
+        // Fail the snapshot temp write: the checkpoint errors and the
+        // journal still holds everything.
+        fs.fail_op(fs.op_count(), FaultMode::Error);
+        assert!(writer.checkpoint_json(&json, cursor).is_err());
+        assert_eq!(writer.pending_journal_ops().unwrap(), 2);
+        // Unfaulted, the checkpoint lands and truncates.
+        writer.checkpoint_json(&json, cursor).unwrap();
+        assert_eq!(writer.pending_journal_ops().unwrap(), 0);
+        fs.crash();
+        let db = open_mem(vfs);
+        assert_eq!(db.db().collection("c").unwrap().len(), 1);
+    }
+
+    #[test]
+    fn probe_recovers_poisoned_journal_after_heal() {
+        use crate::vfs::FaultMode;
+        let (fs, vfs) = mem();
+        let mut db = open_mem(vfs.clone());
+        db.create_collection("c").unwrap();
+        let (_db, mut writer) = db.into_parts();
+        // Sustained fault: the batch append tears AND the repair fails,
+        // poisoning the journal — the ENOSPC shape.
+        fs.fail_from(fs.op_count(), FaultMode::Error);
+        assert!(writer
+            .append_batch(&[JournalOp::Insert {
+                collection: "c".into(),
+                xml: "<a/>".into(),
+            }])
+            .is_err());
+        // While the fault holds, probes keep failing.
+        assert!(writer.probe().is_err());
+        // Fault clears: the probe repairs the poisoned journal and lands.
+        fs.heal();
+        writer.probe().unwrap();
+        // Writes work again and survive a crash.
+        let batch = vec![JournalOp::Insert {
+            collection: "c".into(),
+            xml: "<a/>".into(),
+        }];
+        writer.append_batch(&batch).unwrap();
+        fs.crash();
+        let db = open_mem(vfs);
+        assert_eq!(db.db().collection("c").unwrap().len(), 1);
     }
 
     #[test]

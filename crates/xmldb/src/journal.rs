@@ -78,6 +78,24 @@ pub enum JournalOp {
         /// Compact XML of the new content.
         xml: String,
     },
+    /// Add ontology terms (one hierarchy node per term, if absent). A
+    /// store no-op: replayed into the serving ontology, not the database.
+    AddTerm {
+        /// The terms to add.
+        terms: Vec<String>,
+    },
+    /// Assert `below ≤ above` in the ontology, creating the term nodes as
+    /// needed. A store no-op, like [`JournalOp::AddTerm`].
+    AddEdge {
+        /// The lesser term.
+        below: String,
+        /// The greater term.
+        above: String,
+    },
+    /// No effect anywhere. Appended as a durability probe: a `Noop` that
+    /// journals + fsyncs successfully proves the write path is healthy
+    /// (used by the degraded-mode self-heal loop).
+    Noop,
 }
 
 /// A sequenced journal record.
@@ -120,6 +138,21 @@ fn encode_payload(seq: u64, op: &JournalOp) -> Vec<u8> {
             fields.push(("collection", collection.as_str().into()));
             fields.push(("doc", (*doc_id).into()));
             fields.push(("xml", xml.as_str().into()));
+        }
+        JournalOp::AddTerm { terms } => {
+            fields.push(("op", "add_term".into()));
+            fields.push((
+                "terms",
+                Value::Array(terms.iter().map(|t| t.as_str().into()).collect()),
+            ));
+        }
+        JournalOp::AddEdge { below, above } => {
+            fields.push(("op", "add_edge".into()));
+            fields.push(("below", below.as_str().into()));
+            fields.push(("above", above.as_str().into()));
+        }
+        JournalOp::Noop => {
+            fields.push(("op", "noop".into()));
         }
     }
     Value::object(fields).to_json().into_bytes()
@@ -172,6 +205,23 @@ fn decode_payload(payload: &[u8]) -> DbResult<JournalRecord> {
             doc_id: int_field("doc")?,
             xml: str_field("xml")?,
         },
+        "add_term" => {
+            let items = field("terms")?.as_array().ok_or_else(|| {
+                DbError::journal_corruption("record field `terms` is not an array")
+            })?;
+            let mut terms = Vec::with_capacity(items.len());
+            for item in items {
+                terms.push(item.as_str().map(str::to_string).ok_or_else(|| {
+                    DbError::journal_corruption("record field `terms` holds a non-string")
+                })?);
+            }
+            JournalOp::AddTerm { terms }
+        }
+        "add_edge" => JournalOp::AddEdge {
+            below: str_field("below")?,
+            above: str_field("above")?,
+        },
+        "noop" => JournalOp::Noop,
         other => {
             return Err(DbError::journal_corruption(format!(
                 "unknown journal op `{other}`"
@@ -327,6 +377,68 @@ impl Journal {
                 toss_obs::metrics::histogram("xmldb.journal.append_ns")
                     .observe_duration(span.finish());
                 Ok(seq)
+            }
+            Err(err) => {
+                toss_obs::metrics::counter("xmldb.journal.append_failures").inc();
+                span.record("failed", true);
+                self.truncate_to_good_len();
+                Err(err)
+            }
+        }
+    }
+
+    /// Group commit: append `ops` as consecutive records with **one**
+    /// file append and **one** fsync, returning their sequence numbers.
+    /// All-or-nothing at the durability level: either the whole batch is
+    /// durable when this returns `Ok`, or (on `Err`) nothing was durably
+    /// appended, no sequence number was consumed, and any partial bytes
+    /// were truncated away exactly as in [`Journal::append`]. (A crash
+    /// can still tear the batch mid-file — replay then sees a valid
+    /// record prefix, which is precisely the unacknowledged-prefix
+    /// contract: none of these ops were acknowledged.)
+    ///
+    /// An empty batch is a no-op returning no sequences.
+    pub fn append_batch(&mut self, ops: &[JournalOp]) -> DbResult<Vec<u64>> {
+        if ops.is_empty() {
+            return Ok(Vec::new());
+        }
+        if self.poisoned {
+            return Err(DbError::Storage(
+                "journal is poisoned after an unrepaired append failure; \
+                 reopen or checkpoint to continue"
+                    .into(),
+            ));
+        }
+        let span = toss_obs::span("xmldb.journal.append_batch");
+        span.record("ops", ops.len());
+        let mut rec = Vec::new();
+        let mut seqs = Vec::with_capacity(ops.len());
+        for (i, op) in ops.iter().enumerate() {
+            let seq = self.next_seq + i as u64;
+            rec.extend_from_slice(&frame(&encode_payload(seq, op)));
+            seqs.push(seq);
+        }
+        span.record("bytes", rec.len());
+        let appended = self
+            .vfs
+            .append(&self.path, &rec)
+            .map_err(|e| DbError::Storage(format!("journal append failed: {e}")))
+            .and_then(|()| {
+                self.vfs
+                    .sync(&self.path)
+                    .map_err(|e| DbError::Storage(format!("journal fsync failed: {e}")))
+            });
+        match appended {
+            Ok(()) => {
+                self.good_len += rec.len();
+                self.next_seq += ops.len() as u64;
+                toss_obs::metrics::counter("xmldb.journal.appends").add(ops.len() as u64);
+                toss_obs::metrics::counter("xmldb.journal.fsyncs").inc();
+                toss_obs::metrics::counter("xmldb.journal.bytes_appended").add(rec.len() as u64);
+                toss_obs::metrics::histogram("xmldb.journal.batch_ops").observe(ops.len() as u64);
+                toss_obs::metrics::histogram("xmldb.journal.append_ns")
+                    .observe_duration(span.finish());
+                Ok(seqs)
             }
             Err(err) => {
                 toss_obs::metrics::counter("xmldb.journal.append_failures").inc();
@@ -537,6 +649,14 @@ mod tests {
                 doc_id: 0,
             },
             JournalOp::DropCollection { name: "dblp".into() },
+            JournalOp::AddTerm {
+                terms: vec!["database".into(), "data base".into()],
+            },
+            JournalOp::AddEdge {
+                below: "b-tree".into(),
+                above: "index".into(),
+            },
+            JournalOp::Noop,
         ]
     }
 
@@ -565,8 +685,39 @@ mod tests {
         assert_eq!(scan.torn_tail_bytes, 0);
         assert_eq!(
             scan.records.iter().map(|r| r.seq).collect::<Vec<_>>(),
-            vec![0, 1, 2, 3, 4]
+            (0..sample_ops().len() as u64).collect::<Vec<_>>()
         );
+    }
+
+    #[test]
+    fn batch_append_is_one_fsync_and_scans_identically() {
+        let (fs, vfs) = mem();
+        let mut j = Journal::open("db.wal", vfs.clone()).unwrap();
+        let before = fs.op_count();
+        let seqs = j.append_batch(&sample_ops()).unwrap();
+        // One append + one sync, regardless of batch size.
+        assert_eq!(fs.op_count() - before, 2);
+        assert_eq!(seqs, (0..sample_ops().len() as u64).collect::<Vec<_>>());
+        assert_eq!(ops_of(&j.scan().unwrap()), sample_ops());
+        assert!(j.append_batch(&[]).unwrap().is_empty());
+        // The batch is durable: it survives a crash.
+        fs.crash();
+        let j = Journal::open("db.wal", vfs).unwrap();
+        assert_eq!(ops_of(&j.scan().unwrap()), sample_ops());
+        assert_eq!(j.next_seq(), sample_ops().len() as u64);
+    }
+
+    #[test]
+    fn failed_batch_consumes_nothing_and_repairs() {
+        let (fs, vfs) = mem();
+        let mut j = Journal::open("db.wal", vfs.clone()).unwrap();
+        j.append(&sample_ops()[0]).unwrap();
+        fs.fail_op(fs.op_count(), FaultMode::Tear { keep: 11 });
+        assert!(j.append_batch(&sample_ops()[1..3]).is_err());
+        // Sequence numbers were not consumed; the journal is contiguous.
+        let seqs = j.append_batch(&sample_ops()[1..3]).unwrap();
+        assert_eq!(seqs, vec![1, 2]);
+        assert_eq!(ops_of(&j.scan().unwrap()), sample_ops()[..3]);
     }
 
     #[test]
@@ -579,7 +730,7 @@ mod tests {
         fs.crash();
         let j = Journal::open("db.wal", vfs).unwrap();
         assert_eq!(ops_of(&j.scan().unwrap()), sample_ops());
-        assert_eq!(j.next_seq(), 5);
+        assert_eq!(j.next_seq(), sample_ops().len() as u64);
     }
 
     #[test]

@@ -46,11 +46,13 @@ pub mod xpath;
 
 pub use collection::{Collection, DocumentId};
 pub use database::{Database, DatabaseConfig};
-pub use durable::{DurableDatabase, RecoveryReport};
+pub use durable::{
+    apply_op, check_op, BatchValidator, DurableDatabase, DurableWriter, RecoveryReport,
+};
 pub use error::{CorruptionSite, DbError, DbResult};
-pub use journal::{Journal, JournalOp};
+pub use journal::{Journal, JournalOp, JournalRecord};
 pub use parser::{parse_document, parse_forest};
-pub use vfs::{FaultMode, FaultVfs, StdVfs, Vfs};
+pub use vfs::{FaultMode, FaultSchedule, FaultVfs, ScheduledFault, StdVfs, Vfs};
 pub use xpath::{
     planned_partitions, NodeRef, ScanBudget, ScanControl, ScanStatus, XPath,
 };

@@ -222,8 +222,16 @@ pub fn save_with_vfs_seq(
     path: &Path,
     vfs: &dyn Vfs,
 ) -> DbResult<()> {
-    let span = toss_obs::span("xmldb.snapshot.write");
     let json = to_json_with_seq(db, last_seq)?;
+    save_json_with_vfs(&json, path, vfs)
+}
+
+/// Persist an already-serialized snapshot (produced by
+/// [`to_json_with_seq`]) with the same atomic protocol. Separated from
+/// [`save_with_vfs_seq`] so a live server can serialize under a short
+/// read lock and do the (slow) durable write with no lock held at all.
+pub fn save_json_with_vfs(json: &str, path: &Path, vfs: &dyn Vfs) -> DbResult<()> {
+    let span = toss_obs::span("xmldb.snapshot.write");
     span.record("bytes", json.len());
     let tmp = path.with_extension("snap.tmp");
     vfs.write(&tmp, json.as_bytes())

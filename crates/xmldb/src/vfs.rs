@@ -136,6 +136,10 @@ struct FaultState {
     ops: usize,
     /// One-shot faults keyed by the operation number they fire at.
     faults: BTreeMap<usize, FaultMode>,
+    /// Sticky fault: every mutating op from `.0` onward fails with `.1`
+    /// until [`FaultVfs::heal`] — models persistent ENOSPC / a dead disk /
+    /// a killed process whose later writes never happen.
+    sticky: Option<(usize, FaultMode)>,
 }
 
 /// An in-memory filesystem with crash semantics and fault injection.
@@ -163,9 +167,34 @@ impl FaultVfs {
         self.lock().faults.insert(op, mode);
     }
 
-    /// Disarm all pending faults.
+    /// Disarm all pending faults (one-shot and sticky).
     pub fn clear_fault(&self) {
-        self.lock().faults.clear();
+        let mut st = self.lock();
+        st.faults.clear();
+        st.sticky = None;
+    }
+
+    /// Arm a sticky fault: every mutating operation from `op` (0-based on
+    /// the absolute counter) onward fails with `mode` until [`heal`] is
+    /// called. Models persistent faults — ENOSPC, a failing device — or a
+    /// process kill at op `op` (nothing after it ever reaches the disk).
+    ///
+    /// [`heal`]: FaultVfs::heal
+    pub fn fail_from(&self, op: usize, mode: FaultMode) {
+        self.lock().sticky = Some((op, mode));
+    }
+
+    /// Clear any sticky fault armed by [`FaultVfs::fail_from`]; subsequent
+    /// operations succeed again. One-shot faults are left armed.
+    pub fn heal(&self) {
+        self.lock().sticky = None;
+    }
+
+    /// Whether a sticky fault is currently active (armed and its start op
+    /// has been reached).
+    pub fn sticky_active(&self) -> bool {
+        let st = self.lock();
+        matches!(st.sticky, Some((from, _)) if st.ops >= from)
     }
 
     /// Number of mutating operations performed so far.
@@ -179,6 +208,7 @@ impl FaultVfs {
     pub fn crash(&self) {
         let mut st = self.lock();
         st.faults.clear();
+        st.sticky = None;
         let mut survivors = BTreeMap::new();
         for (path, file) in std::mem::take(&mut st.files) {
             if let Some(durable) = file.durable {
@@ -214,14 +244,121 @@ impl FaultVfs {
     }
 
     /// Bump the op counter; if a fault is armed at this op, return its mode.
+    /// One-shot faults take precedence over a sticky range (and are
+    /// consumed either way).
     fn step(st: &mut FaultState) -> Option<FaultMode> {
         let op = st.ops;
         st.ops += 1;
-        st.faults.remove(&op)
+        let once = st.faults.remove(&op);
+        if once.is_some() {
+            return once;
+        }
+        match st.sticky {
+            Some((from, mode)) if op >= from => Some(mode),
+            _ => None,
+        }
     }
 
     fn injected(op: usize) -> io::Error {
         io::Error::other(format!("injected fault at op {op}"))
+    }
+}
+
+/// One event in a [`FaultSchedule`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ScheduledFault {
+    /// One-shot fault at an absolute mutating-op number.
+    Once {
+        /// Operation number the fault fires at.
+        op: usize,
+        /// What the fault does.
+        mode: FaultMode,
+    },
+    /// Sticky fault: every operation from `op` onward fails until healed.
+    From {
+        /// First operation number the fault covers.
+        op: usize,
+        /// What the fault does.
+        mode: FaultMode,
+    },
+}
+
+/// A deterministic, seed-derived plan of fault injections.
+///
+/// Crash campaigns generate one schedule per seed, [`arm`] it on a fresh
+/// [`FaultVfs`], run a workload, crash, recover, and assert invariants.
+/// The same seed always yields the same schedule, so a failing seed is a
+/// complete reproducer.
+///
+/// [`arm`]: FaultSchedule::arm
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct FaultSchedule {
+    /// The scheduled events, in no particular order.
+    pub events: Vec<ScheduledFault>,
+}
+
+impl FaultSchedule {
+    /// Derive a schedule from `seed`, with fault ops drawn from
+    /// `[0, horizon)`. Produces 1–3 one-shot faults (error or torn write)
+    /// and, for roughly a third of seeds, a sticky fault range.
+    pub fn seeded(seed: u64, horizon: usize) -> Self {
+        let mut rng = SplitMix::new(seed);
+        let horizon = horizon.max(1);
+        let mut events = Vec::new();
+        let shots = 1 + (rng.next() % 3) as usize;
+        for _ in 0..shots {
+            let op = (rng.next() as usize) % horizon;
+            let mode = if rng.next().is_multiple_of(2) {
+                FaultMode::Error
+            } else {
+                FaultMode::Tear {
+                    keep: (rng.next() % 64) as usize,
+                }
+            };
+            events.push(ScheduledFault::Once { op, mode });
+        }
+        if rng.next().is_multiple_of(3) {
+            let op = (rng.next() as usize) % horizon;
+            events.push(ScheduledFault::From {
+                op,
+                mode: FaultMode::Error,
+            });
+        }
+        Self { events }
+    }
+
+    /// Arm every event of this schedule on `vfs`. At most one sticky range
+    /// is kept (the last `From` event wins — [`FaultVfs`] models a single
+    /// persistent fault at a time).
+    pub fn arm(&self, vfs: &FaultVfs) {
+        for ev in &self.events {
+            match *ev {
+                ScheduledFault::Once { op, mode } => vfs.fail_op(op, mode),
+                ScheduledFault::From { op, mode } => vfs.fail_from(op, mode),
+            }
+        }
+    }
+}
+
+/// SplitMix64 — tiny deterministic PRNG for schedule derivation. Not for
+/// cryptography; chosen because identical seeds must yield identical
+/// schedules forever (the constants are fixed by the algorithm).
+#[derive(Debug, Clone)]
+struct SplitMix {
+    state: u64,
+}
+
+impl SplitMix {
+    fn new(seed: u64) -> Self {
+        Self { state: seed }
+    }
+
+    fn next(&mut self) -> u64 {
+        self.state = self.state.wrapping_add(0x9e37_79b9_7f4a_7c15);
+        let mut z = self.state;
+        z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+        z ^ (z >> 31)
     }
 }
 
@@ -394,6 +531,62 @@ mod tests {
         assert!(fs.append(&p("log"), b"bbbb").is_err());
         fs.crash();
         assert_eq!(fs.read(&p("log")).unwrap(), b"aaaabb");
+    }
+
+    #[test]
+    fn sticky_fault_persists_until_heal() {
+        let fs = FaultVfs::new();
+        fs.write(&p("a"), b"1").unwrap(); // op 0
+        fs.fail_from(1, FaultMode::Error);
+        assert!(fs.write(&p("a"), b"2").is_err()); // op 1
+        assert!(fs.sync(&p("a")).is_err()); // op 2 — still failing
+        assert!(fs.sticky_active());
+        fs.heal();
+        fs.write(&p("a"), b"3").unwrap(); // op 3 fine again
+        assert_eq!(fs.read(&p("a")).unwrap(), b"3");
+        assert!(!fs.sticky_active());
+    }
+
+    #[test]
+    fn one_shot_takes_precedence_inside_sticky_range() {
+        let fs = FaultVfs::new();
+        fs.fail_from(0, FaultMode::Error);
+        fs.fail_op(0, FaultMode::Tear { keep: 1 });
+        // The one-shot tear fires (and keeps a byte); the sticky range
+        // then covers the next op.
+        assert!(fs.append(&p("log"), b"xy").is_err());
+        fs.heal();
+        fs.crash();
+        assert_eq!(fs.read(&p("log")).unwrap(), b"x");
+    }
+
+    #[test]
+    fn schedules_are_deterministic_per_seed() {
+        for seed in 0..32u64 {
+            let a = FaultSchedule::seeded(seed, 100);
+            let b = FaultSchedule::seeded(seed, 100);
+            assert_eq!(a, b, "seed {seed} must reproduce its schedule");
+            assert!(!a.events.is_empty());
+        }
+        assert_ne!(
+            FaultSchedule::seeded(1, 100),
+            FaultSchedule::seeded(2, 100),
+            "distinct seeds should (here) give distinct schedules"
+        );
+    }
+
+    #[test]
+    fn armed_schedule_fires() {
+        let fs = FaultVfs::new();
+        FaultSchedule {
+            events: vec![ScheduledFault::Once {
+                op: 0,
+                mode: FaultMode::Error,
+            }],
+        }
+        .arm(&fs);
+        assert!(fs.write(&p("a"), b"x").is_err());
+        fs.write(&p("a"), b"x").unwrap();
     }
 
     #[test]

@@ -462,3 +462,47 @@ fn real_filesystem_round_trip_with_journal() {
     std::fs::remove_file(&store).ok();
     std::fs::remove_file(DurableDatabase::wal_path(&store)).ok();
 }
+
+/// Satellite for the live-write PR: a crash **mid-snapshot** — the
+/// checkpoint dies while writing the temp file, before the atomic
+/// rename — must fall back to the previous snapshot plus the journal
+/// tail. The merely-partial temp file is not corruption: nothing is
+/// quarantined and no `.corrupt` artifact appears.
+#[test]
+fn kill_mid_snapshot_falls_back_to_previous_snapshot_plus_journal_tail() {
+    let vfs = Arc::new(FaultVfs::new());
+    let mut shadow = Database::with_config(DatabaseConfig::unlimited());
+    {
+        let dyn_vfs: Arc<dyn Vfs> = vfs.clone();
+        let mut db =
+            DurableDatabase::open_with(STORE, DatabaseConfig::unlimited(), dyn_vfs).unwrap();
+        // the full workload lands cleanly (ends with a journal tail
+        // past the last good checkpoint)
+        for step in workload() {
+            apply_durable(&mut db, &step).expect("clean workload step");
+            apply_shadow(&mut shadow, &step);
+        }
+        // the NEXT mutating fs op is the checkpoint's temp-snapshot
+        // write: tear it a few bytes in, then kill the process
+        vfs.fail_op(vfs.op_count(), FaultMode::Tear { keep: 5 });
+        db.checkpoint()
+            .expect_err("a torn temp-snapshot write must fail the checkpoint");
+    }
+    vfs.crash();
+
+    let (recovered, report) =
+        DurableDatabase::recover_with(STORE, DatabaseConfig::unlimited(), vfs.clone())
+            .expect("recovery after mid-snapshot kill");
+    assert!(
+        report.snapshot_loaded,
+        "the previous snapshot must still load: {report:?}"
+    );
+    assert!(report.snapshot_error.is_none(), "{report:?}");
+    assert!(
+        report.quarantined.is_empty(),
+        "a partial temp file is not corruption: {report:?}"
+    );
+    assert_same_state(recovered.db(), &shadow, "mid-snapshot kill");
+    // no .corrupt artifact was manufactured for the aborted temp file
+    assert!(vfs.read(Path::new("store.json.corrupt")).is_err());
+}

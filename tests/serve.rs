@@ -19,18 +19,24 @@
 
 use std::io::Write as _;
 use std::net::TcpStream;
-use std::sync::{Arc, Barrier};
+use std::path::Path;
+use std::sync::{Arc, Barrier, RwLock};
 use std::thread;
 use std::time::{Duration, Instant};
 use toss_core::Executor;
-use toss_ontology::hierarchy::from_pairs;
+use toss_ontology::hierarchy::{from_pairs, Hierarchy};
 use toss_ontology::sea::enhance;
 use toss_serve::protocol::{read_frame, write_frame, FrameError, Request};
 use toss_serve::{
-    BudgetClass, Client, ClientError, ErrorCode, QueryRequest, Server, ServerConfig,
+    next_write_key, BudgetClass, Client, ClientError, ErrorCode, QueryRequest, Server,
+    ServerConfig, WriteConfig, WriteEngine, WriteOp,
 };
 use toss_similarity::{Levenshtein, StringMetric};
-use toss_xmldb::{Database, DatabaseConfig};
+use toss_tree::serialize::{tree_to_xml, Style};
+use toss_xmldb::{
+    Database, DatabaseConfig, DurableDatabase, FaultMode, FaultSchedule, FaultVfs,
+    ScheduledFault, Vfs,
+};
 
 /// Probe string that makes the metric panic (a poisoned query).
 const PANIC_PROBE: &str = "zzz-panic-probe";
@@ -57,9 +63,21 @@ impl StringMetric for ChaosMetric {
     }
 }
 
+fn chaos_hierarchy() -> Hierarchy {
+    from_pairs(&[
+        ("SIGMOD Conference", "conference"),
+        ("VLDB", "conference"),
+        ("conference", "venue"),
+        ("Jeff Ullman", "author"),
+        ("Jeff Ullmann", "author"),
+        ("E. Codd", "author"),
+    ])
+    .unwrap()
+}
+
 /// A small store + SEO under the chaos metric. `pad` bytes of filler
 /// per document let tests manufacture multi-megabyte responses.
-fn executor(docs: usize, pad: usize) -> Arc<Executor> {
+fn executor(docs: usize, pad: usize) -> Arc<RwLock<Executor>> {
     let mut db = Database::with_config(DatabaseConfig::unlimited());
     let c = db.create_collection("chaos").unwrap();
     let filler = "x".repeat(pad);
@@ -75,21 +93,78 @@ fn executor(docs: usize, pad: usize) -> Arc<Executor> {
         ))
         .unwrap();
     }
-    let h = from_pairs(&[
-        ("SIGMOD Conference", "conference"),
-        ("VLDB", "conference"),
-        ("conference", "venue"),
-        ("Jeff Ullman", "author"),
-        ("Jeff Ullmann", "author"),
-        ("E. Codd", "author"),
-    ])
-    .unwrap();
-    let seo = Arc::new(enhance(&h, &Levenshtein, 1.0).unwrap());
-    Arc::new(Executor::new(db, seo).with_probe_metric(Arc::new(ChaosMetric)))
+    let seo = Arc::new(enhance(&chaos_hierarchy(), &Levenshtein, 1.0).unwrap());
+    Arc::new(RwLock::new(
+        Executor::new(db, seo).with_probe_metric(Arc::new(ChaosMetric)),
+    ))
 }
 
 fn start(cfg: ServerConfig) -> Server {
     Server::start(executor(30, 0), "127.0.0.1:0", cfg).unwrap()
+}
+
+/// Virtual snapshot path used by every writable-server fixture (each
+/// test gets its own in-memory [`FaultVfs`], so paths never collide).
+const SNAP: &str = "/serve-store.json";
+
+/// Seed a durable store on `vfs`: the `chaos` collection with `docs`
+/// documents, checkpointed so the journal starts empty.
+fn seed_writable(vfs: &Arc<FaultVfs>, docs: usize) {
+    let dyn_vfs: Arc<dyn Vfs> = vfs.clone();
+    let mut d =
+        DurableDatabase::open_with(SNAP, DatabaseConfig::unlimited(), dyn_vfs).unwrap();
+    d.create_collection("chaos").unwrap();
+    for i in 0..docs {
+        let author = match i % 3 {
+            0 => "Jeff Ullman",
+            1 => "Jeff Ullmann",
+            _ => "E. Codd",
+        };
+        d.insert_xml(
+            "chaos",
+            &format!(
+                "<inproceedings key=\"p{i}\"><author>{author}</author>\
+                 <booktitle>SIGMOD Conference</booktitle></inproceedings>"
+            ),
+        )
+        .unwrap();
+    }
+    d.checkpoint().unwrap();
+}
+
+/// Open the seeded store writable and serve it: the same startup path
+/// `toss-cli serve --writable` runs — strict open, ontology from the
+/// sidecar (when present) plus the journal tail, `WriteEngine` split
+/// off the durable layer.
+fn start_writable(vfs: &Arc<FaultVfs>, cfg: ServerConfig, wcfg: WriteConfig) -> Server {
+    let dyn_vfs: Arc<dyn Vfs> = vfs.clone();
+    let durable =
+        DurableDatabase::open_with(SNAP, DatabaseConfig::unlimited(), dyn_vfs).unwrap();
+    let records = durable.journal_records().unwrap();
+    let (cursor, mut hierarchy) = toss_serve::load_sidecar(&**vfs, Path::new(SNAP))
+        .map(|(c, s)| (c, s.original().clone()))
+        .unwrap_or_else(|| (0, chaos_hierarchy()));
+    toss_serve::recover_ontology(&mut hierarchy, &records, cursor);
+    let seo = Arc::new(enhance(&hierarchy, &Levenshtein, 1.0).unwrap());
+    let (db, writer) = durable.into_parts();
+    let engine = WriteEngine {
+        writer,
+        hierarchy,
+        enhancer: Box::new(|h| enhance(h, &Levenshtein, 1.0).map_err(|e| e.to_string())),
+        config: wcfg,
+    };
+    let exec = Executor::new(db, seo).with_probe_metric(Arc::new(ChaosMetric));
+    Server::start_writable(Arc::new(RwLock::new(exec)), engine, "127.0.0.1:0", cfg)
+        .unwrap()
+}
+
+fn insert_op(marker: &str, author: &str) -> WriteOp {
+    WriteOp::InsertDoc {
+        collection: "chaos".into(),
+        xml: format!(
+            "<inproceedings key=\"{marker}\"><author>{author}</author></inproceedings>"
+        ),
+    }
 }
 
 fn counter_value(name: &str) -> u64 {
@@ -526,4 +601,393 @@ fn drain_completes_or_cancels_in_flight_queries_without_partial_frames() {
         panics_before,
         "zero executor panics through the whole drain"
     );
+}
+
+// ---------------------------------------------------------------------
+// Live write path: mutation frames, group-commit WAL, dedupe, degraded
+// mode, checkpoints, and the deterministic crash campaign
+// (`docs/robustness.md`).
+// ---------------------------------------------------------------------
+
+#[test]
+fn read_only_server_rejects_mutation_frames_with_a_typed_error() {
+    let server = start(ServerConfig::default());
+    let mut client = Client::connect(server.local_addr()).unwrap();
+    let err = client
+        .write_keyed(insert_op("ro", "Nobody"), BudgetClass::Batch, &next_write_key())
+        .expect_err("a read-only server must refuse writes");
+    match err {
+        ClientError::Server { code, message, .. } => {
+            assert_eq!(code, ErrorCode::BadRequest);
+            assert!(message.contains("read-only"), "{message}");
+        }
+        other => panic!("expected a typed rejection, got {other:?}"),
+    }
+    // rejecting the write never hurt the connection
+    client.ping().unwrap();
+    server.shutdown();
+}
+
+/// The tentpole round trip plus the retry satellite: a write is
+/// acknowledged only after its batch fsyncs and is immediately visible
+/// to reads; resending it under the **same idempotency key** (the
+/// lost-ack retry shape) dedupes to one application and replays the
+/// original ack. Write telemetry lands in the flight recorder (`op`,
+/// batch size, fsync latency, dedupe flag) and the `stats` write block.
+#[test]
+fn writes_commit_live_and_a_retried_write_dedupes_to_one_application() {
+    let vfs = Arc::new(FaultVfs::new());
+    seed_writable(&vfs, 6);
+    let server = start_writable(&vfs, ServerConfig::default(), WriteConfig::default());
+    let mut client = Client::connect(server.local_addr()).unwrap();
+
+    let key = next_write_key();
+    let op = insert_op("retry-dup", "Retry Author");
+    let first = client
+        .write_keyed(op.clone(), BudgetClass::Interactive, &key)
+        .expect("first send commits");
+    assert!(first.seq > 0, "acks carry the journal seq");
+    assert!(!first.deduped, "a fresh key is not a replay");
+    assert!(first.batch_size >= 1 && first.fsync_ns > 0, "{first:?}");
+    let doc_id = first.doc_id.expect("inserts report the assigned doc id");
+
+    // ack ⇒ visible: an in-flight read right after the ack sees the doc
+    let reply = client.query(eq_query("Retry Author")).unwrap();
+    assert_eq!(reply.answers, 1, "the committed write is readable");
+
+    // the lost-ack retry: same op, same key, resent verbatim
+    let second = client
+        .write_keyed(op, BudgetClass::Interactive, &key)
+        .expect("the replay is answered, not re-applied");
+    assert!(second.deduped, "the dedupe table must recognize the key");
+    assert_eq!(second.seq, first.seq, "the original ack is replayed");
+    assert_eq!(second.doc_id, Some(doc_id));
+    let reply = client.query(eq_query("Retry Author")).unwrap();
+    assert_eq!(reply.answers, 1, "a retried write applies exactly once");
+
+    // write telemetry: both sends are in the flight recorder with the
+    // op verb stamped; the replay carries the dedupe flag
+    let records = client.slow(200, None).unwrap();
+    let wrec = records
+        .iter()
+        .find(|r| r.query_id == first.query_id)
+        .expect("the write is findable by query id");
+    assert_eq!(wrec.op, "insert_doc");
+    assert!(wrec.batch_size >= 1, "{wrec:?}");
+    assert!(wrec.fsync_ns > 0, "{wrec:?}");
+    assert!(!wrec.deduped);
+    let drec = records
+        .iter()
+        .find(|r| r.query_id == second.query_id)
+        .expect("the replay is recorded too");
+    assert!(drec.deduped, "{drec:?}");
+
+    // ...and in the stats frame's write block
+    let stats = client.stats().unwrap();
+    assert!(stats.write.writable && !stats.write.degraded, "{:?}", stats.write);
+    assert!(stats.write.applied >= 1 && stats.write.deduped >= 1, "{:?}", stats.write);
+    assert!(stats.write.last_seq >= first.seq, "{:?}", stats.write);
+    assert!(stats.write.revision >= 1, "applied batches bump the revision");
+    server.shutdown();
+}
+
+/// Ontology mutations grow the live SEO: after `add_edge`, a `below`
+/// query resolves through the re-enhanced ontology on the very next
+/// read (revision-bumped visibility, rewrite cache invalidated).
+#[test]
+fn ontology_writes_grow_the_live_seo_for_below_queries() {
+    let vfs = Arc::new(FaultVfs::new());
+    seed_writable(&vfs, 6);
+    let server = start_writable(&vfs, ServerConfig::default(), WriteConfig::default());
+    let mut client = Client::connect(server.local_addr()).unwrap();
+
+    let mut probe = QueryRequest::new("chaos", "inproceedings");
+    probe.below.push(("author".into(), "relational-pioneer".into()));
+    let before = match client.query(probe.clone()) {
+        Ok(reply) => reply.answers,
+        Err(ClientError::Server { .. }) => 0, // unknown term: also fine
+        Err(e) => panic!("transport failure: {e}"),
+    };
+    assert_eq!(before, 0, "the edge does not exist yet");
+
+    let r = client
+        .write_keyed(
+            WriteOp::AddEdge {
+                below: "E. Codd".into(),
+                above: "relational-pioneer".into(),
+            },
+            BudgetClass::Interactive,
+            &next_write_key(),
+        )
+        .expect("add_edge commits");
+    assert!(r.seq > 0);
+
+    let reply = client.query(probe).expect("below query after the edge");
+    assert_eq!(reply.answers, 2, "E. Codd docs resolve below the new term");
+
+    // an invalid edge (cycle) is rejected with a typed error and the
+    // server stays healthy
+    let err = client
+        .write_keyed(
+            WriteOp::AddEdge {
+                below: "relational-pioneer".into(),
+                above: "E. Codd".into(),
+            },
+            BudgetClass::Interactive,
+            &next_write_key(),
+        )
+        .expect_err("a cycle must be rejected");
+    match err {
+        ClientError::Server { code, .. } => assert_eq!(code, ErrorCode::BadRequest),
+        other => panic!("expected typed rejection, got {other:?}"),
+    }
+    client.ping().unwrap();
+    server.shutdown();
+}
+
+/// Background checkpoint + restart: an explicit `checkpoint` frame
+/// folds the journal after a verified snapshot; the ontology sidecar
+/// is written first, so a crash after the checkpoint restores both the
+/// documents and the grown ontology on the next (strict) startup.
+#[test]
+fn checkpoint_survives_crash_and_sidecar_restores_the_ontology() {
+    let vfs = Arc::new(FaultVfs::new());
+    seed_writable(&vfs, 3);
+    let wcfg = WriteConfig {
+        checkpoint_every: 0, // only explicit checkpoint frames
+        ..WriteConfig::default()
+    };
+    let server = start_writable(&vfs, ServerConfig::default(), wcfg);
+    {
+        let mut client = Client::connect(server.local_addr()).unwrap();
+        client
+            .write_keyed(insert_op("ck1", "Checkpoint Author"), BudgetClass::Interactive, &next_write_key())
+            .unwrap();
+        client
+            .write_keyed(
+                WriteOp::AddEdge {
+                    below: "E. Codd".into(),
+                    above: "relational-pioneer".into(),
+                },
+                BudgetClass::Interactive,
+                &next_write_key(),
+            )
+            .unwrap();
+        let folded = client.checkpoint().expect("checkpoint frame");
+        assert!(folded >= 2, "both journaled writes are folded, got {folded}");
+        let stats = client.stats().unwrap();
+        assert!(stats.write.checkpoints >= 1, "{:?}", stats.write);
+    }
+    server.shutdown();
+    vfs.crash(); // power loss after the checkpoint: it must all be durable
+
+    let server2 = start_writable(&vfs, ServerConfig::default(), WriteConfig::default());
+    let mut client = Client::connect(server2.local_addr()).unwrap();
+    let reply = client.query(eq_query("Checkpoint Author")).unwrap();
+    assert_eq!(reply.answers, 1, "the checkpointed insert survived the crash");
+    let mut below = QueryRequest::new("chaos", "inproceedings");
+    below.below.push(("author".into(), "relational-pioneer".into()));
+    let reply = client.query(below).expect("sidecar-restored ontology");
+    assert_eq!(reply.answers, 1, "the ontology edge survived via the sidecar");
+    server2.shutdown();
+}
+
+/// The graceful-degradation tentpole leg: sustained journal faults
+/// (the ENOSPC shape) flip the server to read-only degraded — writes
+/// get a typed `degraded` frame with a reason and a retry hint, reads
+/// keep serving — and a healed disk self-heals it via probe writes.
+#[test]
+fn persistent_journal_faults_degrade_to_read_only_then_self_heal() {
+    let vfs = Arc::new(FaultVfs::new());
+    seed_writable(&vfs, 6);
+    let wcfg = WriteConfig {
+        append_retries: 1,
+        append_backoff: Duration::from_millis(1),
+        tick: Duration::from_millis(10), // fast probe cadence
+        checkpoint_every: 0,
+        ..WriteConfig::default()
+    };
+    let server = start_writable(&vfs, ServerConfig::default(), wcfg);
+    let mut client = Client::connect(server.local_addr()).unwrap();
+
+    // healthy first: the write path works before the disk dies
+    client
+        .write_keyed(insert_op("pre-fault", "Healthy Author"), BudgetClass::Interactive, &next_write_key())
+        .expect("healthy write");
+
+    // the disk dies persistently: every mutating fs op fails from here
+    vfs.fail_from(vfs.op_count(), FaultMode::Error);
+
+    // the write that exhausts the retry budget gets the typed frame...
+    let err = client
+        .write_keyed(insert_op("lost-1", "Degraded Author"), BudgetClass::Interactive, &next_write_key())
+        .expect_err("an unjournalable write must fail");
+    match err {
+        ClientError::Server { code, retry_after_ms, .. } => {
+            assert_eq!(code, ErrorCode::Degraded);
+            assert!(code.is_retryable(), "degraded is a retryable condition");
+            assert!(retry_after_ms.unwrap_or(0) > 0, "degraded carries a retry hint");
+        }
+        other => panic!("expected degraded, got {other:?}"),
+    }
+    // ...and later writes are rejected at ingress, also typed
+    let err = client
+        .write_keyed(insert_op("lost-2", "Degraded Author"), BudgetClass::Interactive, &next_write_key())
+        .expect_err("degraded mode rejects writes at ingress");
+    match err {
+        ClientError::Server { code, message, .. } => {
+            assert_eq!(code, ErrorCode::Degraded);
+            assert!(!message.is_empty(), "the degraded frame carries a reason");
+        }
+        other => panic!("expected degraded, got {other:?}"),
+    }
+
+    // reads keep serving the consistent pre-fault state
+    let reply = client.query(eq_query("Healthy Author")).unwrap();
+    assert_eq!(reply.answers, 1, "reads must survive degradation");
+    let stats = client.stats().unwrap();
+    assert!(stats.write.degraded, "{:?}", stats.write);
+    assert!(!stats.write.reason.is_empty(), "{:?}", stats.write);
+    // the degraded state is exported as a gauge for alerting
+    let text = client.metrics().unwrap();
+    assert!(text.contains("toss_serve_degraded 1"), "{text}");
+
+    // the disk comes back; a probe write self-heals the server
+    vfs.heal();
+    let t0 = Instant::now();
+    let healed = loop {
+        match client.write_keyed(
+            insert_op("post-heal", "Healed Author"),
+            BudgetClass::Interactive,
+            &next_write_key(),
+        ) {
+            Ok(reply) => break reply,
+            Err(ClientError::Server { code: ErrorCode::Degraded, .. })
+                if t0.elapsed() < Duration::from_secs(10) =>
+            {
+                thread::sleep(Duration::from_millis(20));
+            }
+            Err(other) => panic!("unexpected failure while healing: {other:?}"),
+        }
+    };
+    assert!(healed.seq > 0, "writes resume after self-heal");
+    let stats = client.stats().unwrap();
+    assert!(!stats.write.degraded, "self-heal must clear the state: {:?}", stats.write);
+    let reply = client.query(eq_query("Healed Author")).unwrap();
+    assert_eq!(reply.answers, 1);
+    server.shutdown();
+}
+
+/// The deterministic crash campaign (`docs/robustness.md`): for each
+/// seed, derive a fault schedule, arm it on the store's [`FaultVfs`],
+/// drive a **live server** through interleaved reads and writes over
+/// real sockets, then kill (drain + power loss) and recover. The
+/// invariant, per seed: every *acknowledged* write survives — ack ⇒
+/// fsynced ⇒ durable — nothing unsent appears, and reads never see a
+/// transport failure while faults fire.
+///
+/// `TOSS_CRASH_SEEDS` overrides the seed count (verify.sh smoke runs
+/// fewer; the default is the full campaign).
+#[test]
+fn crash_campaign_every_acknowledged_write_survives_kill_and_recover() {
+    let seeds: u64 = std::env::var("TOSS_CRASH_SEEDS")
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(50);
+    for seed in 0..seeds {
+        let vfs = Arc::new(FaultVfs::new());
+        seed_writable(&vfs, 3);
+        let wcfg = WriteConfig {
+            append_retries: 1,
+            append_backoff: Duration::from_millis(1),
+            tick: Duration::from_millis(5),
+            checkpoint_every: 4, // checkpoints land mid-campaign too
+            ..WriteConfig::default()
+        };
+        let server = start_writable(&vfs, ServerConfig::default(), wcfg);
+        let addr = server.local_addr();
+
+        // shift the schedule past the ops setup already performed, so
+        // every seed's faults land inside the measured workload
+        let base_op = vfs.op_count();
+        let mut schedule = FaultSchedule::seeded(seed, 40);
+        for ev in &mut schedule.events {
+            match ev {
+                ScheduledFault::Once { op, .. } | ScheduledFault::From { op, .. } => {
+                    *op += base_op
+                }
+            }
+        }
+        schedule.arm(&vfs);
+
+        let mut client = Client::connect(addr).unwrap();
+        let mut acked: Vec<String> = Vec::new();
+        let mut sent: Vec<String> = Vec::new();
+        for i in 0..10 {
+            let marker = format!("c{seed}x{i}");
+            sent.push(marker.clone());
+            match client.write_keyed(
+                insert_op(&marker, "Campaign Author"),
+                BudgetClass::Interactive,
+                &next_write_key(),
+            ) {
+                Ok(reply) => {
+                    assert!(reply.seq > 0, "seed {seed}: ack without a seq");
+                    acked.push(marker);
+                }
+                // typed failure (degraded, rejected, …): not acked
+                Err(ClientError::Server { .. }) => {}
+                Err(e) => panic!("seed {seed}: write transport failure: {e}"),
+            }
+            // interleaved read: the consistent snapshot must keep
+            // serving no matter what the fault schedule does to disk
+            match client.query(eq_query("E. Codd")) {
+                Ok(reply) => assert!(
+                    reply.answers >= 1,
+                    "seed {seed}: read lost the base documents"
+                ),
+                Err(ClientError::Server { .. }) => {}
+                Err(e) => panic!("seed {seed}: read transport failure: {e}"),
+            }
+        }
+        server.shutdown(); // drain: every enqueued write commits or fails
+        vfs.crash(); // power loss: unsynced bytes are gone, faults cleared
+
+        let (recovered, _report) = DurableDatabase::recover_with(
+            SNAP,
+            DatabaseConfig::unlimited(),
+            vfs.clone() as Arc<dyn Vfs>,
+        )
+        .unwrap_or_else(|e| panic!("seed {seed}: recovery failed: {e}"));
+        let coll = recovered
+            .db()
+            .collection("chaos")
+            .unwrap_or_else(|_| panic!("seed {seed}: collection lost"));
+        let dump: Vec<String> = coll
+            .documents()
+            .iter()
+            .map(|d| tree_to_xml(&d.tree, Style::Compact))
+            .collect();
+        for marker in &acked {
+            assert!(
+                dump.iter().any(|x| x.contains(marker.as_str())),
+                "seed {seed}: ACKNOWLEDGED write {marker} lost after crash \
+                 (acked {}, recovered {} docs)",
+                acked.len(),
+                dump.len(),
+            );
+        }
+        // nothing that was never sent can appear
+        for doc in &dump {
+            if let Some(pos) = doc.find("key=\"c") {
+                let tail = &doc[pos + 5..];
+                let marker: String =
+                    tail.chars().take_while(|c| *c != '"').collect();
+                assert!(
+                    sent.iter().any(|m| *m == marker),
+                    "seed {seed}: phantom write {marker} appeared"
+                );
+            }
+        }
+    }
 }
