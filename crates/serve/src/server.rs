@@ -1014,12 +1014,15 @@ fn handle_query(shared: &Arc<Shared>, entry: &Arc<ConnEntry>, q: &QueryRequest) 
     // Hold the executor read lock for the query's whole execution:
     // in-flight reads keep a consistent snapshot (the writer thread's
     // apply phase takes the write lock, so a batch becomes visible
-    // between queries, never inside one).
-    let executor = shared.executor.read().unwrap_or_else(|e| e.into_inner());
-    let (queue_wait, result) = shared
-        .admission
-        .run_with_wait(&gov, || executor.select_governed(&query, mode, &gov));
-    drop(executor);
+    // between queries, never inside one). The lock is taken *inside*
+    // the admission closure — after the permit is granted — so a query
+    // waiting in the admission queue does not hold a read guard that
+    // would stall the writer's apply phase (and inflate write ack
+    // latency into the client's retry window).
+    let (queue_wait, result) = shared.admission.run_with_wait(&gov, || {
+        let executor = shared.executor.read().unwrap_or_else(|e| e.into_inner());
+        executor.select_governed(&query, mode, &gov)
+    });
     let elapsed = started.elapsed();
 
     shared.inflight.fetch_sub(1, Ordering::AcqRel);
@@ -1181,6 +1184,7 @@ fn write_stats_value(shared: &Arc<Shared>) -> Value {
             Value::Object(vec![
                 ("writable".into(), Value::Bool(true)),
                 ("degraded".into(), Value::Bool(st.is_degraded())),
+                ("fatal".into(), Value::Bool(st.is_fatal())),
                 ("reason".into(), Value::Str(st.degraded_reason())),
                 ("revision".into(), Value::Int(revision as i64)),
                 ("applied".into(), Value::Int(u(&st.applied))),

@@ -17,12 +17,14 @@
 //! [`BudgetClass::group_commit_window`] among its members (an
 //! interactive write shrinks the window; batch writes ride along), then
 //! validates the whole batch with [`toss_xmldb::BatchValidator`]
-//! (sequential overlay: later ops may depend on earlier ones), journals
-//! it with a single fsync, applies it under the executor write lock,
-//! bumps the revision **once** via [`Executor::note_write_batch`] —
-//! which also swaps in a freshly re-enhanced SEO when the batch touched
-//! the ontology, invalidating the version-keyed rewrite cache exactly
-//! once — and only then acks every waiter.
+//! (sequential overlay: later ops may depend on earlier ones),
+//! re-enhances the SEO when the batch touched the ontology (*before*
+//! journaling — nothing fallible may run between fsync and ack),
+//! journals it with a single fsync, applies it under the executor
+//! write lock, bumps the revision **once** via
+//! [`Executor::note_write_batch`] — which also swaps in the
+//! re-enhanced SEO, invalidating the version-keyed rewrite cache
+//! exactly once — and only then acks every waiter.
 //!
 //! ## Idempotency
 //!
@@ -30,7 +32,25 @@
 //! keys go into a bounded FIFO dedupe table; a replayed key (a retry of
 //! a write whose ack was lost) is answered from the table without
 //! re-applying. This is what makes `toss-client`'s jittered retry safe
-//! for writes.
+//! for writes. Three layers close the retry window:
+//!
+//! * **in-batch** — a retry that lands in the *same* group-commit batch
+//!   as the original (the original was still queued when the client
+//!   timed out) is parked during validation and collapsed onto the
+//!   first job's outcome, never validated or applied twice;
+//! * **in-process** — the bounded table answers replays for the most
+//!   recent [`WriteConfig::dedupe_capacity`] acknowledged keys;
+//! * **across restart** — each key is journaled inside its record
+//!   ([`toss_xmldb::DurableWriter::append_batch_keyed`]), and the table
+//!   is reseeded from the journal tail on startup, so a retry of a
+//!   write acknowledged just before a crash still dedupes (the replayed
+//!   ack carries the original `seq` but no `doc_id`).
+//!
+//! The guarantee is therefore *bounded*, not absolute: a key evicted
+//! from the table (more than `dedupe_capacity` newer acks) or folded
+//! out of the journal by a checkpoint no longer dedupes. Size
+//! `dedupe_capacity` to at least the peak write rate times the client
+//! retry policy's maximum backoff window.
 //!
 //! ## Degradation and self-healing
 //!
@@ -43,6 +63,15 @@
 //! appends a `Noop`, repairing a poisoned journal first); the first
 //! successful probe clears degraded state.
 //!
+//! One degradation is **fatal** and does not self-heal: a validated op
+//! that fails to *apply* after its batch fsynced means the journal is
+//! ahead of memory. Accepting more writes (or healing on a probe) would
+//! compound the divergence, so the server stays read-only until a
+//! restart replays the journal and reconverges. Nothing fallible runs
+//! between fsync and apply — SEO re-enhancement happens *before* the
+//! journal append — so this path is reachable only through a bug, and
+//! it is contained rather than papered over.
+//!
 //! ## Checkpoints
 //!
 //! A checkpoint serializes the store and the SEO sidecar under a *read*
@@ -54,7 +83,7 @@
 
 use crate::budget::BudgetClass;
 use crate::protocol::{ErrorCode, WriteOp};
-use std::collections::{HashMap, VecDeque};
+use std::collections::{HashMap, HashSet, VecDeque};
 use std::path::{Path, PathBuf};
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::mpsc::{Receiver, RecvTimeoutError, SyncSender};
@@ -124,6 +153,9 @@ pub struct WriteEngine {
 #[derive(Debug, Default)]
 pub struct WriteState {
     degraded: AtomicBool,
+    /// A fatal degradation (journal ahead of memory) that must not
+    /// self-heal: the idle-tick probe skips it, only a restart clears it.
+    fatal: AtomicBool,
     reason: Mutex<String>,
     /// Mutations applied (excluding dedupe hits and checkpoints).
     pub applied: AtomicU64,
@@ -152,12 +184,24 @@ impl WriteState {
         self.reason.lock().unwrap_or_else(|e| e.into_inner()).clone()
     }
 
+    /// Whether the degradation is fatal (read-only until restart).
+    pub fn is_fatal(&self) -> bool {
+        self.fatal.load(Ordering::Acquire)
+    }
+
     fn enter_degraded(&self, reason: String) {
         *self.reason.lock().unwrap_or_else(|e| e.into_inner()) = reason;
         if !self.degraded.swap(true, Ordering::AcqRel) {
             toss_obs::metrics::counter("toss.serve.write.degraded_entered").inc();
         }
         toss_obs::metrics::gauge("toss.serve.degraded").set(1);
+    }
+
+    /// Degrade with no self-heal: the journal holds records memory did
+    /// not apply, so writes stay off until a restart replays them.
+    fn enter_fatal(&self, reason: String) {
+        self.fatal.store(true, Ordering::Release);
+        self.enter_degraded(reason);
     }
 
     fn clear_degraded(&self) {
@@ -333,7 +377,24 @@ impl WriterLoop {
         state: Arc<WriteState>,
         stamp: Box<dyn Fn(QueryRecord) + Send>,
     ) -> Self {
-        let dedupe = DedupeTable::new(engine.config.dedupe_capacity);
+        let mut dedupe = DedupeTable::new(engine.config.dedupe_capacity);
+        // Reseed from the journal tail: every record journaled under an
+        // idempotency key was acknowledged (or was about to be), so a
+        // client retrying across our restart must dedupe, not re-apply.
+        // Replayed outcomes keep their seq but not their doc id.
+        if let Ok(records) = engine.writer.journal_records() {
+            for rec in &records {
+                if let Some(key) = &rec.key {
+                    dedupe.insert(
+                        key.clone(),
+                        AckedOutcome {
+                            seq: rec.seq,
+                            doc_id: None,
+                        },
+                    );
+                }
+            }
+        }
         WriterLoop {
             engine,
             executor,
@@ -411,9 +472,11 @@ impl WriterLoop {
     }
 
     /// Degraded-mode self-heal: probe the journal; the first successful
-    /// probe clears the flag. Healthy idle ticks are free.
+    /// probe clears the flag. Healthy idle ticks are free. A *fatal*
+    /// degradation (journal ahead of memory) is never probed — a
+    /// healthy disk would not make the divergence go away.
     fn idle_tick(&mut self) {
-        if !self.state.is_degraded() {
+        if !self.state.is_degraded() || self.state.is_fatal() {
             return;
         }
         match self.engine.writer.probe() {
@@ -449,26 +512,26 @@ impl WriterLoop {
         // Phase 1 — validate under a read lock (readers unaffected;
         // the single-writer invariant means nobody else mutates).
         // Dedupe hits are answered immediately; invalid ops are
-        // rejected to their own clients and dropped from the batch.
+        // rejected to their own clients and dropped from the batch. A
+        // key repeated *within* the batch — a retry that caught up
+        // with its still-queued original, e.g. after an ack timeout
+        // while the writer sat in a long checkpoint — is parked and
+        // collapsed onto the first job's outcome, never applied twice.
         let mut accepted: Vec<(WriteJob, JournalOp)> = Vec::new();
+        let mut dups: Vec<WriteJob> = Vec::new();
+        let mut outcomes: HashMap<String, WriteResult> = HashMap::new();
+        let mut batch_keys: HashSet<String> = HashSet::new();
         let mut ontology_scratch: Option<Hierarchy> = None;
         {
             let exec = self.executor.read().unwrap_or_else(|e| e.into_inner());
             let mut validator = BatchValidator::new(&exec.db);
             for job in batch {
                 if let Some(hit) = self.dedupe.get(&job.key) {
-                    self.state.deduped.fetch_add(1, Ordering::Relaxed);
-                    toss_obs::metrics::counter("toss.serve.write.dedupe_hits").inc();
-                    self.finish(
-                        job,
-                        WriteResult::Applied {
-                            seq: hit.seq,
-                            doc_id: hit.doc_id,
-                            deduped: true,
-                            batch_size: 0,
-                            fsync_ns: 0,
-                        },
-                    );
+                    self.answer_dedupe_hit(job, hit);
+                    continue;
+                }
+                if !batch_keys.insert(job.key.clone()) {
+                    dups.push(job);
                     continue;
                 }
                 let Some(jop) = to_journal_op(&job.op) else {
@@ -508,30 +571,134 @@ impl WriterLoop {
                     Err(msg) => {
                         self.state.rejected.fetch_add(1, Ordering::Relaxed);
                         toss_obs::metrics::counter("toss.serve.write.rejected").inc();
-                        self.finish(
-                            job,
-                            WriteResult::Failed {
-                                code: ErrorCode::BadRequest,
-                                message: msg,
-                                retry_after_ms: None,
-                            },
-                        );
+                        let result = WriteResult::Failed {
+                            code: ErrorCode::BadRequest,
+                            message: msg,
+                            retry_after_ms: None,
+                        };
+                        outcomes.insert(job.key.clone(), result.clone());
+                        self.finish(job, result);
                     }
                 }
             }
         }
-        if accepted.is_empty() {
-            return;
+        if !accepted.is_empty() {
+            self.commit_accepted(accepted, ontology_scratch, &mut outcomes);
+        }
+        // Parked in-batch duplicates collapse onto their first job's
+        // outcome: the original ack (as a dedupe hit) if it applied,
+        // the identical failure otherwise.
+        for job in dups {
+            let result = match outcomes.get(&job.key) {
+                Some(WriteResult::Applied { seq, doc_id, .. }) => {
+                    self.state.deduped.fetch_add(1, Ordering::Relaxed);
+                    toss_obs::metrics::counter("toss.serve.write.dedupe_hits").inc();
+                    WriteResult::Applied {
+                        seq: *seq,
+                        doc_id: *doc_id,
+                        deduped: true,
+                        batch_size: 0,
+                        fsync_ns: 0,
+                    }
+                }
+                Some(other) => other.clone(),
+                // unreachable — every first-occurrence job records an
+                // outcome on every path — but a typed answer beats a
+                // hung client if that ever changes
+                None => WriteResult::Failed {
+                    code: ErrorCode::Internal,
+                    message: "duplicate of an unresolved write".into(),
+                    retry_after_ms: None,
+                },
+            };
+            self.finish(job, result);
+        }
+    }
+
+    /// Answer a job whose key is already in the dedupe table: re-send
+    /// the original ack, apply nothing.
+    fn answer_dedupe_hit(&self, job: WriteJob, hit: AckedOutcome) {
+        self.state.deduped.fetch_add(1, Ordering::Relaxed);
+        toss_obs::metrics::counter("toss.serve.write.dedupe_hits").inc();
+        self.finish(
+            job,
+            WriteResult::Applied {
+                seq: hit.seq,
+                doc_id: hit.doc_id,
+                deduped: true,
+                batch_size: 0,
+                fsync_ns: 0,
+            },
+        );
+    }
+
+    /// Phases 2–4 for the validated jobs: enhance, group-commit,
+    /// apply, ack. Every job's result is also recorded in `outcomes`
+    /// under its key, so parked in-batch duplicates can collapse onto
+    /// it.
+    fn commit_accepted(
+        &mut self,
+        mut accepted: Vec<(WriteJob, JournalOp)>,
+        ontology_scratch: Option<Hierarchy>,
+        outcomes: &mut HashMap<String, WriteResult>,
+    ) {
+        // Phase 2a — re-enhance the SEO from the validated scratch
+        // hierarchy BEFORE journaling anything: the enhancer is
+        // arbitrary fallible embedder code, and nothing fallible may
+        // run between fsync and ack — a failure there would leave ops
+        // durable (silently replayed on restart) while their clients
+        // hear "failed". Failing here costs nothing durable, and only
+        // the ontology jobs fail; doc ops ride on.
+        let mut new_seo: Option<Arc<Seo>> = None;
+        let mut new_hierarchy: Option<Hierarchy> = None;
+        if let Some(scratch) = ontology_scratch {
+            match (self.engine.enhancer)(&scratch) {
+                Ok(seo) => {
+                    new_seo = Some(Arc::new(seo));
+                    new_hierarchy = Some(scratch);
+                }
+                Err(e) => {
+                    let msg = format!("SEO re-enhancement failed: {e}");
+                    toss_obs::metrics::counter("toss.serve.write.enhance_failures")
+                        .inc();
+                    let (onto, rest): (Vec<_>, Vec<_>) =
+                        accepted.into_iter().partition(|(_, op)| {
+                            matches!(
+                                op,
+                                JournalOp::AddTerm { .. } | JournalOp::AddEdge { .. }
+                            )
+                        });
+                    accepted = rest;
+                    for (job, _) in onto {
+                        self.state.rejected.fetch_add(1, Ordering::Relaxed);
+                        let result = WriteResult::Failed {
+                            code: ErrorCode::Internal,
+                            message: msg.clone(),
+                            retry_after_ms: None,
+                        };
+                        outcomes.insert(job.key.clone(), result.clone());
+                        self.finish(job, result);
+                    }
+                    if accepted.is_empty() {
+                        return;
+                    }
+                }
+            }
         }
 
         // Phase 2 — group commit: one journal append + one fsync for
-        // the whole batch, with a bounded retry/backoff budget. Ack
+        // the whole batch, with a bounded retry/backoff budget. Each
+        // record carries its job's idempotency key, so a restarted
+        // server reseeds its dedupe table from the journal tail. Ack
         // nothing before this succeeds.
-        let ops: Vec<JournalOp> = accepted.iter().map(|(_, op)| op.clone()).collect();
+        let ops: Vec<(JournalOp, Option<String>)> = accepted
+            .iter()
+            .map(|(job, op)| (op.clone(), Some(job.key.clone())))
+            .collect();
         let fsync_started = Instant::now();
         let mut attempt = 0;
         let seqs = loop {
-            match self.engine.writer.append_batch(&ops) {
+            match self.engine.writer.append_batch_keyed(&ops) {
                 Ok(seqs) => break Some(seqs),
                 Err(e) if attempt < self.engine.config.append_retries => {
                     attempt += 1;
@@ -546,14 +713,13 @@ impl WriterLoop {
                     // no sequence numbers.
                     self.state.enter_degraded(e.to_string());
                     for (job, _) in accepted.drain(..) {
-                        self.finish(
-                            job,
-                            WriteResult::Failed {
-                                code: ErrorCode::Degraded,
-                                message: format!("journal append failed: {e}"),
-                                retry_after_ms: Some(500),
-                            },
-                        );
+                        let result = WriteResult::Failed {
+                            code: ErrorCode::Degraded,
+                            message: format!("journal append failed: {e}"),
+                            retry_after_ms: Some(500),
+                        };
+                        outcomes.insert(job.key.clone(), result.clone());
+                        self.finish(job, result);
                     }
                     break None;
                 }
@@ -567,35 +733,22 @@ impl WriterLoop {
             .observe(fsync_ns);
         toss_obs::metrics::histogram("toss.serve.write.batch_size").observe(batch_size);
 
-        // Phase 3 — apply under the write lock. After validation,
-        // apply_op cannot fail; the revision bumps once per batch, and
-        // an ontology-touching batch swaps in the re-enhanced SEO in
-        // the same breath (one rewrite-cache invalidation).
+        // Phase 3 — apply under the write lock. After validation (and
+        // the pre-fsync enhancement above) nothing here can fail; the
+        // revision bumps once per batch, and an ontology-touching
+        // batch swaps in the re-enhanced SEO in the same breath (one
+        // rewrite-cache invalidation).
+        if let Some(h) = new_hierarchy {
+            self.engine.hierarchy = h;
+        }
         let mut doc_ids: Vec<Option<u64>> = Vec::with_capacity(accepted.len());
         let mut apply_err: Option<String> = None;
-        let new_seo = match ontology_scratch {
-            Some(scratch) => match (self.engine.enhancer)(&scratch) {
-                Ok(seo) => {
-                    self.engine.hierarchy = scratch;
-                    Some(Arc::new(seo))
-                }
-                Err(e) => {
-                    apply_err = Some(format!("SEO re-enhancement failed: {e}"));
-                    None
-                }
-            },
-            None => None,
-        };
-        if apply_err.is_none() {
+        {
             let mut exec = self.executor.write().unwrap_or_else(|e| e.into_inner());
             for (_, op) in &accepted {
                 match apply_op(&mut exec.db, op) {
                     Ok(id) => doc_ids.push(id.map(|d| d.0)),
                     Err(e) => {
-                        // validated ops cannot fail to apply; if one
-                        // does, the journal is ahead of memory — record
-                        // loudly and fail the remaining acks (recovery
-                        // replay will reconcile)
                         apply_err = Some(e.to_string());
                         toss_obs::metrics::counter("toss.serve.write.apply_faults")
                             .inc();
@@ -603,20 +756,32 @@ impl WriterLoop {
                     }
                 }
             }
-            if apply_err.is_none() {
-                exec.note_write_batch(new_seo);
-            }
+            // The revision bumps even on a fault: whatever prefix did
+            // apply must still invalidate the version-keyed caches.
+            exec.note_write_batch(new_seo);
         }
         if let Some(msg) = apply_err {
+            // A validated op failed to apply after its batch fsynced:
+            // the journal is now ahead of memory. That divergence is
+            // fatal, not retryable — the server stops taking writes
+            // (reads keep flowing) and stays read-only until a restart
+            // replays the journal. The keys above were journaled, so a
+            // client that retries one of these "failed" writes against
+            // the restarted server dedupes instead of double-applying.
+            self.state.enter_fatal(format!(
+                "write apply diverged from journal ({msg}); restart to recover"
+            ));
             for (job, _) in accepted {
-                self.finish(
-                    job,
-                    WriteResult::Failed {
-                        code: ErrorCode::Internal,
-                        message: msg.clone(),
-                        retry_after_ms: None,
-                    },
-                );
+                let result = WriteResult::Failed {
+                    code: ErrorCode::Degraded,
+                    message: format!(
+                        "apply fault after commit ({msg}); the write is journaled \
+                         and becomes visible after the server restarts"
+                    ),
+                    retry_after_ms: None,
+                };
+                outcomes.insert(job.key.clone(), result.clone());
+                self.finish(job, result);
             }
             return;
         }
@@ -636,20 +801,19 @@ impl WriterLoop {
                 doc_id: doc_ids[i],
             };
             self.dedupe.insert(job.key.clone(), outcome);
-            self.finish(
-                job,
-                WriteResult::Applied {
-                    seq: outcome.seq,
-                    doc_id: outcome.doc_id,
-                    deduped: false,
-                    batch_size,
-                    fsync_ns,
-                },
-            );
+            let result = WriteResult::Applied {
+                seq: outcome.seq,
+                doc_id: outcome.doc_id,
+                deduped: false,
+                batch_size,
+                fsync_ns,
+            };
+            outcomes.insert(job.key.clone(), result.clone());
+            self.finish(job, result);
         }
 
         // Opportunistic background checkpoint once the journal grows
-        // past the configured threshold.
+        // past the configured threshold (an O(1) counter, not a scan).
         let every = self.engine.config.checkpoint_every;
         if every > 0 {
             if let Ok(pending) = self.engine.writer.pending_journal_ops() {
@@ -777,6 +941,234 @@ impl WriterLoop {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use toss_ontology::sea::enhance;
+    use toss_similarity::Levenshtein;
+    use toss_xmldb::{DatabaseConfig, DurableDatabase, FaultVfs};
+
+    fn ok_enhancer() -> Enhancer {
+        Box::new(|h| enhance(h, &Levenshtein, 1.0).map_err(|e| e.to_string()))
+    }
+
+    /// A writer loop over a durable store on `vfs` (fresh stores get a
+    /// checkpointed `c` collection; reopened stores keep their journal
+    /// tail intact so reseeding can be exercised).
+    fn writer_fixture(
+        vfs: Arc<FaultVfs>,
+        enhancer: Enhancer,
+    ) -> (WriterLoop, Arc<WriteState>, Arc<RwLock<Executor>>) {
+        let dyn_vfs: Arc<dyn Vfs> = vfs;
+        let mut d = DurableDatabase::open_with(
+            "/write-unit.json",
+            DatabaseConfig::unlimited(),
+            dyn_vfs,
+        )
+        .unwrap();
+        if d.db().collection("c").is_err() {
+            d.create_collection("c").unwrap();
+            d.checkpoint().unwrap();
+        }
+        let (db, writer) = d.into_parts();
+        let mut hierarchy = Hierarchy::default();
+        hierarchy.add_leq("SIGMOD", "conference").unwrap();
+        let seo = Arc::new(enhance(&hierarchy, &Levenshtein, 1.0).unwrap());
+        let executor = Arc::new(RwLock::new(Executor::new(db, seo)));
+        let state = Arc::new(WriteState::default());
+        let engine = WriteEngine {
+            writer,
+            hierarchy,
+            enhancer,
+            config: WriteConfig::default(),
+        };
+        let wl =
+            WriterLoop::new(engine, executor.clone(), state.clone(), Box::new(|_| {}));
+        (wl, state, executor)
+    }
+
+    fn test_job(op: WriteOp, key: &str) -> (WriteJob, Receiver<WriteResult>) {
+        // capacity 1: `finish` must never block on an unread reply
+        let (tx, rx) = std::sync::mpsc::sync_channel(1);
+        (
+            WriteJob {
+                op,
+                key: key.into(),
+                class: BudgetClass::Batch,
+                query_id: 0,
+                enqueued: Instant::now(),
+                reply: tx,
+            },
+            rx,
+        )
+    }
+
+    fn insert(xml: &str) -> WriteOp {
+        WriteOp::InsertDoc {
+            collection: "c".into(),
+            xml: xml.into(),
+        }
+    }
+
+    /// The ack-timeout retry shape: the retry catches up with its
+    /// still-queued original and both land in ONE group-commit batch.
+    /// The duplicate must collapse onto the first job's ack, not be
+    /// validated, journaled, and applied a second time.
+    #[test]
+    fn in_batch_duplicate_key_collapses_to_one_application() {
+        let (mut wl, state, exec) =
+            writer_fixture(Arc::new(FaultVfs::new()), ok_enhancer());
+        let op = insert("<a/>");
+        let (j1, r1) = test_job(op.clone(), "dup");
+        let (j2, r2) = test_job(op, "dup");
+        let (j3, r3) = test_job(insert("<b/>"), "other");
+        wl.commit_batch(vec![j1, j2, j3]);
+
+        let (seq1, id1) = match r1.recv().unwrap() {
+            WriteResult::Applied {
+                seq,
+                doc_id,
+                deduped: false,
+                ..
+            } => (seq, doc_id),
+            other => panic!("the first occurrence must apply: {other:?}"),
+        };
+        match r2.recv().unwrap() {
+            WriteResult::Applied {
+                seq,
+                doc_id,
+                deduped: true,
+                ..
+            } => {
+                assert_eq!(seq, seq1, "the duplicate replays the original ack");
+                assert_eq!(doc_id, id1);
+            }
+            other => panic!("the in-batch duplicate must collapse: {other:?}"),
+        }
+        assert!(matches!(
+            r3.recv().unwrap(),
+            WriteResult::Applied { deduped: false, .. }
+        ));
+
+        // the dup pair applied exactly once: two docs, two journal
+        // records, one dedupe hit
+        let docs = {
+            let exec = exec.read().unwrap();
+            exec.db.collection("c").unwrap().documents().len()
+        };
+        assert_eq!(docs, 2, "a duplicated insert must not apply twice");
+        assert_eq!(wl.engine.writer.journal_records().unwrap().len(), 2);
+        assert_eq!(state.applied.load(Ordering::Relaxed), 2);
+        assert_eq!(state.deduped.load(Ordering::Relaxed), 1);
+    }
+
+    /// A duplicate of a *rejected* write replays the rejection — the
+    /// client sees the same typed error twice, not one error and one
+    /// mystery apply.
+    #[test]
+    fn in_batch_duplicate_of_a_rejected_write_replays_the_rejection() {
+        let (mut wl, state, _exec) =
+            writer_fixture(Arc::new(FaultVfs::new()), ok_enhancer());
+        let op = WriteOp::InsertDoc {
+            collection: "missing".into(),
+            xml: "<a/>".into(),
+        };
+        let (j1, r1) = test_job(op.clone(), "dup");
+        let (j2, r2) = test_job(op, "dup");
+        wl.commit_batch(vec![j1, j2]);
+        for r in [r1, r2] {
+            match r.recv().unwrap() {
+                WriteResult::Failed {
+                    code: ErrorCode::BadRequest,
+                    ..
+                } => {}
+                other => panic!("both must see the rejection: {other:?}"),
+            }
+        }
+        assert_eq!(state.rejected.load(Ordering::Relaxed), 1, "validated once");
+    }
+
+    /// The enhancer (arbitrary embedder code) fails: the ontology jobs
+    /// fail *before* anything was journaled — nothing durable, the live
+    /// hierarchy untouched, the server still writable — while pure doc
+    /// ops in the same batch commit normally.
+    #[test]
+    fn enhancer_failure_fails_ontology_jobs_before_journaling_them() {
+        let (mut wl, state, _exec) = writer_fixture(
+            Arc::new(FaultVfs::new()),
+            Box::new(|_| Err("embedder exploded".into())),
+        );
+        let (doc, rdoc) = test_job(insert("<a/>"), "k-doc");
+        let (term, rterm) = test_job(
+            WriteOp::AddTerm {
+                terms: vec!["newterm".into()],
+            },
+            "k-term",
+        );
+        wl.commit_batch(vec![doc, term]);
+
+        match rterm.recv().unwrap() {
+            WriteResult::Failed {
+                code: ErrorCode::Internal,
+                message,
+                ..
+            } => assert!(message.contains("SEO re-enhancement failed"), "{message}"),
+            other => panic!("the ontology op must fail with the enhancer: {other:?}"),
+        }
+        assert!(
+            matches!(rdoc.recv().unwrap(), WriteResult::Applied { deduped: false, .. }),
+            "doc ops ride on past an enhancer failure"
+        );
+        // the failed op left no durable trace and no live mutation
+        let records = wl.engine.writer.journal_records().unwrap();
+        assert_eq!(records.len(), 1, "only the doc op is durable");
+        assert!(matches!(records[0].op, JournalOp::Insert { .. }));
+        assert!(wl.engine.hierarchy.node_of("newterm").is_none());
+        assert!(!state.is_degraded(), "an enhancer failure is not degradation");
+    }
+
+    /// Keys ride inside journal records, so a retry of a write that was
+    /// acknowledged just before a restart dedupes against the reseeded
+    /// table instead of re-applying.
+    #[test]
+    fn dedupe_reseeds_from_journaled_keys_after_restart() {
+        let vfs = Arc::new(FaultVfs::new());
+        let op = insert("<a/>");
+        let seq1 = {
+            let (mut wl, _state, _exec) = writer_fixture(vfs.clone(), ok_enhancer());
+            let (j, r) = test_job(op.clone(), "survivor");
+            wl.commit_batch(vec![j]);
+            match r.recv().unwrap() {
+                WriteResult::Applied {
+                    seq,
+                    deduped: false,
+                    ..
+                } => seq,
+                other => panic!("the original must apply: {other:?}"),
+            }
+        };
+
+        // "restart": a fresh writer loop over the same store replays
+        // the journal and reseeds the dedupe table from its keys
+        let (mut wl, state, exec) = writer_fixture(vfs, ok_enhancer());
+        let (j, r) = test_job(op, "survivor");
+        wl.commit_batch(vec![j]);
+        match r.recv().unwrap() {
+            WriteResult::Applied {
+                seq,
+                doc_id,
+                deduped: true,
+                ..
+            } => {
+                assert_eq!(seq, seq1, "the replayed ack keeps the original seq");
+                assert_eq!(doc_id, None, "replayed-from-journal acks carry no doc id");
+            }
+            other => panic!("a key journaled before restart must dedupe: {other:?}"),
+        }
+        assert_eq!(state.deduped.load(Ordering::Relaxed), 1);
+        let docs = {
+            let exec = exec.read().unwrap();
+            exec.db.collection("c").unwrap().documents().len()
+        };
+        assert_eq!(docs, 1, "one application across the restart");
+    }
 
     #[test]
     fn dedupe_table_is_bounded_fifo() {
@@ -815,12 +1207,14 @@ mod tests {
         let records = vec![
             JournalRecord {
                 seq: 5,
+                key: None,
                 op: JournalOp::AddTerm {
                     terms: vec!["PODS".into()],
                 },
             },
             JournalRecord {
                 seq: 6,
+                key: None,
                 op: JournalOp::AddEdge {
                     below: "PODS".into(),
                     above: "conference".into(),
@@ -829,6 +1223,7 @@ mod tests {
             // below the cursor: already folded into the sidecar
             JournalRecord {
                 seq: 2,
+                key: None,
                 op: JournalOp::AddTerm {
                     terms: vec!["stale".into()],
                 },
@@ -836,6 +1231,7 @@ mod tests {
             // a cycle is skipped, not fatal
             JournalRecord {
                 seq: 7,
+                key: None,
                 op: JournalOp::AddEdge {
                     below: "conference".into(),
                     above: "PODS".into(),
@@ -843,6 +1239,7 @@ mod tests {
             },
             JournalRecord {
                 seq: 8,
+                key: None,
                 op: JournalOp::Noop,
             },
         ];

@@ -281,8 +281,9 @@ impl DurableDatabase {
 
     /// Number of operations currently recorded in the journal (i.e. not
     /// yet folded into a snapshot by [`DurableDatabase::checkpoint`]).
+    /// O(1): the count is tracked incrementally, not rescanned.
     pub fn pending_journal_ops(&self) -> DbResult<usize> {
-        Ok(self.journal.scan()?.records.len())
+        Ok(self.journal.record_count())
     }
 
     /// Create a collection, durably.
@@ -413,6 +414,23 @@ impl DurableWriter {
         self.journal.append_batch(ops)
     }
 
+    /// [`DurableWriter::append_batch`] with each op's idempotency key
+    /// journaled inside its record, so a restarted server can rebuild
+    /// its dedupe table from [`DurableWriter::journal_records`].
+    pub fn append_batch_keyed(
+        &mut self,
+        ops: &[(JournalOp, Option<String>)],
+    ) -> DbResult<Vec<u64>> {
+        self.journal.append_batch_keyed(ops)
+    }
+
+    /// The journal's current records (strict scan). The serving layer
+    /// replays the ontology tail and reseeds its idempotency dedupe
+    /// table from here on startup.
+    pub fn journal_records(&self) -> DbResult<Vec<crate::journal::JournalRecord>> {
+        Ok(self.journal.scan()?.records)
+    }
+
     /// The sequence number the next append will use.
     pub fn next_seq(&self) -> u64 {
         self.journal.next_seq()
@@ -429,9 +447,10 @@ impl DurableWriter {
     }
 
     /// Number of operations currently in the journal (not yet folded
-    /// into a snapshot).
+    /// into a snapshot). O(1): tracked incrementally, not rescanned —
+    /// the writer loop consults this after every committed batch.
     pub fn pending_journal_ops(&self) -> DbResult<usize> {
-        Ok(self.journal.scan()?.records.len())
+        Ok(self.journal.record_count())
     }
 
     /// Durability probe: append + fsync a [`JournalOp::Noop`]. A probe

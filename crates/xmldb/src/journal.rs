@@ -105,11 +105,19 @@ pub struct JournalRecord {
     pub seq: u64,
     /// The logged operation.
     pub op: JournalOp,
+    /// Client-generated idempotency key the op was committed under, if
+    /// any. Journaled with the record so a restarted server can rebuild
+    /// its dedupe table from the journal tail — a retry of a write that
+    /// was acknowledged just before a crash still dedupes.
+    pub key: Option<String>,
 }
 
 /// Encode a record as a compact JSON payload.
-fn encode_payload(seq: u64, op: &JournalOp) -> Vec<u8> {
+fn encode_payload(seq: u64, op: &JournalOp, key: Option<&str>) -> Vec<u8> {
     let mut fields: Vec<(&str, Value)> = vec![("seq", seq.into())];
+    if let Some(key) = key {
+        fields.push(("key", key.into()));
+    }
     match op {
         JournalOp::CreateCollection { name } => {
             fields.push(("op", "create".into()));
@@ -228,7 +236,11 @@ fn decode_payload(payload: &[u8]) -> DbResult<JournalRecord> {
             )))
         }
     };
-    Ok(JournalRecord { seq, op })
+    let key = value
+        .get("key")
+        .and_then(Value::as_str)
+        .map(str::to_string);
+    Ok(JournalRecord { seq, op, key })
 }
 
 /// Frame a payload as a length-prefixed, checksummed record.
@@ -273,6 +285,10 @@ pub struct Journal {
     /// suffix). A poisoned journal refuses appends until a successful
     /// [`Journal::rewrite`]/[`Journal::reset`] or a fresh open.
     poisoned: bool,
+    /// Number of records in the known-good prefix, maintained
+    /// incrementally so [`Journal::record_count`] never rescans the
+    /// file (pending-op checks run on the write-latency path).
+    record_count: usize,
 }
 
 impl std::fmt::Debug for Journal {
@@ -301,11 +317,13 @@ impl Journal {
             next_seq: 0,
             good_len: JOURNAL_MAGIC.len(),
             poisoned: false,
+            record_count: 0,
         };
         if journal.vfs.exists(&journal.path) {
             let scan = journal.scan_lenient()?;
             journal.next_seq = scan.records.last().map(|r| r.seq + 1).unwrap_or(0);
             journal.good_len = scan.valid_bytes;
+            journal.record_count = scan.records.len();
             if scan.corruption.is_some() {
                 journal.poisoned = true;
             } else if scan.torn_tail_bytes > 0 || scan.valid_bytes < JOURNAL_MAGIC.len() {
@@ -356,7 +374,7 @@ impl Journal {
         }
         let span = toss_obs::span("xmldb.journal.append");
         let seq = self.next_seq;
-        let rec = frame(&encode_payload(seq, op));
+        let rec = frame(&encode_payload(seq, op, None));
         span.record("bytes", rec.len());
         let appended = self
             .vfs
@@ -371,6 +389,7 @@ impl Journal {
             Ok(()) => {
                 self.good_len += rec.len();
                 self.next_seq = seq + 1;
+                self.record_count += 1;
                 toss_obs::metrics::counter("xmldb.journal.appends").inc();
                 toss_obs::metrics::counter("xmldb.journal.fsyncs").inc();
                 toss_obs::metrics::counter("xmldb.journal.bytes_appended").add(rec.len() as u64);
@@ -399,6 +418,20 @@ impl Journal {
     ///
     /// An empty batch is a no-op returning no sequences.
     pub fn append_batch(&mut self, ops: &[JournalOp]) -> DbResult<Vec<u64>> {
+        let keyed: Vec<(JournalOp, Option<String>)> =
+            ops.iter().map(|op| (op.clone(), None)).collect();
+        self.append_batch_keyed(&keyed)
+    }
+
+    /// [`Journal::append_batch`], with each op's idempotency key (if
+    /// any) journaled inside its record. The keys play no role in
+    /// replay; they let a restarted server rebuild its dedupe table
+    /// from the journal tail, so acknowledged-then-retried writes stay
+    /// deduplicated across a crash.
+    pub fn append_batch_keyed(
+        &mut self,
+        ops: &[(JournalOp, Option<String>)],
+    ) -> DbResult<Vec<u64>> {
         if ops.is_empty() {
             return Ok(Vec::new());
         }
@@ -413,9 +446,9 @@ impl Journal {
         span.record("ops", ops.len());
         let mut rec = Vec::new();
         let mut seqs = Vec::with_capacity(ops.len());
-        for (i, op) in ops.iter().enumerate() {
+        for (i, (op, key)) in ops.iter().enumerate() {
             let seq = self.next_seq + i as u64;
-            rec.extend_from_slice(&frame(&encode_payload(seq, op)));
+            rec.extend_from_slice(&frame(&encode_payload(seq, op, key.as_deref())));
             seqs.push(seq);
         }
         span.record("bytes", rec.len());
@@ -432,6 +465,7 @@ impl Journal {
             Ok(()) => {
                 self.good_len += rec.len();
                 self.next_seq += ops.len() as u64;
+                self.record_count += ops.len();
                 toss_obs::metrics::counter("xmldb.journal.appends").add(ops.len() as u64);
                 toss_obs::metrics::counter("xmldb.journal.fsyncs").inc();
                 toss_obs::metrics::counter("xmldb.journal.bytes_appended").add(rec.len() as u64);
@@ -596,7 +630,11 @@ impl Journal {
     pub fn rewrite(&mut self, records: &[JournalRecord]) -> DbResult<()> {
         let mut bytes = JOURNAL_MAGIC.to_vec();
         for rec in records {
-            bytes.extend_from_slice(&frame(&encode_payload(rec.seq, &rec.op)));
+            bytes.extend_from_slice(&frame(&encode_payload(
+                rec.seq,
+                &rec.op,
+                rec.key.as_deref(),
+            )));
         }
         let tmp = self.path.with_extension("wal.tmp");
         self.vfs
@@ -610,7 +648,15 @@ impl Journal {
             .map_err(|e| DbError::Storage(format!("journal rewrite rename failed: {e}")))?;
         self.good_len = bytes.len();
         self.poisoned = false;
+        self.record_count = records.len();
         Ok(())
+    }
+
+    /// Number of records in the known-good prefix. Maintained
+    /// incrementally — no file I/O — so per-batch pending-op checks
+    /// stay O(1) instead of rescanning the whole journal.
+    pub fn record_count(&self) -> usize {
+        self.record_count
     }
 
     /// Truncate the journal to empty (magic only). Called after a
@@ -667,10 +713,67 @@ mod tests {
     #[test]
     fn ops_round_trip_through_encode_decode() {
         for (i, op) in sample_ops().into_iter().enumerate() {
-            let rec = decode_payload(&encode_payload(i as u64, &op)).unwrap();
+            let rec = decode_payload(&encode_payload(i as u64, &op, None)).unwrap();
             assert_eq!(rec.seq, i as u64);
             assert_eq!(rec.op, op);
+            assert_eq!(rec.key, None);
+            let rec =
+                decode_payload(&encode_payload(i as u64, &op, Some("wk-1-2"))).unwrap();
+            assert_eq!(rec.key.as_deref(), Some("wk-1-2"));
         }
+    }
+
+    #[test]
+    fn keyed_batch_keys_survive_scan_rewrite_and_crash() {
+        let (fs, vfs) = mem();
+        let mut j = Journal::open("db.wal", vfs.clone()).unwrap();
+        let keyed: Vec<(JournalOp, Option<String>)> = sample_ops()
+            .into_iter()
+            .enumerate()
+            .map(|(i, op)| (op, (i % 2 == 0).then(|| format!("wk-{i}"))))
+            .collect();
+        j.append_batch_keyed(&keyed).unwrap();
+        let check = |j: &Journal| {
+            let scan = j.scan().unwrap();
+            for (i, rec) in scan.records.iter().enumerate() {
+                let expect = (i % 2 == 0).then(|| format!("wk-{i}"));
+                assert_eq!(rec.key, expect, "record {i}");
+            }
+        };
+        check(&j);
+        // A rewrite (torn-tail trim, checkpoint truncation) keeps keys.
+        let records = j.scan().unwrap().records;
+        j.rewrite(&records).unwrap();
+        check(&j);
+        fs.crash();
+        let j = Journal::open("db.wal", vfs).unwrap();
+        check(&j);
+    }
+
+    #[test]
+    fn record_count_tracks_appends_and_rewrites_without_scanning() {
+        let (fs, vfs) = mem();
+        let mut j = Journal::open("db.wal", vfs.clone()).unwrap();
+        assert_eq!(j.record_count(), 0);
+        j.append(&sample_ops()[0]).unwrap();
+        j.append_batch(&sample_ops()[1..4]).unwrap();
+        assert_eq!(j.record_count(), 4);
+        assert_eq!(j.scan().unwrap().records.len(), 4);
+        // A failed append leaves the count untouched.
+        fs.fail_op(fs.op_count(), FaultMode::Error);
+        assert!(j.append(&sample_ops()[4]).is_err());
+        fs.clear_fault();
+        assert_eq!(j.record_count(), 4);
+        let records = j.scan().unwrap().records;
+        j.rewrite(&records[..2]).unwrap();
+        assert_eq!(j.record_count(), 2);
+        j.reset().unwrap();
+        assert_eq!(j.record_count(), 0);
+        // Reopen recomputes the count from the file.
+        j.append(&sample_ops()[0]).unwrap();
+        fs.crash();
+        let j = Journal::open("db.wal", vfs).unwrap();
+        assert_eq!(j.record_count(), 1);
     }
 
     #[test]
@@ -792,6 +895,7 @@ mod tests {
             next_seq: 0,
             good_len: 0,
             poisoned: true,
+            record_count: 0,
         };
         assert!(matches!(j.scan(), Err(DbError::Corruption { .. })));
     }

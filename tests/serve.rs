@@ -691,6 +691,41 @@ fn writes_commit_live_and_a_retried_write_dedupes_to_one_application() {
     server.shutdown();
 }
 
+/// Idempotency keys ride inside the journal records, so the dedupe
+/// table survives a clean restart: a retry against the *restarted*
+/// server (ack lost right before shutdown, from the client's view)
+/// replays the original ack instead of applying a second time.
+#[test]
+fn retried_write_dedupes_across_a_server_restart() {
+    let vfs = Arc::new(FaultVfs::new());
+    seed_writable(&vfs, 3);
+    let key = next_write_key();
+    let op = insert_op("restart-dup", "Restart Author");
+
+    let server = start_writable(&vfs, ServerConfig::default(), WriteConfig::default());
+    let first = Client::connect(server.local_addr())
+        .unwrap()
+        .write_keyed(op.clone(), BudgetClass::Interactive, &key)
+        .expect("the original commits");
+    assert!(!first.deduped);
+    server.shutdown();
+
+    // the client never saw the ack and retries against the restarted
+    // server with the same key — the reseeded table must recognize it
+    let server = start_writable(&vfs, ServerConfig::default(), WriteConfig::default());
+    let mut client = Client::connect(server.local_addr()).unwrap();
+    let second = client
+        .write_keyed(op, BudgetClass::Interactive, &key)
+        .expect("the replay is answered, not re-applied");
+    assert!(second.deduped, "journaled keys must reseed the dedupe table");
+    assert_eq!(second.seq, first.seq, "the original ack's seq is replayed");
+    assert_eq!(second.doc_id, None, "replayed-from-journal acks carry no doc id");
+
+    let reply = client.query(eq_query("Restart Author")).unwrap();
+    assert_eq!(reply.answers, 1, "one application across the restart");
+    server.shutdown();
+}
+
 /// Ontology mutations grow the live SEO: after `add_edge`, a `below`
 /// query resolves through the re-enhanced ontology on the very next
 /// read (revision-bumped visibility, rewrite cache invalidated).
