@@ -623,6 +623,28 @@ fn cmd_query(args: &Args) -> Result<(), CliFailure> {
                 println!("{name} = {v}");
             }
         }
+        // Index residency: which index answered the probes this process
+        // planned against, and what it costs in bytes. `cold_open_source`
+        // is 1 when every collection attached its `.seg` sidecar frozen
+        // (no rebuild), 0 when any was rebuilt from the snapshot.
+        for name in [
+            "toss.index.pointer_bytes",
+            "toss.index.segment_bytes",
+            "toss.index.cold_open_source",
+        ] {
+            if let Some(v) = snap.gauge(name) {
+                println!("{name} = {v}");
+            }
+        }
+        for name in [
+            "xmldb.segment.loads",
+            "xmldb.segment.load_failures",
+            "xmldb.segment.thaws",
+        ] {
+            if let Some(v) = snap.counter(name) {
+                println!("{name} = {v}");
+            }
+        }
         if let Some(h) = snap.histogram("toss.semantic.index_build_ns") {
             println!(
                 "toss.semantic.index_build_ns: builds {}, total {:?}, mean {:?}",
@@ -681,9 +703,10 @@ fn cmd_serve(args: &Args) -> Result<(), String> {
         let records = durable.journal_records().map_err(|e| e.to_string())?;
         // the checkpoint sidecar beats the --seo file: it already folds
         // every ontology mutation up to its cursor
-        let (cursor, base_seo) =
-            toss_serve::load_sidecar(&toss_xmldb::StdVfs, Path::new(db_path))
-                .unwrap_or((0, file_seo));
+        let sidecar =
+            toss_serve::load_sidecar(&toss_xmldb::StdVfs, Path::new(db_path));
+        let had_sidecar = sidecar.is_some();
+        let (cursor, base_seo) = sidecar.unwrap_or((0, file_seo));
         let epsilon = base_seo.epsilon();
         let mut hierarchy = base_seo.original().clone();
         let replayed = toss_serve::recover_ontology(&mut hierarchy, &records, cursor);
@@ -697,6 +720,27 @@ fn cmd_serve(args: &Args) -> Result<(), String> {
         } else {
             base_seo
         };
+        // Seed the enhanced hierarchy's reachability closure from the
+        // `.seg` index sidecar, so the first ontology cone query skips
+        // the topo-order DP. Only trusted when the served SEO is exactly
+        // the checkpointed one: the ontology sidecar existed, no journal
+        // tail re-grew the hierarchy, and the segment stamp matches the
+        // sidecar cursor.
+        if had_sidecar && replayed == 0 {
+            if let Some(seg) = toss_xmldb::segidx::load_segment(
+                &toss_xmldb::StdVfs,
+                Path::new(db_path),
+            ) {
+                if seg.last_seq() == cursor {
+                    if let Some(ix) = seg
+                        .section(toss_xmldb::segidx::kinds::REACH, "seo.enhanced")
+                        .and_then(toss_ontology::ReachIndex::from_segment_payload)
+                    {
+                        seo.enhanced().install_reach_index(Arc::new(ix));
+                    }
+                }
+            }
+        }
         let (db, writer) = durable.into_parts();
         let mut write_cfg = WriteConfig::default();
         if let Some(n) = parse_u64_flag(args, "checkpoint-every")? {

@@ -67,6 +67,26 @@ impl BitMatrix {
     pub fn row_count(&self, row: usize) -> usize {
         self.row(row).iter().map(|w| w.count_ones() as usize).sum()
     }
+
+    /// Words per row (the row stride).
+    pub fn words_per_row(&self) -> usize {
+        self.words
+    }
+
+    /// The full matrix as row-major words — the persisted form.
+    pub fn words(&self) -> &[u64] {
+        &self.bits
+    }
+
+    /// Rebuild an `n × n` matrix from row-major words, as produced by
+    /// [`BitMatrix::words`]. `None` if the word count does not match.
+    pub fn from_words(n: usize, bits: Vec<u64>) -> Option<Self> {
+        let words = n.div_ceil(64);
+        if bits.len() != words * n {
+            return None;
+        }
+        Some(BitMatrix { n, words, bits })
+    }
 }
 
 /// Iterate the set-bit indices of a word slice, ascending.

@@ -126,6 +126,114 @@ impl ReachIndex {
         }
         iter_word_bits(&acc).collect()
     }
+
+    /// Assemble an index from persisted closure matrices, skipping the
+    /// topo-order DP entirely. `None` if the matrices are not both `n × n`.
+    pub fn from_parts(
+        n: usize,
+        desc: BitMatrix,
+        anc: BitMatrix,
+        topo: Option<Vec<usize>>,
+    ) -> Option<Self> {
+        if desc.len() != n || anc.len() != n {
+            return None;
+        }
+        if let Some(t) = &topo {
+            if t.len() != n {
+                return None;
+            }
+        }
+        Some(ReachIndex {
+            n,
+            desc,
+            anc,
+            topo,
+            below_memo: (0..n).map(|_| OnceLock::new()).collect(),
+            above_memo: (0..n).map(|_| OnceLock::new()).collect(),
+        })
+    }
+
+    /// Serialize into a segment-section payload:
+    ///
+    /// ```text
+    /// 0   8   n (u64 LE)
+    /// 8   1   has_topo (0/1)
+    /// 9   7   padding
+    /// 16  4n  topo order as u32 LE (present iff has_topo), padded to 8
+    /// ..      desc bitmap rows (toss_segment::BitRowsRef layout)
+    /// ..      anc bitmap rows
+    /// ```
+    pub fn to_segment_payload(&self) -> Vec<u8> {
+        let mut out = Vec::new();
+        out.extend_from_slice(&(self.n as u64).to_le_bytes());
+        out.push(self.topo.is_some() as u8);
+        out.extend_from_slice(&[0u8; 7]);
+        if let Some(topo) = &self.topo {
+            for &v in topo {
+                out.extend_from_slice(&(v as u32).to_le_bytes());
+            }
+            while out.len() % 8 != 0 {
+                out.push(0);
+            }
+        }
+        for m in [&self.desc, &self.anc] {
+            let wpr = m.words_per_row();
+            let mut b = toss_segment::BitRowsBuilder::new(self.n, wpr);
+            let words = m.words();
+            for r in 0..self.n {
+                b.push_row(&words[r * wpr..(r + 1) * wpr]);
+            }
+            b.finish(&mut out);
+        }
+        out
+    }
+
+    /// Rebuild an index from [`ReachIndex::to_segment_payload`] bytes.
+    /// `None` on any structural mismatch (truncation, wrong matrix
+    /// shape) — the caller falls back to [`ReachIndex::build`].
+    pub fn from_segment_payload(bytes: &[u8]) -> Option<Self> {
+        if bytes.len() < 16 {
+            return None;
+        }
+        let n = u64::from_le_bytes(bytes[0..8].try_into().ok()?);
+        let n = usize::try_from(n).ok()?;
+        let has_topo = match bytes[8] {
+            0 => false,
+            1 => true,
+            _ => return None,
+        };
+        let mut at = 16usize;
+        let topo = if has_topo {
+            let end = at.checked_add(n.checked_mul(4)?)?;
+            if end > bytes.len() {
+                return None;
+            }
+            let order: Vec<usize> = bytes[at..end]
+                .chunks_exact(4)
+                .map(|c| u32::from_le_bytes(c.try_into().unwrap()) as usize)
+                .collect();
+            if order.iter().any(|&v| v >= n) {
+                return None;
+            }
+            at = end.div_ceil(8) * 8;
+            Some(order)
+        } else {
+            None
+        };
+        let matrix = |at: &mut usize| -> Option<BitMatrix> {
+            let rows = toss_segment::BitRowsRef::parse(bytes.get(*at..)?)?;
+            if rows.rows() != n || rows.words_per_row() != n.div_ceil(64) {
+                return None;
+            }
+            *at += 16 + rows.rows() * rows.words_per_row() * 8;
+            BitMatrix::from_words(n, rows.to_words())
+        };
+        let desc = matrix(&mut at)?;
+        let anc = matrix(&mut at)?;
+        let loaded = ReachIndex::from_parts(n, desc, anc, topo)?;
+        toss_obs::metrics::counter("toss.semantic.index_loads").inc();
+        Some(loaded)
+    }
 }
 
 #[cfg(test)]
@@ -186,6 +294,63 @@ mod tests {
         assert_eq!(ix.below_many(&[]), Vec::<usize>::new());
         // out-of-range targets are ignored, matching below_many's old filter
         assert_eq!(ix.below_many(&[1, 42]), vec![1, 3]);
+    }
+
+    #[test]
+    fn segment_payload_round_trips() {
+        let g = diamond();
+        let ix = ReachIndex::build(&g);
+        let payload = ix.to_segment_payload();
+        let back = ReachIndex::from_segment_payload(&payload).unwrap();
+        assert_eq!(back.len(), ix.len());
+        assert_eq!(back.topological_order(), ix.topological_order());
+        for a in 0..4 {
+            for b in 0..4 {
+                assert_eq!(back.leq(a, b), ix.leq(a, b), "leq({a},{b})");
+            }
+            assert_eq!(back.below_cone(a), ix.below_cone(a));
+            assert_eq!(back.above_cone(a), ix.above_cone(a));
+        }
+        assert_eq!(back.below_many(&[1, 2]), ix.below_many(&[1, 2]));
+    }
+
+    #[test]
+    fn segment_payload_round_trips_without_topo() {
+        let mut g = DiGraph::new(3);
+        g.add_edge(0, 1);
+        g.add_edge(1, 0);
+        g.add_edge(1, 2);
+        let ix = ReachIndex::build(&g);
+        assert!(ix.topological_order().is_none());
+        let back =
+            ReachIndex::from_segment_payload(&ix.to_segment_payload()).unwrap();
+        assert!(back.topological_order().is_none());
+        assert!(back.leq(0, 1) && back.leq(1, 0) && !back.leq(2, 0));
+    }
+
+    #[test]
+    fn truncated_or_garbled_payload_is_rejected() {
+        let ix = ReachIndex::build(&diamond());
+        let payload = ix.to_segment_payload();
+        for cut in [0, 8, 15, payload.len() - 1] {
+            assert!(
+                ReachIndex::from_segment_payload(&payload[..cut]).is_none(),
+                "cut at {cut} must be rejected"
+            );
+        }
+        let mut bad = payload.clone();
+        bad[8] = 7; // invalid has_topo flag
+        assert!(ReachIndex::from_segment_payload(&bad).is_none());
+        // a 65-node index exercises the multi-word row path
+        let mut big = DiGraph::new(65);
+        for u in 0..64 {
+            big.add_edge(u, u + 1);
+        }
+        let bix = ReachIndex::build(&big);
+        let bp = bix.to_segment_payload();
+        let bback = ReachIndex::from_segment_payload(&bp).unwrap();
+        assert!(bback.leq(0, 64));
+        assert_eq!(bback.below_cone(64).len(), 65);
     }
 
     #[test]

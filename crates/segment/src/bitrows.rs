@@ -1,0 +1,185 @@
+//! Fixed-width bitmap rows — the persisted form of a transitive-closure
+//! `BitMatrix`.
+//!
+//! ## Layout (little-endian)
+//!
+//! ```text
+//! 0   8   row count (u64)
+//! 8   8   words per row (u64)
+//! 16  ... rows × words_per_row × u64, row-major
+//! ```
+//!
+//! Rows are length-prefixed by construction (every row is exactly
+//! `words_per_row` words), so row `i` is an O(1) slice at
+//! `16 + i × words_per_row × 8`. The closure matrices this stores are
+//! dense bit-sets over term ids; keeping them as raw words means reload
+//! is a copy, not a DP re-run.
+
+const HEADER: usize = 16;
+
+/// Serializes a row-major bit matrix.
+#[derive(Debug)]
+pub struct BitRowsBuilder {
+    rows: usize,
+    words_per_row: usize,
+    words: Vec<u64>,
+}
+
+impl BitRowsBuilder {
+    pub fn new(rows: usize, words_per_row: usize) -> Self {
+        BitRowsBuilder {
+            rows,
+            words_per_row,
+            words: Vec::with_capacity(rows * words_per_row),
+        }
+    }
+
+    /// Append the next row; must be called exactly `rows` times with
+    /// exactly `words_per_row` words each.
+    pub fn push_row(&mut self, row: &[u64]) {
+        assert_eq!(row.len(), self.words_per_row, "row width mismatch");
+        self.words.extend_from_slice(row);
+    }
+
+    /// Serialize into `out`, returning the number of bytes written.
+    pub fn finish(self, out: &mut Vec<u8>) -> usize {
+        assert_eq!(self.words.len(), self.rows * self.words_per_row, "row count mismatch");
+        let start = out.len();
+        out.extend_from_slice(&(self.rows as u64).to_le_bytes());
+        out.extend_from_slice(&(self.words_per_row as u64).to_le_bytes());
+        for w in &self.words {
+            out.extend_from_slice(&w.to_le_bytes());
+        }
+        out.len() - start
+    }
+}
+
+/// Zero-copy view over serialized bitmap rows.
+#[derive(Debug, Clone, Copy)]
+pub struct BitRowsRef<'a> {
+    rows: usize,
+    words_per_row: usize,
+    words: &'a [u8],
+}
+
+impl<'a> BitRowsRef<'a> {
+    pub fn parse(bytes: &'a [u8]) -> Option<Self> {
+        if bytes.len() < HEADER {
+            return None;
+        }
+        let read_u64 = |at: usize| {
+            let mut a = [0u8; 8];
+            a.copy_from_slice(&bytes[at..at + 8]);
+            u64::from_le_bytes(a) as usize
+        };
+        let rows = read_u64(0);
+        let words_per_row = read_u64(8);
+        let body = rows.checked_mul(words_per_row)?.checked_mul(8)?;
+        let end = HEADER.checked_add(body)?;
+        if end > bytes.len() {
+            return None;
+        }
+        Some(BitRowsRef {
+            rows,
+            words_per_row,
+            words: &bytes[HEADER..end],
+        })
+    }
+
+    pub fn rows(&self) -> usize {
+        self.rows
+    }
+
+    pub fn words_per_row(&self) -> usize {
+        self.words_per_row
+    }
+
+    /// Iterate row `i`'s words without copying.
+    pub fn row(&self, i: usize) -> impl Iterator<Item = u64> + 'a {
+        let stride = self.words_per_row * 8;
+        let slice = if i < self.rows {
+            &self.words[i * stride..(i + 1) * stride]
+        } else {
+            &[]
+        };
+        slice.chunks_exact(8).map(|c| {
+            let mut a = [0u8; 8];
+            a.copy_from_slice(c);
+            u64::from_le_bytes(a)
+        })
+    }
+
+    /// Test one bit: row `i`, column `j`.
+    pub fn bit(&self, i: usize, j: usize) -> bool {
+        if i >= self.rows || j / 64 >= self.words_per_row {
+            return false;
+        }
+        let at = (i * self.words_per_row + j / 64) * 8;
+        let mut a = [0u8; 8];
+        a.copy_from_slice(&self.words[at..at + 8]);
+        u64::from_le_bytes(a) & (1 << (j % 64)) != 0
+    }
+
+    /// Copy the entire matrix out, row-major — the reload path for
+    /// structures that own their words.
+    pub fn to_words(&self) -> Vec<u64> {
+        (0..self.rows).flat_map(|i| self.row(i)).collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn round_trips_rows() {
+        let mut b = BitRowsBuilder::new(3, 2);
+        b.push_row(&[0b101, 0]);
+        b.push_row(&[0, u64::MAX]);
+        b.push_row(&[1 << 63, 1]);
+        let mut bytes = Vec::new();
+        b.finish(&mut bytes);
+        let r = BitRowsRef::parse(&bytes).unwrap();
+        assert_eq!(r.rows(), 3);
+        assert_eq!(r.words_per_row(), 2);
+        assert_eq!(r.row(0).collect::<Vec<_>>(), vec![0b101, 0]);
+        assert_eq!(r.row(1).collect::<Vec<_>>(), vec![0, u64::MAX]);
+        assert_eq!(r.to_words(), vec![0b101, 0, 0, u64::MAX, 1 << 63, 1]);
+        assert!(r.bit(0, 0));
+        assert!(!r.bit(0, 1));
+        assert!(r.bit(0, 2));
+        assert!(r.bit(1, 64));
+        assert!(r.bit(2, 63));
+        assert!(r.bit(2, 64));
+        assert!(!r.bit(3, 0)); // out of range is just false
+        assert!(!r.bit(0, 128));
+    }
+
+    #[test]
+    fn empty_matrix() {
+        let b = BitRowsBuilder::new(0, 4);
+        let mut bytes = Vec::new();
+        b.finish(&mut bytes);
+        let r = BitRowsRef::parse(&bytes).unwrap();
+        assert_eq!(r.rows(), 0);
+        assert_eq!(r.to_words(), Vec::<u64>::new());
+    }
+
+    #[test]
+    fn truncation_is_rejected() {
+        let mut b = BitRowsBuilder::new(2, 1);
+        b.push_row(&[1]);
+        b.push_row(&[2]);
+        let mut bytes = Vec::new();
+        b.finish(&mut bytes);
+        assert!(BitRowsRef::parse(&bytes[..bytes.len() - 1]).is_none());
+        assert!(BitRowsRef::parse(&bytes[..4]).is_none());
+    }
+
+    #[test]
+    #[should_panic(expected = "row width mismatch")]
+    fn wrong_width_panics() {
+        let mut b = BitRowsBuilder::new(1, 2);
+        b.push_row(&[1]);
+    }
+}

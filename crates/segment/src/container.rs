@@ -1,0 +1,317 @@
+//! The segment container: fixed header, 8-byte-aligned section payloads,
+//! a directory of `(kind, name) → payload range`, and a trailing CRC-32.
+//! See the crate docs for the byte layout.
+
+use crate::crc32;
+
+pub const MAGIC: [u8; 8] = *b"TOSSSEG\x01";
+pub const FORMAT_VERSION: u32 = 1;
+const HEADER: usize = 40;
+const DIR_ENTRY: usize = 32;
+
+/// Why a byte buffer was rejected as a segment. Every variant is a
+/// "fall back to rebuild" signal — none of them implicate the snapshot.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum SegmentError {
+    /// Shorter than header + checksum.
+    TooShort,
+    /// Magic bytes don't match — not a segment file.
+    BadMagic,
+    /// A format version this build doesn't read.
+    UnsupportedVersion(u32),
+    /// Trailing CRC-32 mismatch: truncated or corrupted.
+    BadChecksum { expected: u32, actual: u32 },
+    /// Directory offsets/lengths out of range or malformed names.
+    BadDirectory,
+}
+
+impl std::fmt::Display for SegmentError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            SegmentError::TooShort => write!(f, "segment too short"),
+            SegmentError::BadMagic => write!(f, "bad segment magic"),
+            SegmentError::UnsupportedVersion(v) => write!(f, "unsupported segment version {v}"),
+            SegmentError::BadChecksum { expected, actual } => {
+                write!(f, "segment checksum mismatch (expected {expected:#010x}, got {actual:#010x})")
+            }
+            SegmentError::BadDirectory => write!(f, "malformed segment directory"),
+        }
+    }
+}
+
+impl std::error::Error for SegmentError {}
+
+/// Accumulates named sections, then serializes the whole container.
+#[derive(Debug)]
+pub struct SegmentBuilder {
+    last_seq: u64,
+    sections: Vec<(u32, String, Vec<u8>)>,
+}
+
+impl SegmentBuilder {
+    /// `last_seq` is the journal cursor of the snapshot this segment is
+    /// built against — the staleness stamp checked at load time.
+    pub fn new(last_seq: u64) -> Self {
+        SegmentBuilder { last_seq, sections: Vec::new() }
+    }
+
+    /// Add a section. `(kind, name)` pairs must be unique.
+    pub fn add_section(&mut self, kind: u32, name: &str, payload: Vec<u8>) {
+        self.sections.push((kind, name.to_string(), payload));
+    }
+
+    /// Serialize: header, 8-aligned payloads, directory, name blob, CRC.
+    pub fn finish(mut self) -> Vec<u8> {
+        // deterministic output: directory (and payload order) sorted
+        self.sections.sort_by(|a, b| (a.0, &a.1).cmp(&(b.0, &b.1)));
+        for w in self.sections.windows(2) {
+            assert!(
+                (w[0].0, &w[0].1) != (w[1].0, &w[1].1),
+                "duplicate segment section {:?}",
+                (w[0].0, &w[0].1)
+            );
+        }
+        let mut out = Vec::new();
+        out.extend_from_slice(&MAGIC);
+        out.extend_from_slice(&FORMAT_VERSION.to_le_bytes());
+        out.extend_from_slice(&(self.sections.len() as u32).to_le_bytes());
+        out.extend_from_slice(&self.last_seq.to_le_bytes());
+        out.extend_from_slice(&[0u8; 8]); // directory offset, patched below
+        out.extend_from_slice(&[0u8; 8]); // reserved
+        debug_assert_eq!(out.len(), HEADER);
+
+        let mut ranges = Vec::with_capacity(self.sections.len());
+        for (_, _, payload) in &self.sections {
+            while out.len() % 8 != 0 {
+                out.push(0);
+            }
+            ranges.push((out.len() as u64, payload.len() as u64));
+            out.extend_from_slice(payload);
+        }
+        while out.len() % 8 != 0 {
+            out.push(0);
+        }
+        let dir_offset = out.len() as u64;
+        out[24..32].copy_from_slice(&dir_offset.to_le_bytes());
+
+        let mut name_off = 0u32;
+        for ((kind, name, _), (payload_off, payload_len)) in self.sections.iter().zip(&ranges) {
+            out.extend_from_slice(&kind.to_le_bytes());
+            out.extend_from_slice(&name_off.to_le_bytes());
+            out.extend_from_slice(&(name.len() as u32).to_le_bytes());
+            out.extend_from_slice(&0u32.to_le_bytes());
+            out.extend_from_slice(&payload_off.to_le_bytes());
+            out.extend_from_slice(&payload_len.to_le_bytes());
+            name_off += name.len() as u32;
+        }
+        for (_, name, _) in &self.sections {
+            out.extend_from_slice(name.as_bytes());
+        }
+        let crc = crc32(&out);
+        out.extend_from_slice(&crc.to_le_bytes());
+        out
+    }
+}
+
+#[derive(Debug, Clone, Copy)]
+struct DirEntry {
+    kind: u32,
+    name: (usize, usize),    // range into the name blob
+    payload: (usize, usize), // absolute range into the buffer
+}
+
+/// A verified, loaded segment owning its backing buffer. All section
+/// accessors hand out slices borrowing from that buffer.
+#[derive(Debug)]
+pub struct Segment {
+    bytes: Vec<u8>,
+    last_seq: u64,
+    entries: Vec<DirEntry>,
+    names_start: usize,
+}
+
+impl Segment {
+    /// Verify magic, version, CRC and directory bounds, then take
+    /// ownership of `bytes`. This is the only validation gate — section
+    /// accessors after a successful parse cannot fail structurally.
+    pub fn parse(bytes: Vec<u8>) -> Result<Self, SegmentError> {
+        if bytes.len() < HEADER + 4 {
+            return Err(SegmentError::TooShort);
+        }
+        if bytes[..8] != MAGIC {
+            return Err(SegmentError::BadMagic);
+        }
+        let read_u32 = |at: usize| u32::from_le_bytes([bytes[at], bytes[at + 1], bytes[at + 2], bytes[at + 3]]);
+        let read_u64 = |at: usize| {
+            let mut a = [0u8; 8];
+            a.copy_from_slice(&bytes[at..at + 8]);
+            u64::from_le_bytes(a)
+        };
+        let version = read_u32(8);
+        if version != FORMAT_VERSION {
+            return Err(SegmentError::UnsupportedVersion(version));
+        }
+        let body = &bytes[..bytes.len() - 4];
+        let expected = read_u32(bytes.len() - 4);
+        let actual = crc32(body);
+        if expected != actual {
+            return Err(SegmentError::BadChecksum { expected, actual });
+        }
+        let section_count = read_u32(12) as usize;
+        let last_seq = read_u64(16);
+        let dir_offset = read_u64(24) as usize;
+        let dir_end = dir_offset
+            .checked_add(section_count.checked_mul(DIR_ENTRY).ok_or(SegmentError::BadDirectory)?)
+            .ok_or(SegmentError::BadDirectory)?;
+        if dir_offset < HEADER || dir_end > body.len() {
+            return Err(SegmentError::BadDirectory);
+        }
+        let names_start = dir_end;
+        let names_len = body.len() - names_start;
+        let mut entries = Vec::with_capacity(section_count);
+        for i in 0..section_count {
+            let at = dir_offset + i * DIR_ENTRY;
+            let kind = read_u32(at);
+            let name_off = read_u32(at + 4) as usize;
+            let name_len = read_u32(at + 8) as usize;
+            let payload_off = read_u64(at + 16) as usize;
+            let payload_len = read_u64(at + 24) as usize;
+            let name_end = name_off.checked_add(name_len).ok_or(SegmentError::BadDirectory)?;
+            let payload_end = payload_off.checked_add(payload_len).ok_or(SegmentError::BadDirectory)?;
+            if name_end > names_len || payload_off < HEADER || payload_end > dir_offset {
+                return Err(SegmentError::BadDirectory);
+            }
+            entries.push(DirEntry {
+                kind,
+                name: (name_off, name_end),
+                payload: (payload_off, payload_end),
+            });
+        }
+        Ok(Segment { bytes, last_seq, entries, names_start })
+    }
+
+    /// The journal cursor stamped at build time — compare against the
+    /// snapshot's `last_seq` to decide staleness.
+    pub fn last_seq(&self) -> u64 {
+        self.last_seq
+    }
+
+    pub fn section_count(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// Total container size in bytes.
+    pub fn byte_len(&self) -> usize {
+        self.bytes.len()
+    }
+
+    fn entry_name(&self, e: &DirEntry) -> &str {
+        // names are written from &str and covered by the CRC; a non-UTF8
+        // name can only mean a hash collision, treated as no-match
+        std::str::from_utf8(&self.bytes[self.names_start + e.name.0..self.names_start + e.name.1])
+            .unwrap_or("")
+    }
+
+    /// The payload of section `(kind, name)`, if present.
+    pub fn section(&self, kind: u32, name: &str) -> Option<&[u8]> {
+        self.entries
+            .iter()
+            .find(|e| e.kind == kind && self.entry_name(e) == name)
+            .map(|e| &self.bytes[e.payload.0..e.payload.1])
+    }
+
+    /// Absolute byte range of section `(kind, name)` within the buffer —
+    /// for holders that keep `Arc<Segment>` + ranges instead of borrows.
+    pub fn section_range(&self, kind: u32, name: &str) -> Option<(usize, usize)> {
+        self.entries
+            .iter()
+            .find(|e| e.kind == kind && self.entry_name(e) == name)
+            .map(|e| e.payload)
+    }
+
+    /// The raw backing buffer (for range-based access).
+    pub fn bytes(&self) -> &[u8] {
+        &self.bytes
+    }
+
+    /// Iterate all sections as `(kind, name, payload)`.
+    pub fn sections(&self) -> impl Iterator<Item = (u32, &str, &[u8])> {
+        self.entries
+            .iter()
+            .map(|e| (e.kind, self.entry_name(e), &self.bytes[e.payload.0..e.payload.1]))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> Vec<u8> {
+        let mut b = SegmentBuilder::new(42);
+        b.add_section(1, "coll-a", vec![1, 2, 3]);
+        b.add_section(2, "coll-a", vec![9; 17]); // odd length → padding
+        b.add_section(1, "coll-b", vec![]);
+        b.finish()
+    }
+
+    #[test]
+    fn round_trips_sections() {
+        let seg = Segment::parse(sample()).unwrap();
+        assert_eq!(seg.last_seq(), 42);
+        assert_eq!(seg.section_count(), 3);
+        assert_eq!(seg.section(1, "coll-a"), Some(&[1u8, 2, 3][..]));
+        assert_eq!(seg.section(2, "coll-a"), Some(&[9u8; 17][..]));
+        assert_eq!(seg.section(1, "coll-b"), Some(&[][..]));
+        assert_eq!(seg.section(1, "coll-c"), None);
+        assert_eq!(seg.section(3, "coll-a"), None);
+        let range = seg.section_range(2, "coll-a").unwrap();
+        assert_eq!(&seg.bytes()[range.0..range.1], &[9u8; 17][..]);
+        assert_eq!(range.0 % 8, 0, "payloads are 8-aligned");
+        assert_eq!(seg.sections().count(), 3);
+    }
+
+    #[test]
+    fn deterministic_output() {
+        let mut b1 = SegmentBuilder::new(7);
+        b1.add_section(2, "x", vec![1]);
+        b1.add_section(1, "y", vec![2]);
+        let mut b2 = SegmentBuilder::new(7);
+        b2.add_section(1, "y", vec![2]);
+        b2.add_section(2, "x", vec![1]);
+        assert_eq!(b1.finish(), b2.finish());
+    }
+
+    #[test]
+    fn corruption_is_detected() {
+        let good = sample();
+        assert!(Segment::parse(good.clone()).is_ok());
+        // flip one byte anywhere → checksum failure
+        for at in [0usize, 8, 20, good.len() / 2, good.len() - 5] {
+            let mut bad = good.clone();
+            bad[at] ^= 0x40;
+            let err = Segment::parse(bad).unwrap_err();
+            assert!(
+                matches!(
+                    err,
+                    SegmentError::BadChecksum { .. }
+                        | SegmentError::BadMagic
+                        | SegmentError::UnsupportedVersion(_)
+                ),
+                "byte {at}: {err:?}"
+            );
+        }
+        // truncation
+        for cut in [0usize, 10, good.len() - 1] {
+            assert!(Segment::parse(good[..cut].to_vec()).is_err());
+        }
+        // empty
+        assert_eq!(Segment::parse(Vec::new()).unwrap_err(), SegmentError::TooShort);
+    }
+
+    #[test]
+    fn empty_segment_is_valid() {
+        let seg = Segment::parse(SegmentBuilder::new(0).finish()).unwrap();
+        assert_eq!(seg.section_count(), 0);
+        assert_eq!(seg.last_seq(), 0);
+    }
+}

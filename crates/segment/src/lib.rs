@@ -1,0 +1,129 @@
+//! Succinct, persistent index segments.
+//!
+//! A **segment** is an immutable, checksummed, byte-addressable container
+//! holding the compressed form of the indexes TOSS otherwise rebuilds on
+//! every open: inverted postings lists (varint-gap or Elias-Fano encoded,
+//! whichever is smaller per list) behind a sorted string-key offset table
+//! with a hash acceleration index, and fixed-width bitmap rows for
+//! transitive-closure matrices. The whole file is loaded in one read into
+//! a single `Vec<u8>`; every accessor borrows directly from that buffer
+//! (zero-copy — no pointer fix-up, no re-parse), so cold-open cost is the
+//! read itself, not a rebuild.
+//!
+//! The layout is kept mmap-compatible on purpose: a fixed little-endian
+//! header, 8-byte-aligned sections, offsets instead of pointers, and one
+//! trailing CRC-32 over everything before it. Multi-byte values are read
+//! with `from_le_bytes` on explicit byte ranges, so alignment is a
+//! friendliness property, never a safety requirement.
+//!
+//! ## Container layout
+//!
+//! ```text
+//! offset  size  field
+//! 0       8     magic  b"TOSSSEG\x01"
+//! 8       4     format version (u32)
+//! 12      4     section count (u32)
+//! 16      8     last_seq — journal cursor of the snapshot this segment
+//!               was built against; the staleness stamp
+//! 24      8     directory offset (u64)
+//! 32      8     reserved (0)
+//! 40      ...   section payloads, each padded to 8-byte alignment
+//! dir     32×n  directory entries:
+//!               { kind u32, name_off u32, name_len u32, pad u32,
+//!                 payload_off u64, payload_len u64 }
+//! ...           name blob
+//! end-4   4     CRC-32 of bytes[0 .. end-4]
+//! ```
+//!
+//! Section `kind`s are namespaced by the embedding application (see
+//! [`kinds`]); `name` distinguishes instances of a kind (e.g. one postings
+//! map per collection).
+
+#![forbid(unsafe_code)]
+
+pub mod bitrows;
+pub mod container;
+pub mod map;
+pub mod postings;
+pub mod varint;
+
+pub use bitrows::{BitRowsBuilder, BitRowsRef};
+pub use container::{Segment, SegmentBuilder, SegmentError};
+pub use map::{composite_key, KeyMapBuilder, KeyMapRef};
+pub use postings::{encode_postings, encode_postings_raw, PostingsBlock};
+
+/// Well-known section kinds. The segment format does not interpret them;
+/// they are listed here so every embedder agrees on the numbers.
+pub mod kinds {
+    /// Per-collection tag postings map (raw fixed-width lists).
+    pub const TAG_MAP: u32 = 1;
+    /// Per-collection `(tag, content)` postings map (compressed lists).
+    pub const CONTENT_MAP: u32 = 2;
+    /// Per-collection metadata stamp (doc count, posting totals).
+    pub const COLLECTION_META: u32 = 3;
+    /// Ontology reachability closure rows (see `toss-ontology`).
+    pub const REACH: u32 = 4;
+}
+
+/// CRC-32 (IEEE 802.3, reflected) over `bytes` — the same polynomial the
+/// snapshot and journal checksums use, reimplemented here so the crate
+/// stays dependency-free.
+pub fn crc32(bytes: &[u8]) -> u32 {
+    let mut crc: u32 = 0xFFFF_FFFF;
+    for &b in bytes {
+        crc ^= b as u32;
+        for _ in 0..8 {
+            let mask = (crc & 1).wrapping_neg();
+            crc = (crc >> 1) ^ (0xEDB8_8320 & mask);
+        }
+    }
+    !crc
+}
+
+/// FNV-1a 64-bit over `bytes` — the probe hash for [`map::KeyMapRef`].
+/// Chosen over SipHash because segment keys are short and trusted (they
+/// come from the snapshot this process itself verified), so a fast
+/// non-keyed hash is safe and keeps probe latency within the pointer
+/// index's budget.
+#[inline]
+pub fn fnv1a(bytes: &[u8]) -> u64 {
+    let mut h = fnv1a_seed();
+    for &b in bytes {
+        h = fnv1a_step(h, b);
+    }
+    h
+}
+
+/// The FNV-1a offset basis (incremental hashing entry point).
+#[inline]
+pub fn fnv1a_seed() -> u64 {
+    0xcbf2_9ce4_8422_2325
+}
+
+/// Fold one byte into an FNV-1a state.
+#[inline]
+pub fn fnv1a_step(h: u64, b: u8) -> u64 {
+    (h ^ b as u64).wrapping_mul(0x0000_0100_0000_01b3)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn crc32_matches_known_vectors() {
+        // Same vectors the xmldb journal CRC is tested against.
+        assert_eq!(crc32(b""), 0x0000_0000);
+        assert_eq!(crc32(b"123456789"), 0xCBF4_3926);
+    }
+
+    #[test]
+    fn fnv_incremental_matches_oneshot() {
+        let mut h = fnv1a_seed();
+        for &b in b"hello world" {
+            h = fnv1a_step(h, b);
+        }
+        assert_eq!(h, fnv1a(b"hello world"));
+        assert_ne!(fnv1a(b"a"), fnv1a(b"b"));
+    }
+}

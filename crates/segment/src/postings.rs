@@ -1,0 +1,409 @@
+//! Compressed postings lists over strictly-increasing `u64` keys.
+//!
+//! A posting in TOSS is a `(document, node)` pair; callers pack it into a
+//! single `u64` key (`doc << 32 | node`) whose sort order equals the
+//! document order the algebra requires, so every list here is a strictly
+//! increasing sequence. Three encodings share one header:
+//!
+//! ```text
+//! byte 0      encoding (0 = varint-gap, 1 = Elias-Fano, 2 = raw u64)
+//! bytes 1..5  element count (u32 LE) — O(1) length for the planner
+//! bytes 5..   encoding-specific payload
+//! ```
+//!
+//! * **varint-gap** — first value LEB128, then successive gaps (≥ 1).
+//!   Wins on short lists and clustered keys.
+//! * **Elias-Fano** — the classic quasi-succinct layout: low `l` bits
+//!   packed contiguously, high bits as a unary-coded bit vector. Wins on
+//!   long lists over a wide universe (the tag-postings shape).
+//! * **raw** — fixed-width `u64` LE. Not smaller than anything, but
+//!   decodes at slice-iteration speed; used where probe latency matters
+//!   more than bytes.
+//!
+//! [`encode_postings`] picks varint-gap or Elias-Fano per list, whichever
+//! is smaller — the "whichever wins on the bench" rule resolved at build
+//! time, per list, instead of globally.
+
+use crate::varint;
+
+const ENC_VARINT: u8 = 0;
+const ENC_ELIAS_FANO: u8 = 1;
+const ENC_RAW: u8 = 2;
+const HEADER: usize = 5;
+
+fn header(enc: u8, n: usize) -> [u8; HEADER] {
+    let c = (n as u32).to_le_bytes();
+    [enc, c[0], c[1], c[2], c[3]]
+}
+
+fn encode_varint_gaps(keys: &[u64]) -> Vec<u8> {
+    let mut out = Vec::with_capacity(HEADER + keys.len() * 2);
+    out.extend_from_slice(&header(ENC_VARINT, keys.len()));
+    let mut prev = 0u64;
+    for (i, &k) in keys.iter().enumerate() {
+        let delta = if i == 0 { k } else { k - prev };
+        varint::write_u64(&mut out, delta);
+        prev = k;
+    }
+    out
+}
+
+fn encode_elias_fano(keys: &[u64]) -> Option<Vec<u8>> {
+    let n = keys.len() as u64;
+    let last = *keys.last()?;
+    // universe upper bound; +1 so `last` itself is representable
+    let u = last.checked_add(1)?;
+    let low_bits = if u / n <= 1 {
+        0
+    } else {
+        63 - (u / n).leading_zeros() as u64 // floor(log2(u/n))
+    };
+    let high_count = (u >> low_bits) + n; // unary stream length in bits
+    let low_bytes = (n * low_bits).div_ceil(8) as usize;
+    let high_bytes = high_count.div_ceil(8) as usize;
+    let mut out = Vec::with_capacity(HEADER + 16 + low_bytes + high_bytes);
+    out.extend_from_slice(&header(ENC_ELIAS_FANO, keys.len()));
+    out.extend_from_slice(&u.to_le_bytes());
+    out.push(low_bits as u8);
+    // low halves, packed LSB-first
+    out.resize(out.len() + low_bytes, 0);
+    let low_start = out.len() - low_bytes;
+    if low_bits > 0 {
+        for (i, &k) in keys.iter().enumerate() {
+            let low = k & ((1u64 << low_bits) - 1);
+            let bit0 = i as u64 * low_bits;
+            for b in 0..low_bits {
+                if low & (1 << b) != 0 {
+                    let bit = bit0 + b;
+                    out[low_start + (bit / 8) as usize] |= 1 << (bit % 8);
+                }
+            }
+        }
+    }
+    // high halves, unary: element i sets bit (k >> low_bits) + i
+    out.resize(out.len() + high_bytes, 0);
+    let high_start = out.len() - high_bytes;
+    for (i, &k) in keys.iter().enumerate() {
+        let bit = (k >> low_bits) + i as u64;
+        out[high_start + (bit / 8) as usize] |= 1 << (bit % 8);
+    }
+    Some(out)
+}
+
+/// Encode a strictly-increasing key sequence, choosing the smaller of
+/// varint-gap and Elias-Fano for this particular list.
+pub fn encode_postings(keys: &[u64]) -> Vec<u8> {
+    debug_assert!(keys.windows(2).all(|w| w[0] < w[1]), "keys must be strictly increasing");
+    let vg = encode_varint_gaps(keys);
+    match encode_elias_fano(keys) {
+        Some(ef) if ef.len() < vg.len() => ef,
+        _ => vg,
+    }
+}
+
+/// Encode as fixed-width raw `u64`s — decode at slice speed.
+pub fn encode_postings_raw(keys: &[u64]) -> Vec<u8> {
+    debug_assert!(keys.windows(2).all(|w| w[0] < w[1]), "keys must be strictly increasing");
+    let mut out = Vec::with_capacity(HEADER + keys.len() * 8);
+    out.extend_from_slice(&header(ENC_RAW, keys.len()));
+    for &k in keys {
+        out.extend_from_slice(&k.to_le_bytes());
+    }
+    out
+}
+
+/// A zero-copy view of one encoded postings list.
+#[derive(Debug, Clone, Copy)]
+pub struct PostingsBlock<'a> {
+    enc: u8,
+    len: usize,
+    payload: &'a [u8],
+}
+
+impl<'a> PostingsBlock<'a> {
+    /// Parse the 5-byte header; the payload is validated lazily during
+    /// iteration (a corrupt payload yields a short iterator, which the
+    /// container-level checksum makes unreachable in practice).
+    pub fn parse(bytes: &'a [u8]) -> Option<Self> {
+        if bytes.len() < HEADER {
+            return None;
+        }
+        let enc = bytes[0];
+        if enc > ENC_RAW {
+            return None;
+        }
+        let len = u32::from_le_bytes([bytes[1], bytes[2], bytes[3], bytes[4]]) as usize;
+        Some(PostingsBlock {
+            enc,
+            len,
+            payload: &bytes[HEADER..],
+        })
+    }
+
+    /// Number of postings — O(1), read from the header.
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    /// Whether the list is empty.
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    /// Iterate the keys in increasing order, decoding on the fly.
+    pub fn iter(&self) -> PostingsIter<'a> {
+        PostingsIter {
+            block: *self,
+            idx: 0,
+            pos: 0,
+            prev: 0,
+            ef: match self.enc {
+                ENC_ELIAS_FANO => EfState::parse(self.payload, self.len),
+                _ => None,
+            },
+        }
+    }
+
+    /// Decode everything into a vector (convenience for merge paths).
+    pub fn decode(&self) -> Vec<u64> {
+        self.iter().collect()
+    }
+
+    /// For a raw-encoded block, the fixed-width key bytes (`len × 8`,
+    /// little-endian) — callers can iterate them at slice speed with
+    /// `chunks_exact(8)` instead of paying the per-element encoding
+    /// dispatch. `None` for compressed encodings or a truncated payload.
+    pub fn raw_key_bytes(&self) -> Option<&'a [u8]> {
+        if self.enc != ENC_RAW {
+            return None;
+        }
+        self.payload.get(..self.len * 8)
+    }
+}
+
+#[derive(Debug, Clone, Copy)]
+struct EfState {
+    low_bits: u64,
+    low_start: usize,  // byte offset of packed low halves
+    high_start: usize, // byte offset of unary high stream
+    high_pos: u64,     // current bit cursor in the unary stream
+    window: u64,       // cached unary bits; bit b = stream bit win_base + b
+    win_base: u64,     // stream bit index of window bit 0 (byte-aligned)
+}
+
+impl EfState {
+    fn parse(payload: &[u8], n: usize) -> Option<Self> {
+        if payload.len() < 9 {
+            return None;
+        }
+        let mut u = [0u8; 8];
+        u.copy_from_slice(&payload[..8]);
+        let low_bits = payload[8] as u64;
+        if low_bits > 63 {
+            return None;
+        }
+        let low_bytes = (n as u64 * low_bits).div_ceil(8) as usize;
+        let mut ef = EfState {
+            low_bits,
+            low_start: 9,
+            high_start: 9 + low_bytes,
+            high_pos: 0,
+            window: 0,
+            win_base: 0,
+        };
+        // prime the window; a high stream truncated to nothing decodes
+        // as an empty (short) list, same as any other truncation
+        if n > 0 {
+            ef.refill(payload)?;
+        }
+        Some(ef)
+    }
+
+    /// Reload the cached window at the byte holding `high_pos`. The
+    /// unary stream averages ~2 bits per element, so one 64-bit window
+    /// serves ~30 elements between refills.
+    #[inline]
+    fn refill(&mut self, payload: &[u8]) -> Option<()> {
+        let byte0 = self.high_start + (self.high_pos / 8) as usize;
+        if byte0 >= payload.len() {
+            return None; // truncated stream
+        }
+        let avail = (payload.len() - byte0).min(8);
+        let mut a = [0u8; 8];
+        a[..avail].copy_from_slice(&payload[byte0..byte0 + avail]);
+        self.window = u64::from_le_bytes(a);
+        self.win_base = self.high_pos / 8 * 8;
+        Some(())
+    }
+}
+
+/// Streaming decoder for one postings list.
+#[derive(Debug, Clone)]
+pub struct PostingsIter<'a> {
+    block: PostingsBlock<'a>,
+    idx: usize,
+    pos: usize, // varint byte cursor / raw byte cursor
+    prev: u64,
+    ef: Option<EfState>,
+}
+
+impl Iterator for PostingsIter<'_> {
+    type Item = u64;
+
+    #[inline]
+    fn next(&mut self) -> Option<u64> {
+        if self.idx >= self.block.len {
+            return None;
+        }
+        let i = self.idx;
+        self.idx += 1;
+        match self.block.enc {
+            ENC_RAW => {
+                let bytes = self.block.payload.get(self.pos..self.pos + 8)?;
+                self.pos += 8;
+                let mut a = [0u8; 8];
+                a.copy_from_slice(bytes);
+                Some(u64::from_le_bytes(a))
+            }
+            ENC_VARINT => {
+                let (delta, next) = varint::read_u64(self.block.payload, self.pos)?;
+                self.pos = next;
+                self.prev = if i == 0 { delta } else { self.prev.checked_add(delta)? };
+                Some(self.prev)
+            }
+            _ => {
+                let payload = self.block.payload;
+                let ef = self.ef.as_mut()?;
+                // advance to the i-th set bit of the unary stream via
+                // the cached window; a set bit found in the window also
+                // leaves the cursor inside it, so consecutive elements
+                // usually pay one shift + trailing_zeros and no load
+                let set_bit = loop {
+                    let rel = ef.high_pos - ef.win_base;
+                    if rel < 64 {
+                        let w = ef.window >> rel;
+                        if w != 0 {
+                            break ef.high_pos + w.trailing_zeros() as u64;
+                        }
+                    }
+                    // no set bits left in this window: skip past it
+                    ef.high_pos = ef.win_base + 64;
+                    ef.refill(payload)?;
+                };
+                let high = set_bit - i as u64;
+                ef.high_pos = set_bit + 1;
+                let (low_start, low_bits) = (ef.low_start, ef.low_bits);
+                let mut low = 0u64;
+                if low_bits > 0 {
+                    let bit0 = i as u64 * low_bits;
+                    // fast path: one unaligned 8-byte window holds the
+                    // whole field whenever low_bits ≤ 57 (after the ≤7
+                    // bit in-byte shift); wider fields fall back to the
+                    // per-bit loop
+                    let byte0 = low_start + (bit0 / 8) as usize;
+                    if low_bits <= 57 {
+                        let w = payload.get(byte0..byte0 + 8).map(|s| {
+                            let mut a = [0u8; 8];
+                            a.copy_from_slice(s);
+                            u64::from_le_bytes(a)
+                        });
+                        let w = match w {
+                            Some(w) => w,
+                            None => {
+                                // near the end of the stream: widen with
+                                // zero padding instead of running off it
+                                let tail = payload.get(byte0..)?;
+                                let mut a = [0u8; 8];
+                                a[..tail.len().min(8)]
+                                    .copy_from_slice(&tail[..tail.len().min(8)]);
+                                u64::from_le_bytes(a)
+                            }
+                        };
+                        low = (w >> (bit0 % 8)) & ((1u64 << low_bits) - 1);
+                    } else {
+                        for b in 0..low_bits {
+                            let bit = bit0 + b;
+                            let byte =
+                                payload.get(low_start + (bit / 8) as usize)?;
+                            if byte & (1 << (bit % 8)) != 0 {
+                                low |= 1 << b;
+                            }
+                        }
+                    }
+                }
+                Some((high << low_bits) | low)
+            }
+        }
+    }
+
+    fn size_hint(&self) -> (usize, Option<usize>) {
+        let rem = self.block.len - self.idx;
+        (0, Some(rem))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn round_trip(keys: &[u64]) {
+        for encode in [
+            encode_postings as fn(&[u64]) -> Vec<u8>,
+            encode_postings_raw,
+            |k: &[u64]| encode_varint_gaps(k),
+        ] {
+            let bytes = encode(keys);
+            let block = PostingsBlock::parse(&bytes).unwrap();
+            assert_eq!(block.len(), keys.len());
+            assert_eq!(block.decode(), keys, "{bytes:?}");
+        }
+        if !keys.is_empty() {
+            let ef = encode_elias_fano(keys).unwrap();
+            let block = PostingsBlock::parse(&ef).unwrap();
+            assert_eq!(block.decode(), keys, "elias-fano");
+        }
+    }
+
+    #[test]
+    fn round_trips_shapes() {
+        round_trip(&[]);
+        round_trip(&[0]);
+        round_trip(&[5]);
+        round_trip(&[0, 1, 2, 3, 4]);
+        round_trip(&[7, 1000, 1001, 1 << 20, (1 << 40) + 3]);
+        let dense: Vec<u64> = (0..1000).collect();
+        round_trip(&dense);
+        let wide: Vec<u64> = (0..500u64).map(|i| (i << 32) | (i % 7)).collect();
+        round_trip(&wide);
+        round_trip(&[u64::MAX - 2, u64::MAX - 1]);
+    }
+
+    #[test]
+    fn elias_fano_wins_on_wide_universes() {
+        // doc<<32|node shaped keys: huge gaps make varint pay ~5 bytes
+        // per posting while EF pays ~(2 + log2(u/n)/8·8) bits
+        let keys: Vec<u64> = (0..2000u64).map(|i| i << 32).collect();
+        let vg = encode_varint_gaps(&keys);
+        let ef = encode_elias_fano(&keys).unwrap();
+        assert!(ef.len() < vg.len(), "ef {} vs vg {}", ef.len(), vg.len());
+        // and the auto-picker takes the smaller one
+        assert_eq!(encode_postings(&keys).len(), ef.len().min(vg.len()));
+    }
+
+    #[test]
+    fn varint_wins_on_clustered_keys() {
+        let keys: Vec<u64> = (0..100u64).map(|i| 1_000_000 + i).collect();
+        let vg = encode_varint_gaps(&keys);
+        let ef = encode_elias_fano(&keys).unwrap();
+        assert!(vg.len() <= ef.len(), "vg {} vs ef {}", vg.len(), ef.len());
+    }
+
+    #[test]
+    fn truncated_block_is_rejected_or_short() {
+        assert!(PostingsBlock::parse(&[]).is_none());
+        assert!(PostingsBlock::parse(&[9, 0, 0, 0, 0]).is_none());
+        let bytes = encode_postings(&[1, 100, 10_000]);
+        let block = PostingsBlock::parse(&bytes[..bytes.len() - 1]).unwrap();
+        assert!(block.decode().len() < 3, "truncation must not invent keys");
+    }
+}

@@ -1,0 +1,66 @@
+//! LEB128 variable-length integers — the gap encoding's workhorse.
+
+/// Append `v` to `out` as LEB128 (7 bits per byte, high bit = continue).
+#[inline]
+pub fn write_u64(out: &mut Vec<u8>, mut v: u64) {
+    loop {
+        let byte = (v & 0x7f) as u8;
+        v >>= 7;
+        if v == 0 {
+            out.push(byte);
+            return;
+        }
+        out.push(byte | 0x80);
+    }
+}
+
+/// Decode one LEB128 value starting at `bytes[pos]`; returns the value
+/// and the position after it, or `None` on truncation/overflow.
+#[inline]
+pub fn read_u64(bytes: &[u8], mut pos: usize) -> Option<(u64, usize)> {
+    let mut v: u64 = 0;
+    let mut shift = 0u32;
+    loop {
+        let &b = bytes.get(pos)?;
+        pos += 1;
+        if shift >= 64 {
+            return None; // more than 10 bytes: not a valid u64
+        }
+        v |= ((b & 0x7f) as u64) << shift;
+        if b & 0x80 == 0 {
+            return Some((v, pos));
+        }
+        shift += 7;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn round_trips_edge_values() {
+        let mut buf = Vec::new();
+        let values = [0u64, 1, 127, 128, 300, u32::MAX as u64, u64::MAX];
+        for &v in &values {
+            write_u64(&mut buf, v);
+        }
+        let mut pos = 0;
+        for &v in &values {
+            let (got, next) = read_u64(&buf, pos).unwrap();
+            assert_eq!(got, v);
+            pos = next;
+        }
+        assert_eq!(pos, buf.len());
+    }
+
+    #[test]
+    fn truncation_is_detected() {
+        let mut buf = Vec::new();
+        write_u64(&mut buf, u64::MAX);
+        assert!(read_u64(&buf[..buf.len() - 1], 0).is_none());
+        assert!(read_u64(&[], 0).is_none());
+        // 11 continuation bytes can never be a u64
+        assert!(read_u64(&[0x80; 11], 0).is_none());
+    }
+}

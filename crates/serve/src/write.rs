@@ -842,12 +842,24 @@ impl WriterLoop {
             .unwrap_or_default() as u64;
         // Readers keep running: only the serialization itself holds
         // the read lock, the I/O below does not.
-        let (db_json, seo_json) = {
+        let (db_json, seo_json, seg) = {
             let exec = self.executor.read().unwrap_or_else(|e| e.into_inner());
             let db_json = toss_xmldb::storage::to_json_with_seq(&exec.db, cursor)
                 .map_err(|e| e.to_string())?;
             let seo_json = toss_ontology::persist::seo_to_json(&exec.seo);
-            (db_json, seo_json)
+            // The `.seg` index sidecar: frozen collection indexes plus
+            // the enhanced hierarchy's reachability closure, all stamped
+            // with the snapshot cursor so a restart can attach them only
+            // when they are exactly current.
+            let mut sb =
+                toss_xmldb::segidx::segment_builder(&exec.db, cursor);
+            let reach = exec.seo.enhanced().reach_index();
+            sb.add_section(
+                toss_xmldb::segidx::kinds::REACH,
+                "seo.enhanced",
+                reach.to_segment_payload(),
+            );
+            (db_json, seo_json, sb.finish())
         };
         // Sidecar first: if it fails, the journal is untouched and the
         // old snapshot + full journal still recover everything.
@@ -860,7 +872,7 @@ impl WriterLoop {
         .map_err(|e| e.to_string())?;
         self.engine
             .writer
-            .checkpoint_json(&db_json, cursor)
+            .checkpoint_json_seg(&db_json, cursor, Some(&seg))
             .map_err(|e| e.to_string())?;
         self.state.checkpoints.fetch_add(1, Ordering::Relaxed);
         toss_obs::metrics::counter("toss.serve.write.checkpoints").inc();

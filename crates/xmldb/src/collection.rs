@@ -7,7 +7,8 @@
 //! descendant-axis fast path.
 
 use crate::error::{DbError, DbResult};
-use crate::index::CollectionIndex;
+use crate::index::{CollectionIndex, IndexView};
+use crate::segidx::FrozenIndex;
 use toss_tree::serialize::{tree_to_xml, Style};
 use toss_tree::Tree;
 
@@ -32,6 +33,23 @@ pub struct StoredDocument {
     pub size_bytes: usize,
 }
 
+/// Which backend currently answers index probes for a collection.
+///
+/// * `Building` — the live pointer index, updated on every mutation (the
+///   only state a collection mutated since open can be in);
+/// * `Deferred` — snapshot restore in progress: documents are being
+///   inserted without indexing, because a frozen segment may attach when
+///   the restore finishes (or a single rebuild runs if it can't);
+/// * `Frozen` — a zero-copy segment-backed index is attached. The first
+///   mutation thaws it: the pointer index is rebuilt from the documents
+///   and takes over seamlessly.
+#[derive(Debug)]
+enum IndexState {
+    Building(CollectionIndex),
+    Deferred,
+    Frozen(FrozenIndex),
+}
+
 /// A named collection of documents.
 #[derive(Debug)]
 pub struct Collection {
@@ -40,7 +58,7 @@ pub struct Collection {
     next_id: u64,
     size_bytes: usize,
     size_limit: Option<usize>,
-    index: CollectionIndex,
+    index: IndexState,
 }
 
 impl Collection {
@@ -52,7 +70,75 @@ impl Collection {
             next_id: 0,
             size_bytes: 0,
             size_limit,
-            index: CollectionIndex::new(),
+            index: IndexState::Building(CollectionIndex::new()),
+        }
+    }
+
+    /// The mutable pointer index, thawing a frozen or deferred index
+    /// first (one rebuild from the stored documents). Every mutation
+    /// path funnels through this, which is what makes the frozen →
+    /// pointer handover seamless.
+    fn index_mut(&mut self) -> &mut CollectionIndex {
+        if !matches!(self.index, IndexState::Building(_)) {
+            let mut ix = CollectionIndex::new();
+            for d in &self.docs {
+                ix.add_document(d.id, &d.tree);
+            }
+            if matches!(self.index, IndexState::Frozen(_)) {
+                toss_obs::metrics::counter("xmldb.segment.thaws").inc();
+            }
+            self.index = IndexState::Building(ix);
+        }
+        match &mut self.index {
+            IndexState::Building(ix) => ix,
+            _ => unreachable!("index state set to Building above"),
+        }
+    }
+
+    /// Switch into deferred-restore mode: subsequent
+    /// [`Collection::insert_with_id`] calls skip indexing. Only the
+    /// snapshot loader uses this; it must end the restore with
+    /// [`Collection::attach_frozen`] or [`Collection::ensure_index`].
+    pub(crate) fn begin_deferred_restore(&mut self) {
+        self.index = IndexState::Deferred;
+    }
+
+    /// Attach a frozen segment-backed index, ending a deferred restore.
+    /// Refuses (and leaves the state deferred) when the segment's
+    /// recorded document count disagrees with what was restored.
+    pub(crate) fn attach_frozen(&mut self, frozen: FrozenIndex) -> bool {
+        if frozen.doc_count() != self.docs.len() as u64 {
+            return false;
+        }
+        self.index = IndexState::Frozen(frozen);
+        true
+    }
+
+    /// Make sure a pointer index exists (rebuilding from documents if
+    /// the state is deferred). The fallback end of a restore.
+    pub(crate) fn ensure_index(&mut self) {
+        if matches!(self.index, IndexState::Deferred) {
+            let mut ix = CollectionIndex::new();
+            for d in &self.docs {
+                ix.add_document(d.id, &d.tree);
+            }
+            self.index = IndexState::Building(ix);
+        }
+    }
+
+    /// Whether probes currently read from a frozen segment.
+    pub fn is_frozen(&self) -> bool {
+        matches!(self.index, IndexState::Frozen(_))
+    }
+
+    /// Approximate resident bytes of the index backend: pointer-index
+    /// heap estimate, or this collection's section bytes within the
+    /// loaded segment. `(pointer, segment)` — one of the two is 0.
+    pub fn index_bytes(&self) -> (usize, usize) {
+        match &self.index {
+            IndexState::Building(ix) => (ix.approx_bytes(), 0),
+            IndexState::Deferred => (0, 0),
+            IndexState::Frozen(f) => (0, f.section_bytes()),
         }
     }
 
@@ -79,7 +165,10 @@ impl Collection {
     /// gap *above* the largest live id is invisible here and must be
     /// restored separately (see the snapshot's `next_id` field).
     pub fn insert_with_id(&mut self, id: DocumentId, tree: Tree) -> DbResult<()> {
-        if self.docs.iter().any(|d| d.id == id) {
+        // Ids are monotonic, so the common case (id above every stored
+        // id) is one tail check; only out-of-order ids pay a full scan.
+        let maybe_dup = self.docs.last().is_some_and(|d| d.id >= id);
+        if maybe_dup && self.docs.iter().any(|d| d.id == id) {
             return Err(DbError::Storage(format!(
                 "duplicate document id {id} in collection `{}`",
                 self.name
@@ -96,7 +185,9 @@ impl Collection {
             }
         }
         self.next_id = self.next_id.max(id.0 + 1);
-        self.index.add_document(id, &tree);
+        if !matches!(self.index, IndexState::Deferred) {
+            self.index_mut().add_document(id, &tree);
+        }
         self.size_bytes += size;
         self.docs.push(StoredDocument {
             id,
@@ -139,8 +230,9 @@ impl Collection {
                 });
             }
         }
-        self.index.remove_document(id);
-        self.index.add_document(id, &tree);
+        let ix = self.index_mut();
+        ix.remove_document(id);
+        ix.add_document(id, &tree);
         self.size_bytes = self.size_bytes - old_size + new_size;
         let old = std::mem::replace(&mut self.docs[pos].tree, tree);
         self.docs[pos].size_bytes = new_size;
@@ -154,9 +246,11 @@ impl Collection {
             .iter()
             .position(|d| d.id == id)
             .ok_or(DbError::NoSuchDocument(id.0))?;
+        // Thaw before removing from `docs` so a frozen rebuild still
+        // sees the document it must then un-index.
+        self.index_mut().remove_document(id);
         let doc = self.docs.remove(pos);
         self.size_bytes -= doc.size_bytes;
-        self.index.remove_document(id);
         Ok(doc.tree)
     }
 
@@ -198,9 +292,19 @@ impl Collection {
         self.size_limit
     }
 
-    /// The collection's inverted index (tag → document/node postings).
-    pub fn index(&self) -> &CollectionIndex {
-        &self.index
+    /// The collection's inverted index (tag → document/node postings) —
+    /// a facade over the live pointer index or, right after a snapshot
+    /// load with a valid `.seg` sidecar, a zero-copy frozen segment.
+    pub fn index(&self) -> IndexView<'_> {
+        static EMPTY: std::sync::OnceLock<CollectionIndex> = std::sync::OnceLock::new();
+        match &self.index {
+            IndexState::Building(ix) => IndexView::Pointer(ix),
+            // mid-restore; nothing probes here, but stay total
+            IndexState::Deferred => {
+                IndexView::Pointer(EMPTY.get_or_init(CollectionIndex::new))
+            }
+            IndexState::Frozen(f) => IndexView::Frozen(f),
+        }
     }
 }
 

@@ -126,10 +126,14 @@ impl DurableDatabase {
         vfs: Arc<dyn Vfs>,
     ) -> DbResult<Self> {
         let snapshot_path = snapshot.into();
-        let (db, cursor) = if vfs.exists(&snapshot_path) {
-            storage::load_with_vfs_seq(&snapshot_path, &*vfs)?
+        let (db, cursor, frozen) = if vfs.exists(&snapshot_path) {
+            // A verified `.seg` sidecar lets collections come up frozen
+            // (zero-copy) instead of re-indexing; any sidecar problem
+            // falls back to rebuild inside the loader.
+            let seg = crate::segidx::load_segment(&*vfs, &snapshot_path);
+            storage::load_with_vfs_seq_seg(&snapshot_path, &*vfs, seg.as_ref())?
         } else {
-            (Database::with_config(config), 0)
+            (Database::with_config(config), 0, 0)
         };
         // Journal::open trims any torn tail itself, so the strict scan
         // below only fails on genuine corruption.
@@ -149,6 +153,7 @@ impl DurableDatabase {
             check_op(&this.db, &rec.op)?;
             apply_op(&mut this.db, &rec.op)?;
         }
+        publish_index_gauges(&this.db, frozen);
         Ok(this)
     }
 
@@ -172,10 +177,11 @@ impl DurableDatabase {
         config: DatabaseConfig,
         vfs: &dyn Vfs,
     ) -> DbResult<Database> {
-        let (mut db, cursor) = if vfs.exists(snapshot) {
-            storage::load_with_vfs_seq(snapshot, vfs)?
+        let (mut db, cursor, frozen) = if vfs.exists(snapshot) {
+            let seg = crate::segidx::load_segment(vfs, snapshot);
+            storage::load_with_vfs_seq_seg(snapshot, vfs, seg.as_ref())?
         } else {
-            (Database::with_config(config), 0)
+            (Database::with_config(config), 0, 0)
         };
         let scan = Journal::scan_file(&Self::wal_path(snapshot), vfs)?;
         if let Some(err) = scan.corruption {
@@ -188,6 +194,7 @@ impl DurableDatabase {
             check_op(&db, &rec.op)?;
             apply_op(&mut db, &rec.op)?;
         }
+        publish_index_gauges(&db, frozen);
         Ok(db)
     }
 
@@ -211,20 +218,24 @@ impl DurableDatabase {
         let span = toss_obs::span("xmldb.recover");
         let snapshot_path = snapshot.into();
         let mut report = RecoveryReport::default();
-        let (db, cursor) = if vfs.exists(&snapshot_path) {
-            match storage::load_with_vfs_seq(&snapshot_path, &*vfs) {
+        let (db, cursor, frozen) = if vfs.exists(&snapshot_path) {
+            let seg = crate::segidx::load_segment(&*vfs, &snapshot_path);
+            match storage::load_with_vfs_seq_seg(&snapshot_path, &*vfs, seg.as_ref()) {
                 Ok(loaded) => {
                     report.snapshot_loaded = true;
                     loaded
                 }
                 Err(err) => {
+                    // Only the snapshot is quarantined — the `.seg`
+                    // sidecar is derived data; a damaged one is simply
+                    // ignored and overwritten by the next checkpoint.
                     quarantine(&*vfs, &snapshot_path, &mut report);
                     report.snapshot_error = Some(err);
-                    (Database::with_config(config), 0)
+                    (Database::with_config(config), 0, 0)
                 }
             }
         } else {
-            (Database::with_config(config), 0)
+            (Database::with_config(config), 0, 0)
         };
         let wal = Self::wal_path(&snapshot_path);
         // Scan before Journal::open so the report (and any quarantine
@@ -256,6 +267,7 @@ impl DurableDatabase {
         // Make the recovered state durable again: fresh snapshot, clean
         // journal. After this, a plain strict open succeeds.
         this.checkpoint()?;
+        publish_index_gauges(&this.db, frozen);
         report.publish_metrics();
         span.record("replayed_ops", report.replayed_ops);
         span.record("clean", report.is_clean());
@@ -341,10 +353,16 @@ impl DurableDatabase {
         Ok(())
     }
 
-    /// Fold the journal into a fresh atomic snapshot and truncate it.
+    /// Fold the journal into a fresh atomic snapshot (plus its `.seg`
+    /// index-segment sidecar) and truncate it.
     pub fn checkpoint(&mut self) -> DbResult<()> {
         let cursor = self.journal.next_seq();
         storage::save_with_vfs_seq(&self.db, cursor, &self.snapshot_path, &*self.vfs)?;
+        // After the snapshot rename: a crash in between leaves a stale
+        // stamp the loader rejects. Best effort — a failed sidecar
+        // write only costs the next open a rebuild.
+        let seg = crate::segidx::build_segment(&self.db, cursor);
+        crate::segidx::write_segment(&*self.vfs, &self.snapshot_path, &seg);
         self.journal.reset()?;
         Ok(())
     }
@@ -487,9 +505,26 @@ impl DurableWriter {
     /// rename the old snapshot + full journal stand; after it, the new
     /// snapshot's cursor makes stale journal records replay as no-ops.
     pub fn checkpoint_json(&mut self, json: &str, cursor: u64) -> DbResult<()> {
+        self.checkpoint_json_seg(json, cursor, None)
+    }
+
+    /// [`DurableWriter::checkpoint_json`] that also writes pre-built
+    /// `.seg` index-segment bytes (stamped with the same `cursor`) as a
+    /// sidecar, after the snapshot rename and before the journal
+    /// truncates. The sidecar write is best effort: a failure costs the
+    /// next open a rebuild, never the checkpoint.
+    pub fn checkpoint_json_seg(
+        &mut self,
+        json: &str,
+        cursor: u64,
+        segment: Option<&[u8]>,
+    ) -> DbResult<()> {
         let span = toss_obs::span("xmldb.checkpoint");
         storage::save_json_with_vfs(json, &self.snapshot_path, &*self.vfs)?;
         storage::load_with_vfs_seq(&self.snapshot_path, &*self.vfs)?;
+        if let Some(bytes) = segment {
+            crate::segidx::write_segment(&*self.vfs, &self.snapshot_path, bytes);
+        }
         let tail: Vec<_> = self
             .journal
             .scan_lenient()?
@@ -504,14 +539,16 @@ impl DurableWriter {
         Ok(())
     }
 
-    /// Serialize `db` (stamped with the current cursor) and checkpoint.
-    /// Convenience for callers that can hold `&Database` across the
-    /// whole operation; live servers serialize under a read lock and
-    /// call [`DurableWriter::checkpoint_json`] instead.
+    /// Serialize `db` (stamped with the current cursor) and checkpoint,
+    /// including the `.seg` sidecar. Convenience for callers that can
+    /// hold `&Database` across the whole operation; live servers
+    /// serialize under a read lock and call
+    /// [`DurableWriter::checkpoint_json_seg`] instead.
     pub fn checkpoint(&mut self, db: &Database) -> DbResult<()> {
         let cursor = self.journal.next_seq();
         let json = storage::to_json_with_seq(db, cursor)?;
-        self.checkpoint_json(&json, cursor)
+        let seg = crate::segidx::build_segment(db, cursor);
+        self.checkpoint_json_seg(&json, cursor, Some(&seg))
     }
 }
 
@@ -690,6 +727,35 @@ impl<'a> BatchValidator<'a> {
             JournalOp::AddTerm { .. } | JournalOp::AddEdge { .. } | JournalOp::Noop => Ok(()),
         }
     }
+}
+
+/// Publish the index-footprint gauges after a cold open.
+///
+/// * `toss.index.pointer_bytes` — approximate heap bytes of live
+///   pointer indexes;
+/// * `toss.index.segment_bytes` — bytes of frozen segment sections
+///   currently serving probes;
+/// * `toss.index.cold_open_source` — 1 when *every* collection in the
+///   loaded snapshot attached a frozen segment index ("segment"), 0
+///   when any had to rebuild ("rebuilt").
+///
+/// `frozen_at_load` counts collections that attached frozen during the
+/// snapshot load, before journal replay (replay mutations may thaw some
+/// — the cold-open source doesn't change retroactively, but the byte
+/// gauges reflect the post-replay state).
+pub fn publish_index_gauges(db: &Database, frozen_at_load: usize) {
+    use toss_obs::metrics::gauge;
+    let (mut pointer, mut segment) = (0usize, 0usize);
+    let mut total = 0usize;
+    for c in db.collections() {
+        let (p, s) = c.index_bytes();
+        pointer += p;
+        segment += s;
+        total += 1;
+    }
+    gauge("toss.index.pointer_bytes").set(pointer as i64);
+    gauge("toss.index.segment_bytes").set(segment as i64);
+    gauge("toss.index.cold_open_source").set((total > 0 && frozen_at_load == total) as i64);
 }
 
 /// Best-effort copy of a damaged file to `<path>.corrupt` for forensics.

@@ -5,12 +5,23 @@
 //! * **tag index** — tag name → list of `(document, node)` pairs, used by
 //!   the descendant axis (`//tag`) so it never scans unrelated subtrees;
 //! * **content index** — `(tag, exact content)` → postings, used for
-//!   equality predicates like `[author='J. Ullman']`.
+//!   equality predicates like `[author='J. Ullman']`. Stored as a nested
+//!   tag → content → postings map so the hot probe
+//!   ([`CollectionIndex::by_tag_content`]) is two borrowed lookups and
+//!   zero allocations.
 //!
 //! Postings are kept in document order (documents in insertion order,
 //! nodes in preorder) so merged results preserve the order TAX requires.
+//!
+//! A collection answers probes from one of two interchangeable backends
+//! behind the [`IndexView`] facade: this live pointer index, or a frozen
+//! zero-copy [`segidx::FrozenIndex`] loaded from a `.seg` snapshot
+//! sidecar (see [`crate::segidx`]). Callers never see which one they hit;
+//! postings come back as [`Postings`], identical in content and order
+//! from either side.
 
 use crate::collection::DocumentId;
+use crate::segidx::FrozenIndex;
 use std::collections::HashMap;
 use toss_tree::{NodeId, Tree};
 
@@ -23,11 +34,21 @@ pub struct Posting {
     pub node: NodeId,
 }
 
+/// The index keys one document contributed, recorded at insert time so
+/// removal touches exactly those postings lists instead of sweeping the
+/// whole index.
+#[derive(Debug, Default)]
+struct DocKeys {
+    tags: Vec<String>,
+    contents: Vec<(String, String)>,
+}
+
 /// Inverted indexes for one collection.
 #[derive(Debug, Default)]
 pub struct CollectionIndex {
     tag: HashMap<String, Vec<Posting>>,
-    content: HashMap<(String, String), Vec<Posting>>,
+    content: HashMap<String, HashMap<String, Vec<Posting>>>,
+    doc_keys: HashMap<DocumentId, DocKeys>,
 }
 
 impl CollectionIndex {
@@ -38,30 +59,58 @@ impl CollectionIndex {
 
     /// Index every node of `tree` under document id `doc`.
     pub fn add_document(&mut self, doc: DocumentId, tree: &Tree) {
+        let keys = self.doc_keys.entry(doc).or_default();
         for node in tree.preorder() {
             let Ok(data) = tree.data(node) else { continue };
             let posting = Posting { doc, node };
-            self.tag.entry(data.tag.clone()).or_default().push(posting);
+            let list = self.tag.entry(data.tag.clone()).or_default();
+            // postings for one document are contiguous, so "first
+            // contribution to this list" is one tail check
+            if list.last().map(|p| p.doc) != Some(doc) {
+                keys.tags.push(data.tag.clone());
+            }
+            list.push(posting);
             if let Some(c) = &data.content {
-                self.content
-                    .entry((data.tag.clone(), c.render()))
+                let rendered = c.render();
+                let list = self
+                    .content
+                    .entry(data.tag.clone())
                     .or_default()
-                    .push(posting);
+                    .entry(rendered.clone())
+                    .or_default();
+                if list.last().map(|p| p.doc) != Some(doc) {
+                    keys.contents.push((data.tag.clone(), rendered));
+                }
+                list.push(posting);
             }
         }
     }
 
-    /// Drop all postings for a document (linear sweep; removal is rare in
-    /// the workloads this store serves).
+    /// Drop all postings for a document — touching only the keys the
+    /// document actually contributed (recorded at insert time).
     pub fn remove_document(&mut self, doc: DocumentId) {
-        for v in self.tag.values_mut() {
-            v.retain(|p| p.doc != doc);
+        let Some(keys) = self.doc_keys.remove(&doc) else { return };
+        for tag in keys.tags {
+            if let Some(v) = self.tag.get_mut(&tag) {
+                v.retain(|p| p.doc != doc);
+                if v.is_empty() {
+                    self.tag.remove(&tag);
+                }
+            }
         }
-        for v in self.content.values_mut() {
-            v.retain(|p| p.doc != doc);
+        for (tag, content) in keys.contents {
+            if let Some(inner) = self.content.get_mut(&tag) {
+                if let Some(v) = inner.get_mut(&content) {
+                    v.retain(|p| p.doc != doc);
+                    if v.is_empty() {
+                        inner.remove(&content);
+                    }
+                }
+                if inner.is_empty() {
+                    self.content.remove(&tag);
+                }
+            }
         }
-        self.tag.retain(|_, v| !v.is_empty());
-        self.content.retain(|_, v| !v.is_empty());
     }
 
     /// All nodes with the given tag, in document order.
@@ -70,9 +119,11 @@ impl CollectionIndex {
     }
 
     /// All nodes with the given tag and exact content rendering.
+    /// Allocation-free: two borrowed map lookups.
     pub fn by_tag_content(&self, tag: &str, content: &str) -> &[Posting] {
         self.content
-            .get(&(tag.to_string(), content.to_string()))
+            .get(tag)
+            .and_then(|m| m.get(content))
             .map(Vec::as_slice)
             .unwrap_or(&[])
     }
@@ -127,12 +178,220 @@ impl CollectionIndex {
     /// Distinct `(tag, content)` pairs — the raw material the Ontology
     /// Maker mines for terms.
     pub fn tag_content_pairs(&self) -> impl Iterator<Item = (&str, &str)> {
-        self.content.keys().map(|(t, c)| (t.as_str(), c.as_str()))
+        self.content
+            .iter()
+            .flat_map(|(t, m)| m.keys().map(move |c| (t.as_str(), c.as_str())))
     }
 
     /// Number of distinct indexed tags.
     pub fn tag_count(&self) -> usize {
         self.tag.len()
+    }
+
+    /// Approximate resident heap bytes of this pointer index: string
+    /// keys, postings vectors, per-entry map overhead, and the
+    /// reverse-key lists. An estimate for the `toss.index.pointer_bytes`
+    /// gauge and the bench comparison, not an allocator ledger.
+    pub fn approx_bytes(&self) -> usize {
+        // String ≈ 24B header + capacity; Vec<Posting> ≈ 24B + 16B/elem;
+        // hash-map entry bookkeeping ≈ 48B.
+        const STR: usize = 24;
+        const VEC: usize = 24;
+        const ENTRY: usize = 48;
+        let mut total = 0;
+        for (k, v) in &self.tag {
+            total += ENTRY + STR + k.len() + VEC + v.len() * std::mem::size_of::<Posting>();
+        }
+        for (t, m) in &self.content {
+            total += ENTRY + STR + t.len() + 48; // inner map header
+            for (c, v) in m {
+                total += ENTRY + STR + c.len() + VEC + v.len() * std::mem::size_of::<Posting>();
+            }
+        }
+        for (_, keys) in self.doc_keys.iter() {
+            total += ENTRY + 8 + 2 * VEC;
+            total += keys.tags.iter().map(|t| STR + t.len()).sum::<usize>();
+            total += keys
+                .contents
+                .iter()
+                .map(|(t, c)| 2 * STR + t.len() + c.len())
+                .sum::<usize>();
+        }
+        total
+    }
+}
+
+/// A postings list from either index backend: a borrowed slice from the
+/// pointer index, or a compressed block decoded on the fly from a frozen
+/// segment. Same contents, same (document, preorder) order.
+#[derive(Debug, Clone, Copy)]
+pub enum Postings<'a> {
+    /// Borrowed from the live pointer index.
+    Slice(&'a [Posting]),
+    /// Decoded lazily from a frozen segment block (`None` = absent key).
+    Block(Option<toss_segment::PostingsBlock<'a>>),
+}
+
+impl<'a> Postings<'a> {
+    /// Number of postings — O(1) for both backends.
+    pub fn len(&self) -> usize {
+        match self {
+            Postings::Slice(s) => s.len(),
+            Postings::Block(b) => b.map(|b| b.len()).unwrap_or(0),
+        }
+    }
+
+    /// Whether the list is empty.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Iterate the postings in document order.
+    pub fn iter(&self) -> PostingsIter<'a> {
+        match self {
+            Postings::Slice(s) => PostingsIter::Slice(s.iter()),
+            // raw-encoded blocks (the tag map) iterate their key bytes
+            // directly — chunked slice traversal instead of per-element
+            // encoding dispatch
+            Postings::Block(Some(b)) => match b.raw_key_bytes() {
+                Some(bytes) => PostingsIter::RawBlock(bytes.chunks_exact(8)),
+                None => PostingsIter::Block(b.iter()),
+            },
+            Postings::Block(None) => PostingsIter::Slice([].iter()),
+        }
+    }
+
+    /// Materialize into a vector.
+    pub fn to_vec(&self) -> Vec<Posting> {
+        self.iter().collect()
+    }
+}
+
+impl<'a> IntoIterator for Postings<'a> {
+    type Item = Posting;
+    type IntoIter = PostingsIter<'a>;
+    fn into_iter(self) -> PostingsIter<'a> {
+        self.iter()
+    }
+}
+
+/// Iterator over [`Postings`], yielding postings by value.
+#[derive(Debug, Clone)]
+pub enum PostingsIter<'a> {
+    /// Over a pointer-index slice.
+    Slice(std::slice::Iter<'a, Posting>),
+    /// Over a frozen segment block (compressed encodings).
+    Block(toss_segment::postings::PostingsIter<'a>),
+    /// Over a raw-encoded frozen block's key bytes, at slice speed.
+    RawBlock(std::slice::ChunksExact<'a, u8>),
+}
+
+impl Iterator for PostingsIter<'_> {
+    type Item = Posting;
+    #[inline]
+    fn next(&mut self) -> Option<Posting> {
+        match self {
+            PostingsIter::Slice(it) => it.next().copied(),
+            PostingsIter::Block(it) => it.next().map(crate::segidx::posting_from_key),
+            PostingsIter::RawBlock(it) => it.next().map(|c| {
+                let mut a = [0u8; 8];
+                a.copy_from_slice(c);
+                crate::segidx::posting_from_key(u64::from_le_bytes(a))
+            }),
+        }
+    }
+    fn size_hint(&self) -> (usize, Option<usize>) {
+        match self {
+            PostingsIter::Slice(it) => it.size_hint(),
+            PostingsIter::Block(it) => it.size_hint(),
+            PostingsIter::RawBlock(it) => it.size_hint(),
+        }
+    }
+}
+
+/// Read-only facade over whichever index backend a collection currently
+/// has: the live pointer index, or a frozen segment. Copyable; obtained
+/// from [`crate::Collection::index`]. Semantics are identical across
+/// backends — same postings, same order — which the equivalence proptest
+/// and the bench assertions both enforce.
+#[derive(Debug, Clone, Copy)]
+pub enum IndexView<'a> {
+    /// The live pointer index.
+    Pointer(&'a CollectionIndex),
+    /// A frozen segment-backed index.
+    Frozen(&'a FrozenIndex),
+}
+
+impl<'a> IndexView<'a> {
+    /// All nodes with the given tag, in document order.
+    pub fn by_tag(&self, tag: &str) -> Postings<'a> {
+        match self {
+            IndexView::Pointer(ix) => Postings::Slice(ix.by_tag(tag)),
+            IndexView::Frozen(f) => f.by_tag(tag),
+        }
+    }
+
+    /// All nodes with the given tag and exact content rendering.
+    pub fn by_tag_content(&self, tag: &str, content: &str) -> Postings<'a> {
+        match self {
+            IndexView::Pointer(ix) => Postings::Slice(ix.by_tag_content(tag, content)),
+            IndexView::Frozen(f) => f.by_tag_content(tag, content),
+        }
+    }
+
+    /// Merged multi-term probe; see [`CollectionIndex::by_tag_content_any`].
+    pub fn by_tag_content_any<S: AsRef<str>>(&self, tag: &str, terms: &[S]) -> Vec<Posting> {
+        match self {
+            IndexView::Pointer(ix) => ix.by_tag_content_any(tag, terms),
+            IndexView::Frozen(_) => {
+                let mut merged: Vec<Posting> = Vec::new();
+                for term in terms {
+                    merged.extend(self.by_tag_content(tag, term.as_ref()).iter());
+                }
+                merged.sort();
+                merged.dedup();
+                merged
+            }
+        }
+    }
+
+    /// Candidate documents for a multi-term probe; see
+    /// [`CollectionIndex::docs_with_tag_content_any`].
+    pub fn docs_with_tag_content_any<S: AsRef<str>>(
+        &self,
+        tag: &str,
+        terms: &[S],
+    ) -> Vec<DocumentId> {
+        let mut docs: Vec<DocumentId> = self
+            .by_tag_content_any(tag, terms)
+            .into_iter()
+            .map(|p| p.doc)
+            .collect();
+        docs.dedup();
+        docs
+    }
+
+    /// Planner selectivity estimate; see
+    /// [`CollectionIndex::tag_content_any_len`]. O(terms) on both
+    /// backends (frozen blocks carry their length in the header).
+    pub fn tag_content_any_len<S: AsRef<str>>(&self, tag: &str, terms: &[S]) -> usize {
+        terms
+            .iter()
+            .map(|t| self.by_tag_content(tag, t.as_ref()).len())
+            .sum()
+    }
+
+    /// Number of distinct indexed tags.
+    pub fn tag_count(&self) -> usize {
+        match self {
+            IndexView::Pointer(ix) => ix.tag_count(),
+            IndexView::Frozen(f) => f.tag_count(),
+        }
+    }
+
+    /// Whether this view reads from a frozen segment.
+    pub fn is_frozen(&self) -> bool {
+        matches!(self, IndexView::Frozen(_))
     }
 }
 
@@ -205,11 +464,63 @@ mod tests {
     }
 
     #[test]
+    fn remove_document_drops_emptied_keys_entirely() {
+        let mut idx = CollectionIndex::new();
+        idx.add_document(DocumentId(0), &tree("A"));
+        idx.add_document(DocumentId(1), &tree("B"));
+        idx.remove_document(DocumentId(0));
+        // "A" was only in doc 0: its key (and no other) is gone
+        assert!(!idx.tag_content_pairs().any(|(_, c)| c == "A"));
+        assert!(idx.tag_content_pairs().any(|(_, c)| c == "B"));
+        idx.remove_document(DocumentId(1));
+        assert_eq!(idx.tag_count(), 0);
+        assert_eq!(idx.tag_content_pairs().count(), 0);
+        // removing an unknown document is a no-op
+        idx.remove_document(DocumentId(7));
+    }
+
+    #[test]
     fn tag_content_pairs_enumerates_terms() {
         let mut idx = CollectionIndex::new();
         idx.add_document(DocumentId(0), &tree("A"));
         let pairs: Vec<_> = idx.tag_content_pairs().collect();
         assert!(pairs.contains(&("author", "A")));
         assert!(pairs.contains(&("year", "1999")));
+    }
+
+    #[test]
+    fn approx_bytes_grows_with_content() {
+        let mut idx = CollectionIndex::new();
+        let empty = idx.approx_bytes();
+        idx.add_document(DocumentId(0), &tree("A"));
+        let one = idx.approx_bytes();
+        assert!(one > empty);
+        idx.add_document(DocumentId(1), &tree("B"));
+        assert!(idx.approx_bytes() > one);
+    }
+
+    #[test]
+    fn view_over_pointer_index_matches_direct_calls() {
+        let mut idx = CollectionIndex::new();
+        idx.add_document(DocumentId(0), &tree("A"));
+        idx.add_document(DocumentId(1), &tree("B"));
+        let view = IndexView::Pointer(&idx);
+        assert!(!view.is_frozen());
+        assert_eq!(view.by_tag("author").len(), 2);
+        assert_eq!(view.by_tag("author").to_vec(), idx.by_tag("author"));
+        assert_eq!(view.by_tag_content("author", "A").len(), 1);
+        assert_eq!(
+            view.by_tag_content_any("author", &["A", "B"]),
+            idx.by_tag_content_any("author", &["A", "B"])
+        );
+        assert_eq!(
+            view.docs_with_tag_content_any("author", &["B"]),
+            vec![DocumentId(1)]
+        );
+        assert_eq!(view.tag_content_any_len("author", &["A", "B"]), 2);
+        assert_eq!(view.tag_count(), idx.tag_count());
+        // iteration yields postings by value
+        let nodes: Vec<usize> = view.by_tag("year").iter().map(|p| p.node.index()).collect();
+        assert_eq!(nodes.len(), 2);
     }
 }

@@ -40,6 +40,7 @@ pub mod error;
 pub mod index;
 pub mod journal;
 pub mod parser;
+pub mod segidx;
 pub mod storage;
 pub mod vfs;
 pub mod xpath;
@@ -50,6 +51,7 @@ pub use durable::{
     apply_op, check_op, BatchValidator, DurableDatabase, DurableWriter, RecoveryReport,
 };
 pub use error::{CorruptionSite, DbError, DbResult};
+pub use index::{IndexView, Posting, Postings};
 pub use journal::{Journal, JournalOp, JournalRecord};
 pub use parser::{parse_document, parse_forest};
 pub use vfs::{FaultMode, FaultSchedule, FaultVfs, ScheduledFault, StdVfs, Vfs};

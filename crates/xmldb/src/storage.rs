@@ -34,9 +34,12 @@
 use crate::crc32::crc32;
 use crate::database::{Database, DatabaseConfig};
 use crate::error::{DbError, DbResult};
+use crate::segidx::FrozenIndex;
 use crate::vfs::{StdVfs, Vfs};
 use std::path::Path;
+use std::sync::Arc;
 use toss_json::Value;
+use toss_segment::Segment;
 use toss_tree::serialize::{tree_to_xml, Style};
 
 /// Snapshot format version written by this build.
@@ -106,7 +109,13 @@ pub fn to_json(db: &Database) -> DbResult<String> {
 }
 
 /// Rebuild a database (and journal cursor) from the inner `data` object.
-fn db_from_data(data: &Value) -> DbResult<(Database, u64)> {
+///
+/// With a verified segment whose `last_seq` stamp matches the
+/// snapshot's cursor exactly, collections attach frozen zero-copy
+/// indexes instead of re-indexing their documents; any collection the
+/// segment can't serve (absent sections, count mismatch) rebuilds as
+/// before. Returns the number of collections that attached frozen.
+fn db_from_data(data: &Value, seg: Option<&Arc<Segment>>) -> DbResult<(Database, u64, usize)> {
     let bad = |m: &str| DbError::Storage(format!("malformed snapshot: {m}"));
     let limit = match data.get("collection_size_limit") {
         None | Some(Value::Null) => None,
@@ -123,6 +132,18 @@ fn db_from_data(data: &Value) -> DbResult<(Database, u64)> {
             .and_then(|n| u64::try_from(n).ok())
             .ok_or_else(|| bad("last_seq is not a non-negative integer"))?,
     };
+    // The staleness rule: a segment serves this snapshot only when its
+    // stamp equals the snapshot's cursor exactly. A stale sidecar (the
+    // residue of a crash between snapshot rename and segment write) is
+    // silently ignored — rebuild, never guess.
+    let seg = match seg {
+        Some(s) if s.last_seq() != last_seq => {
+            toss_obs::metrics::counter("xmldb.segment.stale").inc();
+            None
+        }
+        other => other,
+    };
+    let mut frozen = 0usize;
     let mut db = Database::with_config(DatabaseConfig {
         collection_size_limit: limit,
     });
@@ -136,6 +157,9 @@ fn db_from_data(data: &Value) -> DbResult<(Database, u64)> {
             .and_then(Value::as_str)
             .ok_or_else(|| bad("collection missing name"))?;
         let coll = db.create_collection(name)?;
+        if seg.is_some() {
+            coll.begin_deferred_restore();
+        }
         let documents = cs
             .get("documents")
             .and_then(Value::as_array)
@@ -170,14 +194,31 @@ fn db_from_data(data: &Value) -> DbResult<(Database, u64)> {
                 .ok_or_else(|| bad("next_id is not a non-negative integer"))?;
             coll.set_next_id_at_least(n);
         }
+        if let Some(seg) = seg {
+            if FrozenIndex::attach(seg, name).is_some_and(|f| coll.attach_frozen(f)) {
+                frozen += 1;
+            }
+        }
+        // no-op when a frozen index attached; otherwise one rebuild
+        coll.ensure_index();
     }
-    Ok((db, last_seq))
+    Ok((db, last_seq, frozen))
 }
 
 /// Restore a database and its journal cursor from a JSON snapshot
 /// produced by [`to_json_with_seq`] (version 2, checksummed) or by older
 /// builds (version 1, flat, cursor 0).
 pub fn from_json_with_seq(json: &str) -> DbResult<(Database, u64)> {
+    from_json_with_seq_seg(json, None).map(|(db, seq, _)| (db, seq))
+}
+
+/// [`from_json_with_seq`] with an optional verified segment sidecar to
+/// attach frozen indexes from; additionally returns how many collections
+/// attached frozen (0 when `seg` is `None`, stale, or unusable).
+pub fn from_json_with_seq_seg(
+    json: &str,
+    seg: Option<&Arc<Segment>>,
+) -> DbResult<(Database, u64, usize)> {
     let value =
         Value::parse(json).map_err(|e| DbError::Storage(format!("snapshot is not JSON: {e}")))?;
     let version = value
@@ -185,7 +226,8 @@ pub fn from_json_with_seq(json: &str) -> DbResult<(Database, u64)> {
         .and_then(Value::as_i64)
         .ok_or_else(|| DbError::Storage("snapshot missing version field".into()))?;
     match version {
-        1 => db_from_data(&value),
+        // v1 snapshots predate segments; never attach one to them.
+        1 => db_from_data(&value, None),
         2 => {
             let expected = value
                 .get("checksum")
@@ -201,7 +243,7 @@ pub fn from_json_with_seq(json: &str) -> DbResult<(Database, u64)> {
                     "checksum mismatch: stored {expected:#010x}, computed {actual:#010x}"
                 )));
             }
-            db_from_data(data)
+            db_from_data(data, seg)
         }
         other => Err(DbError::Storage(format!(
             "unsupported snapshot version {other}"
@@ -254,6 +296,16 @@ pub fn save_with_vfs(db: &Database, path: &Path, vfs: &dyn Vfs) -> DbResult<()> 
 
 /// Load a snapshot and its journal cursor through an arbitrary [`Vfs`].
 pub fn load_with_vfs_seq(path: &Path, vfs: &dyn Vfs) -> DbResult<(Database, u64)> {
+    load_with_vfs_seq_seg(path, vfs, None).map(|(db, seq, _)| (db, seq))
+}
+
+/// [`load_with_vfs_seq`] attaching frozen indexes from an optional
+/// verified segment; also returns the frozen-collection count.
+pub fn load_with_vfs_seq_seg(
+    path: &Path,
+    vfs: &dyn Vfs,
+    seg: Option<&Arc<Segment>>,
+) -> DbResult<(Database, u64, usize)> {
     let span = toss_obs::span("xmldb.snapshot.load");
     let bytes = vfs
         .read(path)
@@ -261,7 +313,7 @@ pub fn load_with_vfs_seq(path: &Path, vfs: &dyn Vfs) -> DbResult<(Database, u64)
     span.record("bytes", bytes.len());
     let json = String::from_utf8(bytes)
         .map_err(|_| DbError::snapshot_corruption("snapshot is not valid UTF-8"))?;
-    let loaded = from_json_with_seq(&json)?;
+    let loaded = from_json_with_seq_seg(&json, seg)?;
     toss_obs::metrics::counter("xmldb.snapshot.loads").inc();
     toss_obs::metrics::histogram("xmldb.snapshot.load_ns").observe_duration(span.finish());
     Ok(loaded)

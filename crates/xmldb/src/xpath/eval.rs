@@ -10,7 +10,6 @@
 
 use super::ast::{Axis, Expr, NameTest, Path, RelPath, Step, ValueExpr, XPath};
 use crate::collection::{Collection, DocumentId};
-use crate::index::Posting;
 use std::collections::{BTreeMap, HashSet};
 use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::Mutex;
@@ -773,7 +772,7 @@ fn eval_path_collection(
     if let Some(first) = path.steps.first() {
         if first.axis == Axis::Descendant {
             if let NameTest::Name(name) = &first.test {
-                let postings: &[Posting] = coll.index().by_tag(name);
+                let postings = coll.index().by_tag(name);
                 // group postings by document
                 let mut by_doc: Vec<(DocumentId, Vec<NodeId>)> = Vec::new();
                 for p in postings {

@@ -14,8 +14,8 @@ cargo build --workspace --release
 echo "==> cargo test --workspace -q"
 cargo test --workspace -q
 
-echo "==> chaos suites (governance + serving fault injection + durability, release)"
-cargo test --release --test chaos --test governance --test serve --test durability -q
+echo "==> chaos suites (governance + serving fault injection + durability + segments, release)"
+cargo test --release --test chaos --test governance --test serve --test durability --test segments -q
 
 echo "==> crash campaign smoke (quick: TOSS_CRASH_SEEDS=10)"
 # the deterministic kill-and-recover campaign (docs/robustness.md): a
@@ -26,8 +26,8 @@ TOSS_CRASH_SEEDS=10 cargo test --release --test serve \
     crash_campaign_every_acknowledged_write_survives_kill_and_recover -q
 
 if cargo clippy --version >/dev/null 2>&1; then
-    echo "==> cargo clippy -p toss-xmldb -p toss-pool --all-targets -- -D warnings"
-    cargo clippy -p toss-xmldb -p toss-pool --all-targets -- -D warnings
+    echo "==> cargo clippy -p toss-xmldb -p toss-pool -p toss-segment --all-targets -- -D warnings"
+    cargo clippy -p toss-xmldb -p toss-pool -p toss-segment --all-targets -- -D warnings
     echo "==> cargo clippy -p toss-obs -p toss-core -p toss-similarity -p toss-ontology --all-targets -- -D warnings"
     cargo clippy -p toss-obs -p toss-core -p toss-similarity -p toss-ontology --all-targets -- -D warnings
     echo "==> cargo clippy -p toss-serve --all-targets -- -D warnings"
@@ -37,6 +37,12 @@ if cargo clippy --version >/dev/null 2>&1; then
 else
     echo "==> clippy not installed; skipping lint step"
 fi
+
+echo "==> index segment bench smoke (BENCH_segments.json)"
+# probe-equivalence, cold-open-source, and alloc-free assertions always
+# run; the memory/latency gates only assert in the full (non-quick) run
+cargo run --release -p toss-bench --bin bench_segments -- --quick
+test -s BENCH_segments.json
 
 echo "==> parallel query bench smoke (BENCH_query_parallel.json)"
 cargo run --release -p toss-bench --bin bench_query_parallel -- --quick

@@ -1,0 +1,353 @@
+//! Integration tests for the frozen index segment sidecar (`.seg`).
+//!
+//! Three invariants, end to end over the durable layer:
+//!
+//! * **Equivalence** — a collection probing its segment answers exactly
+//!   like one probing the pointer index, on every probe shape, for
+//!   arbitrary generated documents and after any mutation prefix (the
+//!   first mutation thaws the frozen index back to pointers);
+//! * **Fault tolerance** — a truncated, bit-flipped, or stale `.seg` is
+//!   detected (checksum / `last_seq` stamp) and silently falls back to a
+//!   rebuild: the open succeeds, data is intact, and the snapshot is
+//!   never quarantined (a lost sidecar must never cost durability);
+//! * **Cold open** — a store restarted from a checkpoint with its
+//!   sidecar answers its first probe-planned query straight from the
+//!   segment: `toss.index.cold_open_source` reads 1, the planner takes
+//!   an index probe, and the collection is still frozen afterwards.
+//!
+//! The metrics registry is process-global and the cold-open gauge is
+//! rewritten by every durable open, so each test holds [`test_lock`]
+//! for its whole body — tests in this binary serialize, other binaries
+//! are separate processes.
+
+use proptest::prelude::*;
+use std::path::Path;
+use std::sync::{Arc, Mutex, OnceLock, PoisonError};
+use toss_core::executor::Mode;
+use toss_core::{Executor, QueryPlan, TossCond, TossQuery, TossTerm};
+use toss_ontology::hierarchy::from_pairs;
+use toss_ontology::sea::enhance;
+use toss_similarity::Levenshtein;
+use toss_tax::EdgeKind;
+use toss_xmldb::{DatabaseConfig, DocumentId, DurableDatabase, FaultVfs, Vfs};
+
+const STORE: &str = "/segments/store.json";
+const SEG: &str = "/segments/store.seg";
+const COLL: &str = "papers";
+
+fn test_lock() -> std::sync::MutexGuard<'static, ()> {
+    static LOCK: OnceLock<Mutex<()>> = OnceLock::new();
+    LOCK.get_or_init(Mutex::default)
+        .lock()
+        .unwrap_or_else(PoisonError::into_inner)
+}
+
+fn open(vfs: &Arc<FaultVfs>) -> DurableDatabase {
+    let dyn_vfs: Arc<dyn Vfs> = vfs.clone();
+    DurableDatabase::open_with(STORE, DatabaseConfig::unlimited(), dyn_vfs)
+        .expect("open durable store")
+}
+
+fn gauge(name: &str) -> i64 {
+    toss_obs::metrics::snapshot().gauge(name).unwrap_or(-1)
+}
+
+fn counter(name: &str) -> u64 {
+    toss_obs::metrics::snapshot().counter(name).unwrap_or(0)
+}
+
+/// Seed `docs` documents into a fresh store and checkpoint, so the
+/// snapshot + `.seg` sidecar pair exists and the journal is empty.
+fn seed(vfs: &Arc<FaultVfs>, docs: usize) {
+    let mut db = open(vfs);
+    db.create_collection(COLL).unwrap();
+    for i in 0..docs {
+        db.insert_xml(
+            COLL,
+            &format!(
+                "<paper key=\"p{i}\"><author>A{}</author>\
+                 <venue>V{}</venue><year>{}</year></paper>",
+                i % 7,
+                i % 3,
+                1990 + i % 5
+            ),
+        )
+        .unwrap();
+    }
+    db.checkpoint().unwrap();
+}
+
+/// Every probe shape the index API offers, on both tag alphabets the
+/// tests use, compared between two collections as decoded vectors.
+fn assert_probes_equal(
+    a: &toss_xmldb::Collection,
+    b: &toss_xmldb::Collection,
+    tags: &[&str],
+    contents: &[&str],
+    ctx: &str,
+) {
+    for tag in tags {
+        assert_eq!(
+            a.index().by_tag(tag).to_vec(),
+            b.index().by_tag(tag).to_vec(),
+            "{ctx}: by_tag({tag})"
+        );
+        for content in contents {
+            assert_eq!(
+                a.index().by_tag_content(tag, content).to_vec(),
+                b.index().by_tag_content(tag, content).to_vec(),
+                "{ctx}: by_tag_content({tag}, {content})"
+            );
+        }
+        assert_eq!(
+            a.index().by_tag_content_any(tag, contents),
+            b.index().by_tag_content_any(tag, contents),
+            "{ctx}: by_tag_content_any({tag})"
+        );
+        assert_eq!(
+            a.index().tag_content_any_len(tag, contents),
+            b.index().tag_content_any_len(tag, contents),
+            "{ctx}: tag_content_any_len({tag})"
+        );
+    }
+}
+
+// ---------------------------------------------------------------------
+// Equivalence: segment probes ≡ pointer probes, before and after thaw
+// ---------------------------------------------------------------------
+
+const TAGS: &[&str] = &["doc", "a", "b", "absent"];
+const WORDS: &[&str] = &["x", "y", "xy", "nothing"];
+
+/// A generated document: 1–4 children, tags and contents drawn from
+/// tiny alphabets so postings lists collide heavily across documents.
+fn doc_strategy() -> impl Strategy<Value = String> {
+    proptest::collection::vec((0usize..3, 0usize..3), 1..5).prop_map(|kids| {
+        let mut xml = String::from("<doc>");
+        for (t, w) in kids {
+            let tag = ["a", "b", "title"][t];
+            let word = ["x", "y", "xy"][w];
+            xml.push_str(&format!("<{tag}>{word}</{tag}>"));
+        }
+        xml.push_str("</doc>");
+        xml
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// Generate a collection, checkpoint it, reopen twice — once with
+    /// the sidecar (frozen) and once without (pointer rebuild) — and
+    /// require identical answers on every probe shape; then apply a
+    /// generated mutation prefix to both (thawing the frozen one) and
+    /// require equivalence again.
+    #[test]
+    fn frozen_probes_equal_pointer_probes(
+        docs in proptest::collection::vec(doc_strategy(), 1..20),
+        removes in proptest::collection::vec(0usize..20, 0..4),
+    ) {
+        let _guard = test_lock();
+        let vfs = Arc::new(FaultVfs::new());
+        {
+            let mut db = open(&vfs);
+            db.create_collection(COLL).unwrap();
+            for xml in &docs {
+                db.insert_xml(COLL, xml).unwrap();
+            }
+            db.checkpoint().unwrap();
+        }
+
+        // frozen twin: sidecar present
+        let mut frozen = open(&vfs);
+        prop_assert!(frozen.db().collection(COLL).unwrap().is_frozen());
+
+        // pointer twin: drop the sidecar on a forked vfs, forcing rebuild
+        let vfs2 = Arc::new(FaultVfs::new());
+        for p in [STORE, SEG] {
+            if let Ok(bytes) = vfs.read(Path::new(p)) {
+                vfs2.corrupt(Path::new(p), bytes);
+            }
+        }
+        vfs2.remove(Path::new(SEG)).unwrap();
+        let mut pointer = open(&vfs2);
+        prop_assert!(!pointer.db().collection(COLL).unwrap().is_frozen());
+
+        assert_probes_equal(
+            frozen.db().collection(COLL).unwrap(),
+            pointer.db().collection(COLL).unwrap(),
+            TAGS, WORDS, "after cold open",
+        );
+
+        // a mutation prefix thaws the frozen index; equivalence must
+        // hold (a remove of a nonexistent id fails without mutating, so
+        // only a successful remove proves the thaw)
+        let mut mutated = false;
+        for &r in &removes {
+            let id = DocumentId(r as u64);
+            let a = frozen.remove_document(COLL, id);
+            let b = pointer.remove_document(COLL, id);
+            prop_assert_eq!(a.is_ok(), b.is_ok(), "remove {} diverged", r);
+            mutated |= a.is_ok();
+        }
+        if mutated {
+            prop_assert!(!frozen.db().collection(COLL).unwrap().is_frozen());
+        }
+        frozen.insert_xml(COLL, "<doc><a>x</a></doc>").unwrap();
+        pointer.insert_xml(COLL, "<doc><a>x</a></doc>").unwrap();
+        prop_assert!(!frozen.db().collection(COLL).unwrap().is_frozen());
+
+        assert_probes_equal(
+            frozen.db().collection(COLL).unwrap(),
+            pointer.db().collection(COLL).unwrap(),
+            TAGS, WORDS, "after mutation prefix",
+        );
+    }
+}
+
+// ---------------------------------------------------------------------
+// Fault matrix: corrupt sidecars fall back to rebuild, silently
+// ---------------------------------------------------------------------
+
+/// Open after corrupting the sidecar: must succeed, must have rebuilt
+/// (not frozen), must still hold all the data, and must not have
+/// quarantined anything. `rejection_counter` names the metric that must
+/// record the refused sidecar (`load_failures` for corruption at the
+/// container layer, `stale` for a valid segment with the wrong
+/// `last_seq` stamp).
+fn assert_falls_back(vfs: &Arc<FaultVfs>, docs: usize, rejection_counter: &str, ctx: &str) {
+    let rejections = counter(rejection_counter);
+    let db = open(vfs);
+    let coll = db.db().collection(COLL).unwrap();
+    assert!(!coll.is_frozen(), "{ctx}: corrupt sidecar must not attach");
+    assert_eq!(gauge("toss.index.cold_open_source"), 0, "{ctx}: rebuild");
+    assert_eq!(coll.len(), docs, "{ctx}: documents survive");
+    assert_eq!(
+        coll.index().by_tag("author").to_vec().len(),
+        docs,
+        "{ctx}: rebuilt index answers"
+    );
+    assert!(
+        counter(rejection_counter) > rejections,
+        "{ctx}: the rejected sidecar is counted in {rejection_counter}"
+    );
+    // the snapshot itself is never quarantined for a sidecar fault
+    assert!(
+        vfs.read(Path::new("/segments/store.json.corrupt")).is_err(),
+        "{ctx}: no quarantine artifact"
+    );
+    vfs.read(Path::new(STORE)).expect("snapshot intact");
+}
+
+#[test]
+fn truncated_segment_falls_back_to_rebuild() {
+    let _guard = test_lock();
+    let vfs = Arc::new(FaultVfs::new());
+    seed(&vfs, 12);
+    let full = vfs.read(Path::new(SEG)).unwrap();
+    assert!(full.len() > 64, "sidecar should be non-trivial");
+    for cut in [0, 1, 40, full.len() / 2, full.len() - 1] {
+        vfs.corrupt(Path::new(SEG), full[..cut].to_vec());
+        assert_falls_back(&vfs, 12, "xmldb.segment.load_failures", &format!("truncated at {cut}"));
+    }
+}
+
+#[test]
+fn bit_flips_in_segment_fall_back_to_rebuild() {
+    let _guard = test_lock();
+    let vfs = Arc::new(FaultVfs::new());
+    seed(&vfs, 12);
+    let full = vfs.read(Path::new(SEG)).unwrap();
+    // flip one bit at a spread of positions: header, directory, payload
+    for pos in [0, 8, 16, full.len() / 3, full.len() / 2, full.len() - 1] {
+        let mut bytes = full.clone();
+        bytes[pos] ^= 0x10;
+        vfs.corrupt(Path::new(SEG), bytes);
+        assert_falls_back(&vfs, 12, "xmldb.segment.load_failures", &format!("bit flip at {pos}"));
+    }
+    // and an untouched sidecar still attaches afterwards
+    vfs.corrupt(Path::new(SEG), full);
+    let db = open(&vfs);
+    assert!(db.db().collection(COLL).unwrap().is_frozen());
+}
+
+#[test]
+fn stale_segment_from_an_older_checkpoint_falls_back() {
+    let _guard = test_lock();
+    let vfs = Arc::new(FaultVfs::new());
+    seed(&vfs, 12);
+    // keep the (valid, checksummed) sidecar of checkpoint 1, advance the
+    // store to checkpoint 2, then put the old sidecar back: its
+    // `last_seq` stamp no longer matches the snapshot, so attaching it
+    // would serve deleted documents — it must be refused
+    let stale = vfs.read(Path::new(SEG)).unwrap();
+    {
+        let mut db = open(&vfs);
+        db.insert_xml(COLL, "<paper key=\"extra\"><author>Z</author></paper>")
+            .unwrap();
+        db.checkpoint().unwrap();
+    }
+    vfs.corrupt(Path::new(SEG), stale);
+    assert_falls_back(&vfs, 13, "xmldb.segment.stale", "stale sidecar");
+}
+
+// ---------------------------------------------------------------------
+// Cold open: first probe-planned query is answered from the segment
+// ---------------------------------------------------------------------
+
+#[test]
+fn restarted_store_answers_first_probe_query_from_the_segment() {
+    let _guard = test_lock();
+    let vfs = Arc::new(FaultVfs::new());
+    seed(&vfs, 30);
+
+    // restart: open strictly from the checkpoint artifacts
+    let db = open(&vfs);
+    assert_eq!(
+        gauge("toss.index.cold_open_source"),
+        1,
+        "the sidecar must serve this open"
+    );
+    let coll = db.db().collection(COLL).unwrap();
+    assert!(coll.is_frozen());
+
+    // run the first query through the full executor: a selective eq
+    // predicate the planner answers with an index probe
+    let thaws = counter("xmldb.segment.thaws");
+    let (database, _writer) = db.into_parts();
+    let h = from_pairs(&[("A1", "author"), ("A2", "author")]).unwrap();
+    let seo = Arc::new(enhance(&h, &Levenshtein, 1.0).unwrap());
+    let ex = Executor::new(database, seo);
+    let query = TossQuery {
+        collection: COLL.into(),
+        pattern: toss_core::algebra::TossPattern::spine(
+            &[EdgeKind::ParentChild],
+            TossCond::all(vec![
+                TossCond::eq(TossTerm::tag(1), TossTerm::str("paper")),
+                TossCond::eq(TossTerm::tag(2), TossTerm::str("author")),
+                TossCond::eq(TossTerm::content(2), TossTerm::str("A3")),
+            ]),
+        )
+        .unwrap(),
+        expand_labels: vec![1],
+    };
+    let out = ex.select(&query, Mode::Toss).unwrap();
+    assert!(
+        matches!(out.plan, Some(QueryPlan::IndexProbe { .. })),
+        "expected an index probe, got {:?}",
+        out.plan.as_ref().map(|p| p.to_string())
+    );
+    // A3 authors: i % 7 == 3 over 30 docs → 4 papers
+    assert_eq!(out.forest.len(), 4, "probe answers must be exact");
+
+    // ...and answering it neither rebuilt nor thawed the index
+    assert_eq!(
+        counter("xmldb.segment.thaws"),
+        thaws,
+        "a read-only query must not thaw the frozen index"
+    );
+    assert!(
+        ex.db.collection(COLL).unwrap().is_frozen(),
+        "the collection still probes the segment after the query"
+    );
+}
