@@ -44,7 +44,11 @@ impl JoinKey {
     }
 
     /// Extract all key renderings from a tree (a tree can carry several
-    /// key leaves, e.g. multiple authors).
+    /// key leaves, e.g. multiple authors). Repeated renderings are
+    /// deduplicated keeping the first occurrence: a tree with duplicate
+    /// key leaves joins exactly like one with a single copy, so the
+    /// duplicates would only inflate buckets, verification work and
+    /// governor charges for no extra matches.
     pub fn extract(&self, tree: &Tree) -> Vec<String> {
         let Some(root) = tree.root() else {
             return Vec::new();
@@ -54,13 +58,16 @@ impl JoinKey {
         } else {
             tree.children(root).collect()
         };
-        nodes
+        let mut keys: Vec<String> = nodes
             .into_iter()
             .filter_map(|n| {
                 let d = tree.data(n).ok()?;
                 (d.tag == self.tag).then(|| d.content_str())
             })
-            .collect()
+            .collect();
+        let mut seen = std::collections::HashSet::with_capacity(keys.len());
+        keys.retain(|k| seen.insert(k.clone()));
+        keys
     }
 }
 
@@ -68,12 +75,61 @@ impl JoinKey {
 /// `tax_prod_root` tree per pair `(l, r)` whose keys are similar under
 /// the SEO (identical strings always join). Equivalent to
 /// `σ(key_l ~ key_r)(L × R)` with the root's descendants expanded.
+///
+/// This is the planned join with default knobs: the nested SEO-class
+/// hash join below, escaping to the skew-adaptive refined path
+/// ([`super::simjoin`]) when one hot class would otherwise degenerate
+/// to its cross product. The two paths produce byte-identical output.
 pub fn similarity_hash_join(
     left: &SeoInstance,
     right: &SeoInstance,
     left_key: &JoinKey,
     right_key: &JoinKey,
 ) -> TossResult<SeoInstance> {
+    let (out, _) = super::simjoin::similarity_join_planned(
+        left,
+        right,
+        left_key,
+        right_key,
+        &super::simjoin::SimJoinConfig::default(),
+        &toss_pool::WorkerPool::new(1),
+        &crate::governor::QueryGovernor::unlimited(),
+    )?;
+    Ok(out)
+}
+
+/// Outcome of the nested hash join under an escape budget.
+pub(crate) enum NestedOutcome {
+    /// The join completed within budget.
+    Done {
+        /// The (deduplicated) join output.
+        out: SeoInstance,
+        /// Bucket work the probe observed (see below).
+        work: u64,
+    },
+    /// The observed bucket work crossed the escape budget: the planner
+    /// should switch to the refined path. Partial output is discarded.
+    Escaped {
+        /// Work observed up to the escape point.
+        work: u64,
+    },
+}
+
+/// The nested SEO-class hash join, instrumented as its own planner:
+/// while probing, it accumulates the sizes of every right-side bucket
+/// it touches — summed over the whole probe this is exactly
+/// Σ over signature elements of (left occurrences × right occurrences),
+/// the bucket size product that blows up under skew. The moment that
+/// observed work exceeds `escape_budget` the join abandons (returning
+/// [`NestedOutcome::Escaped`]) so the caller can refine; a flat
+/// workload pays one integer addition per bucket and never escapes.
+pub(crate) fn nested_join(
+    left: &SeoInstance,
+    right: &SeoInstance,
+    left_key: &JoinKey,
+    right_key: &JoinKey,
+    escape_budget: u64,
+) -> TossResult<NestedOutcome> {
     let classes = seo_classes(&left.seo);
     // bucket the right side: class id → tree indices; plus exact-string
     // buckets for keys outside the ontology
@@ -94,14 +150,25 @@ pub fn similarity_hash_join(
         }
     }
 
+    let mut work: u64 = 0;
     let mut out = Forest::new();
     for lt in &left.forest {
         let mut matched: Vec<usize> = Vec::new();
         for key in left_key.extract(lt) {
             for &c in classes.get(&key).map(Vec::as_slice).unwrap_or(&[]) {
-                matched.extend(by_class.get(&c).into_iter().flatten().copied());
+                let b = by_class.get(&c).map(Vec::as_slice).unwrap_or(&[]);
+                work += b.len() as u64;
+                matched.extend(b.iter().copied());
             }
-            matched.extend(by_string.get(&key).into_iter().flatten().copied());
+            if let Some(b) = by_string.get(&key) {
+                work += b.len() as u64;
+                matched.extend(b.iter().copied());
+            }
+        }
+        // check before grafting this tree's matches so the wasted work
+        // on escape stays bounded by the budget itself
+        if work > escape_budget {
+            return Ok(NestedOutcome::Escaped { work });
         }
         matched.sort_unstable();
         matched.dedup();
@@ -118,7 +185,10 @@ pub fn similarity_hash_join(
             out.push(t);
         }
     }
-    Ok(SeoInstance::new(out.dedup(), left.seo.clone()))
+    Ok(NestedOutcome::Done {
+        out: SeoInstance::new(out.dedup(), left.seo.clone()),
+        work,
+    })
 }
 
 #[cfg(test)]

@@ -8,8 +8,10 @@
 
 mod hashjoin;
 mod operators;
+mod simjoin;
 
 pub use hashjoin::{similarity_hash_join, JoinKey};
+pub use simjoin::{similarity_join_planned, JoinStats, SimJoinConfig};
 pub use operators::{
     toss_difference, toss_intersection, toss_join, toss_product, toss_project, toss_select,
     toss_union, TossPattern,

@@ -157,14 +157,32 @@ pub enum QueryPlan {
         /// Contiguous partitions the scan splits its candidates into.
         partitions: usize,
     },
+    /// Keyed similarity join: the nested SEO-class hash join, escaping
+    /// to the skew-adaptive refined path (fingerprint groups +
+    /// prefix-filter inverted index over rare-first signatures) when
+    /// the observed bucket-product work crossed the planner threshold.
+    SimilarityJoin {
+        /// Whether the refined path ran.
+        refined: bool,
+        /// Distinct signature groups across both sides (refined only).
+        groups: usize,
+        /// Candidate pairs the prefix-filtered probe generated and the
+        /// commit frontier charged (refined only).
+        candidates: usize,
+        /// Worker threads available to the signature/probe fan-out.
+        workers: usize,
+    },
 }
 
 impl QueryPlan {
-    /// Short strategy name (`index-probe` / `parallel-scan`).
+    /// Short strategy name (`index-probe` / `parallel-scan` /
+    /// `simjoin-nested` / `simjoin-refined`).
     pub fn strategy(&self) -> &'static str {
         match self {
             QueryPlan::IndexProbe { .. } => "index-probe",
             QueryPlan::ParallelScan { .. } => "parallel-scan",
+            QueryPlan::SimilarityJoin { refined: false, .. } => "simjoin-nested",
+            QueryPlan::SimilarityJoin { refined: true, .. } => "simjoin-refined",
         }
     }
 }
@@ -187,6 +205,21 @@ impl fmt::Display for QueryPlan {
                 workers,
                 partitions,
             } => write!(f, "parallel-scan workers={workers} partitions={partitions}"),
+            QueryPlan::SimilarityJoin {
+                refined: false,
+                workers,
+                ..
+            } => write!(f, "simjoin-nested workers={workers}"),
+            QueryPlan::SimilarityJoin {
+                refined: true,
+                groups,
+                candidates,
+                workers,
+            } => write!(
+                f,
+                "simjoin-refined groups={groups} candidates={candidates} \
+                 workers={workers}"
+            ),
         }
     }
 }
@@ -425,6 +458,10 @@ pub struct Executor {
     /// to the machine's available parallelism; a one-worker pool runs
     /// the exact sequential code paths.
     pub pool: WorkerPool,
+    /// Planner knobs for the keyed similarity join: when the nested
+    /// hash join's observed bucket work crosses the threshold, the join
+    /// escapes to the refined signature path (`crate::algebra::simjoin`).
+    pub join_config: crate::algebra::SimJoinConfig,
     /// Bounded cache of SEO-expanded conditions keyed on the normalized
     /// condition, the SEO version stamps, ε, the probe metric and the
     /// expansion-term budget class. Only exact (never soft-truncated)
@@ -448,6 +485,7 @@ impl Executor {
             probe_metric: None,
             part_of_seo: None,
             pool: WorkerPool::with_available_parallelism(),
+            join_config: crate::algebra::SimJoinConfig::default(),
             rewrite_cache: RewriteCache::default(),
             revision: std::sync::atomic::AtomicU64::new(0),
         }
@@ -500,6 +538,12 @@ impl Executor {
     /// every query on the exact sequential code paths.
     pub fn with_threads(mut self, n: usize) -> Self {
         self.pool = WorkerPool::new(n);
+        self
+    }
+
+    /// Set the similarity-join planner knobs (builder style).
+    pub fn with_join_config(mut self, cfg: crate::algebra::SimJoinConfig) -> Self {
+        self.join_config = cfg;
         self
     }
 
@@ -678,6 +722,8 @@ impl Executor {
                 ex.record("partitions", *partitions);
                 toss_obs::metrics::counter("toss.planner.parallel_scan").inc();
             }
+            // retrieval planning never yields a join plan
+            QueryPlan::SimilarityJoin { .. } => {}
         }
         let scan = GovernorScan(gov);
         let (matches, status) = match &probe_docs {
@@ -986,28 +1032,40 @@ impl Executor {
         let (l, r) = self.select_both_governed(left, right, mode, gov)?;
         let combine = toss_obs::span("toss.query.convert");
         let (lf, rf) = clamp_join_inputs(l.forest, r.forest, gov)?;
-        let joined = match mode {
-            Mode::Toss => crate::algebra::similarity_hash_join(
+        let (joined, jstats) = match mode {
+            Mode::Toss => crate::algebra::similarity_join_planned(
                 &SeoInstance::new(lf, self.seo.clone()),
                 &SeoInstance::new(rf, self.seo.clone()),
                 left_key,
                 right_key,
+                &self.join_config,
+                &self.pool,
+                gov,
             )?,
             Mode::TaxBaseline => {
-                // exact-match hash join: an empty SEO leaves only the
-                // identical-string buckets
+                // exact-match join: an empty SEO leaves only the
+                // identical-string signature elements / buckets
                 let empty = Arc::new(toss_ontology::enhance(
                     &toss_ontology::Hierarchy::new(),
                     &toss_similarity::Levenshtein,
                     0.0,
                 )?);
-                crate::algebra::similarity_hash_join(
+                crate::algebra::similarity_join_planned(
                     &SeoInstance::new(lf, empty.clone()),
                     &SeoInstance::new(rf, empty),
                     left_key,
                     right_key,
+                    &self.join_config,
+                    &self.pool,
+                    gov,
                 )?
             }
+        };
+        let plan = QueryPlan::SimilarityJoin {
+            refined: jstats.refined,
+            groups: jstats.groups_left + jstats.groups_right,
+            candidates: jstats.candidates as usize,
+            workers: jstats.workers,
         };
         let forest = clamp_witnesses(joined.forest, gov)?;
         combine.record("witnesses", forest.len());
@@ -1017,13 +1075,14 @@ impl Executor {
             span.record("degradation", d.to_string());
         }
         span.record("results", forest.len());
+        span.record("plan", plan.strategy());
         toss_obs::metrics::counter("toss.query.joins").inc();
         drop(span);
         Ok(QueryOutcome {
             forest,
             xpath: format!("{} ⋈~ {}", l.xpath, r.xpath),
             degradation,
-            plan: None,
+            plan: Some(plan),
             rewrite_time: l.rewrite_time + r.rewrite_time,
             execute_time: l.execute_time + r.execute_time,
             convert_time,

@@ -274,6 +274,11 @@ pub struct QueryGovernor {
     docs_scanned: AtomicU64,
     witnesses_kept: AtomicU64,
     memory_bytes: AtomicU64,
+    /// Candidate pairs the refined similarity join generated (cumulative
+    /// across every join in the request). Charged against
+    /// [`QueryBudget::max_join_cardinality`] at the probe commit
+    /// frontier — see [`QueryGovernor::admit_join_candidates`].
+    join_candidates: AtomicU64,
     /// How many times `admit_expansion_terms` soft-truncated a request.
     /// The rewrite cache uses this to tell an exact expansion (cacheable)
     /// from a truncated one (never cached).
@@ -300,6 +305,7 @@ impl QueryGovernor {
             docs_scanned: AtomicU64::new(0),
             witnesses_kept: AtomicU64::new(0),
             memory_bytes: AtomicU64::new(0),
+            join_candidates: AtomicU64::new(0),
             terms_truncations: AtomicU64::new(0),
             degradation: Mutex::new(None),
         }
@@ -565,6 +571,77 @@ impl QueryGovernor {
                 Ok(Some((l, r)))
             }
         }
+    }
+
+    /// Candidate pairs the refined similarity join has charged so far.
+    pub fn join_candidates(&self) -> u64 {
+        self.join_candidates.load(Ordering::Relaxed)
+    }
+
+    /// Admit `produced` candidate pairs generated by the refined
+    /// similarity join's inverted-index probe. Cumulative against
+    /// [`QueryBudget::max_join_cardinality`]: where the nested path is
+    /// bounded up front by [`QueryGovernor::admit_join_cardinality`]
+    /// (|L|·|R| can never exceed the limit once the inputs are clamped),
+    /// the refined path charges the pairs it *actually generates* — so a
+    /// hostile skewed join degrades under budget exactly like the nested
+    /// path, and a well-behaved one is charged for strictly less.
+    /// Returns how many of the produced pairs may be kept; a soft limit
+    /// truncates (recording degradation), a hard limit errors.
+    ///
+    /// Only ever called from the sequential commit frontier (probe tasks
+    /// are speculative and never charge), so the tally is bit-identical
+    /// at any worker count.
+    pub fn admit_join_candidates(&self, produced: usize) -> TossResult<usize> {
+        self.check()?;
+        let charged = self.join_candidates.load(Ordering::Relaxed);
+        let demanded = charged + produced as u64;
+        let Some(limit) = self.budget.max_join_cardinality else {
+            self.join_candidates.store(demanded, Ordering::Relaxed);
+            return Ok(produced);
+        };
+        if demanded <= limit.max {
+            self.join_candidates.store(demanded, Ordering::Relaxed);
+            return Ok(produced);
+        }
+        match limit.enforcement {
+            Enforcement::Hard => {
+                Err(self.hard_breach(BudgetKind::JoinCardinality, limit.max, demanded))
+            }
+            Enforcement::Soft => {
+                let allowed = limit.max.saturating_sub(charged) as usize;
+                self.join_candidates
+                    .store(charged + allowed as u64, Ordering::Relaxed);
+                self.trip_soft(DegradationInfo::new(
+                    BudgetKind::JoinCardinality,
+                    limit.max,
+                    demanded,
+                    charged + allowed as u64,
+                ));
+                Ok(allowed)
+            }
+        }
+    }
+
+    /// Non-charging companion to [`QueryGovernor::admit_join_candidates`]
+    /// (the analogue of [`QueryGovernor::scan_preflight`]): *would* one
+    /// more candidate pair be admitted right now? Speculative probe
+    /// tasks ask this between probe groups so a budget that was already
+    /// exhausted before the join stops far-ahead workers; the charging
+    /// call on the commit frontier stays authoritative.
+    pub fn join_candidates_preflight(&self) -> ScanDecision {
+        if self.token.is_cancelled() || self.deadline_expired() {
+            return ScanDecision::Abort;
+        }
+        if let Some(limit) = self.budget.max_join_cardinality {
+            if self.join_candidates.load(Ordering::Relaxed) >= limit.max {
+                return match limit.enforcement {
+                    Enforcement::Soft => ScanDecision::Truncate,
+                    Enforcement::Hard => ScanDecision::Abort,
+                };
+            }
+        }
+        ScanDecision::Continue
     }
 
     /// Admit `produced` witness trees; returns how many to keep.

@@ -52,6 +52,22 @@ echo "==> semantic fast-path bench smoke (BENCH_semantic.json)"
 cargo run --release -p toss-bench --bin bench_semantic -- --quick
 test -s BENCH_semantic.json
 
+echo "==> similarity join bench smoke (BENCH_join.json)"
+# the byte-identical-output checksum equality and the planner-choice
+# assertions (refined fires on skew, nested holds on flat) always run;
+# the ≥50× / ≤1.1× timing gates only assert in the full (non-quick) run
+cargo run --release -p toss-bench --bin bench_join -- --quick
+test -s BENCH_join.json
+python3 - <<'PY'
+import json
+r = json.load(open("BENCH_join.json"))
+assert r["skewed"]["equal"], "skewed: refined output checksum diverged from nested"
+assert r["flat"]["equal"], "flat: output checksums diverged across join paths"
+assert "speedup" in r["skewed"], "skewed speedup field missing"
+print(f"join checksums equal; skewed speedup {r['skewed']['speedup']:.1f}x "
+      f"(quick={r['quick']}), flat ratio {r['flat']['ratio']:.3f}x")
+PY
+
 echo "==> serving-layer load smoke (BENCH_serve.json)"
 # 100 requests against a live server on an ephemeral port, one injected
 # mid-frame fault, graceful drain with queries in flight — the binary
